@@ -1,0 +1,203 @@
+//! Benchmarks that regenerate the paper's *figures* (printing the series
+//! once, in fast mode) and time the core computation behind each:
+//!
+//! - `fig1`: tracker trace generation.
+//! - `fig5`: utility-choice acceptance sweep.
+//! - `fig7a`/`fig7b`/`fig8abc`: the deadline MDP solve + calibration that
+//!   powers the effectiveness and trend plots.
+//! - `fig8d`: granularity sensitivity (one coarse + one fine solve).
+//! - `fig9`/`fig10`: policy evaluation under mis-specified dynamics.
+//! - `fig11`: budget-strategy completion-time sampling.
+//! - `fig12`/`fig15`: the event-driven live marketplace simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ft_core::{calibrate_penalty, solve_truncated, CalibrateOptions};
+use ft_market::{LogitAcceptance, TrackerConfig, TrackerTrace};
+use ft_sim::{run_by_id, ExpConfig, PaperScenario};
+use std::hint::black_box;
+use std::sync::Once;
+
+fn print_once(flag: &'static Once, id: &str) {
+    flag.call_once(|| {
+        if let Some(reports) = run_by_id(id, ExpConfig::fast()) {
+            for rep in reports {
+                println!("{}", rep.to_ascii());
+            }
+        }
+    });
+}
+
+fn scenario() -> PaperScenario {
+    PaperScenario::new(20140827)
+}
+
+fn fig1(c: &mut Criterion) {
+    static PRINTED: Once = Once::new();
+    print_once(&PRINTED, "fig1");
+    c.bench_function("paper_figures/fig1_trace_generation", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let mut rng = ft_stats::rng::stream_rng(1, i);
+            black_box(TrackerTrace::generate(TrackerConfig::january_2014(), &mut rng).total())
+        })
+    });
+}
+
+fn fig5(c: &mut Criterion) {
+    static PRINTED: Once = Once::new();
+    print_once(&PRINTED, "fig5");
+    use ft_market::logit::{UtilitySim, UtilitySimConfig};
+    let sim = UtilitySim::new(UtilitySimConfig {
+        samples_per_price: 2_000,
+        ..Default::default()
+    });
+    c.bench_function("paper_figures/fig5_utility_sweep_point", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let mut rng = ft_stats::rng::stream_rng(5, i);
+            black_box(sim.acceptance_at(60.0, &mut rng))
+        })
+    });
+}
+
+fn fig7a(c: &mut Criterion) {
+    static PRINTED: Once = Once::new();
+    print_once(&PRINTED, "fig7a");
+    let s = scenario();
+    let problem = s.deadline_problem(100.0);
+    c.bench_function("paper_figures/fig7a_paper_scale_solve", |b| {
+        b.iter(|| black_box(solve_truncated(&problem, 1e-9).unwrap().expected_total_cost()))
+    });
+    c.bench_function("paper_figures/fig7a_calibration", |b| {
+        b.iter(|| {
+            let cal = calibrate_penalty(
+                &problem,
+                0.2,
+                CalibrateOptions {
+                    truncation_eps: 1e-8,
+                    max_iters: 12,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            black_box(cal.outcome.expected_paid)
+        })
+    });
+}
+
+fn fig7b_fig8(c: &mut Criterion) {
+    static PRINTED7B: Once = Once::new();
+    print_once(&PRINTED7B, "fig7b");
+    static PRINTED8: Once = Once::new();
+    print_once(&PRINTED8, "fig8abc");
+    static PRINTED8D: Once = Once::new();
+    print_once(&PRINTED8D, "fig8d");
+    let s = scenario();
+    // The Fig. 7(b)/8 sweeps repeat one comparison per grid point; time
+    // that unit.
+    let problem = s.deadline_problem(100.0);
+    c.bench_function("paper_figures/fig7b_fig8_one_comparison", |b| {
+        b.iter(|| {
+            let cmp = ft_sim::compare_dynamic_vs_fixed(
+                &problem,
+                0.999,
+                CalibrateOptions {
+                    truncation_eps: 1e-7,
+                    max_iters: 10,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            black_box(cmp.reduction)
+        })
+    });
+    // Fig. 8(d): fine vs coarse interval solves.
+    let mut coarse = s.clone();
+    coarse.interval_minutes = 120.0;
+    let p_fine = s.deadline_problem(100.0);
+    let p_coarse = coarse.deadline_problem(100.0);
+    c.bench_function("paper_figures/fig8d_fine_20min_solve", |b| {
+        b.iter(|| black_box(solve_truncated(&p_fine, 1e-9).unwrap().expected_total_cost()))
+    });
+    c.bench_function("paper_figures/fig8d_coarse_120min_solve", |b| {
+        b.iter(|| black_box(solve_truncated(&p_coarse, 1e-9).unwrap().expected_total_cost()))
+    });
+}
+
+fn fig9_fig10(c: &mut Criterion) {
+    static PRINTED9: Once = Once::new();
+    print_once(&PRINTED9, "fig9");
+    static PRINTED10: Once = Once::new();
+    print_once(&PRINTED10, "fig10");
+    let s = scenario();
+    let problem = s.deadline_problem(100.0);
+    let policy = solve_truncated(&problem, 1e-9).unwrap();
+    let truth = LogitAcceptance::new(15.0, -0.39 + 0.4, 2000.0);
+    c.bench_function("paper_figures/fig9_fig10_misspecified_evaluation", |b| {
+        b.iter(|| {
+            let out = policy.evaluate_against(
+                &problem.interval_arrivals,
+                |cc| truth.p_f64(cc),
+                &problem.penalty,
+            );
+            black_box(out.expected_remaining)
+        })
+    });
+}
+
+fn fig11(c: &mut Criterion) {
+    static PRINTED: Once = Once::new();
+    print_once(&PRINTED, "fig11");
+    use ft_core::budget::{solve_budget_hull, BudgetProblem};
+    use ft_market::ArrivalRate;
+    use ft_sim::experiments::fig11_budget::sample_completion_hours;
+    let s = scenario();
+    let problem = BudgetProblem::new(
+        200,
+        2500.0,
+        ft_core::ActionSet::from_grid(s.grid, &s.acceptance),
+        s.trained_rate.mean_rate(0.0, 168.0),
+    );
+    let sol = solve_budget_hull(&problem).unwrap();
+    let seq = sol.strategy.price_sequence();
+    c.bench_function("paper_figures/fig11_completion_time_sample", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let mut rng = ft_stats::rng::stream_rng(11, i);
+            black_box(sample_completion_hours(&seq, &s.acceptance, &s.trained_rate, &mut rng))
+        })
+    });
+    c.bench_function("paper_figures/fig11_hull_solve", |b| {
+        b.iter(|| black_box(solve_budget_hull(&problem).unwrap().expected_arrivals))
+    });
+}
+
+fn fig12_fig15(c: &mut Criterion) {
+    static PRINTED12: Once = Once::new();
+    print_once(&PRINTED12, "fig12");
+    static PRINTED15: Once = Once::new();
+    print_once(&PRINTED15, "fig15");
+    use ft_market::sim::{run_live_sim, FixedGroup, LiveSimConfig};
+    use ft_sim::experiments::fig12_live::live_arrival_rate;
+    let config = LiveSimConfig::default();
+    let arrival = live_arrival_rate(1.0);
+    c.bench_function("paper_figures/fig12_fig15_live_trial_5000_tasks", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let mut rng = ft_stats::rng::stream_rng(12, i);
+            let out = run_live_sim(&config, &arrival, 7900.0, &mut FixedGroup(20), &mut rng);
+            black_box(out.tasks_completed)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig1, fig5, fig7a, fig7b_fig8, fig9_fig10, fig11, fig12_fig15
+}
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Benchmarks that regenerate the paper's *tables* (printing the rows
+//! once) and time the computation behind each:
+//!
+//! - `tab1`: Poisson truncation points (Table 1).
+//! - `tab2`: HIT-snapshot regression (Table 2, with Fig. 6 data).
+//! - `tab34`: live-simulation answer-accuracy tables (Tables 3/4, with
+//!   the Fig. 13/14 CDFs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ft_sim::{run_by_id, ExpConfig};
+use ft_stats::Poisson;
+use std::hint::black_box;
+use std::sync::Once;
+
+fn print_once(flag: &'static Once, id: &str) {
+    flag.call_once(|| {
+        if let Some(reports) = run_by_id(id, ExpConfig::fast()) {
+            for rep in reports {
+                println!("{}", rep.to_ascii());
+            }
+        }
+    });
+}
+
+fn tab1(c: &mut Criterion) {
+    static PRINTED: Once = Once::new();
+    print_once(&PRINTED, "tab1");
+    c.bench_function("paper_tables/tab1_truncation_points", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &lambda in &[10.0, 20.0, 50.0] {
+                acc += Poisson::new(black_box(lambda)).truncation_point(1e-9);
+            }
+            acc
+        })
+    });
+}
+
+fn tab2(c: &mut Criterion) {
+    static PRINTED: Once = Once::new();
+    print_once(&PRINTED, "fig6");
+    use ft_market::tracker::{generate_snapshots, SnapshotConfig};
+    use ft_stats::{seeded_rng, SimpleOls};
+    let mut rng = seeded_rng(6);
+    let obs = generate_snapshots(100, &SnapshotConfig::default(), &mut rng);
+    c.bench_function("paper_tables/tab2_snapshot_regression", |b| {
+        b.iter(|| {
+            let xs: Vec<f64> = obs.iter().map(|o| o.wage_per_sec).collect();
+            let ys: Vec<f64> = obs.iter().map(|o| o.workload_per_hour.ln()).collect();
+            black_box(SimpleOls::fit(&xs, &ys))
+        })
+    });
+}
+
+fn tab34(c: &mut Criterion) {
+    static PRINTED: Once = Once::new();
+    print_once(&PRINTED, "tab34");
+    use ft_market::sim::{run_live_sim, FixedGroup, LiveSimConfig};
+    use ft_sim::experiments::fig12_live::live_arrival_rate;
+    use ft_stats::rng::stream_rng;
+    let config = LiveSimConfig {
+        total_tasks: 1000,
+        ..Default::default()
+    };
+    let arrival = live_arrival_rate(0.2);
+    c.bench_function("paper_tables/tab34_live_accuracy_trial", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let mut rng = stream_rng(34, i);
+            let out = run_live_sim(&config, &arrival, 1800.0, &mut FixedGroup(20), &mut rng);
+            black_box(out.hit_accuracies(Some(20)).len())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = tab1, tab2, tab34
+}
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Solver ablations for the design choices Section 3.2 / 4.3 call out:
+//!
+//! - `deadline_dp`: Algorithm 1 (simple) vs Poisson truncation vs
+//!   Algorithm 2 (monotone divide-and-conquer), across batch sizes.
+//! - `truncation_eps`: cost of the truncated solve vs ε.
+//! - `budget`: Algorithm 3 (convex hull) vs the Theorem 6 exact DP.
+//! - `tradeoff`: the two Section 6 tradeoff formulations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ft_core::extensions::{solve_tradeoff_fixed_rate, solve_tradeoff_worker_arrival};
+use ft_core::{
+    solve_budget_exact, solve_budget_hull, solve_efficient, solve_simple, solve_truncated,
+    ActionSet, BudgetProblem, DeadlineProblem, PenaltyModel,
+};
+use ft_market::{ConstantRate, LogitAcceptance, PriceGrid};
+use std::hint::black_box;
+
+fn problem(n_tasks: u32) -> DeadlineProblem {
+    DeadlineProblem::from_market(
+        n_tasks,
+        24.0,
+        72,
+        &ConstantRate::new(5100.0),
+        PriceGrid::new(0, 40),
+        &LogitAcceptance::paper_eq13(),
+        PenaltyModel::Linear { per_task: 200.0 },
+    )
+}
+
+fn deadline_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_ablation/deadline_dp");
+    group.sample_size(10);
+    for &n in &[25u32, 50, 100, 200] {
+        let p = problem(n);
+        // The O(N²·N_T·C) simple solver only at small N (it is the point
+        // of the ablation that it does not scale).
+        if n <= 50 {
+            group.bench_with_input(BenchmarkId::new("simple", n), &p, |b, p| {
+                b.iter(|| black_box(solve_simple(p).unwrap().expected_total_cost()))
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("truncated_1e-9", n), &p, |b, p| {
+            b.iter(|| black_box(solve_truncated(p, 1e-9).unwrap().expected_total_cost()))
+        });
+        group.bench_with_input(BenchmarkId::new("efficient_1e-9", n), &p, |b, p| {
+            b.iter(|| black_box(solve_efficient(p, 1e-9).unwrap().expected_total_cost()))
+        });
+    }
+    group.finish();
+}
+
+fn truncation_eps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_ablation/truncation_eps");
+    group.sample_size(10);
+    let p = problem(200);
+    let exact_cost = solve_truncated(&p, 1e-14).unwrap().expected_total_cost();
+    println!("truncation_eps: reference cost at eps=1e-14 is {exact_cost:.4}");
+    for &exp in &[3i32, 6, 9, 12] {
+        let eps = 10f64.powi(-exp);
+        let cost = solve_truncated(&p, eps).unwrap().expected_total_cost();
+        println!(
+            "truncation_eps: eps=1e-{exp} → cost {cost:.4} (gap {:.2e})",
+            exact_cost - cost
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(format!("1e-{exp}")), &eps, |b, &eps| {
+            b.iter(|| black_box(solve_truncated(&p, eps).unwrap().expected_total_cost()))
+        });
+    }
+    group.finish();
+}
+
+fn budget(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_ablation/budget");
+    group.sample_size(10);
+    let p = BudgetProblem::new(
+        200,
+        2500.0,
+        ActionSet::from_grid(PriceGrid::new(1, 40), &LogitAcceptance::paper_eq13()),
+        5100.0,
+    );
+    let hull = solve_budget_hull(&p).unwrap();
+    println!(
+        "budget: hull strategy {:?} (E[W] = {:.0}, gap ≤ {:.2})",
+        hull.strategy.counts(),
+        hull.expected_arrivals,
+        hull.rounding_gap_bound
+    );
+    group.bench_function("hull_algorithm3", |b| {
+        b.iter(|| black_box(solve_budget_hull(&p).unwrap().expected_arrivals))
+    });
+    group.bench_function("exact_theorem6_dp", |b| {
+        b.iter(|| black_box(solve_budget_exact(&p).unwrap().total_cost()))
+    });
+    group.finish();
+}
+
+fn tradeoff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_ablation/tradeoff");
+    let actions = ActionSet::from_grid(PriceGrid::new(1, 40), &LogitAcceptance::paper_eq13());
+    group.bench_function("worker_arrival", |b| {
+        b.iter(|| {
+            black_box(
+                solve_tradeoff_worker_arrival(&actions, 200, 5100.0, 500.0)
+                    .unwrap()
+                    .total(),
+            )
+        })
+    });
+    group.bench_function("fixed_rate", |b| {
+        b.iter(|| {
+            black_box(
+                solve_tradeoff_fixed_rate(&actions, 200, 120.0, 500.0)
+                    .unwrap()
+                    .total(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, deadline_dp, truncation_eps, budget, tradeoff);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! ft-bench: criterion benchmarks live in benches/.

@@ -1,0 +1,196 @@
+//! Price actions: the decision space of the MDP.
+//!
+//! The paper's decision variable is an integer-cent reward `c` with
+//! acceptance probability `p(c)`. We generalize slightly to an ordered list
+//! of `(reward, acceptance)` actions so the same solvers drive both the
+//! cent-grid problem and the live experiment's grouping-size lever
+//! (Section 5.4, where the five group sizes induce five effective per-task
+//! prices).
+
+use ft_market::{AcceptanceFn, PriceGrid};
+use serde::{Deserialize, Serialize};
+
+/// One pricing action: post the tasks at `reward` (cents, possibly
+/// fractional for grouped HITs) yielding per-worker acceptance probability
+/// `accept`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PriceAction {
+    pub reward: f64,
+    pub accept: f64,
+}
+
+/// An ordered action set: rewards strictly increasing, acceptance
+/// probabilities non-decreasing (more money never hurts).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActionSet {
+    actions: Vec<PriceAction>,
+}
+
+impl ActionSet {
+    /// Build from explicit actions. Sorts by reward and validates
+    /// monotonicity.
+    pub fn new(mut actions: Vec<PriceAction>) -> Self {
+        assert!(!actions.is_empty(), "action set must be non-empty");
+        actions.sort_by(|a, b| a.reward.partial_cmp(&b.reward).expect("NaN reward"));
+        for a in &actions {
+            assert!(
+                a.reward >= 0.0 && a.reward.is_finite(),
+                "rewards must be finite and non-negative, got {}",
+                a.reward
+            );
+            assert!(
+                (0.0..=1.0).contains(&a.accept),
+                "acceptance must be in [0,1], got {}",
+                a.accept
+            );
+        }
+        for w in actions.windows(2) {
+            assert!(
+                w[1].reward > w[0].reward,
+                "duplicate reward {}",
+                w[0].reward
+            );
+            assert!(
+                w[1].accept >= w[0].accept - 1e-12,
+                "acceptance must be non-decreasing in reward ({} at {} vs {} at {})",
+                w[0].accept,
+                w[0].reward,
+                w[1].accept,
+                w[1].reward
+            );
+        }
+        Self { actions }
+    }
+
+    /// Build from possibly non-monotone `(reward, acceptance)` pairs by
+    /// pruning dominated actions: an action is dropped when some cheaper
+    /// action has acceptance at least as high (a rational policy never
+    /// plays it). Used for empirically-estimated action sets such as the
+    /// live experiment's grouping-size lever.
+    pub fn from_unsorted_pruned(mut actions: Vec<PriceAction>) -> Self {
+        assert!(!actions.is_empty(), "action set must be non-empty");
+        actions.sort_by(|a, b| {
+            a.reward
+                .partial_cmp(&b.reward)
+                .expect("NaN reward")
+                .then(b.accept.partial_cmp(&a.accept).expect("NaN acceptance"))
+        });
+        let mut kept: Vec<PriceAction> = Vec::with_capacity(actions.len());
+        for a in actions {
+            match kept.last() {
+                Some(last) if (a.reward - last.reward).abs() < 1e-12 => continue,
+                Some(last) if a.accept <= last.accept + 1e-15 => continue, // dominated
+                _ => kept.push(a),
+            }
+        }
+        Self::new(kept)
+    }
+
+    /// The canonical paper action set: every integer cent on `grid` with
+    /// acceptance from `p(c)`.
+    pub fn from_grid<A: AcceptanceFn + ?Sized>(grid: PriceGrid, acceptance: &A) -> Self {
+        let actions = grid
+            .iter()
+            .map(|c| PriceAction {
+                reward: c as f64,
+                accept: acceptance.p(c),
+            })
+            .collect();
+        Self::new(actions)
+    }
+
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    pub fn get(&self, i: usize) -> PriceAction {
+        self.actions[i]
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &PriceAction> {
+        self.actions.iter()
+    }
+
+    /// Maximum reward `C` (upper bound used in the Theorem 1 error bound).
+    pub fn max_reward(&self) -> f64 {
+        self.actions[self.actions.len() - 1].reward
+    }
+
+    pub fn min_reward(&self) -> f64 {
+        self.actions[0].reward
+    }
+
+    /// Index of the action with the given reward, if present.
+    pub fn index_of_reward(&self, reward: f64) -> Option<usize> {
+        self.actions
+            .binary_search_by(|a| a.reward.partial_cmp(&reward).unwrap())
+            .ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_market::LogitAcceptance;
+
+    #[test]
+    fn from_grid_matches_acceptance() {
+        let acc = LogitAcceptance::paper_eq13();
+        let set = ActionSet::from_grid(PriceGrid::new(5, 30), &acc);
+        assert_eq!(set.len(), 26);
+        assert_eq!(set.get(0).reward, 5.0);
+        assert_eq!(set.max_reward(), 30.0);
+        for (i, a) in set.iter().enumerate() {
+            assert_eq!(a.accept, acc.p(5 + i as u32));
+        }
+    }
+
+    #[test]
+    fn new_sorts_actions() {
+        let set = ActionSet::new(vec![
+            PriceAction { reward: 10.0, accept: 0.5 },
+            PriceAction { reward: 2.0, accept: 0.1 },
+        ]);
+        assert_eq!(set.get(0).reward, 2.0);
+        assert_eq!(set.get(1).reward, 10.0);
+        assert_eq!(set.index_of_reward(10.0), Some(1));
+        assert_eq!(set.index_of_reward(3.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn rejects_decreasing_acceptance() {
+        ActionSet::new(vec![
+            PriceAction { reward: 1.0, accept: 0.9 },
+            PriceAction { reward: 2.0, accept: 0.1 },
+        ]);
+    }
+
+    #[test]
+    fn pruning_drops_dominated_actions() {
+        let set = ActionSet::from_unsorted_pruned(vec![
+            PriceAction { reward: 2.0, accept: 0.30 },
+            PriceAction { reward: 5.0, accept: 0.25 }, // dominated by 2.0
+            PriceAction { reward: 10.0, accept: 0.60 },
+            PriceAction { reward: 10.0, accept: 0.55 }, // duplicate reward
+            PriceAction { reward: 3.0, accept: 0.30 },  // ties cheaper: dominated
+        ]);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.get(0).reward, 2.0);
+        assert_eq!(set.get(1).reward, 10.0);
+        assert_eq!(set.get(1).accept, 0.60);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate reward")]
+    fn rejects_duplicate_rewards() {
+        ActionSet::new(vec![
+            PriceAction { reward: 1.0, accept: 0.1 },
+            PriceAction { reward: 1.0, accept: 0.2 },
+        ]);
+    }
+}

@@ -1,0 +1,313 @@
+//! Adaptive arrival-rate correction — the future work the paper sketches
+//! in Section 5.2.5: *"adaptive prediction techniques such as predicting
+//! the arrival-rate in next few hours based on arrival rate in last few
+//! hours could be useful"* for days (like their Jan 1) whose traffic
+//! deviates consistently from the trained profile.
+//!
+//! [`AdaptivePricer`] wraps a [`DeadlineProblem`]: after each interval it
+//! compares the *observed* completions against the trained model's
+//! expectation at the posted price, maintains a windowed correction ratio
+//! ρ̂, and periodically re-solves the remaining-horizon MDP with the
+//! trained arrival masses scaled by ρ̂. Because completions are a thinned
+//! view of arrivals, the ratio estimates the arrival-level deviation as
+//! long as `p(c)` itself is trusted (mis-specified `p` is the Fig. 9
+//! axis, handled by the base policy's own feedback).
+
+use crate::dp::solve_truncated;
+use crate::error::Result;
+use crate::policy::{DeadlinePolicy, PriceController};
+use crate::problem::DeadlineProblem;
+use serde::{Deserialize, Serialize};
+
+/// Options for the adaptive pricer.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AdaptiveOptions {
+    /// Sliding window length in intervals.
+    pub window: usize,
+    /// Re-solve the remaining-horizon MDP every this many intervals.
+    pub resolve_every: usize,
+    /// Clamp for the correction ratio (guards early-window noise).
+    pub min_correction: f64,
+    pub max_correction: f64,
+    /// Poisson truncation ε for the inner solves.
+    pub truncation_eps: f64,
+}
+
+impl Default for AdaptiveOptions {
+    fn default() -> Self {
+        Self {
+            window: 9, // three hours of 20-minute intervals
+            resolve_every: 3,
+            min_correction: 0.25,
+            max_correction: 4.0,
+            truncation_eps: 1e-8,
+        }
+    }
+}
+
+/// A stateful controller: price queries plus completion observations.
+#[derive(Debug, Clone)]
+pub struct AdaptivePricer {
+    problem: DeadlineProblem,
+    opts: AdaptiveOptions,
+    /// `(expected_completion_mean, observed_completions)` per past interval.
+    history: Vec<(f64, u64)>,
+    /// Policy for the suffix starting at `policy_start`.
+    policy: DeadlinePolicy,
+    policy_start: usize,
+    correction: f64,
+}
+
+impl AdaptivePricer {
+    pub fn new(problem: DeadlineProblem, opts: AdaptiveOptions) -> Result<Self> {
+        assert!(opts.window >= 1, "window must be at least 1");
+        assert!(opts.resolve_every >= 1, "resolve period must be at least 1");
+        assert!(
+            opts.min_correction > 0.0 && opts.max_correction >= opts.min_correction,
+            "invalid correction clamp"
+        );
+        let policy = solve_truncated(&problem, opts.truncation_eps)?;
+        Ok(Self {
+            problem,
+            opts,
+            history: Vec::new(),
+            policy,
+            policy_start: 0,
+            correction: 1.0,
+        })
+    }
+
+    /// The current arrival correction ratio ρ̂.
+    pub fn correction(&self) -> f64 {
+        self.correction
+    }
+
+    /// Price to post for interval `t` with `n_remaining` tasks left.
+    pub fn price(&mut self, n_remaining: u32, t: usize) -> f64 {
+        assert!(t < self.problem.n_intervals(), "interval out of range");
+        assert!(t >= self.policy_start, "time went backwards");
+        // Re-solve on schedule.
+        if t - self.policy_start >= self.opts.resolve_every {
+            self.resolve(t);
+        }
+        let n = n_remaining.min(self.problem.n_tasks);
+        if n == 0 {
+            return self.problem.actions.min_reward();
+        }
+        self.policy.price(n, t - self.policy_start)
+    }
+
+    /// Record the outcome of interval `t`: the reward that was posted and
+    /// the number of completions observed.
+    ///
+    /// When the batch ran out of tasks mid-interval the count is
+    /// right-censored (workers would have completed more had tasks
+    /// remained) — use [`AdaptivePricer::observe_censored`] for those
+    /// intervals so the correction ratio is not biased downward.
+    pub fn observe(&mut self, posted_reward: f64, completions: u64) {
+        let t = self.history.len();
+        assert!(t < self.problem.n_intervals(), "observed past the horizon");
+        let idx = self
+            .problem
+            .actions
+            .index_of_reward(posted_reward)
+            .expect("posted reward not in the action set");
+        let p = self.problem.actions.get(idx).accept;
+        let expected = self.problem.interval_arrivals[t] * p;
+        self.history.push((expected, completions));
+        self.update_correction();
+    }
+
+    /// Record a right-censored interval (the batch was exhausted before
+    /// the interval ended): advances time without contributing to the
+    /// correction estimate.
+    pub fn observe_censored(&mut self) {
+        let t = self.history.len();
+        assert!(t < self.problem.n_intervals(), "observed past the horizon");
+        self.history.push((0.0, 0));
+    }
+
+    fn update_correction(&mut self) {
+        let start = self.history.len().saturating_sub(self.opts.window);
+        let mut expected = 0.0;
+        let mut observed = 0.0;
+        for &(e, o) in &self.history[start..] {
+            expected += e;
+            observed += o as f64;
+        }
+        // Intervals priced at near-zero acceptance carry no signal; keep
+        // the previous estimate until the window has mass.
+        if expected < 1.0 {
+            return;
+        }
+        self.correction = (observed / expected)
+            .clamp(self.opts.min_correction, self.opts.max_correction);
+    }
+
+    /// Re-solve the MDP over intervals `t..` with corrected arrivals.
+    fn resolve(&mut self, t: usize) {
+        let corrected: Vec<f64> = self.problem.interval_arrivals[t..]
+            .iter()
+            .map(|l| l * self.correction)
+            .collect();
+        if corrected.is_empty() {
+            return;
+        }
+        let sub = DeadlineProblem::new(
+            self.problem.n_tasks,
+            corrected,
+            self.problem.actions.clone(),
+            self.problem.penalty,
+        );
+        if let Ok(policy) = solve_truncated(&sub, self.opts.truncation_eps) {
+            self.policy = policy;
+            self.policy_start = t;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actions::ActionSet;
+    use crate::penalty::PenaltyModel;
+    use ft_market::{AcceptanceFn, LogitAcceptance, PriceGrid};
+    use ft_stats::{seeded_rng, Poisson};
+    use rand::rngs::StdRng;
+
+    fn problem() -> DeadlineProblem {
+        let acc = LogitAcceptance::new(4.0, 0.0, 30.0);
+        DeadlineProblem::new(
+            20,
+            vec![50.0; 12],
+            ActionSet::from_grid(PriceGrid::new(0, 20), &acc),
+            PenaltyModel::Linear { per_task: 500.0 },
+        )
+    }
+
+    /// Simulate a campaign where true arrivals are `ratio` × trained.
+    fn run_campaign(
+        pricer: &mut AdaptivePricer,
+        ratio: f64,
+        rng: &mut StdRng,
+    ) -> (u32, f64) {
+        let acc = LogitAcceptance::new(4.0, 0.0, 30.0);
+        let p = problem();
+        let mut remaining = p.n_tasks;
+        let mut paid = 0.0;
+        for t in 0..p.n_intervals() {
+            let price = pricer.price(remaining, t);
+            let idx = p.actions.index_of_reward(price).unwrap();
+            let _ = idx;
+            let true_mean = p.interval_arrivals[t] * ratio * acc.p(price as u32);
+            let raw = Poisson::new(true_mean).sample(rng);
+            let done = raw.min(remaining as u64) as u32;
+            paid += done as f64 * price;
+            remaining -= done;
+            if raw > done as u64 || remaining == 0 {
+                pricer.observe_censored();
+            } else {
+                pricer.observe(price, done as u64);
+            }
+            if remaining == 0 {
+                break;
+            }
+        }
+        (remaining, paid)
+    }
+
+    #[test]
+    fn correction_converges_to_true_ratio() {
+        for &ratio in &[0.5, 1.0, 1.8] {
+            let mut pricer = AdaptivePricer::new(problem(), AdaptiveOptions::default()).unwrap();
+            let mut rng = seeded_rng(17);
+            let _ = run_campaign(&mut pricer, ratio, &mut rng);
+            let est = pricer.correction();
+            assert!(
+                (est - ratio).abs() < 0.45,
+                "ratio {ratio}: estimated {est}"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_beats_static_on_quiet_days() {
+        // True arrivals at 50% of trained (the Jan-1 situation): the
+        // adaptive pricer should strand fewer tasks than the static-trained
+        // policy across many trials.
+        let p = problem();
+        let static_policy = solve_truncated(&p, 1e-9).unwrap();
+        let acc = LogitAcceptance::new(4.0, 0.0, 30.0);
+        let mut rng = seeded_rng(23);
+        let trials = 60;
+        let mut adaptive_rem = 0u32;
+        let mut static_rem = 0u32;
+        for _ in 0..trials {
+            let mut pricer =
+                AdaptivePricer::new(p.clone(), AdaptiveOptions::default()).unwrap();
+            let (rem, _) = run_campaign(&mut pricer, 0.5, &mut rng);
+            adaptive_rem += rem;
+            // Static policy on the same kind of day.
+            let mut remaining = p.n_tasks;
+            for t in 0..p.n_intervals() {
+                use crate::policy::PriceController;
+                let price = static_policy.price(remaining, t);
+                let mean = p.interval_arrivals[t] * 0.5 * acc.p(price as u32);
+                let done = Poisson::new(mean).sample(&mut rng).min(remaining as u64) as u32;
+                remaining -= done;
+                if remaining == 0 {
+                    break;
+                }
+            }
+            static_rem += remaining;
+        }
+        assert!(
+            adaptive_rem <= static_rem,
+            "adaptive stranded {adaptive_rem} vs static {static_rem}"
+        );
+    }
+
+    #[test]
+    fn no_observations_means_unit_correction() {
+        let pricer = AdaptivePricer::new(problem(), AdaptiveOptions::default()).unwrap();
+        assert_eq!(pricer.correction(), 1.0);
+    }
+
+    #[test]
+    fn correction_is_clamped() {
+        let mut pricer = AdaptivePricer::new(problem(), AdaptiveOptions::default()).unwrap();
+        // Observe absurdly many completions at a real price.
+        let price = pricer.price(20, 0);
+        pricer.observe(price, 1_000_000);
+        assert!(pricer.correction() <= AdaptiveOptions::default().max_correction);
+        // And absurdly few for many intervals.
+        for _ in 1..10 {
+            pricer.observe(price, 0);
+        }
+        assert!(pricer.correction() >= AdaptiveOptions::default().min_correction);
+    }
+
+    #[test]
+    fn matched_model_performs_like_static() {
+        // With ratio = 1 the adaptive pricer should cost about the same as
+        // the static-trained policy (no signal to act on).
+        let mut rng = seeded_rng(31);
+        let mut adaptive_paid = 0.0;
+        let trials = 40;
+        for _ in 0..trials {
+            let mut pricer =
+                AdaptivePricer::new(problem(), AdaptiveOptions::default()).unwrap();
+            let (_, paid) = run_campaign(&mut pricer, 1.0, &mut rng);
+            adaptive_paid += paid;
+        }
+        let p = problem();
+        let static_policy = solve_truncated(&p, 1e-9).unwrap();
+        let exact = static_policy.evaluate(&p);
+        let mean_adaptive = adaptive_paid / trials as f64;
+        assert!(
+            (mean_adaptive - exact.expected_paid).abs() / exact.expected_paid < 0.2,
+            "adaptive {mean_adaptive} vs static expectation {}",
+            exact.expected_paid
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! The Faridani et al. baseline (Section 3 / Section 5.2): binary search
+//! for the smallest *fixed* task reward such that all `N` tasks complete
+//! before the deadline with the required confidence.
+//!
+//! Under the NHPP model, the number of our tasks completed by the deadline
+//! at fixed reward `c` (with unlimited supply) is
+//! `X ~ Pois(Λ(T) · p(c))`; the baseline picks the smallest grid price with
+//! `Pr[X ≥ N] ≥ confidence`.
+
+use crate::actions::ActionSet;
+use crate::error::{PricingError, Result};
+use crate::policy::{FixedPrice, PriceController};
+use ft_stats::Poisson;
+use serde::{Deserialize, Serialize};
+
+/// A solved fixed-price baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FixedPriceSolution {
+    /// Chosen reward (cents).
+    pub reward: f64,
+    /// Acceptance probability at that reward (trained model).
+    pub accept: f64,
+    /// `Pr[all N tasks complete]` under the trained model.
+    pub prob_all_done: f64,
+    /// Worst-case total cost `N · reward` (every task paid at the fixed
+    /// price).
+    pub total_cost: f64,
+}
+
+impl FixedPriceSolution {
+    pub fn controller(&self) -> FixedPrice {
+        FixedPrice(self.reward)
+    }
+}
+
+/// Probability that at least `n` tasks complete by the deadline when the
+/// total expected arrival mass is `total_arrivals` and acceptance is `p`.
+pub fn completion_confidence(total_arrivals: f64, p: f64, n: u32) -> f64 {
+    Poisson::new(total_arrivals * p).sf(n as u64)
+}
+
+/// Binary search over the action set (Faridani's scheme).
+///
+/// Returns an error if even the highest price cannot reach the confidence.
+pub fn solve_fixed_price(
+    actions: &ActionSet,
+    total_arrivals: f64,
+    n_tasks: u32,
+    confidence: f64,
+) -> Result<FixedPriceSolution> {
+    assert!(
+        (0.0..1.0).contains(&confidence),
+        "confidence must be in [0,1), got {confidence}"
+    );
+    assert!(total_arrivals >= 0.0, "arrivals must be non-negative");
+    let last = actions.len() - 1;
+    let conf_at = |i: usize| {
+        completion_confidence(total_arrivals, actions.get(i).accept, n_tasks)
+    };
+    if conf_at(last) < confidence {
+        return Err(PricingError::Infeasible(format!(
+            "even the maximum reward {} reaches only {:.4} confidence (< {confidence})",
+            actions.get(last).reward,
+            conf_at(last)
+        )));
+    }
+    // conf_at is non-decreasing in the action index (acceptance is
+    // non-decreasing in reward): binary search the boundary.
+    let (mut lo, mut hi) = (0usize, last);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if conf_at(mid) >= confidence {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    let a = actions.get(lo);
+    Ok(FixedPriceSolution {
+        reward: a.reward,
+        accept: a.accept,
+        prob_all_done: conf_at(lo),
+        total_cost: n_tasks as f64 * a.reward,
+    })
+}
+
+/// Evaluate a fixed-price controller exactly under (possibly different)
+/// true dynamics: returns `(expected_paid, expected_remaining,
+/// prob_all_done)`.
+///
+/// With a fixed price the remaining-task count is a deterministic function
+/// of the total completion count `X ~ Pois(Σ λ_t · p_true)`, so no interval
+/// recursion is needed.
+pub fn evaluate_fixed_price(
+    reward: f64,
+    p_true: f64,
+    total_arrivals: f64,
+    n_tasks: u32,
+) -> (f64, f64, f64) {
+    let pois = Poisson::new(total_arrivals * p_true);
+    let n = n_tasks as u64;
+    // E[min(X, N)] = Σ_{k<N} k·pmf(k) + N·Pr[X ≥ N].
+    let mut exp_completed = 0.0;
+    let mut head = 0.0;
+    for k in 0..n {
+        let q = pois.pmf(k);
+        exp_completed += k as f64 * q;
+        head += q;
+    }
+    let tail = (1.0 - head).max(0.0);
+    exp_completed += n as f64 * tail;
+    let expected_paid = exp_completed * reward;
+    let expected_remaining = n_tasks as f64 - exp_completed;
+    (expected_paid, expected_remaining, tail)
+}
+
+/// Convenience: fixed price as a [`PriceController`] at a given reward.
+pub fn fixed_controller(reward: f64) -> impl PriceController {
+    FixedPrice(reward)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_market::{LogitAcceptance, PriceGrid};
+
+    fn paper_actions() -> ActionSet {
+        ActionSet::from_grid(PriceGrid::new(0, 40), &LogitAcceptance::paper_eq13())
+    }
+
+    #[test]
+    fn paper_fixed_price_is_about_16() {
+        // Section 5.2.1: the fixed strategy needs reward ≈ 16 for a 99.9%
+        // completion guarantee with N=200, T=24h, Eq. 13.
+        let actions = paper_actions();
+        let total = 5100.0 * 24.0;
+        let sol = solve_fixed_price(&actions, total, 200, 0.999).unwrap();
+        assert!(
+            (14.0..=18.0).contains(&sol.reward),
+            "fixed reward {} outside the paper's ballpark",
+            sol.reward
+        );
+        assert!(sol.prob_all_done >= 0.999);
+    }
+
+    #[test]
+    fn binary_search_finds_minimal_price() {
+        let actions = paper_actions();
+        let total = 5100.0 * 24.0;
+        let sol = solve_fixed_price(&actions, total, 200, 0.999).unwrap();
+        // One cent lower must fail the confidence.
+        let idx = actions.index_of_reward(sol.reward).unwrap();
+        if idx > 0 {
+            let below = actions.get(idx - 1);
+            assert!(completion_confidence(total, below.accept, 200) < 0.999);
+        }
+    }
+
+    #[test]
+    fn infeasible_when_market_too_small() {
+        let actions = paper_actions();
+        let err = solve_fixed_price(&actions, 50.0, 200, 0.999);
+        assert!(matches!(err, Err(PricingError::Infeasible(_))));
+    }
+
+    #[test]
+    fn evaluate_fixed_price_arithmetic() {
+        // N=1, λp = 1: P(done) = 1−e^{−1}; expected paid = c(1−e^{−1}).
+        let (paid, remaining, done) = evaluate_fixed_price(10.0, 0.5, 2.0, 1);
+        let p = 1.0 - (-1.0f64).exp();
+        assert!((done - p).abs() < 1e-12);
+        assert!((paid - 10.0 * p).abs() < 1e-12);
+        assert!((remaining - (1.0 - p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_true_acceptance_leaves_tasks() {
+        // Fig. 9's qualitative claim: the fixed strategy fails outright
+        // when the true acceptance is below the trained one.
+        let actions = paper_actions();
+        let total = 5100.0 * 24.0;
+        let sol = solve_fixed_price(&actions, total, 200, 0.999).unwrap();
+        let (_, rem_ok, _) = evaluate_fixed_price(sol.reward, sol.accept, total, 200);
+        let (_, rem_bad, _) =
+            evaluate_fixed_price(sol.reward, sol.accept * 0.6, total, 200);
+        assert!(rem_ok < 0.1);
+        assert!(rem_bad > 5.0, "degraded acceptance should strand tasks");
+    }
+}

@@ -1,0 +1,198 @@
+//! Theorem 6: the exact pseudo-polynomial DP for the fixed-budget problem.
+//!
+//! `f(i, b)` = minimum `Σ_{j≤i} 1/p(c_j)` over assignments of the first `i`
+//! tasks using budget at most `b`. `O(N · B · C)` time, `O(N · B)` space —
+//! exact but much slower than Algorithm 3; used as the optimality oracle in
+//! tests and the solver-ablation bench.
+
+use super::{BudgetProblem, StaticStrategy};
+use crate::error::{PricingError, Result};
+
+/// Solve exactly. Requires integer rewards and an integer-valued budget
+/// (fractional budgets are floored — cents are the atomic unit).
+pub fn solve_budget_exact(problem: &BudgetProblem) -> Result<StaticStrategy> {
+    let n = problem.n_tasks as usize;
+    let budget = problem.budget.floor();
+    if budget < 0.0 {
+        return Err(PricingError::InvalidProblem("negative budget".into()));
+    }
+    let b_max = budget as usize;
+
+    // Collect integer actions with positive acceptance.
+    let mut acts: Vec<(usize, f64)> = Vec::new(); // (price, 1/p)
+    for a in problem.actions.iter() {
+        if a.accept <= 0.0 {
+            continue;
+        }
+        let c = a.reward.round();
+        if (a.reward - c).abs() > 1e-9 || c < 0.0 {
+            return Err(PricingError::InvalidProblem(format!(
+                "exact solver needs integer cent rewards, got {}",
+                a.reward
+            )));
+        }
+        acts.push((c as usize, 1.0 / a.accept));
+    }
+    if acts.is_empty() {
+        return Err(PricingError::InvalidProblem(
+            "no action with positive acceptance".into(),
+        ));
+    }
+    let min_price = acts.iter().map(|&(c, _)| c).min().expect("non-empty");
+    if min_price * n > b_max {
+        return Err(PricingError::Infeasible(format!(
+            "budget {b_max} below N·c_min = {}",
+            min_price * n
+        )));
+    }
+
+    // f[b] after i tasks; choice[i][b] records the price of task i.
+    let width = b_max + 1;
+    let mut f = vec![0.0f64; width];
+    let mut choice = vec![u32::MAX; n * width];
+    for i in 0..n {
+        let mut g = vec![f64::INFINITY; width];
+        for b in 0..width {
+            for &(c, inv_p) in &acts {
+                if c > b {
+                    continue;
+                }
+                let prev = f[b - c];
+                if !prev.is_finite() {
+                    continue;
+                }
+                let v = prev + inv_p;
+                if v < g[b] {
+                    g[b] = v;
+                    choice[i * width + b] = c as u32;
+                }
+            }
+        }
+        f = g;
+    }
+
+    if !f[b_max].is_finite() {
+        return Err(PricingError::Infeasible(
+            "no feasible assignment (should be unreachable)".into(),
+        ));
+    }
+
+    // f is non-increasing in b by construction of the ≤ constraint only if
+    // we scan for the best b; do that explicitly for safety.
+    let mut best_b = b_max;
+    for b in 0..width {
+        if f[b] < f[best_b] {
+            best_b = b;
+        }
+    }
+
+    // Reconstruct counts.
+    let mut counts = std::collections::BTreeMap::new();
+    let mut b = best_b;
+    for i in (0..n).rev() {
+        let c = choice[i * width + b];
+        assert!(c != u32::MAX, "reconstruction hit an unreachable cell");
+        *counts.entry(c).or_insert(0u32) += 1;
+        b -= c as usize;
+    }
+    Ok(StaticStrategy::new(counts.into_iter().collect()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::hull::solve_budget_hull;
+    use super::super::test_support::tiny_budget_problem;
+    use super::super::BudgetProblem;
+    use super::*;
+    use crate::actions::ActionSet;
+    use ft_market::{AcceptanceFn, LogitAcceptance, PriceGrid};
+
+    fn arrivals_of(problem: &BudgetProblem, s: &StaticStrategy) -> f64 {
+        s.expected_arrivals(|c| {
+            let i = problem.actions.index_of_reward(c as f64).unwrap();
+            problem.actions.get(i).accept
+        })
+    }
+
+    #[test]
+    fn exact_respects_constraints() {
+        let p = tiny_budget_problem();
+        let s = solve_budget_exact(&p).unwrap();
+        assert_eq!(s.n_tasks(), p.n_tasks);
+        assert!(s.within_budget(p.budget));
+    }
+
+    #[test]
+    fn exact_beats_or_matches_hull_within_gap() {
+        // Exact optimum ≤ hull value; hull ≤ exact + Theorem 8 gap.
+        for budget in [30.0, 45.0, 60.0, 80.0, 120.0] {
+            let mut p = tiny_budget_problem();
+            p.budget = budget;
+            if budget < 10.0 {
+                continue;
+            }
+            let exact = solve_budget_exact(&p).unwrap();
+            let hull = solve_budget_hull(&p).unwrap();
+            let e = arrivals_of(&p, &exact);
+            let h = hull.expected_arrivals;
+            assert!(e <= h + 1e-9, "exact {e} worse than hull {h} (B={budget})");
+            assert!(
+                h <= e + hull.rounding_gap_bound + 1e-9,
+                "hull {h} exceeds exact {e} + gap {} (B={budget})",
+                hull.rounding_gap_bound
+            );
+        }
+    }
+
+    #[test]
+    fn exact_is_optimal_vs_brute_force() {
+        // 4 tasks, prices 1..=6: enumerate all multisets and verify.
+        let acc = LogitAcceptance::new(3.0, 0.0, 10.0);
+        let p = BudgetProblem::new(
+            4,
+            14.0,
+            ActionSet::from_grid(PriceGrid::new(1, 6), &acc),
+            50.0,
+        );
+        let exact = solve_budget_exact(&p).unwrap();
+        let e = arrivals_of(&p, &exact);
+        // Brute force over c1 ≤ c2 ≤ c3 ≤ c4.
+        let mut best = f64::INFINITY;
+        for a in 1..=6u32 {
+            for b in a..=6 {
+                for c in b..=6 {
+                    for d in c..=6 {
+                        if (a + b + c + d) as f64 <= 14.0 {
+                            let v: f64 = [a, b, c, d]
+                                .iter()
+                                .map(|&x| 1.0 / acc.p(x))
+                                .sum();
+                            best = best.min(v);
+                        }
+                    }
+                }
+            }
+        }
+        assert!((e - best).abs() < 1e-9, "exact {e} vs brute force {best}");
+    }
+
+    #[test]
+    fn infeasible_budget() {
+        let mut p = tiny_budget_problem();
+        p.budget = 5.0;
+        assert!(matches!(
+            solve_budget_exact(&p),
+            Err(PricingError::Infeasible(_))
+        ));
+    }
+
+    #[test]
+    fn exact_optimum_uses_at_most_two_hull_prices_often() {
+        // Sanity: on a convex 1/p curve the exact optimum should also
+        // concentrate on ≤ 2 prices (Theorem 7 applies to the LP, but the
+        // IP optimum stays close).
+        let p = tiny_budget_problem();
+        let s = solve_budget_exact(&p).unwrap();
+        assert!(s.counts().len() <= 3);
+    }
+}

@@ -1,0 +1,208 @@
+//! Algorithm 3: the near-optimal static strategy via the lower convex hull
+//! of `(c, 1/p(c))` (Theorem 7), with the Theorem 8 rounding bound.
+
+use super::{BudgetProblem, StaticStrategy};
+use crate::error::{PricingError, Result};
+use ft_stats::convex::{lower_hull_indices, Point};
+use serde::{Deserialize, Serialize};
+
+/// Output of Algorithm 3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HullSolution {
+    /// The rounded two-price static strategy.
+    pub strategy: StaticStrategy,
+    /// Its expected worker arrivals `Σ n_c / p(c)`.
+    pub expected_arrivals: f64,
+    /// The LP-relaxation optimum (lower bound on any static strategy).
+    pub lp_lower_bound: f64,
+    /// Theorem 8's bound on the rounding gap:
+    /// `1/p(c1) − 1/p(c2)` (0 when a single price is used).
+    pub rounding_gap_bound: f64,
+    /// Expected completion time in hours (`E[W]/λ̄`).
+    pub expected_hours: f64,
+}
+
+/// Solve the fixed-budget problem with Algorithm 3.
+///
+/// Integer rewards are required (they index the static strategy); actions
+/// with zero acceptance are ignored (they can never complete a task).
+pub fn solve_budget_hull(problem: &BudgetProblem) -> Result<HullSolution> {
+    let n = problem.n_tasks;
+    let budget = problem.budget;
+
+    // Candidate points (c, 1/p(c)).
+    let mut prices: Vec<u32> = Vec::new();
+    let mut points: Vec<Point> = Vec::new();
+    for a in problem.actions.iter() {
+        if a.accept <= 0.0 {
+            continue;
+        }
+        let c = a.reward.round();
+        if (a.reward - c).abs() > 1e-9 || c < 0.0 {
+            return Err(PricingError::InvalidProblem(format!(
+                "hull solver needs integer cent rewards, got {}",
+                a.reward
+            )));
+        }
+        prices.push(c as u32);
+        points.push(Point::new(c, 1.0 / a.accept));
+    }
+    if points.is_empty() {
+        return Err(PricingError::InvalidProblem(
+            "no action with positive acceptance".into(),
+        ));
+    }
+
+    let hull = lower_hull_indices(&points);
+    let per_task = budget / n as f64;
+
+    // c1 = max{c ∈ CH : c ≤ B/N}; c2 = min{c ∈ CH : c > B/N}.
+    let mut i1: Option<usize> = None;
+    let mut i2: Option<usize> = None;
+    for &h in &hull {
+        let c = prices[h] as f64;
+        if c <= per_task + 1e-12 {
+            i1 = Some(h);
+        } else if i2.is_none() {
+            i2 = Some(h);
+        }
+    }
+
+    let Some(i1) = i1 else {
+        return Err(PricingError::Infeasible(format!(
+            "budget {budget} cannot cover {n} tasks even at the minimum price {}",
+            prices[hull[0]]
+        )));
+    };
+
+    let c1 = prices[i1];
+    let inv_p1 = points[i1].y;
+
+    let (strategy, expected, lp_bound, gap) = match i2 {
+        None => {
+            // B/N at or beyond the most expensive hull price: everything at
+            // c1, no rounding gap.
+            let s = StaticStrategy::uniform(c1, n);
+            let e = n as f64 * inv_p1;
+            (s, e, e, 0.0)
+        }
+        Some(i2) => {
+            let c2 = prices[i2];
+            let inv_p2 = points[i2].y;
+            // Fractional LP split, then round n1 up (Algorithm 3).
+            let n1_frac = (c2 as f64 * n as f64 - budget) / (c2 - c1) as f64;
+            let lp = n1_frac * inv_p1 + (n as f64 - n1_frac) * inv_p2;
+            let n1 = (n1_frac.ceil().max(0.0) as u32).min(n);
+            let n2 = n - n1;
+            let s = StaticStrategy::new(vec![(c1, n1), (c2, n2)]);
+            let e = n1 as f64 * inv_p1 + n2 as f64 * inv_p2;
+            (s, e, lp, inv_p1 - inv_p2)
+        }
+    };
+
+    debug_assert!(
+        strategy.within_budget(budget),
+        "Algorithm 3 produced an over-budget strategy"
+    );
+    Ok(HullSolution {
+        expected_hours: problem.arrivals_to_hours(expected),
+        strategy,
+        expected_arrivals: expected,
+        lp_lower_bound: lp_bound,
+        rounding_gap_bound: gap,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::{paper_budget_problem, tiny_budget_problem};
+    use super::*;
+
+    #[test]
+    fn solution_respects_constraints() {
+        for p in [paper_budget_problem(), tiny_budget_problem()] {
+            let sol = solve_budget_hull(&p).unwrap();
+            assert_eq!(sol.strategy.n_tasks(), p.n_tasks);
+            assert!(sol.strategy.within_budget(p.budget));
+            // At most two distinct prices (Theorem 7).
+            assert!(sol.strategy.counts().len() <= 2);
+        }
+    }
+
+    #[test]
+    fn theorem8_gap_contains_solution() {
+        for p in [paper_budget_problem(), tiny_budget_problem()] {
+            let sol = solve_budget_hull(&p).unwrap();
+            assert!(sol.expected_arrivals >= sol.lp_lower_bound - 1e-9);
+            assert!(
+                sol.expected_arrivals <= sol.lp_lower_bound + sol.rounding_gap_bound + 1e-9,
+                "rounded value exceeds LP + gap"
+            );
+        }
+    }
+
+    #[test]
+    fn bracketing_prices_straddle_budget_per_task() {
+        let p = paper_budget_problem();
+        let sol = solve_budget_hull(&p).unwrap();
+        let per_task = p.budget_per_task();
+        let counts = sol.strategy.counts();
+        if counts.len() == 2 {
+            assert!((counts[0].0 as f64) <= per_task);
+            assert!((counts[1].0 as f64) > per_task);
+        }
+    }
+
+    #[test]
+    fn generous_budget_single_top_price() {
+        let mut p = tiny_budget_problem();
+        p.budget = 10_000.0;
+        let sol = solve_budget_hull(&p).unwrap();
+        assert_eq!(sol.strategy.counts().len(), 1);
+        assert_eq!(sol.rounding_gap_bound, 0.0);
+    }
+
+    #[test]
+    fn infeasible_budget_rejected() {
+        let mut p = tiny_budget_problem();
+        p.budget = 0.5; // below N · c_min = 10 · 1
+        assert!(matches!(
+            solve_budget_hull(&p),
+            Err(PricingError::Infeasible(_))
+        ));
+    }
+
+    #[test]
+    fn beats_every_uniform_strategy() {
+        // The hull solution must weakly beat any single-price strategy that
+        // fits the budget (they're all feasible static strategies).
+        let p = tiny_budget_problem();
+        let sol = solve_budget_hull(&p).unwrap();
+        for a in p.actions.iter() {
+            let c = a.reward as u32;
+            if (c as f64) * (p.n_tasks as f64) <= p.budget && a.accept > 0.0 {
+                let uniform = StaticStrategy::uniform(c, p.n_tasks);
+                let e = uniform.expected_arrivals(|cc| {
+                    let i = p.actions.index_of_reward(cc as f64).unwrap();
+                    p.actions.get(i).accept
+                });
+                assert!(
+                    sol.expected_arrivals <= e + sol.rounding_gap_bound + 1e-9,
+                    "uniform at {c} beats hull by more than the gap"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_scenario_average_near_budget_per_task() {
+        // With B/N = 12.5 and Eq. 13, the chosen prices straddle 12/13.
+        let p = paper_budget_problem();
+        let sol = solve_budget_hull(&p).unwrap();
+        let counts = sol.strategy.counts();
+        let avg = sol.strategy.total_cost() / p.n_tasks as f64;
+        assert!(avg <= 12.5 + 1e-9);
+        assert!(avg > 10.0, "budget should be nearly exhausted, avg={avg}");
+        assert!(counts.iter().all(|&(c, _)| (8..=16).contains(&c)));
+    }
+}

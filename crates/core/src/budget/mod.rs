@@ -1,0 +1,105 @@
+//! Fixed-budget pricing (Section 4): minimize expected completion time for
+//! `N` tasks under a total budget `B`.
+//!
+//! Key results implemented here:
+//! - Theorem 5: a semi-static strategy's expected worker-arrival count is
+//!   `E[W] = Σ 1/p(c_i)`, independent of order ([`semi_static`]).
+//! - Theorems 3/4: static strategies are optimal; the search reduces to
+//!   choosing counts `n_c` minimizing `Σ n_c/p(c)` under
+//!   `Σ n_c = N, Σ n_c·c ≤ B` ([`StaticStrategy`]).
+//! - Theorem 7 / Algorithm 3: the LP relaxation puts all mass on two
+//!   adjacent lower-convex-hull prices around `B/N` ([`hull`]).
+//! - Theorem 6: a pseudo-polynomial exact DP ([`exact`]).
+//! - Section 4.2.2: `E[T] ≈ E[W]/λ̄` converts arrivals to latency.
+
+mod exact;
+mod hull;
+mod mdp;
+mod semi_static;
+mod static_strategy;
+
+pub use exact::solve_budget_exact;
+pub use hull::{solve_budget_hull, HullSolution};
+pub use mdp::{solve_budget_mdp, BudgetMdpPolicy};
+pub use semi_static::SemiStaticStrategy;
+pub use static_strategy::StaticStrategy;
+
+use crate::actions::ActionSet;
+use serde::{Deserialize, Serialize};
+
+/// A fixed-budget problem: `N` tasks, budget `B` (cents), an action set
+/// (price → acceptance), and the long-run mean arrival rate λ̄
+/// (workers/hour) for the latency conversion.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BudgetProblem {
+    pub n_tasks: u32,
+    pub budget: f64,
+    pub actions: ActionSet,
+    /// Mean worker arrival rate λ̄ (workers per hour).
+    pub mean_rate: f64,
+}
+
+impl BudgetProblem {
+    pub fn new(n_tasks: u32, budget: f64, actions: ActionSet, mean_rate: f64) -> Self {
+        assert!(n_tasks > 0, "need at least one task");
+        assert!(budget >= 0.0 && budget.is_finite(), "invalid budget");
+        assert!(mean_rate > 0.0, "mean rate must be positive");
+        Self {
+            n_tasks,
+            budget,
+            actions,
+            mean_rate,
+        }
+    }
+
+    /// Per-task budget `B/N`.
+    pub fn budget_per_task(&self) -> f64 {
+        self.budget / self.n_tasks as f64
+    }
+
+    /// Convert an expected worker-arrival count to expected hours
+    /// (Section 4.2.2 linearity: `E[T|W] = W/λ̄`).
+    pub fn arrivals_to_hours(&self, expected_arrivals: f64) -> f64 {
+        expected_arrivals / self.mean_rate
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use ft_market::{LogitAcceptance, PriceGrid};
+
+    pub fn paper_budget_problem() -> BudgetProblem {
+        // Section 5.3: N = 200, B = 2500 cents, Eq. 13 acceptance,
+        // λ̄ ≈ 5100 workers/hour.
+        BudgetProblem::new(
+            200,
+            2500.0,
+            ActionSet::from_grid(PriceGrid::new(1, 40), &LogitAcceptance::paper_eq13()),
+            5100.0,
+        )
+    }
+
+    pub fn tiny_budget_problem() -> BudgetProblem {
+        let acc = LogitAcceptance::new(4.0, 0.0, 20.0);
+        BudgetProblem::new(10, 60.0, ActionSet::from_grid(PriceGrid::new(1, 12), &acc), 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::*;
+
+    #[test]
+    fn budget_per_task() {
+        let p = paper_budget_problem();
+        assert!((p.budget_per_task() - 12.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arrivals_to_hours_uses_mean_rate() {
+        let p = paper_budget_problem();
+        assert!((p.arrivals_to_hours(5100.0) - 1.0).abs() < 1e-12);
+        assert!((p.arrivals_to_hours(122_400.0) - 24.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,122 @@
+//! Semi-static pricing strategies (Definition 2) and Theorem 5.
+//!
+//! A semi-static strategy posts price `c_1` until one task completes, then
+//! `c_2`, and so on. Theorem 4 shows the optimal dynamic strategy has this
+//! form; Theorem 5 shows its expected worker-arrival count is
+//! `E[W] = Σ_i 1/p(c_i)` — independent of the order of the `c_i`, which is
+//! what lets a static (descending) reordering match it.
+
+use ft_stats::Geometric;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A semi-static strategy: the i-th price applies until the i-th task
+/// completes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SemiStaticStrategy {
+    prices: Vec<u32>,
+}
+
+impl SemiStaticStrategy {
+    pub fn new(prices: Vec<u32>) -> Self {
+        assert!(!prices.is_empty(), "need at least one price");
+        Self { prices }
+    }
+
+    pub fn prices(&self) -> &[u32] {
+        &self.prices
+    }
+
+    pub fn n_tasks(&self) -> u32 {
+        self.prices.len() as u32
+    }
+
+    /// Total monetary cost (each task pays its stage price).
+    pub fn total_cost(&self) -> f64 {
+        self.prices.iter().map(|&c| c as f64).sum()
+    }
+
+    /// Theorem 5: `E[W] = Σ 1/p(c_i)`.
+    pub fn expected_arrivals<F: Fn(u32) -> f64>(&self, p: F) -> f64 {
+        self.prices
+            .iter()
+            .map(|&c| {
+                let pc = p(c);
+                assert!(pc > 0.0, "acceptance must be positive at price {c}");
+                1.0 / pc
+            })
+            .sum()
+    }
+
+    /// Sample the total worker-arrival count `W`: per stage `i`, arrivals
+    /// until one accepts are `1 + Geom(p(c_i))` failures.
+    pub fn sample_arrivals<F: Fn(u32) -> f64, R: Rng + ?Sized>(
+        &self,
+        p: F,
+        rng: &mut R,
+    ) -> u64 {
+        self.prices
+            .iter()
+            .map(|&c| Geometric::new(p(c)).sample(rng) + 1)
+            .sum()
+    }
+
+    /// The descending-order static reordering (the bridge in the proof of
+    /// Theorem 3).
+    pub fn to_static_order(&self) -> SemiStaticStrategy {
+        let mut prices = self.prices.clone();
+        prices.sort_unstable_by(|a, b| b.cmp(a));
+        SemiStaticStrategy::new(prices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_stats::seeded_rng;
+
+    fn p_of(c: u32) -> f64 {
+        // Any increasing map into (0, 1].
+        (c as f64 / (c as f64 + 10.0)).max(0.01)
+    }
+
+    #[test]
+    fn theorem5_order_invariance() {
+        let a = SemiStaticStrategy::new(vec![3, 9, 1, 7]);
+        let b = SemiStaticStrategy::new(vec![9, 7, 3, 1]);
+        let wa = a.expected_arrivals(p_of);
+        let wb = b.expected_arrivals(p_of);
+        assert!((wa - wb).abs() < 1e-12, "E[W] must be order-invariant");
+    }
+
+    #[test]
+    fn static_reordering_descends_and_preserves_cost() {
+        let s = SemiStaticStrategy::new(vec![3, 9, 1, 7]);
+        let t = s.to_static_order();
+        assert_eq!(t.prices(), &[9, 7, 3, 1]);
+        assert_eq!(s.total_cost(), t.total_cost());
+        assert!((s.expected_arrivals(p_of) - t.expected_arrivals(p_of)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_arrivals_match_theorem5() {
+        let s = SemiStaticStrategy::new(vec![5, 5, 20]);
+        let expect = s.expected_arrivals(p_of);
+        let mut rng = seeded_rng(11);
+        let trials = 60_000;
+        let mean = (0..trials)
+            .map(|_| s.sample_arrivals(p_of, &mut rng))
+            .sum::<u64>() as f64
+            / trials as f64;
+        assert!(
+            (mean - expect).abs() < 0.05 * expect,
+            "sampled {mean} vs Theorem 5 {expect}"
+        );
+    }
+
+    #[test]
+    fn single_task_expected_arrivals() {
+        let s = SemiStaticStrategy::new(vec![10]);
+        assert!((s.expected_arrivals(|_| 0.25) - 4.0).abs() < 1e-12);
+    }
+}

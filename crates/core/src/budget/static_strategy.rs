@@ -1,0 +1,139 @@
+//! Static pricing strategies (Definition 1): per-task rewards fixed
+//! up-front, not necessarily all equal.
+
+use super::BudgetProblem;
+use serde::{Deserialize, Serialize};
+
+/// A static strategy as price → count multiplicities.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StaticStrategy {
+    /// `(reward cents, task count)` pairs with distinct rewards, count > 0.
+    counts: Vec<(u32, u32)>,
+}
+
+impl StaticStrategy {
+    pub fn new(mut counts: Vec<(u32, u32)>) -> Self {
+        counts.retain(|&(_, n)| n > 0);
+        assert!(!counts.is_empty(), "strategy must price at least one task");
+        counts.sort_by_key(|&(c, _)| c);
+        for w in counts.windows(2) {
+            assert!(w[0].0 < w[1].0, "duplicate price {}", w[0].0);
+        }
+        Self { counts }
+    }
+
+    /// All tasks at a single price.
+    pub fn uniform(price: u32, n_tasks: u32) -> Self {
+        Self::new(vec![(price, n_tasks)])
+    }
+
+    pub fn counts(&self) -> &[(u32, u32)] {
+        &self.counts
+    }
+
+    /// Total number of tasks priced.
+    pub fn n_tasks(&self) -> u32 {
+        self.counts.iter().map(|&(_, n)| n).sum()
+    }
+
+    /// Total monetary cost `Σ n_c · c` (every task eventually completes and
+    /// pays its posted reward).
+    pub fn total_cost(&self) -> f64 {
+        self.counts
+            .iter()
+            .map(|&(c, n)| c as f64 * n as f64)
+            .sum()
+    }
+
+    /// Expected total worker arrivals `E[W] = Σ n_c / p(c)` (Theorem 5
+    /// applied to the descending-price execution order).
+    pub fn expected_arrivals<F: Fn(u32) -> f64>(&self, p: F) -> f64 {
+        self.counts
+            .iter()
+            .map(|&(c, n)| {
+                let pc = p(c);
+                assert!(pc > 0.0, "acceptance must be positive at price {c}");
+                n as f64 / pc
+            })
+            .sum()
+    }
+
+    /// Expected completion latency in hours under a problem's mean rate.
+    pub fn expected_hours(&self, problem: &BudgetProblem) -> f64 {
+        let arrivals = self.expected_arrivals(|c| {
+            let idx = problem
+                .actions
+                .index_of_reward(c as f64)
+                .unwrap_or_else(|| panic!("price {c} not in action set"));
+            problem.actions.get(idx).accept
+        });
+        problem.arrivals_to_hours(arrivals)
+    }
+
+    /// The execution-order price sequence: descending prices, since only
+    /// the highest-priced tasks are picked up first (Section 4.1).
+    pub fn price_sequence(&self) -> Vec<u32> {
+        let mut seq = Vec::with_capacity(self.n_tasks() as usize);
+        for &(c, n) in self.counts.iter().rev() {
+            seq.extend(std::iter::repeat_n(c, n as usize));
+        }
+        seq
+    }
+
+    /// Check the budget constraint.
+    pub fn within_budget(&self, budget: f64) -> bool {
+        self.total_cost() <= budget + 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::tiny_budget_problem;
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let s = StaticStrategy::new(vec![(5, 3), (8, 2)]);
+        assert_eq!(s.n_tasks(), 5);
+        assert_eq!(s.total_cost(), 31.0);
+        assert!(s.within_budget(31.0));
+        assert!(!s.within_budget(30.0));
+    }
+
+    #[test]
+    fn drops_zero_counts_and_sorts() {
+        let s = StaticStrategy::new(vec![(9, 1), (2, 0), (4, 2)]);
+        assert_eq!(s.counts(), &[(4, 2), (9, 1)]);
+    }
+
+    #[test]
+    fn expected_arrivals_theorem5_form() {
+        let s = StaticStrategy::new(vec![(5, 2), (10, 1)]);
+        // p(5) = 0.5, p(10) = 0.25 → E[W] = 2/0.5 + 1/0.25 = 8.
+        let w = s.expected_arrivals(|c| if c == 5 { 0.5 } else { 0.25 });
+        assert!((w - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn price_sequence_descends() {
+        let s = StaticStrategy::new(vec![(5, 2), (10, 1)]);
+        assert_eq!(s.price_sequence(), vec![10, 5, 5]);
+    }
+
+    #[test]
+    fn expected_hours_consistent() {
+        let p = tiny_budget_problem();
+        let s = StaticStrategy::uniform(6, 10);
+        let idx = p.actions.index_of_reward(6.0).unwrap();
+        let acc = p.actions.get(idx).accept;
+        let expect = 10.0 / acc / p.mean_rate;
+        assert!((s.expected_hours(&p) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in action set")]
+    fn expected_hours_rejects_offgrid_price() {
+        let p = tiny_budget_problem();
+        StaticStrategy::uniform(99, 10).expected_hours(&p);
+    }
+}

@@ -1,0 +1,165 @@
+//! Penalty ↔ bound calibration (Theorem 2 / Section 3.3).
+//!
+//! The MDP optimizes `E[paid] + Penalty · E[remaining]`; users usually want
+//! "minimize E[paid] subject to E[remaining] ≤ bound". Theorem 2 says the
+//! two are equivalent for the right `Penalty`, found here by monotone
+//! binary search against the exact forward evaluation of each candidate
+//! policy.
+
+use crate::dp::solve_truncated;
+use crate::error::{PricingError, Result};
+use crate::policy::{DeadlinePolicy, ExactOutcome};
+use crate::problem::DeadlineProblem;
+
+/// Result of a calibration run.
+#[derive(Debug, Clone)]
+pub struct CalibratedPolicy {
+    pub policy: DeadlinePolicy,
+    /// The per-task penalty that achieved the bound.
+    pub penalty_per_task: f64,
+    /// Exact outcome of the calibrated policy under the trained dynamics.
+    pub outcome: ExactOutcome,
+}
+
+/// Calibration options.
+#[derive(Debug, Clone, Copy)]
+pub struct CalibrateOptions {
+    /// Poisson truncation ε used for each inner solve.
+    pub truncation_eps: f64,
+    /// Bisection iterations after bracketing.
+    pub max_iters: usize,
+    /// Initial penalty guess.
+    pub initial_penalty: f64,
+}
+
+impl Default for CalibrateOptions {
+    fn default() -> Self {
+        Self {
+            truncation_eps: 1e-9,
+            max_iters: 40,
+            initial_penalty: 100.0,
+        }
+    }
+}
+
+fn expected_remaining_at(problem: &DeadlineProblem, penalty: f64, eps: f64) -> Result<(DeadlinePolicy, ExactOutcome)> {
+    let prob = problem.with_penalty(problem.penalty.with_per_task(penalty));
+    let policy = solve_truncated(&prob, eps)?;
+    let outcome = policy.evaluate(&prob);
+    Ok((policy, outcome))
+}
+
+/// Find the smallest penalty whose optimal policy leaves at most `bound`
+/// tasks unfinished in expectation, and return that policy.
+///
+/// Errors with [`PricingError::Infeasible`] when even an enormous penalty
+/// cannot push the expected remainder below `bound` (the marketplace simply
+/// cannot absorb the batch at the maximum price).
+pub fn calibrate_penalty(
+    problem: &DeadlineProblem,
+    bound: f64,
+    opts: CalibrateOptions,
+) -> Result<CalibratedPolicy> {
+    assert!(bound >= 0.0, "bound must be non-negative");
+    assert!(opts.initial_penalty > 0.0, "initial penalty must be positive");
+
+    // Bracket: find hi with E[remaining](hi) ≤ bound. The cap matters:
+    // once the penalty dwarfs every achievable payment the policy is
+    // saturated at the maximum price, and pushing further only destroys
+    // the float precision of the Bellman argmin.
+    let penalty_cap = 1e7 * problem.actions.max_reward().max(1.0);
+    let mut hi = opts.initial_penalty;
+    let mut hi_result = expected_remaining_at(problem, hi, opts.truncation_eps)?;
+    while hi_result.1.expected_remaining > bound {
+        if hi >= penalty_cap {
+            return Err(PricingError::Infeasible(format!(
+                "expected remaining {:.4} still above bound {bound} at penalty {hi:.3e} \
+                 (the marketplace cannot absorb the batch even at the maximum price)",
+                hi_result.1.expected_remaining
+            )));
+        }
+        hi = (hi * 4.0).min(penalty_cap);
+        hi_result = expected_remaining_at(problem, hi, opts.truncation_eps)?;
+    }
+    // Lower bracket at 0 penalty (policy pays nothing, leaves everything).
+    let mut lo = 0.0f64;
+
+    let mut best = hi_result;
+    let mut best_penalty = hi;
+    for _ in 0..opts.max_iters {
+        let mid = 0.5 * (lo + hi);
+        if mid <= lo || mid >= hi {
+            break;
+        }
+        let mid_result = expected_remaining_at(problem, mid, opts.truncation_eps)?;
+        if mid_result.1.expected_remaining <= bound {
+            hi = mid;
+            best = mid_result;
+            best_penalty = mid;
+        } else {
+            lo = mid;
+        }
+    }
+
+    Ok(CalibratedPolicy {
+        policy: best.0,
+        penalty_per_task: best_penalty,
+        outcome: best.1,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::test_support::small_problem;
+
+    #[test]
+    fn calibration_meets_bound() {
+        let p = small_problem(10, 5);
+        for bound in [2.0, 0.5, 0.05] {
+            let cal = calibrate_penalty(&p, bound, CalibrateOptions::default()).unwrap();
+            assert!(
+                cal.outcome.expected_remaining <= bound + 1e-9,
+                "bound {bound} missed: {}",
+                cal.outcome.expected_remaining
+            );
+        }
+    }
+
+    #[test]
+    fn tighter_bound_costs_more() {
+        let p = small_problem(10, 5);
+        let loose = calibrate_penalty(&p, 2.0, CalibrateOptions::default()).unwrap();
+        let tight = calibrate_penalty(&p, 0.05, CalibrateOptions::default()).unwrap();
+        assert!(tight.outcome.expected_paid >= loose.outcome.expected_paid - 1e-9);
+        assert!(tight.penalty_per_task >= loose.penalty_per_task);
+    }
+
+    #[test]
+    fn theorem2_optimality_within_family() {
+        // The calibrated policy must be (weakly) the cheapest among all
+        // penalty-indexed policies that also meet the bound — scan a grid
+        // of penalties as "competitors".
+        let p = small_problem(8, 4);
+        let bound = 0.3;
+        let cal = calibrate_penalty(&p, bound, CalibrateOptions::default()).unwrap();
+        for pen in [1.0, 5.0, 20.0, 80.0, 320.0, 1280.0, 5120.0] {
+            let competitor = expected_remaining_at(&p, pen, 1e-9).unwrap().1;
+            if competitor.expected_remaining <= bound {
+                assert!(
+                    cal.outcome.expected_paid <= competitor.expected_paid + 1e-6,
+                    "penalty {pen} meets the bound more cheaply"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_bound_detected() {
+        // One worker expected in total: cannot finish 10 tasks whp.
+        let mut p = small_problem(10, 2);
+        p.interval_arrivals = vec![0.5, 0.5];
+        let err = calibrate_penalty(&p, 1e-6, CalibrateOptions::default());
+        assert!(matches!(err, Err(PricingError::Infeasible(_))));
+    }
+}

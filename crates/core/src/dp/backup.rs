@@ -1,0 +1,223 @@
+//! The shared Bellman backup of the deadline MDP.
+//!
+//! At state `(n, t)` with action reward `c` and acceptance `p`, completions
+//! in the interval follow `X ~ Pois(λ_t · p)` (Eq. 5):
+//!
+//! `Q(n, t, c) = Σ_{s<n} Pr[X=s]·(s·c + Opt(n−s, t+1))
+//!             + Pr[X≥n]·(n·c + Opt(0, t+1))`
+//!
+//! With truncation at `s₀` (Section 3.2), individual terms with `s > s₀`
+//! are dropped, and the collapsed `X ≥ n` tail is dropped when `n > s₀`.
+
+use crate::actions::PriceAction;
+use crate::problem::DeadlineProblem;
+use ft_stats::Poisson;
+
+/// Per-`(interval, action)` truncation points `s₀` for a given ε
+/// (`usize::MAX` rows mean "no truncation").
+#[derive(Debug, Clone)]
+pub struct TruncationTable {
+    /// `s0[t * n_actions + a]`.
+    s0: Vec<usize>,
+    n_actions: usize,
+}
+
+impl TruncationTable {
+    /// No truncation: the simple Algorithm 1 behavior.
+    pub fn none(problem: &DeadlineProblem) -> Self {
+        Self {
+            s0: vec![usize::MAX; problem.n_intervals() * problem.actions.len()],
+            n_actions: problem.actions.len(),
+        }
+    }
+
+    /// Truncation at tail mass `eps` (Table 1 semantics): the per-cell `s₀`
+    /// is the smallest `s` with `Pr[Pois(λ_t p_a) ≥ s] ≤ eps`.
+    pub fn with_eps(problem: &DeadlineProblem, eps: f64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1)");
+        let n_actions = problem.actions.len();
+        let mut s0 = Vec::with_capacity(problem.n_intervals() * n_actions);
+        for &lam in &problem.interval_arrivals {
+            for a in problem.actions.iter() {
+                let mean = lam * a.accept;
+                s0.push(Poisson::new(mean).truncation_point(eps) as usize);
+            }
+        }
+        Self { s0, n_actions }
+    }
+
+    #[inline]
+    pub fn get(&self, t: usize, action: usize) -> usize {
+        self.s0[t * self.n_actions + action]
+    }
+}
+
+/// Compute `Q(n, t, action)` given the next interval's cost-to-go row
+/// `opt_next` (indexed by remaining tasks) and a scratch pmf buffer of
+/// length ≥ `n`.
+///
+/// `s0` is the truncation point (use `usize::MAX` for the exact backup).
+pub fn q_value(
+    lam_t: f64,
+    action: PriceAction,
+    n: usize,
+    opt_next: &[f64],
+    s0: usize,
+    pmf_buf: &mut [f64],
+) -> f64 {
+    debug_assert!(n >= 1, "backup needs at least one remaining task");
+    debug_assert!(opt_next.len() > n, "opt row too short");
+    debug_assert!(pmf_buf.len() >= n, "pmf buffer too short");
+    let c = action.reward;
+    let pois = Poisson::new(lam_t * action.accept);
+    // Partial-completion terms s = 0..=min(n−1, s0).
+    let k = (n - 1).min(s0);
+    let head = pois.pmf_prefix(&mut pmf_buf[..=k]);
+    let mut q = 0.0;
+    for (s, &pr) in pmf_buf[..=k].iter().enumerate() {
+        q += pr * (s as f64 * c + opt_next[n - s]);
+    }
+    // Collapsed completion tail Pr[X ≥ n], kept only while n ≤ s0.
+    if n <= s0 {
+        let tail = (1.0 - head).max(0.0);
+        q += tail * (n as f64 * c + opt_next[0]);
+    }
+    q
+}
+
+/// Scan all actions for the best (lowest-Q) one at `(n, t)`, restricted to
+/// action indices `[a_lo, a_hi]`. Ties break toward the cheaper action.
+/// Returns `(best_action_index, best_q)`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn best_action(
+    problem: &DeadlineProblem,
+    trunc: &TruncationTable,
+    t: usize,
+    n: usize,
+    a_lo: usize,
+    a_hi: usize,
+    opt_next: &[f64],
+    pmf_buf: &mut [f64],
+) -> (usize, f64) {
+    debug_assert!(a_lo <= a_hi && a_hi < problem.actions.len());
+    let lam = problem.interval_arrivals[t];
+    let mut best = a_lo;
+    let mut best_q = f64::INFINITY;
+    for a in a_lo..=a_hi {
+        let q = q_value(
+            lam,
+            problem.actions.get(a),
+            n,
+            opt_next,
+            trunc.get(t, a),
+            pmf_buf,
+        );
+        if q < best_q {
+            best_q = q;
+            best = a;
+        }
+    }
+    (best, best_q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actions::{ActionSet, PriceAction};
+    use crate::dp::test_support::small_problem;
+    use crate::penalty::PenaltyModel;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {b}, got {a} (tol {tol})");
+    }
+
+    #[test]
+    fn q_value_hand_computed() {
+        // n = 1, λp = 1.0, reward 10, next-opt = [0, 7].
+        // Q = P(X=0)(0 + 7) + P(X≥1)(10 + 0) = e^{-1}·7 + (1−e^{-1})·10.
+        let a = PriceAction {
+            reward: 10.0,
+            accept: 0.5,
+        };
+        let mut buf = vec![0.0; 4];
+        let q = q_value(2.0, a, 1, &[0.0, 7.0], usize::MAX, &mut buf);
+        let e = (-1.0f64).exp();
+        assert_close(q, e * 7.0 + (1.0 - e) * 10.0, 1e-12);
+    }
+
+    #[test]
+    fn q_value_two_tasks() {
+        // n = 2, λp = 1, reward c = 4, opt_next = [0, 3, 9].
+        let a = PriceAction {
+            reward: 4.0,
+            accept: 1.0,
+        };
+        let mut buf = vec![0.0; 4];
+        let q = q_value(1.0, a, 2, &[0.0, 3.0, 9.0], usize::MAX, &mut buf);
+        let e = (-1.0f64).exp();
+        let p0 = e;
+        let p1 = e;
+        let tail = 1.0 - p0 - p1;
+        let expect = p0 * 9.0 + p1 * (4.0 + 3.0) + tail * 8.0;
+        assert_close(q, expect, 1e-12);
+    }
+
+    #[test]
+    fn truncated_q_is_lower_bound() {
+        // Dropping non-negative terms can only lower Q.
+        let a = PriceAction {
+            reward: 6.0,
+            accept: 0.8,
+        };
+        let opt_next: Vec<f64> = (0..12).map(|i| i as f64 * 5.0).collect();
+        let mut buf = vec![0.0; 12];
+        let exact = q_value(8.0, a, 10, &opt_next, usize::MAX, &mut buf);
+        for s0 in [0usize, 2, 5, 9, 20] {
+            let trunc = q_value(8.0, a, 10, &opt_next, s0, &mut buf);
+            assert!(
+                trunc <= exact + 1e-12,
+                "s0={s0}: trunc {trunc} > exact {exact}"
+            );
+        }
+        // Generous s0 changes nothing.
+        let t = q_value(8.0, a, 10, &opt_next, 100, &mut buf);
+        assert_close(t, exact, 1e-12);
+    }
+
+    #[test]
+    fn truncation_table_matches_poisson() {
+        let p = small_problem(10, 4);
+        let table = TruncationTable::with_eps(&p, 1e-9);
+        for t in 0..p.n_intervals() {
+            for a in 0..p.actions.len() {
+                let mean = p.interval_arrivals[t] * p.actions.get(a).accept;
+                let expect = ft_stats::Poisson::new(mean).truncation_point(1e-9) as usize;
+                assert_eq!(table.get(t, a), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn best_action_range_restriction() {
+        let actions = ActionSet::new(vec![
+            PriceAction { reward: 0.0, accept: 0.0 },
+            PriceAction { reward: 5.0, accept: 0.5 },
+            PriceAction { reward: 9.0, accept: 0.9 },
+        ]);
+        let p = crate::problem::DeadlineProblem::new(
+            3,
+            vec![3.0],
+            actions,
+            PenaltyModel::Linear { per_task: 1000.0 },
+        );
+        let trunc = TruncationTable::none(&p);
+        // Terminal row: huge penalty makes high acceptance attractive.
+        let opt_next = [0.0, 1000.0, 2000.0, 3000.0];
+        let mut buf = vec![0.0; 4];
+        let (full, _) = best_action(&p, &trunc, 0, 3, 0, 2, &opt_next, &mut buf);
+        assert_eq!(full, 2);
+        // Restricting to [0, 1] must pick from that range.
+        let (restricted, _) = best_action(&p, &trunc, 0, 3, 0, 1, &opt_next, &mut buf);
+        assert_eq!(restricted, 1);
+    }
+}

@@ -1,0 +1,110 @@
+//! Dynamic-programming solvers for the fixed-deadline MDP (Section 3).
+//!
+//! Three solvers share one Bellman backup:
+//!
+//! - [`solve_simple`]: Algorithm 1, full enumeration — `O(N² · N_T · C)`.
+//! - [`solve_truncated`]: Algorithm 1 + Poisson tail truncation
+//!   (Section 3.2, Table 1, Theorem 1).
+//! - [`solve_efficient`]: Algorithm 2, divide-and-conquer over the task
+//!   count exploiting the monotonicity of `Price(n, t)` in `n`
+//!   (Conjecture 1) — `O(N_T · N · (s₀ + C log N))`.
+
+mod backup;
+mod efficient;
+mod simple;
+
+pub use backup::{q_value, TruncationTable};
+pub use efficient::solve_efficient;
+pub use simple::{solve_simple, solve_truncated};
+
+use crate::error::{PricingError, Result};
+use crate::problem::DeadlineProblem;
+
+/// Theorem 1's worst-case gap between the truncated-DP estimate and the
+/// true cost of the truncated-DP policy from state `(n, t)`:
+/// `n · (N_T − t) · C · ε` (each of the `N_T − t` remaining backups drops
+/// at most `ε` probability mass, each worth at most `n · C`).
+pub fn truncation_error_bound(
+    problem: &DeadlineProblem,
+    n: u32,
+    t: usize,
+    eps: f64,
+) -> f64 {
+    let nt = problem.n_intervals();
+    assert!(t <= nt, "interval out of range");
+    let c_max = problem
+        .actions
+        .max_reward()
+        .max(problem.penalty.per_task());
+    n as f64 * (nt - t) as f64 * c_max * eps * n as f64
+}
+
+/// Validate a problem before solving; shared across solvers.
+pub(crate) fn validate(problem: &DeadlineProblem) -> Result<()> {
+    if problem.n_tasks == 0 {
+        return Err(PricingError::InvalidProblem("zero tasks".into()));
+    }
+    if problem.interval_arrivals.is_empty() {
+        return Err(PricingError::InvalidProblem("zero intervals".into()));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use crate::actions::ActionSet;
+    use crate::penalty::PenaltyModel;
+    use crate::problem::DeadlineProblem;
+    use ft_market::{AcceptanceFn, LogitAcceptance, PriceGrid};
+
+    /// Small instance solvable by the naive DP in test (debug) builds.
+    pub fn small_problem(n_tasks: u32, n_intervals: usize) -> DeadlineProblem {
+        let acc = LogitAcceptance::new(5.0, -1.0, 50.0);
+        DeadlineProblem::new(
+            n_tasks,
+            vec![40.0; n_intervals],
+            ActionSet::from_grid(PriceGrid::new(0, 20), &acc),
+            PenaltyModel::Linear { per_task: 200.0 },
+        )
+    }
+
+    /// A family of varied instances for cross-solver agreement tests.
+    pub fn varied_problems() -> Vec<DeadlineProblem> {
+        let mut out = Vec::new();
+        for (n, nt, lam, pen) in [
+            (5u32, 3usize, 10.0, 50.0),
+            (12, 6, 25.0, 200.0),
+            (20, 4, 60.0, 500.0),
+            (8, 8, 5.0, 1000.0),
+        ] {
+            let acc = LogitAcceptance::new(4.0, 0.0, 30.0);
+            out.push(DeadlineProblem::new(
+                n,
+                (0..nt).map(|i| lam * (1.0 + 0.3 * (i as f64).sin())).collect(),
+                ActionSet::from_grid(PriceGrid::new(0, 15), &acc),
+                PenaltyModel::Linear { per_task: pen },
+            ));
+        }
+        // One with an extended penalty.
+        let acc = LogitAcceptance::new(6.0, -0.5, 40.0);
+        out.push(DeadlineProblem::new(
+            10,
+            vec![30.0, 15.0, 45.0],
+            ActionSet::from_grid(PriceGrid::new(2, 18), &acc),
+            PenaltyModel::Extended {
+                per_task: 300.0,
+                alpha: 3.0,
+            },
+        ));
+        // One that hits acceptance saturation: very attractive task.
+        let acc = LogitAcceptance::new(2.0, -2.0, 5.0);
+        assert!(acc.p(18) > 0.9);
+        out.push(DeadlineProblem::new(
+            6,
+            vec![8.0, 8.0],
+            ActionSet::from_grid(PriceGrid::new(0, 18), &acc),
+            PenaltyModel::Linear { per_task: 100.0 },
+        ));
+        out
+    }
+}

@@ -1,0 +1,45 @@
+//! Error type for the pricing solvers.
+
+use std::fmt;
+
+/// Errors returned by pricing solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PricingError {
+    /// The problem is infeasible: even the cheapest configuration violates
+    /// a constraint (e.g., budget below `N · c_min`).
+    Infeasible(String),
+    /// A required numeric search failed to converge / bracket.
+    SearchFailed(String),
+    /// Inconsistent or invalid problem specification.
+    InvalidProblem(String),
+}
+
+impl fmt::Display for PricingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PricingError::Infeasible(msg) => write!(f, "infeasible problem: {msg}"),
+            PricingError::SearchFailed(msg) => write!(f, "search failed: {msg}"),
+            PricingError::InvalidProblem(msg) => write!(f, "invalid problem: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PricingError {}
+
+/// Result alias for pricing operations.
+pub type Result<T> = std::result::Result<T, PricingError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = PricingError::Infeasible("budget 10 < min 20".into());
+        assert!(e.to_string().contains("infeasible"));
+        let e = PricingError::SearchFailed("no bracket".into());
+        assert!(e.to_string().contains("search"));
+        let e = PricingError::InvalidProblem("empty grid".into());
+        assert!(e.to_string().contains("invalid"));
+    }
+}

@@ -1,0 +1,360 @@
+//! Section 6: multiple task types with a shared deadline.
+//!
+//! The state becomes a vector `(n₁, …, n_k, t)`. With *linear* terminal
+//! penalties and independent thinned-Poisson dynamics per type, the joint
+//! MDP decomposes exactly into `k` independent single-type MDPs (costs and
+//! transitions are additive/independent) — the joint solver and the
+//! decomposed solver must agree, which the tests verify. With the
+//! *extended* penalty (`α` charged when *any* task of *any* type remains)
+//! the problem no longer decomposes, and the joint solver is required.
+//!
+//! The joint solver is exponential in `k` (state space `Π (N_i + 1)`), so
+//! it is intended for small `k` — the paper's example is `k = 2`.
+
+use crate::actions::ActionSet;
+use crate::error::{PricingError, Result};
+use crate::penalty::PenaltyModel;
+use crate::problem::DeadlineProblem;
+use ft_stats::Poisson;
+use serde::{Deserialize, Serialize};
+
+/// One task type: its batch size and its own action set (acceptance may
+/// differ per type — e.g. categorization vs. labeling tasks).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskTypeSpec {
+    pub n_tasks: u32,
+    pub actions: ActionSet,
+}
+
+/// Multi-type deadline problem.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiTypeProblem {
+    pub types: Vec<TaskTypeSpec>,
+    /// Shared per-interval worker arrival masses.
+    pub interval_arrivals: Vec<f64>,
+    /// Per-task penalty (linear across all types), plus an optional joint
+    /// `alpha` charged once if anything at all remains (the non-decomposable
+    /// extension).
+    pub penalty_per_task: f64,
+    pub joint_alpha: f64,
+}
+
+/// Joint policy: optimal per-type action indices for every joint state.
+#[derive(Debug, Clone)]
+pub struct MultiTypePolicy {
+    dims: Vec<usize>,
+    n_intervals: usize,
+    /// `price_idx[t][state][type]` flattened.
+    price_idx: Vec<u32>,
+    opt0: f64,
+    pub types: Vec<TaskTypeSpec>,
+}
+
+impl MultiTypePolicy {
+    fn state_count(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    fn encode(&self, ns: &[u32]) -> usize {
+        let mut idx = 0usize;
+        for (d, &n) in self.dims.iter().zip(ns) {
+            debug_assert!((n as usize) < *d);
+            idx = idx * d + n as usize;
+        }
+        idx
+    }
+
+    /// Optimal expected total cost from the full batch.
+    pub fn expected_total_cost(&self) -> f64 {
+        self.opt0
+    }
+
+    /// Optimal action index per type at a joint state.
+    pub fn action_indices(&self, ns: &[u32], t: usize) -> Vec<usize> {
+        assert_eq!(ns.len(), self.dims.len());
+        assert!(t < self.n_intervals);
+        let k = self.dims.len();
+        let s = self.encode(ns);
+        (0..k)
+            .map(|j| self.price_idx[(t * self.state_count() + s) * k + j] as usize)
+            .collect()
+    }
+
+    /// Posted rewards per type at a joint state.
+    pub fn prices(&self, ns: &[u32], t: usize) -> Vec<f64> {
+        self.action_indices(ns, t)
+            .into_iter()
+            .zip(&self.types)
+            .map(|(a, ty)| ty.actions.get(a).reward)
+            .collect()
+    }
+}
+
+/// Solve the joint multi-type MDP by exhaustive backward induction.
+///
+/// Per-type action choices are optimized independently *given the joint
+/// continuation function* via a coordinate sweep: because per-type
+/// transition/cost terms interact only through the continuation value, a
+/// single sweep per state is exact when the continuation separates (linear
+/// penalty) and a strong heuristic otherwise; we iterate the sweep to a
+/// fixed point to cover the `joint_alpha` coupling.
+pub fn solve_multi_type(problem: &MultiTypeProblem) -> Result<MultiTypePolicy> {
+    let k = problem.types.len();
+    if k == 0 {
+        return Err(PricingError::InvalidProblem("no task types".into()));
+    }
+    if problem.interval_arrivals.is_empty() {
+        return Err(PricingError::InvalidProblem("no intervals".into()));
+    }
+    let dims: Vec<usize> = problem.types.iter().map(|s| s.n_tasks as usize + 1).collect();
+    let n_states: usize = dims.iter().product();
+    let nt = problem.interval_arrivals.len();
+    if n_states.saturating_mul(nt) > 50_000_000 {
+        return Err(PricingError::InvalidProblem(format!(
+            "joint state space too large: {n_states} states × {nt} intervals"
+        )));
+    }
+
+    // Decode helpers.
+    let decode = |mut s: usize| -> Vec<u32> {
+        let mut ns = vec![0u32; k];
+        for j in (0..k).rev() {
+            ns[j] = (s % dims[j]) as u32;
+            s /= dims[j];
+        }
+        ns
+    };
+
+    // Terminal costs.
+    let mut opt_next: Vec<f64> = (0..n_states)
+        .map(|s| {
+            let ns = decode(s);
+            let total: u32 = ns.iter().sum();
+            let mut cost = total as f64 * problem.penalty_per_task;
+            if total > 0 {
+                cost += problem.joint_alpha * problem.penalty_per_task;
+            }
+            cost
+        })
+        .collect();
+
+    let mut price_idx = vec![0u32; nt * n_states * k];
+    let mut opt_now = vec![0.0f64; n_states];
+
+    // Scratch: per-type pmf tables for the currently considered action.
+    for t in (0..nt).rev() {
+        let lam = problem.interval_arrivals[t];
+        for s in 0..n_states {
+            let ns = decode(s);
+            if ns.iter().all(|&x| x == 0) {
+                opt_now[s] = 0.0;
+                continue;
+            }
+            // Coordinate-descent over per-type actions, initialized at the
+            // per-type myopic best, iterated to a fixed point.
+            let mut choice: Vec<usize> = vec![0; k];
+            let mut pmfs: Vec<Vec<f64>> = (0..k)
+                .map(|j| vec![0.0; ns[j] as usize + 1])
+                .collect();
+            let compute_pmf = |j: usize, a: usize, buf: &mut Vec<f64>| {
+                let act = problem.types[j].actions.get(a);
+                let pois = Poisson::new(lam * act.accept);
+                let nj = ns[j] as usize;
+                let head = pois.pmf_prefix(&mut buf[..nj]);
+                buf[nj] = (1.0 - head).max(0.0); // collapsed ≥ n_j tail
+            };
+            // Expected joint continuation + transition cost given all
+            // per-type pmfs and choices.
+            let eval = |choice: &[usize], pmfs: &[Vec<f64>]| -> f64 {
+                // Enumerate joint completions via mixed-radix recursion.
+                let mut total = 0.0;
+                let mut stack: Vec<(usize, usize, f64, f64)> = vec![(0, 0, 1.0, 0.0)];
+                // (type index, encoded-partial, prob, paid) — iterative DFS.
+                while let Some((j, enc, pr, paid)) = stack.pop() {
+                    if pr <= 1e-14 {
+                        continue;
+                    }
+                    if j == k {
+                        total += pr * (paid + opt_next[enc]);
+                        continue;
+                    }
+                    let nj = ns[j] as usize;
+                    let c = problem.types[j].actions.get(choice[j]).reward;
+                    for (s_done, &q) in pmfs[j].iter().enumerate() {
+                        let completed = s_done.min(nj);
+                        let remaining = nj - completed;
+                        stack.push((
+                            j + 1,
+                            enc * dims[j] + remaining,
+                            pr * q,
+                            paid + completed as f64 * c,
+                        ));
+                    }
+                }
+                total
+            };
+            // Initialize pmfs for action 0 everywhere.
+            for j in 0..k {
+                compute_pmf(j, choice[j], &mut pmfs[j]);
+            }
+            let mut best_val = eval(&choice, &pmfs);
+            // Sweep coordinates until stable (≤ 4 sweeps in practice).
+            for _sweep in 0..8 {
+                let mut improved = false;
+                for j in 0..k {
+                    let current = choice[j];
+                    let mut local_best = current;
+                    let mut local_val = best_val;
+                    for a in 0..problem.types[j].actions.len() {
+                        if a == current {
+                            continue;
+                        }
+                        // Evaluate candidate `a` with a consistent
+                        // (choice, pmf) pair for coordinate j.
+                        choice[j] = a;
+                        compute_pmf(j, a, &mut pmfs[j]);
+                        let v = eval(&choice, &pmfs);
+                        if v < local_val - 1e-12 {
+                            local_val = v;
+                            local_best = a;
+                        }
+                    }
+                    choice[j] = local_best;
+                    compute_pmf(j, local_best, &mut pmfs[j]);
+                    if local_best != current {
+                        best_val = local_val;
+                        improved = true;
+                    }
+                }
+                if !improved {
+                    break;
+                }
+            }
+            opt_now[s] = best_val;
+            for j in 0..k {
+                price_idx[(t * n_states + s) * k + j] = choice[j] as u32;
+            }
+        }
+        std::mem::swap(&mut opt_next, &mut opt_now);
+    }
+
+    let full_state: Vec<u32> = problem.types.iter().map(|s| s.n_tasks).collect();
+    let policy = MultiTypePolicy {
+        dims,
+        n_intervals: nt,
+        price_idx,
+        opt0: 0.0,
+        types: problem.types.clone(),
+    };
+    let opt0 = opt_next[policy.encode(&full_state)];
+    Ok(MultiTypePolicy { opt0, ..policy })
+}
+
+/// Decomposed solve for the linear-penalty case: `k` independent
+/// single-type MDPs; returns their summed optimal cost.
+pub fn solve_decomposed(problem: &MultiTypeProblem) -> Result<f64> {
+    if problem.joint_alpha != 0.0 {
+        return Err(PricingError::InvalidProblem(
+            "decomposition requires joint_alpha == 0".into(),
+        ));
+    }
+    let mut total = 0.0;
+    for spec in &problem.types {
+        let single = DeadlineProblem::new(
+            spec.n_tasks,
+            problem.interval_arrivals.clone(),
+            spec.actions.clone(),
+            PenaltyModel::Linear {
+                per_task: problem.penalty_per_task,
+            },
+        );
+        let policy = crate::dp::solve_simple(&single)?;
+        total += policy.expected_total_cost();
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_market::{LogitAcceptance, PriceGrid};
+
+    fn two_type_problem(joint_alpha: f64) -> MultiTypeProblem {
+        let acc_a = LogitAcceptance::new(4.0, 0.0, 30.0);
+        let acc_b = LogitAcceptance::new(6.0, -0.5, 40.0);
+        MultiTypeProblem {
+            types: vec![
+                TaskTypeSpec {
+                    n_tasks: 5,
+                    actions: ActionSet::from_grid(PriceGrid::new(0, 12), &acc_a),
+                },
+                TaskTypeSpec {
+                    n_tasks: 4,
+                    actions: ActionSet::from_grid(PriceGrid::new(0, 12), &acc_b),
+                },
+            ],
+            interval_arrivals: vec![20.0, 10.0, 30.0],
+            penalty_per_task: 150.0,
+            joint_alpha,
+        }
+    }
+
+    #[test]
+    fn joint_matches_decomposed_for_linear_penalty() {
+        let p = two_type_problem(0.0);
+        let joint = solve_multi_type(&p).unwrap();
+        let decomposed = solve_decomposed(&p).unwrap();
+        let d = (joint.expected_total_cost() - decomposed).abs();
+        assert!(
+            d < 1e-6,
+            "joint {} vs decomposed {decomposed} differ by {d}",
+            joint.expected_total_cost()
+        );
+    }
+
+    #[test]
+    fn joint_alpha_increases_cost() {
+        let base = solve_multi_type(&two_type_problem(0.0)).unwrap();
+        let coupled = solve_multi_type(&two_type_problem(5.0)).unwrap();
+        assert!(coupled.expected_total_cost() > base.expected_total_cost());
+    }
+
+    #[test]
+    fn empty_state_is_free() {
+        let p = two_type_problem(0.0);
+        let policy = solve_multi_type(&p).unwrap();
+        // All-zero joint state: no actions should cost anything — check via
+        // action query not panicking and prices being defined.
+        let prices = policy.prices(&[5, 4], 0);
+        assert_eq!(prices.len(), 2);
+        for (j, pr) in prices.iter().enumerate() {
+            assert!(p.types[j].actions.index_of_reward(*pr).is_some());
+        }
+    }
+
+    #[test]
+    fn decomposed_rejects_joint_alpha() {
+        let p = two_type_problem(1.0);
+        assert!(solve_decomposed(&p).is_err());
+    }
+
+    #[test]
+    fn state_space_guard() {
+        let acc = LogitAcceptance::new(4.0, 0.0, 30.0);
+        let p = MultiTypeProblem {
+            types: (0..6)
+                .map(|_| TaskTypeSpec {
+                    n_tasks: 60,
+                    actions: ActionSet::from_grid(PriceGrid::new(0, 5), &acc),
+                })
+                .collect(),
+            interval_arrivals: vec![10.0; 24],
+            penalty_per_task: 100.0,
+            joint_alpha: 0.0,
+        };
+        assert!(matches!(
+            solve_multi_type(&p),
+            Err(PricingError::InvalidProblem(_))
+        ));
+    }
+}

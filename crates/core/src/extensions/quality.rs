@@ -1,0 +1,243 @@
+//! Section 6: incorporating quality control for filtering tasks.
+//!
+//! We implement the paper's second (tractable) approximation: the
+//! quality-control strategy is computed separately — here, an early-stopping
+//! majority vote — and pricing operates on `N′ = Σ_tasks worstcase(x, y)`,
+//! the total *worst-case* additional questions across all in-flight tasks.
+//! As answers arrive, each task moves on the QC grid and `N′` shrinks;
+//! the deadline policy (from Section 3) is consulted at state `(N′, t)`.
+
+use crate::policy::{DeadlinePolicy, PriceController};
+use serde::{Deserialize, Serialize};
+
+/// An early-stopping majority-vote quality-control strategy: ask until one
+/// answer reaches `k + 1` votes, never asking more than `2k + 1` total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MajorityVoteQc {
+    /// Total votes budget `m = 2k + 1` (must be odd).
+    pub votes: u32,
+}
+
+impl MajorityVoteQc {
+    pub fn new(votes: u32) -> Self {
+        assert!(votes % 2 == 1 && votes >= 1, "votes must be odd, got {votes}");
+        Self { votes }
+    }
+
+    /// Decision threshold `k + 1`.
+    pub fn threshold(&self) -> u32 {
+        self.votes / 2 + 1
+    }
+
+    /// Is the point `(x, y)` (no-votes, yes-votes) terminal?
+    pub fn is_decided(&self, x: u32, y: u32) -> bool {
+        x >= self.threshold() || y >= self.threshold()
+    }
+
+    /// Worst-case additional questions from point `(x, y)`: an adversarial
+    /// answer sequence alternates toward the longest path, giving
+    /// `m − x − y` for undecided points and `0` for decided ones.
+    pub fn worst_case_questions(&self, x: u32, y: u32) -> u32 {
+        if self.is_decided(x, y) {
+            0
+        } else {
+            self.votes - x - y
+        }
+    }
+
+    /// All continue (undecided) points of the strategy grid.
+    pub fn continue_points(&self) -> Vec<(u32, u32)> {
+        let th = self.threshold();
+        let mut pts = Vec::new();
+        for x in 0..th {
+            for y in 0..th {
+                if x + y < self.votes {
+                    pts.push((x, y));
+                }
+            }
+        }
+        pts
+    }
+}
+
+/// A pricing session combining a deadline policy over `N′` worst-case
+/// questions with per-task majority-vote QC state.
+#[derive(Debug, Clone)]
+pub struct QcPricingSession {
+    qc: MajorityVoteQc,
+    policy: DeadlinePolicy,
+    /// Per-task `(no_votes, yes_votes)`.
+    points: Vec<(u32, u32)>,
+}
+
+impl QcPricingSession {
+    /// `policy` must be solved for `N′ = n_items · qc.votes` tasks (the
+    /// worst-case question count from the origin).
+    pub fn new(qc: MajorityVoteQc, policy: DeadlinePolicy, n_items: usize) -> Self {
+        assert!(n_items > 0, "need at least one item");
+        let n_prime = n_items as u32 * qc.worst_case_questions(0, 0);
+        assert_eq!(
+            policy.n_tasks(),
+            n_prime,
+            "policy must be solved for N' = {n_prime} worst-case questions"
+        );
+        Self {
+            qc,
+            policy,
+            points: vec![(0, 0); n_items],
+        }
+    }
+
+    /// Current total worst-case remaining questions `N′`.
+    pub fn remaining_questions(&self) -> u32 {
+        self.points
+            .iter()
+            .map(|&(x, y)| self.qc.worst_case_questions(x, y))
+            .sum()
+    }
+
+    /// Number of undecided items.
+    pub fn undecided_items(&self) -> usize {
+        self.points
+            .iter()
+            .filter(|&&(x, y)| !self.qc.is_decided(x, y))
+            .count()
+    }
+
+    /// Record one answer for `item` (`true` = yes). Returns `Some(verdict)`
+    /// when the item just got decided. Answers for decided items panic.
+    pub fn record_answer(&mut self, item: usize, yes: bool) -> Option<bool> {
+        let (x, y) = self.points[item];
+        assert!(
+            !self.qc.is_decided(x, y),
+            "item {item} is already decided"
+        );
+        let (x, y) = if yes { (x, y + 1) } else { (x + 1, y) };
+        self.points[item] = (x, y);
+        if self.qc.is_decided(x, y) {
+            Some(y >= self.qc.threshold())
+        } else {
+            None
+        }
+    }
+
+    /// Next undecided item to route a question to (lowest index first).
+    pub fn next_undecided(&self) -> Option<usize> {
+        self.points
+            .iter()
+            .position(|&(x, y)| !self.qc.is_decided(x, y))
+    }
+
+    /// Price to post at interval `t` given the current QC state: consult
+    /// the deadline policy at `(N′, t)`.
+    pub fn price(&self, t: usize) -> f64 {
+        self.policy.price(self.remaining_questions(), t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actions::ActionSet;
+    use crate::dp::solve_truncated;
+    use crate::penalty::PenaltyModel;
+    use crate::problem::DeadlineProblem;
+    use ft_market::{LogitAcceptance, PriceGrid};
+
+    #[test]
+    fn majority_vote_worst_cases() {
+        let qc = MajorityVoteQc::new(3);
+        assert_eq!(qc.threshold(), 2);
+        assert_eq!(qc.worst_case_questions(0, 0), 3);
+        assert_eq!(qc.worst_case_questions(1, 1), 1);
+        assert_eq!(qc.worst_case_questions(0, 1), 2);
+        assert_eq!(qc.worst_case_questions(2, 0), 0); // decided
+        assert!(qc.is_decided(0, 2));
+        assert!(!qc.is_decided(1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn rejects_even_votes() {
+        MajorityVoteQc::new(4);
+    }
+
+    #[test]
+    fn continue_points_count() {
+        // m=3, k+1=2: continue points are (0,0),(0,1),(1,0),(1,1) → 4.
+        let qc = MajorityVoteQc::new(3);
+        assert_eq!(qc.continue_points().len(), 4);
+        // m=5: x,y < 3, x+y<5 → 9 points minus... all 3×3 satisfy x+y<5
+        // except (2,2)? 2+2=4 < 5, so all 9.
+        assert_eq!(MajorityVoteQc::new(5).continue_points().len(), 9);
+    }
+
+    fn session(n_items: usize) -> QcPricingSession {
+        let qc = MajorityVoteQc::new(3);
+        let n_prime = (n_items * 3) as u32;
+        let problem = DeadlineProblem::new(
+            n_prime,
+            vec![50.0; 4],
+            ActionSet::from_grid(PriceGrid::new(0, 15), &LogitAcceptance::new(4.0, 0.0, 30.0)),
+            PenaltyModel::Linear { per_task: 300.0 },
+        );
+        let policy = solve_truncated(&problem, 1e-9).unwrap();
+        QcPricingSession::new(qc, policy, n_items)
+    }
+
+    #[test]
+    fn paper_example_state_arithmetic() {
+        // The Section 6 worked example: 10 items, majority-of-3.
+        // Start: N' = 30. After 5 items reach (1,1), 2 reach (2,0), 3 reach
+        // (0,2): N' = 5·1 + 2·0 + 3·0 = 5.
+        let mut s = session(10);
+        assert_eq!(s.remaining_questions(), 30);
+        for item in 0..5 {
+            assert_eq!(s.record_answer(item, true), None);
+            assert_eq!(s.record_answer(item, false), None);
+        }
+        for item in 5..7 {
+            assert_eq!(s.record_answer(item, false), None);
+            assert_eq!(s.record_answer(item, false), Some(false));
+        }
+        for item in 7..10 {
+            assert_eq!(s.record_answer(item, true), None);
+            assert_eq!(s.record_answer(item, true), Some(true));
+        }
+        assert_eq!(s.remaining_questions(), 5);
+        assert_eq!(s.undecided_items(), 5);
+    }
+
+    #[test]
+    fn deciding_everything_zeroes_questions() {
+        let mut s = session(3);
+        while let Some(i) = s.next_undecided() {
+            s.record_answer(i, true);
+        }
+        assert_eq!(s.remaining_questions(), 0);
+        assert_eq!(s.undecided_items(), 0);
+    }
+
+    #[test]
+    fn price_decreases_as_work_shrinks() {
+        // Fewer worst-case questions remaining → price can only stay or
+        // drop (Conjecture 1 on the wrapped policy).
+        let mut s = session(6);
+        let p_start = s.price(0);
+        for item in 0..6 {
+            s.record_answer(item, true);
+            s.record_answer(item, true);
+        }
+        let p_end = s.price(0);
+        assert!(p_end <= p_start);
+    }
+
+    #[test]
+    #[should_panic(expected = "already decided")]
+    fn rejects_answers_for_decided_items() {
+        let mut s = session(2);
+        s.record_answer(0, true);
+        s.record_answer(0, true); // decided now
+        s.record_answer(0, true); // panics
+    }
+}

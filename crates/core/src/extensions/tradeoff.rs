@@ -1,0 +1,206 @@
+//! Section 6: optimizing a linear combination of cost and latency,
+//! `Q = E[cost] + α · E[latency]`, with neither a deadline nor a budget.
+//!
+//! Two formulations are implemented:
+//!
+//! - **Fixed-rate** (`λ(t) = λ`): decisions per *time interval*; the
+//!   interval is short enough that at most one task completes. From the
+//!   Bellman equation `Opt(n) = min_c [q·(Opt(n−1)+c+α) +
+//!   (1−q)(Opt(n)+α)]` with `q(c) = e^{−λp(c)}·λp(c)` one solves
+//!   `Opt(n) = min_c [Opt(n−1) + c + α/q(c)]`.
+//! - **Worker-arrival** (linearity relaxation, Section 4.2.2): decisions
+//!   per *worker arrival*; each arrival accepts with `p(c)`, latency is
+//!   charged at `α/λ̄` per arrival, giving
+//!   `Opt(n) = min_c [Opt(n−1) + c + (α/λ̄)/p(c)]`.
+//!
+//! Both are `O(N · C)`.
+
+use crate::actions::ActionSet;
+use crate::error::{PricingError, Result};
+use serde::{Deserialize, Serialize};
+
+/// A solved cost/latency tradeoff: per-remaining-count optimal prices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TradeoffPolicy {
+    /// `prices[n]` is the optimal reward with `n` tasks remaining
+    /// (index 0 unused).
+    pub prices: Vec<f64>,
+    /// `opt[n]` = minimum expected objective from `n` remaining tasks.
+    pub opt: Vec<f64>,
+}
+
+impl TradeoffPolicy {
+    /// Objective value from the full batch.
+    pub fn total(&self) -> f64 {
+        *self.opt.last().expect("non-empty")
+    }
+
+    pub fn price(&self, n_remaining: u32) -> f64 {
+        assert!(n_remaining >= 1 && (n_remaining as usize) < self.opt.len());
+        self.prices[n_remaining as usize]
+    }
+}
+
+fn solve_generic<F: Fn(f64) -> f64>(
+    actions: &ActionSet,
+    n_tasks: u32,
+    per_task_increment: F,
+) -> Result<TradeoffPolicy> {
+    if n_tasks == 0 {
+        return Err(PricingError::InvalidProblem("zero tasks".into()));
+    }
+    // Both formulations decompose: Opt(n) = Opt(n−1) + min_c inc(c), with
+    // the same minimizer at every n. We still store per-n tables for API
+    // uniformity (and because callers may inspect them).
+    let mut best_inc = f64::INFINITY;
+    let mut best_price = actions.get(0).reward;
+    for a in actions.iter() {
+        let inc = per_task_increment(a.reward);
+        if inc < best_inc {
+            best_inc = inc;
+            best_price = a.reward;
+        }
+    }
+    if !best_inc.is_finite() {
+        return Err(PricingError::Infeasible(
+            "every action has zero completion probability".into(),
+        ));
+    }
+    let n = n_tasks as usize;
+    let mut opt = vec![0.0f64; n + 1];
+    let mut prices = vec![0.0f64; n + 1];
+    for m in 1..=n {
+        opt[m] = opt[m - 1] + best_inc;
+        prices[m] = best_price;
+    }
+    Ok(TradeoffPolicy { prices, opt })
+}
+
+/// Fixed-rate formulation: `Opt(n) = min_c [Opt(n−1) + c + α/q(c)]` with
+/// `q(c) = e^{−λ·p(c)} · λ·p(c)` (probability of exactly one completion per
+/// interval). `lambda` is the expected arrivals per interval; the interval
+/// should be short enough that `λ·p ≪ 1`.
+pub fn solve_tradeoff_fixed_rate(
+    actions: &ActionSet,
+    n_tasks: u32,
+    lambda: f64,
+    alpha: f64,
+) -> Result<TradeoffPolicy> {
+    assert!(lambda > 0.0, "lambda must be positive");
+    assert!(alpha >= 0.0, "alpha must be non-negative");
+    solve_generic(actions, n_tasks, |c| {
+        let idx = actions.index_of_reward(c).expect("own action");
+        let lp = lambda * actions.get(idx).accept;
+        let q = (-lp).exp() * lp;
+        if q <= 0.0 {
+            f64::INFINITY
+        } else {
+            c + alpha / q
+        }
+    })
+}
+
+/// Worker-arrival formulation:
+/// `Opt(n) = min_c [Opt(n−1) + c + (α/λ̄)/p(c)]`.
+pub fn solve_tradeoff_worker_arrival(
+    actions: &ActionSet,
+    n_tasks: u32,
+    mean_rate: f64,
+    alpha: f64,
+) -> Result<TradeoffPolicy> {
+    assert!(mean_rate > 0.0, "mean rate must be positive");
+    assert!(alpha >= 0.0, "alpha must be non-negative");
+    solve_generic(actions, n_tasks, |c| {
+        let idx = actions.index_of_reward(c).expect("own action");
+        let p = actions.get(idx).accept;
+        if p <= 0.0 {
+            f64::INFINITY
+        } else {
+            c + (alpha / mean_rate) / p
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_market::{LogitAcceptance, PriceGrid};
+
+    fn actions() -> ActionSet {
+        ActionSet::from_grid(PriceGrid::new(1, 30), &LogitAcceptance::new(5.0, 0.0, 50.0))
+    }
+
+    #[test]
+    fn same_price_at_every_state() {
+        // Both formulations have state-independent optimal prices (the
+        // per-task increment doesn't depend on n).
+        let a = actions();
+        let p = solve_tradeoff_worker_arrival(&a, 10, 100.0, 50.0).unwrap();
+        for m in 2..=10 {
+            assert_eq!(p.price(m), p.price(1));
+        }
+        let q = solve_tradeoff_fixed_rate(&a, 10, 0.5, 50.0).unwrap();
+        for m in 2..=10 {
+            assert_eq!(q.price(m), q.price(1));
+        }
+    }
+
+    #[test]
+    fn total_is_linear_in_n() {
+        let a = actions();
+        let p5 = solve_tradeoff_worker_arrival(&a, 5, 100.0, 20.0).unwrap();
+        let p10 = solve_tradeoff_worker_arrival(&a, 10, 100.0, 20.0).unwrap();
+        assert!((p10.total() - 2.0 * p5.total()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn impatience_raises_price() {
+        // Higher α (latency matters more) → pay more per task.
+        let a = actions();
+        let patient = solve_tradeoff_worker_arrival(&a, 5, 100.0, 1.0).unwrap();
+        let impatient = solve_tradeoff_worker_arrival(&a, 5, 100.0, 10_000.0).unwrap();
+        assert!(impatient.price(1) > patient.price(1));
+    }
+
+    #[test]
+    fn zero_alpha_picks_cheapest_price() {
+        // Without latency cost, the cheapest action wins outright.
+        let a = actions();
+        let p = solve_tradeoff_worker_arrival(&a, 3, 100.0, 0.0).unwrap();
+        assert_eq!(p.price(1), a.min_reward());
+    }
+
+    #[test]
+    fn hand_computed_increment() {
+        // Two actions; verify the argmin arithmetic.
+        use crate::actions::PriceAction;
+        let a = ActionSet::new(vec![
+            PriceAction { reward: 2.0, accept: 0.1 },
+            PriceAction { reward: 10.0, accept: 0.5 },
+        ]);
+        // α/λ̄ = 1: inc(2) = 2 + 1/0.1 = 12; inc(10) = 10 + 2 = 12 → tie,
+        // cheaper wins (scanned in reward order with strict <).
+        let p = solve_tradeoff_worker_arrival(&a, 1, 1.0, 1.0).unwrap();
+        assert_eq!(p.price(1), 2.0);
+        assert!((p.total() - 12.0).abs() < 1e-12);
+        // α/λ̄ = 2: inc(2) = 22, inc(10) = 14 → pick 10.
+        let q = solve_tradeoff_worker_arrival(&a, 1, 1.0, 2.0).unwrap();
+        assert_eq!(q.price(1), 10.0);
+        assert!((q.total() - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fixed_rate_penalizes_congestion() {
+        // In the fixed-rate form, q(c) = e^{−λp}λp decreases once λp > 1,
+        // so cranking price past the congestion point stops helping.
+        use crate::actions::PriceAction;
+        let a = ActionSet::new(vec![
+            PriceAction { reward: 5.0, accept: 0.2 },  // λp = 1 at λ=5
+            PriceAction { reward: 25.0, accept: 0.9 }, // λp = 4.5: overshoot
+        ]);
+        let p = solve_tradeoff_fixed_rate(&a, 1, 5.0, 10.0).unwrap();
+        // q(5¢) = e^{−1} ≈ 0.368 → inc = 5 + 27.2 = 32.2
+        // q(25¢) = e^{−4.5}·4.5 ≈ 0.05 → inc = 25 + 200 = 225
+        assert_eq!(p.price(1), 5.0);
+    }
+}

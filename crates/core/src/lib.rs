@@ -1,0 +1,59 @@
+//! # ft-core
+//!
+//! The primary contribution of *"Finish Them!: Pricing Algorithms for Human
+//! Computation"* (Gao & Parameswaran, VLDB 2014): algorithms that set and
+//! vary crowd-task prices to meet a deadline at minimum cost, or a budget
+//! at minimum latency.
+//!
+//! ## Fixed deadline (Section 3)
+//!
+//! Build a [`problem::DeadlineProblem`] (tasks, per-interval arrival
+//! masses, price actions, terminal penalty) and solve it:
+//!
+//! - [`dp::solve_simple`] — Algorithm 1, exact.
+//! - [`dp::solve_truncated`] — + Poisson tail truncation (Theorem 1).
+//! - [`dp::solve_efficient`] — Algorithm 2 divide-and-conquer
+//!   (Conjecture 1 monotonicity).
+//! - [`calibrate::calibrate_penalty`] — Theorem 2: turn an
+//!   expected-remaining bound into the equivalent penalty.
+//!
+//! The result is a [`policy::DeadlinePolicy`]: a price for every
+//! `(remaining tasks, interval)` state, exact evaluation via forward
+//! distribution propagation (also under mis-specified dynamics), and a
+//! [`policy::PriceController`] implementation for simulation.
+//!
+//! ## Fixed budget (Section 4)
+//!
+//! Build a [`budget::BudgetProblem`] and solve with
+//! [`budget::solve_budget_hull`] (Algorithm 3, near-optimal via the lower
+//! convex hull of `(c, 1/p(c))`) or [`budget::solve_budget_exact`]
+//! (Theorem 6 pseudo-polynomial DP).
+//!
+//! ## Baseline & extensions
+//!
+//! [`baseline`] implements Faridani et al.'s binary-search fixed pricing;
+//! [`extensions`] covers Section 6 (multiple task types, cost/latency
+//! tradeoff, majority-vote quality control).
+
+pub mod actions;
+pub mod adaptive;
+pub mod baseline;
+pub mod budget;
+pub mod calibrate;
+pub mod dp;
+pub mod error;
+pub mod extensions;
+pub mod penalty;
+pub mod policy;
+pub mod problem;
+
+pub use actions::{ActionSet, PriceAction};
+pub use adaptive::{AdaptiveOptions, AdaptivePricer};
+pub use baseline::{solve_fixed_price, FixedPriceSolution};
+pub use budget::{solve_budget_exact, solve_budget_hull, BudgetProblem, StaticStrategy};
+pub use calibrate::{calibrate_penalty, CalibrateOptions, CalibratedPolicy};
+pub use dp::{solve_efficient, solve_simple, solve_truncated};
+pub use error::{PricingError, Result};
+pub use penalty::PenaltyModel;
+pub use policy::{DeadlinePolicy, ExactOutcome, FixedPrice, PriceController};
+pub use problem::DeadlineProblem;

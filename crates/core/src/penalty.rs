@@ -1,0 +1,84 @@
+//! Final-state penalty models (Sections 3.1 and 3.3).
+
+use serde::{Deserialize, Serialize};
+
+/// Terminal cost charged at the deadline for unfinished tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PenaltyModel {
+    /// `cost(n, N_T) = n · per_task` — the base formulation of Section 3.1.
+    Linear { per_task: f64 },
+    /// `cost(n, N_T) = (n + alpha) · per_task` for `n > 0`, `0` otherwise —
+    /// the Section 3.3 extension that additionally punishes the *existence*
+    /// of leftovers.
+    Extended { per_task: f64, alpha: f64 },
+}
+
+impl PenaltyModel {
+    /// Terminal cost for `n` remaining tasks.
+    pub fn terminal_cost(&self, n: u32) -> f64 {
+        match *self {
+            PenaltyModel::Linear { per_task } => n as f64 * per_task,
+            PenaltyModel::Extended { per_task, alpha } => {
+                if n == 0 {
+                    0.0
+                } else {
+                    (n as f64 + alpha) * per_task
+                }
+            }
+        }
+    }
+
+    /// The per-task penalty magnitude (the knob Theorem 2's calibration
+    /// searches over).
+    pub fn per_task(&self) -> f64 {
+        match *self {
+            PenaltyModel::Linear { per_task } | PenaltyModel::Extended { per_task, .. } => {
+                per_task
+            }
+        }
+    }
+
+    /// Same shape, different per-task magnitude.
+    pub fn with_per_task(&self, per_task: f64) -> Self {
+        assert!(per_task >= 0.0, "penalty must be non-negative");
+        match *self {
+            PenaltyModel::Linear { .. } => PenaltyModel::Linear { per_task },
+            PenaltyModel::Extended { alpha, .. } => PenaltyModel::Extended { per_task, alpha },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_penalty() {
+        let p = PenaltyModel::Linear { per_task: 100.0 };
+        assert_eq!(p.terminal_cost(0), 0.0);
+        assert_eq!(p.terminal_cost(3), 300.0);
+    }
+
+    #[test]
+    fn extended_penalty_jumps_at_zero() {
+        let p = PenaltyModel::Extended {
+            per_task: 100.0,
+            alpha: 5.0,
+        };
+        assert_eq!(p.terminal_cost(0), 0.0);
+        assert_eq!(p.terminal_cost(1), 600.0);
+        assert_eq!(p.terminal_cost(2), 700.0);
+    }
+
+    #[test]
+    fn with_per_task_preserves_shape() {
+        let p = PenaltyModel::Extended {
+            per_task: 1.0,
+            alpha: 2.0,
+        };
+        let q = p.with_per_task(10.0);
+        assert_eq!(q.terminal_cost(1), 30.0);
+        let l = PenaltyModel::Linear { per_task: 1.0 }.with_per_task(7.0);
+        assert_eq!(l.terminal_cost(2), 14.0);
+    }
+}

@@ -1,0 +1,418 @@
+//! Deadline pricing policies and their exact evaluation.
+//!
+//! A [`DeadlinePolicy`] stores, for every MDP state `(n, t)`, the optimal
+//! action index and the cost-to-go `Opt(n, t)`. Exact evaluation pushes the
+//! full remaining-task distribution forward through the chain — optionally
+//! under *different* (true) marketplace dynamics than the policy was
+//! trained on, which is how the Section 5.2.4/5.2.5 robustness experiments
+//! are run.
+
+use crate::actions::ActionSet;
+use crate::penalty::PenaltyModel;
+use crate::problem::DeadlineProblem;
+use ft_stats::Poisson;
+use serde::{Deserialize, Serialize};
+
+/// Anything that can quote a price given the remaining tasks and the
+/// current interval index — the common interface of the dynamic policy and
+/// the fixed-price baseline.
+pub trait PriceController {
+    /// Reward (cents) to post from interval `t` with `n` tasks remaining.
+    fn price(&self, n_remaining: u32, t: usize) -> f64;
+}
+
+/// A fixed price for all states (the Faridani-style baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FixedPrice(pub f64);
+
+impl PriceController for FixedPrice {
+    fn price(&self, _n: u32, _t: usize) -> f64 {
+        self.0
+    }
+}
+
+/// A solved deadline MDP policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeadlinePolicy {
+    n_tasks: u32,
+    n_intervals: usize,
+    /// Action indices, row-major `[t][n]`, `t ∈ 0..N_T`, `n ∈ 0..=N`
+    /// (index for `n = 0` is unused but kept for addressing simplicity).
+    price_idx: Vec<u32>,
+    /// Cost-to-go `Opt(n, t)`, row-major `[t][n]`, `t ∈ 0..=N_T`.
+    opt: Vec<f64>,
+    /// The action set the indices refer to.
+    actions: ActionSet,
+}
+
+impl DeadlinePolicy {
+    pub(crate) fn new(
+        n_tasks: u32,
+        n_intervals: usize,
+        price_idx: Vec<u32>,
+        opt: Vec<f64>,
+        actions: ActionSet,
+    ) -> Self {
+        let width = n_tasks as usize + 1;
+        assert_eq!(price_idx.len(), n_intervals * width, "price table shape");
+        assert_eq!(opt.len(), (n_intervals + 1) * width, "opt table shape");
+        Self {
+            n_tasks,
+            n_intervals,
+            price_idx,
+            opt,
+            actions,
+        }
+    }
+
+    pub fn n_tasks(&self) -> u32 {
+        self.n_tasks
+    }
+
+    pub fn n_intervals(&self) -> usize {
+        self.n_intervals
+    }
+
+    pub fn actions(&self) -> &ActionSet {
+        &self.actions
+    }
+
+    #[inline]
+    fn width(&self) -> usize {
+        self.n_tasks as usize + 1
+    }
+
+    /// Optimal action index at `(n, t)`.
+    pub fn action_index(&self, n: u32, t: usize) -> usize {
+        assert!(t < self.n_intervals, "interval {t} out of range");
+        assert!(n >= 1 && n <= self.n_tasks, "task count {n} out of range");
+        self.price_idx[t * self.width() + n as usize] as usize
+    }
+
+    /// Cost-to-go `Opt(n, t)` for `t ∈ 0..=N_T`.
+    pub fn cost_to_go(&self, n: u32, t: usize) -> f64 {
+        assert!(t <= self.n_intervals, "interval {t} out of range");
+        assert!(n <= self.n_tasks, "task count {n} out of range");
+        self.opt[t * self.width() + n as usize]
+    }
+
+    /// The minimum expected total cost from the initial state `(N, 0)`.
+    pub fn expected_total_cost(&self) -> f64 {
+        self.cost_to_go(self.n_tasks, 0)
+    }
+
+    /// Exact policy evaluation under the *trained* dynamics.
+    pub fn evaluate(&self, problem: &DeadlineProblem) -> ExactOutcome {
+        self.evaluate_against(
+            &problem.interval_arrivals,
+            |reward| {
+                // Trained acceptance: look the reward up in the action set.
+                let idx = problem
+                    .actions
+                    .index_of_reward(reward)
+                    .expect("policy reward not in problem's action set");
+                problem.actions.get(idx).accept
+            },
+            &problem.penalty,
+        )
+    }
+
+    /// Exact policy evaluation under arbitrary true dynamics: per-interval
+    /// arrival masses and a true acceptance function of the posted reward.
+    ///
+    /// This is the mis-specification path: the policy was trained on
+    /// `(λ̂, p̂)`, but executes against `(λ, p)`.
+    pub fn evaluate_against<F>(
+        &self,
+        true_arrivals: &[f64],
+        true_accept: F,
+        penalty: &PenaltyModel,
+    ) -> ExactOutcome
+    where
+        F: Fn(f64) -> f64,
+    {
+        assert_eq!(
+            true_arrivals.len(),
+            self.n_intervals,
+            "true dynamics must have the same number of intervals"
+        );
+        let n = self.n_tasks as usize;
+        let mut dist = vec![0.0f64; n + 1];
+        dist[n] = 1.0;
+        let mut next = vec![0.0f64; n + 1];
+        let mut pmf = vec![0.0f64; n + 1];
+        let mut paid = 0.0f64;
+        let mut paid_tasks = 0.0f64;
+
+        for (t, &lam) in true_arrivals.iter().enumerate() {
+            next.iter_mut().for_each(|v| *v = 0.0);
+            next[0] = dist[0];
+            for m in 1..=n {
+                let mass = dist[m];
+                if mass <= 1e-300 {
+                    continue;
+                }
+                let a = self.actions.get(self.action_index(m as u32, t));
+                let reward = a.reward;
+                let p = true_accept(reward).clamp(0.0, 1.0);
+                let pois = Poisson::new(lam * p);
+                let head = pois.pmf_prefix(&mut pmf[..m]);
+                let tail = (1.0 - head).max(0.0); // Pr[X ≥ m] → finish all m
+                let mut exp_completed = m as f64 * tail;
+                for (s, &q) in pmf[..m].iter().enumerate() {
+                    next[m - s] += mass * q;
+                    exp_completed += s as f64 * q;
+                }
+                next[0] += mass * tail;
+                paid += mass * exp_completed * reward;
+                paid_tasks += mass * exp_completed;
+            }
+            std::mem::swap(&mut dist, &mut next);
+        }
+
+        let expected_remaining: f64 = dist
+            .iter()
+            .enumerate()
+            .map(|(m, &q)| m as f64 * q)
+            .sum();
+        let expected_penalty: f64 = dist
+            .iter()
+            .enumerate()
+            .map(|(m, &q)| q * penalty.terminal_cost(m as u32))
+            .sum();
+        ExactOutcome {
+            expected_paid: paid,
+            expected_penalty,
+            expected_remaining,
+            prob_all_done: dist[0],
+            expected_completed: paid_tasks,
+            final_distribution: dist,
+        }
+    }
+}
+
+impl DeadlinePolicy {
+    /// Expected campaign trajectory under the trained dynamics: for each
+    /// interval boundary `t = 0..=N_T`, the expected number of remaining
+    /// tasks and (for `t < N_T`) the expected reward posted — the
+    /// "planned flight path" useful for dashboards and sanity checks.
+    pub fn expected_trajectory(&self, problem: &DeadlineProblem) -> Trajectory {
+        let n = self.n_tasks as usize;
+        let mut dist = vec![0.0f64; n + 1];
+        dist[n] = 1.0;
+        let mut next = vec![0.0f64; n + 1];
+        let mut pmf = vec![0.0f64; n + 1];
+        let mut remaining = Vec::with_capacity(self.n_intervals + 1);
+        let mut posted = Vec::with_capacity(self.n_intervals);
+        for (t, &lam) in problem.interval_arrivals.iter().enumerate() {
+            let exp_rem: f64 = dist.iter().enumerate().map(|(m, &q)| m as f64 * q).sum();
+            remaining.push(exp_rem);
+            // Probability-weighted posted reward across states.
+            let mut price_acc = 0.0;
+            let mut mass_acc = 0.0;
+            next.iter_mut().for_each(|v| *v = 0.0);
+            next[0] = dist[0];
+            for m in 1..=n {
+                let mass = dist[m];
+                if mass <= 1e-300 {
+                    continue;
+                }
+                let a = self.actions.get(self.action_index(m as u32, t));
+                price_acc += mass * a.reward;
+                mass_acc += mass;
+                let pois = Poisson::new(lam * a.accept);
+                let head = pois.pmf_prefix(&mut pmf[..m]);
+                for (s, &q) in pmf[..m].iter().enumerate() {
+                    next[m - s] += mass * q;
+                }
+                next[0] += mass * (1.0 - head).max(0.0);
+            }
+            posted.push(if mass_acc > 0.0 {
+                price_acc / mass_acc
+            } else {
+                f64::NAN
+            });
+            std::mem::swap(&mut dist, &mut next);
+        }
+        let exp_rem: f64 = dist.iter().enumerate().map(|(m, &q)| m as f64 * q).sum();
+        remaining.push(exp_rem);
+        Trajectory {
+            expected_remaining: remaining,
+            expected_posted_reward: posted,
+        }
+    }
+}
+
+/// The expected flight path of a campaign (see
+/// [`DeadlinePolicy::expected_trajectory`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trajectory {
+    /// Expected remaining tasks at each interval boundary (`N_T + 1`
+    /// entries; the last is the deadline state).
+    pub expected_remaining: Vec<f64>,
+    /// Expected posted reward in each interval, conditioned on the batch
+    /// being unfinished (`N_T` entries).
+    pub expected_posted_reward: Vec<f64>,
+}
+
+impl PriceController for DeadlinePolicy {
+    fn price(&self, n_remaining: u32, t: usize) -> f64 {
+        let n = n_remaining.min(self.n_tasks);
+        let t = t.min(self.n_intervals - 1);
+        if n == 0 {
+            return self.actions.min_reward();
+        }
+        self.actions.get(self.action_index(n, t)).reward
+    }
+}
+
+/// Exact (distribution-propagated) evaluation result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExactOutcome {
+    /// Expected total rewards paid for completed tasks.
+    pub expected_paid: f64,
+    /// Expected terminal penalty.
+    pub expected_penalty: f64,
+    /// Expected number of unfinished tasks at the deadline.
+    pub expected_remaining: f64,
+    /// Probability that all tasks finish by the deadline.
+    pub prob_all_done: f64,
+    /// Expected number of completed tasks.
+    pub expected_completed: f64,
+    /// Final distribution over remaining-task counts.
+    pub final_distribution: Vec<f64>,
+}
+
+impl ExactOutcome {
+    /// Expected paid + penalty — the MDP objective.
+    pub fn expected_total_cost(&self) -> f64 {
+        self.expected_paid + self.expected_penalty
+    }
+
+    /// Average reward per completed task (the Fig. 7(a) y-axis).
+    pub fn average_reward(&self) -> f64 {
+        if self.expected_completed <= 0.0 {
+            f64::NAN
+        } else {
+            self.expected_paid / self.expected_completed
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actions::{ActionSet, PriceAction};
+
+    fn tiny_policy() -> (DeadlinePolicy, DeadlineProblem) {
+        // 2 tasks, 2 intervals, 2 actions. Hand-build a policy that always
+        // picks action 1 (reward 10, accept 0.5) and check the forward
+        // pass arithmetic.
+        let actions = ActionSet::new(vec![
+            PriceAction { reward: 5.0, accept: 0.25 },
+            PriceAction { reward: 10.0, accept: 0.5 },
+        ]);
+        let n_tasks = 2u32;
+        let n_intervals = 2usize;
+        let width = 3;
+        let price_idx = vec![1u32; n_intervals * width];
+        let opt = vec![0.0; (n_intervals + 1) * width];
+        let problem = DeadlineProblem::new(
+            n_tasks,
+            vec![2.0, 2.0],
+            actions.clone(),
+            PenaltyModel::Linear { per_task: 100.0 },
+        );
+        (
+            DeadlinePolicy::new(n_tasks, n_intervals, price_idx, opt, actions),
+            problem,
+        )
+    }
+
+    #[test]
+    fn forward_pass_conserves_probability() {
+        let (policy, problem) = tiny_policy();
+        let out = policy.evaluate(&problem);
+        let total: f64 = out.final_distribution.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "mass leaked: {total}");
+        assert!(out.expected_remaining >= 0.0 && out.expected_remaining <= 2.0);
+        assert!((out.expected_completed + out.expected_remaining - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn forward_pass_single_interval_arithmetic() {
+        // One interval, one task, λp = 1.0: P(complete) = P(X ≥ 1) =
+        // 1 − e^{−1}; expected paid = reward · P.
+        let actions = ActionSet::new(vec![PriceAction { reward: 10.0, accept: 0.5 }]);
+        let policy = DeadlinePolicy::new(1, 1, vec![0, 0], vec![0.0; 4], actions.clone());
+        let problem = DeadlineProblem::new(
+            1,
+            vec![2.0],
+            actions,
+            PenaltyModel::Linear { per_task: 50.0 },
+        );
+        let out = policy.evaluate(&problem);
+        let p_done = 1.0 - (-1.0f64).exp();
+        assert!((out.prob_all_done - p_done).abs() < 1e-12);
+        assert!((out.expected_paid - 10.0 * p_done).abs() < 1e-12);
+        assert!((out.expected_penalty - 50.0 * (1.0 - p_done)).abs() < 1e-12);
+        assert!(
+            (out.expected_total_cost() - (10.0 * p_done + 50.0 * (1.0 - p_done))).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn trajectory_is_consistent_with_evaluation() {
+        let (policy, problem) = tiny_policy();
+        let traj = policy.expected_trajectory(&problem);
+        let out = policy.evaluate(&problem);
+        assert_eq!(traj.expected_remaining.len(), problem.n_intervals() + 1);
+        assert_eq!(traj.expected_posted_reward.len(), problem.n_intervals());
+        // Starts with the full batch, ends at the evaluated remainder.
+        assert!((traj.expected_remaining[0] - 2.0).abs() < 1e-12);
+        let last = *traj.expected_remaining.last().unwrap();
+        assert!((last - out.expected_remaining).abs() < 1e-9);
+        // Remaining tasks are non-increasing in expectation.
+        for w in traj.expected_remaining.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+        // Posted rewards come from the action set.
+        for &p in &traj.expected_posted_reward {
+            assert!((5.0..=10.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn evaluation_under_true_dynamics_differs() {
+        let (policy, problem) = tiny_policy();
+        let trained = policy.evaluate(&problem);
+        // True acceptance much lower → more remaining tasks.
+        let degraded = policy.evaluate_against(
+            &problem.interval_arrivals,
+            |_c| 0.05,
+            &problem.penalty,
+        );
+        assert!(degraded.expected_remaining > trained.expected_remaining);
+    }
+
+    #[test]
+    fn fixed_price_controller() {
+        let f = FixedPrice(16.0);
+        assert_eq!(f.price(100, 3), 16.0);
+        assert_eq!(f.price(0, 0), 16.0);
+    }
+
+    #[test]
+    fn average_reward_nan_when_nothing_completes() {
+        let out = ExactOutcome {
+            expected_paid: 0.0,
+            expected_penalty: 0.0,
+            expected_remaining: 2.0,
+            prob_all_done: 0.0,
+            expected_completed: 0.0,
+            final_distribution: vec![0.0, 0.0, 1.0],
+        };
+        assert!(out.average_reward().is_nan());
+    }
+}

@@ -1,0 +1,149 @@
+//! The fixed-deadline pricing problem specification (Section 3.1).
+
+use crate::actions::ActionSet;
+use crate::penalty::PenaltyModel;
+use ft_market::{AcceptanceFn, ArrivalRate, PriceGrid};
+use serde::{Deserialize, Serialize};
+
+/// A fixed-deadline pricing problem after time discretization:
+/// `N` tasks, `N_T` intervals with expected worker-arrival masses `λ_t`
+/// (Eq. 4), a price action set, and a terminal penalty.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeadlineProblem {
+    /// Batch size `N`.
+    pub n_tasks: u32,
+    /// Expected worker arrivals per interval, `λ_t = ∫ λ(s) ds`.
+    pub interval_arrivals: Vec<f64>,
+    /// The available price actions with their (trained) acceptance
+    /// probabilities.
+    pub actions: ActionSet,
+    /// Terminal penalty for unfinished tasks.
+    pub penalty: PenaltyModel,
+}
+
+impl DeadlineProblem {
+    pub fn new(
+        n_tasks: u32,
+        interval_arrivals: Vec<f64>,
+        actions: ActionSet,
+        penalty: PenaltyModel,
+    ) -> Self {
+        assert!(n_tasks > 0, "need at least one task");
+        assert!(!interval_arrivals.is_empty(), "need at least one interval");
+        for &l in &interval_arrivals {
+            assert!(l >= 0.0 && l.is_finite(), "interval arrivals must be ≥ 0");
+        }
+        Self {
+            n_tasks,
+            interval_arrivals,
+            actions,
+            penalty,
+        }
+    }
+
+    /// Build from marketplace primitives: discretize `[0, horizon_hours]`
+    /// into `n_intervals` slices of the arrival-rate function, and expand
+    /// the price grid through the acceptance function.
+    pub fn from_market<A, P>(
+        n_tasks: u32,
+        horizon_hours: f64,
+        n_intervals: usize,
+        arrival: &A,
+        grid: PriceGrid,
+        acceptance: &P,
+        penalty: PenaltyModel,
+    ) -> Self
+    where
+        A: ArrivalRate + ?Sized,
+        P: AcceptanceFn + ?Sized,
+    {
+        let interval_arrivals = arrival.interval_means(horizon_hours, n_intervals);
+        let actions = ActionSet::from_grid(grid, acceptance);
+        Self::new(n_tasks, interval_arrivals, actions, penalty)
+    }
+
+    /// Number of decision intervals `N_T`.
+    pub fn n_intervals(&self) -> usize {
+        self.interval_arrivals.len()
+    }
+
+    /// Total expected worker arrivals before the deadline, `∫_0^T λ`.
+    pub fn total_arrivals(&self) -> f64 {
+        self.interval_arrivals.iter().sum()
+    }
+
+    /// The theoretical lower bound `c₀` on any strategy's average task
+    /// reward (Section 5.2.1): the smallest action whose acceptance
+    /// satisfies `p(c₀) ≥ N / ∫λ`. Returns the action index.
+    pub fn reward_lower_bound_index(&self) -> Option<usize> {
+        let need = self.n_tasks as f64 / self.total_arrivals();
+        (0..self.actions.len()).find(|&i| self.actions.get(i).accept >= need)
+    }
+
+    /// Same problem with a different penalty.
+    pub fn with_penalty(&self, penalty: PenaltyModel) -> Self {
+        Self {
+            penalty,
+            ..self.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_market::{ConstantRate, LogitAcceptance};
+
+    fn paper_like_problem() -> DeadlineProblem {
+        // 200 tasks, 24h, 72 intervals, ≈5100 workers/hour.
+        DeadlineProblem::from_market(
+            200,
+            24.0,
+            72,
+            &ConstantRate::new(5100.0),
+            PriceGrid::new(0, 40),
+            &LogitAcceptance::paper_eq13(),
+            PenaltyModel::Linear { per_task: 1000.0 },
+        )
+    }
+
+    #[test]
+    fn dimensions() {
+        let p = paper_like_problem();
+        assert_eq!(p.n_intervals(), 72);
+        assert_eq!(p.actions.len(), 41);
+        assert!((p.total_arrivals() - 5100.0 * 24.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn paper_c0_is_about_12() {
+        // Section 5.2.1: with N=200, T=24h and Eq. 13, c₀ ≈ 12.
+        let p = paper_like_problem();
+        let idx = p.reward_lower_bound_index().unwrap();
+        let c0 = p.actions.get(idx).reward;
+        assert!((11.0..=13.0).contains(&c0), "c0 = {c0}");
+    }
+
+    #[test]
+    fn unreachable_lower_bound() {
+        // A tiny marketplace can't finish 200 tasks at any price.
+        let p = DeadlineProblem::from_market(
+            200,
+            1.0,
+            4,
+            &ConstantRate::new(10.0),
+            PriceGrid::new(0, 40),
+            &LogitAcceptance::paper_eq13(),
+            PenaltyModel::Linear { per_task: 1000.0 },
+        );
+        assert!(p.reward_lower_bound_index().is_none());
+    }
+
+    #[test]
+    fn with_penalty_replaces_only_penalty() {
+        let p = paper_like_problem();
+        let q = p.with_penalty(PenaltyModel::Linear { per_task: 5.0 });
+        assert_eq!(q.n_tasks, p.n_tasks);
+        assert_eq!(q.penalty.terminal_cost(2), 10.0);
+    }
+}

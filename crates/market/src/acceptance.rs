@@ -1,0 +1,231 @@
+//! Task acceptance probability functions `p(c)` (Section 2.2).
+//!
+//! The paper's parametric form (Eq. 3) is
+//! `p(c) = exp(c/s − b) / (exp(c/s − b) + M)`, with the live calibration
+//! (Eq. 13) being `s = 15, b = −0.39, M = 2000` (c in cents).
+
+use crate::types::Cents;
+use ft_stats::regression::Logistic;
+use serde::{Deserialize, Serialize};
+
+/// A map from task reward (cents) to acceptance probability.
+pub trait AcceptanceFn: Send + Sync {
+    /// Probability that an arriving worker picks up one of our tasks when
+    /// the reward is `c` cents. Must be in `[0, 1]` and non-decreasing in
+    /// `c`.
+    fn p(&self, c: Cents) -> f64;
+
+    /// Smallest grid price whose acceptance probability reaches `target`,
+    /// searching `[lo, hi]`; `None` if even `hi` falls short.
+    fn price_for(&self, target: f64, lo: Cents, hi: Cents) -> Option<Cents> {
+        if self.p(hi) < target {
+            return None;
+        }
+        let (mut lo, mut hi) = (lo, hi);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.p(mid) >= target {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        Some(lo)
+    }
+}
+
+/// The conditional-logit acceptance function of Eq. 3.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogitAcceptance {
+    /// Price sensitivity scale `s` (cents per unit utility).
+    pub s: f64,
+    /// Intrinsic (dis)utility offset `b` of our task.
+    pub b: f64,
+    /// Aggregate attractiveness `M` of all competing tasks.
+    pub m: f64,
+}
+
+impl LogitAcceptance {
+    pub fn new(s: f64, b: f64, m: f64) -> Self {
+        assert!(s > 0.0 && s.is_finite(), "s must be positive, got {s}");
+        assert!(b.is_finite(), "b must be finite");
+        assert!(m > 0.0 && m.is_finite(), "M must be positive, got {m}");
+        Self { s, b, m }
+    }
+
+    /// The paper's live calibration (Eq. 13): a Data Collection task with a
+    /// 2-minute completion time on a marketplace completing ≈6000 tasks/hr.
+    pub fn paper_eq13() -> Self {
+        Self::new(15.0, -0.39, 2000.0)
+    }
+
+    /// Acceptance probability at a real-valued price (used by calibration).
+    pub fn p_f64(&self, c: f64) -> f64 {
+        let e = (c / self.s - self.b).exp();
+        e / (e + self.m)
+    }
+
+    /// Utility of our task at reward `c` (up to the shared logit scale).
+    pub fn utility(&self, c: f64) -> f64 {
+        c / self.s - self.b
+    }
+}
+
+impl AcceptanceFn for LogitAcceptance {
+    fn p(&self, c: Cents) -> f64 {
+        self.p_f64(c as f64)
+    }
+}
+
+/// Acceptance probabilities tabulated at integer prices, linearly
+/// interpolated — the representation used when `p(c)` is estimated
+/// empirically from fixed-price trials (Section 5.4.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableAcceptance {
+    /// Sorted `(price, probability)` anchors.
+    anchors: Vec<(Cents, f64)>,
+}
+
+impl TableAcceptance {
+    pub fn new(mut anchors: Vec<(Cents, f64)>) -> Self {
+        assert!(!anchors.is_empty(), "need at least one anchor");
+        anchors.sort_by_key(|&(c, _)| c);
+        for w in anchors.windows(2) {
+            assert!(w[0].0 < w[1].0, "duplicate anchor price {}", w[0].0);
+            assert!(
+                w[0].1 <= w[1].1 + 1e-12,
+                "acceptance must be non-decreasing in price"
+            );
+        }
+        for &(_, p) in &anchors {
+            assert!((0.0..=1.0).contains(&p), "probability out of [0,1]: {p}");
+        }
+        Self { anchors }
+    }
+
+    pub fn anchors(&self) -> &[(Cents, f64)] {
+        &self.anchors
+    }
+}
+
+impl AcceptanceFn for TableAcceptance {
+    fn p(&self, c: Cents) -> f64 {
+        let first = self.anchors[0];
+        let last = self.anchors[self.anchors.len() - 1];
+        if c <= first.0 {
+            return first.1;
+        }
+        if c >= last.0 {
+            return last.1;
+        }
+        let idx = self
+            .anchors
+            .partition_point(|&(ac, _)| ac <= c)
+            .saturating_sub(1);
+        let (c0, p0) = self.anchors[idx];
+        let (c1, p1) = self.anchors[idx + 1];
+        p0 + (p1 - p0) * (c - c0) as f64 / (c1 - c0) as f64
+    }
+}
+
+/// Fit the logit form of Eq. 3 to `(price, empirical acceptance)` samples.
+///
+/// Writing `p = σ(c/s − b − ln M)` shows Eq. 3 is a logistic regression of
+/// the acceptance indicator on the price with slope `1/s` and intercept
+/// `−b − ln M`; `b` and `M` are not separately identifiable from acceptance
+/// data alone, so the caller supplies `M` (the competing-task mass, known
+/// from marketplace-wide throughput).
+pub fn fit_logit_acceptance(
+    samples: &[(Cents, f64)],
+    weights: Option<&[f64]>,
+    m: f64,
+) -> Option<LogitAcceptance> {
+    assert!(samples.len() >= 2, "need at least two samples");
+    let feats: Vec<Vec<f64>> = samples.iter().map(|&(c, _)| vec![c as f64]).collect();
+    let ys: Vec<f64> = samples.iter().map(|&(_, p)| p).collect();
+    let fit = Logistic::fit_weighted(&feats, &ys, weights)?;
+    let slope = fit.coefficients[0];
+    let intercept = fit.coefficients[1];
+    if slope <= 0.0 {
+        return None; // acceptance must increase with price
+    }
+    let s = 1.0 / slope;
+    let b = -intercept - m.ln();
+    Some(LogitAcceptance::new(s, b, m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {b}, got {a} (tol {tol})");
+    }
+
+    #[test]
+    fn eq13_reference_values() {
+        let a = LogitAcceptance::paper_eq13();
+        // p(12) ≈ exp(1.19) / (exp(1.19) + 2000) ≈ 0.001641
+        assert_close(a.p(12), 0.001641, 2e-5);
+        // Monotone and in range.
+        let mut prev = 0.0;
+        for c in 0..=100 {
+            let p = a.p(c);
+            assert!((0.0..=1.0).contains(&p));
+            assert!(p >= prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn logit_saturates_at_one() {
+        let a = LogitAcceptance::new(15.0, -0.39, 2000.0);
+        assert!(a.p_f64(500.0) > 0.999_999);
+        assert!(a.p_f64(0.0) > 0.0);
+    }
+
+    #[test]
+    fn price_for_inverts_p() {
+        let a = LogitAcceptance::paper_eq13();
+        let target = a.p(37);
+        let c = a.price_for(target, 0, 200).unwrap();
+        assert_eq!(c, 37);
+        // Unreachable target.
+        assert!(a.price_for(0.9999999999, 0, 50).is_none());
+    }
+
+    #[test]
+    fn table_acceptance_interpolates() {
+        let t = TableAcceptance::new(vec![(10, 0.1), (20, 0.3), (40, 0.4)]);
+        assert_close(t.p(10), 0.1, 1e-12);
+        assert_close(t.p(15), 0.2, 1e-12);
+        assert_close(t.p(30), 0.35, 1e-12);
+        // Clamping outside the anchor range.
+        assert_close(t.p(5), 0.1, 1e-12);
+        assert_close(t.p(100), 0.4, 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn table_rejects_decreasing() {
+        TableAcceptance::new(vec![(10, 0.5), (20, 0.3)]);
+    }
+
+    #[test]
+    fn fit_recovers_eq13() {
+        let truth = LogitAcceptance::paper_eq13();
+        let samples: Vec<(Cents, f64)> = (5..=60).step_by(5).map(|c| (c, truth.p(c))).collect();
+        let fit = fit_logit_acceptance(&samples, None, 2000.0).unwrap();
+        assert_close(fit.s, 15.0, 0.5);
+        assert_close(fit.b, -0.39, 0.1);
+        for c in [8u32, 12, 20, 45] {
+            assert_close(fit.p(c), truth.p(c), 1e-4);
+        }
+    }
+
+    #[test]
+    fn fit_rejects_decreasing_acceptance() {
+        let samples = vec![(10u32, 0.9), (20u32, 0.5), (30u32, 0.1)];
+        assert!(fit_logit_acceptance(&samples, None, 100.0).is_none());
+    }
+}

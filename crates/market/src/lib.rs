@@ -1,0 +1,35 @@
+//! # ft-market
+//!
+//! Crowdsourcing-marketplace substrate for the `finish-them` workspace:
+//! everything the pricing algorithms of Gao & Parameswaran (VLDB 2014)
+//! assume exists around them.
+//!
+//! - [`rate`]: NHPP arrival-rate functions λ(t) with exact interval
+//!   integrals (Eq. 4).
+//! - [`nhpp`]: exact NHPP samplers — event times by thinning, per-interval
+//!   Poisson counts.
+//! - [`acceptance`]: task acceptance probability functions `p(c)` (Eq. 3,
+//!   empirical tables, and calibration from samples).
+//! - [`logit`]: the conditional-logit discrete choice model and the
+//!   utility-based simulation of Section 5.1.1.
+//! - [`tracker`]: synthetic mturk-tracker traces (Fig. 1) and HIT-group
+//!   snapshots (Fig. 6 / Table 2) — see DESIGN.md for the substitution
+//!   rationale.
+//! - [`worker`]: answer accuracy and session-length behavior models
+//!   (Tables 3/4, Fig. 15).
+//! - [`sim`]: the event-driven live-marketplace simulator used to
+//!   reproduce the Section 5.4 Mechanical Turk deployment (Fig. 12).
+
+pub mod acceptance;
+pub mod logit;
+pub mod nhpp;
+pub mod rate;
+pub mod sim;
+pub mod tracker;
+pub mod types;
+pub mod worker;
+
+pub use acceptance::{fit_logit_acceptance, AcceptanceFn, LogitAcceptance, TableAcceptance};
+pub use rate::{ArrivalRate, ConstantRate, PiecewiseConstantRate, PiecewiseLinearRate};
+pub use tracker::{TrackerConfig, TrackerTrace};
+pub use types::{Cents, Hours, PriceGrid, TaskCount, TaskType};

@@ -1,0 +1,250 @@
+//! Conditional logit discrete-choice model (Section 2.2) and the
+//! utility-based choice simulation of Section 5.1.1 (Fig. 5).
+//!
+//! Workers perceive a utility `U_i = βᵀz_i + ε_i` for each task in the
+//! marketplace, with i.i.d. Gumbel noise ε; the chosen task maximizes
+//! perceived utility, making choice probabilities multinomial-logit.
+
+use ft_stats::{Gumbel, Normal};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A marketplace task seen through the choice model: a deterministic
+/// utility component (already multiplied by β).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChoiceTask {
+    /// Deterministic utility βᵀz of this task.
+    pub utility: f64,
+}
+
+/// The conditional logit model over a set of tasks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConditionalLogit {
+    tasks: Vec<ChoiceTask>,
+}
+
+impl ConditionalLogit {
+    pub fn new(tasks: Vec<ChoiceTask>) -> Self {
+        assert!(!tasks.is_empty(), "choice model needs at least one task");
+        Self { tasks }
+    }
+
+    pub fn tasks(&self) -> &[ChoiceTask] {
+        &self.tasks
+    }
+
+    /// Multinomial-logit choice probability of task `i`:
+    /// `exp(u_i) / Σ_j exp(u_j)` (Section 2.2), computed stably.
+    pub fn choice_prob(&self, i: usize) -> f64 {
+        assert!(i < self.tasks.len(), "task index out of range");
+        let max_u = self
+            .tasks
+            .iter()
+            .map(|t| t.utility)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let z: f64 = self.tasks.iter().map(|t| (t.utility - max_u).exp()).sum();
+        (self.tasks[i].utility - max_u).exp() / z
+    }
+
+    /// Sample a choice by adding Gumbel noise and taking the argmax —
+    /// the generative view of the logit model.
+    pub fn sample_choice<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let g = Gumbel::standard();
+        let mut best = 0;
+        let mut best_u = f64::NEG_INFINITY;
+        for (i, t) in self.tasks.iter().enumerate() {
+            let u = t.utility + g.sample(rng);
+            if u > best_u {
+                best_u = u;
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+/// Configuration of the Section 5.1.1 utility simulation:
+/// 100 competing tasks with worker-perceived utilities
+/// `U_i ~ N(μ_i, σ_i²)`, `μ_i ~ N(0,1)`, `σ_i ~ U[0,1]`; our task has
+/// `μ_1 = c/50 − 1` and `σ_1 ~ U[0,1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UtilitySimConfig {
+    /// Number of tasks on the marketplace including ours.
+    pub n_tasks: usize,
+    /// Worker samples per price point.
+    pub samples_per_price: usize,
+    /// Price divisor in μ₁ = c/divisor − shift.
+    pub price_divisor: f64,
+    /// Price shift in μ₁ = c/divisor − shift.
+    pub price_shift: f64,
+}
+
+impl Default for UtilitySimConfig {
+    fn default() -> Self {
+        Self {
+            n_tasks: 100,
+            samples_per_price: 2_000,
+            price_divisor: 50.0,
+            price_shift: 1.0,
+        }
+    }
+}
+
+/// The Section 5.1.1 utility-choice simulator. Each worker draw samples a
+/// fresh marketplace: competitor mean utilities `μ_i ~ N(0,1)` observed
+/// through per-task perception noise `σ_i ~ U[0,1]`, and our task's
+/// perceived utility `N(c/50 − 1, σ_1²)` with `σ_1 ~ U[0,1]`.
+#[derive(Debug, Clone, Copy)]
+pub struct UtilitySim {
+    config: UtilitySimConfig,
+}
+
+impl UtilitySim {
+    pub fn new(config: UtilitySimConfig) -> Self {
+        assert!(config.n_tasks >= 2, "need our task plus competitors");
+        assert!(config.samples_per_price > 0, "need at least one sample");
+        Self { config }
+    }
+
+    /// Estimate the acceptance probability of our task at reward `c` by
+    /// repeatedly sampling all tasks' perceived utilities and counting how
+    /// often ours wins. Note the scale: beating 99 competitors is rare, so
+    /// `p` lives in roughly `[0, 0.05]` — exactly the regime of real
+    /// marketplace acceptance probabilities.
+    pub fn acceptance_at<R: Rng + ?Sized>(&self, c: f64, rng: &mut R) -> f64 {
+        let our_mu = c / self.config.price_divisor - self.config.price_shift;
+        let std_normal = Normal::standard();
+        let n_competitors = self.config.n_tasks - 1;
+        let mut wins = 0u64;
+        for _ in 0..self.config.samples_per_price {
+            let our_sigma = rng.gen::<f64>().max(1e-6);
+            let u1 = our_mu + our_sigma * std_normal.sample(rng);
+            let mut best_other = f64::NEG_INFINITY;
+            for _ in 0..n_competitors {
+                let mu = std_normal.sample(rng);
+                let sigma = rng.gen::<f64>();
+                let u = mu + sigma * std_normal.sample(rng);
+                if u > best_other {
+                    best_other = u;
+                }
+            }
+            if u1 > best_other {
+                wins += 1;
+            }
+        }
+        wins as f64 / self.config.samples_per_price as f64
+    }
+
+    /// Sweep prices `0..=max_price` and return `(c, p̂(c))` pairs — the
+    /// blue dots of Fig. 5.
+    pub fn sweep<R: Rng + ?Sized>(&self, max_price: u32, step: u32, rng: &mut R) -> Vec<(f64, f64)> {
+        assert!(step > 0, "step must be positive");
+        (0..=max_price)
+            .step_by(step as usize)
+            .map(|c| (c as f64, self.acceptance_at(c as f64, rng)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_stats::seeded_rng;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {b}, got {a} (tol {tol})");
+    }
+
+    #[test]
+    fn choice_probs_sum_to_one() {
+        let m = ConditionalLogit::new(vec![
+            ChoiceTask { utility: 0.0 },
+            ChoiceTask { utility: 1.0 },
+            ChoiceTask { utility: -2.0 },
+        ]);
+        let total: f64 = (0..3).map(|i| m.choice_prob(i)).sum();
+        assert_close(total, 1.0, 1e-12);
+        assert!(m.choice_prob(1) > m.choice_prob(0));
+        assert!(m.choice_prob(0) > m.choice_prob(2));
+    }
+
+    #[test]
+    fn choice_probs_stable_under_large_utilities() {
+        let m = ConditionalLogit::new(vec![
+            ChoiceTask { utility: 1000.0 },
+            ChoiceTask { utility: 999.0 },
+        ]);
+        let p0 = m.choice_prob(0);
+        let expected = 1.0 / (1.0 + (-1.0f64).exp());
+        assert_close(p0, expected, 1e-12);
+    }
+
+    #[test]
+    fn sampled_choices_match_probabilities() {
+        let m = ConditionalLogit::new(vec![
+            ChoiceTask { utility: 0.5 },
+            ChoiceTask { utility: 0.0 },
+            ChoiceTask { utility: 1.5 },
+        ]);
+        let mut rng = seeded_rng(21);
+        let trials = 100_000;
+        let mut counts = [0u64; 3];
+        for _ in 0..trials {
+            counts[m.sample_choice(&mut rng)] += 1;
+        }
+        for (i, &count) in counts.iter().enumerate() {
+            assert_close(count as f64 / trials as f64, m.choice_prob(i), 0.01);
+        }
+    }
+
+    #[test]
+    fn utility_sim_acceptance_increases_with_price() {
+        let mut rng = seeded_rng(33);
+        let cfg = UtilitySimConfig {
+            samples_per_price: 30_000,
+            ..Default::default()
+        };
+        let sim = UtilitySim::new(cfg);
+        let p_low = sim.acceptance_at(0.0, &mut rng);
+        let p_mid = sim.acceptance_at(50.0, &mut rng);
+        let p_high = sim.acceptance_at(100.0, &mut rng);
+        assert!(p_low < p_mid, "p(0)={p_low} !< p(50)={p_mid}");
+        assert!(p_mid < p_high, "p(50)={p_mid} !< p(100)={p_high}");
+        // At c=100, μ₁ = 1 beats the max of 99 competitors a small but
+        // clearly visible fraction of the time.
+        assert!(p_high > 0.005 && p_high < 0.5, "p_high={p_high}");
+    }
+
+    #[test]
+    fn utility_sim_midpoint_benchmark() {
+        // At μ₁ = 0 (c = 50) our fixed-mean task must beat the *max* of 99
+        // competitors whose means are themselves N(0,1) draws (max ≈ 2.5),
+        // so p is small — order 1e-4 to 1e-3, matching the tiny real-world
+        // acceptance probabilities of Section 5.1.2.
+        let mut rng = seeded_rng(35);
+        let cfg = UtilitySimConfig {
+            samples_per_price: 60_000,
+            ..Default::default()
+        };
+        let sim = UtilitySim::new(cfg);
+        let p = sim.acceptance_at(50.0, &mut rng);
+        assert!((5e-5..5e-3).contains(&p), "p(50) = {p}");
+    }
+
+    #[test]
+    fn utility_sim_sweep_shape() {
+        let mut rng = seeded_rng(34);
+        let cfg = UtilitySimConfig {
+            samples_per_price: 500,
+            ..Default::default()
+        };
+        let sim = UtilitySim::new(cfg);
+        let pts = sim.sweep(100, 10, &mut rng);
+        assert_eq!(pts.len(), 11);
+        assert_eq!(pts[0].0, 0.0);
+        assert_eq!(pts[10].0, 100.0);
+        for &(_, p) in &pts {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Non-Homogeneous Poisson Process sampling (Section 2.1).
+//!
+//! Two samplers are provided:
+//! - [`sample_event_times`]: exact event times by thinning (Lewis–Shedler),
+//!   used by the event-driven marketplace simulator;
+//! - [`sample_interval_counts`]: per-interval counts (one Poisson draw per
+//!   interval), used by the fast Monte-Carlo policy executor.
+
+use crate::rate::ArrivalRate;
+use ft_stats::Poisson;
+use rand::Rng;
+
+/// Sample exact arrival times in `[0, horizon)` by thinning against a
+/// majorizing constant rate `rate_bound ≥ sup λ(t)`.
+///
+/// Panics if `rate_bound` is not a valid upper bound at a proposed point
+/// (within a small tolerance), which would silently bias the sample.
+pub fn sample_event_times<A: ArrivalRate + ?Sized, R: Rng + ?Sized>(
+    arrival: &A,
+    horizon: f64,
+    rate_bound: f64,
+    rng: &mut R,
+) -> Vec<f64> {
+    assert!(horizon > 0.0, "horizon must be positive");
+    assert!(rate_bound > 0.0, "rate bound must be positive");
+    let mut events = Vec::new();
+    let mut t = 0.0;
+    loop {
+        // Exponential inter-arrival of the homogeneous majorizer.
+        let mut u: f64 = rng.gen();
+        while u <= f64::MIN_POSITIVE {
+            u = rng.gen();
+        }
+        t -= u.ln() / rate_bound;
+        if t >= horizon {
+            break;
+        }
+        let lam = arrival.rate(t);
+        assert!(
+            lam <= rate_bound * (1.0 + 1e-9),
+            "rate_bound {rate_bound} is not an upper bound: λ({t}) = {lam}"
+        );
+        if rng.gen::<f64>() * rate_bound < lam {
+            events.push(t);
+        }
+    }
+    events
+}
+
+/// Sample per-interval arrival counts for `n_intervals` equal slices of
+/// `[0, horizon]`: each count is `Pois(λ_t)` with λ_t from Eq. 4.
+pub fn sample_interval_counts<A: ArrivalRate + ?Sized, R: Rng + ?Sized>(
+    arrival: &A,
+    horizon: f64,
+    n_intervals: usize,
+    rng: &mut R,
+) -> Vec<u64> {
+    arrival
+        .interval_means(horizon, n_intervals)
+        .into_iter()
+        .map(|m| Poisson::new(m).sample(rng))
+        .collect()
+}
+
+/// Sample the count of a *thinned* NHPP over one interval with mean
+/// `lambda_t` and thinning probability `p` — the per-interval completion
+/// count `Pois(λ_t · p(c))` of Eq. 5.
+pub fn sample_thinned_count<R: Rng + ?Sized>(lambda_t: f64, p: f64, rng: &mut R) -> u64 {
+    assert!((0.0..=1.0).contains(&p), "thinning probability must be in [0,1]");
+    Poisson::new(lambda_t * p).sample(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rate::{ConstantRate, PiecewiseConstantRate};
+    use ft_stats::seeded_rng;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {b}, got {a} (tol {tol})");
+    }
+
+    #[test]
+    fn thinning_matches_expected_count_constant() {
+        let r = ConstantRate::new(50.0);
+        let mut rng = seeded_rng(1);
+        let trials = 500;
+        let total: usize = (0..trials)
+            .map(|_| sample_event_times(&r, 10.0, 50.0, &mut rng).len())
+            .sum();
+        let mean = total as f64 / trials as f64;
+        // E = 500 events; σ/√trials ≈ 1.
+        assert_close(mean, 500.0, 4.0);
+    }
+
+    #[test]
+    fn thinning_matches_expected_count_piecewise() {
+        let r = PiecewiseConstantRate::new(1.0, vec![10.0, 90.0, 20.0], false);
+        let mut rng = seeded_rng(2);
+        let trials = 1000;
+        let total: usize = (0..trials)
+            .map(|_| sample_event_times(&r, 3.0, 90.0, &mut rng).len())
+            .sum();
+        let mean = total as f64 / trials as f64;
+        assert_close(mean, 120.0, 2.0);
+    }
+
+    #[test]
+    fn thinning_events_are_sorted_and_in_range() {
+        let r = ConstantRate::new(30.0);
+        let mut rng = seeded_rng(3);
+        let events = sample_event_times(&r, 5.0, 30.0, &mut rng);
+        for w in events.windows(2) {
+            assert!(w[0] < w[1], "events must be strictly increasing");
+        }
+        assert!(events.iter().all(|&t| (0.0..5.0).contains(&t)));
+    }
+
+    #[test]
+    fn thinning_concentrates_in_high_rate_bins() {
+        let r = PiecewiseConstantRate::new(1.0, vec![5.0, 100.0], false);
+        let mut rng = seeded_rng(4);
+        let mut lo = 0usize;
+        let mut hi = 0usize;
+        for _ in 0..200 {
+            for t in sample_event_times(&r, 2.0, 100.0, &mut rng) {
+                if t < 1.0 {
+                    lo += 1;
+                } else {
+                    hi += 1;
+                }
+            }
+        }
+        let ratio = hi as f64 / lo as f64;
+        assert_close(ratio, 20.0, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an upper bound")]
+    fn thinning_rejects_bad_bound() {
+        let r = ConstantRate::new(100.0);
+        let mut rng = seeded_rng(5);
+        sample_event_times(&r, 10.0, 10.0, &mut rng);
+    }
+
+    #[test]
+    fn interval_counts_have_right_mean() {
+        let r = PiecewiseConstantRate::new(1.0 / 3.0, vec![60.0; 72], true);
+        let mut rng = seeded_rng(6);
+        let trials = 2000;
+        let mut sums = vec![0u64; 12];
+        for _ in 0..trials {
+            for (s, c) in sums
+                .iter_mut()
+                .zip(sample_interval_counts(&r, 4.0, 12, &mut rng))
+            {
+                *s += c;
+            }
+        }
+        for s in sums {
+            // Each interval is 1/3 h at 60/h → mean 20.
+            assert_close(s as f64 / trials as f64, 20.0, 0.5);
+        }
+    }
+
+    #[test]
+    fn thinned_count_mean() {
+        let mut rng = seeded_rng(7);
+        let trials = 20_000;
+        let total: u64 = (0..trials)
+            .map(|_| sample_thinned_count(1700.0, 0.0016, &mut rng))
+            .sum();
+        assert_close(total as f64 / trials as f64, 2.72, 0.05);
+    }
+}

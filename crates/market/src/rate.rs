@@ -1,0 +1,374 @@
+//! Worker arrival-rate functions λ(t) for the Non-Homogeneous Poisson
+//! Process model (Section 2.1).
+//!
+//! The paper assumes λ(t) is periodic (weekly) and estimated from binned
+//! historical data; the DP solvers only consume per-interval integrals
+//! `λ_t = ∫ λ(s) ds` (Eq. 4), which every implementation here provides in
+//! closed form.
+
+use serde::{Deserialize, Serialize};
+
+/// A worker arrival-rate function λ(t), with `t` in hours and λ in
+/// workers/hour.
+pub trait ArrivalRate: Send + Sync {
+    /// Instantaneous rate at time `t` (hours). Must be non-negative.
+    fn rate(&self, t: f64) -> f64;
+
+    /// `∫_a^b λ(s) ds` — the expected number of arrivals in `[a, b]`.
+    fn integral(&self, a: f64, b: f64) -> f64;
+
+    /// Mean rate over `[a, b]` — the λ̄ of Section 4.2.2.
+    fn mean_rate(&self, a: f64, b: f64) -> f64 {
+        assert!(b > a, "mean_rate needs b > a");
+        self.integral(a, b) / (b - a)
+    }
+
+    /// Per-interval expected arrival counts for `n_intervals` equal slices
+    /// of `[0, horizon]` (the λ_t vector of Eq. 4).
+    fn interval_means(&self, horizon: f64, n_intervals: usize) -> Vec<f64> {
+        assert!(horizon > 0.0 && n_intervals > 0, "invalid discretization");
+        let dt = horizon / n_intervals as f64;
+        (0..n_intervals)
+            .map(|i| self.integral(i as f64 * dt, (i + 1) as f64 * dt))
+            .collect()
+    }
+
+    /// Inverse of the cumulative arrival function: the smallest `T ≥ 0`
+    /// with `∫_0^T λ = mass`, found by bracketed bisection. Returns `None`
+    /// if the mass is not reached within `max_hours`.
+    ///
+    /// Used to convert worker-arrival counts into wall-clock completion
+    /// times (the `E[T|W]` mapping of Section 4.2.2).
+    fn inverse_integral(&self, mass: f64, max_hours: f64) -> Option<f64> {
+        assert!(mass >= 0.0, "mass must be non-negative");
+        if mass == 0.0 {
+            return Some(0.0);
+        }
+        if self.integral(0.0, max_hours) < mass {
+            return None;
+        }
+        let (mut lo, mut hi) = (0.0f64, max_hours);
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.integral(0.0, mid) >= mass {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+            if hi - lo < 1e-9 * max_hours.max(1.0) {
+                break;
+            }
+        }
+        Some(hi)
+    }
+}
+
+/// Constant-rate (homogeneous) arrivals.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConstantRate {
+    rate: f64,
+}
+
+impl ConstantRate {
+    pub fn new(rate: f64) -> Self {
+        assert!(rate >= 0.0 && rate.is_finite(), "rate must be ≥ 0");
+        Self { rate }
+    }
+}
+
+impl ArrivalRate for ConstantRate {
+    fn rate(&self, _t: f64) -> f64 {
+        self.rate
+    }
+
+    fn integral(&self, a: f64, b: f64) -> f64 {
+        assert!(b >= a, "integral needs b >= a");
+        self.rate * (b - a)
+    }
+}
+
+/// Piecewise-constant rate over equal-width bins, optionally periodic —
+/// exactly the representation estimated from mturk-tracker snapshots
+/// ("λ(t) is set to be piecewise constant on every 20 minute interval",
+/// Section 5.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PiecewiseConstantRate {
+    /// Bin width in hours.
+    bin_hours: f64,
+    /// Rate (workers/hour) within each bin.
+    rates: Vec<f64>,
+    /// If true, the profile repeats with period `bin_hours * rates.len()`.
+    periodic: bool,
+}
+
+impl PiecewiseConstantRate {
+    pub fn new(bin_hours: f64, rates: Vec<f64>, periodic: bool) -> Self {
+        assert!(bin_hours > 0.0, "bin width must be positive");
+        assert!(!rates.is_empty(), "need at least one bin");
+        for &r in &rates {
+            assert!(r >= 0.0 && r.is_finite(), "rates must be ≥ 0, got {r}");
+        }
+        Self {
+            bin_hours,
+            rates,
+            periodic,
+        }
+    }
+
+    /// Construct from arrival *counts* per bin (rate = count / width).
+    pub fn from_counts(bin_hours: f64, counts: &[f64], periodic: bool) -> Self {
+        let rates = counts.iter().map(|&c| c / bin_hours).collect();
+        Self::new(bin_hours, rates, periodic)
+    }
+
+    pub fn bin_hours(&self) -> f64 {
+        self.bin_hours
+    }
+
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    pub fn period_hours(&self) -> f64 {
+        self.bin_hours * self.rates.len() as f64
+    }
+
+    fn bin_index(&self, t: f64) -> usize {
+        let period = self.period_hours();
+        let t = if self.periodic {
+            t.rem_euclid(period)
+        } else {
+            t.clamp(0.0, period - 1e-12)
+        };
+        ((t / self.bin_hours) as usize).min(self.rates.len() - 1)
+    }
+
+    /// Pointwise scale of all rates (used for sensitivity experiments).
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor >= 0.0, "scale factor must be ≥ 0");
+        Self {
+            bin_hours: self.bin_hours,
+            rates: self.rates.iter().map(|r| r * factor).collect(),
+            periodic: self.periodic,
+        }
+    }
+}
+
+impl ArrivalRate for PiecewiseConstantRate {
+    fn rate(&self, t: f64) -> f64 {
+        if !self.periodic && (t < 0.0 || t >= self.period_hours()) {
+            return 0.0;
+        }
+        self.rates[self.bin_index(t)]
+    }
+
+    fn integral(&self, a: f64, b: f64) -> f64 {
+        assert!(b >= a, "integral needs b >= a");
+        if b == a {
+            return 0.0;
+        }
+        if self.periodic {
+            // F(t) = I_P · ⌊t/P⌋ + G(t mod P) is an antiderivative of the
+            // periodic rate; the integral is F(b) − F(a).
+            let period = self.period_hours();
+            let full = self.within_period_integral(period);
+            let f = |t: f64| full * (t / period).floor() + self.within_period_integral(t.rem_euclid(period));
+            f(b) - f(a)
+        } else {
+            let period = self.period_hours();
+            let a = a.clamp(0.0, period);
+            let b = b.clamp(0.0, period);
+            self.within_period_integral(b) - self.within_period_integral(a)
+        }
+    }
+}
+
+impl PiecewiseConstantRate {
+    /// `∫_0^x λ(s) ds` for `x ∈ [0, period]`, in closed form.
+    fn within_period_integral(&self, x: f64) -> f64 {
+        debug_assert!((0.0..=self.period_hours() + 1e-9).contains(&x));
+        let bh = self.bin_hours;
+        let n = self.rates.len();
+        let raw = x / bh;
+        let full_bins = (raw.floor() as usize).min(n);
+        let mut acc: f64 = self.rates[..full_bins].iter().map(|r| r * bh).sum();
+        if full_bins < n {
+            let frac = x - full_bins as f64 * bh;
+            if frac > 0.0 {
+                acc += self.rates[full_bins] * frac;
+            }
+        }
+        acc
+    }
+}
+
+/// Piecewise-linear rate (Massey et al.'s telecom-traffic form, cited in
+/// Section 2.1): linear interpolation between knots `(t_i, λ_i)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PiecewiseLinearRate {
+    knots: Vec<(f64, f64)>,
+}
+
+impl PiecewiseLinearRate {
+    pub fn new(knots: Vec<(f64, f64)>) -> Self {
+        assert!(knots.len() >= 2, "need at least two knots");
+        for w in knots.windows(2) {
+            assert!(w[1].0 > w[0].0, "knot times must be strictly increasing");
+        }
+        for &(_, r) in &knots {
+            assert!(r >= 0.0 && r.is_finite(), "rates must be ≥ 0");
+        }
+        Self { knots }
+    }
+
+    fn rate_at(&self, t: f64) -> f64 {
+        let first = self.knots[0];
+        let last = self.knots[self.knots.len() - 1];
+        if t <= first.0 {
+            return first.1;
+        }
+        if t >= last.0 {
+            return last.1;
+        }
+        let idx = self
+            .knots
+            .partition_point(|&(kt, _)| kt <= t)
+            .saturating_sub(1);
+        let (t0, r0) = self.knots[idx];
+        let (t1, r1) = self.knots[idx + 1];
+        r0 + (r1 - r0) * (t - t0) / (t1 - t0)
+    }
+}
+
+impl ArrivalRate for PiecewiseLinearRate {
+    fn rate(&self, t: f64) -> f64 {
+        self.rate_at(t)
+    }
+
+    fn integral(&self, a: f64, b: f64) -> f64 {
+        assert!(b >= a, "integral needs b >= a");
+        if b == a {
+            return 0.0;
+        }
+        // Trapezoid rule over segment boundaries: exact for piecewise
+        // linear functions.
+        let mut points = vec![a];
+        for &(kt, _) in &self.knots {
+            if kt > a && kt < b {
+                points.push(kt);
+            }
+        }
+        points.push(b);
+        let mut acc = 0.0;
+        for w in points.windows(2) {
+            let (x0, x1) = (w[0], w[1]);
+            acc += 0.5 * (self.rate_at(x0) + self.rate_at(x1)) * (x1 - x0);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {b}, got {a} (tol {tol})");
+    }
+
+    #[test]
+    fn constant_rate_integral() {
+        let r = ConstantRate::new(100.0);
+        assert_eq!(r.rate(5.0), 100.0);
+        assert_close(r.integral(1.0, 3.5), 250.0, 1e-12);
+        assert_close(r.mean_rate(0.0, 10.0), 100.0, 1e-12);
+    }
+
+    #[test]
+    fn piecewise_constant_lookup_and_integral() {
+        // 3 bins of 1 hour: rates 10, 20, 30.
+        let r = PiecewiseConstantRate::new(1.0, vec![10.0, 20.0, 30.0], false);
+        assert_eq!(r.rate(0.5), 10.0);
+        assert_eq!(r.rate(1.5), 20.0);
+        assert_eq!(r.rate(2.99), 30.0);
+        assert_eq!(r.rate(3.5), 0.0); // non-periodic: zero outside
+        assert_close(r.integral(0.0, 3.0), 60.0, 1e-9);
+        assert_close(r.integral(0.5, 1.5), 5.0 + 10.0, 1e-9);
+        assert_close(r.integral(0.25, 0.75), 5.0, 1e-9);
+    }
+
+    #[test]
+    fn piecewise_constant_periodic_wraps() {
+        let r = PiecewiseConstantRate::new(1.0, vec![10.0, 20.0], true);
+        assert_eq!(r.rate(2.5), 10.0); // wraps to bin 0
+        assert_eq!(r.rate(3.5), 20.0);
+        assert_eq!(r.rate(-0.5), 20.0); // rem_euclid handles negatives
+        assert_close(r.integral(0.0, 4.0), 60.0, 1e-9);
+        assert_close(r.integral(1.5, 2.5), 10.0 + 5.0, 1e-9);
+    }
+
+    #[test]
+    fn interval_means_partition_total() {
+        let r = PiecewiseConstantRate::new(1.0 / 3.0, vec![30.0; 72], true);
+        let means = r.interval_means(24.0, 72);
+        assert_eq!(means.len(), 72);
+        let total: f64 = means.iter().sum();
+        assert_close(total, r.integral(0.0, 24.0), 1e-6);
+        for m in means {
+            assert_close(m, 10.0, 1e-9);
+        }
+    }
+
+    #[test]
+    fn from_counts_converts_to_rates() {
+        // 20-minute bins with 100 arrivals each → 300 workers/hour.
+        let r = PiecewiseConstantRate::from_counts(1.0 / 3.0, &[100.0, 100.0], false);
+        assert_close(r.rate(0.1), 300.0, 1e-9);
+        assert_close(r.integral(0.0, 2.0 / 3.0), 200.0, 1e-9);
+    }
+
+    #[test]
+    fn piecewise_linear_exact_trapezoids() {
+        let r = PiecewiseLinearRate::new(vec![(0.0, 0.0), (2.0, 10.0), (4.0, 0.0)]);
+        assert_close(r.rate(1.0), 5.0, 1e-12);
+        assert_close(r.rate(3.0), 5.0, 1e-12);
+        // Triangle area = 0.5 * base * height = 0.5 * 4 * 10 = 20.
+        assert_close(r.integral(0.0, 4.0), 20.0, 1e-12);
+        // Before the first knot the rate is clamped.
+        assert_close(r.rate(-1.0), 0.0, 1e-12);
+        assert_close(r.rate(9.0), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn piecewise_linear_subsegment_integral() {
+        let r = PiecewiseLinearRate::new(vec![(0.0, 10.0), (10.0, 20.0)]);
+        // ∫_2^4 (10 + t) dt = [10t + t²/2] = (40 + 8) − (20 + 2) = 26.
+        assert_close(r.integral(2.0, 4.0), 26.0, 1e-12);
+    }
+
+    #[test]
+    fn scaled_rate() {
+        let r = PiecewiseConstantRate::new(1.0, vec![10.0, 20.0], true).scaled(1.5);
+        assert_eq!(r.rate(0.5), 15.0);
+        assert_eq!(r.rate(1.5), 30.0);
+    }
+
+    #[test]
+    fn inverse_integral_roundtrip() {
+        let r = PiecewiseConstantRate::new(1.0, vec![10.0, 30.0, 20.0], true);
+        for &mass in &[0.0, 5.0, 25.0, 100.0, 500.0] {
+            let t = r.inverse_integral(mass, 1000.0).unwrap();
+            assert_close(r.integral(0.0, t), mass, 1e-3);
+        }
+        // Unreachable mass within the window.
+        assert!(r.inverse_integral(1e9, 10.0).is_none());
+    }
+
+    #[test]
+    fn additivity_of_integral() {
+        let r = PiecewiseConstantRate::new(0.4, vec![3.0, 7.0, 1.0, 9.0, 2.0], true);
+        let whole = r.integral(0.3, 5.7);
+        let split = r.integral(0.3, 2.0) + r.integral(2.0, 5.7);
+        assert_close(whole, split, 1e-9);
+    }
+}

@@ -1,0 +1,98 @@
+//! Shared marketplace domain types.
+
+use serde::{Deserialize, Serialize};
+
+/// Task reward in integer cents — "an integral multiple of a minimal unit
+/// of price (in Amazon Mechanical Turk it is 1 cent)" (Section 3.1).
+pub type Cents = u32;
+
+/// Time measured in hours from the start of a campaign.
+pub type Hours = f64;
+
+/// Number of tasks.
+pub type TaskCount = u32;
+
+/// An inclusive price grid `[min, max]` in integer cents with unit step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PriceGrid {
+    pub min: Cents,
+    pub max: Cents,
+}
+
+impl PriceGrid {
+    pub fn new(min: Cents, max: Cents) -> Self {
+        assert!(min <= max, "price grid needs min <= max, got [{min}, {max}]");
+        Self { min, max }
+    }
+
+    /// Number of price choices `C` on the grid.
+    pub fn len(&self) -> usize {
+        (self.max - self.min + 1) as usize
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterate over all prices.
+    pub fn iter(&self) -> impl Iterator<Item = Cents> + '_ {
+        self.min..=self.max
+    }
+
+    pub fn contains(&self, c: Cents) -> bool {
+        (self.min..=self.max).contains(&c)
+    }
+
+    /// Clamp a price onto the grid.
+    pub fn clamp(&self, c: Cents) -> Cents {
+        c.clamp(self.min, self.max)
+    }
+}
+
+/// The two task types observed in the tracker data (Section 5.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskType {
+    Categorization,
+    DataCollection,
+}
+
+impl TaskType {
+    pub const ALL: [TaskType; 2] = [TaskType::Categorization, TaskType::DataCollection];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            TaskType::Categorization => "Categorization",
+            TaskType::DataCollection => "Data Collection",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn price_grid_len_and_iter() {
+        let g = PriceGrid::new(5, 9);
+        assert_eq!(g.len(), 5);
+        let v: Vec<Cents> = g.iter().collect();
+        assert_eq!(v, vec![5, 6, 7, 8, 9]);
+        assert!(g.contains(5) && g.contains(9) && !g.contains(10));
+        assert_eq!(g.clamp(2), 5);
+        assert_eq!(g.clamp(100), 9);
+        assert_eq!(g.clamp(7), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "min <= max")]
+    fn price_grid_rejects_inverted() {
+        PriceGrid::new(10, 5);
+    }
+
+    #[test]
+    fn singleton_grid() {
+        let g = PriceGrid::new(3, 3);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.iter().collect::<Vec<_>>(), vec![3]);
+    }
+}

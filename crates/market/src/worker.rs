@@ -1,0 +1,182 @@
+//! Worker behavior models for the live-experiment simulator (Section 5.4):
+//! answer accuracy (Tables 3/4, Figs. 13/14) and price-dependent session
+//! length (Fig. 15).
+
+use ft_stats::Normal;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Answer accuracy model.
+///
+/// The paper's empirical finding is a null effect: accuracy stays ≈90%
+/// across prices/group sizes (Table 3), with small per-worker
+/// heterogeneity. `group_slope` lets experiments inject a mild fatigue
+/// effect (the observed 92.7% → 89.5% drift across group sizes 10 → 50).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyModel {
+    /// Population mean accuracy at group size 10.
+    pub base: f64,
+    /// Accuracy decrease per additional task in a HIT (fatigue).
+    pub group_slope: f64,
+    /// Std-dev of the per-worker accuracy offset.
+    pub worker_sd: f64,
+}
+
+impl Default for AccuracyModel {
+    fn default() -> Self {
+        Self {
+            base: 0.925,
+            group_slope: 0.0007,
+            worker_sd: 0.04,
+        }
+    }
+}
+
+impl AccuracyModel {
+    /// Draw a worker's latent accuracy offset.
+    pub fn sample_worker_effect<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.worker_sd <= 0.0 {
+            return 0.0;
+        }
+        Normal::new(0.0, self.worker_sd).sample(rng)
+    }
+
+    /// Per-answer correctness probability for a worker with the given
+    /// latent effect answering within a HIT of `group_size` tasks.
+    pub fn accuracy(&self, group_size: u32, worker_effect: f64) -> f64 {
+        (self.base - self.group_slope * (group_size.saturating_sub(10)) as f64 + worker_effect)
+            .clamp(0.05, 0.995)
+    }
+
+    /// Sample the number of correct answers in a HIT.
+    pub fn sample_correct<R: Rng + ?Sized>(
+        &self,
+        group_size: u32,
+        worker_effect: f64,
+        rng: &mut R,
+    ) -> u32 {
+        let p = self.accuracy(group_size, worker_effect);
+        (0..group_size).filter(|_| rng.gen::<f64>() < p).count() as u32
+    }
+}
+
+/// Session-length model: after each completed HIT the worker continues to
+/// another HIT of the same batch with probability `q(c) = c / (c + c0)`
+/// where `c` is the per-task reward in cents.
+///
+/// This encodes the Fig. 15 observation: at low prices workers leave after
+/// 1–2 HITs, at higher prices they keep going.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SessionModel {
+    /// Half-saturation price in cents-per-task.
+    pub c0: f64,
+}
+
+impl Default for SessionModel {
+    fn default() -> Self {
+        Self { c0: 0.15 }
+    }
+}
+
+impl SessionModel {
+    /// Continuation probability after each HIT.
+    pub fn continuation(&self, per_task_cents: f64) -> f64 {
+        assert!(per_task_cents >= 0.0, "price must be non-negative");
+        (per_task_cents / (per_task_cents + self.c0)).clamp(0.0, 0.95)
+    }
+
+    /// Expected HITs per session, `1 / (1 − q)`.
+    pub fn expected_hits(&self, per_task_cents: f64) -> f64 {
+        1.0 / (1.0 - self.continuation(per_task_cents))
+    }
+
+    /// Sample a session length (≥ 1 HITs).
+    pub fn sample_session_len<R: Rng + ?Sized>(
+        &self,
+        per_task_cents: f64,
+        rng: &mut R,
+    ) -> u32 {
+        let q = self.continuation(per_task_cents);
+        let mut n = 1u32;
+        while rng.gen::<f64>() < q && n < 10_000 {
+            n += 1;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_stats::seeded_rng;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {b}, got {a} (tol {tol})");
+    }
+
+    #[test]
+    fn accuracy_decreases_with_group_size() {
+        let m = AccuracyModel::default();
+        let a10 = m.accuracy(10, 0.0);
+        let a50 = m.accuracy(50, 0.0);
+        assert!(a10 > a50);
+        assert_close(a10, 0.925, 1e-12);
+        assert_close(a50, 0.925 - 0.0007 * 40.0, 1e-12);
+        // Stays near 90% across the whole range (the paper's null result).
+        assert!(a50 > 0.88);
+    }
+
+    #[test]
+    fn accuracy_clamped() {
+        let m = AccuracyModel {
+            base: 0.9,
+            group_slope: 0.0,
+            worker_sd: 0.0,
+        };
+        assert_close(m.accuracy(10, 10.0), 0.995, 1e-12);
+        assert_close(m.accuracy(10, -10.0), 0.05, 1e-12);
+    }
+
+    #[test]
+    fn sample_correct_mean() {
+        let m = AccuracyModel {
+            base: 0.9,
+            group_slope: 0.0,
+            worker_sd: 0.0,
+        };
+        let mut rng = seeded_rng(1);
+        let trials = 20_000;
+        let total: u32 = (0..trials).map(|_| m.sample_correct(20, 0.0, &mut rng)).sum();
+        assert_close(total as f64 / trials as f64, 18.0, 0.1);
+    }
+
+    #[test]
+    fn session_length_grows_with_price() {
+        let s = SessionModel::default();
+        assert!(s.expected_hits(0.04) < s.expected_hits(0.1));
+        assert!(s.expected_hits(0.1) < s.expected_hits(0.2));
+        // Low price: ~1.2 HITs; high price: >2 HITs (Fig. 15 shape).
+        assert!(s.expected_hits(0.04) < 1.5);
+        assert!(s.expected_hits(0.2) > 2.0);
+    }
+
+    #[test]
+    fn session_sampler_matches_expectation() {
+        let s = SessionModel::default();
+        let mut rng = seeded_rng(2);
+        let trials = 50_000;
+        let mean = (0..trials)
+            .map(|_| s.sample_session_len(0.2, &mut rng) as u64)
+            .sum::<u64>() as f64
+            / trials as f64;
+        assert_close(mean, s.expected_hits(0.2), 0.03);
+    }
+
+    #[test]
+    fn zero_price_single_hit() {
+        let s = SessionModel::default();
+        assert_close(s.expected_hits(0.0), 1.0, 1e-12);
+        let mut rng = seeded_rng(3);
+        assert_eq!(s.sample_session_len(0.0, &mut rng), 1);
+    }
+}

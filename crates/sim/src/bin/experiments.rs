@@ -1,0 +1,77 @@
+//! CLI entry point: regenerate the paper's tables and figures.
+//!
+//! Usage:
+//!   experiments [--fast] [--seed S] [--csv DIR] [id ...]
+//!
+//! Without ids, every experiment runs in paper order.
+
+use ft_sim::{run_by_id, ExpConfig, ALL_IDS};
+use std::io::Write as _;
+
+fn main() {
+    let mut cfg = ExpConfig::default();
+    let mut ids: Vec<String> = Vec::new();
+    let mut csv_dir: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--fast" => cfg.fast = true,
+            "--seed" => {
+                cfg.seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--csv" => {
+                csv_dir = Some(args.next().unwrap_or_else(|| die("--csv needs a directory")));
+            }
+            "--list" => {
+                for id in ALL_IDS {
+                    println!("{id}");
+                }
+                return;
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: experiments [--fast] [--seed S] [--csv DIR] [--list] [id ...]");
+                return;
+            }
+            other if other.starts_with('-') => die(&format!("unknown flag {other}")),
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        ids = ALL_IDS.iter().map(|s| s.to_string()).collect();
+    }
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for id in &ids {
+        let started = std::time::Instant::now();
+        match run_by_id(id, cfg) {
+            Some(reports) => {
+                for rep in &reports {
+                    let _ = writeln!(out, "{}", rep.to_ascii());
+                    if let Some(dir) = &csv_dir {
+                        std::fs::create_dir_all(dir).expect("create csv dir");
+                        let path = format!("{dir}/{}.csv", rep.id);
+                        std::fs::write(&path, rep.to_csv()).expect("write csv");
+                    }
+                }
+                let _ = writeln!(
+                    out,
+                    "-- {id} done in {:.1}s --\n",
+                    started.elapsed().as_secs_f64()
+                );
+            }
+            None => {
+                eprintln!("unknown experiment id: {id} (try --list)");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,185 @@
+//! Extension experiment (Section 5.2.5 future work): adaptive arrival-rate
+//! prediction on anomalous days.
+//!
+//! The paper observes both strategies degrade on Jan 1 (a consistent
+//! arrival deficit the weekly profile cannot predict) and suggests
+//! predicting near-future arrivals from the recent past. This experiment
+//! runs the [`ft_core::AdaptivePricer`] against the Fig. 10 leave-one-out
+//! setup and compares stranded tasks and cost against the static-trained
+//! dynamic policy and the fixed baseline.
+
+use super::ExpConfig;
+use crate::report::Report;
+use crate::scenario::PaperScenario;
+use ft_core::{AdaptiveOptions, AdaptivePricer, PriceController};
+use ft_market::ArrivalRate;
+use ft_stats::{rng::stream_rng, Poisson, Summary};
+
+pub fn run(cfg: ExpConfig) -> Vec<Report> {
+    let scenario = PaperScenario::new(cfg.seed);
+    run_with_scenario(&scenario, cfg)
+}
+
+pub fn run_with_scenario(scenario: &PaperScenario, cfg: ExpConfig) -> Vec<Report> {
+    let test_days: &[usize] = if cfg.fast { &[0, 7] } else { &[0, 7, 14, 21] };
+    let trials = if cfg.fast { 20 } else { 60 };
+    let nt = scenario.n_intervals();
+
+    let mut rep = Report::new(
+        "ext-adaptive",
+        "Extension: adaptive arrival correction vs static training (Fig. 10 setup)",
+        &[
+            "test_day",
+            "adaptive_remaining",
+            "adaptive_paid",
+            "static_remaining",
+            "static_paid",
+            "final_correction",
+        ],
+    );
+    rep.note("day 0 is the anomalous holiday; adaptive re-estimates arrivals online");
+
+    for &day in test_days {
+        let train_days: Vec<usize> = [0usize, 7, 14, 21]
+            .into_iter()
+            .filter(|&d| d != day)
+            .collect();
+        let train_rate = scenario.trace.average_day_rate(&train_days);
+        let actual = scenario
+            .trace
+            .day_rate(day)
+            .interval_means(scenario.horizon_hours, nt);
+        let problem = ft_core::DeadlineProblem::new(
+            scenario.n_tasks,
+            train_rate.interval_means(scenario.horizon_hours, nt),
+            ft_core::ActionSet::from_grid(scenario.grid, &scenario.acceptance),
+            ft_core::PenaltyModel::Linear { per_task: 2000.0 },
+        );
+        let static_policy = match ft_core::solve_truncated(&problem, 1e-8) {
+            Ok(p) => p,
+            Err(e) => {
+                rep.note(format!("day {day}: {e}"));
+                continue;
+            }
+        };
+
+        let mut a_rem = Summary::new();
+        let mut a_paid = Summary::new();
+        let mut s_rem = Summary::new();
+        let mut s_paid = Summary::new();
+        let mut last_corr = 1.0;
+        for trial in 0..trials {
+            let mut rng = stream_rng(cfg.seed, (day * 1000 + trial) as u64);
+            // Adaptive run.
+            let mut pricer = AdaptivePricer::new(
+                problem.clone(),
+                AdaptiveOptions {
+                    resolve_every: if cfg.fast { 6 } else { 3 },
+                    ..Default::default()
+                },
+            )
+            .expect("solvable");
+            let mut remaining = scenario.n_tasks;
+            let mut paid = 0.0;
+            for (t, &mass) in actual.iter().enumerate() {
+                let price = pricer.price(remaining, t);
+                let mean = mass * scenario.acceptance.p_f64(price);
+                let raw = Poisson::new(mean).sample(&mut rng);
+                let done = raw.min(remaining as u64) as u32;
+                paid += done as f64 * price;
+                remaining -= done;
+                // An interval that exhausted the batch is right-censored.
+                if raw > done as u64 || remaining == 0 {
+                    pricer.observe_censored();
+                } else {
+                    pricer.observe(price, done as u64);
+                }
+                if remaining == 0 {
+                    break;
+                }
+            }
+            a_rem.push(remaining as f64);
+            a_paid.push(paid);
+            last_corr = pricer.correction();
+            // Static run on an identical arrival sample stream.
+            let mut rng = stream_rng(cfg.seed, (day * 1000 + trial) as u64);
+            let mut remaining = scenario.n_tasks;
+            let mut paid = 0.0;
+            for (t, &mass) in actual.iter().enumerate() {
+                let price = static_policy.price(remaining, t);
+                let mean = mass * scenario.acceptance.p_f64(price);
+                let done = Poisson::new(mean).sample(&mut rng).min(remaining as u64) as u32;
+                paid += done as f64 * price;
+                remaining -= done;
+                if remaining == 0 {
+                    break;
+                }
+            }
+            s_rem.push(remaining as f64);
+            s_paid.push(paid);
+        }
+        rep.row(vec![
+            day.to_string(),
+            Report::fmt(a_rem.mean()),
+            Report::fmt(a_paid.mean()),
+            Report::fmt(s_rem.mean()),
+            Report::fmt(s_paid.mean()),
+            Report::fmt(last_corr),
+        ]);
+    }
+    vec![rep]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_market::PriceGrid;
+
+    fn small_scenario() -> PaperScenario {
+        let mut s = PaperScenario::new(85);
+        s.n_tasks = 24;
+        s.horizon_hours = 6.0;
+        s.grid = PriceGrid::new(0, 40);
+        s
+    }
+
+    #[test]
+    fn adaptive_no_worse_on_anomalous_day() {
+        let s = small_scenario();
+        let reports = run_with_scenario(&s, ExpConfig::fast());
+        let rows = &reports[0].rows;
+        assert!(!rows.is_empty());
+        let day0 = &rows[0];
+        let adaptive: f64 = day0[1].parse().unwrap();
+        let static_rem: f64 = day0[3].parse().unwrap();
+        assert!(
+            adaptive <= static_rem + 0.5,
+            "adaptive ({adaptive}) should not strand more than static ({static_rem})"
+        );
+    }
+
+    #[test]
+    fn correction_detects_the_holiday_deficit() {
+        let s = small_scenario();
+        let reports = run_with_scenario(&s, ExpConfig::fast());
+        let day0 = &reports[0].rows[0];
+        let corr: f64 = day0[5].parse().unwrap();
+        assert!(
+            corr < 0.85,
+            "day-0 correction {corr} should reflect the arrival deficit"
+        );
+    }
+
+    #[test]
+    fn normal_day_correction_near_unity() {
+        let s = small_scenario();
+        let reports = run_with_scenario(&s, ExpConfig::fast());
+        if reports[0].rows.len() >= 2 {
+            let corr: f64 = reports[0].rows[1][5].parse().unwrap();
+            assert!(
+                (0.75..1.35).contains(&corr),
+                "normal-day correction {corr} should be near 1"
+            );
+        }
+    }
+}

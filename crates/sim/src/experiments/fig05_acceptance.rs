@@ -1,0 +1,98 @@
+//! Fig. 5: utility-theory simulation of the task acceptance probability
+//! and its multinomial-logit regression fit (Section 5.1.1).
+//!
+//! 100 marketplace tasks; competitor utilities `N(μ_i, σ_i²)` with
+//! `μ_i ~ N(0,1)`, `σ_i ~ U[0,1]`; our task's mean utility is `c/50 − 1`.
+//! The simulated win probability is fit with a 1-feature logistic model
+//! (Eq. 2 reduces to `p = σ(β·u₁ − const)` under the fixed-competitor-mass
+//! assumption).
+
+use super::ExpConfig;
+use crate::report::Report;
+use ft_market::logit::{UtilitySim, UtilitySimConfig};
+use ft_stats::{rng::stream_rng, Logistic};
+
+pub fn run(cfg: ExpConfig) -> Vec<Report> {
+    let mut rng = stream_rng(cfg.seed, 5);
+    let sim_cfg = UtilitySimConfig {
+        samples_per_price: if cfg.fast { 8_000 } else { 40_000 },
+        ..Default::default()
+    };
+    let sim = UtilitySim::new(sim_cfg);
+    let step = if cfg.fast { 10 } else { 5 };
+    let points = sim.sweep(100, step, &mut rng);
+
+    // Fit p(c) = σ(β·(c/50 − 1) + const) — the Eq. 2 regression curve.
+    let feats: Vec<Vec<f64>> = points
+        .iter()
+        .map(|&(c, _)| vec![c / sim_cfg.price_divisor - sim_cfg.price_shift])
+        .collect();
+    let ys: Vec<f64> = points.iter().map(|&(_, p)| p).collect();
+    let fit = Logistic::fit(&feats, &ys).expect("logistic fit failed");
+    let beta = fit.coefficients[0];
+
+    let mut report = Report::new(
+        "fig5",
+        "Fig. 5: simulated acceptance probability vs logit regression fit",
+        &["reward_c", "simulated_p", "fitted_p"],
+    );
+    report.note(format!(
+        "fitted utility coefficient beta = {beta:.2} (paper regression: beta = 2.6)"
+    ));
+    for (&(c, p), f) in points.iter().zip(&feats) {
+        report.row(vec![
+            Report::fmt(c),
+            Report::fmt(p),
+            Report::fmt(fit.predict(f)),
+        ]);
+    }
+    vec![report]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_tracks_simulation() {
+        let reports = run(ExpConfig::fast());
+        let rows = &reports[0].rows;
+        assert!(rows.len() >= 10);
+        // Fitted curve close to simulated everywhere; acceptance lives in
+        // [0, ~0.05] so the tolerance is tight in absolute terms.
+        for row in rows {
+            let sim: f64 = row[1].parse().unwrap();
+            let fit: f64 = row[2].parse().unwrap();
+            assert!(
+                (sim - fit).abs() < 0.02,
+                "poor fit at c={}: sim={sim}, fit={fit}",
+                row[0]
+            );
+        }
+    }
+
+    #[test]
+    fn acceptance_grows_with_reward() {
+        let reports = run(ExpConfig::fast());
+        let rows = &reports[0].rows;
+        let first: f64 = rows[0][2].parse().unwrap();
+        let last: f64 = rows[rows.len() - 1][2].parse().unwrap();
+        assert!(last > first, "fitted p must increase with c");
+    }
+
+    #[test]
+    fn beta_is_positive_and_sane() {
+        let reports = run(ExpConfig::fast());
+        let note = &reports[0].notes[0];
+        let beta: f64 = note
+            .split('=')
+            .nth(1)
+            .unwrap()
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!((0.5..10.0).contains(&beta), "beta = {beta}");
+    }
+}

@@ -1,0 +1,127 @@
+//! Fig. 6 / Table 2: HIT-group snapshots (wage/sec vs workload/hour) and
+//! the least-squares estimates of the shared wage coefficient and per-type
+//! bias (Section 5.1.2), plus the Eq. 13-style derivation of `p(c)`.
+
+use super::ExpConfig;
+use crate::report::Report;
+use ft_market::tracker::{generate_snapshots, SnapshotConfig};
+use ft_market::TaskType;
+use ft_stats::{rng::stream_rng, SimpleOls};
+
+pub fn run(cfg: ExpConfig) -> Vec<Report> {
+    let mut rng = stream_rng(cfg.seed, 6);
+    let snap_cfg = SnapshotConfig::default();
+    let n = if cfg.fast { 60 } else { 100 };
+    let obs = generate_snapshots(n, &snap_cfg, &mut rng);
+
+    // Fig. 6: the raw scatter (subsampled for readability).
+    let mut scatter = Report::new(
+        "fig6",
+        "Fig. 6: wage per second vs completed workload per hour",
+        &["task_type", "wage_per_sec", "workload_per_hour"],
+    );
+    for o in obs.iter().take(40) {
+        scatter.row(vec![
+            o.task_type.name().into(),
+            Report::fmt(o.wage_per_sec),
+            Report::fmt(o.workload_per_hour),
+        ]);
+    }
+
+    // Table 2: per-type OLS of log(workload/hour) on wage/sec.
+    let mut table2 = Report::new(
+        "tab2",
+        "Table 2: least-squares regression per task type",
+        &["task_type", "linear_coeff", "bias", "r_squared", "paper_coeff", "paper_bias"],
+    );
+    table2.note("paper: Categorization 748 / 3.66, Data Collection 809 / 6.28");
+    let mut fits = Vec::new();
+    #[allow(clippy::approx_constant)] // 6.28 is the paper's Table 2 bias
+    for (ty, paper_coeff, paper_bias) in [
+        (TaskType::Categorization, 748.0, 3.66),
+        (TaskType::DataCollection, 809.0, 6.28),
+    ] {
+        let xs: Vec<f64> = obs
+            .iter()
+            .filter(|o| o.task_type == ty)
+            .map(|o| o.wage_per_sec)
+            .collect();
+        let ys: Vec<f64> = obs
+            .iter()
+            .filter(|o| o.task_type == ty)
+            .map(|o| o.workload_per_hour.ln())
+            .collect();
+        let fit = SimpleOls::fit(&xs, &ys);
+        table2.row(vec![
+            ty.name().into(),
+            Report::fmt(fit.slope),
+            Report::fmt(fit.intercept),
+            Report::fmt(fit.r_squared),
+            Report::fmt(paper_coeff),
+            Report::fmt(paper_bias),
+        ]);
+        fits.push((ty, fit));
+    }
+
+    // Eq. 13 derivation: for a Data Collection task with 120s per task on a
+    // ≈6000 tasks/hour marketplace,
+    //   p(c) = exp(α·(c/100)/120 + bias) / (total · 120)  … rearranged into
+    //   the logit form with s = 100·120/α, and M = total·120/exp(bias)… the
+    //   paper's numbers give s ≈ 15, M ≈ 2000.
+    let mut eq13 = Report::new(
+        "tab2-eq13",
+        "Derived Eq. 13 parameters from the Table 2 fit",
+        &["param", "derived", "paper"],
+    );
+    let dc = &fits
+        .iter()
+        .find(|(ty, _)| *ty == TaskType::DataCollection)
+        .expect("data collection fit")
+        .1;
+    let task_secs = 120.0;
+    let s = 100.0 * task_secs / dc.slope; // c in cents → dollars /100
+    eq13.row(vec!["s".into(), Report::fmt(s), "15".into()]);
+    eq13.note("b and M are derived jointly from the marketplace total throughput (~6000/hr)");
+    vec![scatter, table2, eq13]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_generator_coefficients() {
+        let reports = run(ExpConfig::default());
+        let table2 = &reports[1];
+        for row in &table2.rows {
+            let coeff: f64 = row[1].parse().unwrap();
+            // Generator α = 780 shared between types; OLS should land within
+            // ±15% with 50 points per type.
+            assert!(
+                (600.0..1000.0).contains(&coeff),
+                "coefficient {coeff} far from generator value"
+            );
+            let r2: f64 = row[3].parse().unwrap();
+            assert!(r2 > 0.5, "regression should explain most variance, r2={r2}");
+        }
+    }
+
+    #[test]
+    fn data_collection_bias_higher() {
+        let reports = run(ExpConfig::default());
+        let rows = &reports[1].rows;
+        let cat_bias: f64 = rows[0][2].parse().unwrap();
+        let dc_bias: f64 = rows[1][2].parse().unwrap();
+        assert!(
+            dc_bias > cat_bias + 1.0,
+            "workers must prefer data collection (paper: 6.28 vs 3.66)"
+        );
+    }
+
+    #[test]
+    fn derived_s_near_paper() {
+        let reports = run(ExpConfig::default());
+        let s: f64 = reports[2].rows[0][1].parse().unwrap();
+        assert!((10.0..25.0).contains(&s), "derived s = {s}, paper ≈ 15");
+    }
+}

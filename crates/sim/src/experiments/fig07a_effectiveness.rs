@@ -1,0 +1,155 @@
+//! Fig. 7(a): average task reward vs expected number of remaining tasks,
+//! dynamic (MDP) pricing vs binary-search fixed pricing (Section 5.2.1).
+//!
+//! Paper headline: at 99.9% completion the dynamic strategy averages
+//! ≈12–12.5¢ (≈3% over the theoretical bound c₀ ≈ 12) while the fixed
+//! strategy needs 16¢ — a ≈33% premium for fixed, i.e. up to ~25–30%
+//! savings from dynamic pricing.
+
+use super::ExpConfig;
+use crate::report::Report;
+use crate::scenario::PaperScenario;
+use ft_core::baseline::evaluate_fixed_price;
+use ft_core::CalibrateOptions;
+use ft_market::AcceptanceFn;
+
+pub fn run(cfg: ExpConfig) -> Vec<Report> {
+    let scenario = PaperScenario::new(cfg.seed);
+    run_with_scenario(&scenario, cfg)
+}
+
+pub fn run_with_scenario(scenario: &PaperScenario, cfg: ExpConfig) -> Vec<Report> {
+    let problem = scenario.deadline_problem(100.0);
+    let c0 = scenario.c0();
+
+    let bounds: &[f64] = if cfg.fast {
+        &[2.0, 0.2]
+    } else {
+        &[5.0, 2.0, 1.0, 0.5, 0.2, 0.1, 0.05]
+    };
+    let opts = CalibrateOptions {
+        truncation_eps: 1e-8,
+        max_iters: if cfg.fast { 18 } else { 30 },
+        ..Default::default()
+    };
+
+    let mut dynamic = Report::new(
+        "fig7a-dynamic",
+        "Fig. 7(a): dynamic pricing — avg reward vs E[remaining]",
+        &["target_remaining", "achieved_remaining", "avg_reward", "expected_paid"],
+    );
+    if let Some(c0) = c0 {
+        dynamic.note(format!("theoretical average-reward lower bound c0 = {c0}"));
+    }
+    dynamic.note("paper: dynamic stays within ~3% of c0 even at 99.9% completion");
+    for &bound in bounds {
+        match ft_core::calibrate_penalty(&problem, bound, opts) {
+            Ok(cal) => {
+                dynamic.row(vec![
+                    Report::fmt(bound),
+                    Report::fmt(cal.outcome.expected_remaining),
+                    Report::fmt(cal.outcome.average_reward()),
+                    Report::fmt(cal.outcome.expected_paid),
+                ]);
+            }
+            Err(e) => {
+                dynamic.note(format!("bound {bound}: {e}"));
+            }
+        }
+    }
+
+    let mut fixed = Report::new(
+        "fig7a-fixed",
+        "Fig. 7(a): fixed pricing — avg reward vs E[remaining]",
+        &["reward", "expected_remaining", "total_cost"],
+    );
+    fixed.note("paper: fixed needs 16 cents for 99.9% completion (≈33% over dynamic)");
+    let total = problem.total_arrivals();
+    let lo = c0.map_or(8.0, |c| (c - 2.0).max(1.0)) as u32;
+    for c in lo..=(lo + 8) {
+        let p = scenario.acceptance.p(c);
+        let (paid, remaining, _done) =
+            evaluate_fixed_price(c as f64, p, total, scenario.n_tasks);
+        let _ = paid;
+        fixed.row(vec![
+            c.to_string(),
+            Report::fmt(remaining),
+            Report::fmt(c as f64 * scenario.n_tasks as f64),
+        ]);
+    }
+
+    vec![dynamic, fixed]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::PaperScenario;
+    use ft_market::PriceGrid;
+
+    fn small_scenario() -> PaperScenario {
+        let mut s = PaperScenario::new(77);
+        s.n_tasks = 30;
+        s.horizon_hours = 6.0;
+        s.grid = PriceGrid::new(0, 40);
+        // Scale the marketplace down so 30 tasks in 6h is comparably tight.
+        s.trained_rate = s.trained_rate.scaled(0.3);
+        s
+    }
+
+    #[test]
+    fn dynamic_dominates_fixed_at_matched_remaining() {
+        let s = small_scenario();
+        let reports = run_with_scenario(&s, ExpConfig::fast());
+        let dynamic = &reports[0];
+        let fixed = &reports[1];
+        assert!(!dynamic.rows.is_empty(), "no dynamic rows: {:?}", dynamic.notes);
+        // For each dynamic row, find a fixed row with >= remaining tasks
+        // (i.e. weakly worse completion) and compare total cost.
+        for drow in &dynamic.rows {
+            let d_rem: f64 = drow[1].parse().unwrap();
+            let d_paid: f64 = drow[3].parse().unwrap();
+            for frow in &fixed.rows {
+                let f_rem: f64 = frow[1].parse().unwrap();
+                let f_cost: f64 = frow[2].parse().unwrap();
+                if f_rem <= d_rem + 1e-9 {
+                    // Fixed completes at least as much; it must not be
+                    // cheaper than the optimal dynamic policy.
+                    assert!(
+                        f_cost >= d_paid - 1e-6,
+                        "fixed ({f_cost}) beat dynamic ({d_paid}) at remaining {f_rem} <= {d_rem}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn achieved_remaining_meets_target() {
+        let s = small_scenario();
+        let reports = run_with_scenario(&s, ExpConfig::fast());
+        for row in &reports[0].rows {
+            let target: f64 = row[0].parse().unwrap();
+            let achieved: f64 = row[1].parse().unwrap();
+            assert!(achieved <= target + 1e-6);
+        }
+    }
+
+    #[test]
+    fn avg_reward_above_c0() {
+        let s = small_scenario();
+        let c0 = s.c0();
+        let reports = run_with_scenario(&s, ExpConfig::fast());
+        if let Some(c0) = c0 {
+            for row in &reports[0].rows {
+                let avg: f64 = row[2].parse().unwrap();
+                // c0 is a bound for strategies that finish (almost) all
+                // tasks; allow slack for loose targets.
+                let target: f64 = row[0].parse().unwrap();
+                if target <= 0.5 {
+                    assert!(avg > c0 * 0.9, "avg reward {avg} below 0.9·c0 ({c0})");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Fig. 8(a–c): percentage cost reduction when the acceptance-function
+//! parameters `s`, `b`, `M` vary (Section 5.2.2).
+//!
+//! Paper shape: the gain is stable in `s`, lower for more intrinsically
+//! attractive tasks (lower `b`), and higher when the marketplace has fewer
+//! competing tasks (lower `M`).
+
+use super::ExpConfig;
+use crate::report::Report;
+use crate::scenario::{compare_dynamic_vs_fixed, PaperScenario};
+use ft_core::{ActionSet, CalibrateOptions, DeadlineProblem, PenaltyModel};
+use ft_market::LogitAcceptance;
+
+pub fn run(cfg: ExpConfig) -> Vec<Report> {
+    let scenario = PaperScenario::new(cfg.seed);
+    run_with_scenario(&scenario, cfg)
+}
+
+fn problem_with_acceptance(scenario: &PaperScenario, acc: LogitAcceptance) -> DeadlineProblem {
+    DeadlineProblem::new(
+        scenario.n_tasks,
+        scenario.interval_arrivals(),
+        ActionSet::from_grid(scenario.grid, &acc),
+        PenaltyModel::Linear { per_task: 100.0 },
+    )
+}
+
+pub fn run_with_scenario(scenario: &PaperScenario, cfg: ExpConfig) -> Vec<Report> {
+    let base = scenario.acceptance;
+    let opts = CalibrateOptions {
+        truncation_eps: 1e-8,
+        max_iters: if cfg.fast { 16 } else { 25 },
+        ..Default::default()
+    };
+    let confidence = 0.999;
+
+    let sweep = |id: &str, title: &str, values: Vec<(String, LogitAcceptance)>, trend: &str| {
+        let mut rep = Report::new(
+            id,
+            title,
+            &["param_value", "dynamic_cost", "fixed_cost", "reduction_pct"],
+        );
+        rep.note(trend.to_string());
+        for (label, acc) in values {
+            let p = problem_with_acceptance(scenario, acc);
+            match compare_dynamic_vs_fixed(&p, confidence, opts) {
+                Ok(c) => {
+                    rep.row(vec![
+                        label,
+                        Report::fmt(c.dynamic_cost),
+                        Report::fmt(c.fixed_cost),
+                        Report::fmt(c.reduction * 100.0),
+                    ]);
+                }
+                Err(e) => {
+                    rep.note(format!("{label}: {e}"));
+                }
+            }
+        }
+        rep
+    };
+
+    let s_values: Vec<f64> = if cfg.fast {
+        vec![base.s * 0.75, base.s * 1.25]
+    } else {
+        vec![base.s * 0.67, base.s * 0.83, base.s, base.s * 1.17, base.s * 1.33]
+    };
+    let b_values: Vec<f64> = if cfg.fast {
+        vec![base.b - 0.5, base.b + 0.5]
+    } else {
+        vec![base.b - 0.6, base.b - 0.3, base.b, base.b + 0.3, base.b + 0.6]
+    };
+    let m_values: Vec<f64> = if cfg.fast {
+        vec![base.m * 0.5, base.m * 2.0]
+    } else {
+        vec![base.m * 0.5, base.m * 0.75, base.m, base.m * 1.5, base.m * 2.0]
+    };
+
+    let a = sweep(
+        "fig8a",
+        "Fig. 8(a): % cost reduction vs price sensitivity s",
+        s_values
+            .into_iter()
+            .map(|s| (Report::fmt(s), LogitAcceptance::new(s, base.b, base.m)))
+            .collect(),
+        "paper: gain is stable in s",
+    );
+    let b = sweep(
+        "fig8b",
+        "Fig. 8(b): % cost reduction vs intrinsic attractiveness b",
+        b_values
+            .into_iter()
+            .map(|b| (Report::fmt(b), LogitAcceptance::new(base.s, b, base.m)))
+            .collect(),
+        "paper: gain is lower when the task is intrinsically more attractive (lower b)",
+    );
+    let m = sweep(
+        "fig8c",
+        "Fig. 8(c): % cost reduction vs competing-task mass M",
+        m_values
+            .into_iter()
+            .map(|m| (Report::fmt(m), LogitAcceptance::new(base.s, base.b, m)))
+            .collect(),
+        "paper: gain is higher when there are fewer competing tasks (lower M)",
+    );
+    vec![a, b, m]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_market::PriceGrid;
+
+    fn small_scenario() -> PaperScenario {
+        let mut s = PaperScenario::new(79);
+        s.n_tasks = 24;
+        s.horizon_hours = 6.0;
+        s.grid = PriceGrid::new(0, 40);
+        s.trained_rate = s.trained_rate.scaled(0.3);
+        s
+    }
+
+    #[test]
+    fn produces_three_sweeps_with_rows() {
+        let s = small_scenario();
+        let reports = run_with_scenario(&s, ExpConfig::fast());
+        assert_eq!(reports.len(), 3);
+        for rep in &reports {
+            assert!(
+                !rep.rows.is_empty(),
+                "sweep {} produced no rows ({:?})",
+                rep.id,
+                rep.notes
+            );
+        }
+    }
+
+    #[test]
+    fn reductions_within_plausible_range() {
+        let s = small_scenario();
+        let reports = run_with_scenario(&s, ExpConfig::fast());
+        for rep in &reports {
+            for row in &rep.rows {
+                let red: f64 = row[3].parse().unwrap();
+                assert!(
+                    (-2.0..60.0).contains(&red),
+                    "{}: implausible reduction {red}%",
+                    rep.id
+                );
+            }
+        }
+    }
+}

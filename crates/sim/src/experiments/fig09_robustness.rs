@@ -1,0 +1,214 @@
+//! Fig. 9: robustness to mis-estimated acceptance parameters
+//! (Section 5.2.4).
+//!
+//! The dynamic policy is trained on the default `p̂(c)` and executed
+//! against a true `p(c)` with one parameter perturbed; the paper's finding
+//! is that the dynamic strategy still finishes essentially everything
+//! (it auto-escalates prices), while fixed pricing strands tasks.
+
+use super::ExpConfig;
+use crate::report::Report;
+use crate::scenario::PaperScenario;
+use ft_core::baseline::evaluate_fixed_price;
+use ft_core::CalibrateOptions;
+use ft_market::{AcceptanceFn, LogitAcceptance};
+
+pub fn run(cfg: ExpConfig) -> Vec<Report> {
+    let scenario = PaperScenario::new(cfg.seed);
+    run_with_scenario(&scenario, cfg)
+}
+
+pub fn run_with_scenario(scenario: &PaperScenario, cfg: ExpConfig) -> Vec<Report> {
+    let base = scenario.acceptance;
+    let opts = CalibrateOptions {
+        truncation_eps: 1e-8,
+        max_iters: if cfg.fast { 16 } else { 25 },
+        ..Default::default()
+    };
+    // Train once on the (assumed) default model, tuned to the same 99.9%
+    // completion target as the fixed baseline (bound 0.001 via Markov).
+    let problem = scenario.deadline_problem(100.0);
+    let dynamic = match ft_core::calibrate_penalty(&problem, 0.001, opts) {
+        Ok(c) => c,
+        Err(e) => {
+            let mut rep = Report::new("fig9", "Fig. 9 (failed)", &["error"]);
+            rep.row(vec![e.to_string()]);
+            return vec![rep];
+        }
+    };
+    let fixed = scenario.solve_fixed(0.999).ok();
+    let arrivals = scenario.interval_arrivals();
+    let total: f64 = arrivals.iter().sum();
+
+    let sweep = |id: &str,
+                 title: &str,
+                 variants: Vec<(String, LogitAcceptance)>|
+     -> Report {
+        let mut rep = Report::new(
+            id,
+            title,
+            &[
+                "true_param",
+                "dynamic_remaining",
+                "dynamic_avg_reward",
+                "fixed_price",
+                "fixed_remaining",
+            ],
+        );
+        rep.note("policies trained on default parameters, executed on the perturbed truth");
+        for (label, truth) in variants {
+            let out = dynamic.policy.evaluate_against(
+                &arrivals,
+                |c| truth.p_f64(c),
+                &problem.penalty,
+            );
+            let (f_price, f_rem) = match &fixed {
+                Some(f) => {
+                    let p_true = truth.p(f.reward as u32);
+                    let (_, rem, _) =
+                        evaluate_fixed_price(f.reward, p_true, total, scenario.n_tasks);
+                    (Report::fmt(f.reward), Report::fmt(rem))
+                }
+                None => ("n/a".into(), "n/a".into()),
+            };
+            rep.row(vec![
+                label,
+                Report::fmt(out.expected_remaining),
+                Report::fmt(out.average_reward()),
+                f_price,
+                f_rem,
+            ]);
+        }
+        rep
+    };
+
+    let factors: Vec<f64> = if cfg.fast {
+        vec![0.8, 1.2]
+    } else {
+        vec![0.7, 0.85, 1.0, 1.15, 1.3]
+    };
+    let s_sweep = sweep(
+        "fig9-s",
+        "Fig. 9(a,b): true s differs from trained s",
+        factors
+            .iter()
+            .map(|f| {
+                (
+                    Report::fmt(base.s * f),
+                    LogitAcceptance::new(base.s * f, base.b, base.m),
+                )
+            })
+            .collect(),
+    );
+    let deltas: Vec<f64> = if cfg.fast {
+        vec![-0.8, 0.8]
+    } else {
+        vec![-0.8, -0.4, 0.0, 0.4, 0.8]
+    };
+    let b_sweep = sweep(
+        "fig9-b",
+        "Fig. 9(c,d): true b differs from trained b",
+        deltas
+            .iter()
+            .map(|d| {
+                (
+                    Report::fmt(base.b + d),
+                    LogitAcceptance::new(base.s, base.b + d, base.m),
+                )
+            })
+            .collect(),
+    );
+    let m_sweep = sweep(
+        "fig9-m",
+        "Fig. 9(e,f): true M differs from trained M",
+        factors
+            .iter()
+            .map(|f| {
+                (
+                    Report::fmt(base.m * f),
+                    LogitAcceptance::new(base.s, base.b, base.m * f),
+                )
+            })
+            .collect(),
+    );
+    vec![s_sweep, b_sweep, m_sweep]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_market::PriceGrid;
+
+    fn small_scenario() -> PaperScenario {
+        let mut s = PaperScenario::new(81);
+        s.n_tasks = 24;
+        s.horizon_hours = 6.0;
+        s.grid = PriceGrid::new(0, 40);
+        s.trained_rate = s.trained_rate.scaled(0.3);
+        s
+    }
+
+    #[test]
+    fn dynamic_stays_near_zero_remaining() {
+        let s = small_scenario();
+        let reports = run_with_scenario(&s, ExpConfig::fast());
+        for rep in &reports {
+            for row in &rep.rows {
+                let dyn_rem: f64 = row[1].parse().unwrap();
+                // The paper's headline: dynamic remains ≈0 under
+                // mis-estimation. The fast sweep uses harsher perturbations
+                // (±0.8 on b ≈ a 2.2× acceptance swing) than the paper's
+                // plots, so allow ~12% of the 24-task batch at the extreme.
+                assert!(
+                    dyn_rem < 3.0,
+                    "{}: dynamic stranded {dyn_rem} tasks at {}",
+                    rep.id,
+                    row[0]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_beats_fixed_under_adverse_truth() {
+        let s = small_scenario();
+        let reports = run_with_scenario(&s, ExpConfig::fast());
+        let mut fixed_fails = 0;
+        for rep in &reports {
+            for row in &rep.rows {
+                let dyn_rem: f64 = row[1].parse().unwrap();
+                if let Ok(f_rem) = row[4].parse::<f64>() {
+                    assert!(
+                        dyn_rem <= f_rem + 0.5,
+                        "{}: dynamic ({dyn_rem}) worse than fixed ({f_rem})",
+                        rep.id
+                    );
+                    if f_rem > 1.0 {
+                        fixed_fails += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            fixed_fails >= 1,
+            "at least one adverse truth should break the fixed strategy"
+        );
+    }
+
+    #[test]
+    fn adverse_truth_raises_dynamic_price() {
+        // Fig. 9's right-hand panels: the dynamic policy escalates its
+        // average reward when the truth is worse than trained.
+        let s = small_scenario();
+        let reports = run_with_scenario(&s, ExpConfig::fast());
+        let b_rows = &reports[1].rows; // b sweep: higher b = less attractive
+        if b_rows.len() >= 2 {
+            let easy: f64 = b_rows[0][2].parse().unwrap();
+            let hard: f64 = b_rows[b_rows.len() - 1][2].parse().unwrap();
+            assert!(
+                hard > easy,
+                "avg reward should rise when the task is truly less attractive"
+            );
+        }
+    }
+}

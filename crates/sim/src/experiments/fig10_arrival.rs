@@ -1,0 +1,182 @@
+//! Fig. 10: sensitivity to arrival-rate prediction error (Section 5.2.5).
+//!
+//! Four test days (one of them the anomalous "Jan 1"); for each, the
+//! policy is trained on the average of the other three days and executed
+//! against the test day's actual arrivals. Paper finding: both strategies
+//! are stable under random spikes but degrade on the consistently-low
+//! holiday; the dynamic strategy degrades more gracefully.
+
+use super::ExpConfig;
+use crate::report::Report;
+use crate::scenario::PaperScenario;
+use ft_core::baseline::evaluate_fixed_price;
+use ft_core::{ActionSet, CalibrateOptions, DeadlineProblem, PenaltyModel};
+use ft_market::{AcceptanceFn, ArrivalRate};
+
+pub fn run(cfg: ExpConfig) -> Vec<Report> {
+    let scenario = PaperScenario::new(cfg.seed);
+    run_with_scenario(&scenario, cfg)
+}
+
+pub fn run_with_scenario(scenario: &PaperScenario, cfg: ExpConfig) -> Vec<Report> {
+    // Test days: the four same-weekday days (day 0 is the anomaly).
+    let test_days: Vec<usize> = vec![0, 7, 14, 21];
+    let opts = CalibrateOptions {
+        truncation_eps: 1e-8,
+        max_iters: if cfg.fast { 16 } else { 25 },
+        ..Default::default()
+    };
+
+    let mut rep = Report::new(
+        "fig10",
+        "Fig. 10(a,b): leave-one-out arrival training, per test day",
+        &[
+            "test_day",
+            "train_arrivals",
+            "actual_arrivals",
+            "dynamic_remaining",
+            "dynamic_avg_reward",
+            "fixed_price",
+            "fixed_remaining",
+        ],
+    );
+    rep.note("day 0 is the anomalous holiday (consistent deviation, Fig. 10(c))");
+
+    let mut detail = Report::new(
+        "fig10-rates",
+        "Fig. 10(c,d): train vs actual arrival mass per 4-hour block",
+        &["test_day", "block_start_h", "train_mass", "actual_mass"],
+    );
+
+    for &day in &test_days {
+        let train_days: Vec<usize> =
+            test_days.iter().copied().filter(|&d| d != day).collect();
+        let train_rate = scenario.trace.average_day_rate(&train_days);
+        let actual_rate = scenario.trace.day_rate(day);
+        let nt = scenario.n_intervals();
+        let train_arr = train_rate.interval_means(scenario.horizon_hours, nt);
+        let actual_arr = actual_rate.interval_means(scenario.horizon_hours, nt);
+
+        let problem = DeadlineProblem::new(
+            scenario.n_tasks,
+            train_arr.clone(),
+            ActionSet::from_grid(scenario.grid, &scenario.acceptance),
+            PenaltyModel::Linear { per_task: 100.0 },
+        );
+        let (dyn_rem, dyn_avg) = match ft_core::calibrate_penalty(&problem, 0.1, opts) {
+            Ok(cal) => {
+                let out = cal.policy.evaluate_against(
+                    &actual_arr,
+                    |c| scenario.acceptance.p_f64(c),
+                    &problem.penalty,
+                );
+                (out.expected_remaining, out.average_reward())
+            }
+            Err(_) => (f64::NAN, f64::NAN),
+        };
+        let fixed = ft_core::solve_fixed_price(
+            &problem.actions,
+            train_arr.iter().sum(),
+            scenario.n_tasks,
+            0.999,
+        )
+        .ok();
+        let (f_price, f_rem) = match &fixed {
+            Some(f) => {
+                let (_, rem, _) = evaluate_fixed_price(
+                    f.reward,
+                    scenario.acceptance.p(f.reward as u32),
+                    actual_arr.iter().sum(),
+                    scenario.n_tasks,
+                );
+                (Report::fmt(f.reward), Report::fmt(rem))
+            }
+            None => ("n/a".into(), "n/a".into()),
+        };
+        rep.row(vec![
+            day.to_string(),
+            Report::fmt(train_arr.iter().sum::<f64>()),
+            Report::fmt(actual_arr.iter().sum::<f64>()),
+            Report::fmt(dyn_rem),
+            Report::fmt(dyn_avg),
+            f_price,
+            f_rem,
+        ]);
+
+        // 4-hour blocks for the rate-comparison panels.
+        if day == 0 || day == 21 {
+            let blocks = 6;
+            let per = nt / blocks;
+            for b in 0..blocks {
+                let train_mass: f64 = train_arr[b * per..(b + 1) * per].iter().sum();
+                let actual_mass: f64 = actual_arr[b * per..(b + 1) * per].iter().sum();
+                detail.row(vec![
+                    day.to_string(),
+                    Report::fmt(b as f64 * scenario.horizon_hours / blocks as f64),
+                    Report::fmt(train_mass),
+                    Report::fmt(actual_mass),
+                ]);
+            }
+        }
+    }
+    vec![rep, detail]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_market::PriceGrid;
+
+    fn small_scenario() -> PaperScenario {
+        let mut s = PaperScenario::new(82);
+        s.n_tasks = 24;
+        s.horizon_hours = 6.0;
+        s.grid = PriceGrid::new(0, 30);
+        // Keep the real trace (we need its day structure) but shrink the
+        // batch so the problem is easy; also scale via trained_rate is not
+        // used here (per-day rates are), so shrink N instead.
+        s
+    }
+
+    #[test]
+    fn anomalous_day_sees_fewer_arrivals() {
+        let s = small_scenario();
+        let reports = run_with_scenario(&s, ExpConfig::fast());
+        let rows = &reports[0].rows;
+        assert_eq!(rows.len(), 4);
+        // Day 0: actual < train (holiday). Normal days: ratio near 1.
+        let ratio = |row: &Vec<String>| {
+            let train: f64 = row[1].parse().unwrap();
+            let actual: f64 = row[2].parse().unwrap();
+            actual / train
+        };
+        let r0 = ratio(&rows[0]);
+        assert!(r0 < 0.75, "holiday ratio {r0} should be well below 1");
+        for row in &rows[1..] {
+            let r = ratio(row);
+            assert!((0.8..1.25).contains(&r), "normal-day ratio {r}");
+        }
+    }
+
+    #[test]
+    fn normal_days_complete_nearly_everything() {
+        let s = small_scenario();
+        let reports = run_with_scenario(&s, ExpConfig::fast());
+        for row in &reports[0].rows[1..] {
+            let dyn_rem: f64 = row[3].parse().unwrap();
+            assert!(dyn_rem < 1.5, "normal-day dynamic remaining {dyn_rem}");
+        }
+    }
+
+    #[test]
+    fn rate_detail_covers_two_days() {
+        let s = small_scenario();
+        let reports = run_with_scenario(&s, ExpConfig::fast());
+        let days: std::collections::BTreeSet<String> = reports[1]
+            .rows
+            .iter()
+            .map(|r| r[0].clone())
+            .collect();
+        assert_eq!(days.len(), 2);
+    }
+}

@@ -1,0 +1,80 @@
+//! One module per paper table/figure. Each experiment takes an
+//! [`ExpConfig`] and returns [`crate::report::Report`]s whose rows mirror
+//! the series the paper plots.
+//!
+//! See DESIGN.md's per-experiment index for the mapping
+//! (id → paper artifact → modules → bench target).
+
+pub mod ext_adaptive;
+pub mod fig01_trace;
+pub mod fig05_acceptance;
+pub mod fig06_tab02_snapshots;
+pub mod fig07a_effectiveness;
+pub mod fig07b_trends;
+pub mod fig08_params;
+pub mod fig08d_granularity;
+pub mod fig09_robustness;
+pub mod fig10_arrival;
+pub mod fig11_budget;
+pub mod fig12_live;
+pub mod fig15_sessions;
+pub mod tab01_truncation;
+pub mod tab34_accuracy;
+
+use crate::report::Report;
+
+/// Shared experiment configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpConfig {
+    /// Reduced sweeps / trial counts for quick runs and CI.
+    pub fast: bool,
+    /// Root seed; every experiment derives decorrelated streams from it.
+    pub seed: u64,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        Self {
+            fast: false,
+            seed: 20140827, // the paper's arXiv date
+        }
+    }
+}
+
+impl ExpConfig {
+    pub fn fast() -> Self {
+        Self {
+            fast: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// All experiment ids in paper order.
+pub const ALL_IDS: &[&str] = &[
+    "fig1", "tab1", "fig5", "fig6", "fig7a", "fig7b", "fig8abc", "fig8d", "fig9", "fig10",
+    "fig11", "fig12", "tab34", "fig15", "adaptive",
+];
+
+/// Run an experiment by id.
+pub fn run_by_id(id: &str, cfg: ExpConfig) -> Option<Vec<Report>> {
+    let reports = match id {
+        "fig1" => fig01_trace::run(cfg),
+        "tab1" => tab01_truncation::run(cfg),
+        "fig5" => fig05_acceptance::run(cfg),
+        "fig6" | "tab2" => fig06_tab02_snapshots::run(cfg),
+        "fig7a" => fig07a_effectiveness::run(cfg),
+        "fig7b" => fig07b_trends::run(cfg),
+        "fig8abc" => fig08_params::run(cfg),
+        "fig8d" => fig08d_granularity::run(cfg),
+        "fig9" => fig09_robustness::run(cfg),
+        "fig10" => fig10_arrival::run(cfg),
+        "fig11" => fig11_budget::run(cfg),
+        "fig12" => fig12_live::run(cfg),
+        "tab34" | "tab3" | "tab4" | "fig13" | "fig14" => tab34_accuracy::run(cfg),
+        "fig15" => fig15_sessions::run(cfg),
+        "adaptive" | "ext-adaptive" => ext_adaptive::run(cfg),
+        _ => return None,
+    };
+    Some(reports)
+}

@@ -1,0 +1,72 @@
+//! Table 1: Poisson truncation points `s₀` for ε = 1e−9 and
+//! λ ∈ {10, 20, 50} — plus a wider sweep to show the scaling.
+
+use super::ExpConfig;
+use crate::report::Report;
+use ft_stats::Poisson;
+
+pub fn run(cfg: ExpConfig) -> Vec<Report> {
+    let mut table = Report::new(
+        "tab1",
+        "Table 1: truncation point s0 with Pr[Pois(λ) ≥ s0] ≤ ε",
+        &["eps", "lambda", "s0", "paper_s0"],
+    );
+    table.note("paper values: (1e-9, 10, 35), (1e-9, 20, 53), (1e-9, 50, 99)");
+    for &(eps, lambda, paper) in &[(1e-9, 10.0, 35u64), (1e-9, 20.0, 53), (1e-9, 50.0, 99)] {
+        let s0 = Poisson::new(lambda).truncation_point(eps);
+        table.row(vec![
+            format!("{eps:.0e}"),
+            Report::fmt(lambda),
+            s0.to_string(),
+            paper.to_string(),
+        ]);
+    }
+
+    let mut sweep = Report::new(
+        "tab1-sweep",
+        "Table 1 (extended): s0 across ε and λ",
+        &["eps", "lambda", "s0"],
+    );
+    let epss: &[f64] = if cfg.fast {
+        &[1e-6, 1e-9]
+    } else {
+        &[1e-3, 1e-6, 1e-9, 1e-12]
+    };
+    for &eps in epss {
+        for &lambda in &[1.0, 5.0, 10.0, 20.0, 50.0, 100.0, 500.0, 2000.0] {
+            let s0 = Poisson::new(lambda).truncation_point(eps);
+            sweep.row(vec![
+                format!("{eps:.0e}"),
+                Report::fmt(lambda),
+                s0.to_string(),
+            ]);
+        }
+    }
+    vec![table, sweep]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_paper_values_exactly() {
+        let reports = run(ExpConfig::default());
+        for row in &reports[0].rows {
+            assert_eq!(row[2], row[3], "s0 mismatch vs paper: {row:?}");
+        }
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_lambda() {
+        let reports = run(ExpConfig::default());
+        let rows = &reports[1].rows;
+        for pair in rows.windows(2) {
+            if pair[0][0] == pair[1][0] {
+                let a: u64 = pair[0][2].parse().unwrap();
+                let b: u64 = pair[1][2].parse().unwrap();
+                assert!(b >= a, "s0 must grow with λ");
+            }
+        }
+    }
+}

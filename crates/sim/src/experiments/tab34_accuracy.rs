@@ -1,0 +1,243 @@
+//! Tables 3/4 and Figs. 13/14: answer quality across price settings
+//! (Section 5.4.3).
+//!
+//! Paper finding (a null result): accuracy sits near 90% for every group
+//! size and the differences are not statistically significant — pricing
+//! mainly affects *whether* workers take the task, not how well they do it.
+
+use super::fig12_live::{build_controller, live_arrival_rate, GROUP_SIZES};
+use super::ExpConfig;
+use crate::report::Report;
+use ft_market::sim::{run_live_sim, FixedGroup, LiveOutcome, LiveSimConfig};
+use ft_stats::{descriptive::welch_t, rng::stream_rng, Summary};
+
+fn cdf_rows(accs: &[f64]) -> Vec<(f64, f64)> {
+    let thresholds: Vec<f64> = (0..=20).map(|i| 0.5 + i as f64 * 0.025).collect();
+    thresholds
+        .into_iter()
+        .map(|th| {
+            let frac = accs.iter().filter(|&&a| a <= th).count() as f64 / accs.len().max(1) as f64;
+            (th, frac)
+        })
+        .collect()
+}
+
+pub fn run(cfg: ExpConfig) -> Vec<Report> {
+    run_scaled(cfg, if cfg.fast { 0.1 } else { 1.0 }, if cfg.fast { 500 } else { 5000 })
+}
+
+pub fn run_scaled(cfg: ExpConfig, scale: f64, total_tasks: u32) -> Vec<Report> {
+    let config = LiveSimConfig {
+        total_tasks,
+        ..Default::default()
+    };
+    let arrival = live_arrival_rate(scale);
+    let bound = arrival.rates().iter().cloned().fold(0.0, f64::max) * 1.001;
+
+    // Fixed trials (Table 3 / Fig. 13).
+    let mut outcomes: Vec<(u32, LiveOutcome)> = Vec::new();
+    for (i, &g) in GROUP_SIZES.iter().enumerate() {
+        let mut rng = stream_rng(cfg.seed, 340 + i as u64);
+        let out = run_live_sim(&config, &arrival, bound, &mut FixedGroup(g), &mut rng);
+        outcomes.push((g, out));
+    }
+
+    let mut tab3 = Report::new(
+        "tab3",
+        "Table 3: average accuracy per group size (fixed pricing)",
+        &["group_size", "mean_accuracy_pct", "hits", "welch_t_vs_g10"],
+    );
+    tab3.note("paper: 92.7 / 90.4 / 91.6 / 90.0 / 89.5 — differences not significant");
+    let summaries: Vec<(u32, Summary)> = outcomes
+        .iter()
+        .map(|(g, out)| {
+            (*g, Summary::from_slice(&out.hit_accuracies(Some(*g))))
+        })
+        .collect();
+    let base = &summaries[0].1;
+    for (g, s) in &summaries {
+        let t = if s.count() > 1 && base.count() > 1 && *g != 10 {
+            Report::fmt(welch_t(base, s))
+        } else {
+            "-".into()
+        };
+        tab3.row(vec![
+            g.to_string(),
+            Report::fmt(s.mean() * 100.0),
+            s.count().to_string(),
+            t,
+        ]);
+    }
+
+    let mut fig13 = Report::new(
+        "fig13",
+        "Fig. 13: cumulative accuracy distribution per group size (fixed)",
+        &["accuracy_threshold", "g10", "g20", "g30", "g40", "g50"],
+    );
+    let all_cdfs: Vec<Vec<(f64, f64)>> = outcomes
+        .iter()
+        .map(|(g, out)| cdf_rows(&out.hit_accuracies(Some(*g))))
+        .collect();
+    for i in 0..all_cdfs[0].len() {
+        let mut row = vec![Report::fmt(all_cdfs[0][i].0)];
+        for cdf in &all_cdfs {
+            row.push(Report::fmt(cdf[i].1));
+        }
+        fig13.row(row);
+    }
+
+    // Dynamic trials (Table 4 / Fig. 14).
+    let unit_rates: Vec<(u32, f64)> = outcomes
+        .iter()
+        .map(|(g, out)| {
+            (*g, super::fig12_live::estimate_unit_rate(out, config.horizon_hours))
+        })
+        .collect();
+    // The paper tabulates the two group sizes its controller used most
+    // (20 and 50 in their runs); ours is identified from the trial logs.
+    let mut trial_outcomes = Vec::new();
+    let mut usage: std::collections::BTreeMap<u32, usize> = std::collections::BTreeMap::new();
+    if let Ok(mut controller) = build_controller(&unit_rates, &arrival, &config) {
+        let n_trials = if cfg.fast { 2 } else { 5 };
+        for trial in 0..n_trials {
+            let mut rng = stream_rng(cfg.seed, 400 + trial as u64);
+            let out = run_live_sim(&config, &arrival, bound, &mut controller, &mut rng);
+            for c in &out.completions {
+                *usage.entry(c.group_size).or_insert(0) += 1;
+            }
+            trial_outcomes.push(out);
+        }
+    }
+    let mut by_usage: Vec<(u32, usize)> = usage.into_iter().collect();
+    by_usage.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    let top: Vec<u32> = by_usage.iter().take(2).map(|&(g, _)| g).collect();
+    let (ga, gb) = match top.as_slice() {
+        [a, b] => (*a, *b),
+        // Only one size was ever used: pair it with the paper's other
+        // headline size so the table keeps two informative columns.
+        [a] => (*a, if *a == 20 { 50 } else { 20 }),
+        _ => (20, 50),
+    };
+
+    let mut tab4 = Report::new(
+        "tab4",
+        "Table 4: accuracy in the dynamic pricing trials, by group size used",
+        &[
+            "trial",
+            &format!("acc_g{ga}_pct"),
+            &format!("acc_g{gb}_pct"),
+            "overall_pct",
+        ],
+    );
+    tab4.note("paper: overall ≈ 88-95% per trial; per-size differences insignificant");
+    let mut fig14 = Report::new(
+        "fig14",
+        "Fig. 14: cumulative accuracy distribution in dynamic trials",
+        &[
+            "accuracy_threshold",
+            &format!("g{ga}"),
+            &format!("g{gb}"),
+        ],
+    );
+    if trial_outcomes.is_empty() {
+        tab4.note("controller build failed; dynamic accuracy unavailable");
+    }
+    let mut acc_a_all = Vec::new();
+    let mut acc_b_all = Vec::new();
+    for (trial, out) in trial_outcomes.iter().enumerate() {
+        let aa = out.hit_accuracies(Some(ga));
+        let ab = out.hit_accuracies(Some(gb));
+        let all = out.hit_accuracies(None);
+        let mean = |v: &[f64]| {
+            if v.is_empty() {
+                f64::NAN
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64 * 100.0
+            }
+        };
+        tab4.row(vec![
+            (trial + 1).to_string(),
+            Report::fmt(mean(&aa)),
+            Report::fmt(mean(&ab)),
+            Report::fmt(mean(&all)),
+        ]);
+        acc_a_all.extend(aa);
+        acc_b_all.extend(ab);
+    }
+    if !acc_a_all.is_empty() && !acc_b_all.is_empty() {
+        let ca = cdf_rows(&acc_a_all);
+        let cb = cdf_rows(&acc_b_all);
+        for i in 0..ca.len() {
+            fig14.row(vec![
+                Report::fmt(ca[i].0),
+                Report::fmt(ca[i].1),
+                Report::fmt(cb[i].1),
+            ]);
+        }
+    }
+
+    vec![tab3, fig13, tab4, fig14]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reports() -> Vec<Report> {
+        run_scaled(ExpConfig::fast(), 0.1, 500)
+    }
+
+    #[test]
+    fn accuracy_near_ninety_for_all_groups() {
+        let reps = reports();
+        for row in &reps[0].rows {
+            let acc: f64 = row[1].parse().unwrap();
+            assert!(
+                (84.0..97.0).contains(&acc),
+                "group {} accuracy {acc}% outside the paper band",
+                row[0]
+            );
+        }
+    }
+
+    #[test]
+    fn no_large_significance() {
+        // |t| < 5 for all pairwise comparisons vs group 10 (the paper finds
+        // no significant differences; with simulated workers a mild fatigue
+        // slope exists but stays small).
+        let reps = reports();
+        for row in &reps[0].rows[1..] {
+            if let Ok(t) = row[3].parse::<f64>() {
+                assert!(t.abs() < 6.0, "implausibly large t statistic {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn cdfs_are_monotone() {
+        let reps = reports();
+        for rep_idx in [1usize, 3] {
+            let rep = &reps[rep_idx];
+            for col in 1..rep.columns.len() {
+                let mut prev = -1.0;
+                for row in &rep.rows {
+                    if let Ok(v) = row[col].parse::<f64>() {
+                        assert!(v >= prev - 1e-12, "{} col {col} not monotone", rep.id);
+                        prev = v;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_overall_accuracy_reported() {
+        let reps = reports();
+        let tab4 = &reps[2];
+        assert!(!tab4.rows.is_empty(), "no dynamic accuracy rows: {:?}", tab4.notes);
+        for row in &tab4.rows {
+            let overall: f64 = row[3].parse().unwrap();
+            assert!((84.0..97.0).contains(&overall));
+        }
+    }
+}

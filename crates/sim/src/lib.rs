@@ -1,0 +1,25 @@
+//! # ft-sim
+//!
+//! Experiment harness for the `finish-them` workspace: Monte-Carlo policy
+//! execution, the paper's default scenario, and one experiment module per
+//! table/figure of Gao & Parameswaran (VLDB 2014).
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run -p ft-sim --release --bin experiments            # all
+//! cargo run -p ft-sim --release --bin experiments -- fig7a   # one id
+//! cargo run -p ft-sim --release --bin experiments -- --fast  # CI-sized
+//! ```
+
+pub mod experiments;
+pub mod mc;
+pub mod outcome;
+pub mod report;
+pub mod scenario;
+
+pub use experiments::{run_by_id, ExpConfig, ALL_IDS};
+pub use mc::{run_mc, simulate_once, McConfig, TrialResult, TrueModel};
+pub use outcome::Aggregate;
+pub use report::Report;
+pub use scenario::{compare_dynamic_vs_fixed, CostComparison, PaperScenario};

@@ -1,0 +1,127 @@
+//! Aggregation of Monte-Carlo trial results.
+
+use crate::mc::TrialResult;
+use ft_stats::{Histogram, Summary};
+use serde::{Deserialize, Serialize};
+
+/// Aggregate statistics over a set of trials.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Aggregate {
+    pub trials: usize,
+    pub mean_paid: f64,
+    pub mean_completed: f64,
+    pub mean_remaining: f64,
+    /// Fraction of trials that finished everything.
+    pub finish_rate: f64,
+    /// Average reward per completed task (total paid / total completed).
+    pub avg_reward: f64,
+    /// Mean finish hour among finishing trials (NaN if none finished).
+    pub mean_finish_hours: f64,
+    /// 95% CI half-width on mean_paid.
+    pub paid_ci95: f64,
+}
+
+impl Aggregate {
+    pub fn from_trials(trials: &[TrialResult]) -> Self {
+        assert!(!trials.is_empty(), "no trials to aggregate");
+        let mut paid = Summary::new();
+        let mut completed = Summary::new();
+        let mut remaining = Summary::new();
+        let mut finish = Summary::new();
+        let mut finished = 0usize;
+        let mut total_paid = 0.0;
+        let mut total_completed = 0.0;
+        for t in trials {
+            paid.push(t.paid);
+            completed.push(t.completed as f64);
+            remaining.push(t.remaining as f64);
+            total_paid += t.paid;
+            total_completed += t.completed as f64;
+            if let Some(f) = t.finish_hours {
+                finish.push(f);
+                finished += 1;
+            }
+        }
+        Self {
+            trials: trials.len(),
+            mean_paid: paid.mean(),
+            mean_completed: completed.mean(),
+            mean_remaining: remaining.mean(),
+            finish_rate: finished as f64 / trials.len() as f64,
+            avg_reward: if total_completed > 0.0 {
+                total_paid / total_completed
+            } else {
+                f64::NAN
+            },
+            mean_finish_hours: finish.mean(),
+            paid_ci95: paid.ci95_half_width(),
+        }
+    }
+}
+
+/// Histogram of finish times over `[min_h, max_h]` with `bins` buckets;
+/// returns the histogram plus the count of unfinished trials.
+pub fn finish_time_histogram(
+    trials: &[TrialResult],
+    min_h: f64,
+    max_h: f64,
+    bins: usize,
+) -> (Histogram, usize) {
+    let mut h = Histogram::new(min_h, max_h, bins);
+    let mut unfinished = 0usize;
+    for t in trials {
+        match t.finish_hours {
+            Some(f) => h.push(f),
+            None => unfinished += 1,
+        }
+    }
+    (h, unfinished)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trial(paid: f64, completed: u32, remaining: u32, finish: Option<f64>) -> TrialResult {
+        TrialResult {
+            paid,
+            completed,
+            remaining,
+            finish_hours: finish,
+        }
+    }
+
+    #[test]
+    fn aggregate_arithmetic() {
+        let trials = vec![
+            trial(100.0, 10, 0, Some(5.0)),
+            trial(200.0, 10, 0, Some(7.0)),
+            trial(50.0, 5, 5, None),
+        ];
+        let a = Aggregate::from_trials(&trials);
+        assert_eq!(a.trials, 3);
+        assert!((a.mean_paid - 350.0 / 3.0).abs() < 1e-12);
+        assert!((a.finish_rate - 2.0 / 3.0).abs() < 1e-12);
+        assert!((a.avg_reward - 350.0 / 25.0).abs() < 1e-12);
+        assert!((a.mean_finish_hours - 6.0).abs() < 1e-12);
+        assert!((a.mean_remaining - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_counts_unfinished() {
+        let trials = vec![
+            trial(0.0, 1, 0, Some(2.0)),
+            trial(0.0, 1, 0, Some(3.0)),
+            trial(0.0, 0, 1, None),
+        ];
+        let (h, unfinished) = finish_time_histogram(&trials, 0.0, 10.0, 5);
+        assert_eq!(unfinished, 1);
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    fn avg_reward_nan_with_zero_completions() {
+        let a = Aggregate::from_trials(&[trial(0.0, 0, 10, None)]);
+        assert!(a.avg_reward.is_nan());
+    }
+}

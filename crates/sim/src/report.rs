@@ -1,0 +1,171 @@
+//! Experiment reports: named tables that render as aligned ASCII and CSV.
+//!
+//! Every experiment in this crate returns one or more [`Report`]s whose
+//! rows mirror the series of the corresponding paper table/figure.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// A rectangular, column-named result table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Experiment identifier (e.g. "fig7a").
+    pub id: String,
+    /// Human title (e.g. "Fig. 7(a): avg reward vs expected remaining").
+    pub title: String,
+    /// Free-form notes: parameters, paper-expected values, caveats.
+    pub notes: Vec<String>,
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    pub fn new(id: impl Into<String>, title: impl Into<String>, columns: &[&str]) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            notes: Vec::new(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Append a row; must match the column count.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row width mismatch in report {}",
+            self.id
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Format a float with sensible digits for tables.
+    pub fn fmt(v: f64) -> String {
+        if !v.is_finite() {
+            return format!("{v}");
+        }
+        if v == 0.0 {
+            return "0".into();
+        }
+        let a = v.abs();
+        if a >= 1000.0 {
+            format!("{v:.0}")
+        } else if a >= 10.0 {
+            format!("{v:.2}")
+        } else if a >= 0.01 {
+            format!("{v:.4}")
+        } else {
+            format!("{v:.3e}")
+        }
+    }
+
+    /// Render as an aligned ASCII table.
+    pub fn to_ascii(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== [{}] {} ==", self.id, self.title);
+        for n in &self.notes {
+            let _ = writeln!(out, "   # {n}");
+        }
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        let _ = writeln!(out, "  {}", header.join("  "));
+        let rule: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        let _ = writeln!(out, "  {}", "-".repeat(rule));
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            let _ = writeln!(out, "  {}", line.join("  "));
+        }
+        out
+    }
+
+    /// Render as CSV (RFC-4180-ish quoting).
+    pub fn to_csv(&self) -> String {
+        fn esc(s: &str) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.columns.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_contains_everything() {
+        let mut r = Report::new("t1", "Test table", &["x", "value"]);
+        r.note("a note");
+        r.row(vec!["1".into(), "2.5".into()]);
+        r.row(vec!["10".into(), "3.25".into()]);
+        let s = r.to_ascii();
+        assert!(s.contains("[t1]"));
+        assert!(s.contains("a note"));
+        assert!(s.contains("2.5"));
+        assert!(s.contains("3.25"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut r = Report::new("t2", "Bad", &["a", "b"]);
+        r.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let mut r = Report::new("t3", "CSV", &["name", "v"]);
+        r.row(vec!["a,b".into(), "1".into()]);
+        r.row(vec!["q\"q".into(), "2".into()]);
+        let csv = r.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"q\"\"q\""));
+    }
+
+    #[test]
+    fn fmt_scales() {
+        assert_eq!(Report::fmt(0.0), "0");
+        assert_eq!(Report::fmt(12345.6), "12346");
+        assert_eq!(Report::fmt(12.345), "12.35");
+        assert_eq!(Report::fmt(0.1234), "0.1234");
+        assert!(Report::fmt(0.0001234).contains('e'));
+    }
+}

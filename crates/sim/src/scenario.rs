@@ -1,0 +1,190 @@
+//! The paper's default experimental scenario (Section 5.2) and shared
+//! helpers for the per-figure experiments.
+//!
+//! Defaults: `N = 200` tasks, `T = 24` hours, 20-minute intervals
+//! (`N_T = 72`), worker arrivals from a synthetic mturk-tracker trace
+//! (≈6000/hour marketplace-wide), and the Eq. 13 acceptance function
+//! (`s = 15, b = −0.39, M = 2000`).
+
+use ft_core::{
+    calibrate_penalty, solve_fixed_price, ActionSet, CalibrateOptions, CalibratedPolicy,
+    DeadlineProblem, FixedPriceSolution, PenaltyModel,
+};
+use ft_market::tracker::weekly_average_rate;
+use ft_market::{
+    ArrivalRate, LogitAcceptance, PiecewiseConstantRate, PriceGrid, TrackerConfig,
+    TrackerTrace,
+};
+use ft_stats::seeded_rng;
+
+/// The Section 5.2 default scenario.
+#[derive(Debug, Clone)]
+pub struct PaperScenario {
+    pub n_tasks: u32,
+    pub horizon_hours: f64,
+    /// Interval length in minutes (20 by default; Fig. 8(d) varies this).
+    pub interval_minutes: f64,
+    pub acceptance: LogitAcceptance,
+    pub grid: PriceGrid,
+    pub trace: TrackerTrace,
+    /// Trained arrival model: the weekly-average periodic profile.
+    pub trained_rate: PiecewiseConstantRate,
+}
+
+impl PaperScenario {
+    /// Build the default scenario from a fresh synthetic trace.
+    pub fn new(seed: u64) -> Self {
+        let mut rng = seeded_rng(seed);
+        let trace = TrackerTrace::generate(TrackerConfig::january_2014(), &mut rng);
+        let trained_rate = weekly_average_rate(&trace);
+        Self {
+            n_tasks: 200,
+            horizon_hours: 24.0,
+            interval_minutes: 20.0,
+            acceptance: LogitAcceptance::paper_eq13(),
+            grid: PriceGrid::new(0, 40),
+            trace,
+            trained_rate,
+        }
+    }
+
+    /// Number of decision intervals `N_T`.
+    pub fn n_intervals(&self) -> usize {
+        (self.horizon_hours * 60.0 / self.interval_minutes).round() as usize
+    }
+
+    /// Trained per-interval arrival masses λ_t.
+    pub fn interval_arrivals(&self) -> Vec<f64> {
+        self.trained_rate
+            .interval_means(self.horizon_hours, self.n_intervals())
+    }
+
+    /// The deadline problem under the trained model.
+    pub fn deadline_problem(&self, penalty_per_task: f64) -> DeadlineProblem {
+        DeadlineProblem::new(
+            self.n_tasks,
+            self.interval_arrivals(),
+            ActionSet::from_grid(self.grid, &self.acceptance),
+            PenaltyModel::Linear {
+                per_task: penalty_per_task,
+            },
+        )
+    }
+
+    /// Dynamic policy calibrated so that `E[remaining] ≤ bound`
+    /// (Theorem 2).
+    pub fn solve_dynamic(&self, remaining_bound: f64) -> ft_core::Result<CalibratedPolicy> {
+        calibrate_penalty(
+            &self.deadline_problem(100.0),
+            remaining_bound,
+            CalibrateOptions::default(),
+        )
+    }
+
+    /// Fixed-price baseline at a completion confidence (Faridani).
+    pub fn solve_fixed(&self, confidence: f64) -> ft_core::Result<FixedPriceSolution> {
+        let actions = ActionSet::from_grid(self.grid, &self.acceptance);
+        let total: f64 = self.interval_arrivals().iter().sum();
+        solve_fixed_price(&actions, total, self.n_tasks, confidence)
+    }
+
+    /// The theoretical average-reward lower bound `c₀` (Section 5.2.1).
+    pub fn c0(&self) -> Option<f64> {
+        let p = self.deadline_problem(0.0);
+        p.reward_lower_bound_index().map(|i| p.actions.get(i).reward)
+    }
+}
+
+/// The head-to-head cost comparison used by Figs. 7(b) and 8(a–c): both
+/// strategies tuned to finish everything with ≥ `confidence`, dynamic cost
+/// taken as expected paid, fixed cost as `N · c_fixed`.
+#[derive(Debug, Clone, Copy)]
+pub struct CostComparison {
+    pub dynamic_cost: f64,
+    pub fixed_cost: f64,
+    pub dynamic_avg_reward: f64,
+    pub fixed_reward: f64,
+    /// Percentage cost reduction `r = (c_f − c_d)/c_f`.
+    pub reduction: f64,
+}
+
+/// Compare calibrated-dynamic vs fixed pricing on a problem.
+///
+/// `confidence` is mapped to the Theorem 2 bound `E[remaining] ≤
+/// 1 − confidence` (Markov: `Pr[any remaining] ≤ E[remaining]`).
+pub fn compare_dynamic_vs_fixed(
+    problem: &DeadlineProblem,
+    confidence: f64,
+    opts: CalibrateOptions,
+) -> ft_core::Result<CostComparison> {
+    let bound = 1.0 - confidence;
+    let cal = calibrate_penalty(problem, bound, opts)?;
+    let fixed = solve_fixed_price(
+        &problem.actions,
+        problem.total_arrivals(),
+        problem.n_tasks,
+        confidence,
+    )?;
+    let dynamic_cost = cal.outcome.expected_paid;
+    let fixed_cost = fixed.total_cost;
+    Ok(CostComparison {
+        dynamic_cost,
+        fixed_cost,
+        dynamic_avg_reward: cal.outcome.average_reward(),
+        fixed_reward: fixed.reward,
+        reduction: (fixed_cost - dynamic_cost) / fixed_cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_dimensions() {
+        let s = PaperScenario::new(1);
+        assert_eq!(s.n_intervals(), 72);
+        let arr = s.interval_arrivals();
+        assert_eq!(arr.len(), 72);
+        // ≈ 6000/hour × 1/3 hour per interval, diurnal swing aside.
+        let mean = arr.iter().sum::<f64>() / 72.0;
+        assert!((1000.0..3500.0).contains(&mean), "mean interval mass {mean}");
+    }
+
+    #[test]
+    fn c0_matches_paper() {
+        // Section 5.2.1: c₀ ≈ 12.
+        let s = PaperScenario::new(2);
+        let c0 = s.c0().unwrap();
+        assert!((10.0..=14.0).contains(&c0), "c0 = {c0}");
+    }
+
+    #[test]
+    fn fixed_baseline_close_to_paper() {
+        let s = PaperScenario::new(3);
+        let fixed = s.solve_fixed(0.999).unwrap();
+        assert!(
+            (14.0..=18.0).contains(&fixed.reward),
+            "fixed reward {}",
+            fixed.reward
+        );
+    }
+
+    #[test]
+    #[ignore = "slow: full calibration; run with --ignored"]
+    fn dynamic_beats_fixed_by_double_digits() {
+        let s = PaperScenario::new(4);
+        let cmp = compare_dynamic_vs_fixed(
+            &s.deadline_problem(100.0),
+            0.999,
+            CalibrateOptions::default(),
+        )
+        .unwrap();
+        assert!(
+            cmp.reduction > 0.10,
+            "expected ≥10% cost reduction, got {:.3}",
+            cmp.reduction
+        );
+        assert!(cmp.dynamic_avg_reward < cmp.fixed_reward);
+    }
+}

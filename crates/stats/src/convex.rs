@@ -1,0 +1,165 @@
+//! Lower convex hull in 2D — the geometric core of the fixed-budget LP
+//! solution (Theorem 7 / Algorithm 3): the two optimal prices must be
+//! vertices of the lower hull of the points `(c, 1/p(c))`.
+
+/// A 2D point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    pub fn new(x: f64, y: f64) -> Self {
+        assert!(x.is_finite() && y.is_finite(), "points must be finite");
+        Self { x, y }
+    }
+}
+
+/// Cross product of `(b − a) × (c − a)`; positive when `c` lies to the left
+/// of the directed line `a → b` (counter-clockwise turn).
+pub fn cross(a: Point, b: Point, c: Point) -> f64 {
+    (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+}
+
+/// Lower convex hull of a set of points, returned as indices into the input
+/// in increasing `x` order.
+///
+/// Collinear interior points are dropped. Duplicate `x` values keep only the
+/// lowest `y` (the cheaper expected-arrival count at that price).
+pub fn lower_hull_indices(points: &[Point]) -> Vec<usize> {
+    assert!(!points.is_empty(), "hull of empty point set");
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by(|&i, &j| {
+        points[i]
+            .x
+            .partial_cmp(&points[j].x)
+            .unwrap()
+            .then(points[i].y.partial_cmp(&points[j].y).unwrap())
+    });
+    // Deduplicate equal x keeping the lowest y (first after the sort).
+    order.dedup_by(|&mut b, &mut a| (points[a].x - points[b].x).abs() < 1e-12);
+
+    let mut hull: Vec<usize> = Vec::with_capacity(order.len());
+    for &i in &order {
+        while hull.len() >= 2 {
+            let a = points[hull[hull.len() - 2]];
+            let b = points[hull[hull.len() - 1]];
+            // Keep strictly convex turns only: pop when b is above or on the
+            // segment a→points[i].
+            if cross(a, b, points[i]) <= 1e-12 {
+                hull.pop();
+            } else {
+                break;
+            }
+        }
+        hull.push(i);
+    }
+    hull
+}
+
+/// Lower convex hull returned as points.
+pub fn lower_hull(points: &[Point]) -> Vec<Point> {
+    lower_hull_indices(points)
+        .into_iter()
+        .map(|i| points[i])
+        .collect()
+}
+
+/// Check whether `p` is on or above the lower hull polyline (used to verify
+/// Theorem 7's second property in tests).
+pub fn above_or_on_hull(hull: &[Point], p: Point) -> bool {
+    assert!(!hull.is_empty(), "empty hull");
+    if hull.len() == 1 {
+        return p.y >= hull[0].y - 1e-9;
+    }
+    // Find the segment whose x-range contains p.x.
+    for w in hull.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        if p.x >= a.x - 1e-12 && p.x <= b.x + 1e-12 {
+            let t = if (b.x - a.x).abs() < 1e-12 {
+                0.0
+            } else {
+                (p.x - a.x) / (b.x - a.x)
+            };
+            let y_line = a.y + t * (b.y - a.y);
+            return p.y >= y_line - 1e-9;
+        }
+    }
+    // Outside the hull's x-range: trivially fine.
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(v: &[(f64, f64)]) -> Vec<Point> {
+        v.iter().map(|&(x, y)| Point::new(x, y)).collect()
+    }
+
+    #[test]
+    fn hull_of_v_shape() {
+        let p = pts(&[(0.0, 2.0), (1.0, 0.0), (2.0, 2.0)]);
+        let h = lower_hull_indices(&p);
+        assert_eq!(h, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn hull_drops_interior_points() {
+        // (1, 5) is way above the segment (0,0)–(2,0).
+        let p = pts(&[(0.0, 0.0), (1.0, 5.0), (2.0, 0.0)]);
+        let h = lower_hull_indices(&p);
+        assert_eq!(h, vec![0, 2]);
+    }
+
+    #[test]
+    fn hull_drops_collinear_points() {
+        let p = pts(&[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0), (3.0, 3.0)]);
+        let h = lower_hull_indices(&p);
+        assert_eq!(h, vec![0, 3]);
+    }
+
+    #[test]
+    fn hull_handles_unsorted_input() {
+        let p = pts(&[(2.0, 2.0), (0.0, 2.0), (1.0, 0.0)]);
+        let h = lower_hull(&p);
+        assert_eq!(h.len(), 3);
+        assert_eq!(h[0].x, 0.0);
+        assert_eq!(h[1].x, 1.0);
+        assert_eq!(h[2].x, 2.0);
+    }
+
+    #[test]
+    fn duplicate_x_keeps_lowest_y() {
+        let p = pts(&[(1.0, 3.0), (1.0, 1.0), (0.0, 0.0), (2.0, 0.0)]);
+        let h = lower_hull(&p);
+        // (1,1) still above segment (0,0)-(2,0), so hull is the two ends.
+        assert_eq!(h.len(), 2);
+        assert_eq!((h[0].x, h[0].y), (0.0, 0.0));
+        assert_eq!((h[1].x, h[1].y), (2.0, 0.0));
+    }
+
+    #[test]
+    fn all_points_above_hull() {
+        // Convexity witness on a reciprocal-like curve with noise bumps.
+        let p: Vec<Point> = (1..=50)
+            .map(|i| {
+                let x = i as f64;
+                let bump = if i % 7 == 0 { 0.5 } else { 0.0 };
+                Point::new(x, 100.0 / x + bump)
+            })
+            .collect();
+        let h = lower_hull(&p);
+        for &q in &p {
+            assert!(above_or_on_hull(&h, q), "point below hull: {q:?}");
+        }
+    }
+
+    #[test]
+    fn single_point_hull() {
+        let p = pts(&[(3.0, 4.0)]);
+        assert_eq!(lower_hull_indices(&p), vec![0]);
+        assert!(above_or_on_hull(&lower_hull(&p), Point::new(3.0, 4.0)));
+    }
+}

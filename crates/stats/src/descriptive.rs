@@ -1,0 +1,297 @@
+//! Descriptive statistics: streaming summaries, quantiles, histograms and
+//! empirical CDFs used by the experiment harness to report distributions
+//! (e.g., Fig. 11 completion times, Figs. 13/14 accuracy CDFs).
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming univariate summary (Welford's algorithm).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    pub fn from_slice(xs: &[f64]) -> Self {
+        let mut s = Self::new();
+        for &x in xs {
+            s.push(x);
+        }
+        s
+    }
+
+    pub fn push(&mut self, x: f64) {
+        assert!(x.is_finite(), "Summary only accepts finite values, got {x}");
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample (n−1) variance.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            f64::NAN
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_err(&self) -> f64 {
+        self.std_dev() / (self.count as f64).sqrt()
+    }
+
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Approximate 95% confidence half-width for the mean.
+    pub fn ci95_half_width(&self) -> f64 {
+        1.96 * self.std_err()
+    }
+}
+
+/// Quantile of a sample by linear interpolation (type-7, the numpy default).
+/// Sorts a copy; for repeated queries use [`sorted_quantile`] on pre-sorted
+/// data instead.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty slice");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    sorted_quantile(&sorted, q)
+}
+
+/// Quantile of pre-sorted data.
+pub fn sorted_quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "q must be in [0,1], got {q}");
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Fixed-width histogram over `[min, max]`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    min: f64,
+    max: f64,
+    counts: Vec<u64>,
+    below: u64,
+    above: u64,
+}
+
+impl Histogram {
+    pub fn new(min: f64, max: f64, bins: usize) -> Self {
+        assert!(max > min && bins > 0, "invalid histogram bounds/bins");
+        Self {
+            min,
+            max,
+            counts: vec![0; bins],
+            below: 0,
+            above: 0,
+        }
+    }
+
+    pub fn push(&mut self, x: f64) {
+        if x < self.min {
+            self.below += 1;
+        } else if x >= self.max {
+            if x == self.max {
+                *self.counts.last_mut().expect("bins > 0") += 1;
+            } else {
+                self.above += 1;
+            }
+        } else {
+            let n_bins = self.counts.len();
+            let width = (self.max - self.min) / n_bins as f64;
+            let idx = (((x - self.min) / width) as usize).min(n_bins - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.below + self.above
+    }
+
+    /// Outliers below/above the range.
+    pub fn outliers(&self) -> (u64, u64) {
+        (self.below, self.above)
+    }
+
+    /// `(bin_center, count)` pairs.
+    pub fn bins(&self) -> Vec<(f64, u64)> {
+        let width = (self.max - self.min) / self.counts.len() as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.min + (i as f64 + 0.5) * width, c))
+            .collect()
+    }
+}
+
+/// Empirical CDF evaluated at each distinct sample point:
+/// returns sorted `(x, F(x))` pairs.
+pub fn ecdf(xs: &[f64]) -> Vec<(f64, f64)> {
+    assert!(!xs.is_empty(), "ecdf of empty slice");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in ecdf input"));
+    let n = sorted.len() as f64;
+    let mut out: Vec<(f64, f64)> = Vec::new();
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = (i + 1) as f64 / n;
+        match out.last_mut() {
+            Some(last) if last.0 == x => last.1 = f,
+            _ => out.push((x, f)),
+        }
+    }
+    out
+}
+
+/// Welch's two-sample t statistic (used to check "differences are not
+/// statistically significant" claims from Tables 3/4).
+pub fn welch_t(a: &Summary, b: &Summary) -> f64 {
+    let va = a.variance() / a.count() as f64;
+    let vb = b.variance() / b.count() as f64;
+    (a.mean() - b.mean()) / (va + vb).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {b}, got {a} (tol {tol})");
+    }
+
+    #[test]
+    fn summary_basic_moments() {
+        let s = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count(), 4);
+        assert_close(s.mean(), 2.5, 1e-12);
+        assert_close(s.variance(), 5.0 / 3.0, 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+    }
+
+    #[test]
+    fn summary_merge_equals_bulk() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let bulk = Summary::from_slice(&xs);
+        let mut a = Summary::from_slice(&xs[..37]);
+        let b = Summary::from_slice(&xs[37..]);
+        a.merge(&b);
+        assert_eq!(a.count(), bulk.count());
+        assert_close(a.mean(), bulk.mean(), 1e-10);
+        assert_close(a.variance(), bulk.variance(), 1e-10);
+    }
+
+    #[test]
+    fn summary_empty_is_nan() {
+        let s = Summary::new();
+        assert!(s.mean().is_nan());
+        assert!(s.variance().is_nan());
+    }
+
+    #[test]
+    fn quantile_interpolation() {
+        let xs = [3.0, 1.0, 2.0, 4.0];
+        assert_close(quantile(&xs, 0.0), 1.0, 1e-12);
+        assert_close(quantile(&xs, 1.0), 4.0, 1e-12);
+        assert_close(quantile(&xs, 0.5), 2.5, 1e-12);
+        assert_close(quantile(&xs, 0.25), 1.75, 1e-12);
+    }
+
+    #[test]
+    fn histogram_bins_and_outliers() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [0.5, 1.5, 2.5, 9.9, 10.0, -1.0, 12.0] {
+            h.push(x);
+        }
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.outliers(), (1, 1));
+        assert_eq!(h.counts()[0], 2); // 0.5, 1.5
+        assert_eq!(h.counts()[1], 1); // 2.5
+        assert_eq!(h.counts()[4], 2); // 9.9 and max-inclusive 10.0
+    }
+
+    #[test]
+    fn ecdf_steps() {
+        let e = ecdf(&[1.0, 1.0, 2.0, 3.0]);
+        assert_eq!(e.len(), 3);
+        assert_close(e[0].1, 0.5, 1e-12);
+        assert_close(e[1].1, 0.75, 1e-12);
+        assert_close(e[2].1, 1.0, 1e-12);
+    }
+
+    #[test]
+    fn welch_t_zero_for_identical() {
+        let a = Summary::from_slice(&[1.0, 2.0, 3.0]);
+        let b = Summary::from_slice(&[1.0, 2.0, 3.0]);
+        assert_close(welch_t(&a, &b), 0.0, 1e-12);
+    }
+}

@@ -1,0 +1,307 @@
+//! Binomial, geometric, and categorical distributions.
+//!
+//! - Binomial: the thinning law — of `X` arrived workers, `Bin(X, p)` pick
+//!   up our task (Section 2.1).
+//! - Geometric: worker arrivals between consecutive completions under a
+//!   semi-static strategy (Theorem 5).
+//! - Categorical: worker task choice among HIT groups.
+
+use crate::special::ln_factorial;
+use rand::Rng;
+
+/// Binomial distribution with `n` trials and success probability `p`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+impl Binomial {
+    pub fn new(n: u64, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "Binomial p must be in [0,1], got {p}"
+        );
+        Self { n, p }
+    }
+
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    pub fn mean(&self) -> f64 {
+        self.n as f64 * self.p
+    }
+
+    pub fn variance(&self) -> f64 {
+        self.n as f64 * self.p * (1.0 - self.p)
+    }
+
+    /// `Pr[X = k]`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        if k > self.n {
+            return 0.0;
+        }
+        if self.p == 0.0 {
+            return if k == 0 { 1.0 } else { 0.0 };
+        }
+        if self.p == 1.0 {
+            return if k == self.n { 1.0 } else { 0.0 };
+        }
+        let ln = ln_factorial(self.n) - ln_factorial(k) - ln_factorial(self.n - k)
+            + k as f64 * self.p.ln()
+            + (self.n - k) as f64 * (1.0 - self.p).ln();
+        ln.exp()
+    }
+
+    /// `Pr[X ≤ k]` by direct summation (fine for the moderate `n` used here).
+    pub fn cdf(&self, k: u64) -> f64 {
+        (0..=k.min(self.n)).map(|i| self.pmf(i)).sum::<f64>().min(1.0)
+    }
+
+    /// Draw one sample.
+    ///
+    /// Uses direct Bernoulli summation for small `n`, and inversion by
+    /// sequential search from the mode for large `n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.p == 0.0 {
+            return 0;
+        }
+        if self.p == 1.0 {
+            return self.n;
+        }
+        if self.n <= 64 {
+            let mut k = 0;
+            for _ in 0..self.n {
+                if rng.gen::<f64>() < self.p {
+                    k += 1;
+                }
+            }
+            return k;
+        }
+        // Inversion from the mode (exact, O(σ) expected).
+        let u: f64 = rng.gen();
+        let mode = ((self.n as f64 + 1.0) * self.p).floor().min(self.n as f64) as u64;
+        let p_mode = self.pmf(mode);
+        let f_mode = self.cdf(mode);
+        let q = self.p / (1.0 - self.p);
+        if u <= f_mode {
+            if u > f_mode - p_mode {
+                return mode;
+            }
+            let mut k = mode;
+            let mut f = f_mode - p_mode;
+            let mut pm = p_mode;
+            while k > 0 {
+                // pmf(k-1) = pmf(k) * k / ((n-k+1) q)
+                pm *= k as f64 / ((self.n - k + 1) as f64 * q);
+                k -= 1;
+                if u > f - pm {
+                    return k;
+                }
+                f -= pm;
+            }
+            0
+        } else {
+            let mut k = mode;
+            let mut f = f_mode;
+            let mut pm = p_mode;
+            while k < self.n {
+                // pmf(k+1) = pmf(k) * (n-k)/(k+1) * q
+                pm *= (self.n - k) as f64 / (k + 1) as f64 * q;
+                k += 1;
+                f += pm;
+                if u <= f {
+                    return k;
+                }
+            }
+            self.n
+        }
+    }
+}
+
+/// Geometric distribution counting the number of failures before the first
+/// success: `Pr[X = k] = (1 − p)^k · p`, matching the paper's `w_i`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Geometric {
+    p: f64,
+}
+
+impl Geometric {
+    pub fn new(p: f64) -> Self {
+        assert!(
+            p > 0.0 && p <= 1.0,
+            "Geometric p must be in (0,1], got {p}"
+        );
+        Self { p }
+    }
+
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Mean number of failures, `(1 − p)/p`.
+    pub fn mean(&self) -> f64 {
+        (1.0 - self.p) / self.p
+    }
+
+    pub fn pmf(&self, k: u64) -> f64 {
+        (1.0 - self.p).powi(k as i32) * self.p
+    }
+
+    pub fn cdf(&self, k: u64) -> f64 {
+        1.0 - (1.0 - self.p).powi(k as i32 + 1)
+    }
+
+    /// Draw one sample by inversion.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.p >= 1.0 {
+            return 0;
+        }
+        let mut u: f64 = rng.gen();
+        while u <= f64::MIN_POSITIVE {
+            u = rng.gen();
+        }
+        (u.ln() / (1.0 - self.p).ln()).floor() as u64
+    }
+}
+
+/// Categorical distribution over `0..weights.len()` with non-negative
+/// weights (not necessarily normalized).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Categorical {
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+impl Categorical {
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "Categorical needs at least one weight");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut total = 0.0;
+        for &w in weights {
+            assert!(
+                w >= 0.0 && w.is_finite(),
+                "Categorical weights must be finite and non-negative, got {w}"
+            );
+            total += w;
+            cumulative.push(total);
+        }
+        assert!(total > 0.0, "Categorical weights must not all be zero");
+        Self { cumulative, total }
+    }
+
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Probability of category `i`.
+    pub fn prob(&self, i: usize) -> f64 {
+        let prev = if i == 0 { 0.0 } else { self.cumulative[i - 1] };
+        (self.cumulative[i] - prev) / self.total
+    }
+
+    /// Draw one category index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let x = rng.gen::<f64>() * self.total;
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&x).unwrap())
+        {
+            Ok(i) | Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {b}, got {a} (tol {tol})");
+    }
+
+    #[test]
+    fn binomial_pmf_sums_to_one() {
+        let b = Binomial::new(30, 0.37);
+        let sum: f64 = (0..=30).map(|k| b.pmf(k)).sum();
+        assert_close(sum, 1.0, 1e-12);
+    }
+
+    #[test]
+    fn binomial_edge_probabilities() {
+        let b0 = Binomial::new(10, 0.0);
+        assert_eq!(b0.pmf(0), 1.0);
+        let b1 = Binomial::new(10, 1.0);
+        assert_eq!(b1.pmf(10), 1.0);
+        let mut rng = seeded_rng(1);
+        assert_eq!(b0.sample(&mut rng), 0);
+        assert_eq!(b1.sample(&mut rng), 10);
+    }
+
+    #[test]
+    fn binomial_sample_moments_small_and_large_n() {
+        let mut rng = seeded_rng(9);
+        for &(n, p) in &[(40u64, 0.3), (5000u64, 0.002), (1000u64, 0.7)] {
+            let b = Binomial::new(n, p);
+            let trials = 50_000;
+            let mean = (0..trials).map(|_| b.sample(&mut rng)).sum::<u64>() as f64
+                / trials as f64;
+            let tol = 4.0 * (b.variance() / trials as f64).sqrt() + 1e-9;
+            assert_close(mean, b.mean(), tol);
+        }
+    }
+
+    #[test]
+    fn geometric_mean_and_pmf() {
+        let g = Geometric::new(0.25);
+        assert_close(g.mean(), 3.0, 1e-12);
+        let sum: f64 = (0..200).map(|k| g.pmf(k)).sum();
+        assert_close(sum, 1.0, 1e-10);
+        let mut rng = seeded_rng(2);
+        let trials = 100_000;
+        let mean =
+            (0..trials).map(|_| g.sample(&mut rng)).sum::<u64>() as f64 / trials as f64;
+        assert_close(mean, 3.0, 0.06);
+    }
+
+    #[test]
+    fn geometric_expected_arrivals_theorem5() {
+        // E[w_i] + 1 = 1/p: the per-task expected worker-arrival count used
+        // in Theorem 5.
+        for &p in &[0.01, 0.1, 0.5, 1.0] {
+            let g = Geometric::new(p);
+            assert_close(g.mean() + 1.0, 1.0 / p, 1e-12);
+        }
+    }
+
+    #[test]
+    fn categorical_matches_weights() {
+        let c = Categorical::new(&[1.0, 3.0, 6.0]);
+        assert_close(c.prob(0), 0.1, 1e-12);
+        assert_close(c.prob(1), 0.3, 1e-12);
+        assert_close(c.prob(2), 0.6, 1e-12);
+        let mut rng = seeded_rng(8);
+        let mut counts = [0u64; 3];
+        let trials = 100_000;
+        for _ in 0..trials {
+            counts[c.sample(&mut rng)] += 1;
+        }
+        assert_close(counts[2] as f64 / trials as f64, 0.6, 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not all be zero")]
+    fn categorical_rejects_zero_total() {
+        Categorical::new(&[0.0, 0.0]);
+    }
+}

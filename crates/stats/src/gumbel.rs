@@ -1,0 +1,134 @@
+//! Gumbel (type-I extreme value) distribution: the noise term of the
+//! conditional logit model (Section 2.2). Independent Gumbel utility noise
+//! is exactly what makes choice probabilities multinomial-logit.
+
+use rand::Rng;
+
+/// Gumbel distribution with location `mu` and scale `beta > 0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gumbel {
+    mu: f64,
+    beta: f64,
+}
+
+impl Gumbel {
+    /// Create a Gumbel distribution. Panics on non-finite or `beta <= 0`.
+    pub fn new(mu: f64, beta: f64) -> Self {
+        assert!(
+            beta > 0.0 && beta.is_finite() && mu.is_finite(),
+            "Gumbel requires finite mu and beta > 0, got mu={mu}, beta={beta}"
+        );
+        Self { mu, beta }
+    }
+
+    /// Standard Gumbel (location 0, scale 1).
+    pub fn standard() -> Self {
+        Self::new(0.0, 1.0)
+    }
+
+    /// Mean = mu + beta * γ (Euler–Mascheroni).
+    pub fn mean(&self) -> f64 {
+        const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
+        self.mu + self.beta * EULER_GAMMA
+    }
+
+    /// Variance = π²β²/6.
+    pub fn variance(&self) -> f64 {
+        std::f64::consts::PI.powi(2) * self.beta * self.beta / 6.0
+    }
+
+    /// CDF: `exp(−exp(−(x−μ)/β))`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        (-((-(x - self.mu) / self.beta).exp())).exp()
+    }
+
+    /// PDF.
+    pub fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.beta;
+        ((-z - (-z).exp()).exp()) / self.beta
+    }
+
+    /// Inverse CDF.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "Gumbel quantile needs p in (0,1)");
+        self.mu - self.beta * (-(p.ln())).ln()
+    }
+
+    /// Draw one sample by inversion.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Guard against u == 0 (ln(0) = −inf).
+        let mut u: f64 = rng.gen();
+        while u <= f64::MIN_POSITIVE {
+            u = rng.gen();
+        }
+        self.mu - self.beta * (-(u.ln())).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {b}, got {a} (tol {tol})");
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let g = Gumbel::new(1.5, 0.8);
+        for &p in &[0.01, 0.2, 0.5, 0.8, 0.999] {
+            assert_close(g.cdf(g.quantile(p)), p, 1e-12);
+        }
+    }
+
+    #[test]
+    fn sample_moments() {
+        let g = Gumbel::standard();
+        let mut rng = seeded_rng(11);
+        let n = 300_000;
+        let xs: Vec<f64> = (0..n).map(|_| g.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert_close(mean, g.mean(), 0.01);
+        assert_close(var, g.variance(), 0.03);
+    }
+
+    #[test]
+    fn logit_choice_identity() {
+        // The defining property: for utilities u_i + Gumbel noise, the
+        // probability item 0 maximizes equals softmax(u)_0. Empirical check.
+        let utilities = [1.0f64, 0.0, -0.5, 0.3];
+        let g = Gumbel::standard();
+        let mut rng = seeded_rng(5);
+        let trials = 200_000;
+        let mut wins = 0u64;
+        for _ in 0..trials {
+            let noisy: Vec<f64> = utilities.iter().map(|&u| u + g.sample(&mut rng)).collect();
+            let best = noisy
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            if best == 0 {
+                wins += 1;
+            }
+        }
+        let z: f64 = utilities.iter().map(|u| u.exp()).sum();
+        let softmax0 = utilities[0].exp() / z;
+        assert_close(wins as f64 / trials as f64, softmax0, 0.01);
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let g = Gumbel::new(0.0, 1.0);
+        let (mut acc, h) = (0.0, 1e-3);
+        let mut x = -6.0;
+        while x < 15.0 {
+            acc += g.pdf(x) * h;
+            x += h;
+        }
+        assert_close(acc, 1.0, 1e-3);
+    }
+}

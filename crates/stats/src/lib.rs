@@ -1,0 +1,40 @@
+//! # ft-stats
+//!
+//! Statistical substrate for the `finish-them` workspace — the reproduction
+//! of *"Finish Them!: Pricing Algorithms for Human Computation"*
+//! (Gao & Parameswaran, VLDB 2014).
+//!
+//! Everything here is implemented from scratch on top of `rand`:
+//!
+//! - [`poisson`]: the completion-count law of the thinned NHPP model,
+//!   including the tail [`poisson::Poisson::truncation_point`] used by the
+//!   Section 3.2 DP speed-up (Table 1).
+//! - [`discrete`]: binomial thinning, geometric inter-completion counts
+//!   (Theorem 5), categorical choice.
+//! - [`gumbel`]: the logit-noise distribution of the discrete choice model.
+//! - [`normal`]: utility perception noise (Section 5.1.1).
+//! - [`regression`]: OLS (Table 2) and IRLS logistic regression (Fig. 5).
+//! - [`convex`]: lower convex hulls (Theorem 7 / Algorithm 3).
+//! - [`descriptive`]: summaries, quantiles, histograms, empirical CDFs.
+//! - [`special`]: log-gamma, erf, incomplete gamma.
+//! - [`rng`]: deterministic seeding with decorrelated child streams.
+
+pub mod convex;
+pub mod descriptive;
+pub mod discrete;
+pub mod gumbel;
+pub mod linalg;
+pub mod normal;
+pub mod poisson;
+pub mod regression;
+pub mod rng;
+pub mod special;
+
+pub use convex::{lower_hull, lower_hull_indices, Point};
+pub use descriptive::{ecdf, quantile, Histogram, Summary};
+pub use discrete::{Binomial, Categorical, Geometric};
+pub use gumbel::Gumbel;
+pub use normal::Normal;
+pub use poisson::Poisson;
+pub use regression::{Logistic, MultiOls, SimpleOls};
+pub use rng::{seeded_rng, stream_rng};

@@ -1,0 +1,199 @@
+//! Normal distribution, used by the utility-based choice simulation
+//! (Section 5.1.1) and by approximate confidence intervals.
+
+use crate::special::{erf, erfc};
+use rand::Rng;
+
+/// Normal distribution with mean `mu` and standard deviation `sigma > 0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Create a normal distribution. Panics if `sigma <= 0` or not finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(
+            sigma > 0.0 && sigma.is_finite() && mu.is_finite(),
+            "Normal requires finite mu and sigma > 0, got mu={mu}, sigma={sigma}"
+        );
+        Self { mu, sigma }
+    }
+
+    /// The standard normal distribution.
+    pub fn standard() -> Self {
+        Self::new(0.0, 1.0)
+    }
+
+    pub fn mean(&self) -> f64 {
+        self.mu
+    }
+
+    pub fn std_dev(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Probability density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.sigma;
+        (-(z * z) / 2.0).exp() / (self.sigma * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    /// Cumulative distribution function.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / (self.sigma * std::f64::consts::SQRT_2);
+        0.5 * erfc(-z)
+    }
+
+    /// Survival function `Pr[X > x]`.
+    pub fn sf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / (self.sigma * std::f64::consts::SQRT_2);
+        0.5 * erfc(z)
+    }
+
+    /// Inverse CDF via Acklam's rational approximation refined with one
+    /// Halley step (relative error below 1e-9).
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!(
+            p > 0.0 && p < 1.0,
+            "Normal quantile requires p in (0,1), got {p}"
+        );
+        self.mu + self.sigma * standard_normal_quantile(p)
+    }
+
+    /// Draw one sample using the Marsaglia polar method.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mu + self.sigma * standard_normal_sample(rng)
+    }
+}
+
+/// One standard-normal draw (Marsaglia polar method).
+pub fn standard_normal_sample<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+        let v: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * ((-2.0 * s.ln()) / s).sqrt();
+        }
+    }
+}
+
+/// Standard-normal inverse CDF (Acklam's algorithm + Halley refinement).
+pub fn standard_normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0);
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    let p_low = 0.02425;
+    let x = if p < p_low {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - p_low {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+    // One Halley step against the accurate erf-based CDF.
+    let e = 0.5 * erfc(-x / std::f64::consts::SQRT_2) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+/// `Pr[Z ≤ z]` for standard normal `Z` (convenience wrapper).
+pub fn standard_normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {b}, got {a} (tol {tol})");
+    }
+
+    #[test]
+    fn cdf_known_values() {
+        let n = Normal::standard();
+        assert_close(n.cdf(0.0), 0.5, 1e-12);
+        assert_close(n.cdf(1.96), 0.975, 2e-4);
+        assert_close(n.cdf(-1.96), 0.025, 2e-4);
+        assert_close(n.cdf(3.0), 0.99865, 1e-4);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let n = Normal::new(2.0, 3.0);
+        for &p in &[1e-6, 0.01, 0.3, 0.5, 0.7, 0.99, 1.0 - 1e-6] {
+            let x = n.quantile(p);
+            assert_close(n.cdf(x), p, 1e-6);
+        }
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let n = Normal::new(-1.0, 0.7);
+        let (mut acc, h) = (0.0, 1e-3);
+        let mut x = -8.0;
+        while x < 6.0 {
+            acc += n.pdf(x) * h;
+            x += h;
+        }
+        assert_close(acc, 1.0, 1e-3);
+    }
+
+    #[test]
+    fn sample_moments() {
+        let n = Normal::new(5.0, 2.0);
+        let mut rng = seeded_rng(3);
+        let k = 200_000;
+        let xs: Vec<f64> = (0..k).map(|_| n.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / k as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / k as f64;
+        assert_close(mean, 5.0, 0.03);
+        assert_close(var, 4.0, 0.1);
+    }
+
+    #[test]
+    fn sf_complements_cdf() {
+        let n = Normal::new(0.0, 1.0);
+        for &x in &[-2.0, -0.5, 0.0, 1.3, 4.0] {
+            assert_close(n.cdf(x) + n.sf(x), 1.0, 1e-12);
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! Poisson distribution: the completion-count law of the thinned NHPP model
+//! (Eq. 1 of the paper), plus the tail-truncation machinery of Section 3.2.
+
+use crate::special::{gamma_p, gamma_q, ln_factorial};
+use rand::Rng;
+
+/// Poisson distribution with mean `lambda ≥ 0`.
+///
+/// `lambda == 0` is allowed and denotes the degenerate distribution at 0;
+/// it arises naturally when a price of 0 yields acceptance probability 0 or
+/// when an interval has no worker arrivals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Create a Poisson distribution. Panics if `lambda` is negative or NaN.
+    pub fn new(lambda: f64) -> Self {
+        assert!(
+            lambda >= 0.0 && lambda.is_finite(),
+            "Poisson mean must be finite and non-negative, got {lambda}"
+        );
+        Self { lambda }
+    }
+
+    /// The mean (and variance) of the distribution.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Natural log of `Pr[X = k]`.
+    pub fn ln_pmf(&self, k: u64) -> f64 {
+        if self.lambda == 0.0 {
+            return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
+        }
+        k as f64 * self.lambda.ln() - self.lambda - ln_factorial(k)
+    }
+
+    /// `Pr[X = k]`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        self.ln_pmf(k).exp()
+    }
+
+    /// `Pr[X ≤ k]`, via the regularized upper incomplete gamma identity
+    /// `Pr[Pois(λ) ≤ k] = Q(k + 1, λ)`.
+    pub fn cdf(&self, k: u64) -> f64 {
+        if self.lambda == 0.0 {
+            return 1.0;
+        }
+        gamma_q(k as f64 + 1.0, self.lambda)
+    }
+
+    /// Survival `Pr[X ≥ k]` (note: inclusive, matching the paper's
+    /// `Pr(Pois(·|λ) ≥ s)` notation).
+    pub fn sf(&self, k: u64) -> f64 {
+        if k == 0 {
+            return 1.0;
+        }
+        if self.lambda == 0.0 {
+            return 0.0;
+        }
+        gamma_p(k as f64, self.lambda)
+    }
+
+    /// Smallest `k` with `Pr[X ≤ k] ≥ q`, for `q ∈ [0, 1)`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..1.0).contains(&q), "quantile needs q in [0,1), got {q}");
+        if self.lambda == 0.0 {
+            return 0;
+        }
+        // Bracket with a normal-approximation guess, then walk.
+        let sigma = self.lambda.sqrt();
+        let mut k = (self.lambda + 4.0 * sigma * (q - 0.5)).max(0.0) as u64;
+        while self.cdf(k) < q {
+            k += 1;
+        }
+        while k > 0 && self.cdf(k - 1) >= q {
+            k -= 1;
+        }
+        k
+    }
+
+    /// The truncation point `s0` of Section 3.2: the smallest `s` such that
+    /// `Pr[X ≥ s] ≤ eps`. All DP transition terms with `s ≥ s0` may be
+    /// dropped with total probability mass at most `eps` (Theorem 1).
+    pub fn truncation_point(&self, eps: f64) -> u64 {
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1), got {eps}");
+        if self.lambda == 0.0 {
+            return 1;
+        }
+        // Exponential bracketing above the mean, then binary search on the
+        // monotone survival function.
+        let mut lo = self.lambda.floor() as u64; // sf(lo) ~ 0.5 > eps for eps << 1
+        if self.sf(lo) <= eps {
+            lo = 0;
+        }
+        let mut hi = (self.lambda.ceil() as u64 + 2).max(4);
+        while self.sf(hi) > eps {
+            hi *= 2;
+        }
+        while lo + 1 < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.sf(mid) <= eps {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        hi
+    }
+
+    /// Draw one sample.
+    ///
+    /// Small means use Knuth's product-of-uniforms method; large means use a
+    /// two-sided sequential search from the mode driven by a single uniform,
+    /// which is exact and `O(√λ)` expected per draw.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.lambda == 0.0 {
+            return 0;
+        }
+        if self.lambda < 30.0 {
+            self.sample_knuth(rng)
+        } else {
+            self.sample_inversion_from_mode(rng)
+        }
+    }
+
+    fn sample_knuth<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let l = (-self.lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    }
+
+    fn sample_inversion_from_mode<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let mode = self.lambda.floor() as u64;
+        let p_mode = self.pmf(mode);
+        // CDF up to and including the mode; then walk outward.
+        let f_mode = self.cdf(mode);
+        if u <= f_mode {
+            // Walk downward from the mode.
+            if u > f_mode - p_mode {
+                return mode;
+            }
+            let mut k = mode;
+            let mut f = f_mode - p_mode;
+            let mut p = p_mode;
+            while k > 0 {
+                p *= k as f64 / self.lambda;
+                k -= 1;
+                if u > f - p {
+                    return k;
+                }
+                f -= p;
+            }
+            0
+        } else {
+            // Walk upward from the mode.
+            let mut k = mode;
+            let mut f = f_mode;
+            let mut p = p_mode;
+            loop {
+                k += 1;
+                p *= self.lambda / k as f64;
+                f += p;
+                if u <= f || p < 1e-300 {
+                    return k;
+                }
+            }
+        }
+    }
+
+    /// Fill `out[s] = Pr[X = s]` for `s = 0..out.len()`, using the stable
+    /// multiplicative recurrence. Returns the total mass written.
+    ///
+    /// This is the inner-loop primitive of the DP solvers: one pass per
+    /// `(interval, price)` pair.
+    pub fn pmf_prefix(&self, out: &mut [f64]) -> f64 {
+        if out.is_empty() {
+            return 0.0;
+        }
+        if self.lambda == 0.0 {
+            out[0] = 1.0;
+            for v in &mut out[1..] {
+                *v = 0.0;
+            }
+            return 1.0;
+        }
+        let mut total = 0.0;
+        // Start from ln pmf(0) to stay stable for large λ where pmf(0)
+        // underflows: switch to log-space seeding at the first index.
+        let mut p = (-self.lambda).exp();
+        if p == 0.0 {
+            // λ is huge; seed each value from log-space instead.
+            for (s, v) in out.iter_mut().enumerate() {
+                *v = self.pmf(s as u64);
+                total += *v;
+            }
+            return total;
+        }
+        for (s, v) in out.iter_mut().enumerate() {
+            if s > 0 {
+                p *= self.lambda / s as f64;
+            }
+            *v = p;
+            total += p;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {b}, got {a} (tol {tol})");
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &lambda in &[0.1, 1.0, 5.0, 20.0, 100.0] {
+            let d = Poisson::new(lambda);
+            let sum: f64 = (0..(lambda as u64 * 3 + 50)).map(|k| d.pmf(k)).sum();
+            assert_close(sum, 1.0, 1e-10);
+        }
+    }
+
+    #[test]
+    fn degenerate_zero_lambda() {
+        let d = Poisson::new(0.0);
+        assert_eq!(d.pmf(0), 1.0);
+        assert_eq!(d.pmf(3), 0.0);
+        assert_eq!(d.cdf(0), 1.0);
+        assert_eq!(d.sf(1), 0.0);
+        assert_eq!(d.quantile(0.999), 0);
+        let mut rng = seeded_rng(1);
+        assert_eq!(d.sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn cdf_matches_direct_sum() {
+        let d = Poisson::new(7.3);
+        let mut acc = 0.0;
+        for k in 0..30 {
+            acc += d.pmf(k);
+            assert_close(d.cdf(k), acc, 1e-10);
+        }
+    }
+
+    #[test]
+    fn sf_complements_cdf() {
+        let d = Poisson::new(12.5);
+        for k in 1..40u64 {
+            assert_close(d.sf(k), 1.0 - d.cdf(k - 1), 1e-10);
+        }
+        assert_eq!(d.sf(0), 1.0);
+    }
+
+    #[test]
+    fn paper_table1_truncation_points() {
+        // Table 1 of the paper: eps = 1e-9 gives s0 = 35, 53, 99 for
+        // λ = 10, 20, 50.
+        let eps = 1e-9;
+        assert_eq!(Poisson::new(10.0).truncation_point(eps), 35);
+        assert_eq!(Poisson::new(20.0).truncation_point(eps), 53);
+        assert_eq!(Poisson::new(50.0).truncation_point(eps), 99);
+    }
+
+    #[test]
+    fn truncation_point_is_tight() {
+        for &lambda in &[0.5, 3.0, 17.0, 250.0] {
+            for &eps in &[1e-3, 1e-6, 1e-9] {
+                let d = Poisson::new(lambda);
+                let s0 = d.truncation_point(eps);
+                assert!(d.sf(s0) <= eps, "sf({s0}) > eps for λ={lambda}");
+                assert!(
+                    s0 == 0 || d.sf(s0 - 1) > eps,
+                    "s0 not minimal for λ={lambda}, eps={eps}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let d = Poisson::new(9.0);
+        for &q in &[0.01, 0.25, 0.5, 0.75, 0.99, 0.9999] {
+            let k = d.quantile(q);
+            assert!(d.cdf(k) >= q);
+            assert!(k == 0 || d.cdf(k - 1) < q);
+        }
+    }
+
+    #[test]
+    fn sample_mean_and_variance_small_lambda() {
+        let d = Poisson::new(4.2);
+        let mut rng = seeded_rng(42);
+        let n = 200_000;
+        let samples: Vec<u64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<u64>() as f64 / n as f64;
+        let var = samples
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        assert_close(mean, 4.2, 0.05);
+        assert_close(var, 4.2, 0.15);
+    }
+
+    #[test]
+    fn sample_mean_large_lambda() {
+        let d = Poisson::new(1700.0);
+        let mut rng = seeded_rng(7);
+        let n = 20_000;
+        let mean = (0..n).map(|_| d.sample(&mut rng)).sum::<u64>() as f64 / n as f64;
+        assert_close(mean, 1700.0, 2.0);
+    }
+
+    #[test]
+    fn pmf_prefix_matches_pmf() {
+        for &lambda in &[0.0, 2.5, 60.0, 900.0] {
+            let d = Poisson::new(lambda);
+            let mut buf = vec![0.0; 64];
+            let total = d.pmf_prefix(&mut buf);
+            for (s, &v) in buf.iter().enumerate() {
+                assert_close(v, d.pmf(s as u64), 1e-12);
+            }
+            assert_close(total, d.cdf(63), 1e-9);
+        }
+    }
+}

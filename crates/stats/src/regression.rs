@@ -1,0 +1,322 @@
+//! Regression: ordinary least squares (Section 5.1.2 / Table 2) and
+//! logistic regression via iteratively reweighted least squares
+//! (the Fig. 5 fit and the β estimation suggested by Faridani et al.).
+
+use crate::linalg::Matrix;
+
+/// Simple linear regression `y ≈ slope · x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimpleOls {
+    pub slope: f64,
+    pub intercept: f64,
+    pub r_squared: f64,
+}
+
+impl SimpleOls {
+    /// Fit by least squares. Panics if fewer than two points or if all `x`
+    /// are identical.
+    pub fn fit(x: &[f64], y: &[f64]) -> Self {
+        assert_eq!(x.len(), y.len(), "x and y must have equal length");
+        assert!(x.len() >= 2, "need at least two points");
+        let n = x.len() as f64;
+        let mx = x.iter().sum::<f64>() / n;
+        let my = y.iter().sum::<f64>() / n;
+        let sxx: f64 = x.iter().map(|v| (v - mx) * (v - mx)).sum();
+        let sxy: f64 = x.iter().zip(y).map(|(a, b)| (a - mx) * (b - my)).sum();
+        assert!(sxx > 0.0, "x values are all identical");
+        let slope = sxy / sxx;
+        let intercept = my - slope * mx;
+        let syy: f64 = y.iter().map(|v| (v - my) * (v - my)).sum();
+        let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+        Self {
+            slope,
+            intercept,
+            r_squared,
+        }
+    }
+
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Multiple linear regression via the normal equations.
+///
+/// The design matrix is given as rows of features; an intercept column is
+/// appended automatically, and its coefficient is the last entry of
+/// [`MultiOls::coefficients`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiOls {
+    pub coefficients: Vec<f64>,
+    pub r_squared: f64,
+}
+
+impl MultiOls {
+    pub fn fit(features: &[Vec<f64>], y: &[f64]) -> Option<Self> {
+        assert_eq!(features.len(), y.len(), "rows and targets must match");
+        assert!(!features.is_empty(), "need at least one observation");
+        let k = features[0].len();
+        let rows: Vec<Vec<f64>> = features
+            .iter()
+            .map(|f| {
+                assert_eq!(f.len(), k, "ragged feature rows");
+                let mut r = f.clone();
+                r.push(1.0);
+                r
+            })
+            .collect();
+        let x = Matrix::from_rows(&rows);
+        let gram = x.gram();
+        let xty = x.t_mul_vec(y);
+        let beta = gram.solve(&xty)?;
+        // R².
+        let my = y.iter().sum::<f64>() / y.len() as f64;
+        let yhat = x.mul_vec(&beta);
+        let ss_res: f64 = y.iter().zip(&yhat).map(|(a, b)| (a - b) * (a - b)).sum();
+        let ss_tot: f64 = y.iter().map(|a| (a - my) * (a - my)).sum();
+        let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+        Some(Self {
+            coefficients: beta,
+            r_squared,
+        })
+    }
+
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        assert_eq!(
+            features.len() + 1,
+            self.coefficients.len(),
+            "feature count mismatch"
+        );
+        features
+            .iter()
+            .zip(&self.coefficients)
+            .map(|(a, b)| a * b)
+            .sum::<f64>()
+            + self.coefficients[self.coefficients.len() - 1]
+    }
+}
+
+/// Logistic regression fit by Newton–Raphson / IRLS.
+///
+/// Model: `Pr[y = 1 | x] = sigmoid(w · x + w0)`; the intercept is the last
+/// coefficient. Supports fractional targets in `[0, 1]` (empirical
+/// acceptance frequencies) with optional per-row weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Logistic {
+    pub coefficients: Vec<f64>,
+    pub iterations: usize,
+    pub converged: bool,
+}
+
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl Logistic {
+    /// Fit with unit weights.
+    pub fn fit(features: &[Vec<f64>], y: &[f64]) -> Option<Self> {
+        Self::fit_weighted(features, y, None)
+    }
+
+    /// Fit with optional per-observation weights (e.g., counts behind each
+    /// empirical frequency).
+    pub fn fit_weighted(
+        features: &[Vec<f64>],
+        y: &[f64],
+        weights: Option<&[f64]>,
+    ) -> Option<Self> {
+        assert_eq!(features.len(), y.len(), "rows and targets must match");
+        assert!(!features.is_empty(), "need at least one observation");
+        for &t in y {
+            assert!((0.0..=1.0).contains(&t), "targets must be in [0,1]");
+        }
+        if let Some(w) = weights {
+            assert_eq!(w.len(), y.len(), "weights must match observations");
+        }
+        let k = features[0].len();
+        let rows: Vec<Vec<f64>> = features
+            .iter()
+            .map(|f| {
+                assert_eq!(f.len(), k, "ragged feature rows");
+                let mut r = f.clone();
+                r.push(1.0);
+                r
+            })
+            .collect();
+        let x = Matrix::from_rows(&rows);
+        let dim = k + 1;
+        let mut beta = vec![0.0; dim];
+        let max_iter = 100;
+        let ridge = 1e-9; // tiny ridge keeps IRLS stable under separation
+        let mut converged = false;
+        let mut iterations = 0;
+        for it in 0..max_iter {
+            iterations = it + 1;
+            let eta = x.mul_vec(&beta);
+            let mu: Vec<f64> = eta.iter().map(|&z| sigmoid(z)).collect();
+            // Gradient: X^T W (y − μ); Hessian: X^T diag(w μ(1−μ)) X.
+            let mut grad = vec![0.0; dim];
+            let mut hess = Matrix::zeros(dim, dim);
+            for r in 0..rows.len() {
+                let w = weights.map_or(1.0, |w| w[r]);
+                let resid = w * (y[r] - mu[r]);
+                let s = w * (mu[r] * (1.0 - mu[r])).max(1e-12);
+                for i in 0..dim {
+                    grad[i] += rows[r][i] * resid;
+                    for j in i..dim {
+                        hess[(i, j)] += s * rows[r][i] * rows[r][j];
+                    }
+                }
+            }
+            for i in 0..dim {
+                for j in 0..i {
+                    hess[(i, j)] = hess[(j, i)];
+                }
+                hess[(i, i)] += ridge;
+            }
+            let step = hess.solve(&grad)?;
+            let mut max_step: f64 = 0.0;
+            for i in 0..dim {
+                beta[i] += step[i];
+                max_step = max_step.max(step[i].abs());
+            }
+            if max_step < 1e-10 {
+                converged = true;
+                break;
+            }
+        }
+        Some(Self {
+            coefficients: beta,
+            iterations,
+            converged,
+        })
+    }
+
+    /// Predicted probability for a feature vector.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        assert_eq!(
+            features.len() + 1,
+            self.coefficients.len(),
+            "feature count mismatch"
+        );
+        let z: f64 = features
+            .iter()
+            .zip(&self.coefficients)
+            .map(|(a, b)| a * b)
+            .sum::<f64>()
+            + self.coefficients[self.coefficients.len() - 1];
+        sigmoid(z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+    use rand::Rng;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {b}, got {a} (tol {tol})");
+    }
+
+    #[test]
+    fn simple_ols_exact_line() {
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y = [1.0, 3.0, 5.0, 7.0];
+        let fit = SimpleOls::fit(&x, &y);
+        assert_close(fit.slope, 2.0, 1e-12);
+        assert_close(fit.intercept, 1.0, 1e-12);
+        assert_close(fit.r_squared, 1.0, 1e-12);
+    }
+
+    #[test]
+    fn simple_ols_noisy_line_recovers_parameters() {
+        let mut rng = seeded_rng(13);
+        let xs: Vec<f64> = (0..2000).map(|i| i as f64 / 100.0).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| 748.0 * x + 3.66 + (rng.gen::<f64>() - 0.5) * 2.0)
+            .collect();
+        let fit = SimpleOls::fit(&xs, &ys);
+        assert_close(fit.slope, 748.0, 0.5);
+        assert_close(fit.intercept, 3.66, 3.0);
+        assert!(fit.r_squared > 0.999);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical")]
+    fn simple_ols_rejects_constant_x() {
+        SimpleOls::fit(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn multi_ols_exact_plane() {
+        // y = 2a − 3b + 5
+        let feats = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![2.0, 3.0],
+            vec![-1.0, 2.0],
+        ];
+        let y: Vec<f64> = feats.iter().map(|f| 2.0 * f[0] - 3.0 * f[1] + 5.0).collect();
+        let fit = MultiOls::fit(&feats, &y).unwrap();
+        assert_close(fit.coefficients[0], 2.0, 1e-9);
+        assert_close(fit.coefficients[1], -3.0, 1e-9);
+        assert_close(fit.coefficients[2], 5.0, 1e-9);
+        assert_close(fit.predict(&[1.0, 1.0]), 4.0, 1e-9);
+    }
+
+    #[test]
+    fn logistic_recovers_known_coefficients() {
+        // Generate y ~ Bernoulli(sigmoid(1.5 x − 0.5)) and recover.
+        let mut rng = seeded_rng(17);
+        let mut feats = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..20_000 {
+            let x: f64 = rng.gen::<f64>() * 6.0 - 3.0;
+            let p = sigmoid(1.5 * x - 0.5);
+            feats.push(vec![x]);
+            ys.push(if rng.gen::<f64>() < p { 1.0 } else { 0.0 });
+        }
+        let fit = Logistic::fit(&feats, &ys).unwrap();
+        assert!(fit.converged);
+        assert_close(fit.coefficients[0], 1.5, 0.1);
+        assert_close(fit.coefficients[1], -0.5, 0.1);
+    }
+
+    #[test]
+    fn logistic_fractional_targets() {
+        // Fit directly to exact probabilities: should recover near-exactly.
+        let betas = (0.0..=1.0, ());
+        let _ = betas;
+        let feats: Vec<Vec<f64>> = (-30..=30).map(|i| vec![i as f64 / 10.0]).collect();
+        let ys: Vec<f64> = feats.iter().map(|f| sigmoid(0.8 * f[0] + 0.2)).collect();
+        let fit = Logistic::fit(&feats, &ys).unwrap();
+        assert_close(fit.coefficients[0], 0.8, 1e-6);
+        assert_close(fit.coefficients[1], 0.2, 1e-6);
+    }
+
+    #[test]
+    fn logistic_weighted_equals_replicated() {
+        let feats = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let ys = vec![0.1, 0.5, 0.9];
+        let w = vec![10.0, 10.0, 10.0];
+        let a = Logistic::fit_weighted(&feats, &ys, Some(&w)).unwrap();
+        let b = Logistic::fit(&feats, &ys).unwrap();
+        // Uniform weights should not change the optimum.
+        assert_close(a.coefficients[0], b.coefficients[0], 1e-6);
+        assert_close(a.coefficients[1], b.coefficients[1], 1e-6);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        assert_close(sigmoid(800.0), 1.0, 1e-12);
+        assert_close(sigmoid(-800.0), 0.0, 1e-12);
+    }
+}

@@ -1,0 +1,62 @@
+//! Quickstart: solve a deadline-constrained pricing problem and inspect
+//! the resulting dynamic price schedule.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use finish_them::prelude::*;
+
+fn main() {
+    // 200 identical tasks, due in 24 hours, on a marketplace seeing
+    // ~5100 worker arrivals per hour, with the paper's Eq. 13 acceptance
+    // function p(c) = exp(c/15 + 0.39) / (exp(c/15 + 0.39) + 2000).
+    let problem = DeadlineProblem::from_market(
+        200,
+        24.0,
+        72, // 20-minute repricing intervals
+        &ConstantRate::new(5100.0),
+        PriceGrid::new(0, 40),
+        &LogitAcceptance::paper_eq13(),
+        PenaltyModel::Linear { per_task: 500.0 },
+    );
+
+    // Solve with the efficient (Algorithm 2) solver.
+    let policy = solve_efficient(&problem, 1e-9).expect("solvable problem");
+
+    println!("Expected total cost: {:.1} cents", policy.expected_total_cost());
+    let outcome = policy.evaluate(&problem);
+    println!(
+        "Expected completion: {:.2}/{} tasks ({:.2} expected remaining)",
+        outcome.expected_completed, 200, outcome.expected_remaining
+    );
+    println!(
+        "Average reward per completed task: {:.2} cents",
+        outcome.average_reward()
+    );
+
+    // The price schedule: how the posted reward varies with progress.
+    println!("\nPrice schedule (cents) — rows: remaining tasks; cols: hour");
+    print!("{:>10}", "remaining");
+    for hour in [0usize, 6, 12, 18, 23] {
+        print!("{:>7}h{hour}", "");
+    }
+    println!();
+    for &n in &[200u32, 150, 100, 50, 20, 5] {
+        print!("{n:>10}");
+        for hour in [0usize, 6, 12, 18, 23] {
+            let t = hour * 3; // 3 intervals per hour
+            print!("{:>9.0}", policy.price(n, t));
+        }
+        println!();
+    }
+
+    // Compare with the fixed-price baseline (Faridani et al.).
+    let actions = ActionSet::from_grid(PriceGrid::new(0, 40), &LogitAcceptance::paper_eq13());
+    let fixed = solve_fixed_price(&actions, 5100.0 * 24.0, 200, 0.999).expect("feasible");
+    println!(
+        "\nFixed-price baseline: {} cents/task → total {} cents \
+         (dynamic saves {:.0}%)",
+        fixed.reward,
+        fixed.total_cost,
+        (1.0 - outcome.expected_paid / fixed.total_cost) * 100.0
+    );
+}

@@ -1,0 +1,93 @@
+//! Section 6 extensions in action: (a) the cost/latency tradeoff when
+//! neither a deadline nor a budget is fixed, and (b) quality-controlled
+//! filtering tasks priced through the worst-case-questions reduction.
+//!
+//! Run with: `cargo run --release --example tradeoff`
+
+use finish_them::core::extensions::{
+    solve_tradeoff_fixed_rate, solve_tradeoff_worker_arrival, MajorityVoteQc,
+    QcPricingSession,
+};
+use finish_them::core::solve_truncated;
+use finish_them::prelude::*;
+use rand::Rng;
+
+fn main() {
+    let acceptance = LogitAcceptance::paper_eq13();
+    let actions = ActionSet::from_grid(PriceGrid::new(1, 40), &acceptance);
+
+    // (a) Cost + α·latency: sweep the impatience knob.
+    println!("Cost/latency tradeoff (worker-arrival formulation, λ̄ = 5100/h):");
+    println!("{:>12} {:>12} {:>16}", "alpha(¢/h)", "price(¢)", "objective/task");
+    for alpha in [0.0, 50.0, 200.0, 1000.0, 5000.0, 20000.0] {
+        let policy = solve_tradeoff_worker_arrival(&actions, 100, 5100.0, alpha)
+            .expect("solvable");
+        println!(
+            "{alpha:>12} {:>12} {:>16.2}",
+            policy.price(1),
+            policy.total() / 100.0
+        );
+    }
+    println!("→ more impatience (higher α) buys faster completion with higher prices.\n");
+
+    // The fixed-rate variant for a slotted marketplace.
+    let fixed_rate = solve_tradeoff_fixed_rate(&actions, 100, 120.0, 200.0).expect("solvable");
+    println!(
+        "Fixed-rate formulation (λ = 120/interval, α = 200): price {}¢/task\n",
+        fixed_rate.price(1)
+    );
+
+    // (b) Quality control: 40 filtering items, majority-of-3 voting, so up
+    // to N' = 120 questions in the worst case, due in 8 hours.
+    let qc = MajorityVoteQc::new(3);
+    let n_items = 40usize;
+    let n_prime = n_items as u32 * qc.worst_case_questions(0, 0);
+    let problem = DeadlineProblem::from_market(
+        n_prime,
+        8.0,
+        24,
+        &ConstantRate::new(5100.0),
+        PriceGrid::new(0, 40),
+        &acceptance,
+        PenaltyModel::Linear { per_task: 300.0 },
+    );
+    let policy = solve_truncated(&problem, 1e-9).expect("solvable");
+    let mut session = QcPricingSession::new(qc, policy, n_items);
+
+    println!(
+        "QC-priced filtering: {} items × majority-of-3 → N' = {} worst-case questions",
+        n_items, n_prime
+    );
+    println!("Initial price: {}¢/question", session.price(0));
+
+    // Simulate answers arriving (workers are 85% accurate; items are 50/50
+    // positives) and watch the state collapse.
+    let mut rng = seeded_rng(3);
+    let truths: Vec<bool> = (0..n_items).map(|_| rng.gen::<f64>() < 0.5).collect();
+    let mut questions_asked = 0u32;
+    let mut correct_verdicts = 0u32;
+    let mut decided = 0u32;
+    while let Some(item) = session.next_undecided() {
+        let answer = if rng.gen::<f64>() < 0.85 {
+            truths[item]
+        } else {
+            !truths[item]
+        };
+        questions_asked += 1;
+        if let Some(verdict) = session.record_answer(item, answer) {
+            decided += 1;
+            if verdict == truths[item] {
+                correct_verdicts += 1;
+            }
+        }
+    }
+    println!(
+        "Asked {questions_asked} questions (worst case {n_prime}); \
+         {correct_verdicts}/{decided} verdicts correct"
+    );
+    println!(
+        "Final worst-case remaining: {} questions → price now {}¢",
+        session.remaining_questions(),
+        session.price(12)
+    );
+}

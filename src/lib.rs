@@ -1,0 +1,61 @@
+//! # finish-them
+//!
+//! A Rust implementation of *"Finish Them!: Pricing Algorithms for Human
+//! Computation"* (Yihan Gao & Aditya Parameswaran, VLDB 2014 /
+//! arXiv:1408.6292): algorithms that set and dynamically vary the price of
+//! a batch of crowdsourcing tasks to
+//!
+//! - meet a **deadline** at minimum expected cost (an MDP solved by
+//!   backward induction with Poisson-tail truncation and a
+//!   monotonicity-exploiting divide-and-conquer), or
+//! - meet a **budget** at minimum expected latency (a two-price static
+//!   strategy read off the lower convex hull of `(c, 1/p(c))`).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use finish_them::prelude::*;
+//!
+//! // Marketplace model: constant 5100 workers/hour, the paper's Eq. 13
+//! // acceptance function, 200 tasks due in 24 hours.
+//! let problem = DeadlineProblem::from_market(
+//!     200,
+//!     24.0,
+//!     72,
+//!     &ConstantRate::new(5100.0),
+//!     PriceGrid::new(0, 40),
+//!     &LogitAcceptance::paper_eq13(),
+//!     PenaltyModel::Linear { per_task: 500.0 },
+//! );
+//! let policy = solve_efficient(&problem, 1e-9).unwrap();
+//! let outcome = policy.evaluate(&problem);
+//! assert!(outcome.expected_remaining < 1.0);
+//! // Post prices with policy.price(remaining_tasks, interval_index).
+//! let first_price = policy.price(200, 0);
+//! assert!(first_price >= 8.0 && first_price <= 20.0);
+//! ```
+//!
+//! The workspace crates are re-exported here:
+//! [`stats`] (distributions/regression), [`market`] (NHPP arrivals, choice
+//! models, tracker traces, live simulator), [`core`] (the pricing
+//! algorithms) and [`sim`] (the paper's experiments).
+
+pub use ft_core as core;
+pub use ft_market as market;
+pub use ft_sim as sim;
+pub use ft_stats as stats;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use ft_core::{
+        calibrate_penalty, solve_budget_exact, solve_budget_hull, solve_efficient,
+        solve_fixed_price, solve_simple, solve_truncated, ActionSet, BudgetProblem,
+        CalibrateOptions, DeadlinePolicy, DeadlineProblem, ExactOutcome, FixedPrice,
+        PenaltyModel, PriceAction, PriceController, PricingError, StaticStrategy,
+    };
+    pub use ft_market::{
+        AcceptanceFn, ArrivalRate, ConstantRate, LogitAcceptance, PiecewiseConstantRate,
+        PriceGrid, TableAcceptance, TrackerConfig, TrackerTrace,
+    };
+    pub use ft_stats::{seeded_rng, Poisson, Summary};
+}

@@ -1,0 +1,126 @@
+//! Cross-crate integration tests for the fixed-budget pipeline
+//! (Section 4): hull vs exact solvers, latency conversion, and the
+//! semi-static sampling law.
+
+use finish_them::core::budget::SemiStaticStrategy;
+use finish_them::prelude::*;
+use finish_them::stats::Geometric;
+
+fn problem(n: u32, budget: f64) -> BudgetProblem {
+    BudgetProblem::new(
+        n,
+        budget,
+        ActionSet::from_grid(PriceGrid::new(1, 40), &LogitAcceptance::paper_eq13()),
+        5100.0,
+    )
+}
+
+fn arrivals_of(_p: &BudgetProblem, s: &StaticStrategy) -> f64 {
+    let acc = LogitAcceptance::paper_eq13();
+    s.expected_arrivals(|c| acc.p(c))
+}
+
+#[test]
+fn paper_scale_hull_and_exact_agree_within_gap() {
+    let p = problem(200, 2500.0);
+    let hull = solve_budget_hull(&p).unwrap();
+    let exact = solve_budget_exact(&p).unwrap();
+    let e = arrivals_of(&p, &exact);
+    assert!(e <= hull.expected_arrivals + 1e-9);
+    assert!(hull.expected_arrivals <= e + hull.rounding_gap_bound + 1e-9);
+    // Both spend within budget and price every task.
+    assert!(hull.strategy.within_budget(2500.0));
+    assert!(exact.within_budget(2500.0));
+    assert_eq!(hull.strategy.n_tasks(), 200);
+    assert_eq!(exact.n_tasks(), 200);
+}
+
+#[test]
+fn more_budget_means_less_latency() {
+    let mut prev = f64::INFINITY;
+    for budget in [2000.0, 2400.0, 2800.0, 3600.0, 5000.0] {
+        let sol = solve_budget_hull(&problem(200, budget)).unwrap();
+        assert!(
+            sol.expected_hours <= prev + 1e-9,
+            "latency must be non-increasing in budget"
+        );
+        prev = sol.expected_hours;
+    }
+}
+
+#[test]
+fn paper_expected_latency_ballpark() {
+    // Section 5.3: N=200, B=2500¢ completes in roughly a day (paper
+    // simulated mean 23.2 h; our trained profile differs slightly).
+    let sol = solve_budget_hull(&problem(200, 2500.0)).unwrap();
+    assert!(
+        (12.0..40.0).contains(&sol.expected_hours),
+        "expected hours {}",
+        sol.expected_hours
+    );
+}
+
+#[test]
+fn semi_static_reordering_matches_static_strategy() {
+    // Build the hull solution, reorder it as a semi-static sequence in a
+    // scrambled order, and verify Theorem 5 gives the identical E[W].
+    let p = problem(50, 700.0);
+    let hull = solve_budget_hull(&p).unwrap();
+    let acc = LogitAcceptance::paper_eq13();
+    let mut seq = hull.strategy.price_sequence();
+    seq.reverse(); // ascending order now — a "bad" posting order
+    let semi = SemiStaticStrategy::new(seq);
+    assert!(
+        (semi.expected_arrivals(|c| acc.p(c)) - hull.expected_arrivals).abs() < 1e-9,
+        "Theorem 5: E[W] must be order-invariant"
+    );
+}
+
+#[test]
+fn sampled_semi_static_arrivals_match_theory() {
+    let acc = LogitAcceptance::paper_eq13();
+    let semi = SemiStaticStrategy::new(vec![12, 12, 13, 13, 14]);
+    let expect = semi.expected_arrivals(|c| acc.p(c));
+    let mut rng = seeded_rng(9);
+    let trials = 3000;
+    let mean = (0..trials)
+        .map(|_| semi.sample_arrivals(|c| acc.p(c), &mut rng))
+        .sum::<u64>() as f64
+        / trials as f64;
+    assert!(
+        (mean - expect).abs() / expect < 0.05,
+        "sampled {mean} vs theory {expect}"
+    );
+}
+
+#[test]
+fn geometric_stage_law_matches_acceptance() {
+    // Per stage, arrivals-to-pickup is 1 + Geom(p): verify the building
+    // block against the acceptance function at the paper's price point.
+    let acc = LogitAcceptance::paper_eq13();
+    let p12 = acc.p(12);
+    let g = Geometric::new(p12);
+    assert!((g.mean() + 1.0 - 1.0 / p12).abs() < 1e-9);
+}
+
+#[test]
+fn strategy_serde_roundtrip() {
+    let p = problem(30, 400.0);
+    let hull = solve_budget_hull(&p).unwrap();
+    let json = serde_json::to_string(&hull).unwrap();
+    let back: finish_them::core::budget::HullSolution = serde_json::from_str(&json).unwrap();
+    assert_eq!(hull, back);
+}
+
+#[test]
+fn infeasible_budget_is_an_error_not_a_panic() {
+    let p = problem(200, 100.0);
+    assert!(matches!(
+        solve_budget_hull(&p),
+        Err(PricingError::Infeasible(_))
+    ));
+    assert!(matches!(
+        solve_budget_exact(&p),
+        Err(PricingError::Infeasible(_))
+    ));
+}

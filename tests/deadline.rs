@@ -1,0 +1,120 @@
+//! Cross-crate integration tests for the fixed-deadline pipeline:
+//! tracker trace → trained arrival model → MDP solvers → policy
+//! execution, plus serialization round-trips.
+
+use finish_them::core::calibrate_penalty;
+use finish_them::market::tracker::weekly_average_rate;
+use finish_them::prelude::*;
+use finish_them::sim::{run_mc, Aggregate, McConfig, TrueModel};
+
+fn trained_problem(n_tasks: u32, hours: f64, max_price: u32) -> DeadlineProblem {
+    let mut rng = seeded_rng(42);
+    let trace = TrackerTrace::generate(TrackerConfig::default(), &mut rng);
+    let rate = weekly_average_rate(&trace).scaled(0.3);
+    let n_intervals = (hours * 3.0) as usize;
+    DeadlineProblem::from_market(
+        n_tasks,
+        hours,
+        n_intervals,
+        &rate,
+        PriceGrid::new(0, max_price),
+        &LogitAcceptance::paper_eq13(),
+        PenaltyModel::Linear { per_task: 200.0 },
+    )
+}
+
+#[test]
+fn all_three_solvers_agree_end_to_end() {
+    let problem = trained_problem(25, 4.0, 30);
+    let simple = solve_simple(&problem).unwrap();
+    let truncated = solve_truncated(&problem, 1e-10).unwrap();
+    let efficient = solve_efficient(&problem, 1e-10).unwrap();
+    for t in 0..problem.n_intervals() {
+        for n in 1..=25u32 {
+            assert_eq!(truncated.action_index(n, t), efficient.action_index(n, t));
+        }
+    }
+    let c_simple = simple.expected_total_cost();
+    let c_trunc = truncated.expected_total_cost();
+    assert!((c_simple - c_trunc).abs() < 1e-6, "{c_simple} vs {c_trunc}");
+}
+
+#[test]
+fn dp_cost_equals_forward_evaluation_end_to_end() {
+    let problem = trained_problem(20, 4.0, 30);
+    let policy = solve_simple(&problem).unwrap();
+    let out = policy.evaluate(&problem);
+    assert!((policy.expected_total_cost() - out.expected_total_cost()).abs() < 1e-7);
+}
+
+#[test]
+fn monte_carlo_confirms_exact_evaluation() {
+    let problem = trained_problem(20, 4.0, 30);
+    let cal = calibrate_penalty(&problem, 1.0, CalibrateOptions::default()).unwrap();
+    let acceptance = LogitAcceptance::paper_eq13();
+    let model = TrueModel {
+        interval_arrivals: &problem.interval_arrivals,
+        accept: |c: f64| acceptance.p_f64(c),
+        horizon_hours: 4.0,
+    };
+    let trials = run_mc(&cal.policy, &model, 20, McConfig { trials: 3000, seed: 5, threads: 0 });
+    let agg = Aggregate::from_trials(&trials);
+    // Monte-Carlo means must match the exact forward pass within CI.
+    assert!(
+        (agg.mean_paid - cal.outcome.expected_paid).abs() < 4.0 * agg.paid_ci95.max(1.0),
+        "MC paid {} vs exact {}",
+        agg.mean_paid,
+        cal.outcome.expected_paid
+    );
+    assert!(
+        (agg.mean_remaining - cal.outcome.expected_remaining).abs() < 0.25,
+        "MC remaining {} vs exact {}",
+        agg.mean_remaining,
+        cal.outcome.expected_remaining
+    );
+}
+
+#[test]
+fn policy_serde_roundtrip() {
+    let problem = trained_problem(10, 2.0, 20);
+    let policy = solve_truncated(&problem, 1e-9).unwrap();
+    let json = serde_json::to_string(&policy).unwrap();
+    let back: DeadlinePolicy = serde_json::from_str(&json).unwrap();
+    assert_eq!(policy, back);
+    assert_eq!(back.price(10, 0), policy.price(10, 0));
+}
+
+#[test]
+fn problem_serde_roundtrip() {
+    let problem = trained_problem(10, 2.0, 20);
+    let json = serde_json::to_string(&problem).unwrap();
+    let back: DeadlineProblem = serde_json::from_str(&json).unwrap();
+    assert_eq!(problem, back);
+}
+
+#[test]
+fn dynamic_cheaper_than_fixed_at_same_confidence() {
+    // The end-to-end headline: dynamic ≤ fixed cost at matched confidence.
+    let problem = trained_problem(25, 6.0, 40);
+    let cal = calibrate_penalty(&problem, 0.001, CalibrateOptions::default()).unwrap();
+    let fixed = solve_fixed_price(&problem.actions, problem.total_arrivals(), 25, 0.999).unwrap();
+    assert!(
+        cal.outcome.expected_paid <= fixed.total_cost + 1e-9,
+        "dynamic {} should not exceed fixed {}",
+        cal.outcome.expected_paid,
+        fixed.total_cost
+    );
+}
+
+#[test]
+fn price_controller_is_object_safe_and_clamps() {
+    let problem = trained_problem(10, 2.0, 20);
+    let policy = solve_truncated(&problem, 1e-9).unwrap();
+    let controllers: Vec<Box<dyn PriceController>> =
+        vec![Box::new(policy.clone()), Box::new(FixedPrice(9.0))];
+    for c in &controllers {
+        // Out-of-range states must clamp, not panic.
+        let p = c.price(10_000, 10_000);
+        assert!((0.0..=40.0).contains(&p));
+    }
+}

@@ -1,0 +1,119 @@
+//! Cross-crate integration tests for the marketplace substrate:
+//! estimation round-trips (trace → rate, live trials → acceptance) and
+//! NHPP consistency.
+
+use finish_them::market::acceptance::fit_logit_acceptance;
+use finish_them::market::nhpp::sample_interval_counts;
+use finish_them::market::sim::{run_live_sim, FixedGroup, LiveSimConfig};
+use finish_them::market::tracker::weekly_average_rate;
+use finish_them::prelude::*;
+use finish_them::stats::Summary;
+
+#[test]
+fn trace_to_rate_estimation_roundtrip() {
+    // Generate a trace from a known rate, estimate the weekly profile,
+    // and verify the estimate integrates to the truth within Poisson noise.
+    let mut rng = seeded_rng(1);
+    let cfg = TrackerConfig::default();
+    let trace = TrackerTrace::generate(cfg.clone(), &mut rng);
+    let estimated = weekly_average_rate(&trace);
+    // Compare hour-by-hour over one week.
+    let mut rel_errors = Summary::new();
+    for h in 0..168 {
+        let est = estimated.integral(h as f64, h as f64 + 1.0);
+        let truth = {
+            let mut acc = 0.0;
+            let steps = 60;
+            for k in 0..steps {
+                acc += cfg.true_rate(h as f64 + (k as f64 + 0.5) / steps as f64) / steps as f64;
+            }
+            acc
+        };
+        rel_errors.push((est - truth).abs() / truth);
+    }
+    // 4 weeks of averaging at ~2000/bin: noise ≈ 1/√(4·2000) ≈ 1%.
+    assert!(
+        rel_errors.mean() < 0.03,
+        "mean relative estimation error {}",
+        rel_errors.mean()
+    );
+}
+
+#[test]
+fn nhpp_counts_match_trained_rate() {
+    let mut rng = seeded_rng(2);
+    let trace = TrackerTrace::generate(TrackerConfig::default(), &mut rng);
+    let rate = weekly_average_rate(&trace);
+    let means = rate.interval_means(24.0, 72);
+    let mut totals = vec![0.0; 72];
+    let reps = 300;
+    for _ in 0..reps {
+        for (t, c) in totals
+            .iter_mut()
+            .zip(sample_interval_counts(&rate, 24.0, 72, &mut rng))
+        {
+            *t += c as f64;
+        }
+    }
+    for (t, m) in totals.iter().zip(&means) {
+        let mean = t / reps as f64;
+        let tol = 5.0 * (m / reps as f64).sqrt() + 1e-9;
+        assert!(
+            (mean - m).abs() < tol,
+            "sampled interval mean {mean} vs λ_t {m}"
+        );
+    }
+}
+
+#[test]
+fn acceptance_estimation_roundtrip() {
+    // Fit Eq. 3 from noisy empirical (price, frequency) samples generated
+    // by the true model, then verify predictions track the truth.
+    let truth = LogitAcceptance::paper_eq13();
+    let mut rng = seeded_rng(3);
+    let mut samples = Vec::new();
+    let mut weights = Vec::new();
+    for c in (4..=40).step_by(4) {
+        let trials = 40_000u32;
+        let p = truth.p(c);
+        let hits = (0..trials)
+            .filter(|_| rand::Rng::gen::<f64>(&mut rng) < p)
+            .count();
+        samples.push((c, hits as f64 / trials as f64));
+        weights.push(trials as f64);
+    }
+    let fit = fit_logit_acceptance(&samples, Some(&weights), 2000.0).unwrap();
+    for c in [8u32, 12, 16, 25, 35] {
+        let rel = (fit.p(c) - truth.p(c)).abs() / truth.p(c);
+        assert!(rel < 0.2, "p({c}) relative error {rel}");
+    }
+}
+
+#[test]
+fn live_sim_cost_accounting_is_exact() {
+    let config = LiveSimConfig {
+        total_tasks: 400,
+        ..Default::default()
+    };
+    let arrival = ConstantRate::new(1500.0);
+    let mut rng = seeded_rng(4);
+    let out = run_live_sim(&config, &arrival, 1500.0, &mut FixedGroup(10), &mut rng);
+    // Every completed HIT costs exactly the HIT price; tasks tally up.
+    assert_eq!(out.cost_cents, out.completions.len() as u64 * 2);
+    let total: u32 = out.completions.iter().map(|c| c.tasks).sum();
+    assert_eq!(total, out.tasks_completed);
+    // Session records cover exactly the completed HITs.
+    let session_hits: u32 = out.sessions.iter().map(|s| s.hits).sum();
+    assert_eq!(session_hits as usize, out.completions.len());
+}
+
+#[test]
+fn table_acceptance_from_live_estimates_is_usable() {
+    // The Section 5.4.2 flow: estimates from trials → TableAcceptance →
+    // price_for queries.
+    let table = TableAcceptance::new(vec![(4, 0.0008), (10, 0.003), (20, 0.006)]);
+    assert!(table.p(7) > table.p(4));
+    let c = table.price_for(0.004, 0, 20).unwrap();
+    assert!(table.p(c) >= 0.004);
+    assert!(c > 10 && c <= 20);
+}
