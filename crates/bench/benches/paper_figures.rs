@@ -68,7 +68,13 @@ fn fig7a(c: &mut Criterion) {
     let s = scenario();
     let problem = s.deadline_problem(100.0);
     c.bench_function("paper_figures/fig7a_paper_scale_solve", |b| {
-        b.iter(|| black_box(solve_truncated(&problem, 1e-9).unwrap().expected_total_cost()))
+        b.iter(|| {
+            black_box(
+                solve_truncated(&problem, 1e-9)
+                    .unwrap()
+                    .expected_total_cost(),
+            )
+        })
     });
     c.bench_function("paper_figures/fig7a_calibration", |b| {
         b.iter(|| {
@@ -119,10 +125,22 @@ fn fig7b_fig8(c: &mut Criterion) {
     let p_fine = s.deadline_problem(100.0);
     let p_coarse = coarse.deadline_problem(100.0);
     c.bench_function("paper_figures/fig8d_fine_20min_solve", |b| {
-        b.iter(|| black_box(solve_truncated(&p_fine, 1e-9).unwrap().expected_total_cost()))
+        b.iter(|| {
+            black_box(
+                solve_truncated(&p_fine, 1e-9)
+                    .unwrap()
+                    .expected_total_cost(),
+            )
+        })
     });
     c.bench_function("paper_figures/fig8d_coarse_120min_solve", |b| {
-        b.iter(|| black_box(solve_truncated(&p_coarse, 1e-9).unwrap().expected_total_cost()))
+        b.iter(|| {
+            black_box(
+                solve_truncated(&p_coarse, 1e-9)
+                    .unwrap()
+                    .expected_total_cost(),
+            )
+        })
     });
 }
 
@@ -167,7 +185,12 @@ fn fig11(c: &mut Criterion) {
         b.iter(|| {
             i += 1;
             let mut rng = ft_stats::rng::stream_rng(11, i);
-            black_box(sample_completion_hours(&seq, &s.acceptance, &s.trained_rate, &mut rng))
+            black_box(sample_completion_hours(
+                &seq,
+                &s.acceptance,
+                &s.trained_rate,
+                &mut rng,
+            ))
         })
     });
     c.bench_function("paper_figures/fig11_hull_solve", |b| {

@@ -62,9 +62,11 @@ fn truncation_eps(c: &mut Criterion) {
             "truncation_eps: eps=1e-{exp} → cost {cost:.4} (gap {:.2e})",
             exact_cost - cost
         );
-        group.bench_with_input(BenchmarkId::from_parameter(format!("1e-{exp}")), &eps, |b, &eps| {
-            b.iter(|| black_box(solve_truncated(&p, eps).unwrap().expected_total_cost()))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("1e-{exp}")),
+            &eps,
+            |b, &eps| b.iter(|| black_box(solve_truncated(&p, eps).unwrap().expected_total_cost())),
+        );
     }
     group.finish();
 }

@@ -152,8 +152,14 @@ mod tests {
     #[test]
     fn new_sorts_actions() {
         let set = ActionSet::new(vec![
-            PriceAction { reward: 10.0, accept: 0.5 },
-            PriceAction { reward: 2.0, accept: 0.1 },
+            PriceAction {
+                reward: 10.0,
+                accept: 0.5,
+            },
+            PriceAction {
+                reward: 2.0,
+                accept: 0.1,
+            },
         ]);
         assert_eq!(set.get(0).reward, 2.0);
         assert_eq!(set.get(1).reward, 10.0);
@@ -165,19 +171,40 @@ mod tests {
     #[should_panic(expected = "non-decreasing")]
     fn rejects_decreasing_acceptance() {
         ActionSet::new(vec![
-            PriceAction { reward: 1.0, accept: 0.9 },
-            PriceAction { reward: 2.0, accept: 0.1 },
+            PriceAction {
+                reward: 1.0,
+                accept: 0.9,
+            },
+            PriceAction {
+                reward: 2.0,
+                accept: 0.1,
+            },
         ]);
     }
 
     #[test]
     fn pruning_drops_dominated_actions() {
         let set = ActionSet::from_unsorted_pruned(vec![
-            PriceAction { reward: 2.0, accept: 0.30 },
-            PriceAction { reward: 5.0, accept: 0.25 }, // dominated by 2.0
-            PriceAction { reward: 10.0, accept: 0.60 },
-            PriceAction { reward: 10.0, accept: 0.55 }, // duplicate reward
-            PriceAction { reward: 3.0, accept: 0.30 },  // ties cheaper: dominated
+            PriceAction {
+                reward: 2.0,
+                accept: 0.30,
+            },
+            PriceAction {
+                reward: 5.0,
+                accept: 0.25,
+            }, // dominated by 2.0
+            PriceAction {
+                reward: 10.0,
+                accept: 0.60,
+            },
+            PriceAction {
+                reward: 10.0,
+                accept: 0.55,
+            }, // duplicate reward
+            PriceAction {
+                reward: 3.0,
+                accept: 0.30,
+            }, // ties cheaper: dominated
         ]);
         assert_eq!(set.len(), 2);
         assert_eq!(set.get(0).reward, 2.0);
@@ -189,8 +216,14 @@ mod tests {
     #[should_panic(expected = "duplicate reward")]
     fn rejects_duplicate_rewards() {
         ActionSet::new(vec![
-            PriceAction { reward: 1.0, accept: 0.1 },
-            PriceAction { reward: 1.0, accept: 0.2 },
+            PriceAction {
+                reward: 1.0,
+                accept: 0.1,
+            },
+            PriceAction {
+                reward: 1.0,
+                accept: 0.2,
+            },
         ]);
     }
 }

@@ -140,8 +140,8 @@ impl AdaptivePricer {
         if expected < 1.0 {
             return;
         }
-        self.correction = (observed / expected)
-            .clamp(self.opts.min_correction, self.opts.max_correction);
+        self.correction =
+            (observed / expected).clamp(self.opts.min_correction, self.opts.max_correction);
     }
 
     /// Re-solve the MDP over intervals `t..` with corrected arrivals.
@@ -186,11 +186,7 @@ mod tests {
     }
 
     /// Simulate a campaign where true arrivals are `ratio` × trained.
-    fn run_campaign(
-        pricer: &mut AdaptivePricer,
-        ratio: f64,
-        rng: &mut StdRng,
-    ) -> (u32, f64) {
+    fn run_campaign(pricer: &mut AdaptivePricer, ratio: f64, rng: &mut StdRng) -> (u32, f64) {
         let acc = LogitAcceptance::new(4.0, 0.0, 30.0);
         let p = problem();
         let mut remaining = p.n_tasks;
@@ -223,10 +219,7 @@ mod tests {
             let mut rng = seeded_rng(17);
             let _ = run_campaign(&mut pricer, ratio, &mut rng);
             let est = pricer.correction();
-            assert!(
-                (est - ratio).abs() < 0.45,
-                "ratio {ratio}: estimated {est}"
-            );
+            assert!((est - ratio).abs() < 0.45, "ratio {ratio}: estimated {est}");
         }
     }
 
@@ -243,8 +236,7 @@ mod tests {
         let mut adaptive_rem = 0u32;
         let mut static_rem = 0u32;
         for _ in 0..trials {
-            let mut pricer =
-                AdaptivePricer::new(p.clone(), AdaptiveOptions::default()).unwrap();
+            let mut pricer = AdaptivePricer::new(p.clone(), AdaptiveOptions::default()).unwrap();
             let (rem, _) = run_campaign(&mut pricer, 0.5, &mut rng);
             adaptive_rem += rem;
             // Static policy on the same kind of day.
@@ -295,8 +287,7 @@ mod tests {
         let mut adaptive_paid = 0.0;
         let trials = 40;
         for _ in 0..trials {
-            let mut pricer =
-                AdaptivePricer::new(problem(), AdaptiveOptions::default()).unwrap();
+            let mut pricer = AdaptivePricer::new(problem(), AdaptiveOptions::default()).unwrap();
             let (_, paid) = run_campaign(&mut pricer, 1.0, &mut rng);
             adaptive_paid += paid;
         }

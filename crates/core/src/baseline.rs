@@ -54,9 +54,7 @@ pub fn solve_fixed_price(
     );
     assert!(total_arrivals >= 0.0, "arrivals must be non-negative");
     let last = actions.len() - 1;
-    let conf_at = |i: usize| {
-        completion_confidence(total_arrivals, actions.get(i).accept, n_tasks)
-    };
+    let conf_at = |i: usize| completion_confidence(total_arrivals, actions.get(i).accept, n_tasks);
     if conf_at(last) < confidence {
         return Err(PricingError::Infeasible(format!(
             "even the maximum reward {} reaches only {:.4} confidence (< {confidence})",
@@ -181,8 +179,7 @@ mod tests {
         let total = 5100.0 * 24.0;
         let sol = solve_fixed_price(&actions, total, 200, 0.999).unwrap();
         let (_, rem_ok, _) = evaluate_fixed_price(sol.reward, sol.accept, total, 200);
-        let (_, rem_bad, _) =
-            evaluate_fixed_price(sol.reward, sol.accept * 0.6, total, 200);
+        let (_, rem_bad, _) = evaluate_fixed_price(sol.reward, sol.accept * 0.6, total, 200);
         assert!(rem_ok < 0.1);
         assert!(rem_bad > 5.0, "degraded acceptance should strand tasks");
     }

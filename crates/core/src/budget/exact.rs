@@ -7,9 +7,12 @@
 
 use super::{BudgetProblem, StaticStrategy};
 use crate::error::{PricingError, Result};
+use crate::kernel::budget::{BudgetAssignModel, IntegerActions};
+use crate::kernel::{run, Direction, KernelConfig, Sweep};
 
-/// Solve exactly. Requires integer rewards and an integer-valued budget
-/// (fractional budgets are floored — cents are the atomic unit).
+/// Solve exactly on the solver kernel. Requires integer rewards and an
+/// integer-valued budget (fractional budgets are floored — cents are the
+/// atomic unit).
 pub fn solve_budget_exact(problem: &BudgetProblem) -> Result<StaticStrategy> {
     let n = problem.n_tasks as usize;
     let budget = problem.budget.floor();
@@ -18,58 +21,19 @@ pub fn solve_budget_exact(problem: &BudgetProblem) -> Result<StaticStrategy> {
     }
     let b_max = budget as usize;
 
-    // Collect integer actions with positive acceptance.
-    let mut acts: Vec<(usize, f64)> = Vec::new(); // (price, 1/p)
-    for a in problem.actions.iter() {
-        if a.accept <= 0.0 {
-            continue;
-        }
-        let c = a.reward.round();
-        if (a.reward - c).abs() > 1e-9 || c < 0.0 {
-            return Err(PricingError::InvalidProblem(format!(
-                "exact solver needs integer cent rewards, got {}",
-                a.reward
-            )));
-        }
-        acts.push((c as usize, 1.0 / a.accept));
-    }
-    if acts.is_empty() {
-        return Err(PricingError::InvalidProblem(
-            "no action with positive acceptance".into(),
-        ));
-    }
-    let min_price = acts.iter().map(|&(c, _)| c).min().expect("non-empty");
-    if min_price * n > b_max {
-        return Err(PricingError::Infeasible(format!(
-            "budget {b_max} below N·c_min = {}",
-            min_price * n
-        )));
-    }
+    let acts = IntegerActions::from_action_set(&problem.actions, "exact solver")?;
+    acts.check_feasible(problem.n_tasks, b_max)?;
 
-    // f[b] after i tasks; choice[i][b] records the price of task i.
-    let width = b_max + 1;
-    let mut f = vec![0.0f64; width];
-    let mut choice = vec![u32::MAX; n * width];
-    for i in 0..n {
-        let mut g = vec![f64::INFINITY; width];
-        for b in 0..width {
-            for &(c, inv_p) in &acts {
-                if c > b {
-                    continue;
-                }
-                let prev = f[b - c];
-                if !prev.is_finite() {
-                    continue;
-                }
-                let v = prev + inv_p;
-                if v < g[b] {
-                    g[b] = v;
-                    choice[i * width + b] = c as u32;
-                }
-            }
-        }
-        f = g;
-    }
+    // f(i, b) = best Σ 1/p over the first i tasks with spend ≤ b;
+    // choice row i−1 records the price of task i at each budget level.
+    let model = BudgetAssignModel::new(&acts, problem.n_tasks, b_max);
+    let (values, choices) = run(
+        &model,
+        Sweep::Dense,
+        Direction::Forward,
+        &KernelConfig::default(),
+    );
+    let f = values.row(n);
 
     if !f[b_max].is_finite() {
         return Err(PricingError::Infeasible(
@@ -80,8 +44,8 @@ pub fn solve_budget_exact(problem: &BudgetProblem) -> Result<StaticStrategy> {
     // f is non-increasing in b by construction of the ≤ constraint only if
     // we scan for the best b; do that explicitly for safety.
     let mut best_b = b_max;
-    for b in 0..width {
-        if f[b] < f[best_b] {
+    for (b, &v) in f.iter().enumerate() {
+        if v < f[best_b] {
             best_b = b;
         }
     }
@@ -90,7 +54,7 @@ pub fn solve_budget_exact(problem: &BudgetProblem) -> Result<StaticStrategy> {
     let mut counts = std::collections::BTreeMap::new();
     let mut b = best_b;
     for i in (0..n).rev() {
-        let c = choice[i * width + b];
+        let c = choices.row(i)[b];
         assert!(c != u32::MAX, "reconstruction hit an unreachable cell");
         *counts.entry(c).or_insert(0u32) += 1;
         b -= c as usize;
@@ -163,10 +127,7 @@ mod tests {
                 for c in b..=6 {
                     for d in c..=6 {
                         if (a + b + c + d) as f64 <= 14.0 {
-                            let v: f64 = [a, b, c, d]
-                                .iter()
-                                .map(|&x| 1.0 / acc.p(x))
-                                .sum();
+                            let v: f64 = [a, b, c, d].iter().map(|&x| 1.0 / acc.p(x)).sum();
                             best = best.min(v);
                         }
                     }

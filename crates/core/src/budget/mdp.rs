@@ -19,6 +19,8 @@
 
 use super::BudgetProblem;
 use crate::error::{PricingError, Result};
+use crate::kernel::budget::{BudgetMdpModel, IntegerActions};
+use crate::kernel::{run, Direction, KernelConfig, Sweep};
 use serde::{Deserialize, Serialize};
 
 /// Solved worker-arrival MDP.
@@ -36,6 +38,18 @@ impl BudgetMdpPolicy {
     fn idx(&self, n: u32, b: usize) -> usize {
         debug_assert!(n <= self.n_tasks && b <= self.budget);
         n as usize * (self.budget + 1) + b
+    }
+
+    /// The (floored) budget the policy was solved for, in cents — the
+    /// largest `b` its tables can answer.
+    pub fn budget_cents(&self) -> usize {
+        self.budget
+    }
+
+    /// The batch size the policy was solved for — the largest `n` its
+    /// tables can answer.
+    pub fn n_tasks(&self) -> u32 {
+        self.n_tasks
     }
 
     /// Expected total worker arrivals from the full batch and budget.
@@ -65,7 +79,9 @@ impl BudgetMdpPolicy {
         let mut n = self.n_tasks;
         let mut b = self.budget;
         while n > 0 {
-            let c = self.price(n, b).expect("trajectory left the feasible region");
+            let c = self
+                .price(n, b)
+                .expect("trajectory left the feasible region");
             seq.push(c);
             b -= c as usize;
             n -= 1;
@@ -78,6 +94,15 @@ impl BudgetMdpPolicy {
 /// the point is not speed but that the *dynamic* optimum is computed with
 /// no structural assumptions, so Theorems 3–5 can be checked against it.
 pub fn solve_budget_mdp(problem: &BudgetProblem) -> Result<BudgetMdpPolicy> {
+    solve_budget_mdp_with(problem, &KernelConfig::default())
+}
+
+/// [`solve_budget_mdp`] with an explicit kernel configuration (the
+/// pricing service passes its per-campaign thread budget here).
+pub fn solve_budget_mdp_with(
+    problem: &BudgetProblem,
+    cfg: &KernelConfig,
+) -> Result<BudgetMdpPolicy> {
     let n = problem.n_tasks;
     let b_max = problem.budget.floor();
     if b_max < 0.0 {
@@ -85,61 +110,22 @@ pub fn solve_budget_mdp(problem: &BudgetProblem) -> Result<BudgetMdpPolicy> {
     }
     let b_max = b_max as usize;
 
-    let mut acts: Vec<(usize, f64)> = Vec::new();
-    for a in problem.actions.iter() {
-        if a.accept <= 0.0 {
-            continue;
-        }
-        let c = a.reward.round();
-        if (a.reward - c).abs() > 1e-9 || c < 0.0 {
-            return Err(PricingError::InvalidProblem(format!(
-                "budget MDP needs integer cent rewards, got {}",
-                a.reward
-            )));
-        }
-        acts.push((c as usize, 1.0 / a.accept));
-    }
-    if acts.is_empty() {
-        return Err(PricingError::InvalidProblem(
-            "no action with positive acceptance".into(),
-        ));
-    }
-    let c_min = acts.iter().map(|&(c, _)| c).min().expect("non-empty");
-    if c_min * n as usize > b_max {
-        return Err(PricingError::Infeasible(format!(
-            "budget {b_max} below N·c_min = {}",
-            c_min * n as usize
-        )));
-    }
+    let acts = IntegerActions::from_action_set(&problem.actions, "budget MDP")?;
+    acts.check_feasible(n, b_max)?;
 
+    // Kernel forward induction over task layers; the policy table has no
+    // row for the terminal layer (n = 0 posts no price), so prepend one
+    // of `u32::MAX` to keep the historical `(n+1) × (b_max+1)` layout.
+    let model = BudgetMdpModel::new(&acts, n, b_max);
+    let (values, prices) = run(&model, Sweep::Dense, Direction::Forward, cfg);
     let width = b_max + 1;
-    let mut value = vec![0.0f64; (n as usize + 1) * width];
-    let mut price = vec![u32::MAX; (n as usize + 1) * width];
-    for m in 1..=n as usize {
-        for b in 0..width {
-            let mut best = f64::INFINITY;
-            let mut best_c = u32::MAX;
-            // Feasibility: after paying c, the remaining m−1 tasks still
-            // need (m−1)·c_min.
-            for &(c, inv_p) in &acts {
-                if c + (m - 1) * c_min > b {
-                    continue;
-                }
-                let v = inv_p + value[(m - 1) * width + (b - c)];
-                if v < best {
-                    best = v;
-                    best_c = c as u32;
-                }
-            }
-            value[m * width + b] = best;
-            price[m * width + b] = best_c;
-        }
-    }
+    let mut price = vec![u32::MAX; width];
+    price.extend(prices.into_vec());
 
     Ok(BudgetMdpPolicy {
         n_tasks: n,
         budget: b_max,
-        value,
+        value: values.into_vec(),
         price,
     })
 }

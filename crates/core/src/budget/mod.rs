@@ -20,7 +20,7 @@ mod static_strategy;
 
 pub use exact::solve_budget_exact;
 pub use hull::{solve_budget_hull, HullSolution};
-pub use mdp::{solve_budget_mdp, BudgetMdpPolicy};
+pub use mdp::{solve_budget_mdp, solve_budget_mdp_with, BudgetMdpPolicy};
 pub use semi_static::SemiStaticStrategy;
 pub use static_strategy::StaticStrategy;
 
@@ -66,24 +66,7 @@ impl BudgetProblem {
 
 #[cfg(test)]
 pub(crate) mod test_support {
-    use super::*;
-    use ft_market::{LogitAcceptance, PriceGrid};
-
-    pub fn paper_budget_problem() -> BudgetProblem {
-        // Section 5.3: N = 200, B = 2500 cents, Eq. 13 acceptance,
-        // λ̄ ≈ 5100 workers/hour.
-        BudgetProblem::new(
-            200,
-            2500.0,
-            ActionSet::from_grid(PriceGrid::new(1, 40), &LogitAcceptance::paper_eq13()),
-            5100.0,
-        )
-    }
-
-    pub fn tiny_budget_problem() -> BudgetProblem {
-        let acc = LogitAcceptance::new(4.0, 0.0, 20.0);
-        BudgetProblem::new(10, 60.0, ActionSet::from_grid(PriceGrid::new(1, 12), &acc), 100.0)
-    }
+    pub use crate::testkit::{paper_budget_problem, tiny_budget_problem};
 }
 
 #[cfg(test)]

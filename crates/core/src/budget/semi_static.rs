@@ -50,11 +50,7 @@ impl SemiStaticStrategy {
 
     /// Sample the total worker-arrival count `W`: per stage `i`, arrivals
     /// until one accepts are `1 + Geom(p(c_i))` failures.
-    pub fn sample_arrivals<F: Fn(u32) -> f64, R: Rng + ?Sized>(
-        &self,
-        p: F,
-        rng: &mut R,
-    ) -> u64 {
+    pub fn sample_arrivals<F: Fn(u32) -> f64, R: Rng + ?Sized>(&self, p: F, rng: &mut R) -> u64 {
         self.prices
             .iter()
             .map(|&c| Geometric::new(p(c)).sample(rng) + 1)

@@ -39,10 +39,7 @@ impl StaticStrategy {
     /// Total monetary cost `Σ n_c · c` (every task eventually completes and
     /// pays its posted reward).
     pub fn total_cost(&self) -> f64 {
-        self.counts
-            .iter()
-            .map(|&(c, n)| c as f64 * n as f64)
-            .sum()
+        self.counts.iter().map(|&(c, n)| c as f64 * n as f64).sum()
     }
 
     /// Expected total worker arrivals `E[W] = Σ n_c / p(c)` (Theorem 5

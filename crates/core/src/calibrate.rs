@@ -42,7 +42,11 @@ impl Default for CalibrateOptions {
     }
 }
 
-fn expected_remaining_at(problem: &DeadlineProblem, penalty: f64, eps: f64) -> Result<(DeadlinePolicy, ExactOutcome)> {
+fn expected_remaining_at(
+    problem: &DeadlineProblem,
+    penalty: f64,
+    eps: f64,
+) -> Result<(DeadlinePolicy, ExactOutcome)> {
     let prob = problem.with_penalty(problem.penalty.with_per_task(penalty));
     let policy = solve_truncated(&prob, eps)?;
     let outcome = policy.evaluate(&prob);
@@ -61,7 +65,10 @@ pub fn calibrate_penalty(
     opts: CalibrateOptions,
 ) -> Result<CalibratedPolicy> {
     assert!(bound >= 0.0, "bound must be non-negative");
-    assert!(opts.initial_penalty > 0.0, "initial penalty must be positive");
+    assert!(
+        opts.initial_penalty > 0.0,
+        "initial penalty must be positive"
+    );
 
     // Bracket: find hi with E[remaining](hi) ≤ bound. The cap matters:
     // once the penalty dwarfs every achievable payment the policy is

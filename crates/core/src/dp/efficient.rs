@@ -1,15 +1,18 @@
-//! Algorithm 2: divide-and-conquer DP exploiting price monotonicity.
+//! Algorithm 2: divide-and-conquer DP exploiting price monotonicity —
+//! the kernel's [`Sweep::MonotoneDivide`] strategy.
 //!
 //! Under Conjecture 1 (`Price(n, t)` non-decreasing in `n` for fixed `t`),
 //! once `Price(a, t)` and `Price(b, t)` are known for `a < m < b`, the
 //! optimal action for `m` lies between them. Recursing on the midpoint
 //! gives `O(log N)` levels whose action-search ranges telescope to `C` per
 //! level, so each interval costs `O(N · s₀ + C log N · s₀)` backups instead
-//! of `O(N · C)`.
+//! of `O(N · C)` — and the two halves of every split are independent, so
+//! the kernel runs them as fork-join tasks.
 
-use super::backup::{best_action, TruncationTable};
 use super::validate;
 use crate::error::Result;
+use crate::kernel::deadline::solve_deadline;
+use crate::kernel::{KernelConfig, Sweep, TruncationTable};
 use crate::policy::DeadlinePolicy;
 use crate::problem::DeadlineProblem;
 
@@ -30,82 +33,12 @@ pub fn solve_efficient_with(
     trunc: &TruncationTable,
 ) -> Result<DeadlinePolicy> {
     validate(problem)?;
-    let n = problem.n_tasks as usize;
-    let nt = problem.n_intervals();
-    let width = n + 1;
-    let n_actions = problem.actions.len();
-
-    let mut opt = vec![0.0f64; (nt + 1) * width];
-    let mut price_idx = vec![0u32; nt * width];
-    for m in 0..=n {
-        opt[nt * width + m] = problem.penalty.terminal_cost(m as u32);
-    }
-
-    let mut pmf_buf = vec![0.0f64; n.max(1)];
-    for t in (0..nt).rev() {
-        let (head, tail) = opt.split_at_mut((t + 1) * width);
-        let opt_now = &mut head[t * width..(t + 1) * width];
-        let opt_next = &tail[..width];
-        opt_now[0] = 0.0;
-        // FindOptimalPriceForTime(t, 1, N, 0, C−1).
-        solve_range(
-            problem,
-            trunc,
-            t,
-            1,
-            n,
-            0,
-            n_actions - 1,
-            opt_now,
-            &mut price_idx[t * width..(t + 1) * width],
-            opt_next,
-            &mut pmf_buf,
-        );
-    }
-
-    Ok(DeadlinePolicy::new(
-        problem.n_tasks,
-        nt,
-        price_idx,
-        opt,
-        problem.actions.clone(),
-    ))
-}
-
-/// Recursive midpoint search over task counts `[l, r]` with the optimal
-/// action known to lie in `[a_lo, a_hi]`.
-#[allow(clippy::too_many_arguments)]
-fn solve_range(
-    problem: &DeadlineProblem,
-    trunc: &TruncationTable,
-    t: usize,
-    l: usize,
-    r: usize,
-    a_lo: usize,
-    a_hi: usize,
-    opt_now: &mut [f64],
-    price_row: &mut [u32],
-    opt_next: &[f64],
-    pmf_buf: &mut [f64],
-) {
-    if l > r {
-        return;
-    }
-    let m = l + (r - l) / 2;
-    let (best, best_q) =
-        best_action(problem, trunc, t, m, a_lo, a_hi, opt_next, pmf_buf);
-    opt_now[m] = best_q;
-    price_row[m] = best as u32;
-    if l < m {
-        solve_range(
-            problem, trunc, t, l, m - 1, a_lo, best, opt_now, price_row, opt_next, pmf_buf,
-        );
-    }
-    if m < r {
-        solve_range(
-            problem, trunc, t, m + 1, r, best, a_hi, opt_now, price_row, opt_next, pmf_buf,
-        );
-    }
+    solve_deadline(
+        problem,
+        trunc,
+        Sweep::MonotoneDivide,
+        &KernelConfig::default(),
+    )
 }
 
 #[cfg(test)]

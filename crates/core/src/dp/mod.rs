@@ -1,6 +1,8 @@
 //! Dynamic-programming solvers for the fixed-deadline MDP (Section 3).
 //!
-//! Three solvers share one Bellman backup:
+//! Three solvers share one Bellman backup, now hosted by the solver
+//! kernel ([`crate::kernel`]) and executed by its parallel
+//! backward-induction driver:
 //!
 //! - [`solve_simple`]: Algorithm 1, full enumeration — `O(N² · N_T · C)`.
 //! - [`solve_truncated`]: Algorithm 1 + Poisson tail truncation
@@ -8,13 +10,16 @@
 //! - [`solve_efficient`]: Algorithm 2, divide-and-conquer over the task
 //!   count exploiting the monotonicity of `Price(n, t)` in `n`
 //!   (Conjecture 1) — `O(N_T · N · (s₀ + C log N))`.
+//!
+//! All three are thin strategy selections over
+//! [`crate::kernel::deadline::solve_deadline`]; results are identical to
+//! the historical serial implementations for any thread count.
 
-mod backup;
 mod efficient;
 mod simple;
 
-pub use backup::{q_value, TruncationTable};
-pub use efficient::solve_efficient;
+pub use crate::kernel::{q_value, TruncationTable};
+pub use efficient::{solve_efficient, solve_efficient_with};
 pub use simple::{solve_simple, solve_truncated};
 
 use crate::error::{PricingError, Result};
@@ -24,19 +29,11 @@ use crate::problem::DeadlineProblem;
 /// true cost of the truncated-DP policy from state `(n, t)`:
 /// `n · (N_T − t) · C · ε` (each of the `N_T − t` remaining backups drops
 /// at most `ε` probability mass, each worth at most `n · C`).
-pub fn truncation_error_bound(
-    problem: &DeadlineProblem,
-    n: u32,
-    t: usize,
-    eps: f64,
-) -> f64 {
+pub fn truncation_error_bound(problem: &DeadlineProblem, n: u32, t: usize, eps: f64) -> f64 {
     let nt = problem.n_intervals();
     assert!(t <= nt, "interval out of range");
-    let c_max = problem
-        .actions
-        .max_reward()
-        .max(problem.penalty.per_task());
-    n as f64 * (nt - t) as f64 * c_max * eps * n as f64
+    let c_max = problem.actions.max_reward().max(problem.penalty.per_task());
+    n as f64 * (nt - t) as f64 * c_max * eps
 }
 
 /// Validate a problem before solving; shared across solvers.
@@ -52,59 +49,40 @@ pub(crate) fn validate(problem: &DeadlineProblem) -> Result<()> {
 
 #[cfg(test)]
 pub(crate) mod test_support {
-    use crate::actions::ActionSet;
-    use crate::penalty::PenaltyModel;
-    use crate::problem::DeadlineProblem;
-    use ft_market::{AcceptanceFn, LogitAcceptance, PriceGrid};
+    pub use crate::testkit::{small_problem, varied_problems};
+}
 
-    /// Small instance solvable by the naive DP in test (debug) builds.
-    pub fn small_problem(n_tasks: u32, n_intervals: usize) -> DeadlineProblem {
-        let acc = LogitAcceptance::new(5.0, -1.0, 50.0);
-        DeadlineProblem::new(
-            n_tasks,
-            vec![40.0; n_intervals],
-            ActionSet::from_grid(PriceGrid::new(0, 20), &acc),
-            PenaltyModel::Linear { per_task: 200.0 },
-        )
-    }
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::small_problem;
 
-    /// A family of varied instances for cross-solver agreement tests.
-    pub fn varied_problems() -> Vec<DeadlineProblem> {
-        let mut out = Vec::new();
-        for (n, nt, lam, pen) in [
-            (5u32, 3usize, 10.0, 50.0),
-            (12, 6, 25.0, 200.0),
-            (20, 4, 60.0, 500.0),
-            (8, 8, 5.0, 1000.0),
-        ] {
-            let acc = LogitAcceptance::new(4.0, 0.0, 30.0);
-            out.push(DeadlineProblem::new(
-                n,
-                (0..nt).map(|i| lam * (1.0 + 0.3 * (i as f64).sin())).collect(),
-                ActionSet::from_grid(PriceGrid::new(0, 15), &acc),
-                PenaltyModel::Linear { per_task: pen },
-            ));
+    /// Pins the Theorem 1 formula: the bound is *linear* in `n`
+    /// (`n · (N_T − t) · C · ε`), not quadratic — a regression test for a
+    /// historical bug that multiplied by `n` twice.
+    #[test]
+    fn truncation_error_bound_is_linear_in_n() {
+        let p = small_problem(10, 4);
+        let c_max = p.actions.max_reward().max(p.penalty.per_task());
+        let eps = 1e-6;
+        for n in [1u32, 3, 10] {
+            for t in [0usize, 2, 4] {
+                let expect = n as f64 * (p.n_intervals() - t) as f64 * c_max * eps;
+                let got = truncation_error_bound(&p, n, t, eps);
+                assert!(
+                    (got - expect).abs() < 1e-18,
+                    "bound at (n={n}, t={t}): got {got}, want {expect}"
+                );
+            }
         }
-        // One with an extended penalty.
-        let acc = LogitAcceptance::new(6.0, -0.5, 40.0);
-        out.push(DeadlineProblem::new(
-            10,
-            vec![30.0, 15.0, 45.0],
-            ActionSet::from_grid(PriceGrid::new(2, 18), &acc),
-            PenaltyModel::Extended {
-                per_task: 300.0,
-                alpha: 3.0,
-            },
-        ));
-        // One that hits acceptance saturation: very attractive task.
-        let acc = LogitAcceptance::new(2.0, -2.0, 5.0);
-        assert!(acc.p(18) > 0.9);
-        out.push(DeadlineProblem::new(
-            6,
-            vec![8.0, 8.0],
-            ActionSet::from_grid(PriceGrid::new(0, 18), &acc),
-            PenaltyModel::Linear { per_task: 100.0 },
-        ));
-        out
+        // Doubling n doubles the bound exactly.
+        let b1 = truncation_error_bound(&p, 5, 0, eps);
+        let b2 = truncation_error_bound(&p, 10, 0, eps);
+        assert!(
+            (b2 - 2.0 * b1).abs() < 1e-18,
+            "bound not linear: {b1} vs {b2}"
+        );
+        // At the deadline no backups remain, so the bound vanishes.
+        assert_eq!(truncation_error_bound(&p, 10, p.n_intervals(), eps), 0.0);
     }
 }

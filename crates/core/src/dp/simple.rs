@@ -1,14 +1,16 @@
 //! Algorithm 1: the simple backward-induction DP, with and without Poisson
-//! tail truncation.
+//! tail truncation — a dense sweep on the solver kernel.
 
-use super::backup::{best_action, TruncationTable};
 use super::validate;
 use crate::error::Result;
+use crate::kernel::deadline::solve_deadline;
+use crate::kernel::{KernelConfig, Sweep, TruncationTable};
 use crate::policy::DeadlinePolicy;
 use crate::problem::DeadlineProblem;
 
 /// Solve by full enumeration (Algorithm 1): exact transition sums, every
-/// action considered at every state. `O(N² · N_T · C)`.
+/// action considered at every state. `O(N² · N_T · C)` work, swept in
+/// parallel across the task-count axis.
 pub fn solve_simple(problem: &DeadlineProblem) -> Result<DeadlinePolicy> {
     let trunc = TruncationTable::none(problem);
     solve_with_truncation(problem, &trunc)
@@ -27,47 +29,7 @@ pub(crate) fn solve_with_truncation(
     trunc: &TruncationTable,
 ) -> Result<DeadlinePolicy> {
     validate(problem)?;
-    let n = problem.n_tasks as usize;
-    let nt = problem.n_intervals();
-    let width = n + 1;
-    let n_actions = problem.actions.len();
-
-    let mut opt = vec![0.0f64; (nt + 1) * width];
-    let mut price_idx = vec![0u32; nt * width];
-    // Terminal states (·, N_T).
-    for m in 0..=n {
-        opt[nt * width + m] = problem.penalty.terminal_cost(m as u32);
-    }
-
-    let mut pmf_buf = vec![0.0f64; n.max(1)];
-    for t in (0..nt).rev() {
-        let (head, tail) = opt.split_at_mut((t + 1) * width);
-        let opt_now = &mut head[t * width..(t + 1) * width];
-        let opt_next = &tail[..width];
-        opt_now[0] = 0.0;
-        for m in 1..=n {
-            let (best, best_q) = best_action(
-                problem,
-                trunc,
-                t,
-                m,
-                0,
-                n_actions - 1,
-                opt_next,
-                &mut pmf_buf,
-            );
-            opt_now[m] = best_q;
-            price_idx[t * width + m] = best as u32;
-        }
-    }
-
-    Ok(DeadlinePolicy::new(
-        problem.n_tasks,
-        nt,
-        price_idx,
-        opt,
-        problem.actions.clone(),
-    ))
+    solve_deadline(problem, trunc, Sweep::Dense, &KernelConfig::default())
 }
 
 #[cfg(test)]
@@ -140,16 +102,15 @@ mod tests {
     #[test]
     fn higher_penalty_prices_higher() {
         let base = small_problem(10, 4);
-        let low = solve_simple(&base.with_penalty(PenaltyModel::Linear { per_task: 20.0 }))
-            .unwrap();
-        let high = solve_simple(&base.with_penalty(PenaltyModel::Linear { per_task: 2000.0 }))
-            .unwrap();
+        let low =
+            solve_simple(&base.with_penalty(PenaltyModel::Linear { per_task: 20.0 })).unwrap();
+        let high =
+            solve_simple(&base.with_penalty(PenaltyModel::Linear { per_task: 2000.0 })).unwrap();
         // At the initial state, the higher penalty must not price lower.
         assert!(high.action_index(10, 0) >= low.action_index(10, 0));
         // And it must leave fewer tasks unfinished in expectation.
         let out_low = low.evaluate(&base.with_penalty(PenaltyModel::Linear { per_task: 20.0 }));
-        let out_high =
-            high.evaluate(&base.with_penalty(PenaltyModel::Linear { per_task: 2000.0 }));
+        let out_high = high.evaluate(&base.with_penalty(PenaltyModel::Linear { per_task: 2000.0 }));
         assert!(out_high.expected_remaining <= out_low.expected_remaining + 1e-9);
     }
 

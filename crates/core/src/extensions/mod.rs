@@ -5,6 +5,8 @@ pub mod multi_type;
 pub mod quality;
 pub mod tradeoff;
 
-pub use multi_type::{solve_decomposed, solve_multi_type, MultiTypePolicy, MultiTypeProblem, TaskTypeSpec};
+pub use multi_type::{
+    solve_decomposed, solve_multi_type, MultiTypePolicy, MultiTypeProblem, TaskTypeSpec,
+};
 pub use quality::{MajorityVoteQc, QcPricingSession};
 pub use tradeoff::{solve_tradeoff_fixed_rate, solve_tradeoff_worker_arrival, TradeoffPolicy};

@@ -106,7 +106,11 @@ pub fn solve_multi_type(problem: &MultiTypeProblem) -> Result<MultiTypePolicy> {
     if problem.interval_arrivals.is_empty() {
         return Err(PricingError::InvalidProblem("no intervals".into()));
     }
-    let dims: Vec<usize> = problem.types.iter().map(|s| s.n_tasks as usize + 1).collect();
+    let dims: Vec<usize> = problem
+        .types
+        .iter()
+        .map(|s| s.n_tasks as usize + 1)
+        .collect();
     let n_states: usize = dims.iter().product();
     let nt = problem.interval_arrivals.len();
     if n_states.saturating_mul(nt) > 50_000_000 {
@@ -153,9 +157,7 @@ pub fn solve_multi_type(problem: &MultiTypeProblem) -> Result<MultiTypePolicy> {
             // Coordinate-descent over per-type actions, initialized at the
             // per-type myopic best, iterated to a fixed point.
             let mut choice: Vec<usize> = vec![0; k];
-            let mut pmfs: Vec<Vec<f64>> = (0..k)
-                .map(|j| vec![0.0; ns[j] as usize + 1])
-                .collect();
+            let mut pmfs: Vec<Vec<f64>> = (0..k).map(|j| vec![0.0; ns[j] as usize + 1]).collect();
             let compute_pmf = |j: usize, a: usize, buf: &mut Vec<f64>| {
                 let act = problem.types[j].actions.get(a);
                 let pois = Poisson::new(lam * act.accept);

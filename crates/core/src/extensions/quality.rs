@@ -20,7 +20,10 @@ pub struct MajorityVoteQc {
 
 impl MajorityVoteQc {
     pub fn new(votes: u32) -> Self {
-        assert!(votes % 2 == 1 && votes >= 1, "votes must be odd, got {votes}");
+        assert!(
+            votes % 2 == 1 && votes >= 1,
+            "votes must be odd, got {votes}"
+        );
         Self { votes }
     }
 
@@ -108,10 +111,7 @@ impl QcPricingSession {
     /// when the item just got decided. Answers for decided items panic.
     pub fn record_answer(&mut self, item: usize, yes: bool) -> Option<bool> {
         let (x, y) = self.points[item];
-        assert!(
-            !self.qc.is_decided(x, y),
-            "item {item} is already decided"
-        );
+        assert!(!self.qc.is_decided(x, y), "item {item} is already decided");
         let (x, y) = if yes { (x, y + 1) } else { (x + 1, y) };
         self.points[item] = (x, y);
         if self.qc.is_decided(x, y) {

@@ -175,8 +175,14 @@ mod tests {
         // Two actions; verify the argmin arithmetic.
         use crate::actions::PriceAction;
         let a = ActionSet::new(vec![
-            PriceAction { reward: 2.0, accept: 0.1 },
-            PriceAction { reward: 10.0, accept: 0.5 },
+            PriceAction {
+                reward: 2.0,
+                accept: 0.1,
+            },
+            PriceAction {
+                reward: 10.0,
+                accept: 0.5,
+            },
         ]);
         // α/λ̄ = 1: inc(2) = 2 + 1/0.1 = 12; inc(10) = 10 + 2 = 12 → tie,
         // cheaper wins (scanned in reward order with strict <).
@@ -195,8 +201,14 @@ mod tests {
         // so cranking price past the congestion point stops helping.
         use crate::actions::PriceAction;
         let a = ActionSet::new(vec![
-            PriceAction { reward: 5.0, accept: 0.2 },  // λp = 1 at λ=5
-            PriceAction { reward: 25.0, accept: 0.9 }, // λp = 4.5: overshoot
+            PriceAction {
+                reward: 5.0,
+                accept: 0.2,
+            }, // λp = 1 at λ=5
+            PriceAction {
+                reward: 25.0,
+                accept: 0.9,
+            }, // λp = 4.5: overshoot
         ]);
         let p = solve_tradeoff_fixed_rate(&a, 1, 5.0, 10.0).unwrap();
         // q(5¢) = e^{−1} ≈ 0.368 → inc = 5 + 27.2 = 32.2

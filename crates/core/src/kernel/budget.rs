@@ -1,0 +1,249 @@
+//! The fixed-budget DPs (Section 4) as [`LayerModel`]s.
+//!
+//! Both budget solvers minimise `Σ 1/p(c_i)` over integer-cent price
+//! assignments; they differ only in bookkeeping:
+//!
+//! - [`BudgetAssignModel`] is the Theorem 6 DP: `f(i, b)` = best value
+//!   assigning the first `i` tasks with budget *at most* `b`, infeasible
+//!   cells propagated as `+∞`.
+//! - [`BudgetMdpModel`] is the Theorem 4 worker-arrival MDP: `V(n, b)` =
+//!   expected remaining arrivals with `n` tasks and `b` cents left,
+//!   feasibility pruned with the `(n−1)·c_min` reserve.
+//!
+//! Layers = task counts (forward induction), states = budget in cents,
+//! decisions = *prices in cents* (`u32::MAX` = infeasible state).
+
+use super::driver::LayerModel;
+use crate::actions::ActionSet;
+use crate::error::{PricingError, Result};
+
+/// Integer-cent actions with positive acceptance, as `(price, 1/p)`
+/// pairs — the validated action view both budget solvers share.
+pub struct IntegerActions {
+    pub acts: Vec<(usize, f64)>,
+    pub c_min: usize,
+}
+
+impl IntegerActions {
+    /// Validate and extract. `solver` names the caller in error messages.
+    pub fn from_action_set(actions: &ActionSet, solver: &str) -> Result<Self> {
+        let mut acts: Vec<(usize, f64)> = Vec::new();
+        for a in actions.iter() {
+            if a.accept <= 0.0 {
+                continue;
+            }
+            let c = a.reward.round();
+            if (a.reward - c).abs() > 1e-9 || c < 0.0 {
+                return Err(PricingError::InvalidProblem(format!(
+                    "{solver} needs integer cent rewards, got {}",
+                    a.reward
+                )));
+            }
+            acts.push((c as usize, 1.0 / a.accept));
+        }
+        if acts.is_empty() {
+            return Err(PricingError::InvalidProblem(
+                "no action with positive acceptance".into(),
+            ));
+        }
+        let c_min = acts.iter().map(|&(c, _)| c).min().expect("non-empty");
+        Ok(Self { acts, c_min })
+    }
+
+    /// Reject problems whose budget cannot cover `n` tasks at the
+    /// cheapest price.
+    pub fn check_feasible(&self, n_tasks: u32, b_max: usize) -> Result<()> {
+        if self.c_min * n_tasks as usize > b_max {
+            return Err(PricingError::Infeasible(format!(
+                "budget {b_max} below N·c_min = {}",
+                self.c_min * n_tasks as usize
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Theorem 6: assignment DP over (tasks assigned, budget spent ≤ b).
+pub struct BudgetAssignModel<'a> {
+    acts: &'a [(usize, f64)],
+    n_tasks: usize,
+    width: usize,
+}
+
+impl<'a> BudgetAssignModel<'a> {
+    pub fn new(acts: &'a IntegerActions, n_tasks: u32, b_max: usize) -> Self {
+        Self {
+            acts: &acts.acts,
+            n_tasks: n_tasks as usize,
+            width: b_max + 1,
+        }
+    }
+}
+
+impl LayerModel for BudgetAssignModel<'_> {
+    type Scratch = ();
+
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn n_steps(&self) -> usize {
+        self.n_tasks
+    }
+
+    fn n_actions(&self) -> usize {
+        self.acts.len()
+    }
+
+    fn make_scratch(&self) {}
+
+    fn terminal(&self, out: &mut [f64]) {
+        out.fill(0.0); // zero tasks cost nothing at any budget
+    }
+
+    fn default_grain(&self) -> usize {
+        // A budget cell is a bare O(C) scan (~40 flops), and the driver
+        // spawns fresh scoped threads per layer: below a few thousand
+        // cells the spawn/join cost rivals the layer's work, so stay
+        // inline until the budget axis is genuinely wide.
+        4096
+    }
+
+    fn solve_state(
+        &self,
+        _i: usize,
+        b: usize,
+        _a_lo: usize,
+        _a_hi: usize,
+        prev: &[f64],
+        _scratch: &mut (),
+    ) -> (f64, u32) {
+        let mut best = f64::INFINITY;
+        let mut choice = u32::MAX;
+        for &(c, inv_p) in self.acts {
+            if c > b {
+                continue;
+            }
+            let prev_v = prev[b - c];
+            if !prev_v.is_finite() {
+                continue;
+            }
+            let v = prev_v + inv_p;
+            if v < best {
+                best = v;
+                choice = c as u32;
+            }
+        }
+        (best, choice)
+    }
+}
+
+/// Theorem 4: the worker-arrival MDP over (remaining tasks, budget).
+pub struct BudgetMdpModel<'a> {
+    acts: &'a [(usize, f64)],
+    c_min: usize,
+    n_tasks: usize,
+    width: usize,
+}
+
+impl<'a> BudgetMdpModel<'a> {
+    pub fn new(acts: &'a IntegerActions, n_tasks: u32, b_max: usize) -> Self {
+        Self {
+            acts: &acts.acts,
+            c_min: acts.c_min,
+            n_tasks: n_tasks as usize,
+            width: b_max + 1,
+        }
+    }
+}
+
+impl LayerModel for BudgetMdpModel<'_> {
+    type Scratch = ();
+
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn n_steps(&self) -> usize {
+        self.n_tasks
+    }
+
+    fn n_actions(&self) -> usize {
+        self.acts.len()
+    }
+
+    fn make_scratch(&self) {}
+
+    fn terminal(&self, out: &mut [f64]) {
+        out.fill(0.0); // V(0, b) = 0
+    }
+
+    fn default_grain(&self) -> usize {
+        // Same spawn-amortisation reasoning as `BudgetAssignModel`.
+        4096
+    }
+
+    fn solve_state(
+        &self,
+        m: usize,
+        b: usize,
+        _a_lo: usize,
+        _a_hi: usize,
+        prev: &[f64],
+        _scratch: &mut (),
+    ) -> (f64, u32) {
+        let mut best = f64::INFINITY;
+        let mut best_c = u32::MAX;
+        // Feasibility: after paying c, the remaining m−1 tasks still
+        // need (m−1)·c_min.
+        for &(c, inv_p) in self.acts {
+            if c + (m - 1) * self.c_min > b {
+                continue;
+            }
+            let v = inv_p + prev[b - c];
+            if v < best {
+                best = v;
+                best_c = c as u32;
+            }
+        }
+        (best, best_c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_market::{LogitAcceptance, PriceGrid};
+
+    #[test]
+    fn integer_actions_validation() {
+        let acc = LogitAcceptance::new(4.0, 0.0, 20.0);
+        let set = ActionSet::from_grid(PriceGrid::new(1, 5), &acc);
+        let ia = IntegerActions::from_action_set(&set, "test").unwrap();
+        assert_eq!(ia.acts.len(), 5);
+        assert_eq!(ia.c_min, 1);
+        assert!(ia.check_feasible(10, 10).is_ok());
+        assert!(matches!(
+            ia.check_feasible(10, 9),
+            Err(PricingError::Infeasible(_))
+        ));
+    }
+
+    #[test]
+    fn fractional_rewards_rejected() {
+        let set = ActionSet::new(vec![
+            crate::actions::PriceAction {
+                reward: 1.5,
+                accept: 0.5,
+            },
+            crate::actions::PriceAction {
+                reward: 2.0,
+                accept: 0.6,
+            },
+        ]);
+        assert!(matches!(
+            IntegerActions::from_action_set(&set, "test"),
+            Err(PricingError::InvalidProblem(_))
+        ));
+    }
+}

@@ -1,0 +1,145 @@
+//! Flat value/policy arenas shared by every solver.
+//!
+//! A DP over a `(layer, state)` grid stores its cost-to-go values in one
+//! contiguous `Vec<f64>` and its decisions in one contiguous `Vec<u32>`,
+//! row-major by layer. The deadline MDP uses layers = intervals and
+//! states = remaining tasks; the budget DPs use layers = tasks and
+//! states = remaining budget. Both end up as plain slices the induction
+//! driver can chunk across threads.
+
+/// Cost-to-go values on a `(layer, state)` grid, row-major by layer.
+#[derive(Debug, Clone)]
+pub struct ValueTable {
+    width: usize,
+    layers: usize,
+    data: Vec<f64>,
+}
+
+impl ValueTable {
+    /// Zero-initialised table with `layers` rows of `width` states.
+    pub fn new(layers: usize, width: usize) -> Self {
+        assert!(layers > 0 && width > 0, "empty table");
+        Self {
+            width,
+            layers,
+            data: vec![0.0; layers * width],
+        }
+    }
+
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    pub fn layers(&self) -> usize {
+        self.layers
+    }
+
+    pub fn row(&self, layer: usize) -> &[f64] {
+        debug_assert!(layer < self.layers);
+        &self.data[layer * self.width..(layer + 1) * self.width]
+    }
+
+    pub fn row_mut(&mut self, layer: usize) -> &mut [f64] {
+        debug_assert!(layer < self.layers);
+        &mut self.data[layer * self.width..(layer + 1) * self.width]
+    }
+
+    /// Borrow one row mutably (to write) and another immutably (to read)
+    /// — the two rows touched by one induction step.
+    pub fn split_rows(&mut self, write: usize, read: usize) -> (&mut [f64], &[f64]) {
+        assert!(write != read, "cannot write the row being read");
+        assert!(write < self.layers && read < self.layers);
+        let w = self.width;
+        if write < read {
+            let (head, tail) = self.data.split_at_mut(read * w);
+            (&mut head[write * w..(write + 1) * w], &tail[..w])
+        } else {
+            let (head, tail) = self.data.split_at_mut(write * w);
+            (&mut tail[..w], &head[read * w..(read + 1) * w])
+        }
+    }
+
+    /// The flat backing storage (row-major by layer).
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+/// Per-layer decisions on the same grid. The meaning of the stored `u32`
+/// is the model's: the deadline model stores action *indices*, the
+/// budget models store *prices in cents* (`u32::MAX` = infeasible).
+#[derive(Debug, Clone)]
+pub struct PolicyTable {
+    width: usize,
+    data: Vec<u32>,
+}
+
+impl PolicyTable {
+    /// Table of `layers` rows, all cells initialised to `fill`.
+    pub fn new(layers: usize, width: usize, fill: u32) -> Self {
+        assert!(layers > 0 && width > 0, "empty table");
+        Self {
+            width,
+            data: vec![fill; layers * width],
+        }
+    }
+
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    pub fn row_mut(&mut self, layer: usize) -> &mut [u32] {
+        &mut self.data[layer * self.width..(layer + 1) * self.width]
+    }
+
+    pub fn row(&self, layer: usize) -> &[u32] {
+        &self.data[layer * self.width..(layer + 1) * self.width]
+    }
+
+    pub fn into_vec(self) -> Vec<u32> {
+        self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_rows_borrows_disjoint_rows() {
+        let mut t = ValueTable::new(4, 3);
+        t.row_mut(2).copy_from_slice(&[7.0, 8.0, 9.0]);
+        {
+            let (w, r) = t.split_rows(1, 2);
+            assert_eq!(r, &[7.0, 8.0, 9.0]);
+            w.copy_from_slice(&[1.0, 2.0, 3.0]);
+        }
+        {
+            // Opposite order (forward induction).
+            let (w, r) = t.split_rows(2, 1);
+            assert_eq!(r, &[1.0, 2.0, 3.0]);
+            w[0] = 42.0;
+        }
+        assert_eq!(t.row(2)[0], 42.0);
+        assert_eq!(t.into_vec().len(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot write")]
+    fn split_rows_rejects_same_row() {
+        let mut t = ValueTable::new(2, 2);
+        let _ = t.split_rows(1, 1);
+    }
+
+    #[test]
+    fn policy_table_fill_and_rows() {
+        let mut p = PolicyTable::new(2, 3, u32::MAX);
+        assert!(p.row(1).iter().all(|&x| x == u32::MAX));
+        p.row_mut(0)[1] = 5;
+        assert_eq!(p.into_vec()[1], 5);
+    }
+}

@@ -1,4 +1,6 @@
-//! The shared Bellman backup of the deadline MDP.
+//! The shared Bellman backup of the deadline MDP and its Poisson
+//! transition machinery (moved here from `dp::backup` so every solver —
+//! and the service layer — reuses one implementation).
 //!
 //! At state `(n, t)` with action reward `c` and acceptance `p`, completions
 //! in the interval follow `X ~ Pois(λ_t · p)` (Eq. 5):
@@ -15,6 +17,10 @@ use ft_stats::Poisson;
 
 /// Per-`(interval, action)` truncation points `s₀` for a given ε
 /// (`usize::MAX` rows mean "no truncation").
+///
+/// This is the kernel's transition cache: the truncation points (and the
+/// Poisson means they were derived from) are computed once per problem
+/// and shared read-only across every worker thread of the sweep.
 #[derive(Debug, Clone)]
 pub struct TruncationTable {
     /// `s0[t * n_actions + a]`.
@@ -200,9 +206,18 @@ mod tests {
     #[test]
     fn best_action_range_restriction() {
         let actions = ActionSet::new(vec![
-            PriceAction { reward: 0.0, accept: 0.0 },
-            PriceAction { reward: 5.0, accept: 0.5 },
-            PriceAction { reward: 9.0, accept: 0.9 },
+            PriceAction {
+                reward: 0.0,
+                accept: 0.0,
+            },
+            PriceAction {
+                reward: 5.0,
+                accept: 0.5,
+            },
+            PriceAction {
+                reward: 9.0,
+                accept: 0.9,
+            },
         ]);
         let p = crate::problem::DeadlineProblem::new(
             3,

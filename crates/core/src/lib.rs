@@ -35,6 +35,16 @@
 //! [`extensions`] covers Section 6 (multiple task types, cost/latency
 //! tradeoff, majority-vote quality control).
 
+//! ## Kernel & service (post-paper layers)
+//!
+//! All five solvers above run on one shared engine, [`kernel`]: a flat
+//! value-table arena, a Poisson transition cache, and a backward-
+//! induction driver parallelized across each layer's state axis on the
+//! workspace `ft-exec` pool. [`service::PricingService`] sits on top and
+//! solves/caches policies for batches of heterogeneous campaigns,
+//! exposing a constant-time `reprice(campaign, observed_state)` hot
+//! path. See `ARCHITECTURE.md` at the workspace root.
+
 pub mod actions;
 pub mod adaptive;
 pub mod baseline;
@@ -43,17 +53,24 @@ pub mod calibrate;
 pub mod dp;
 pub mod error;
 pub mod extensions;
+pub mod kernel;
 pub mod penalty;
 pub mod policy;
 pub mod problem;
+pub mod service;
+pub mod testkit;
 
 pub use actions::{ActionSet, PriceAction};
 pub use adaptive::{AdaptiveOptions, AdaptivePricer};
 pub use baseline::{solve_fixed_price, FixedPriceSolution};
-pub use budget::{solve_budget_exact, solve_budget_hull, BudgetProblem, StaticStrategy};
+pub use budget::{
+    solve_budget_exact, solve_budget_hull, solve_budget_mdp, BudgetProblem, StaticStrategy,
+};
 pub use calibrate::{calibrate_penalty, CalibrateOptions, CalibratedPolicy};
 pub use dp::{solve_efficient, solve_simple, solve_truncated};
 pub use error::{PricingError, Result};
+pub use kernel::{KernelConfig, Sweep};
 pub use penalty::PenaltyModel;
 pub use policy::{DeadlinePolicy, ExactOutcome, FixedPrice, PriceController};
 pub use problem::DeadlineProblem;
+pub use service::{CampaignPolicy, CampaignSpec, ObservedState, PricingService};

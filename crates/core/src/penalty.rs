@@ -32,9 +32,7 @@ impl PenaltyModel {
     /// searches over).
     pub fn per_task(&self) -> f64 {
         match *self {
-            PenaltyModel::Linear { per_task } | PenaltyModel::Extended { per_task, .. } => {
-                per_task
-            }
+            PenaltyModel::Linear { per_task } | PenaltyModel::Extended { per_task, .. } => per_task,
         }
     }
 

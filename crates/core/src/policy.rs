@@ -170,11 +170,7 @@ impl DeadlinePolicy {
             std::mem::swap(&mut dist, &mut next);
         }
 
-        let expected_remaining: f64 = dist
-            .iter()
-            .enumerate()
-            .map(|(m, &q)| m as f64 * q)
-            .sum();
+        let expected_remaining: f64 = dist.iter().enumerate().map(|(m, &q)| m as f64 * q).sum();
         let expected_penalty: f64 = dist
             .iter()
             .enumerate()
@@ -309,8 +305,14 @@ mod tests {
         // picks action 1 (reward 10, accept 0.5) and check the forward
         // pass arithmetic.
         let actions = ActionSet::new(vec![
-            PriceAction { reward: 5.0, accept: 0.25 },
-            PriceAction { reward: 10.0, accept: 0.5 },
+            PriceAction {
+                reward: 5.0,
+                accept: 0.25,
+            },
+            PriceAction {
+                reward: 10.0,
+                accept: 0.5,
+            },
         ]);
         let n_tasks = 2u32;
         let n_intervals = 2usize;
@@ -343,7 +345,10 @@ mod tests {
     fn forward_pass_single_interval_arithmetic() {
         // One interval, one task, λp = 1.0: P(complete) = P(X ≥ 1) =
         // 1 − e^{−1}; expected paid = reward · P.
-        let actions = ActionSet::new(vec![PriceAction { reward: 10.0, accept: 0.5 }]);
+        let actions = ActionSet::new(vec![PriceAction {
+            reward: 10.0,
+            accept: 0.5,
+        }]);
         let policy = DeadlinePolicy::new(1, 1, vec![0, 0], vec![0.0; 4], actions.clone());
         let problem = DeadlineProblem::new(
             1,
@@ -357,8 +362,7 @@ mod tests {
         assert!((out.expected_paid - 10.0 * p_done).abs() < 1e-12);
         assert!((out.expected_penalty - 50.0 * (1.0 - p_done)).abs() < 1e-12);
         assert!(
-            (out.expected_total_cost() - (10.0 * p_done + 50.0 * (1.0 - p_done))).abs()
-                < 1e-12
+            (out.expected_total_cost() - (10.0 * p_done + 50.0 * (1.0 - p_done))).abs() < 1e-12
         );
     }
 
@@ -388,11 +392,8 @@ mod tests {
         let (policy, problem) = tiny_policy();
         let trained = policy.evaluate(&problem);
         // True acceptance much lower → more remaining tasks.
-        let degraded = policy.evaluate_against(
-            &problem.interval_arrivals,
-            |_c| 0.05,
-            &problem.penalty,
-        );
+        let degraded =
+            policy.evaluate_against(&problem.interval_arrivals, |_c| 0.05, &problem.penalty);
         assert!(degraded.expected_remaining > trained.expected_remaining);
     }
 

@@ -1,0 +1,396 @@
+//! The multi-campaign pricing service: solve many heterogeneous
+//! campaigns concurrently on the solver kernel, cache the resulting
+//! policies, and answer `reprice` queries from the cached tables.
+//!
+//! This is the serving layer the ROADMAP's production north-star asks
+//! for. The design splits work into a *solve path* (expensive, batched,
+//! parallel) and a *reprice hot path* (a table lookup behind a read
+//! lock):
+//!
+//! - [`PricingService::solve_batch`] fans campaigns out on the shared
+//!   `ft-exec` pool. When the batch itself saturates the cores, each
+//!   solver kernel runs single-threaded (outer parallelism); a small
+//!   batch lets the kernels keep their inner parallel sweeps, so the
+//!   hardware stays busy either way.
+//! - [`PricingService::reprice`] maps an observed campaign state to the
+//!   policy's price — `O(1)` per call, no allocation, shared (`RwLock`
+//!   read) access from any number of serving threads.
+//!
+//! Deadline campaigns are solved with Algorithm 2 + truncation (the
+//! paper's fastest exact-quality solver); budget campaigns with the
+//! Theorem 4 worker-arrival MDP, whose `(remaining, budget)` table can
+//! answer repricing at *any* observed state, not just the planned path.
+
+use crate::budget::{solve_budget_mdp_with, BudgetMdpPolicy, BudgetProblem};
+use crate::error::{PricingError, Result};
+use crate::kernel::deadline::solve_deadline;
+use crate::kernel::{KernelConfig, Sweep, TruncationTable};
+use crate::policy::{DeadlinePolicy, PriceController};
+use crate::problem::DeadlineProblem;
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+/// Truncation mass used when a deadline campaign doesn't specify one.
+pub const DEFAULT_EPS: f64 = 1e-9;
+
+/// Identifier for a campaign within the service.
+pub type CampaignId = u64;
+
+/// What a campaign asks the service to optimise.
+#[derive(Debug, Clone)]
+pub enum CampaignSpec {
+    /// Fixed deadline (Section 3): minimise expected cost.
+    Deadline {
+        problem: DeadlineProblem,
+        /// Poisson-tail truncation mass; `None` = [`DEFAULT_EPS`].
+        eps: Option<f64>,
+    },
+    /// Fixed budget (Section 4): minimise expected latency.
+    Budget { problem: BudgetProblem },
+}
+
+/// A solved campaign policy held by the service cache.
+#[derive(Debug, Clone)]
+pub enum CampaignPolicy {
+    Deadline(DeadlinePolicy),
+    Budget(BudgetMdpPolicy),
+}
+
+/// The live state a campaign reports when asking for a fresh price.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObservedState {
+    /// Deadline campaign: tasks remaining at the given interval index.
+    Deadline { remaining: u32, interval: usize },
+    /// Budget campaign: tasks remaining with the given cents unspent.
+    Budget { remaining: u32, budget_cents: usize },
+}
+
+/// A concurrent multi-campaign policy server.
+pub struct PricingService {
+    cfg: KernelConfig,
+    policies: RwLock<HashMap<CampaignId, Arc<CampaignPolicy>>>,
+}
+
+impl Default for PricingService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PricingService {
+    pub fn new() -> Self {
+        Self::with_config(KernelConfig::default())
+    }
+
+    /// Use an explicit kernel configuration for all solves (e.g.
+    /// [`KernelConfig::serial`] in latency-sensitive embedders).
+    pub fn with_config(cfg: KernelConfig) -> Self {
+        Self {
+            cfg,
+            policies: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Solve a batch of campaigns concurrently and cache every success.
+    /// Returns per-campaign results in input order; failed campaigns are
+    /// reported and not cached, without failing the batch.
+    pub fn solve_batch(
+        &self,
+        batch: Vec<(CampaignId, CampaignSpec)>,
+    ) -> Vec<(CampaignId, Result<Arc<CampaignPolicy>>)> {
+        let outer_threads = ft_exec::resolve_threads(self.cfg.threads);
+        // Outer×inner ≈ the worker budget: a full batch runs serial
+        // kernels side by side, a single campaign gets the whole pool.
+        let inner = KernelConfig {
+            threads: (outer_threads / batch.len().max(1)).max(1),
+            grain: self.cfg.grain,
+        };
+        let solved = ft_exec::par_map(batch.len(), 1, self.cfg.threads, |i| {
+            Self::solve_spec(&batch[i].1, &inner)
+        });
+        let out: Vec<(CampaignId, Result<Arc<CampaignPolicy>>)> = batch
+            .iter()
+            .zip(solved)
+            .map(|((id, _), policy)| (*id, policy.map(Arc::new)))
+            .collect();
+        // One write-guard scope for the whole batch so concurrent
+        // reprice readers stall at most once during cache fill.
+        let mut cache = self
+            .policies
+            .write()
+            .expect("pricing-service lock poisoned");
+        for (id, result) in &out {
+            if let Ok(arc) = result {
+                cache.insert(*id, Arc::clone(arc));
+            }
+        }
+        drop(cache);
+        out
+    }
+
+    fn solve_spec(spec: &CampaignSpec, cfg: &KernelConfig) -> Result<CampaignPolicy> {
+        match spec {
+            CampaignSpec::Deadline { problem, eps } => {
+                let trunc = TruncationTable::with_eps(problem, eps.unwrap_or(DEFAULT_EPS));
+                solve_deadline(problem, &trunc, Sweep::MonotoneDivide, cfg)
+                    .map(CampaignPolicy::Deadline)
+            }
+            CampaignSpec::Budget { problem } => {
+                solve_budget_mdp_with(problem, cfg).map(CampaignPolicy::Budget)
+            }
+        }
+    }
+
+    /// The reprice hot path: look the campaign's policy up and read the
+    /// price for the observed state. Errors distinguish "unknown
+    /// campaign" from "state kind doesn't match the campaign type" from
+    /// "state outside the feasible region".
+    pub fn reprice(&self, id: CampaignId, state: ObservedState) -> Result<f64> {
+        let policy = self
+            .policy(id)
+            .ok_or_else(|| PricingError::InvalidProblem(format!("unknown campaign {id}")))?;
+        match (policy.as_ref(), state) {
+            (
+                CampaignPolicy::Deadline(p),
+                ObservedState::Deadline {
+                    remaining,
+                    interval,
+                },
+            ) => Ok(p.price(remaining, interval)),
+            (
+                CampaignPolicy::Budget(p),
+                ObservedState::Budget {
+                    remaining,
+                    budget_cents,
+                },
+            ) => p
+                // Clamp onto the solved table like the deadline arm
+                // does: more reported tasks/cents than the campaign was
+                // solved for answers from the nearest table edge.
+                .price(
+                    remaining.min(p.n_tasks()),
+                    budget_cents.min(p.budget_cents()),
+                )
+                .map(f64::from)
+                .ok_or_else(|| {
+                    PricingError::Infeasible(format!(
+                        "campaign {id}: no feasible price with {remaining} tasks and \
+                         {budget_cents} cents"
+                    ))
+                }),
+            _ => Err(PricingError::InvalidProblem(format!(
+                "campaign {id}: observed state kind does not match the campaign type"
+            ))),
+        }
+    }
+
+    /// Fetch a cached policy (cheap `Arc` clone).
+    pub fn policy(&self, id: CampaignId) -> Option<Arc<CampaignPolicy>> {
+        self.policies
+            .read()
+            .expect("pricing-service lock poisoned")
+            .get(&id)
+            .cloned()
+    }
+
+    /// Drop a campaign's policy. Returns whether it existed.
+    pub fn evict(&self, id: CampaignId) -> bool {
+        self.policies
+            .write()
+            .expect("pricing-service lock poisoned")
+            .remove(&id)
+            .is_some()
+    }
+
+    /// Number of cached campaign policies.
+    pub fn len(&self) -> usize {
+        self.policies
+            .read()
+            .expect("pricing-service lock poisoned")
+            .len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::solve_budget_mdp;
+    use crate::dp::solve_efficient;
+    use crate::testkit::{tiny_budget_problem, varied_problems};
+
+    fn mixed_batch() -> Vec<(CampaignId, CampaignSpec)> {
+        let mut batch: Vec<(CampaignId, CampaignSpec)> = varied_problems()
+            .into_iter()
+            .enumerate()
+            .map(|(i, problem)| {
+                (
+                    i as CampaignId,
+                    CampaignSpec::Deadline { problem, eps: None },
+                )
+            })
+            .collect();
+        batch.push((
+            100,
+            CampaignSpec::Budget {
+                problem: tiny_budget_problem(),
+            },
+        ));
+        batch
+    }
+
+    #[test]
+    fn batch_solve_matches_direct_solvers() {
+        let service = PricingService::new();
+        let results = service.solve_batch(mixed_batch());
+        assert_eq!(results.len(), varied_problems().len() + 1);
+        for (id, result) in &results {
+            result
+                .as_ref()
+                .unwrap_or_else(|e| panic!("campaign {id} failed: {e}"));
+        }
+        // Deadline campaigns must agree with the standalone solver.
+        for (i, problem) in varied_problems().into_iter().enumerate() {
+            let direct = solve_efficient(&problem, DEFAULT_EPS).unwrap();
+            let cached = service.policy(i as CampaignId).unwrap();
+            let CampaignPolicy::Deadline(p) = cached.as_ref() else {
+                panic!("campaign {i} is not a deadline policy");
+            };
+            for t in 0..problem.n_intervals() {
+                for m in 1..=problem.n_tasks {
+                    assert_eq!(p.action_index(m, t), direct.action_index(m, t));
+                }
+            }
+        }
+        // The budget campaign must agree with the standalone MDP.
+        let direct = solve_budget_mdp(&tiny_budget_problem()).unwrap();
+        let cached = service.policy(100).unwrap();
+        let CampaignPolicy::Budget(p) = cached.as_ref() else {
+            panic!("campaign 100 is not a budget policy");
+        };
+        assert_eq!(p.expected_arrivals(), direct.expected_arrivals());
+    }
+
+    #[test]
+    fn reprice_hot_path() {
+        let service = PricingService::new();
+        service.solve_batch(mixed_batch());
+        let problem = &varied_problems()[0];
+        let direct = solve_efficient(problem, DEFAULT_EPS).unwrap();
+        let got = service
+            .reprice(
+                0,
+                ObservedState::Deadline {
+                    remaining: problem.n_tasks,
+                    interval: 0,
+                },
+            )
+            .unwrap();
+        assert_eq!(got, direct.price(problem.n_tasks, 0));
+
+        // Budget repricing at an off-path state.
+        let mdp = solve_budget_mdp(&tiny_budget_problem()).unwrap();
+        let got = service
+            .reprice(
+                100,
+                ObservedState::Budget {
+                    remaining: 4,
+                    budget_cents: 30,
+                },
+            )
+            .unwrap();
+        assert_eq!(got, f64::from(mdp.price(4, 30).unwrap()));
+
+        // Oversized budget clamps onto the table instead of panicking.
+        let got = service
+            .reprice(
+                100,
+                ObservedState::Budget {
+                    remaining: 4,
+                    budget_cents: 10_000,
+                },
+            )
+            .unwrap();
+        assert_eq!(got, f64::from(mdp.price(4, mdp.budget_cents()).unwrap()));
+
+        // Oversized remaining-task counts clamp too (regression: this
+        // used to panic in BudgetMdpPolicy::idx).
+        let got = service
+            .reprice(
+                100,
+                ObservedState::Budget {
+                    remaining: 12,
+                    budget_cents: 10_000,
+                },
+            )
+            .unwrap();
+        assert_eq!(
+            got,
+            f64::from(mdp.price(mdp.n_tasks(), mdp.budget_cents()).unwrap())
+        );
+    }
+
+    #[test]
+    fn reprice_error_paths() {
+        let service = PricingService::new();
+        service.solve_batch(mixed_batch());
+        // Unknown campaign.
+        assert!(matches!(
+            service.reprice(
+                999,
+                ObservedState::Deadline {
+                    remaining: 1,
+                    interval: 0
+                }
+            ),
+            Err(PricingError::InvalidProblem(_))
+        ));
+        // Kind mismatch.
+        assert!(matches!(
+            service.reprice(
+                0,
+                ObservedState::Budget {
+                    remaining: 1,
+                    budget_cents: 5
+                }
+            ),
+            Err(PricingError::InvalidProblem(_))
+        ));
+        // Infeasible budget state.
+        assert!(matches!(
+            service.reprice(
+                100,
+                ObservedState::Budget {
+                    remaining: 10,
+                    budget_cents: 5
+                }
+            ),
+            Err(PricingError::Infeasible(_))
+        ));
+    }
+
+    #[test]
+    fn failed_campaigns_reported_not_cached() {
+        let service = PricingService::new();
+        let mut p = tiny_budget_problem();
+        p.budget = 4.0; // below N · c_min
+        let results = service.solve_batch(vec![(7, CampaignSpec::Budget { problem: p })]);
+        assert!(matches!(results[0].1, Err(PricingError::Infeasible(_))));
+        assert!(service.policy(7).is_none());
+        assert!(service.is_empty());
+    }
+
+    #[test]
+    fn evict_and_len() {
+        let service = PricingService::new();
+        service.solve_batch(mixed_batch());
+        let n = service.len();
+        assert!(n >= 2);
+        assert!(service.evict(100));
+        assert!(!service.evict(100));
+        assert_eq!(service.len(), n - 1);
+    }
+}

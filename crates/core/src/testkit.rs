@@ -1,0 +1,102 @@
+//! Shared problem families for tests and benchmarks.
+//!
+//! These used to live behind `#[cfg(test)]` inside the solver modules;
+//! they are public so the workspace-level suites (`tests/props.rs`) and
+//! the criterion benches can exercise cross-solver agreement on exactly
+//! the same instances the unit tests pin down.
+
+use crate::actions::ActionSet;
+use crate::budget::BudgetProblem;
+use crate::penalty::PenaltyModel;
+use crate::problem::DeadlineProblem;
+use ft_market::{AcceptanceFn, LogitAcceptance, PriceGrid};
+
+/// Small instance solvable by the naive DP in test (debug) builds.
+pub fn small_problem(n_tasks: u32, n_intervals: usize) -> DeadlineProblem {
+    let acc = LogitAcceptance::new(5.0, -1.0, 50.0);
+    DeadlineProblem::new(
+        n_tasks,
+        vec![40.0; n_intervals],
+        ActionSet::from_grid(PriceGrid::new(0, 20), &acc),
+        PenaltyModel::Linear { per_task: 200.0 },
+    )
+}
+
+/// A family of varied deadline instances for cross-solver agreement
+/// tests: different batch sizes, horizons, arrival masses, penalties,
+/// penalty shapes, and an acceptance-saturated marketplace.
+pub fn varied_problems() -> Vec<DeadlineProblem> {
+    let mut out = Vec::new();
+    for (n, nt, lam, pen) in [
+        (5u32, 3usize, 10.0, 50.0),
+        (12, 6, 25.0, 200.0),
+        (20, 4, 60.0, 500.0),
+        (8, 8, 5.0, 1000.0),
+    ] {
+        let acc = LogitAcceptance::new(4.0, 0.0, 30.0);
+        out.push(DeadlineProblem::new(
+            n,
+            (0..nt)
+                .map(|i| lam * (1.0 + 0.3 * (i as f64).sin()))
+                .collect(),
+            ActionSet::from_grid(PriceGrid::new(0, 15), &acc),
+            PenaltyModel::Linear { per_task: pen },
+        ));
+    }
+    // One with an extended penalty.
+    let acc = LogitAcceptance::new(6.0, -0.5, 40.0);
+    out.push(DeadlineProblem::new(
+        10,
+        vec![30.0, 15.0, 45.0],
+        ActionSet::from_grid(PriceGrid::new(2, 18), &acc),
+        PenaltyModel::Extended {
+            per_task: 300.0,
+            alpha: 3.0,
+        },
+    ));
+    // One that hits acceptance saturation: very attractive task.
+    let acc = LogitAcceptance::new(2.0, -2.0, 5.0);
+    assert!(acc.p(18) > 0.9);
+    out.push(DeadlineProblem::new(
+        6,
+        vec![8.0, 8.0],
+        ActionSet::from_grid(PriceGrid::new(0, 18), &acc),
+        PenaltyModel::Linear { per_task: 100.0 },
+    ));
+    out
+}
+
+/// Section 5.3's budget scenario: N = 200, B = 2500 cents, Eq. 13
+/// acceptance, λ̄ ≈ 5100 workers/hour.
+pub fn paper_budget_problem() -> BudgetProblem {
+    BudgetProblem::new(
+        200,
+        2500.0,
+        ActionSet::from_grid(PriceGrid::new(1, 40), &LogitAcceptance::paper_eq13()),
+        5100.0,
+    )
+}
+
+/// A tiny budget instance solvable instantly by the exact DP.
+pub fn tiny_budget_problem() -> BudgetProblem {
+    let acc = LogitAcceptance::new(4.0, 0.0, 20.0);
+    BudgetProblem::new(
+        10,
+        60.0,
+        ActionSet::from_grid(PriceGrid::new(1, 12), &acc),
+        100.0,
+    )
+}
+
+/// A family of varied budget instances (budget sweep over the tiny
+/// problem plus the paper scenario) for hull-vs-exact agreement tests.
+pub fn varied_budget_problems() -> Vec<BudgetProblem> {
+    let mut out = Vec::new();
+    for budget in [30.0, 45.0, 60.0, 80.0, 120.0] {
+        let mut p = tiny_budget_problem();
+        p.budget = budget;
+        out.push(p);
+    }
+    out.push(paper_budget_problem());
+    out
+}

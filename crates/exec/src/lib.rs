@@ -1,0 +1,209 @@
+//! # ft-exec
+//!
+//! Structured parallelism for the `finish-them` workspace, built only on
+//! `std::thread::scope` — the container has no network access, so `rayon`
+//! is replaced by this deliberately small executor. One module is shared
+//! by the solver kernel (`ft-core::kernel`), the pricing service
+//! (`ft-core::service`) and the Monte-Carlo harness (`ft-sim::mc`), so
+//! every layer draws from the same worker budget.
+//!
+//! Design points:
+//!
+//! - **Deterministic decomposition**: all helpers split work into
+//!   contiguous chunks whose per-element computation is independent, so
+//!   results are identical to the serial loop regardless of thread count.
+//! - **Grain control**: callers pass the number of *elements* below which
+//!   spawning is not worth it; tiny inputs run inline with zero overhead.
+//! - **No global mutable state**: thread counts come from
+//!   [`available_threads`] (override with the `FT_EXEC_THREADS` env var,
+//!   e.g. to pin CI to one core).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker budget: `FT_EXEC_THREADS` if set, else available parallelism,
+/// capped at 32 (the solvers' rows don't benefit beyond that).
+pub fn available_threads() -> usize {
+    static CACHED: AtomicUsize = AtomicUsize::new(0);
+    let cached = CACHED.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let n = std::env::var("FT_EXEC_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |n| n.get()))
+        .min(32);
+    CACHED.store(n, Ordering::Relaxed);
+    n
+}
+
+/// Resolve a requested thread count: `0` means "use the machine budget".
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        available_threads()
+    } else {
+        requested.min(32)
+    }
+}
+
+/// Run two closures, possibly in parallel, and return both results —
+/// the fork-join primitive behind the divide-and-conquer solver path.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("ft-exec: joined task panicked"))
+    })
+}
+
+/// Split `data` into at most `threads` contiguous chunks of at least
+/// `grain` elements and run `f(start_index, chunk)` on each, in parallel.
+///
+/// Falls back to one inline call when the input is below the grain or
+/// only one thread is available. `f` must treat elements independently —
+/// chunk boundaries are a performance decision, not a semantic one.
+pub fn par_chunks_mut<T, F>(data: &mut [T], grain: usize, threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let threads = resolve_threads(threads);
+    let len = data.len();
+    if threads <= 1 || len <= grain.max(1) {
+        f(0, data);
+        return;
+    }
+    let n_chunks = threads.min(len.div_ceil(grain.max(1)));
+    let chunk_len = len.div_ceil(n_chunks);
+    std::thread::scope(|s| {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            let f = &f;
+            s.spawn(move || f(i * chunk_len, chunk));
+        }
+    });
+}
+
+/// Like [`par_chunks_mut`] over two equal-length slices chunked in
+/// lockstep — the solver kernel writes a value row and a policy row for
+/// the same states in one pass.
+pub fn par_chunks2_mut<A, B, F>(a: &mut [A], b: &mut [B], grain: usize, threads: usize, f: F)
+where
+    A: Send,
+    B: Send,
+    F: Fn(usize, &mut [A], &mut [B]) + Sync,
+{
+    assert_eq!(a.len(), b.len(), "lockstep slices must match");
+    let threads = resolve_threads(threads);
+    let len = a.len();
+    if threads <= 1 || len <= grain.max(1) {
+        f(0, a, b);
+        return;
+    }
+    let n_chunks = threads.min(len.div_ceil(grain.max(1)));
+    let chunk_len = len.div_ceil(n_chunks);
+    std::thread::scope(|s| {
+        for (i, (ca, cb)) in a
+            .chunks_mut(chunk_len)
+            .zip(b.chunks_mut(chunk_len))
+            .enumerate()
+        {
+            let f = &f;
+            s.spawn(move || f(i * chunk_len, ca, cb));
+        }
+    });
+}
+
+/// Compute `f(i)` for every `i` in `0..len` into a fresh `Vec`, in
+/// parallel chunks — the batch-solve primitive of the pricing service.
+pub fn par_map<R, F>(len: usize, grain: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let mut out: Vec<Option<R>> = (0..len).map(|_| None).collect();
+    par_chunks_mut(&mut out, grain, threads, |start, chunk| {
+        for (j, slot) in chunk.iter_mut().enumerate() {
+            *slot = Some(f(start + j));
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("ft-exec: par_map slot left unfilled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn par_chunks_matches_serial() {
+        let mut parallel: Vec<u64> = (0..10_000).collect();
+        let mut serial = parallel.clone();
+        par_chunks_mut(&mut parallel, 64, 8, |start, chunk| {
+            for (j, x) in chunk.iter_mut().enumerate() {
+                *x = ((start + j) as u64).wrapping_mul(2654435761);
+            }
+        });
+        for (i, x) in serial.iter_mut().enumerate() {
+            *x = (i as u64).wrapping_mul(2654435761);
+        }
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn par_chunks2_lockstep_offsets_agree() {
+        let n = 5000;
+        let mut vals = vec![0f64; n];
+        let mut idxs = vec![0u32; n];
+        par_chunks2_mut(&mut vals, &mut idxs, 16, 0, |start, va, ia| {
+            for j in 0..va.len() {
+                va[j] = (start + j) as f64;
+                ia[j] = (start + j) as u32;
+            }
+        });
+        for i in 0..n {
+            assert_eq!(vals[i], i as f64);
+            assert_eq!(idxs[i], i as u32);
+        }
+    }
+
+    #[test]
+    fn small_inputs_run_inline() {
+        let mut data = vec![1u8; 3];
+        par_chunks_mut(&mut data, 64, 8, |start, chunk| {
+            assert_eq!(start, 0);
+            assert_eq!(chunk.len(), 3);
+            chunk.iter_mut().for_each(|x| *x = 2);
+        });
+        assert_eq!(data, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn par_map_orders_results() {
+        let out = par_map(1000, 10, 4, |i| i * i);
+        for (i, &x) in out.iter().enumerate() {
+            assert_eq!(x, i * i);
+        }
+    }
+
+    #[test]
+    fn resolve_threads_semantics() {
+        assert!(available_threads() >= 1);
+        assert_eq!(resolve_threads(3), 3);
+        assert_eq!(resolve_threads(0), available_threads());
+    }
+}

@@ -137,7 +137,12 @@ impl UtilitySim {
 
     /// Sweep prices `0..=max_price` and return `(c, p̂(c))` pairs — the
     /// blue dots of Fig. 5.
-    pub fn sweep<R: Rng + ?Sized>(&self, max_price: u32, step: u32, rng: &mut R) -> Vec<(f64, f64)> {
+    pub fn sweep<R: Rng + ?Sized>(
+        &self,
+        max_price: u32,
+        step: u32,
+        rng: &mut R,
+    ) -> Vec<(f64, f64)> {
         assert!(step > 0, "step must be positive");
         (0..=max_price)
             .step_by(step as usize)

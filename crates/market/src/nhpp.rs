@@ -66,7 +66,10 @@ pub fn sample_interval_counts<A: ArrivalRate + ?Sized, R: Rng + ?Sized>(
 /// `lambda_t` and thinning probability `p` — the per-interval completion
 /// count `Pois(λ_t · p(c))` of Eq. 5.
 pub fn sample_thinned_count<R: Rng + ?Sized>(lambda_t: f64, p: f64, rng: &mut R) -> u64 {
-    assert!((0.0..=1.0).contains(&p), "thinning probability must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "thinning probability must be in [0,1]"
+    );
     Poisson::new(lambda_t * p).sample(rng)
 }
 

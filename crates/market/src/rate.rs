@@ -172,7 +172,9 @@ impl ArrivalRate for PiecewiseConstantRate {
             // periodic rate; the integral is F(b) − F(a).
             let period = self.period_hours();
             let full = self.within_period_integral(period);
-            let f = |t: f64| full * (t / period).floor() + self.within_period_integral(t.rem_euclid(period));
+            let f = |t: f64| {
+                full * (t / period).floor() + self.within_period_integral(t.rem_euclid(period))
+            };
             f(b) - f(a)
         } else {
             let period = self.period_hours();

@@ -9,8 +9,8 @@
 //! price-dependent number of HITs per session, answering each task with
 //! worker-specific accuracy.
 
-use crate::rate::ArrivalRate;
 use crate::nhpp::sample_event_times;
+use crate::rate::ArrivalRate;
 use crate::worker::{AccuracyModel, SessionModel};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -178,7 +178,10 @@ impl LiveOutcome {
 
     /// HITs completed by time `t` (hours).
     pub fn hits_completed_by(&self, t: f64) -> u32 {
-        self.completions.iter().filter(|c| c.time_hours <= t).count() as u32
+        self.completions
+            .iter()
+            .filter(|c| c.time_hours <= t)
+            .count() as u32
     }
 
     /// Fraction of total work done by time `t`.
@@ -230,7 +233,10 @@ where
 {
     assert!(config.total_tasks > 0, "need at least one task");
     assert!(config.horizon_hours > 0.0, "horizon must be positive");
-    assert!(config.reprice_hours > 0.0, "repricing period must be positive");
+    assert!(
+        config.reprice_hours > 0.0,
+        "repricing period must be positive"
+    );
 
     let arrivals = sample_event_times(arrival, config.horizon_hours, rate_bound, rng);
     let mut remaining = config.total_tasks;

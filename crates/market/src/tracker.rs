@@ -71,9 +71,7 @@ impl TrackerConfig {
         let hour_of_day = t.rem_euclid(24.0);
         let diurnal = 1.0
             + self.diurnal_amplitude
-                * ((hour_of_day - self.diurnal_peak_hour) / 24.0
-                    * 2.0
-                    * std::f64::consts::PI)
+                * ((hour_of_day - self.diurnal_peak_hour) / 24.0 * 2.0 * std::f64::consts::PI)
                     .cos();
         let dow = self.day_of_week_factor[day % 7];
         let anomaly = self
@@ -409,8 +407,7 @@ mod tests {
         let obs = generate_snapshots(50, &cfg, &mut rng);
         assert_eq!(obs.len(), 50);
         for o in &obs {
-            let expected =
-                (cfg.alpha * o.wage_per_sec + cfg.bias(o.task_type)).exp();
+            let expected = (cfg.alpha * o.wage_per_sec + cfg.bias(o.task_type)).exp();
             assert_close(o.workload_per_hour / expected, 1.0, 1e-6);
         }
         // Both types present.

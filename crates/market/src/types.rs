@@ -21,7 +21,10 @@ pub struct PriceGrid {
 
 impl PriceGrid {
     pub fn new(min: Cents, max: Cents) -> Self {
-        assert!(min <= max, "price grid needs min <= max, got [{min}, {max}]");
+        assert!(
+            min <= max,
+            "price grid needs min <= max, got [{min}, {max}]"
+        );
         Self { min, max }
     }
 

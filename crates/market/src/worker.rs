@@ -91,11 +91,7 @@ impl SessionModel {
     }
 
     /// Sample a session length (≥ 1 HITs).
-    pub fn sample_session_len<R: Rng + ?Sized>(
-        &self,
-        per_task_cents: f64,
-        rng: &mut R,
-    ) -> u32 {
+    pub fn sample_session_len<R: Rng + ?Sized>(&self, per_task_cents: f64, rng: &mut R) -> u32 {
         let q = self.continuation(per_task_cents);
         let mut n = 1u32;
         while rng.gen::<f64>() < q && n < 10_000 {
@@ -146,7 +142,9 @@ mod tests {
         };
         let mut rng = seeded_rng(1);
         let trials = 20_000;
-        let total: u32 = (0..trials).map(|_| m.sample_correct(20, 0.0, &mut rng)).sum();
+        let total: u32 = (0..trials)
+            .map(|_| m.sample_correct(20, 0.0, &mut rng))
+            .sum();
         assert_close(total as f64 / trials as f64, 18.0, 0.1);
     }
 

@@ -23,7 +23,10 @@ fn main() {
                     .unwrap_or_else(|| die("--seed needs an integer"));
             }
             "--csv" => {
-                csv_dir = Some(args.next().unwrap_or_else(|| die("--csv needs a directory")));
+                csv_dir = Some(
+                    args.next()
+                        .unwrap_or_else(|| die("--csv needs a directory")),
+                );
             }
             "--list" => {
                 for id in ALL_IDS {

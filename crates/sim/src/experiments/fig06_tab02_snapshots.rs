@@ -32,7 +32,14 @@ pub fn run(cfg: ExpConfig) -> Vec<Report> {
     let mut table2 = Report::new(
         "tab2",
         "Table 2: least-squares regression per task type",
-        &["task_type", "linear_coeff", "bias", "r_squared", "paper_coeff", "paper_bias"],
+        &[
+            "task_type",
+            "linear_coeff",
+            "bias",
+            "r_squared",
+            "paper_coeff",
+            "paper_bias",
+        ],
     );
     table2.note("paper: Categorization 748 / 3.66, Data Collection 809 / 6.28");
     let mut fits = Vec::new();

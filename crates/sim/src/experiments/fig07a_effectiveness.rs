@@ -36,7 +36,12 @@ pub fn run_with_scenario(scenario: &PaperScenario, cfg: ExpConfig) -> Vec<Report
     let mut dynamic = Report::new(
         "fig7a-dynamic",
         "Fig. 7(a): dynamic pricing — avg reward vs E[remaining]",
-        &["target_remaining", "achieved_remaining", "avg_reward", "expected_paid"],
+        &[
+            "target_remaining",
+            "achieved_remaining",
+            "avg_reward",
+            "expected_paid",
+        ],
     );
     if let Some(c0) = c0 {
         dynamic.note(format!("theoretical average-reward lower bound c0 = {c0}"));
@@ -68,8 +73,7 @@ pub fn run_with_scenario(scenario: &PaperScenario, cfg: ExpConfig) -> Vec<Report
     let lo = c0.map_or(8.0, |c| (c - 2.0).max(1.0)) as u32;
     for c in lo..=(lo + 8) {
         let p = scenario.acceptance.p(c);
-        let (paid, remaining, _done) =
-            evaluate_fixed_price(c as f64, p, total, scenario.n_tasks);
+        let (paid, remaining, _done) = evaluate_fixed_price(c as f64, p, total, scenario.n_tasks);
         let _ = paid;
         fixed.row(vec![
             c.to_string(),
@@ -103,7 +107,11 @@ mod tests {
         let reports = run_with_scenario(&s, ExpConfig::fast());
         let dynamic = &reports[0];
         let fixed = &reports[1];
-        assert!(!dynamic.rows.is_empty(), "no dynamic rows: {:?}", dynamic.notes);
+        assert!(
+            !dynamic.rows.is_empty(),
+            "no dynamic rows: {:?}",
+            dynamic.notes
+        );
         // For each dynamic row, find a fixed row with >= remaining tasks
         // (i.e. weakly worse completion) and compare total cost.
         for drow in &dynamic.rows {

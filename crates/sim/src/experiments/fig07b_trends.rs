@@ -37,12 +37,12 @@ pub fn run_with_scenario(scenario: &PaperScenario, cfg: ExpConfig) -> Vec<Report
     // at a 0-cent reward (the acceptance floor p(0) ≈ 7e-4 yields ~100
     // free completions/day), so the sweep starts at 100.
     let (ns, ts): (Vec<u32>, Vec<f64>) = if cfg.fast {
-        (vec![scenario.n_tasks / 2, scenario.n_tasks], vec![scenario.horizon_hours / 2.0, scenario.horizon_hours])
-    } else {
         (
-            vec![100, 200, 400, 600, 800],
-            vec![6.0, 12.0, 24.0, 48.0],
+            vec![scenario.n_tasks / 2, scenario.n_tasks],
+            vec![scenario.horizon_hours / 2.0, scenario.horizon_hours],
         )
+    } else {
+        (vec![100, 200, 400, 600, 800], vec![6.0, 12.0, 24.0, 48.0])
     };
 
     let mut by_n = Report::new(

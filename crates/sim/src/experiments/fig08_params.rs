@@ -63,17 +63,35 @@ pub fn run_with_scenario(scenario: &PaperScenario, cfg: ExpConfig) -> Vec<Report
     let s_values: Vec<f64> = if cfg.fast {
         vec![base.s * 0.75, base.s * 1.25]
     } else {
-        vec![base.s * 0.67, base.s * 0.83, base.s, base.s * 1.17, base.s * 1.33]
+        vec![
+            base.s * 0.67,
+            base.s * 0.83,
+            base.s,
+            base.s * 1.17,
+            base.s * 1.33,
+        ]
     };
     let b_values: Vec<f64> = if cfg.fast {
         vec![base.b - 0.5, base.b + 0.5]
     } else {
-        vec![base.b - 0.6, base.b - 0.3, base.b, base.b + 0.3, base.b + 0.6]
+        vec![
+            base.b - 0.6,
+            base.b - 0.3,
+            base.b,
+            base.b + 0.3,
+            base.b + 0.6,
+        ]
     };
     let m_values: Vec<f64> = if cfg.fast {
         vec![base.m * 0.5, base.m * 2.0]
     } else {
-        vec![base.m * 0.5, base.m * 0.75, base.m, base.m * 1.5, base.m * 2.0]
+        vec![
+            base.m * 0.5,
+            base.m * 0.75,
+            base.m,
+            base.m * 1.5,
+            base.m * 2.0,
+        ]
     };
 
     let a = sweep(

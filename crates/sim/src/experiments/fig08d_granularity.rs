@@ -78,7 +78,11 @@ mod tests {
         let s = small_scenario();
         let reports = run_with_scenario(&s, ExpConfig::fast());
         let rows = &reports[0].rows;
-        assert!(rows.len() >= 2, "need at least two granularities: {:?}", reports[0].notes);
+        assert!(
+            rows.len() >= 2,
+            "need at least two granularities: {:?}",
+            reports[0].notes
+        );
         let fine: f64 = rows[0][2].parse().unwrap();
         let coarse: f64 = rows[rows.len() - 1][2].parse().unwrap();
         // Shrinking the strategy space cannot reduce cost; tiny numerical

@@ -40,10 +40,7 @@ pub fn run_with_scenario(scenario: &PaperScenario, cfg: ExpConfig) -> Vec<Report
     let arrivals = scenario.interval_arrivals();
     let total: f64 = arrivals.iter().sum();
 
-    let sweep = |id: &str,
-                 title: &str,
-                 variants: Vec<(String, LogitAcceptance)>|
-     -> Report {
+    let sweep = |id: &str, title: &str, variants: Vec<(String, LogitAcceptance)>| -> Report {
         let mut rep = Report::new(
             id,
             title,
@@ -57,11 +54,10 @@ pub fn run_with_scenario(scenario: &PaperScenario, cfg: ExpConfig) -> Vec<Report
         );
         rep.note("policies trained on default parameters, executed on the perturbed truth");
         for (label, truth) in variants {
-            let out = dynamic.policy.evaluate_against(
-                &arrivals,
-                |c| truth.p_f64(c),
-                &problem.penalty,
-            );
+            let out =
+                dynamic
+                    .policy
+                    .evaluate_against(&arrivals, |c| truth.p_f64(c), &problem.penalty);
             let (f_price, f_rem) = match &fixed {
                 Some(f) => {
                     let p_true = truth.p(f.reward as u32);

@@ -49,8 +49,7 @@ pub fn run_with_scenario(scenario: &PaperScenario, cfg: ExpConfig) -> Vec<Report
     );
 
     for &day in &test_days {
-        let train_days: Vec<usize> =
-            test_days.iter().copied().filter(|&d| d != day).collect();
+        let train_days: Vec<usize> = test_days.iter().copied().filter(|&d| d != day).collect();
         let train_rate = scenario.trace.average_day_rate(&train_days);
         let actual_rate = scenario.trace.day_rate(day);
         let nt = scenario.n_intervals();
@@ -172,11 +171,8 @@ mod tests {
     fn rate_detail_covers_two_days() {
         let s = small_scenario();
         let reports = run_with_scenario(&s, ExpConfig::fast());
-        let days: std::collections::BTreeSet<String> = reports[1]
-            .rows
-            .iter()
-            .map(|r| r[0].clone())
-            .collect();
+        let days: std::collections::BTreeSet<String> =
+            reports[1].rows.iter().map(|r| r[0].clone()).collect();
         assert_eq!(days.len(), 2);
     }
 }

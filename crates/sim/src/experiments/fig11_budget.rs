@@ -35,7 +35,9 @@ pub fn sample_completion_hours<R: Rng + ?Sized>(
     // Λ(T) | W ~ Gamma(W, 1); for the large W here a normal approximation
     // is exact to within a fraction of a percent.
     let g = if w > 500 {
-        Normal::new(w as f64, (w as f64).sqrt()).sample(rng).max(1.0)
+        Normal::new(w as f64, (w as f64).sqrt())
+            .sample(rng)
+            .max(1.0)
     } else {
         let mut acc = 0.0;
         for _ in 0..w {

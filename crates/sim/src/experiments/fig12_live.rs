@@ -14,8 +14,8 @@
 use super::ExpConfig;
 use crate::report::Report;
 use ft_core::{
-    calibrate_penalty, ActionSet, CalibrateOptions, DeadlineProblem, DeadlinePolicy,
-    PenaltyModel, PriceAction, PriceController,
+    calibrate_penalty, ActionSet, CalibrateOptions, DeadlinePolicy, DeadlineProblem, PenaltyModel,
+    PriceAction, PriceController,
 };
 use ft_market::sim::{run_live_sim, FixedGroup, GroupController, LiveOutcome, LiveSimConfig};
 use ft_market::{ArrivalRate, PiecewiseConstantRate};
@@ -33,7 +33,9 @@ const UNIT: u32 = 50;
 pub fn live_arrival_rate(scale: f64) -> PiecewiseConstantRate {
     // A mild diurnal hump over 14 hours, ~6000/hour on average.
     let rates: Vec<f64> = (0..14)
-        .map(|h| scale * 6000.0 * (1.0 + 0.25 * ((h as f64 - 6.0) / 14.0 * std::f64::consts::PI).cos()))
+        .map(|h| {
+            scale * 6000.0 * (1.0 + 0.25 * ((h as f64 - 6.0) / 14.0 * std::f64::consts::PI).cos())
+        })
         .collect();
     PiecewiseConstantRate::new(1.0, rates, false)
 }
@@ -205,8 +207,7 @@ pub fn run_scaled(cfg: ExpConfig, scale: f64, total_tasks: u32) -> Vec<Report> {
             let mut controller = controller;
             for trial in 0..n_trials {
                 let mut rng = stream_rng(cfg.seed, 200 + trial as u64);
-                let out =
-                    run_live_sim(&config, &arrival, bound, &mut controller, &mut rng);
+                let out = run_live_sim(&config, &arrival, bound, &mut controller, &mut rng);
                 costs.row(vec![
                     (trial + 1).to_string(),
                     format!("{:.2}", out.cost_cents as f64 / 100.0),
@@ -219,9 +220,7 @@ pub fn run_scaled(cfg: ExpConfig, scale: f64, total_tasks: u32) -> Vec<Report> {
                 let mut row = vec![Report::fmt(h)];
                 for i in 0..5 {
                     row.push(if i < dyn_outcomes.len() {
-                        Report::fmt(
-                            dyn_outcomes[i].work_fraction_by(h, config.total_tasks) * 100.0,
-                        )
+                        Report::fmt(dyn_outcomes[i].work_fraction_by(h, config.total_tasks) * 100.0)
                     } else {
                         "-".into()
                     });
@@ -272,17 +271,18 @@ mod tests {
             .expect("hour 6 row");
         let g10: f64 = h6[1].parse().unwrap();
         let g30: f64 = h6[3].parse().unwrap();
-        assert!(
-            g10 > g30,
-            "g10 ({g10}%) should lead g30 ({g30}%) at hour 6"
-        );
+        assert!(g10 > g30, "g10 ({g10}%) should lead g30 ({g30}%) at hour 6");
     }
 
     #[test]
     fn dynamic_finishes_and_costs_less_than_fixed20() {
         let reps = reports();
         let costs = &reps[3];
-        assert!(!costs.rows.is_empty(), "no dynamic trials ran: {:?}", reps[2].notes);
+        assert!(
+            !costs.rows.is_empty(),
+            "no dynamic trials ran: {:?}",
+            reps[2].notes
+        );
         // Fixed-20 cost for the 500-task batch: 500/20 × $0.02 = $0.50.
         let fixed20 = 0.50;
         for row in &costs.rows {

@@ -12,7 +12,11 @@ use ft_market::sim::{run_live_sim, FixedGroup, LiveSimConfig};
 use ft_stats::rng::stream_rng;
 
 pub fn run(cfg: ExpConfig) -> Vec<Report> {
-    run_scaled(cfg, if cfg.fast { 0.1 } else { 1.0 }, if cfg.fast { 2000 } else { 20000 })
+    run_scaled(
+        cfg,
+        if cfg.fast { 0.1 } else { 1.0 },
+        if cfg.fast { 2000 } else { 20000 },
+    )
 }
 
 pub fn run_scaled(cfg: ExpConfig, scale: f64, total_tasks: u32) -> Vec<Report> {
@@ -28,7 +32,12 @@ pub fn run_scaled(cfg: ExpConfig, scale: f64, total_tasks: u32) -> Vec<Report> {
     let mut rep = Report::new(
         "fig15",
         "Fig. 15: average HITs completed per worker vs per-task price",
-        &["group_size", "per_task_cents", "mean_hits_per_worker", "model_expectation"],
+        &[
+            "group_size",
+            "per_task_cents",
+            "mean_hits_per_worker",
+            "model_expectation",
+        ],
     );
     rep.note("paper: low price → workers leave after 1-2 HITs; high price → they stay");
     for (i, &g) in GROUP_SIZES.iter().enumerate() {

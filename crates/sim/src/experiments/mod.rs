@@ -52,8 +52,8 @@ impl ExpConfig {
 
 /// All experiment ids in paper order.
 pub const ALL_IDS: &[&str] = &[
-    "fig1", "tab1", "fig5", "fig6", "fig7a", "fig7b", "fig8abc", "fig8d", "fig9", "fig10",
-    "fig11", "fig12", "tab34", "fig15", "adaptive",
+    "fig1", "tab1", "fig5", "fig6", "fig7a", "fig7b", "fig8abc", "fig8d", "fig9", "fig10", "fig11",
+    "fig12", "tab34", "fig15", "adaptive",
 ];
 
 /// Run an experiment by id.

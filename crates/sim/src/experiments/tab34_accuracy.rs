@@ -23,7 +23,11 @@ fn cdf_rows(accs: &[f64]) -> Vec<(f64, f64)> {
 }
 
 pub fn run(cfg: ExpConfig) -> Vec<Report> {
-    run_scaled(cfg, if cfg.fast { 0.1 } else { 1.0 }, if cfg.fast { 500 } else { 5000 })
+    run_scaled(
+        cfg,
+        if cfg.fast { 0.1 } else { 1.0 },
+        if cfg.fast { 500 } else { 5000 },
+    )
 }
 
 pub fn run_scaled(cfg: ExpConfig, scale: f64, total_tasks: u32) -> Vec<Report> {
@@ -50,9 +54,7 @@ pub fn run_scaled(cfg: ExpConfig, scale: f64, total_tasks: u32) -> Vec<Report> {
     tab3.note("paper: 92.7 / 90.4 / 91.6 / 90.0 / 89.5 — differences not significant");
     let summaries: Vec<(u32, Summary)> = outcomes
         .iter()
-        .map(|(g, out)| {
-            (*g, Summary::from_slice(&out.hit_accuracies(Some(*g))))
-        })
+        .map(|(g, out)| (*g, Summary::from_slice(&out.hit_accuracies(Some(*g)))))
         .collect();
     let base = &summaries[0].1;
     for (g, s) in &summaries {
@@ -90,7 +92,10 @@ pub fn run_scaled(cfg: ExpConfig, scale: f64, total_tasks: u32) -> Vec<Report> {
     let unit_rates: Vec<(u32, f64)> = outcomes
         .iter()
         .map(|(g, out)| {
-            (*g, super::fig12_live::estimate_unit_rate(out, config.horizon_hours))
+            (
+                *g,
+                super::fig12_live::estimate_unit_rate(out, config.horizon_hours),
+            )
         })
         .collect();
     // The paper tabulates the two group sizes its controller used most
@@ -133,11 +138,7 @@ pub fn run_scaled(cfg: ExpConfig, scale: f64, total_tasks: u32) -> Vec<Report> {
     let mut fig14 = Report::new(
         "fig14",
         "Fig. 14: cumulative accuracy distribution in dynamic trials",
-        &[
-            "accuracy_threshold",
-            &format!("g{ga}"),
-            &format!("g{gb}"),
-        ],
+        &["accuracy_threshold", &format!("g{ga}"), &format!("g{gb}")],
     );
     if trial_outcomes.is_empty() {
         tab4.note("controller build failed; dynamic accuracy unavailable");
@@ -234,7 +235,11 @@ mod tests {
     fn dynamic_overall_accuracy_reported() {
         let reps = reports();
         let tab4 = &reps[2];
-        assert!(!tab4.rows.is_empty(), "no dynamic accuracy rows: {:?}", tab4.notes);
+        assert!(
+            !tab4.rows.is_empty(),
+            "no dynamic accuracy rows: {:?}",
+            tab4.notes
+        );
         for row in &tab4.rows {
             let overall: f64 = row[3].parse().unwrap();
             assert!((84.0..97.0).contains(&overall));

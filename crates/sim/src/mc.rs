@@ -6,7 +6,6 @@
 //! The true model may differ from what the controller was trained on
 //! (Sections 5.2.4/5.2.5).
 
-use crossbeam::thread;
 use ft_core::policy::PriceController;
 use ft_stats::{rng::stream_rng, Poisson};
 use serde::{Deserialize, Serialize};
@@ -108,11 +107,6 @@ where
     F: Fn(f64) -> f64 + Sync,
 {
     assert!(cfg.trials > 0, "need at least one trial");
-    let threads = if cfg.threads == 0 {
-        std::thread::available_parallelism().map_or(4, |n| n.get()).min(16)
-    } else {
-        cfg.threads
-    };
     let mut results = vec![
         TrialResult {
             paid: 0.0,
@@ -122,19 +116,15 @@ where
         };
         cfg.trials
     ];
-    let chunk = cfg.trials.div_ceil(threads);
-    thread::scope(|s| {
-        for (ci, slot) in results.chunks_mut(chunk).enumerate() {
-            s.spawn(move |_| {
-                for (j, out) in slot.iter_mut().enumerate() {
-                    let trial = ci * chunk + j;
-                    let mut rng = stream_rng(cfg.seed, trial as u64);
-                    *out = simulate_once(controller, model, n_tasks, &mut rng);
-                }
-            });
+    // Per-trial RNG streams are derived from (seed, trial index), so the
+    // chunk decomposition ft-exec picks cannot affect the results — the
+    // same executor also drives the solver kernel and pricing service.
+    ft_exec::par_chunks_mut(&mut results, 16, cfg.threads, |start, slot| {
+        for (j, out) in slot.iter_mut().enumerate() {
+            let mut rng = stream_rng(cfg.seed, (start + j) as u64);
+            *out = simulate_once(controller, model, n_tasks, &mut rng);
         }
-    })
-    .expect("simulation thread panicked");
+    });
     results
 }
 
@@ -185,13 +175,21 @@ mod tests {
             &FixedPrice(20.0),
             &m,
             25,
-            McConfig { trials: 64, seed: 7, threads: 1 },
+            McConfig {
+                trials: 64,
+                seed: 7,
+                threads: 1,
+            },
         );
         let b = run_mc(
             &FixedPrice(20.0),
             &m,
             25,
-            McConfig { trials: 64, seed: 7, threads: 4 },
+            McConfig {
+                trials: 64,
+                seed: 7,
+                threads: 4,
+            },
         );
         assert_eq!(a, b);
     }
@@ -206,7 +204,11 @@ mod tests {
             &FixedPrice(10.0),
             &m,
             100,
-            McConfig { trials: 4000, seed: 3, threads: 0 },
+            McConfig {
+                trials: 4000,
+                seed: 3,
+                threads: 0,
+            },
         );
         let mean = out.iter().map(|r| r.completed as f64).sum::<f64>() / out.len() as f64;
         assert!((mean - 40.0).abs() < 0.6, "mean completed {mean}");
@@ -220,17 +222,24 @@ mod tests {
             &FixedPrice(5.0),
             &m,
             60,
-            McConfig { trials: 500, seed: 4, threads: 0 },
+            McConfig {
+                trials: 500,
+                seed: 4,
+                threads: 0,
+            },
         );
         let rich = run_mc(
             &FixedPrice(50.0),
             &m,
             60,
-            McConfig { trials: 500, seed: 4, threads: 0 },
+            McConfig {
+                trials: 500,
+                seed: 4,
+                threads: 0,
+            },
         );
-        let mean = |v: &[TrialResult]| {
-            v.iter().map(|r| r.completed as f64).sum::<f64>() / v.len() as f64
-        };
+        let mean =
+            |v: &[TrialResult]| v.iter().map(|r| r.completed as f64).sum::<f64>() / v.len() as f64;
         assert!(mean(&rich) > mean(&cheap) + 10.0);
     }
 }

@@ -12,8 +12,7 @@ use ft_core::{
 };
 use ft_market::tracker::weekly_average_rate;
 use ft_market::{
-    ArrivalRate, LogitAcceptance, PiecewiseConstantRate, PriceGrid, TrackerConfig,
-    TrackerTrace,
+    ArrivalRate, LogitAcceptance, PiecewiseConstantRate, PriceGrid, TrackerConfig, TrackerTrace,
 };
 use ft_stats::seeded_rng;
 
@@ -91,7 +90,8 @@ impl PaperScenario {
     /// The theoretical average-reward lower bound `c₀` (Section 5.2.1).
     pub fn c0(&self) -> Option<f64> {
         let p = self.deadline_problem(0.0);
-        p.reward_lower_bound_index().map(|i| p.actions.get(i).reward)
+        p.reward_lower_bound_index()
+            .map(|i| p.actions.get(i).reward)
     }
 }
 
@@ -148,7 +148,10 @@ mod tests {
         assert_eq!(arr.len(), 72);
         // ≈ 6000/hour × 1/3 hour per interval, diurnal swing aside.
         let mean = arr.iter().sum::<f64>() / 72.0;
-        assert!((1000.0..3500.0).contains(&mean), "mean interval mass {mean}");
+        assert!(
+            (1000.0..3500.0).contains(&mean),
+            "mean interval mass {mean}"
+        );
     }
 
     #[test]

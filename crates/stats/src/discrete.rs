@@ -60,7 +60,10 @@ impl Binomial {
 
     /// `Pr[X ≤ k]` by direct summation (fine for the moderate `n` used here).
     pub fn cdf(&self, k: u64) -> f64 {
-        (0..=k.min(self.n)).map(|i| self.pmf(i)).sum::<f64>().min(1.0)
+        (0..=k.min(self.n))
+            .map(|i| self.pmf(i))
+            .sum::<f64>()
+            .min(1.0)
     }
 
     /// Draw one sample.
@@ -133,10 +136,7 @@ pub struct Geometric {
 
 impl Geometric {
     pub fn new(p: f64) -> Self {
-        assert!(
-            p > 0.0 && p <= 1.0,
-            "Geometric p must be in (0,1], got {p}"
-        );
+        assert!(p > 0.0 && p <= 1.0, "Geometric p must be in (0,1], got {p}");
         Self { p }
     }
 
@@ -254,8 +254,7 @@ mod tests {
         for &(n, p) in &[(40u64, 0.3), (5000u64, 0.002), (1000u64, 0.7)] {
             let b = Binomial::new(n, p);
             let trials = 50_000;
-            let mean = (0..trials).map(|_| b.sample(&mut rng)).sum::<u64>() as f64
-                / trials as f64;
+            let mean = (0..trials).map(|_| b.sample(&mut rng)).sum::<u64>() as f64 / trials as f64;
             let tol = 4.0 * (b.variance() / trials as f64).sqrt() + 1e-9;
             assert_close(mean, b.mean(), tol);
         }
@@ -269,8 +268,7 @@ mod tests {
         assert_close(sum, 1.0, 1e-10);
         let mut rng = seeded_rng(2);
         let trials = 100_000;
-        let mean =
-            (0..trials).map(|_| g.sample(&mut rng)).sum::<u64>() as f64 / trials as f64;
+        let mean = (0..trials).map(|_| g.sample(&mut rng)).sum::<u64>() as f64 / trials as f64;
         assert_close(mean, 3.0, 0.06);
     }
 

@@ -65,7 +65,10 @@ impl Poisson {
 
     /// Smallest `k` with `Pr[X ≤ k] ≥ q`, for `q ∈ [0, 1)`.
     pub fn quantile(&self, q: f64) -> u64 {
-        assert!((0.0..1.0).contains(&q), "quantile needs q in [0,1), got {q}");
+        assert!(
+            (0.0..1.0).contains(&q),
+            "quantile needs q in [0,1), got {q}"
+        );
         if self.lambda == 0.0 {
             return 0;
         }

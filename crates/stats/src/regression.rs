@@ -27,7 +27,11 @@ impl SimpleOls {
         let slope = sxy / sxx;
         let intercept = my - slope * mx;
         let syy: f64 = y.iter().map(|v| (v - my) * (v - my)).sum();
-        let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+        let r_squared = if syy == 0.0 {
+            1.0
+        } else {
+            (sxy * sxy) / (sxx * syy)
+        };
         Self {
             slope,
             intercept,
@@ -74,7 +78,11 @@ impl MultiOls {
         let yhat = x.mul_vec(&beta);
         let ss_res: f64 = y.iter().zip(&yhat).map(|(a, b)| (a - b) * (a - b)).sum();
         let ss_tot: f64 = y.iter().map(|a| (a - my) * (a - my)).sum();
-        let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+        let r_squared = if ss_tot == 0.0 {
+            1.0
+        } else {
+            1.0 - ss_res / ss_tot
+        };
         Some(Self {
             coefficients: beta,
             r_squared,
@@ -125,11 +133,7 @@ impl Logistic {
 
     /// Fit with optional per-observation weights (e.g., counts behind each
     /// empirical frequency).
-    pub fn fit_weighted(
-        features: &[Vec<f64>],
-        y: &[f64],
-        weights: Option<&[f64]>,
-    ) -> Option<Self> {
+    pub fn fit_weighted(features: &[Vec<f64>], y: &[f64], weights: Option<&[f64]>) -> Option<Self> {
         assert_eq!(features.len(), y.len(), "rows and targets must match");
         assert!(!features.is_empty(), "need at least one observation");
         for &t in y {
@@ -264,7 +268,10 @@ mod tests {
             vec![2.0, 3.0],
             vec![-1.0, 2.0],
         ];
-        let y: Vec<f64> = feats.iter().map(|f| 2.0 * f[0] - 3.0 * f[1] + 5.0).collect();
+        let y: Vec<f64> = feats
+            .iter()
+            .map(|f| 2.0 * f[0] - 3.0 * f[1] + 5.0)
+            .collect();
         let fit = MultiOls::fit(&feats, &y).unwrap();
         assert_close(fit.coefficients[0], 2.0, 1e-9);
         assert_close(fit.coefficients[1], -3.0, 1e-9);

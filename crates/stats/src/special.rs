@@ -182,8 +182,8 @@ mod tests {
     fn ln_gamma_large_argument() {
         // Stirling check at x = 1000.
         let x: f64 = 1000.0;
-        let stirling = (x - 0.5) * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI).ln()
-            + 1.0 / (12.0 * x);
+        let stirling =
+            (x - 0.5) * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI).ln() + 1.0 / (12.0 * x);
         assert_close(ln_gamma(x), stirling, 1e-6);
     }
 
@@ -222,7 +222,13 @@ mod tests {
 
     #[test]
     fn gamma_p_q_complement() {
-        for &(a, x) in &[(1.0, 0.5), (3.0, 2.0), (10.0, 12.0), (50.0, 40.0), (200.0, 210.0)] {
+        for &(a, x) in &[
+            (1.0, 0.5),
+            (3.0, 2.0),
+            (10.0, 12.0),
+            (50.0, 40.0),
+            (200.0, 210.0),
+        ] {
             assert_close(gamma_p(a, x) + gamma_q(a, x), 1.0, 1e-12);
         }
     }

@@ -1,0 +1,257 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the bench-definition API surface the workspace uses
+//! (`Criterion`, `BenchmarkGroup`, `BenchmarkId`, `criterion_group!`,
+//! `criterion_main!`) over a simple wall-clock harness: each benchmark is
+//! auto-calibrated to a target per-sample time, `sample_size` samples are
+//! collected, and median / min / mean are printed one line per benchmark:
+//!
+//! ```text
+//! bench: <name> ... median 12.345 ms (min 12.1, mean 12.5, 10 samples)
+//! ```
+//!
+//! Machine-readable output: set `CRITERION_JSON=/path/file.json` to append
+//! one JSON object per benchmark (used for the checked-in BENCH snapshots).
+
+use std::hint::black_box as std_black_box;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can use `criterion::black_box` too.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Target cumulative measurement time per benchmark.
+const TARGET_SAMPLE_MS: f64 = 40.0;
+
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Number of samples collected per benchmark (builder style, like the
+    /// real crate's `Criterion::sample_size`).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "need at least 2 samples");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, self.sample_size, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(&id.full_name(), self.sample_size, |b| f(b, input));
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "need at least 2 samples");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(
+            &format!("{}/{}", self.name, name.into()),
+            self.sample_size,
+            f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(
+            &format!("{}/{}", self.name, id.full_name()),
+            self.sample_size,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            function: Some(function.into()),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            function: None,
+            parameter: parameter.to_string(),
+        }
+    }
+
+    fn full_name(&self) -> String {
+        match &self.function {
+            Some(f) => format!("{f}/{}", self.parameter),
+            None => self.parameter.clone(),
+        }
+    }
+}
+
+/// Passed to the closure; `iter` measures the supplied routine.
+pub struct Bencher {
+    /// Iterations per sample, decided by calibration.
+    iters: u64,
+    /// Duration of the sample measured by the last `iter` call.
+    last_sample: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(f());
+        }
+        self.last_sample = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+    // Calibration: run single iterations, growing until the routine's cost
+    // is known well enough to pick iterations-per-sample.
+    let mut b = Bencher {
+        iters: 1,
+        last_sample: Duration::ZERO,
+    };
+    f(&mut b); // warm-up
+    f(&mut b);
+    let once = b.last_sample.as_secs_f64().max(1e-9);
+    let iters = ((TARGET_SAMPLE_MS / 1e3 / once).round() as u64).clamp(1, 1_000_000);
+
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters,
+            last_sample: Duration::ZERO,
+        };
+        f(&mut b);
+        samples_ns.push(b.last_sample.as_secs_f64() * 1e9 / iters as f64);
+    }
+    samples_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = samples_ns[samples_ns.len() / 2];
+    let min = samples_ns[0];
+    let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+
+    let (scale, unit) = pick_unit(median);
+    println!(
+        "bench: {name} ... median {:.3} {unit} (min {:.3}, mean {:.3}, {} samples x {iters} iters)",
+        median / scale,
+        min / scale,
+        mean / scale,
+        samples_ns.len(),
+    );
+
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = writeln!(
+                file,
+                "{{\"name\":\"{name}\",\"median_ns\":{median:.1},\"min_ns\":{min:.1},\"mean_ns\":{mean:.1},\"samples\":{},\"iters_per_sample\":{iters}}}",
+                samples_ns.len(),
+            );
+        }
+    }
+}
+
+fn pick_unit(ns: f64) -> (f64, &'static str) {
+    if ns >= 1e9 {
+        (1e9, "s")
+    } else if ns >= 1e6 {
+        (1e6, "ms")
+    } else if ns >= 1e3 {
+        (1e3, "us")
+    } else {
+        (1.0, "ns")
+    }
+}
+
+/// Declare a group of benchmark functions, mirroring criterion's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running every group (ignores criterion CLI flags).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

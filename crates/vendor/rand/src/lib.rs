@@ -1,0 +1,198 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no network access, so this vendored crate
+//! implements exactly the API subset the workspace uses: the [`Rng`]
+//! trait with the generic `gen::<T>()` method, [`SeedableRng`], and a
+//! deterministic [`rngs::StdRng`] (xoshiro256++ seeded through
+//! SplitMix64). It is *not* the real `rand` crate: distributions,
+//! `gen_range`, thread-local RNGs etc. are intentionally absent, and the
+//! stream produced for a given seed differs from upstream `StdRng`.
+//! Everything in the workspace that cares about determinism seeds
+//! explicitly via `ft_stats::rng`, which only relies on the guarantees
+//! this crate does provide: pure seeding and a fixed per-seed stream.
+
+/// Types that can be drawn uniformly from an RNG's raw 64-bit output.
+///
+/// Stand-in for `rand::distributions::Standard` sampling.
+pub trait Standard {
+    fn from_u64(x: u64) -> Self;
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn from_u64(x: u64) -> Self {
+        x
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn from_u64(x: u64) -> Self {
+        (x >> 32) as u32
+    }
+}
+
+impl Standard for u16 {
+    #[inline]
+    fn from_u64(x: u64) -> Self {
+        (x >> 48) as u16
+    }
+}
+
+impl Standard for u8 {
+    #[inline]
+    fn from_u64(x: u64) -> Self {
+        (x >> 56) as u8
+    }
+}
+
+impl Standard for usize {
+    #[inline]
+    fn from_u64(x: u64) -> Self {
+        x as usize
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn from_u64(x: u64) -> Self {
+        // Use a high bit: low bits of some generators are weaker.
+        x >> 63 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn from_u64(x: u64) -> Self {
+        (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    #[inline]
+    fn from_u64(x: u64) -> Self {
+        (x >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// The RNG interface: one raw-output method plus the generic `gen`.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    /// Draw a uniform value of type `T`.
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_u64(self.next_u64())
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Deterministic construction from simple seeds.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// SplitMix64 step — used to expand a `u64` seed into generator state.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    use super::{splitmix64, Rng, SeedableRng};
+
+    /// xoshiro256++ — a small, fast, statistically solid generator.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // All-zero state is the one forbidden state; the SplitMix64
+            // expansion cannot produce it, but keep the guard explicit.
+            if s == [0; 4] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            Self { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub use rngs::StdRng;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(2);
+        assert_ne!(StdRng::seed_from_u64(1).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_roughly_uniform() {
+        let mut r = StdRng::seed_from_u64(42);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_via_mut_ref_and_unsized() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.gen()
+        }
+        let mut r = StdRng::seed_from_u64(7);
+        let x = draw(&mut r);
+        // Exercise the blanket `impl Rng for &mut R`.
+        let mut r_ref: &mut StdRng = &mut r;
+        let _: u64 = Rng::gen(&mut r_ref);
+        assert!((0.0..1.0).contains(&x));
+    }
+}

@@ -1,0 +1,362 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored `serde` stand-in.
+//!
+//! Hand-rolled over `proc_macro::TokenStream` (no `syn`/`quote` available
+//! offline). Supports what the workspace actually derives:
+//!
+//! - structs with named fields, tuple structs, unit structs;
+//! - enums with unit, named-field and tuple variants (externally tagged,
+//!   like real serde: `"Variant"` / `{"Variant": {...}}` / `{"Variant": [...]}`);
+//! - no generic parameters (a `compile_error!` names the offender).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skip leading `#[...]` attributes (incl. doc comments) in a token list.
+fn skip_attrs(toks: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < toks.len() {
+        match (&toks[i], &toks[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skip an optional `pub` / `pub(...)` visibility.
+fn skip_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = toks.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Split a comma-separated token list at top level (commas inside `<...>`
+/// count as nested; bracketed groups are opaque tokens already).
+fn split_commas(toks: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle = 0i32;
+    for t in toks {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Parse `{ field: Ty, ... }` contents into field names.
+fn parse_named_fields(toks: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for field in split_commas(toks) {
+        let mut i = skip_attrs(&field, 0);
+        i = skip_vis(&field, i);
+        match field.get(i) {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            other => return Err(format!("unsupported field syntax near {other:?}")),
+        }
+        match field.get(i + 1) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field name, got {other:?}")),
+        }
+    }
+    Ok(names)
+}
+
+fn parse_variant(toks: &[TokenTree]) -> Result<Variant, String> {
+    let i = skip_attrs(toks, 0);
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("unsupported variant syntax near {other:?}")),
+    };
+    let fields = match toks.get(i + 1) {
+        None => Fields::Unit,
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Fields::Named(parse_named_fields(&inner)?)
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Fields::Tuple(split_commas(&inner).len())
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+            return Err(format!("discriminant on variant `{name}` is unsupported"))
+        }
+        other => {
+            return Err(format!(
+                "unsupported tokens after variant `{name}`: {other:?}"
+            ))
+        }
+    };
+    Ok(Variant { name, fields })
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&toks, 0);
+    i = skip_vis(&toks, i);
+    let kind = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    let name = match toks.get(i + 1) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = toks.get(i + 2) {
+        if p.as_char() == '<' {
+            return Err(format!("generic parameters on `{name}` are unsupported"));
+        }
+    }
+    match (kind.as_str(), toks.get(i + 2)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Ok(Item::Struct {
+                name,
+                fields: Fields::Named(parse_named_fields(&inner)?),
+            })
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Ok(Item::Struct {
+                name,
+                fields: Fields::Tuple(split_commas(&inner).len()),
+            })
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Ok(Item::Struct {
+            name,
+            fields: Fields::Unit,
+        }),
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            let variants = split_commas(&inner)
+                .iter()
+                .filter(|v| !v.is_empty())
+                .map(|v| parse_variant(v))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Item::Enum { name, variants })
+        }
+        (k, other) => Err(format!("unsupported item: {k} followed by {other:?}")),
+    }
+}
+
+// ---- Serialize --------------------------------------------------------
+
+fn ser_named(fields: &[String], access_prefix: &str) -> String {
+    let mut s = String::from("{ let mut m: Vec<(String, ::serde::Value)> = Vec::new();\n");
+    for f in fields {
+        s.push_str(&format!(
+            "m.push((\"{f}\".to_string(), ::serde::Serialize::to_value({access_prefix}{f})));\n"
+        ));
+    }
+    s.push_str("::serde::Value::Map(m) }");
+    s
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    let body = match &item {
+        Item::Struct {
+            fields: Fields::Named(fs),
+            ..
+        } => ser_named(fs, "&self."),
+        Item::Struct {
+            fields: Fields::Tuple(n),
+            ..
+        } => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Item::Struct {
+            fields: Fields::Unit,
+            ..
+        } => "::serde::Value::Null".to_string(),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    Fields::Named(fs) => {
+                        let binds = fs.join(", ");
+                        let inner = ser_named(fs, "");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => \
+                             ::serde::Value::Map(vec![(\"{vn}\".to_string(), {inner})]),\n"
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                             ::serde::Value::Seq(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    let name = match &item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}"
+    )
+    .parse()
+    .unwrap()
+}
+
+// ---- Deserialize ------------------------------------------------------
+
+fn de_named(type_path: &str, fields: &[String], map_expr: &str) -> String {
+    let mut s = format!("Ok({type_path} {{\n");
+    for f in fields {
+        s.push_str(&format!(
+            "{f}: ::serde::Deserialize::from_value(::serde::map_get({map_expr}, \"{f}\")?)?,\n"
+        ));
+    }
+    s.push_str("})");
+    s
+}
+
+fn de_tuple(type_path: &str, n: usize, seq_expr: &str) -> String {
+    let items: Vec<String> = (0..n)
+        .map(|i| format!("::serde::Deserialize::from_value(&{seq_expr}[{i}])?"))
+        .collect();
+    format!(
+        "if {seq_expr}.len() != {n} {{\n\
+         return Err(::serde::DeError(format!(\"expected {n} elements, got {{}}\", {seq_expr}.len())));\n\
+         }}\nOk({type_path}({}))",
+        items.join(", ")
+    )
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    let body = match &item {
+        Item::Struct { name, fields: Fields::Named(fs) } => format!(
+            "let m = v.as_map().ok_or_else(|| ::serde::DeError::expected(\"map for {name}\"))?;\n{}",
+            de_named(name, fs, "m")
+        ),
+        Item::Struct { name, fields: Fields::Tuple(n) } => format!(
+            "let s = v.as_seq().ok_or_else(|| ::serde::DeError::expected(\"sequence for {name}\"))?;\n{}",
+            de_tuple(name, *n, "s")
+        ),
+        Item::Struct { name, fields: Fields::Unit } => format!("let _ = v; Ok({name})"),
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => return Ok({name}::{vn}),\n"));
+                    }
+                    Fields::Named(fs) => {
+                        let path = format!("{name}::{vn}");
+                        let inner = de_named(&path, fs, "fm");
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\nlet fm = inner.as_map().ok_or_else(|| \
+                             ::serde::DeError::expected(\"map for variant {vn}\"))?;\n{inner}\n}}\n"
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let path = format!("{name}::{vn}");
+                        let inner = de_tuple(&path, *n, "s");
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\nlet s = inner.as_seq().ok_or_else(|| \
+                             ::serde::DeError::expected(\"sequence for variant {vn}\"))?;\n{inner}\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let Some(tag) = v.as_str() {{\nmatch tag {{\n{unit_arms}\
+                 other => return Err(::serde::DeError(format!(\"unknown variant {{other}} for {name}\"))),\n}}\n}}\n\
+                 let m = v.as_map().ok_or_else(|| ::serde::DeError::expected(\"map for {name}\"))?;\n\
+                 if m.len() != 1 {{\n\
+                 return Err(::serde::DeError::expected(\"single-key variant map for {name}\"));\n}}\n\
+                 let (tag, inner) = (&m[0].0, &m[0].1);\n\
+                 match tag.as_str() {{\n{tagged_arms}\
+                 other => Err(::serde::DeError(format!(\"unknown variant {{other}} for {name}\"))),\n}}"
+            )
+        }
+    };
+    let name = match &item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         {body}\n}}\n}}"
+    )
+    .parse()
+    .unwrap()
+}

@@ -1,0 +1,356 @@
+//! Offline stand-in for `serde_json`: renders the vendored `serde`
+//! [`Value`] tree to JSON text and parses it back.
+//!
+//! Numbers are `f64` (printed with Rust's shortest-round-trip `Display`),
+//! non-finite floats serialize as `null` like real `serde_json`.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+pub type Error = DeError;
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize a value to a JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+/// Deserialize a value from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(DeError(format!("trailing characters at byte {}", p.pos)));
+    }
+    T::from_value(&v)
+}
+
+fn write_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Num(x) => {
+            if x.is_finite() {
+                out.push_str(&format!("{x}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Value::Map(pairs) => {
+            out.push('{');
+            for (i, (k, val)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(k, out);
+                out.push(':');
+                write_value(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| DeError("unexpected end of input".into()))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(DeError(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        match self.peek()? {
+            b'n' => self.literal("null", Value::Null),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            b'"' => self.parse_string().map(Value::Str),
+            b'[' => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if self.peek()? == b']' {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b']' => {
+                            self.pos += 1;
+                            return Ok(Value::Seq(items));
+                        }
+                        c => {
+                            return Err(DeError(format!(
+                                "expected `,` or `]`, got `{}`",
+                                c as char
+                            )))
+                        }
+                    }
+                }
+            }
+            b'{' => {
+                self.pos += 1;
+                let mut pairs = Vec::new();
+                if self.peek()? == b'}' {
+                    self.pos += 1;
+                    return Ok(Value::Map(pairs));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.expect(b':')?;
+                    let val = self.parse_value()?;
+                    pairs.push((key, val));
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b'}' => {
+                            self.pos += 1;
+                            return Ok(Value::Map(pairs));
+                        }
+                        c => {
+                            return Err(DeError(format!(
+                                "expected `,` or `}}`, got `{}`",
+                                c as char
+                            )))
+                        }
+                    }
+                }
+            }
+            _ => self.parse_number(),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Value) -> Result<Value> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(DeError(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| DeError("unterminated string".into()))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| DeError("unterminated escape".into()))?;
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| DeError("truncated \\u escape".into()))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| DeError("bad \\u escape".into()))?,
+                                16,
+                            )
+                            .map_err(|_| DeError("bad \\u escape".into()))?;
+                            self.pos += 4;
+                            // No surrogate-pair support: the writer never
+                            // emits \u beyond control characters.
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| DeError("invalid \\u code point".into()))?,
+                            );
+                        }
+                        other => return Err(DeError(format!("bad escape `\\{}`", other as char))),
+                    }
+                }
+                _ => {
+                    // Re-decode UTF-8 starting at the byte we consumed.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b)?;
+                    let slice = self
+                        .bytes
+                        .get(start..start + len)
+                        .ok_or_else(|| DeError("truncated UTF-8".into()))?;
+                    let s =
+                        std::str::from_utf8(slice).map_err(|_| DeError("invalid UTF-8".into()))?;
+                    out.push_str(s);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if start == self.pos {
+            return Err(DeError(format!("expected value at byte {start}")));
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        s.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| DeError(format!("invalid number `{s}`")))
+    }
+}
+
+fn utf8_len(first: u8) -> Result<usize> {
+    match first {
+        0x00..=0x7F => Ok(1),
+        0xC0..=0xDF => Ok(2),
+        0xE0..=0xEF => Ok(3),
+        0xF0..=0xF7 => Ok(4),
+        _ => Err(DeError("invalid UTF-8 start byte".into())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_nested() {
+        let v = Value::Map(vec![
+            (
+                "a".into(),
+                Value::Seq(vec![Value::Num(1.0), Value::Num(2.5)]),
+            ),
+            ("b".into(), Value::Str("hi \"there\"\n".into())),
+            ("c".into(), Value::Bool(false)),
+            ("d".into(), Value::Null),
+        ]);
+        let text = {
+            let mut s = String::new();
+            super::write_value(&v, &mut s);
+            s
+        };
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        assert_eq!(p.parse_value().unwrap(), v);
+    }
+
+    #[test]
+    fn floats_round_trip_shortest() {
+        for x in [0.1, 1.0 / 3.0, 1e300, -2.2250738585072014e-308, 12.0] {
+            let text = to_string(&x).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back, x, "{text}");
+        }
+    }
+
+    #[test]
+    fn typed_round_trip() {
+        let xs = vec![(1u32, 0.5f64), (2, 1.5)];
+        let text = to_string(&xs).unwrap();
+        let back: Vec<(u32, f64)> = from_str(&text).unwrap();
+        assert_eq!(back, xs);
+    }
+
+    #[test]
+    fn non_finite_serializes_as_null() {
+        let text = to_string(&f64::INFINITY).unwrap();
+        assert_eq!(text, "null");
+        let back: f64 = from_str("null").unwrap();
+        assert!(back.is_nan());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<f64>("1.0 trailing").is_err());
+        assert!(from_str::<f64>("{").is_err());
+        assert!(from_str::<Vec<f64>>("[1,]").is_err());
+    }
+
+    #[test]
+    fn unicode_passthrough() {
+        let s = "λ → ε ≤ 10⁻⁹".to_string();
+        let text = to_string(&s).unwrap();
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+}

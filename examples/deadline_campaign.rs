@@ -83,14 +83,14 @@ fn main() {
     );
 
     // 6. The fixed-price baseline under the same adverse truth.
-    let fixed = solve_fixed_price(
-        &problem.actions,
-        arrivals.iter().sum(),
+    let fixed =
+        solve_fixed_price(&problem.actions, arrivals.iter().sum(), 300, 0.999).expect("feasible");
+    let trials = run_mc(
+        &FixedPrice(fixed.reward),
+        &adverse,
         300,
-        0.999,
-    )
-    .expect("feasible");
-    let trials = run_mc(&FixedPrice(fixed.reward), &adverse, 300, McConfig::default());
+        McConfig::default(),
+    );
     let agg = Aggregate::from_trials(&trials);
     println!(
         "Fixed baseline ({}¢) under adverse truth: finish rate {:.1}%, \

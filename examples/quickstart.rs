@@ -22,7 +22,10 @@ fn main() {
     // Solve with the efficient (Algorithm 2) solver.
     let policy = solve_efficient(&problem, 1e-9).expect("solvable problem");
 
-    println!("Expected total cost: {:.1} cents", policy.expected_total_cost());
+    println!(
+        "Expected total cost: {:.1} cents",
+        policy.expected_total_cost()
+    );
     let outcome = policy.evaluate(&problem);
     println!(
         "Expected completion: {:.2}/{} tasks ({:.2} expected remaining)",

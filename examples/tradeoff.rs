@@ -5,8 +5,7 @@
 //! Run with: `cargo run --release --example tradeoff`
 
 use finish_them::core::extensions::{
-    solve_tradeoff_fixed_rate, solve_tradeoff_worker_arrival, MajorityVoteQc,
-    QcPricingSession,
+    solve_tradeoff_fixed_rate, solve_tradeoff_worker_arrival, MajorityVoteQc, QcPricingSession,
 };
 use finish_them::core::solve_truncated;
 use finish_them::prelude::*;
@@ -18,10 +17,12 @@ fn main() {
 
     // (a) Cost + α·latency: sweep the impatience knob.
     println!("Cost/latency tradeoff (worker-arrival formulation, λ̄ = 5100/h):");
-    println!("{:>12} {:>12} {:>16}", "alpha(¢/h)", "price(¢)", "objective/task");
+    println!(
+        "{:>12} {:>12} {:>16}",
+        "alpha(¢/h)", "price(¢)", "objective/task"
+    );
     for alpha in [0.0, 50.0, 200.0, 1000.0, 5000.0, 20000.0] {
-        let policy = solve_tradeoff_worker_arrival(&actions, 100, 5100.0, alpha)
-            .expect("solvable");
+        let policy = solve_tradeoff_worker_arrival(&actions, 100, 5100.0, alpha).expect("solvable");
         println!(
             "{alpha:>12} {:>12} {:>16.2}",
             policy.price(1),

@@ -50,12 +50,12 @@ pub mod prelude {
     pub use ft_core::{
         calibrate_penalty, solve_budget_exact, solve_budget_hull, solve_efficient,
         solve_fixed_price, solve_simple, solve_truncated, ActionSet, BudgetProblem,
-        CalibrateOptions, DeadlinePolicy, DeadlineProblem, ExactOutcome, FixedPrice,
-        PenaltyModel, PriceAction, PriceController, PricingError, StaticStrategy,
+        CalibrateOptions, DeadlinePolicy, DeadlineProblem, ExactOutcome, FixedPrice, PenaltyModel,
+        PriceAction, PriceController, PricingError, StaticStrategy,
     };
     pub use ft_market::{
-        AcceptanceFn, ArrivalRate, ConstantRate, LogitAcceptance, PiecewiseConstantRate,
-        PriceGrid, TableAcceptance, TrackerConfig, TrackerTrace,
+        AcceptanceFn, ArrivalRate, ConstantRate, LogitAcceptance, PiecewiseConstantRate, PriceGrid,
+        TableAcceptance, TrackerConfig, TrackerTrace,
     };
     pub use ft_stats::{seeded_rng, Poisson, Summary};
 }

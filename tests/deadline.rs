@@ -57,7 +57,16 @@ fn monte_carlo_confirms_exact_evaluation() {
         accept: |c: f64| acceptance.p_f64(c),
         horizon_hours: 4.0,
     };
-    let trials = run_mc(&cal.policy, &model, 20, McConfig { trials: 3000, seed: 5, threads: 0 });
+    let trials = run_mc(
+        &cal.policy,
+        &model,
+        20,
+        McConfig {
+            trials: 3000,
+            seed: 5,
+            threads: 0,
+        },
+    );
     let agg = Aggregate::from_trials(&trials);
     // Monte-Carlo means must match the exact forward pass within CI.
     assert!(

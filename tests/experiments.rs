@@ -11,8 +11,8 @@ fn every_id_dispatches() {
         // the heavy ones).
         assert!(
             [
-                "fig1", "tab1", "fig5", "fig6", "fig7a", "fig7b", "fig8abc", "fig8d",
-                "fig9", "fig10", "fig11", "fig12", "tab34", "fig15", "adaptive"
+                "fig1", "tab1", "fig5", "fig6", "fig7a", "fig7b", "fig8abc", "fig8d", "fig9",
+                "fig10", "fig11", "fig12", "tab34", "fig15", "adaptive"
             ]
             .contains(id),
             "unexpected id {id}"

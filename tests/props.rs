@@ -3,9 +3,176 @@
 //! (Conjecture 1), solver agreement, and Theorem 5/7 structure.
 
 use finish_them::core::budget::SemiStaticStrategy;
+use finish_them::core::dp::{solve_efficient_with, TruncationTable};
+use finish_them::core::testkit::{varied_budget_problems, varied_problems};
+use finish_them::core::{solve_budget_mdp, KernelConfig};
 use finish_them::prelude::*;
 use finish_them::stats::convex::{above_or_on_hull, lower_hull, Point};
 use proptest::prelude::*;
+
+/// Cross-solver agreement on the `varied_problems()` family, all routed
+/// through the shared kernel: the three deadline solvers must produce
+/// identical policies state by state (simple vs truncated at tight ε vs
+/// efficient), and the kernel must be invariant to its thread count.
+#[test]
+fn deadline_solvers_agree_on_varied_problems() {
+    for (pi, p) in varied_problems().iter().enumerate() {
+        let simple = solve_simple(p).unwrap();
+        let trunc = solve_truncated(p, 1e-12).unwrap();
+        let efficient_exact = {
+            let table = TruncationTable::none(p);
+            solve_efficient_with(p, &table).unwrap()
+        };
+        let efficient = solve_efficient(p, 1e-12).unwrap();
+        for t in 0..p.n_intervals() {
+            for n in 1..=p.n_tasks {
+                let a = simple.action_index(n, t);
+                assert_eq!(
+                    a,
+                    efficient_exact.action_index(n, t),
+                    "problem {pi}: simple vs efficient(no-trunc) at (n={n}, t={t})"
+                );
+                assert_eq!(
+                    trunc.action_index(n, t),
+                    efficient.action_index(n, t),
+                    "problem {pi}: truncated vs efficient at (n={n}, t={t}), eps=1e-12"
+                );
+            }
+        }
+        // Tight truncation also agrees with the exact solver on cost.
+        let gap = (simple.expected_total_cost() - trunc.expected_total_cost()).abs();
+        assert!(
+            gap < 1e-6,
+            "problem {pi}: exact vs 1e-12-truncated cost gap {gap}"
+        );
+    }
+}
+
+/// The kernel's parallel sweep must be *bitwise* identical to a serial
+/// sweep on every varied problem — chunking is a scheduling decision,
+/// never a numerical one.
+#[test]
+fn kernel_thread_count_is_invisible() {
+    use finish_them::core::kernel::deadline::solve_deadline;
+    use finish_them::core::kernel::Sweep;
+    for p in varied_problems() {
+        let table = TruncationTable::with_eps(&p, 1e-9);
+        let serial = solve_deadline(&p, &table, Sweep::Dense, &KernelConfig::serial()).unwrap();
+        let parallel = solve_deadline(
+            &p,
+            &table,
+            Sweep::Dense,
+            &KernelConfig {
+                threads: 0,
+                grain: 1,
+            },
+        )
+        .unwrap();
+        for t in 0..=p.n_intervals() {
+            for n in 0..=p.n_tasks {
+                assert_eq!(
+                    serial.cost_to_go(n, t).to_bits(),
+                    parallel.cost_to_go(n, t).to_bits(),
+                    "cost differs at (n={n}, t={t})"
+                );
+            }
+        }
+    }
+}
+
+/// Budget solvers checked against each other on the varied budget
+/// family: the Theorem 6 exact DP, the Theorem 4 worker-arrival MDP and
+/// the Algorithm 3 hull solution must line up exactly as the paper's
+/// optimality chain predicts.
+#[test]
+fn budget_solvers_agree_on_varied_problems() {
+    for (pi, p) in varied_budget_problems().iter().enumerate() {
+        let exact = solve_budget_exact(p).unwrap();
+        let hull = solve_budget_hull(p).unwrap();
+        let mdp = solve_budget_mdp(p).unwrap();
+        let acc = |c: u32| {
+            let i = p.actions.index_of_reward(c as f64).unwrap();
+            p.actions.get(i).accept
+        };
+        let e = exact.expected_arrivals(acc);
+        let h = hull.expected_arrivals;
+        // Theorems 3–5: dynamic optimum = static optimum.
+        assert!(
+            (mdp.expected_arrivals() - e).abs() < 1e-9,
+            "problem {pi}: MDP {} vs exact {e}",
+            mdp.expected_arrivals()
+        );
+        // Exact ≤ hull ≤ exact + Theorem 8 gap.
+        assert!(e <= h + 1e-9, "problem {pi}: exact {e} worse than hull {h}");
+        assert!(
+            h <= e + hull.rounding_gap_bound + 1e-9,
+            "problem {pi}: hull {h} exceeds exact {e} + gap {}",
+            hull.rounding_gap_bound
+        );
+        // Both strategies honour the constraints.
+        assert_eq!(exact.n_tasks(), p.n_tasks);
+        assert!(exact.within_budget(p.budget));
+        assert!(hull.strategy.within_budget(p.budget));
+    }
+}
+
+/// The pricing service must serve exactly the prices the standalone
+/// solvers would compute, for a heterogeneous batch.
+#[test]
+fn service_matches_standalone_solvers() {
+    use finish_them::core::{CampaignSpec, ObservedState, PricingService};
+    let service = PricingService::new();
+    let mut batch: Vec<(u64, CampaignSpec)> = varied_problems()
+        .into_iter()
+        .enumerate()
+        .map(|(i, problem)| {
+            (
+                i as u64,
+                CampaignSpec::Deadline {
+                    problem,
+                    eps: Some(1e-9),
+                },
+            )
+        })
+        .collect();
+    for (j, problem) in varied_budget_problems().into_iter().enumerate() {
+        batch.push((1000 + j as u64, CampaignSpec::Budget { problem }));
+    }
+    for (id, result) in service.solve_batch(batch) {
+        result.unwrap_or_else(|e| panic!("campaign {id} failed: {e}"));
+    }
+    for (i, problem) in varied_problems().into_iter().enumerate() {
+        let direct = solve_efficient(&problem, 1e-9).unwrap();
+        for t in 0..problem.n_intervals() {
+            for n in 1..=problem.n_tasks {
+                let got = service
+                    .reprice(
+                        i as u64,
+                        ObservedState::Deadline {
+                            remaining: n,
+                            interval: t,
+                        },
+                    )
+                    .unwrap();
+                assert_eq!(got, direct.price(n, t), "campaign {i} at (n={n}, t={t})");
+            }
+        }
+    }
+    for (j, problem) in varied_budget_problems().into_iter().enumerate() {
+        let direct = solve_budget_mdp(&problem).unwrap();
+        let b = problem.budget.floor() as usize;
+        let got = service
+            .reprice(
+                1000 + j as u64,
+                ObservedState::Budget {
+                    remaining: problem.n_tasks,
+                    budget_cents: b,
+                },
+            )
+            .unwrap();
+        assert_eq!(got, f64::from(direct.price(problem.n_tasks, b).unwrap()));
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
