@@ -1,0 +1,142 @@
+//! The serving hot path: `reprice`/`quote` latency against a registry
+//! holding solved paper-scale campaigns, plus the amortized cost of
+//! campaign churn (register + solve + evict). The checked-in
+//! `BENCH_service.json` at the workspace root is a snapshot of this
+//! bench (regenerate with `CRITERION_JSON=$PWD/BENCH_service.json
+//! cargo bench -p ft-bench --bench service_reprice`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ft_core::registry::{CampaignRegistry, CampaignSpec, ObservedState};
+use ft_core::{ActionSet, BudgetProblem, DeadlineProblem, PenaltyModel, PricingService};
+use ft_market::{ConstantRate, LogitAcceptance, PriceGrid};
+use std::hint::black_box;
+
+fn paper_deadline() -> DeadlineProblem {
+    DeadlineProblem::from_market(
+        200,
+        24.0,
+        72,
+        &ConstantRate::new(5100.0),
+        PriceGrid::new(0, 40),
+        &LogitAcceptance::paper_eq13(),
+        PenaltyModel::Linear { per_task: 1000.0 },
+    )
+}
+
+fn paper_budget() -> BudgetProblem {
+    BudgetProblem::new(
+        200,
+        2500.0,
+        ActionSet::from_grid(PriceGrid::new(1, 40), &LogitAcceptance::paper_eq13()),
+        5100.0,
+    )
+}
+
+/// `PricingService::reprice` — the `O(1)` facade hot path.
+fn service_reprice(c: &mut Criterion) {
+    let service = PricingService::new();
+    service.solve_batch(vec![
+        (
+            0,
+            CampaignSpec::Deadline {
+                problem: paper_deadline(),
+                eps: None,
+            },
+        ),
+        (
+            1,
+            CampaignSpec::Budget {
+                problem: paper_budget(),
+            },
+        ),
+    ]);
+    let mut group = c.benchmark_group("service_reprice");
+    group.bench_function("deadline", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(
+                service
+                    .reprice(
+                        0,
+                        ObservedState::Deadline {
+                            remaining: 1 + i % 200,
+                            interval: (i % 72) as usize,
+                        },
+                    )
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("budget", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(
+                service
+                    .reprice(
+                        1,
+                        ObservedState::Budget {
+                            remaining: 1 + i % 200,
+                            budget_cents: 40 + (i % 2400) as usize,
+                        },
+                    )
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+/// `CampaignRegistry::quote` — the generation-tagged registry path the
+/// HTTP server sits on.
+fn registry_quote(c: &mut Criterion) {
+    let registry = CampaignRegistry::new();
+    let id = registry.register(CampaignSpec::Deadline {
+        problem: paper_deadline(),
+        eps: None,
+    });
+    registry.solve(id).unwrap();
+    let mut group = c.benchmark_group("service_reprice");
+    group.bench_function("registry_quote", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(
+                registry
+                    .quote(
+                        id,
+                        ObservedState::Deadline {
+                            remaining: 1 + i % 200,
+                            interval: (i % 72) as usize,
+                        },
+                    )
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+/// One full campaign lifecycle turn — register + solve + evict — the
+/// amortized cost of campaign churn around the hot path.
+fn registry_churn(c: &mut Criterion) {
+    let registry = CampaignRegistry::new();
+    let mut group = c.benchmark_group("service_reprice");
+    group.sample_size(10);
+    group.bench_function("register_solve_evict", |b| {
+        b.iter(|| {
+            let id = registry.register(CampaignSpec::Deadline {
+                problem: paper_deadline(),
+                eps: None,
+            });
+            black_box(registry.solve(id).unwrap());
+            registry.evict(id);
+            registry.purge(id);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, service_reprice, registry_quote, registry_churn);
+criterion_main!(benches);

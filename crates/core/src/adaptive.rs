@@ -14,7 +14,7 @@
 //! axis, handled by the base policy's own feedback).
 
 use crate::dp::solve_truncated;
-use crate::error::Result;
+use crate::error::{PricingError, Result};
 use crate::policy::{DeadlinePolicy, PriceController};
 use crate::problem::DeadlineProblem;
 use serde::{Deserialize, Serialize};
@@ -77,9 +77,110 @@ impl AdaptivePricer {
         })
     }
 
+    /// Rebuild a pricer from persisted state without re-solving — the
+    /// snapshot-restore path of the campaign registry. The `policy` must
+    /// cover intervals `policy_start..` of `problem` (i.e. be a solve of
+    /// the remaining-horizon sub-problem).
+    pub fn from_parts(
+        problem: DeadlineProblem,
+        opts: AdaptiveOptions,
+        history: Vec<(f64, u64)>,
+        correction: f64,
+        policy: DeadlinePolicy,
+        policy_start: usize,
+    ) -> Result<Self> {
+        // Deserialized options bypass `new`'s asserts; a corrupted
+        // snapshot must surface as a structured error, not a panic
+        // (f64::clamp below panics outright when min > max).
+        if opts.window < 1 || opts.resolve_every < 1 {
+            return Err(PricingError::InvalidProblem(
+                "window and resolve period must be at least 1".into(),
+            ));
+        }
+        if !(opts.min_correction > 0.0
+            && opts.min_correction.is_finite()
+            && opts.max_correction >= opts.min_correction
+            && opts.max_correction.is_finite())
+        {
+            return Err(PricingError::InvalidProblem(format!(
+                "invalid correction clamp [{}, {}]",
+                opts.min_correction, opts.max_correction
+            )));
+        }
+        if !(opts.truncation_eps > 0.0 && opts.truncation_eps < 1.0) {
+            return Err(PricingError::InvalidProblem(format!(
+                "truncation eps must be in (0, 1), got {}",
+                opts.truncation_eps
+            )));
+        }
+        if !correction.is_finite() {
+            return Err(PricingError::InvalidProblem(format!(
+                "correction ratio {correction} is not finite"
+            )));
+        }
+        if policy_start >= problem.n_intervals() {
+            return Err(PricingError::InvalidProblem(format!(
+                "policy start {policy_start} beyond horizon {}",
+                problem.n_intervals()
+            )));
+        }
+        if policy.n_intervals() != problem.n_intervals() - policy_start {
+            return Err(PricingError::InvalidProblem(format!(
+                "policy covers {} intervals, remaining horizon has {}",
+                policy.n_intervals(),
+                problem.n_intervals() - policy_start
+            )));
+        }
+        if history.len() > problem.n_intervals() {
+            return Err(PricingError::InvalidProblem(
+                "history longer than the horizon".into(),
+            ));
+        }
+        Ok(Self {
+            problem,
+            opts,
+            history,
+            policy,
+            policy_start,
+            correction: correction.clamp(opts.min_correction, opts.max_correction),
+        })
+    }
+
     /// The current arrival correction ratio ρ̂.
     pub fn correction(&self) -> f64 {
         self.correction
+    }
+
+    /// The problem the pricer was built over (full horizon).
+    pub fn problem(&self) -> &DeadlineProblem {
+        &self.problem
+    }
+
+    /// The pricer's options.
+    pub fn options(&self) -> &AdaptiveOptions {
+        &self.opts
+    }
+
+    /// The active remaining-horizon policy (covers intervals
+    /// `policy_start()..`; index it with `t - policy_start()`).
+    pub fn policy(&self) -> &DeadlinePolicy {
+        &self.policy
+    }
+
+    /// First full-horizon interval the active policy covers.
+    pub fn policy_start(&self) -> usize {
+        self.policy_start
+    }
+
+    /// Number of intervals observed so far (the next interval to observe).
+    pub fn observations(&self) -> usize {
+        self.history.len()
+    }
+
+    /// The `(expected_completions, observed_completions)` history, one
+    /// entry per observed interval (censored intervals are `(0.0, 0)`).
+    pub fn history(&self) -> &[(f64, u64)] {
+        &self.history
     }
 
     /// Price to post for interval `t` with `n_remaining` tasks left.
@@ -105,17 +206,48 @@ impl AdaptivePricer {
     /// remained) — use [`AdaptivePricer::observe_censored`] for those
     /// intervals so the correction ratio is not biased downward.
     pub fn observe(&mut self, posted_reward: f64, completions: u64) {
+        self.try_observe(posted_reward, completions)
+            .expect("posted reward not in the action set / observed past the horizon");
+    }
+
+    /// Non-panicking [`AdaptivePricer::observe`]: the serving layer's
+    /// entry point, where the posted reward comes off the wire.
+    pub fn try_observe(&mut self, posted_reward: f64, completions: u64) -> Result<()> {
         let t = self.history.len();
-        assert!(t < self.problem.n_intervals(), "observed past the horizon");
-        let idx = self
-            .problem
-            .actions
-            .index_of_reward(posted_reward)
-            .expect("posted reward not in the action set");
+        if t >= self.problem.n_intervals() {
+            return Err(PricingError::InvalidProblem(format!(
+                "observed interval {t} past the {}-interval horizon",
+                self.problem.n_intervals()
+            )));
+        }
+        let idx = self.validate_posted(posted_reward)?;
         let p = self.problem.actions.get(idx).accept;
         let expected = self.problem.interval_arrivals[t] * p;
         self.history.push((expected, completions));
         self.update_correction();
+        Ok(())
+    }
+
+    /// Check a posted reward against the action set without recording
+    /// anything — lets the serving layer reject a bad observation
+    /// *before* it mutates history (e.g. before censoring skipped
+    /// intervals). Returns the action index.
+    pub fn validate_posted(&self, posted_reward: f64) -> Result<usize> {
+        if !posted_reward.is_finite() {
+            // index_of_reward binary-searches with partial_cmp().unwrap();
+            // reject NaN/∞ here instead of panicking mid-serve.
+            return Err(PricingError::InvalidProblem(format!(
+                "posted reward {posted_reward} is not finite"
+            )));
+        }
+        self.problem
+            .actions
+            .index_of_reward(posted_reward)
+            .ok_or_else(|| {
+                PricingError::InvalidProblem(format!(
+                    "posted reward {posted_reward} not in the action set"
+                ))
+            })
     }
 
     /// Record a right-censored interval (the batch was exhausted before
@@ -144,14 +276,31 @@ impl AdaptivePricer {
             (observed / expected).clamp(self.opts.min_correction, self.opts.max_correction);
     }
 
+    /// Re-solve on the registry's schedule: if the next interval to price
+    /// (`observations()`) is `resolve_every` or more intervals past the
+    /// active policy's start, re-solve the remaining horizon with the
+    /// current correction. Returns whether a new policy was installed —
+    /// the caller's cue to bump its policy generation.
+    pub fn maybe_resolve(&mut self) -> bool {
+        let t = self.history.len();
+        if t >= self.problem.n_intervals() || t < self.policy_start {
+            return false;
+        }
+        if t - self.policy_start >= self.opts.resolve_every {
+            return self.resolve(t);
+        }
+        false
+    }
+
     /// Re-solve the MDP over intervals `t..` with corrected arrivals.
-    fn resolve(&mut self, t: usize) {
+    /// Returns whether the policy was swapped.
+    fn resolve(&mut self, t: usize) -> bool {
         let corrected: Vec<f64> = self.problem.interval_arrivals[t..]
             .iter()
             .map(|l| l * self.correction)
             .collect();
         if corrected.is_empty() {
-            return;
+            return false;
         }
         let sub = DeadlineProblem::new(
             self.problem.n_tasks,
@@ -162,7 +311,9 @@ impl AdaptivePricer {
         if let Ok(policy) = solve_truncated(&sub, self.opts.truncation_eps) {
             self.policy = policy;
             self.policy_start = t;
+            return true;
         }
+        false
     }
 }
 

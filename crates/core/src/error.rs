@@ -1,8 +1,16 @@
-//! Error type for the pricing solvers.
+//! Error type for the pricing solvers and the campaign serving layer.
+//!
+//! Solver-side failures carry diagnostic strings (their exact shapes are
+//! internal); serving-side failures are *structured* — they name the
+//! campaign and the kind of mismatch — so front-ends like `ft-server` can
+//! map them to protocol-level statuses without parsing messages.
 
 use std::fmt;
 
-/// Errors returned by pricing solvers.
+/// Identifier for a campaign within the serving layer (registry/service).
+pub type CampaignId = u64;
+
+/// Errors returned by pricing solvers and the campaign serving layer.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PricingError {
     /// The problem is infeasible: even the cheapest configuration violates
@@ -12,6 +20,25 @@ pub enum PricingError {
     SearchFailed(String),
     /// Inconsistent or invalid problem specification.
     InvalidProblem(String),
+    /// No campaign with this id exists in the registry.
+    UnknownCampaign(CampaignId),
+    /// The observed state kind doesn't match the campaign type (e.g. a
+    /// budget state reported against a deadline campaign).
+    StateKindMismatch {
+        id: CampaignId,
+        /// The campaign's kind (`"deadline"` / `"budget"`).
+        expected: &'static str,
+        /// The reported state's kind.
+        got: &'static str,
+    },
+    /// The campaign exists but is not in a status that can serve the
+    /// request (e.g. repricing a draft, re-solving an evicted campaign).
+    NotServable {
+        id: CampaignId,
+        /// The campaign's current lifecycle status, lower-case
+        /// (`"draft"`, `"solving"`, …).
+        status: &'static str,
+    },
 }
 
 impl fmt::Display for PricingError {
@@ -20,6 +47,15 @@ impl fmt::Display for PricingError {
             PricingError::Infeasible(msg) => write!(f, "infeasible problem: {msg}"),
             PricingError::SearchFailed(msg) => write!(f, "search failed: {msg}"),
             PricingError::InvalidProblem(msg) => write!(f, "invalid problem: {msg}"),
+            PricingError::UnknownCampaign(id) => write!(f, "unknown campaign {id}"),
+            PricingError::StateKindMismatch { id, expected, got } => write!(
+                f,
+                "campaign {id}: observed state kind `{got}` does not match campaign kind \
+                 `{expected}`"
+            ),
+            PricingError::NotServable { id, status } => {
+                write!(f, "campaign {id} is {status}, not servable")
+            }
         }
     }
 }
@@ -41,5 +77,24 @@ mod tests {
         assert!(e.to_string().contains("search"));
         let e = PricingError::InvalidProblem("empty grid".into());
         assert!(e.to_string().contains("invalid"));
+    }
+
+    #[test]
+    fn structured_serving_errors_name_the_campaign() {
+        let e = PricingError::UnknownCampaign(42);
+        assert!(e.to_string().contains("42"));
+        let e = PricingError::StateKindMismatch {
+            id: 7,
+            expected: "deadline",
+            got: "budget",
+        };
+        let s = e.to_string();
+        assert!(s.contains('7') && s.contains("deadline") && s.contains("budget"));
+        let e = PricingError::NotServable {
+            id: 9,
+            status: "draft",
+        };
+        let s = e.to_string();
+        assert!(s.contains('9') && s.contains("draft"));
     }
 }

@@ -2,7 +2,7 @@
 //! entry point the three deadline solvers share.
 
 use super::driver::{run, Direction, KernelConfig, LayerModel, Sweep};
-use super::transitions::{best_action, TruncationTable};
+use super::transitions::{best_action, PmfCache, TruncationTable};
 use crate::dp::validate;
 use crate::error::Result;
 use crate::policy::DeadlinePolicy;
@@ -22,8 +22,10 @@ impl<'a> DeadlineDpModel<'a> {
 }
 
 impl LayerModel for DeadlineDpModel<'_> {
-    /// Poisson pmf scratch row.
-    type Scratch = Vec<f64>;
+    /// Per-worker Poisson pmf rows, one per `(layer, action)` — shared by
+    /// every state the worker sweeps instead of recomputed per
+    /// `(state, action)`.
+    type Scratch = PmfCache;
 
     fn width(&self) -> usize {
         self.problem.n_tasks as usize + 1
@@ -37,8 +39,8 @@ impl LayerModel for DeadlineDpModel<'_> {
         self.problem.actions.len()
     }
 
-    fn make_scratch(&self) -> Vec<f64> {
-        vec![0.0; (self.problem.n_tasks as usize).max(1)]
+    fn make_scratch(&self) -> PmfCache {
+        PmfCache::new(self.problem.actions.len())
     }
 
     fn terminal(&self, out: &mut [f64]) {
@@ -60,13 +62,13 @@ impl LayerModel for DeadlineDpModel<'_> {
         a_lo: usize,
         a_hi: usize,
         prev: &[f64],
-        pmf_buf: &mut Vec<f64>,
+        cache: &mut PmfCache,
     ) -> (f64, u32) {
         if m == 0 {
             // Nothing left to price: cost 0, decision unused.
             return (0.0, 0);
         }
-        let (best, best_q) = best_action(self.problem, self.trunc, t, m, a_lo, a_hi, prev, pmf_buf);
+        let (best, best_q) = best_action(self.problem, self.trunc, t, m, a_lo, a_hi, prev, cache);
         (best_q, best as u32)
     }
 }

@@ -58,6 +58,90 @@ impl TruncationTable {
     }
 }
 
+/// One Poisson pmf row for a `(interval, action)` pair, shared by every
+/// state of a layer sweep: `pmf[s] = Pr[X = s]` and the running head
+/// `head[s] = Σ_{u ≤ s} pmf[u]`, accumulated left-to-right in exactly
+/// the order [`Poisson::pmf_prefix`] accumulates its return value — so a
+/// backup read off this row is bitwise identical to one that called
+/// `pmf_prefix` on its own short buffer.
+#[derive(Debug, Clone)]
+pub struct PmfRow {
+    pmf: Vec<f64>,
+    head: Vec<f64>,
+}
+
+impl PmfRow {
+    fn build(lam_t: f64, accept: f64, len: usize) -> Self {
+        let mut pmf = vec![0.0; len];
+        Poisson::new(lam_t * accept).pmf_prefix(&mut pmf);
+        let mut head = Vec::with_capacity(len);
+        let mut total = 0.0;
+        for &p in &pmf {
+            total += p;
+            head.push(total);
+        }
+        Self { pmf, head }
+    }
+}
+
+/// Per-worker cache of [`PmfRow`]s for the layer being swept, indexed by
+/// action. Dense deadline sweeps historically recomputed the pmf prefix
+/// per `(state, action)`; with the cache each worker computes it once per
+/// `(layer, action)` and every state of its chunk reads the shared row —
+/// an O(states) → O(1) cut in pmf work per action (ROADMAP open item).
+///
+/// The kernel creates scratch fresh for every layer sweep, but the cache
+/// still tags rows with the layer that built them and invalidates on
+/// mismatch, so a future scratch-reuse change cannot serve stale rows.
+#[derive(Debug, Clone)]
+pub struct PmfCache {
+    layer: usize,
+    rows: Vec<Option<PmfRow>>,
+}
+
+impl PmfCache {
+    pub fn new(n_actions: usize) -> Self {
+        Self {
+            layer: usize::MAX,
+            rows: vec![None; n_actions],
+        }
+    }
+
+    /// The pmf row for `(t, action)`, built on first use with `len`
+    /// entries (callers pass the longest prefix any state of the layer
+    /// can need, `min(max_state − 1, s0) + 1`).
+    fn row(&mut self, t: usize, action: usize, lam_t: f64, accept: f64, len: usize) -> &PmfRow {
+        if self.layer != t {
+            self.layer = t;
+            self.rows.iter_mut().for_each(|r| *r = None);
+        }
+        let slot = &mut self.rows[action];
+        if slot.as_ref().is_none_or(|r| r.pmf.len() < len) {
+            *slot = Some(PmfRow::build(lam_t, accept, len));
+        }
+        slot.as_ref().unwrap()
+    }
+}
+
+/// [`q_value`] read off a shared [`PmfRow`] instead of a freshly filled
+/// buffer. Same operation sequence per term, so results are bitwise
+/// identical (asserted by `cached_rows_match_q_value_bitwise`).
+fn q_value_from_row(c: f64, n: usize, opt_next: &[f64], s0: usize, row: &PmfRow) -> f64 {
+    debug_assert!(n >= 1, "backup needs at least one remaining task");
+    debug_assert!(opt_next.len() > n, "opt row too short");
+    let k = (n - 1).min(s0);
+    debug_assert!(row.pmf.len() > k, "pmf row too short");
+    let mut q = 0.0;
+    for (s, &pr) in row.pmf[..=k].iter().enumerate() {
+        q += pr * (s as f64 * c + opt_next[n - s]);
+    }
+    if n <= s0 {
+        let tail = (1.0 - row.head[k]).max(0.0);
+        q += tail * (n as f64 * c + opt_next[0]);
+    }
+    q
+}
+
 /// Compute `Q(n, t, action)` given the next interval's cost-to-go row
 /// `opt_next` (indexed by remaining tasks) and a scratch pmf buffer of
 /// length ≥ `n`.
@@ -94,6 +178,10 @@ pub fn q_value(
 /// Scan all actions for the best (lowest-Q) one at `(n, t)`, restricted to
 /// action indices `[a_lo, a_hi]`. Ties break toward the cheaper action.
 /// Returns `(best_action_index, best_q)`.
+///
+/// Pmf rows come from the per-worker `cache`, so the Poisson prefix for a
+/// given `(t, a)` is computed once per worker and shared by every state
+/// it sweeps.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn best_action(
     problem: &DeadlineProblem,
@@ -103,21 +191,19 @@ pub(crate) fn best_action(
     a_lo: usize,
     a_hi: usize,
     opt_next: &[f64],
-    pmf_buf: &mut [f64],
+    cache: &mut PmfCache,
 ) -> (usize, f64) {
     debug_assert!(a_lo <= a_hi && a_hi < problem.actions.len());
     let lam = problem.interval_arrivals[t];
+    let max_state = problem.n_tasks as usize;
     let mut best = a_lo;
     let mut best_q = f64::INFINITY;
     for a in a_lo..=a_hi {
-        let q = q_value(
-            lam,
-            problem.actions.get(a),
-            n,
-            opt_next,
-            trunc.get(t, a),
-            pmf_buf,
-        );
+        let action = problem.actions.get(a);
+        let s0 = trunc.get(t, a);
+        let len = (max_state - 1).min(s0) + 1;
+        let row = cache.row(t, a, lam, action.accept, len);
+        let q = q_value_from_row(action.reward, n, opt_next, s0, row);
         if q < best_q {
             best_q = q;
             best = a;
@@ -228,11 +314,51 @@ mod tests {
         let trunc = TruncationTable::none(&p);
         // Terminal row: huge penalty makes high acceptance attractive.
         let opt_next = [0.0, 1000.0, 2000.0, 3000.0];
-        let mut buf = vec![0.0; 4];
-        let (full, _) = best_action(&p, &trunc, 0, 3, 0, 2, &opt_next, &mut buf);
+        let mut cache = PmfCache::new(p.actions.len());
+        let (full, _) = best_action(&p, &trunc, 0, 3, 0, 2, &opt_next, &mut cache);
         assert_eq!(full, 2);
         // Restricting to [0, 1] must pick from that range.
-        let (restricted, _) = best_action(&p, &trunc, 0, 3, 0, 1, &opt_next, &mut buf);
+        let (restricted, _) = best_action(&p, &trunc, 0, 3, 0, 1, &opt_next, &mut cache);
         assert_eq!(restricted, 1);
+    }
+
+    /// The shared-row backup must reproduce the per-state [`q_value`]
+    /// bit-for-bit — the guarantee that lets the dense sweep share one
+    /// pmf row per `(t, a)` without perturbing any policy.
+    #[test]
+    fn cached_rows_match_q_value_bitwise() {
+        use crate::testkit::varied_problems;
+        for p in varied_problems() {
+            for (label, trunc) in [
+                ("exact", TruncationTable::none(&p)),
+                ("trunc", TruncationTable::with_eps(&p, 1e-9)),
+            ] {
+                let max_n = p.n_tasks as usize;
+                // A strictly increasing fake cost-to-go row keeps the
+                // comparison sensitive to every term.
+                let opt_next: Vec<f64> = (0..=max_n).map(|i| i as f64 * 7.25 + 0.5).collect();
+                let mut cache = PmfCache::new(p.actions.len());
+                let mut buf = vec![0.0; max_n.max(1)];
+                for t in 0..p.n_intervals() {
+                    for n in 1..=max_n {
+                        for a in 0..p.actions.len() {
+                            let action = p.actions.get(a);
+                            let s0 = trunc.get(t, a);
+                            let reference =
+                                q_value(p.interval_arrivals[t], action, n, &opt_next, s0, &mut buf);
+                            let len = (max_n - 1).min(s0) + 1;
+                            let row = cache.row(t, a, p.interval_arrivals[t], action.accept, len);
+                            let cached = q_value_from_row(action.reward, n, &opt_next, s0, row);
+                            assert_eq!(
+                                cached.to_bits(),
+                                reference.to_bits(),
+                                "{label}: Q mismatch at (t={t}, n={n}, a={a}): \
+                                 cached {cached} vs reference {reference}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 }

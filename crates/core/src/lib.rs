@@ -35,15 +35,20 @@
 //! [`extensions`] covers Section 6 (multiple task types, cost/latency
 //! tradeoff, majority-vote quality control).
 
-//! ## Kernel & service (post-paper layers)
+//! ## Kernel, registry & service (post-paper layers)
 //!
 //! All five solvers above run on one shared engine, [`kernel`]: a flat
 //! value-table arena, a Poisson transition cache, and a backward-
 //! induction driver parallelized across each layer's state axis on the
-//! workspace `ft-exec` pool. [`service::PricingService`] sits on top and
-//! solves/caches policies for batches of heterogeneous campaigns,
-//! exposing a constant-time `reprice(campaign, observed_state)` hot
-//! path. See `ARCHITECTURE.md` at the workspace root.
+//! workspace `ft-exec` pool. [`registry::CampaignRegistry`] sits on top:
+//! campaigns are versioned lifecycle records (`Draft → Solving → Live →
+//! Recalibrating → Exhausted/Evicted`) whose policy generations are
+//! swapped atomically on live recalibration ([`adaptive`]) and persisted
+//! as JSON snapshots. [`service::PricingService`] keeps the batch-
+//! oriented in-process facade with its constant-time
+//! `reprice(campaign, observed_state)` hot path, and the `ft-server`
+//! crate serves the registry over HTTP. See `ARCHITECTURE.md` at the
+//! workspace root.
 
 pub mod actions;
 pub mod adaptive;
@@ -57,6 +62,7 @@ pub mod kernel;
 pub mod penalty;
 pub mod policy;
 pub mod problem;
+pub mod registry;
 pub mod service;
 pub mod testkit;
 
@@ -68,9 +74,13 @@ pub use budget::{
 };
 pub use calibrate::{calibrate_penalty, CalibrateOptions, CalibratedPolicy};
 pub use dp::{solve_efficient, solve_simple, solve_truncated};
-pub use error::{PricingError, Result};
+pub use error::{CampaignId, PricingError, Result};
 pub use kernel::{KernelConfig, Sweep};
 pub use penalty::PenaltyModel;
 pub use policy::{DeadlinePolicy, ExactOutcome, FixedPrice, PriceController};
 pub use problem::DeadlineProblem;
+pub use registry::{
+    CampaignObservation, CampaignRegistry, CampaignReport, CampaignStatus, ObserveOutcome,
+    PolicyGeneration, PriceQuote,
+};
 pub use service::{CampaignPolicy, CampaignSpec, ObservedState, PricingService};

@@ -1,0 +1,2075 @@
+//! The campaign registry: versioned campaign lifecycle records behind the
+//! serving API.
+//!
+//! The pricing service used to be a bare `HashMap<CampaignId,
+//! Arc<Policy>>`; the ROADMAP's network north-star needs campaigns to be
+//! first-class, inspectable, persistable objects. Each [`Campaign`] is a
+//! versioned record:
+//!
+//! - a [`CampaignSpec`] (what to optimise),
+//! - a lifecycle [`CampaignStatus`] (`Draft → Solving → Live →
+//!   Recalibrating → Exhausted`, or `Evicted`),
+//! - a monotonically increasing **policy generation**: every (re)solve
+//!   publishes a fresh immutable [`PolicyGeneration`] behind an `Arc`
+//!   swap, so `reprice` readers keep answering from the old generation
+//!   while a solve runs and *never block on a solve*,
+//! - the observation history feeding the [`AdaptivePricer`] machinery
+//!   (Section 5.2.5): [`CampaignRegistry::observe`] reports per-interval
+//!   completions, maintains the windowed arrival-correction ratio ρ̂, and
+//!   re-solves a drifting deadline campaign on its remaining horizon.
+//!
+//! Snapshot persistence ([`CampaignRegistry::to_json`] /
+//! [`CampaignRegistry::from_json`], plus the `save`/`load` file wrappers)
+//! captures specs, statuses, generations, histories *and the solved
+//! policy tables*, so a restarted server resumes every live campaign at
+//! the same generation without re-solving.
+//!
+//! Locking discipline (hot path first):
+//!
+//! | data | guard | held for |
+//! |---|---|---|
+//! | id → `Arc<Campaign>` map | `RwLock` read | a map lookup |
+//! | current [`PolicyGeneration`] | `RwLock` read / write | an `Arc` clone / pointer swap |
+//! | status | `AtomicU8` | lock-free |
+//! | spec + engine (pricer, counters) | `Mutex` | writer ops (solve/observe/evict) |
+//!
+//! Solves and recalibrations run while holding only the writer `Mutex` of
+//! their own campaign — never the map lock or the generation lock.
+
+use crate::adaptive::{AdaptiveOptions, AdaptivePricer};
+use crate::budget::{solve_budget_mdp_with, BudgetMdpPolicy, BudgetProblem};
+use crate::error::{CampaignId, PricingError, Result};
+use crate::kernel::deadline::solve_deadline;
+use crate::kernel::{KernelConfig, Sweep, TruncationTable};
+use crate::policy::{DeadlinePolicy, PriceController};
+use crate::problem::DeadlineProblem;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Truncation mass used when a deadline campaign doesn't specify one.
+pub const DEFAULT_EPS: f64 = 1e-9;
+
+/// What a campaign asks the service to optimise.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum CampaignSpec {
+    /// Fixed deadline (Section 3): minimise expected cost.
+    Deadline {
+        problem: DeadlineProblem,
+        /// Poisson-tail truncation mass; `None` = [`DEFAULT_EPS`].
+        eps: Option<f64>,
+    },
+    /// Fixed budget (Section 4): minimise expected latency.
+    Budget { problem: BudgetProblem },
+}
+
+impl CampaignSpec {
+    /// `"deadline"` / `"budget"`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CampaignSpec::Deadline { .. } => "deadline",
+            CampaignSpec::Budget { .. } => "budget",
+        }
+    }
+
+    /// Structural validation with *structured errors*. Constructors like
+    /// [`DeadlineProblem::new`] assert these invariants, but specs that
+    /// arrive over the wire are deserialized field-by-field and bypass
+    /// them — without this check a bad spec would panic (and wedge) the
+    /// solve path instead of answering 400.
+    pub fn validate(&self) -> Result<()> {
+        fn bad(msg: String) -> Result<()> {
+            Err(PricingError::InvalidProblem(msg))
+        }
+        let actions = match self {
+            CampaignSpec::Deadline { problem, eps } => {
+                if let Some(eps) = eps {
+                    if !(*eps > 0.0 && *eps < 1.0) {
+                        return bad(format!("eps must be in (0, 1), got {eps}"));
+                    }
+                }
+                if problem.n_tasks == 0 {
+                    return bad("zero tasks".into());
+                }
+                if problem.interval_arrivals.is_empty() {
+                    return bad("zero intervals".into());
+                }
+                for &lam in &problem.interval_arrivals {
+                    if !(lam >= 0.0 && lam.is_finite()) {
+                        return bad(format!("interval arrival {lam} must be finite and ≥ 0"));
+                    }
+                }
+                if !(problem.penalty.per_task().is_finite() && problem.penalty.per_task() >= 0.0) {
+                    return bad("penalty must be finite and ≥ 0".into());
+                }
+                &problem.actions
+            }
+            CampaignSpec::Budget { problem } => {
+                if problem.n_tasks == 0 {
+                    return bad("zero tasks".into());
+                }
+                if !(problem.budget >= 0.0 && problem.budget.is_finite()) {
+                    return bad(format!("budget {} must be finite and ≥ 0", problem.budget));
+                }
+                if !(problem.mean_rate > 0.0 && problem.mean_rate.is_finite()) {
+                    return bad(format!(
+                        "mean rate {} must be finite and > 0",
+                        problem.mean_rate
+                    ));
+                }
+                &problem.actions
+            }
+        };
+        if actions.is_empty() {
+            return bad("empty action set".into());
+        }
+        let mut prev: Option<(f64, f64)> = None;
+        for i in 0..actions.len() {
+            let a = actions.get(i);
+            if !(a.reward >= 0.0 && a.reward.is_finite()) {
+                return bad(format!("reward {} must be finite and ≥ 0", a.reward));
+            }
+            if !(0.0..=1.0).contains(&a.accept) {
+                return bad(format!("acceptance {} must be in [0, 1]", a.accept));
+            }
+            if let Some((reward, accept)) = prev {
+                if a.reward <= reward {
+                    return bad(format!(
+                        "rewards must be strictly increasing at {}",
+                        a.reward
+                    ));
+                }
+                if a.accept < accept - 1e-12 {
+                    return bad(format!(
+                        "acceptance must be non-decreasing in reward at {}",
+                        a.reward
+                    ));
+                }
+            }
+            prev = Some((a.reward, a.accept));
+        }
+        Ok(())
+    }
+}
+
+/// A solved campaign policy (one generation's table).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum CampaignPolicy {
+    Deadline(DeadlinePolicy),
+    Budget(BudgetMdpPolicy),
+}
+
+impl CampaignPolicy {
+    fn kind(&self) -> &'static str {
+        match self {
+            CampaignPolicy::Deadline(_) => "deadline",
+            CampaignPolicy::Budget(_) => "budget",
+        }
+    }
+}
+
+/// The live state a campaign reports when asking for a fresh price.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ObservedState {
+    /// Deadline campaign: tasks remaining at the given interval index.
+    Deadline { remaining: u32, interval: usize },
+    /// Budget campaign: tasks remaining with the given cents unspent.
+    Budget { remaining: u32, budget_cents: usize },
+}
+
+impl ObservedState {
+    fn kind(&self) -> &'static str {
+        match self {
+            ObservedState::Deadline { .. } => "deadline",
+            ObservedState::Budget { .. } => "budget",
+        }
+    }
+}
+
+/// Campaign lifecycle status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum CampaignStatus {
+    /// Registered, not yet solved.
+    Draft,
+    /// First solve in flight; no policy to serve yet.
+    Solving,
+    /// Serving prices from the current policy generation.
+    Live,
+    /// A re-solve is in flight; readers stay on the previous generation.
+    Recalibrating,
+    /// Batch finished (or horizon passed); the last generation still
+    /// answers price queries.
+    Exhausted,
+    /// Deleted; record kept as a tombstone, policy dropped.
+    Evicted,
+}
+
+impl CampaignStatus {
+    /// Lower-case status name (the wire/status-endpoint encoding).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CampaignStatus::Draft => "draft",
+            CampaignStatus::Solving => "solving",
+            CampaignStatus::Live => "live",
+            CampaignStatus::Recalibrating => "recalibrating",
+            CampaignStatus::Exhausted => "exhausted",
+            CampaignStatus::Evicted => "evicted",
+        }
+    }
+
+    fn from_u8(v: u8) -> Self {
+        match v {
+            0 => CampaignStatus::Draft,
+            1 => CampaignStatus::Solving,
+            2 => CampaignStatus::Live,
+            3 => CampaignStatus::Recalibrating,
+            4 => CampaignStatus::Exhausted,
+            _ => CampaignStatus::Evicted,
+        }
+    }
+}
+
+/// One immutable solved-policy version. `reprice` answers from exactly
+/// one of these; recalibration publishes the next one with a single
+/// pointer swap.
+#[derive(Debug, Clone)]
+pub struct PolicyGeneration {
+    /// 1 for the first solve, +1 per recalibration.
+    pub generation: u64,
+    /// First full-horizon interval a deadline policy covers (its tables
+    /// are indexed by `interval - start`). Always 0 for budget policies.
+    pub start: usize,
+    pub policy: Arc<CampaignPolicy>,
+}
+
+/// A price answer tagged with the generation that produced it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PriceQuote {
+    pub price: f64,
+    pub generation: u64,
+}
+
+/// One reported interval/batch outcome, as accepted by
+/// [`CampaignRegistry::observe`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CampaignObservation {
+    /// Deadline campaign: completions seen in full-horizon interval
+    /// `interval` at reward `posted` (`None` = whatever the live policy
+    /// quoted for the campaign's tracked remaining count).
+    Deadline {
+        interval: usize,
+        completions: u64,
+        posted: Option<f64>,
+    },
+    /// Budget campaign: completions picked up and cents spent since the
+    /// last report.
+    Budget {
+        completions: u64,
+        spent_cents: usize,
+    },
+}
+
+/// What [`CampaignRegistry::observe`] did with a report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObserveOutcome {
+    pub status: CampaignStatus,
+    /// Generation serving *after* this observation.
+    pub generation: u64,
+    /// Arrival-correction ratio ρ̂ (1.0 for budget campaigns).
+    pub correction: f64,
+    /// Whether this observation triggered a re-solve and generation bump.
+    pub recalibrated: bool,
+    /// Registry-tracked remaining tasks after the observation.
+    pub remaining: u32,
+}
+
+/// Status + diagnostics snapshot for one campaign (the `GET
+/// /campaigns/{id}` payload).
+#[derive(Debug, Clone, Serialize)]
+pub struct CampaignReport {
+    pub id: CampaignId,
+    pub kind: String,
+    pub status: CampaignStatus,
+    pub generation: u64,
+    pub n_tasks: u32,
+    /// Registry-tracked remaining tasks (`None` before the first solve).
+    pub remaining: Option<u32>,
+    /// Observed intervals so far (deadline) or observation reports
+    /// (budget).
+    pub observations: usize,
+    /// Arrival-correction ratio ρ̂ (deadline only).
+    pub correction: Option<f64>,
+    /// First interval the live policy covers (deadline only).
+    pub policy_start: Option<usize>,
+    /// Cents spent so far (budget only).
+    pub spent_cents: Option<usize>,
+}
+
+/// Per-kind live machinery behind a campaign's writer lock.
+enum Engine {
+    /// Draft/Solving/Evicted: nothing solved (or policy dropped).
+    Unsolved,
+    Deadline {
+        /// Boxed: the pricer (problem + history + policy tables) dwarfs
+        /// the other variants.
+        pricer: Box<AdaptivePricer>,
+        remaining: u32,
+    },
+    Budget {
+        remaining: u32,
+        spent_cents: usize,
+        observations: usize,
+    },
+}
+
+/// Writer-side state of a campaign.
+struct CampaignState {
+    spec: CampaignSpec,
+    engine: Engine,
+}
+
+/// One registered campaign (keyed by id in the registry map).
+struct Campaign {
+    status: AtomicU8,
+    state: Mutex<CampaignState>,
+    live: RwLock<Option<Arc<PolicyGeneration>>>,
+}
+
+impl Campaign {
+    fn new(spec: CampaignSpec) -> Self {
+        Self {
+            status: AtomicU8::new(CampaignStatus::Draft as u8),
+            state: Mutex::new(CampaignState {
+                spec,
+                engine: Engine::Unsolved,
+            }),
+            live: RwLock::new(None),
+        }
+    }
+
+    fn status(&self) -> CampaignStatus {
+        CampaignStatus::from_u8(self.status.load(Ordering::Acquire))
+    }
+
+    fn set_status(&self, s: CampaignStatus) {
+        self.status.store(s as u8, Ordering::Release);
+    }
+
+    fn generation(&self) -> Option<Arc<PolicyGeneration>> {
+        self.live
+            .read()
+            .expect("campaign generation lock poisoned")
+            .clone()
+    }
+
+    /// Publish a new generation: the single atomic pointer swap readers
+    /// observe.
+    fn publish(&self, generation: u64, start: usize, policy: Arc<CampaignPolicy>) {
+        let mut live = self
+            .live
+            .write()
+            .expect("campaign generation lock poisoned");
+        *live = Some(Arc::new(PolicyGeneration {
+            generation,
+            start,
+            policy,
+        }));
+    }
+}
+
+/// The concurrent campaign store behind `PricingService` and `ft-server`.
+pub struct CampaignRegistry {
+    cfg: KernelConfig,
+    adaptive: AdaptiveOptions,
+    next_id: AtomicU64,
+    campaigns: RwLock<HashMap<CampaignId, Arc<Campaign>>>,
+}
+
+impl Default for CampaignRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Split a worker budget between batch-level (outer) and kernel-level
+/// (inner) parallelism, resolving the requested count **once** so both
+/// sides of the split are derived from the same number.
+///
+/// (Historically the service resolved `cfg.threads` twice — once for the
+/// split arithmetic and again inside `par_map` — so the two reads could
+/// disagree and over-subscribe; see `thread_split_resolves_once`.)
+pub(crate) fn split_threads(requested: usize, batch_len: usize) -> (usize, usize) {
+    let outer = ft_exec::resolve_threads(requested);
+    let inner = (outer / batch_len.max(1)).max(1);
+    (outer, inner)
+}
+
+impl CampaignRegistry {
+    pub fn new() -> Self {
+        Self::with_config(KernelConfig::default(), AdaptiveOptions::default())
+    }
+
+    /// Explicit kernel + recalibration configuration (e.g.
+    /// [`KernelConfig::serial`] in latency-sensitive embedders, or a
+    /// shorter `resolve_every` for aggressive recalibration).
+    pub fn with_config(cfg: KernelConfig, adaptive: AdaptiveOptions) -> Self {
+        Self {
+            cfg,
+            adaptive,
+            next_id: AtomicU64::new(1),
+            campaigns: RwLock::new(HashMap::new()),
+        }
+    }
+
+    fn get(&self, id: CampaignId) -> Result<Arc<Campaign>> {
+        self.campaigns
+            .read()
+            .expect("campaign registry lock poisoned")
+            .get(&id)
+            .cloned()
+            .ok_or(PricingError::UnknownCampaign(id))
+    }
+
+    /// Register a campaign as a draft; returns its fresh id.
+    pub fn register(&self, spec: CampaignSpec) -> CampaignId {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.insert(id, spec);
+        id
+    }
+
+    /// Register (or replace) a campaign under a caller-chosen id.
+    pub fn register_at(&self, id: CampaignId, spec: CampaignSpec) {
+        // Reserve the id *before* inserting, so a concurrent
+        // auto-assigning `register` can't be handed the same id and
+        // silently overwrite this record.
+        self.next_id.fetch_max(id + 1, Ordering::Relaxed);
+        self.insert(id, spec);
+    }
+
+    fn insert(&self, id: CampaignId, spec: CampaignSpec) {
+        let campaign = Arc::new(Campaign::new(spec));
+        self.campaigns
+            .write()
+            .expect("campaign registry lock poisoned")
+            .insert(id, campaign);
+    }
+
+    /// Solve a draft campaign with the registry's full worker budget and
+    /// publish generation 1. `Draft → Solving → Live`.
+    pub fn solve(&self, id: CampaignId) -> Result<Arc<PolicyGeneration>> {
+        self.solve_with(id, &self.cfg)
+    }
+
+    fn solve_with(&self, id: CampaignId, cfg: &KernelConfig) -> Result<Arc<PolicyGeneration>> {
+        let campaign = self.get(id)?;
+        // Check-and-claim under the writer lock so concurrent solves
+        // cannot both start.
+        let spec = {
+            let state = campaign.state.lock().expect("campaign lock poisoned");
+            let status = campaign.status();
+            if status != CampaignStatus::Draft {
+                return Err(PricingError::NotServable {
+                    id,
+                    status: status.as_str(),
+                });
+            }
+            campaign.set_status(CampaignStatus::Solving);
+            state.spec.clone()
+        };
+        // The expensive part runs with no lock held at all.
+        let solved = self.solve_spec(&spec, cfg);
+        let mut state = campaign.state.lock().expect("campaign lock poisoned");
+        if campaign.status() != CampaignStatus::Solving {
+            // Evicted while we were solving; drop the result.
+            return Err(PricingError::NotServable {
+                id,
+                status: campaign.status().as_str(),
+            });
+        }
+        match solved {
+            Ok((engine, policy, start)) => {
+                state.engine = engine;
+                let policy = Arc::new(policy);
+                campaign.publish(1, start, Arc::clone(&policy));
+                campaign.set_status(CampaignStatus::Live);
+                Ok(campaign.generation().expect("just published"))
+            }
+            Err(e) => {
+                campaign.set_status(CampaignStatus::Draft);
+                Err(e)
+            }
+        }
+    }
+
+    /// Solve a spec into its engine + first policy generation. Validates
+    /// first and converts any residual solver panic into a structured
+    /// error, so a bad spec can never wedge a campaign in `Solving`.
+    fn solve_spec(
+        &self,
+        spec: &CampaignSpec,
+        cfg: &KernelConfig,
+    ) -> Result<(Engine, CampaignPolicy, usize)> {
+        spec.validate()?;
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.solve_spec_inner(spec, cfg)
+        }))
+        .unwrap_or_else(|panic| {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "solver panicked".into());
+            Err(PricingError::SearchFailed(format!(
+                "solver panicked: {msg}"
+            )))
+        })
+    }
+
+    fn solve_spec_inner(
+        &self,
+        spec: &CampaignSpec,
+        cfg: &KernelConfig,
+    ) -> Result<(Engine, CampaignPolicy, usize)> {
+        match spec {
+            CampaignSpec::Deadline { problem, eps } => {
+                let eps = eps.unwrap_or(DEFAULT_EPS);
+                let trunc = TruncationTable::with_eps(problem, eps);
+                let policy = solve_deadline(problem, &trunc, Sweep::MonotoneDivide, cfg)?;
+                let pricer = AdaptivePricer::from_parts(
+                    problem.clone(),
+                    AdaptiveOptions {
+                        truncation_eps: eps,
+                        ..self.adaptive
+                    },
+                    Vec::new(),
+                    1.0,
+                    policy.clone(),
+                    0,
+                )?;
+                let remaining = problem.n_tasks;
+                Ok((
+                    Engine::Deadline {
+                        pricer: Box::new(pricer),
+                        remaining,
+                    },
+                    CampaignPolicy::Deadline(policy),
+                    0,
+                ))
+            }
+            CampaignSpec::Budget { problem } => {
+                let policy = solve_budget_mdp_with(problem, cfg)?;
+                Ok((
+                    Engine::Budget {
+                        remaining: problem.n_tasks,
+                        spent_cents: 0,
+                        observations: 0,
+                    },
+                    CampaignPolicy::Budget(policy),
+                    0,
+                ))
+            }
+        }
+    }
+
+    /// Register (or replace) the campaign at `id` and solve it *before*
+    /// swapping it in: when `id` already serves a policy, readers keep
+    /// answering from the old generation until the new solve succeeds
+    /// (one atomic map swap), and a failed solve leaves the existing
+    /// record untouched. A previously unknown id is left registered as a
+    /// draft on failure so the rejection stays inspectable.
+    pub fn submit_at(
+        &self,
+        id: CampaignId,
+        spec: CampaignSpec,
+        cfg: &KernelConfig,
+    ) -> Result<Arc<PolicyGeneration>> {
+        self.next_id.fetch_max(id + 1, Ordering::Relaxed);
+        match self.solve_spec(&spec, cfg) {
+            Ok((engine, policy, start)) => {
+                let campaign = Arc::new(Campaign::new(spec));
+                campaign
+                    .state
+                    .lock()
+                    .expect("campaign lock poisoned")
+                    .engine = engine;
+                let policy = Arc::new(policy);
+                // Swap the record in with a generation that continues
+                // the old record's numbering. The old generation must be
+                // read under the old record's writer lock (an in-flight
+                // recalibration publishes under the same lock), but we
+                // never wait on that lock while holding the map lock —
+                // a recalibration can run for a whole solve, and the
+                // quote hot path must keep draining behind the map
+                // lock. Hence: lock the old record first, then take the
+                // map lock and verify the record is still current,
+                // retrying if a racing submit swapped it meanwhile.
+                loop {
+                    let old = self
+                        .campaigns
+                        .read()
+                        .expect("campaign registry lock poisoned")
+                        .get(&id)
+                        .cloned();
+                    let mut old_state = old
+                        .as_ref()
+                        .map(|old| old.state.lock().expect("campaign lock poisoned"));
+                    let mut map = self
+                        .campaigns
+                        .write()
+                        .expect("campaign registry lock poisoned");
+                    let current = map.get(&id);
+                    let still_current = match (&old, current) {
+                        (None, None) => true,
+                        (Some(old), Some(current)) => Arc::ptr_eq(old, current),
+                        _ => false,
+                    };
+                    if !still_current {
+                        continue; // lost a race with another submit/purge
+                    }
+                    let generation = match &old {
+                        Some(old) => {
+                            let generation = old.generation().map_or(1, |g| g.generation + 1);
+                            // Retire the old record so detached handles
+                            // can't serve or bump generations after the
+                            // swap (and its solver machinery frees now,
+                            // not when the last stale Arc drops).
+                            if let Some(state) = old_state.as_mut() {
+                                state.engine = Engine::Unsolved;
+                            }
+                            *old.live.write().expect("campaign generation lock poisoned") = None;
+                            old.set_status(CampaignStatus::Evicted);
+                            generation
+                        }
+                        None => 1,
+                    };
+                    drop(old_state);
+                    campaign.publish(generation, start, Arc::clone(&policy));
+                    campaign.set_status(CampaignStatus::Live);
+                    // Read the published generation back *before*
+                    // releasing the map lock — once other threads can
+                    // see the record, a racing submit may already have
+                    // retired it again.
+                    let published = campaign.generation().expect("just published");
+                    map.insert(id, Arc::clone(&campaign));
+                    return Ok(published);
+                }
+            }
+            Err(e) => {
+                let known = self
+                    .campaigns
+                    .read()
+                    .expect("campaign registry lock poisoned")
+                    .contains_key(&id);
+                if !known {
+                    self.insert(id, spec);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// [`CampaignRegistry::submit_at`] over a whole batch, dividing the
+    /// worker budget between batch-level and kernel-level parallelism.
+    /// Returns per-campaign results in input order; failures don't fail
+    /// the batch.
+    pub fn submit_many(
+        &self,
+        batch: Vec<(CampaignId, CampaignSpec)>,
+    ) -> Vec<(CampaignId, Result<Arc<PolicyGeneration>>)> {
+        let (outer, inner_threads) = split_threads(self.cfg.threads, batch.len());
+        let inner = KernelConfig {
+            threads: inner_threads,
+            grain: self.cfg.grain,
+        };
+        let solved = ft_exec::par_map(batch.len(), 1, outer, |i| {
+            self.submit_at(batch[i].0, batch[i].1.clone(), &inner)
+        });
+        batch.into_iter().map(|(id, _)| id).zip(solved).collect()
+    }
+
+    /// Solve a batch of draft campaigns concurrently, dividing the worker
+    /// budget between batch-level and kernel-level parallelism. Returns
+    /// per-campaign results in input order; failures don't fail the
+    /// batch.
+    pub fn solve_many(
+        &self,
+        ids: &[CampaignId],
+    ) -> Vec<(CampaignId, Result<Arc<PolicyGeneration>>)> {
+        let (outer, inner_threads) = split_threads(self.cfg.threads, ids.len());
+        let inner = KernelConfig {
+            threads: inner_threads,
+            grain: self.cfg.grain,
+        };
+        let solved = ft_exec::par_map(ids.len(), 1, outer, |i| self.solve_with(ids[i], &inner));
+        ids.iter().copied().zip(solved).collect()
+    }
+
+    /// The reprice hot path: answer from the campaign's current policy
+    /// generation. Never blocks on a solve — a concurrent recalibration
+    /// keeps this answering from the previous generation until its one
+    /// pointer swap.
+    pub fn quote(&self, id: CampaignId, state: ObservedState) -> Result<PriceQuote> {
+        let mut campaign = self.get(id)?;
+        let current = match campaign.generation() {
+            Some(current) => current,
+            None => {
+                // A replacement (`submit_at`) retires the old record
+                // under the map write lock before swapping the new one
+                // in; a reader that fetched the old handle just before
+                // the swap re-fetches once and lands on the
+                // replacement. A genuinely evicted/unsolved campaign
+                // re-fetches the same record and errors.
+                let fresh = self.get(id)?;
+                let replaced = !Arc::ptr_eq(&fresh, &campaign);
+                campaign = fresh;
+                match campaign.generation() {
+                    Some(current) if replaced => current,
+                    _ => {
+                        return Err(PricingError::NotServable {
+                            id,
+                            status: campaign.status().as_str(),
+                        })
+                    }
+                }
+            }
+        };
+        match (current.policy.as_ref(), state) {
+            (
+                CampaignPolicy::Deadline(p),
+                ObservedState::Deadline {
+                    remaining,
+                    interval,
+                },
+            ) => {
+                // The generation's tables cover intervals `start..`;
+                // clamp onto them (PriceController clamps n and t).
+                let rel = interval.saturating_sub(current.start);
+                Ok(PriceQuote {
+                    price: p.price(remaining, rel),
+                    generation: current.generation,
+                })
+            }
+            (
+                CampaignPolicy::Budget(p),
+                ObservedState::Budget {
+                    remaining,
+                    budget_cents,
+                },
+            ) => p
+                // Off-table states answer from the nearest table edge.
+                .price(
+                    remaining.min(p.n_tasks()),
+                    budget_cents.min(p.budget_cents()),
+                )
+                .map(|c| PriceQuote {
+                    price: f64::from(c),
+                    generation: current.generation,
+                })
+                .ok_or_else(|| {
+                    PricingError::Infeasible(format!(
+                        "campaign {id}: no feasible price with {remaining} tasks and \
+                         {budget_cents} cents"
+                    ))
+                }),
+            (policy, state) => Err(PricingError::StateKindMismatch {
+                id,
+                expected: policy.kind(),
+                got: state.kind(),
+            }),
+        }
+    }
+
+    /// Report a completed interval (deadline) or batch progress (budget).
+    ///
+    /// Deadline reports feed the [`AdaptivePricer`]: the correction ratio
+    /// ρ̂ is updated, and on the recalibration schedule the remaining
+    /// horizon is re-solved with corrected arrivals and published as the
+    /// next policy generation. Skipped intervals are treated as censored.
+    /// Budget campaigns only track progress — their MDP table already
+    /// answers every `(remaining, budget)` state, so drift in arrivals
+    /// changes latency, not prices.
+    pub fn observe(&self, id: CampaignId, obs: CampaignObservation) -> Result<ObserveOutcome> {
+        let campaign = self.get(id)?;
+        let mut state = campaign.state.lock().expect("campaign lock poisoned");
+        let status = campaign.status();
+        if !matches!(
+            status,
+            CampaignStatus::Live | CampaignStatus::Recalibrating | CampaignStatus::Exhausted
+        ) {
+            return Err(PricingError::NotServable {
+                id,
+                status: status.as_str(),
+            });
+        }
+        match (&mut state.engine, obs) {
+            (
+                Engine::Deadline { pricer, remaining },
+                CampaignObservation::Deadline {
+                    interval,
+                    completions,
+                    posted,
+                },
+            ) => {
+                if interval < pricer.observations() {
+                    return Err(PricingError::InvalidProblem(format!(
+                        "campaign {id}: interval {interval} already observed (next is {})",
+                        pricer.observations()
+                    )));
+                }
+                if interval >= pricer.problem().n_intervals() {
+                    return Err(PricingError::InvalidProblem(format!(
+                        "campaign {id}: interval {interval} past the {}-interval horizon",
+                        pricer.problem().n_intervals()
+                    )));
+                }
+                let posted = posted.unwrap_or_else(|| {
+                    let rel = interval.saturating_sub(pricer.policy_start());
+                    pricer.policy().price(*remaining, rel)
+                });
+                // Validate the report *before* mutating history: a
+                // rejected observation must leave the campaign exactly
+                // as it was (no phantom censored intervals).
+                pricer.validate_posted(posted)?;
+                // Unreported intervals carry no signal.
+                while pricer.observations() < interval {
+                    pricer.observe_censored();
+                }
+                pricer.try_observe(posted, completions)?;
+                *remaining = remaining.saturating_sub(completions.min(u64::from(u32::MAX)) as u32);
+                let exhausted =
+                    *remaining == 0 || pricer.observations() >= pricer.problem().n_intervals();
+
+                // Recalibrate on schedule: solve with only this
+                // campaign's writer lock held, then swap the generation.
+                let mut recalibrated = false;
+                if !exhausted {
+                    campaign.set_status(CampaignStatus::Recalibrating);
+                    if pricer.maybe_resolve() {
+                        let prev = campaign
+                            .generation()
+                            .expect("live campaign has a generation");
+                        campaign.publish(
+                            prev.generation + 1,
+                            pricer.policy_start(),
+                            Arc::new(CampaignPolicy::Deadline(pricer.policy().clone())),
+                        );
+                        recalibrated = true;
+                    }
+                }
+                campaign.set_status(if exhausted {
+                    CampaignStatus::Exhausted
+                } else {
+                    CampaignStatus::Live
+                });
+                let generation = campaign
+                    .generation()
+                    .expect("live campaign has a generation")
+                    .generation;
+                Ok(ObserveOutcome {
+                    status: campaign.status(),
+                    generation,
+                    correction: pricer.correction(),
+                    recalibrated,
+                    remaining: *remaining,
+                })
+            }
+            (
+                Engine::Budget {
+                    remaining,
+                    spent_cents,
+                    observations,
+                },
+                CampaignObservation::Budget {
+                    completions,
+                    spent_cents: spent,
+                },
+            ) => {
+                *remaining = remaining.saturating_sub(completions.min(u64::from(u32::MAX)) as u32);
+                // Untrusted input: saturate, and cap the accumulator at
+                // the f64-exact integer range so snapshots/report JSON
+                // stay lossless.
+                const MAX_SPENT: usize = (1 << 53) - 1;
+                *spent_cents = spent_cents.saturating_add(spent).min(MAX_SPENT);
+                *observations += 1;
+                if *remaining == 0 {
+                    campaign.set_status(CampaignStatus::Exhausted);
+                }
+                let generation = campaign
+                    .generation()
+                    .expect("live campaign has a generation")
+                    .generation;
+                Ok(ObserveOutcome {
+                    status: campaign.status(),
+                    generation,
+                    correction: 1.0,
+                    recalibrated: false,
+                    remaining: *remaining,
+                })
+            }
+            (engine, obs) => {
+                let expected = match engine {
+                    Engine::Deadline { .. } => "deadline",
+                    Engine::Budget { .. } => "budget",
+                    Engine::Unsolved => "unsolved",
+                };
+                let got = match obs {
+                    CampaignObservation::Deadline { .. } => "deadline",
+                    CampaignObservation::Budget { .. } => "budget",
+                };
+                Err(PricingError::StateKindMismatch { id, expected, got })
+            }
+        }
+    }
+
+    /// Status + diagnostics for one campaign.
+    pub fn report(&self, id: CampaignId) -> Result<CampaignReport> {
+        let campaign = self.get(id)?;
+        let state = campaign.state.lock().expect("campaign lock poisoned");
+        let generation = campaign.generation().map_or(0, |g| g.generation);
+        let (n_tasks, kind) = match &state.spec {
+            CampaignSpec::Deadline { problem, .. } => (problem.n_tasks, "deadline"),
+            CampaignSpec::Budget { problem } => (problem.n_tasks, "budget"),
+        };
+        let mut report = CampaignReport {
+            id,
+            kind: kind.to_string(),
+            status: campaign.status(),
+            generation,
+            n_tasks,
+            remaining: None,
+            observations: 0,
+            correction: None,
+            policy_start: None,
+            spent_cents: None,
+        };
+        match &state.engine {
+            Engine::Unsolved => {}
+            Engine::Deadline { pricer, remaining } => {
+                report.remaining = Some(*remaining);
+                report.observations = pricer.observations();
+                report.correction = Some(pricer.correction());
+                report.policy_start = Some(pricer.policy_start());
+            }
+            Engine::Budget {
+                remaining,
+                spent_cents,
+                observations,
+            } => {
+                report.remaining = Some(*remaining);
+                report.observations = *observations;
+                report.spent_cents = Some(*spent_cents);
+            }
+        }
+        Ok(report)
+    }
+
+    /// The campaign's current policy generation, if solved.
+    pub fn generation(&self, id: CampaignId) -> Option<Arc<PolicyGeneration>> {
+        self.get(id).ok().and_then(|c| c.generation())
+    }
+
+    /// Evict a campaign: drop its policy and machinery, keep a tombstone
+    /// record (its spec stays readable through [`CampaignRegistry::report`]
+    /// and snapshots). Returns whether a non-evicted campaign existed.
+    ///
+    /// Tombstones accumulate; long-running embedders with heavy
+    /// register/evict churn should follow up with
+    /// [`CampaignRegistry::purge`] once the id no longer needs to
+    /// answer status queries.
+    pub fn evict(&self, id: CampaignId) -> bool {
+        let Ok(campaign) = self.get(id) else {
+            return false;
+        };
+        let mut state = campaign.state.lock().expect("campaign lock poisoned");
+        if campaign.status() == CampaignStatus::Evicted {
+            return false;
+        }
+        state.engine = Engine::Unsolved;
+        *campaign
+            .live
+            .write()
+            .expect("campaign generation lock poisoned") = None;
+        campaign.set_status(CampaignStatus::Evicted);
+        true
+    }
+
+    /// Remove a campaign record entirely — no tombstone, its id stops
+    /// answering status queries (404 over HTTP) and disappears from
+    /// snapshots. Returns whether a record existed.
+    pub fn purge(&self, id: CampaignId) -> bool {
+        self.campaigns
+            .write()
+            .expect("campaign registry lock poisoned")
+            .remove(&id)
+            .is_some()
+    }
+
+    /// All registered campaign ids (ascending; includes tombstones).
+    pub fn ids(&self) -> Vec<CampaignId> {
+        let mut ids: Vec<CampaignId> = self
+            .campaigns
+            .read()
+            .expect("campaign registry lock poisoned")
+            .keys()
+            .copied()
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Number of non-evicted campaigns.
+    pub fn len(&self) -> usize {
+        self.campaigns
+            .read()
+            .expect("campaign registry lock poisoned")
+            .values()
+            .filter(|c| c.status() != CampaignStatus::Evicted)
+            .count()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of campaigns currently holding a live policy generation.
+    pub fn live_len(&self) -> usize {
+        self.campaigns
+            .read()
+            .expect("campaign registry lock poisoned")
+            .values()
+            .filter(|c| c.generation().is_some())
+            .count()
+    }
+}
+
+// ---- snapshot persistence ---------------------------------------------
+
+/// On-disk snapshot format version; bump on layout changes.
+const SNAPSHOT_VERSION: u32 = 1;
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Snapshot {
+    format_version: u32,
+    next_id: u64,
+    campaigns: Vec<PersistedCampaign>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct PersistedCampaign {
+    id: u64,
+    spec: CampaignSpec,
+    status: CampaignStatus,
+    generation: u64,
+    engine: PersistedEngine,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum PersistedEngine {
+    Unsolved,
+    Deadline {
+        opts: AdaptiveOptions,
+        history: Vec<(f64, u64)>,
+        correction: f64,
+        policy: DeadlinePolicy,
+        policy_start: usize,
+        remaining: u32,
+    },
+    Budget {
+        policy: BudgetMdpPolicy,
+        remaining: u32,
+        spent_cents: usize,
+        observations: usize,
+    },
+}
+
+impl CampaignRegistry {
+    /// Serialize every campaign — spec, status, generation, observation
+    /// history *and solved policy tables* — to a JSON snapshot.
+    pub fn to_json(&self) -> Result<String> {
+        // Snapshot the id → record handles first and release the map
+        // lock: a campaign mid-recalibration holds its writer lock for
+        // a whole solve, and blocking on it while holding the map lock
+        // would stall every registration (and, on writer-preferring
+        // RwLocks, the quote hot path) for that long.
+        let mut records: Vec<(CampaignId, Arc<Campaign>)> = self
+            .campaigns
+            .read()
+            .expect("campaign registry lock poisoned")
+            .iter()
+            .map(|(id, campaign)| (*id, Arc::clone(campaign)))
+            .collect();
+        records.sort_unstable_by_key(|(id, _)| *id);
+        let mut persisted = Vec::with_capacity(records.len());
+        for (id, campaign) in records {
+            let state = campaign.state.lock().expect("campaign lock poisoned");
+            let generation = campaign.generation().map_or(0, |g| g.generation);
+            let engine = match &state.engine {
+                Engine::Unsolved => PersistedEngine::Unsolved,
+                Engine::Deadline { pricer, remaining } => PersistedEngine::Deadline {
+                    opts: *pricer.options(),
+                    history: pricer.history().to_vec(),
+                    correction: pricer.correction(),
+                    policy: pricer.policy().clone(),
+                    policy_start: pricer.policy_start(),
+                    remaining: *remaining,
+                },
+                Engine::Budget {
+                    remaining,
+                    spent_cents,
+                    observations,
+                } => {
+                    let current = campaign.generation().ok_or_else(|| {
+                        PricingError::InvalidProblem(format!(
+                            "campaign {id}: budget engine without a generation"
+                        ))
+                    })?;
+                    let CampaignPolicy::Budget(policy) = current.policy.as_ref() else {
+                        return Err(PricingError::InvalidProblem(format!(
+                            "campaign {id}: budget engine with a non-budget policy"
+                        )));
+                    };
+                    PersistedEngine::Budget {
+                        policy: policy.clone(),
+                        remaining: *remaining,
+                        spent_cents: *spent_cents,
+                        observations: *observations,
+                    }
+                }
+            };
+            persisted.push(PersistedCampaign {
+                id,
+                spec: state.spec.clone(),
+                status: campaign.status(),
+                generation,
+                engine,
+            });
+        }
+        let snapshot = Snapshot {
+            format_version: SNAPSHOT_VERSION,
+            next_id: self.next_id.load(Ordering::Relaxed),
+            campaigns: persisted,
+        };
+        serde_json::to_string(&snapshot)
+            .map_err(|e| PricingError::InvalidProblem(format!("snapshot serialize: {e}")))
+    }
+
+    /// Rebuild a registry from [`CampaignRegistry::to_json`] output.
+    /// Live campaigns resume at their persisted generation without
+    /// re-solving; campaigns that were mid-solve come back as drafts.
+    pub fn from_json(json: &str, cfg: KernelConfig, adaptive: AdaptiveOptions) -> Result<Self> {
+        let snapshot: Snapshot = serde_json::from_str(json)
+            .map_err(|e| PricingError::InvalidProblem(format!("snapshot parse: {e}")))?;
+        if snapshot.format_version != SNAPSHOT_VERSION {
+            return Err(PricingError::InvalidProblem(format!(
+                "snapshot format {} unsupported (expected {SNAPSHOT_VERSION})",
+                snapshot.format_version
+            )));
+        }
+        let registry = Self::with_config(cfg, adaptive);
+        for persisted in snapshot.campaigns {
+            let id = persisted.id;
+            let campaign = Arc::new(Campaign::new(persisted.spec));
+            let status = match persisted.status {
+                // A solve or recalibration that was in flight at snapshot
+                // time produced nothing durable.
+                CampaignStatus::Solving => CampaignStatus::Draft,
+                CampaignStatus::Recalibrating => CampaignStatus::Live,
+                s => s,
+            };
+            match persisted.engine {
+                PersistedEngine::Unsolved => {}
+                PersistedEngine::Deadline {
+                    opts,
+                    history,
+                    correction,
+                    policy,
+                    policy_start,
+                    remaining,
+                } => {
+                    let problem = {
+                        let state = campaign.state.lock().expect("campaign lock poisoned");
+                        match &state.spec {
+                            CampaignSpec::Deadline { problem, .. } => problem.clone(),
+                            CampaignSpec::Budget { .. } => {
+                                return Err(PricingError::InvalidProblem(format!(
+                                    "campaign {id}: deadline engine on a budget spec"
+                                )))
+                            }
+                        }
+                    };
+                    let pricer = AdaptivePricer::from_parts(
+                        problem,
+                        opts,
+                        history,
+                        correction,
+                        policy.clone(),
+                        policy_start,
+                    )?;
+                    campaign.publish(
+                        persisted.generation,
+                        policy_start,
+                        Arc::new(CampaignPolicy::Deadline(policy)),
+                    );
+                    campaign
+                        .state
+                        .lock()
+                        .expect("campaign lock poisoned")
+                        .engine = Engine::Deadline {
+                        pricer: Box::new(pricer),
+                        remaining,
+                    };
+                }
+                PersistedEngine::Budget {
+                    policy,
+                    remaining,
+                    spent_cents,
+                    observations,
+                } => {
+                    campaign.publish(
+                        persisted.generation,
+                        0,
+                        Arc::new(CampaignPolicy::Budget(policy)),
+                    );
+                    campaign
+                        .state
+                        .lock()
+                        .expect("campaign lock poisoned")
+                        .engine = Engine::Budget {
+                        remaining,
+                        spent_cents,
+                        observations,
+                    };
+                }
+            }
+            if status == CampaignStatus::Evicted {
+                *campaign
+                    .live
+                    .write()
+                    .expect("campaign generation lock poisoned") = None;
+                campaign
+                    .state
+                    .lock()
+                    .expect("campaign lock poisoned")
+                    .engine = Engine::Unsolved;
+            }
+            campaign.set_status(status);
+            registry
+                .campaigns
+                .write()
+                .expect("campaign registry lock poisoned")
+                .insert(id, campaign);
+        }
+        registry.next_id.store(
+            snapshot
+                .next_id
+                .max(registry.ids().last().map_or(0, |&m| m + 1)),
+            Ordering::Relaxed,
+        );
+        Ok(registry)
+    }
+
+    /// Write a snapshot to `path` (see [`CampaignRegistry::to_json`]).
+    pub fn save(&self, path: &std::path::Path) -> Result<()> {
+        let json = self.to_json()?;
+        std::fs::write(path, json)
+            .map_err(|e| PricingError::InvalidProblem(format!("snapshot write: {e}")))
+    }
+
+    /// Load a snapshot written by [`CampaignRegistry::save`].
+    pub fn load(
+        path: &std::path::Path,
+        cfg: KernelConfig,
+        adaptive: AdaptiveOptions,
+    ) -> Result<Self> {
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| PricingError::InvalidProblem(format!("snapshot read: {e}")))?;
+        Self::from_json(&json, cfg, adaptive)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actions::ActionSet;
+    use crate::dp::solve_efficient;
+    use crate::penalty::PenaltyModel;
+    use crate::testkit::tiny_budget_problem;
+    use ft_market::{LogitAcceptance, PriceGrid};
+    use std::sync::atomic::AtomicBool;
+
+    fn problem() -> DeadlineProblem {
+        let acc = LogitAcceptance::new(4.0, 0.0, 30.0);
+        DeadlineProblem::new(
+            20,
+            vec![50.0; 12],
+            ActionSet::from_grid(PriceGrid::new(0, 20), &acc),
+            PenaltyModel::Linear { per_task: 500.0 },
+        )
+    }
+
+    fn deadline_spec() -> CampaignSpec {
+        CampaignSpec::Deadline {
+            problem: problem(),
+            eps: None,
+        }
+    }
+
+    #[test]
+    fn lifecycle_draft_solve_live() {
+        let registry = CampaignRegistry::new();
+        let id = registry.register(deadline_spec());
+        assert_eq!(registry.report(id).unwrap().status, CampaignStatus::Draft);
+        // Drafts can't quote…
+        assert_eq!(
+            registry.quote(
+                id,
+                ObservedState::Deadline {
+                    remaining: 20,
+                    interval: 0
+                }
+            ),
+            Err(PricingError::NotServable {
+                id,
+                status: "draft"
+            })
+        );
+        // …until solved.
+        let generation = registry.solve(id).unwrap();
+        assert_eq!(generation.generation, 1);
+        assert_eq!(registry.report(id).unwrap().status, CampaignStatus::Live);
+        let quote = registry
+            .quote(
+                id,
+                ObservedState::Deadline {
+                    remaining: 20,
+                    interval: 0,
+                },
+            )
+            .unwrap();
+        let direct = solve_efficient(&problem(), DEFAULT_EPS).unwrap();
+        assert_eq!(quote.price, direct.price(20, 0));
+        assert_eq!(quote.generation, 1);
+        // Double-solve is a structured conflict.
+        assert_eq!(
+            registry.solve(id).unwrap_err(),
+            PricingError::NotServable { id, status: "live" }
+        );
+    }
+
+    #[test]
+    fn drift_triggers_recalibration_and_generation_bump() {
+        let registry = CampaignRegistry::new();
+        let id = registry.register(deadline_spec());
+        registry.solve(id).unwrap();
+        // Report far fewer completions than the trained model expects for
+        // enough intervals to cross the resolve schedule (default 3).
+        let mut last = None;
+        let mut recalibrated_any = false;
+        for interval in 0..4 {
+            let outcome = registry
+                .observe(
+                    id,
+                    CampaignObservation::Deadline {
+                        interval,
+                        completions: 1,
+                        posted: None,
+                    },
+                )
+                .unwrap();
+            recalibrated_any |= outcome.recalibrated;
+            last = Some(outcome);
+        }
+        let outcome = last.unwrap();
+        assert!(recalibrated_any, "no recalibration after 4 intervals");
+        assert!(outcome.generation >= 2);
+        // Quotes now come from (and report) the new generation, indexed
+        // from its policy start.
+        let quote = registry
+            .quote(
+                id,
+                ObservedState::Deadline {
+                    remaining: outcome.remaining,
+                    interval: 4,
+                },
+            )
+            .unwrap();
+        assert_eq!(quote.generation, outcome.generation);
+        let report = registry.report(id).unwrap();
+        assert_eq!(report.status, CampaignStatus::Live);
+        assert_eq!(report.generation, outcome.generation);
+        assert!(report.policy_start.unwrap() > 0);
+        assert_eq!(report.observations, 4);
+    }
+
+    #[test]
+    fn observe_rejects_replays_and_censors_gaps() {
+        let registry = CampaignRegistry::new();
+        let id = registry.register(deadline_spec());
+        registry.solve(id).unwrap();
+        registry
+            .observe(
+                id,
+                CampaignObservation::Deadline {
+                    interval: 0,
+                    completions: 2,
+                    posted: None,
+                },
+            )
+            .unwrap();
+        // Replaying an already-observed interval is rejected.
+        assert!(matches!(
+            registry.observe(
+                id,
+                CampaignObservation::Deadline {
+                    interval: 0,
+                    completions: 2,
+                    posted: None,
+                }
+            ),
+            Err(PricingError::InvalidProblem(_))
+        ));
+        // Skipping ahead censors the gap instead of erroring.
+        registry
+            .observe(
+                id,
+                CampaignObservation::Deadline {
+                    interval: 3,
+                    completions: 1,
+                    posted: None,
+                },
+            )
+            .unwrap();
+        assert_eq!(registry.report(id).unwrap().observations, 4);
+        // Past the horizon is rejected.
+        assert!(matches!(
+            registry.observe(
+                id,
+                CampaignObservation::Deadline {
+                    interval: 99,
+                    completions: 0,
+                    posted: None,
+                }
+            ),
+            Err(PricingError::InvalidProblem(_))
+        ));
+        // A rejected report must leave the campaign untouched: a bad
+        // posted reward at a skipped-ahead interval may not censor the
+        // gap (regression: phantom censored intervals corrupted history
+        // and blocked corrected re-reports forever).
+        for bad_posted in [999.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                registry.observe(
+                    id,
+                    CampaignObservation::Deadline {
+                        interval: 8,
+                        completions: 1,
+                        posted: Some(bad_posted),
+                    }
+                ),
+                Err(PricingError::InvalidProblem(_))
+            ));
+        }
+        assert_eq!(registry.report(id).unwrap().observations, 4);
+        // The corrected re-report for the same span still works.
+        registry
+            .observe(
+                id,
+                CampaignObservation::Deadline {
+                    interval: 5,
+                    completions: 1,
+                    posted: None,
+                },
+            )
+            .unwrap();
+        assert_eq!(registry.report(id).unwrap().observations, 6);
+    }
+
+    #[test]
+    fn exhaustion_and_eviction() {
+        let registry = CampaignRegistry::new();
+        let id = registry.register(deadline_spec());
+        registry.solve(id).unwrap();
+        let outcome = registry
+            .observe(
+                id,
+                CampaignObservation::Deadline {
+                    interval: 0,
+                    completions: 20,
+                    posted: None,
+                },
+            )
+            .unwrap();
+        assert_eq!(outcome.status, CampaignStatus::Exhausted);
+        assert_eq!(outcome.remaining, 0);
+        // Exhausted campaigns still answer price queries.
+        assert!(registry
+            .quote(
+                id,
+                ObservedState::Deadline {
+                    remaining: 0,
+                    interval: 1
+                }
+            )
+            .is_ok());
+        // Eviction drops the policy but keeps a tombstone.
+        assert!(registry.evict(id));
+        assert!(!registry.evict(id));
+        assert_eq!(registry.report(id).unwrap().status, CampaignStatus::Evicted);
+        assert_eq!(
+            registry.quote(
+                id,
+                ObservedState::Deadline {
+                    remaining: 0,
+                    interval: 1
+                }
+            ),
+            Err(PricingError::NotServable {
+                id,
+                status: "evicted"
+            })
+        );
+        assert_eq!(registry.len(), 0);
+        assert_eq!(registry.ids(), vec![id]);
+        // Purging removes even the tombstone.
+        assert!(registry.purge(id));
+        assert!(!registry.purge(id));
+        assert!(registry.ids().is_empty());
+        assert_eq!(
+            registry.report(id).unwrap_err(),
+            PricingError::UnknownCampaign(id)
+        );
+    }
+
+    #[test]
+    fn budget_campaign_lifecycle() {
+        let registry = CampaignRegistry::new();
+        let id = registry.register(CampaignSpec::Budget {
+            problem: tiny_budget_problem(),
+        });
+        registry.solve(id).unwrap();
+        let quote = registry
+            .quote(
+                id,
+                ObservedState::Budget {
+                    remaining: 10,
+                    budget_cents: 60,
+                },
+            )
+            .unwrap();
+        assert_eq!(quote.generation, 1);
+        let outcome = registry
+            .observe(
+                id,
+                CampaignObservation::Budget {
+                    completions: 4,
+                    spent_cents: 25,
+                },
+            )
+            .unwrap();
+        assert_eq!(outcome.remaining, 6);
+        assert!(!outcome.recalibrated);
+        let report = registry.report(id).unwrap();
+        assert_eq!(report.spent_cents, Some(25));
+        assert_eq!(report.observations, 1);
+        // Mismatched observation kind is structured.
+        assert_eq!(
+            registry.observe(
+                id,
+                CampaignObservation::Deadline {
+                    interval: 0,
+                    completions: 1,
+                    posted: None,
+                }
+            ),
+            Err(PricingError::StateKindMismatch {
+                id,
+                expected: "budget",
+                got: "deadline"
+            })
+        );
+        let outcome = registry
+            .observe(
+                id,
+                CampaignObservation::Budget {
+                    completions: 6,
+                    spent_cents: 35,
+                },
+            )
+            .unwrap();
+        assert_eq!(outcome.status, CampaignStatus::Exhausted);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_generations_and_history() {
+        let registry = CampaignRegistry::new();
+        let deadline_id = registry.register(deadline_spec());
+        let budget_id = registry.register(CampaignSpec::Budget {
+            problem: tiny_budget_problem(),
+        });
+        let draft_id = registry.register(deadline_spec());
+        let evicted_id = registry.register(deadline_spec());
+        registry.solve(deadline_id).unwrap();
+        registry.solve(budget_id).unwrap();
+        registry.solve(evicted_id).unwrap();
+        registry.evict(evicted_id);
+        // Drive the deadline campaign through a recalibration so the
+        // snapshot carries a non-trivial generation + policy start.
+        let mut outcome = None;
+        let mut recalibrated_any = false;
+        for interval in 0..4 {
+            let o = registry
+                .observe(
+                    deadline_id,
+                    CampaignObservation::Deadline {
+                        interval,
+                        completions: 1,
+                        posted: None,
+                    },
+                )
+                .unwrap();
+            recalibrated_any |= o.recalibrated;
+            outcome = Some(o);
+        }
+        let outcome = outcome.unwrap();
+        assert!(recalibrated_any);
+        assert!(outcome.generation >= 2);
+        let probe = ObservedState::Deadline {
+            remaining: outcome.remaining,
+            interval: 5,
+        };
+        let before = registry.quote(deadline_id, probe).unwrap();
+
+        let json = registry.to_json().unwrap();
+        let restored =
+            CampaignRegistry::from_json(&json, KernelConfig::default(), AdaptiveOptions::default())
+                .unwrap();
+
+        // Live campaigns resume at the same generation and price.
+        let after = restored.quote(deadline_id, probe).unwrap();
+        assert_eq!(after.generation, before.generation);
+        assert_eq!(after.price, before.price);
+        let report = restored.report(deadline_id).unwrap();
+        assert_eq!(report.observations, 4);
+        assert_eq!(report.remaining, Some(outcome.remaining));
+        assert!((report.correction.unwrap() - outcome.correction).abs() < 1e-12);
+        // Budget campaign resumes too.
+        assert!(restored
+            .quote(
+                budget_id,
+                ObservedState::Budget {
+                    remaining: 10,
+                    budget_cents: 60
+                }
+            )
+            .is_ok());
+        // Draft stays a draft; tombstone stays evicted.
+        assert_eq!(
+            restored.report(draft_id).unwrap().status,
+            CampaignStatus::Draft
+        );
+        assert_eq!(
+            restored.report(evicted_id).unwrap().status,
+            CampaignStatus::Evicted
+        );
+        // Fresh ids don't collide with restored ones.
+        let new_id = restored.register(deadline_spec());
+        assert!(new_id > evicted_id);
+        // Observation numbering continues where it left off.
+        restored
+            .observe(
+                deadline_id,
+                CampaignObservation::Deadline {
+                    interval: 4,
+                    completions: 1,
+                    posted: None,
+                },
+            )
+            .unwrap();
+        assert_eq!(restored.report(deadline_id).unwrap().observations, 5);
+    }
+
+    #[test]
+    fn invalid_wire_specs_are_structured_errors_not_panics() {
+        // Deserialized specs bypass constructor asserts; both the
+        // validator and the solve path must answer with InvalidProblem
+        // instead of panicking (a panic used to wedge the campaign in
+        // Solving forever).
+        let registry = CampaignRegistry::new();
+        let mut bad_eps = deadline_spec();
+        if let CampaignSpec::Deadline { eps, .. } = &mut bad_eps {
+            *eps = Some(-1.0);
+        }
+        let mut bad_arrivals = deadline_spec();
+        if let CampaignSpec::Deadline { problem, .. } = &mut bad_arrivals {
+            problem.interval_arrivals[2] = -5.0;
+        }
+        let mut bad_budget = CampaignSpec::Budget {
+            problem: tiny_budget_problem(),
+        };
+        if let CampaignSpec::Budget { problem } = &mut bad_budget {
+            problem.mean_rate = f64::NAN;
+        }
+        for spec in [bad_eps, bad_arrivals, bad_budget] {
+            assert!(matches!(
+                spec.validate(),
+                Err(PricingError::InvalidProblem(_))
+            ));
+            let id = registry.register(spec);
+            assert!(matches!(
+                registry.solve(id),
+                Err(PricingError::InvalidProblem(_))
+            ));
+            // The campaign is back to Draft, not wedged in Solving.
+            assert_eq!(registry.report(id).unwrap().status, CampaignStatus::Draft);
+        }
+    }
+
+    #[test]
+    fn failed_resolve_keeps_previous_policy_serving() {
+        // Re-solving a live campaign through submit_at must not leave a
+        // window (or a permanent hole) where readers lose the old
+        // policy: a failed replacement keeps the previous generation, a
+        // successful one bumps it.
+        let registry = CampaignRegistry::new();
+        let id = 42;
+        registry
+            .submit_at(id, deadline_spec(), &KernelConfig::default())
+            .unwrap();
+        let probe = ObservedState::Deadline {
+            remaining: 20,
+            interval: 0,
+        };
+        let before = registry.quote(id, probe).unwrap();
+        assert_eq!(before.generation, 1);
+
+        // A failing replacement spec: the old policy keeps serving.
+        let mut infeasible = tiny_budget_problem();
+        infeasible.budget = 4.0;
+        let err = registry
+            .submit_at(
+                id,
+                CampaignSpec::Budget {
+                    problem: infeasible,
+                },
+                &KernelConfig::default(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, PricingError::Infeasible(_)));
+        let after = registry.quote(id, probe).unwrap();
+        assert_eq!(after.generation, before.generation);
+        assert_eq!(after.price.to_bits(), before.price.to_bits());
+        assert_eq!(registry.report(id).unwrap().status, CampaignStatus::Live);
+
+        // A successful replacement swaps in atomically at generation 2.
+        let replaced = registry
+            .submit_at(id, deadline_spec(), &KernelConfig::default())
+            .unwrap();
+        assert_eq!(replaced.generation, 2);
+        assert_eq!(registry.quote(id, probe).unwrap().generation, 2);
+
+        // A brand-new id whose solve fails is left as an inspectable draft.
+        let mut infeasible = tiny_budget_problem();
+        infeasible.budget = 4.0;
+        assert!(registry
+            .submit_at(
+                7,
+                CampaignSpec::Budget {
+                    problem: infeasible,
+                },
+                &KernelConfig::default(),
+            )
+            .is_err());
+        assert_eq!(registry.report(7).unwrap().status, CampaignStatus::Draft);
+    }
+
+    #[test]
+    fn budget_spend_accounting_saturates() {
+        let registry = CampaignRegistry::new();
+        let id = registry.register(CampaignSpec::Budget {
+            problem: tiny_budget_problem(),
+        });
+        registry.solve(id).unwrap();
+        for _ in 0..3 {
+            registry
+                .observe(
+                    id,
+                    CampaignObservation::Budget {
+                        completions: 0,
+                        spent_cents: usize::MAX,
+                    },
+                )
+                .unwrap();
+        }
+        // Clamped to the f64-exact range; report + snapshot stay lossless.
+        let spent = registry.report(id).unwrap().spent_cents.unwrap();
+        assert_eq!(spent, (1usize << 53) - 1);
+        let json = registry.to_json().unwrap();
+        let restored =
+            CampaignRegistry::from_json(&json, KernelConfig::default(), AdaptiveOptions::default())
+                .unwrap();
+        assert_eq!(restored.report(id).unwrap().spent_cents.unwrap(), spent);
+    }
+
+    /// Replacing a live campaign (submit_at) races recalibrating
+    /// observes and other submits: the served generation must stay
+    /// monotone and each generation must map to exactly one price.
+    #[test]
+    fn concurrent_submit_keeps_generations_monotone() {
+        use std::collections::HashMap as StdHashMap;
+
+        let registry = CampaignRegistry::with_config(
+            KernelConfig::default(),
+            AdaptiveOptions {
+                resolve_every: 1,
+                ..AdaptiveOptions::default()
+            },
+        );
+        let id = 5;
+        registry
+            .submit_at(id, deadline_spec(), &KernelConfig::default())
+            .unwrap();
+        let stop = AtomicBool::new(false);
+        let start = std::sync::Barrier::new(4);
+        let probe = ObservedState::Deadline {
+            remaining: 15,
+            interval: 4,
+        };
+
+        std::thread::scope(|scope| {
+            let registry = &registry;
+            let stop = &stop;
+            let start = &start;
+
+            // Two racing submitters re-solving the same id.
+            let submitters: Vec<_> = (0..2)
+                .map(|_| {
+                    scope.spawn(move || {
+                        start.wait();
+                        for _ in 0..3 {
+                            registry
+                                .submit_at(id, deadline_spec(), &KernelConfig::default())
+                                .unwrap();
+                        }
+                        stop.store(true, Ordering::Release);
+                    })
+                })
+                .collect();
+
+            // An observer driving recalibration swaps on whatever
+            // record is current (replaced records answer NotServable —
+            // that's fine, only successful swaps matter here).
+            let observer = scope.spawn(move || {
+                start.wait();
+                let mut interval = 0usize;
+                loop {
+                    let _ = registry.observe(
+                        id,
+                        CampaignObservation::Deadline {
+                            interval,
+                            completions: 1,
+                            posted: None,
+                        },
+                    );
+                    interval = (interval + 1) % 12;
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                }
+            });
+
+            // Reader: generations never go backwards, and a generation
+            // never serves two different prices.
+            let reader = scope.spawn(move || {
+                start.wait();
+                let mut last_generation = 0u64;
+                let mut seen: StdHashMap<u64, f64> = StdHashMap::new();
+                loop {
+                    let quote = registry.quote(id, probe).unwrap();
+                    assert!(
+                        quote.generation >= last_generation,
+                        "generation went backwards: {} after {last_generation}",
+                        quote.generation
+                    );
+                    last_generation = quote.generation;
+                    match seen.get(&quote.generation) {
+                        None => {
+                            seen.insert(quote.generation, quote.price);
+                        }
+                        Some(&price) => assert_eq!(
+                            price.to_bits(),
+                            quote.price.to_bits(),
+                            "generation {} served two prices",
+                            quote.generation
+                        ),
+                    }
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                }
+                last_generation
+            });
+
+            for submitter in submitters {
+                submitter.join().unwrap();
+            }
+            observer.join().unwrap();
+            let last = reader.join().unwrap();
+            // 1 initial + 6 replacements happened; the reader must have
+            // ended at least at the replacements' floor.
+            assert!(last >= 1);
+            assert!(
+                registry.generation(id).unwrap().generation >= 7,
+                "six replacements must have bumped the generation"
+            );
+        });
+    }
+
+    /// Satellite: readers hammer the quote hot path while observes drive
+    /// recalibration swaps and a batch solve churns other campaigns.
+    /// Two invariants:
+    ///
+    /// 1. **No stale generation after a swap**: once an observe returns
+    ///    generation `g`, every later quote reports ≥ `g`.
+    /// 2. **No torn price**: a `(generation, price)` pair read at a fixed
+    ///    probe state is a function of the generation — the same
+    ///    generation can never be seen with two different prices.
+    #[test]
+    fn concurrent_reprice_observe_stress() {
+        use std::collections::HashMap as StdHashMap;
+
+        let registry = CampaignRegistry::with_config(
+            KernelConfig::default(),
+            AdaptiveOptions {
+                resolve_every: 1, // recalibrate on every observe
+                ..AdaptiveOptions::default()
+            },
+        );
+        let id = registry.register(deadline_spec());
+        registry.solve(id).unwrap();
+
+        let stop = AtomicBool::new(false);
+        let min_generation = AtomicU64::new(1);
+        // Writer + churn + 3 readers start together so the observes race
+        // the quotes even on a single-core host.
+        let start = std::sync::Barrier::new(5);
+        let probe = ObservedState::Deadline {
+            remaining: 17,
+            interval: 6,
+        };
+
+        std::thread::scope(|scope| {
+            let registry = &registry;
+            let stop = &stop;
+            let min_generation = &min_generation;
+            let start = &start;
+
+            // Writer: observe every interval (each triggers a re-solve +
+            // generation swap), with heavy drift so policies change.
+            let writer = scope.spawn(move || {
+                start.wait();
+                for interval in 0..problem().n_intervals() {
+                    let outcome = registry
+                        .observe(
+                            id,
+                            CampaignObservation::Deadline {
+                                interval,
+                                completions: 1,
+                                posted: None,
+                            },
+                        )
+                        .unwrap();
+                    // The swap is published before observe returns; no
+                    // reader may see an older generation from here on.
+                    min_generation.fetch_max(outcome.generation, Ordering::Release);
+                    if outcome.status == CampaignStatus::Exhausted {
+                        break;
+                    }
+                }
+                stop.store(true, Ordering::Release);
+            });
+
+            // Churn: batch-register + solve other campaigns while the
+            // readers run, so quotes race cache fills too.
+            let churn = scope.spawn(move || {
+                start.wait();
+                let mut round = 0u64;
+                loop {
+                    let other = registry.register(CampaignSpec::Budget {
+                        problem: tiny_budget_problem(),
+                    });
+                    let solved = registry.solve_many(&[other]);
+                    assert!(solved[0].1.is_ok());
+                    registry.evict(other);
+                    registry.purge(other);
+                    round += 1;
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                }
+                assert!(round > 0, "churn thread never ran");
+            });
+
+            // Readers: quote in a tight loop, checking both invariants.
+            let mut readers = Vec::new();
+            for _ in 0..3 {
+                readers.push(scope.spawn(move || {
+                    start.wait();
+                    let mut seen: StdHashMap<u64, f64> = StdHashMap::new();
+                    let mut quotes = 0u64;
+                    loop {
+                        let floor = min_generation.load(Ordering::Acquire);
+                        let quote = registry.quote(id, probe).unwrap();
+                        assert!(
+                            quote.generation >= floor,
+                            "stale generation {} served after swap to {floor}",
+                            quote.generation
+                        );
+                        match seen.get(&quote.generation) {
+                            None => {
+                                seen.insert(quote.generation, quote.price);
+                            }
+                            Some(&price) => assert_eq!(
+                                price.to_bits(),
+                                quote.price.to_bits(),
+                                "torn read: generation {} seen with two prices",
+                                quote.generation
+                            ),
+                        }
+                        quotes += 1;
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                    }
+                    (seen, quotes)
+                }));
+            }
+
+            writer.join().unwrap();
+            churn.join().unwrap();
+            // Cross-reader consistency: generation → price must agree
+            // across threads too.
+            let mut global: StdHashMap<u64, f64> = StdHashMap::new();
+            let mut total_quotes = 0u64;
+            for reader in readers {
+                let (seen, quotes) = reader.join().unwrap();
+                total_quotes += quotes;
+                for (generation, price) in seen {
+                    if let Some(&prev) = global.get(&generation) {
+                        assert_eq!(prev.to_bits(), price.to_bits());
+                    } else {
+                        global.insert(generation, price);
+                    }
+                }
+            }
+            assert!(total_quotes > 0, "readers never quoted");
+            // The writer's swaps were visible: more than one generation
+            // got served (resolve_every = 1 forces swaps).
+            assert!(
+                min_generation.load(Ordering::Acquire) > 1,
+                "no recalibration swap happened during the stress run"
+            );
+        });
+    }
+}

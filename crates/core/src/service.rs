@@ -1,74 +1,35 @@
-//! The multi-campaign pricing service: solve many heterogeneous
-//! campaigns concurrently on the solver kernel, cache the resulting
-//! policies, and answer `reprice` queries from the cached tables.
+//! The multi-campaign pricing service — now a thin facade over the
+//! campaign lifecycle registry ([`crate::registry`]).
 //!
-//! This is the serving layer the ROADMAP's production north-star asks
-//! for. The design splits work into a *solve path* (expensive, batched,
-//! parallel) and a *reprice hot path* (a table lookup behind a read
-//! lock):
+//! Historically this module owned a bare `HashMap<CampaignId,
+//! Arc<CampaignPolicy>>`; campaigns are now first-class versioned records
+//! in a [`CampaignRegistry`] (statuses, policy generations, observation
+//! histories, snapshot persistence). `PricingService` keeps the original
+//! batch-oriented surface for in-process embedders:
 //!
-//! - [`PricingService::solve_batch`] fans campaigns out on the shared
-//!   `ft-exec` pool. When the batch itself saturates the cores, each
-//!   solver kernel runs single-threaded (outer parallelism); a small
-//!   batch lets the kernels keep their inner parallel sweeps, so the
-//!   hardware stays busy either way.
-//! - [`PricingService::reprice`] maps an observed campaign state to the
-//!   policy's price — `O(1)` per call, no allocation, shared (`RwLock`
-//!   read) access from any number of serving threads.
+//! - [`PricingService::solve_batch`] registers + solves campaigns
+//!   concurrently on the shared `ft-exec` pool, dividing the worker
+//!   budget between batch-level and kernel-level parallelism (resolved
+//!   **once** — see [`crate::registry::split_threads`]).
+//! - [`PricingService::reprice`] answers from the campaign's current
+//!   policy generation — `O(1)`, never blocked by a concurrent solve or
+//!   recalibration.
 //!
-//! Deadline campaigns are solved with Algorithm 2 + truncation (the
-//! paper's fastest exact-quality solver); budget campaigns with the
-//! Theorem 4 worker-arrival MDP, whose `(remaining, budget)` table can
-//! answer repricing at *any* observed state, not just the planned path.
+//! Network embedders should use the registry directly (or `ft-server`,
+//! which serves it over HTTP): [`PricingService::registry`] exposes it.
 
-use crate::budget::{solve_budget_mdp_with, BudgetMdpPolicy, BudgetProblem};
-use crate::error::{PricingError, Result};
-use crate::kernel::deadline::solve_deadline;
-use crate::kernel::{KernelConfig, Sweep, TruncationTable};
-use crate::policy::{DeadlinePolicy, PriceController};
-use crate::problem::DeadlineProblem;
-use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
+use crate::error::Result;
+use crate::kernel::KernelConfig;
+use crate::registry::CampaignRegistry;
+use std::sync::Arc;
 
-/// Truncation mass used when a deadline campaign doesn't specify one.
-pub const DEFAULT_EPS: f64 = 1e-9;
+pub use crate::error::CampaignId;
+pub use crate::registry::{CampaignPolicy, CampaignSpec, ObservedState, DEFAULT_EPS};
 
-/// Identifier for a campaign within the service.
-pub type CampaignId = u64;
-
-/// What a campaign asks the service to optimise.
-#[derive(Debug, Clone)]
-pub enum CampaignSpec {
-    /// Fixed deadline (Section 3): minimise expected cost.
-    Deadline {
-        problem: DeadlineProblem,
-        /// Poisson-tail truncation mass; `None` = [`DEFAULT_EPS`].
-        eps: Option<f64>,
-    },
-    /// Fixed budget (Section 4): minimise expected latency.
-    Budget { problem: BudgetProblem },
-}
-
-/// A solved campaign policy held by the service cache.
-#[derive(Debug, Clone)]
-pub enum CampaignPolicy {
-    Deadline(DeadlinePolicy),
-    Budget(BudgetMdpPolicy),
-}
-
-/// The live state a campaign reports when asking for a fresh price.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ObservedState {
-    /// Deadline campaign: tasks remaining at the given interval index.
-    Deadline { remaining: u32, interval: usize },
-    /// Budget campaign: tasks remaining with the given cents unspent.
-    Budget { remaining: u32, budget_cents: usize },
-}
-
-/// A concurrent multi-campaign policy server.
+/// A concurrent multi-campaign policy server (facade over
+/// [`CampaignRegistry`]).
 pub struct PricingService {
-    cfg: KernelConfig,
-    policies: RwLock<HashMap<CampaignId, Arc<CampaignPolicy>>>,
+    registry: CampaignRegistry,
 }
 
 impl Default for PricingService {
@@ -86,128 +47,65 @@ impl PricingService {
     /// [`KernelConfig::serial`] in latency-sensitive embedders).
     pub fn with_config(cfg: KernelConfig) -> Self {
         Self {
-            cfg,
-            policies: RwLock::new(HashMap::new()),
+            registry: CampaignRegistry::with_config(cfg, Default::default()),
         }
     }
 
-    /// Solve a batch of campaigns concurrently and cache every success.
-    /// Returns per-campaign results in input order; failed campaigns are
-    /// reported and not cached, without failing the batch.
+    /// Wrap an existing registry (e.g. one restored from a snapshot).
+    pub fn from_registry(registry: CampaignRegistry) -> Self {
+        Self { registry }
+    }
+
+    /// The underlying campaign lifecycle registry: statuses, policy
+    /// generations, observations, persistence.
+    pub fn registry(&self) -> &CampaignRegistry {
+        &self.registry
+    }
+
+    /// Register and solve a batch of campaigns concurrently. Returns
+    /// per-campaign results in input order, without failing the batch:
+    /// a campaign that fails to solve stays a draft if it was new, and
+    /// keeps serving its previous policy if it was a re-solve of a live
+    /// campaign (readers never see a gap during re-solves).
     pub fn solve_batch(
         &self,
         batch: Vec<(CampaignId, CampaignSpec)>,
     ) -> Vec<(CampaignId, Result<Arc<CampaignPolicy>>)> {
-        let outer_threads = ft_exec::resolve_threads(self.cfg.threads);
-        // Outer×inner ≈ the worker budget: a full batch runs serial
-        // kernels side by side, a single campaign gets the whole pool.
-        let inner = KernelConfig {
-            threads: (outer_threads / batch.len().max(1)).max(1),
-            grain: self.cfg.grain,
-        };
-        let solved = ft_exec::par_map(batch.len(), 1, self.cfg.threads, |i| {
-            Self::solve_spec(&batch[i].1, &inner)
-        });
-        let out: Vec<(CampaignId, Result<Arc<CampaignPolicy>>)> = batch
-            .iter()
-            .zip(solved)
-            .map(|((id, _), policy)| (*id, policy.map(Arc::new)))
-            .collect();
-        // One write-guard scope for the whole batch so concurrent
-        // reprice readers stall at most once during cache fill.
-        let mut cache = self
-            .policies
-            .write()
-            .expect("pricing-service lock poisoned");
-        for (id, result) in &out {
-            if let Ok(arc) = result {
-                cache.insert(*id, Arc::clone(arc));
-            }
-        }
-        drop(cache);
-        out
+        self.registry
+            .submit_many(batch)
+            .into_iter()
+            .map(|(id, result)| (id, result.map(|generation| Arc::clone(&generation.policy))))
+            .collect()
     }
 
-    fn solve_spec(spec: &CampaignSpec, cfg: &KernelConfig) -> Result<CampaignPolicy> {
-        match spec {
-            CampaignSpec::Deadline { problem, eps } => {
-                let trunc = TruncationTable::with_eps(problem, eps.unwrap_or(DEFAULT_EPS));
-                solve_deadline(problem, &trunc, Sweep::MonotoneDivide, cfg)
-                    .map(CampaignPolicy::Deadline)
-            }
-            CampaignSpec::Budget { problem } => {
-                solve_budget_mdp_with(problem, cfg).map(CampaignPolicy::Budget)
-            }
-        }
-    }
-
-    /// The reprice hot path: look the campaign's policy up and read the
-    /// price for the observed state. Errors distinguish "unknown
-    /// campaign" from "state kind doesn't match the campaign type" from
-    /// "state outside the feasible region".
+    /// The reprice hot path: look the campaign's current policy
+    /// generation up and read the price for the observed state. Errors
+    /// distinguish unknown campaigns, state-kind mismatches, and states
+    /// outside the feasible region.
     pub fn reprice(&self, id: CampaignId, state: ObservedState) -> Result<f64> {
-        let policy = self
-            .policy(id)
-            .ok_or_else(|| PricingError::InvalidProblem(format!("unknown campaign {id}")))?;
-        match (policy.as_ref(), state) {
-            (
-                CampaignPolicy::Deadline(p),
-                ObservedState::Deadline {
-                    remaining,
-                    interval,
-                },
-            ) => Ok(p.price(remaining, interval)),
-            (
-                CampaignPolicy::Budget(p),
-                ObservedState::Budget {
-                    remaining,
-                    budget_cents,
-                },
-            ) => p
-                // Clamp onto the solved table like the deadline arm
-                // does: more reported tasks/cents than the campaign was
-                // solved for answers from the nearest table edge.
-                .price(
-                    remaining.min(p.n_tasks()),
-                    budget_cents.min(p.budget_cents()),
-                )
-                .map(f64::from)
-                .ok_or_else(|| {
-                    PricingError::Infeasible(format!(
-                        "campaign {id}: no feasible price with {remaining} tasks and \
-                         {budget_cents} cents"
-                    ))
-                }),
-            _ => Err(PricingError::InvalidProblem(format!(
-                "campaign {id}: observed state kind does not match the campaign type"
-            ))),
-        }
+        self.registry.quote(id, state).map(|quote| quote.price)
     }
 
-    /// Fetch a cached policy (cheap `Arc` clone).
+    /// Fetch the campaign's current policy (cheap `Arc` clone).
     pub fn policy(&self, id: CampaignId) -> Option<Arc<CampaignPolicy>> {
-        self.policies
-            .read()
-            .expect("pricing-service lock poisoned")
-            .get(&id)
-            .cloned()
+        self.registry
+            .generation(id)
+            .map(|generation| Arc::clone(&generation.policy))
     }
 
-    /// Drop a campaign's policy. Returns whether it existed.
+    /// Drop a campaign's policy. Returns whether a solved policy was
+    /// actually dropped — `false` for unknown ids *and* for drafts with
+    /// nothing solved, matching the historical cache semantics. (The
+    /// record itself becomes a registry tombstone either way; use
+    /// [`CampaignRegistry::purge`] to remove it entirely.)
     pub fn evict(&self, id: CampaignId) -> bool {
-        self.policies
-            .write()
-            .expect("pricing-service lock poisoned")
-            .remove(&id)
-            .is_some()
+        let had_policy = self.registry.generation(id).is_some();
+        self.registry.evict(id) && had_policy
     }
 
-    /// Number of cached campaign policies.
+    /// Number of campaigns currently holding a solved policy.
     pub fn len(&self) -> usize {
-        self.policies
-            .read()
-            .expect("pricing-service lock poisoned")
-            .len()
+        self.registry.live_len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -220,6 +118,7 @@ mod tests {
     use super::*;
     use crate::budget::solve_budget_mdp;
     use crate::dp::solve_efficient;
+    use crate::error::PricingError;
     use crate::testkit::{tiny_budget_problem, varied_problems};
 
     fn mixed_batch() -> Vec<(CampaignId, CampaignSpec)> {
@@ -289,6 +188,7 @@ mod tests {
                 },
             )
             .unwrap();
+        use crate::policy::PriceController;
         assert_eq!(got, direct.price(problem.n_tasks, 0));
 
         // Budget repricing at an off-path state.
@@ -337,8 +237,8 @@ mod tests {
     fn reprice_error_paths() {
         let service = PricingService::new();
         service.solve_batch(mixed_batch());
-        // Unknown campaign.
-        assert!(matches!(
+        // Unknown campaign: structured, names the id.
+        assert_eq!(
             service.reprice(
                 999,
                 ObservedState::Deadline {
@@ -346,10 +246,10 @@ mod tests {
                     interval: 0
                 }
             ),
-            Err(PricingError::InvalidProblem(_))
-        ));
-        // Kind mismatch.
-        assert!(matches!(
+            Err(PricingError::UnknownCampaign(999))
+        );
+        // Kind mismatch: structured, names both kinds.
+        assert_eq!(
             service.reprice(
                 0,
                 ObservedState::Budget {
@@ -357,8 +257,12 @@ mod tests {
                     budget_cents: 5
                 }
             ),
-            Err(PricingError::InvalidProblem(_))
-        ));
+            Err(PricingError::StateKindMismatch {
+                id: 0,
+                expected: "deadline",
+                got: "budget"
+            })
+        );
         // Infeasible budget state.
         assert!(matches!(
             service.reprice(
@@ -381,6 +285,12 @@ mod tests {
         assert!(matches!(results[0].1, Err(PricingError::Infeasible(_))));
         assert!(service.policy(7).is_none());
         assert!(service.is_empty());
+        // The failed campaign stays registered as a draft.
+        use crate::registry::CampaignStatus;
+        assert_eq!(
+            service.registry().report(7).unwrap().status,
+            CampaignStatus::Draft
+        );
     }
 
     #[test]
@@ -392,5 +302,40 @@ mod tests {
         assert!(service.evict(100));
         assert!(!service.evict(100));
         assert_eq!(service.len(), n - 1);
+    }
+
+    /// Regression for the double-resolution bug: the outer/inner split
+    /// must be derived from ONE `resolve_threads` call, so the inner
+    /// kernels can never over-subscribe the budget the outer fan-out was
+    /// planned against.
+    #[test]
+    fn thread_split_resolves_once() {
+        use crate::registry::split_threads;
+        for requested in [1usize, 2, 3, 6, 8, 32] {
+            for batch_len in [1usize, 2, 3, 5, 16, 100] {
+                let (outer, inner) = split_threads(requested, batch_len);
+                assert_eq!(
+                    outer,
+                    ft_exec::resolve_threads(requested),
+                    "outer must be the resolved budget"
+                );
+                assert_eq!(
+                    inner,
+                    (outer / batch_len.max(1)).max(1),
+                    "inner must be derived from the same resolved outer"
+                );
+                // Over-subscription bound: when the batch saturates the
+                // budget the kernels go serial; otherwise outer×inner
+                // stays within one budget of the pool.
+                assert!(
+                    inner == 1 || batch_len * inner <= outer,
+                    "requested={requested} batch={batch_len}: outer={outer} inner={inner}"
+                );
+            }
+        }
+        // Zero means "machine budget" — both sides must still agree.
+        let (outer, inner) = split_threads(0, 4);
+        assert_eq!(outer, ft_exec::resolve_threads(0));
+        assert_eq!(inner, (outer / 4).max(1));
     }
 }

@@ -1,0 +1,288 @@
+//! A deliberately small HTTP/1.1 codec over `std::io` — just enough for
+//! the JSON campaign API: request line + headers + `Content-Length`
+//! bodies in, status + JSON bodies out, with keep-alive. No chunked
+//! transfer, no TLS, no percent-decoding beyond `%XX` in query values.
+
+use std::io::{self, BufRead, Write};
+
+/// Upper bounds keeping a misbehaving client from ballooning memory.
+const MAX_HEADER_BYTES: usize = 16 * 1024;
+const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub method: String,
+    /// Path with the query string stripped (e.g. `/campaigns/3/price`).
+    pub path: String,
+    /// Decoded `key=value` pairs from the query string, in order.
+    pub query: Vec<(String, String)>,
+    pub body: String,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First query value under `key`.
+    pub fn query(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// An outgoing response: status code + JSON body.
+#[derive(Debug, Clone)]
+pub struct Response {
+    pub status: u16,
+    pub body: String,
+}
+
+impl Response {
+    pub fn json(status: u16, body: String) -> Self {
+        Self { status, body }
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Read one `\n`-terminated line without ever buffering more than the
+/// remaining header `budget` — `read_line` on a raw stream would keep
+/// allocating for a newline that never comes. `Ok(None)` is EOF before
+/// any byte.
+fn read_line_bounded<R: BufRead>(reader: &mut R, budget: &mut usize) -> io::Result<Option<String>> {
+    let mut limited = io::Read::take(reader.by_ref(), *budget as u64);
+    let mut line = String::new();
+    let n = limited.read_line(&mut line)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    *budget -= n;
+    if !line.ends_with('\n') && *budget == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "headers too large",
+        ));
+    }
+    Ok(Some(line))
+}
+
+/// Read one request off the stream. `Ok(None)` means the client closed
+/// the connection cleanly before sending another request.
+pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
+    let mut budget = MAX_HEADER_BYTES;
+    let Some(line) = read_line_bounded(reader, &mut budget)? else {
+        return Ok(None);
+    };
+    let mut parts = line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m.to_string(), t.to_string(), v.to_string()),
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad request line",
+            ))
+        }
+    };
+
+    // Headers: we only act on Content-Length and Connection.
+    let mut content_length = 0usize;
+    // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close.
+    let mut keep_alive = version != "HTTP/1.0";
+    loop {
+        let Some(header) = read_line_bounded(reader, &mut budget)? else {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "eof in headers",
+            ));
+        };
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad content-length"))?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            keep_alive = !value.eq_ignore_ascii_case("close");
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    io::Read::read_exact(reader, &mut body)?;
+    let body = String::from_utf8(body)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "body not UTF-8"))?;
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), parse_query(q)),
+        None => (target, Vec::new()),
+    };
+    Ok(Some(Request {
+        method,
+        path,
+        query,
+        body,
+        keep_alive,
+    }))
+}
+
+fn parse_query(q: &str) -> Vec<(String, String)> {
+    q.split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(kv), String::new()),
+        })
+        .collect()
+}
+
+/// Decode `%XX` escapes and `+` (space); invalid escapes pass through.
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                match bytes
+                    .get(i + 1..i + 3)
+                    .and_then(|h| std::str::from_utf8(h).ok())
+                    .and_then(|h| u8::from_str_radix(h, 16).ok())
+                {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Write a response; `keep_alive` controls the `Connection` header.
+pub fn write_response<W: Write>(
+    writer: &mut W,
+    response: &Response,
+    keep_alive: bool,
+) -> io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{}",
+        response.status,
+        reason(response.status),
+        response.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+        response.body
+    )?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Request {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+            .unwrap()
+            .unwrap()
+    }
+
+    #[test]
+    fn parses_request_line_query_and_body() {
+        let req = parse(
+            "POST /campaigns/3/observations?note=a%20b&x=1 HTTP/1.1\r\n\
+             Host: localhost\r\nContent-Length: 9\r\n\r\n{\"a\": 1}\n",
+        );
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/campaigns/3/observations");
+        assert_eq!(req.query("note"), Some("a b"));
+        assert_eq!(req.query("x"), Some("1"));
+        assert_eq!(req.body, "{\"a\": 1}\n");
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn connection_close_and_http10() {
+        let req = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(!req.keep_alive);
+        let req = parse("GET / HTTP/1.0\r\n\r\n");
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn eof_is_clean_none() {
+        let req = read_request(&mut BufReader::new(&b""[..])).unwrap();
+        assert!(req.is_none());
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::json(200, "{}".into()), true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn rejects_oversized_body_declaration() {
+        let raw = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", usize::MAX);
+        assert!(read_request(&mut BufReader::new(raw.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn newline_less_flood_errors_instead_of_buffering() {
+        // An endless byte stream with no '\n' must hit the header budget
+        // and error — not grow a String until the allocator gives up.
+        let mut reader =
+            BufReader::new(std::io::Read::take(std::io::repeat(b'a'), 64 * 1024 * 1024));
+        assert!(read_request(&mut reader).is_err());
+    }
+
+    #[test]
+    fn header_budget_spans_all_header_lines() {
+        // Many small header lines must exhaust the same budget.
+        let mut raw = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..2000 {
+            raw.push_str(&format!("X-Filler-{i}: {}\r\n", "v".repeat(64)));
+        }
+        raw.push_str("\r\n");
+        assert!(read_request(&mut BufReader::new(raw.as_bytes())).is_err());
+    }
+}

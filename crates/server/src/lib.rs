@@ -1,0 +1,38 @@
+//! # ft-server
+//!
+//! A std-only HTTP/1.1 JSON front-end for the campaign lifecycle
+//! registry ([`ft_core::registry::CampaignRegistry`]) — the network
+//! serving layer the ROADMAP's production north-star asks for. No
+//! third-party networking stack: `TcpListener` + a thread per
+//! connection, a hand-rolled request/response codec ([`http`]), and a
+//! router ([`router`]) that maps the REST surface onto the registry:
+//!
+//! ```text
+//! POST   /campaigns                    register a draft (JSON spec)
+//! POST   /campaigns/{id}/solve         solve → publish generation 1
+//! GET    /campaigns/{id}/price?...     quote from the live generation
+//! POST   /campaigns/{id}/observations  report completions → recalibrate
+//! GET    /campaigns/{id}               status + diagnostics
+//! DELETE /campaigns/{id}               evict (tombstone)
+//! GET    /healthz                      liveness + campaign count
+//! ```
+//!
+//! Structured [`ft_core::PricingError`]s map onto HTTP statuses
+//! ([`router::status_for`]): unknown campaign → 404, draft/evicted →
+//! 409, infeasible state → 422, malformed specs → 400.
+//!
+//! The server shares its registry behind an `Arc`, so an embedder can
+//! snapshot (`registry.save(..)`) or restore
+//! (`CampaignRegistry::load(..)`) around restarts; live campaigns come
+//! back at the same policy generation without re-solving. See
+//! `examples/http_server.rs` for the end-to-end walkthrough and
+//! `tests/lifecycle.rs` for the full lifecycle driven over a real
+//! socket.
+
+pub mod client;
+pub mod http;
+pub mod router;
+pub mod server;
+
+pub use router::{handle, status_for};
+pub use server::{Server, ServerHandle};

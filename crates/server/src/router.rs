@@ -1,0 +1,318 @@
+//! Routes HTTP requests onto the [`CampaignRegistry`].
+//!
+//! | method & path | action |
+//! |---|---|
+//! | `GET /healthz` | liveness + campaign count |
+//! | `POST /campaigns` | register a draft campaign (JSON spec body) |
+//! | `POST /campaigns/{id}/solve` | solve the draft, publish generation 1 |
+//! | `GET /campaigns/{id}/price?remaining=..&interval=..` | quote a deadline campaign |
+//! | `GET /campaigns/{id}/price?remaining=..&budget_cents=..` | quote a budget campaign |
+//! | `POST /campaigns/{id}/observations` | report an interval / progress |
+//! | `GET /campaigns/{id}` | status + diagnostics |
+//! | `DELETE /campaigns/{id}` | evict (tombstone) |
+//!
+//! Request/response bodies are JSON. Campaign specs are flattened:
+//! `{"kind": "deadline", "problem": {...}, "eps": 1e-9}` or
+//! `{"kind": "budget", "problem": {...}}`, where `problem` is the
+//! serde encoding of [`ft_core::DeadlineProblem`] /
+//! [`ft_core::BudgetProblem`]. Structured [`PricingError`]s map to HTTP
+//! statuses in [`status_for`].
+
+use crate::http::{Request, Response};
+use ft_core::registry::{CampaignObservation, CampaignRegistry, CampaignSpec, ObservedState};
+use ft_core::{BudgetProblem, CampaignId, DeadlineProblem, PricingError};
+use serde::{map_get, Deserialize, Serialize, Value};
+
+/// Map a structured pricing error onto an HTTP status code.
+pub fn status_for(error: &PricingError) -> u16 {
+    match error {
+        PricingError::UnknownCampaign(_) => 404,
+        PricingError::StateKindMismatch { .. } => 400,
+        PricingError::InvalidProblem(_) => 400,
+        PricingError::NotServable { .. } => 409,
+        PricingError::Infeasible(_) => 422,
+        PricingError::SearchFailed(_) => 500,
+    }
+}
+
+fn ok(body: Value) -> Response {
+    Response::json(
+        200,
+        serde_json::to_string(&body).expect("serialize response"),
+    )
+}
+
+fn created(body: Value) -> Response {
+    Response::json(
+        201,
+        serde_json::to_string(&body).expect("serialize response"),
+    )
+}
+
+fn error_response(status: u16, kind: &str, message: &str) -> Response {
+    let body = Value::Map(vec![
+        ("error".into(), Value::Str(kind.into())),
+        ("message".into(), Value::Str(message.into())),
+    ]);
+    Response::json(
+        status,
+        serde_json::to_string(&body).expect("serialize error"),
+    )
+}
+
+fn pricing_error(error: &PricingError) -> Response {
+    let kind = match error {
+        PricingError::Infeasible(_) => "infeasible",
+        PricingError::SearchFailed(_) => "search_failed",
+        PricingError::InvalidProblem(_) => "invalid_problem",
+        PricingError::UnknownCampaign(_) => "unknown_campaign",
+        PricingError::StateKindMismatch { .. } => "state_kind_mismatch",
+        PricingError::NotServable { .. } => "not_servable",
+    };
+    error_response(status_for(error), kind, &error.to_string())
+}
+
+fn bad_request(message: &str) -> Response {
+    error_response(400, "bad_request", message)
+}
+
+fn map(entries: Vec<(&str, Value)>) -> Value {
+    Value::Map(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Dispatch one request onto the registry.
+pub fn handle(registry: &CampaignRegistry, request: &Request) -> Response {
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => ok(map(vec![
+            ("status", Value::Str("ok".into())),
+            ("campaigns", Value::Num(registry.len() as f64)),
+        ])),
+        ("POST", ["campaigns"]) => create_campaign(registry, request),
+        (method, ["campaigns", id]) => match (method, parse_id(id)) {
+            (_, None) => bad_request("campaign id must be an integer"),
+            ("GET", Some(id)) => report(registry, id),
+            ("DELETE", Some(id)) => delete(registry, id),
+            _ => error_response(405, "method_not_allowed", "use GET or DELETE"),
+        },
+        (method, ["campaigns", id, action]) => match parse_id(id) {
+            None => bad_request("campaign id must be an integer"),
+            Some(id) => match (method, *action) {
+                ("POST", "solve") => solve(registry, id),
+                ("GET", "price") => price(registry, id, request),
+                ("POST", "observations") => observe(registry, id, request),
+                _ => error_response(404, "not_found", "unknown campaign action"),
+            },
+        },
+        _ => error_response(404, "not_found", "unknown route"),
+    }
+}
+
+fn parse_id(s: &str) -> Option<CampaignId> {
+    s.parse().ok()
+}
+
+fn parse_body(request: &Request) -> Result<Value, Response> {
+    serde_json::from_str::<Value>(&request.body)
+        .map_err(|e| bad_request(&format!("invalid JSON body: {e}")))
+}
+
+/// `POST /campaigns` — body `{"kind": "deadline"|"budget", "problem":
+/// {...}, "eps": ...?}`.
+fn create_campaign(registry: &CampaignRegistry, request: &Request) -> Response {
+    let body = match parse_body(request) {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    let Some(fields) = body.as_map() else {
+        return bad_request("campaign spec must be a JSON object");
+    };
+    let Ok(kind) = map_get(fields, "kind") else {
+        return bad_request("missing `kind` (\"deadline\" or \"budget\")");
+    };
+    let Ok(problem) = map_get(fields, "problem") else {
+        return bad_request("missing `problem`");
+    };
+    let spec = match kind.as_str() {
+        Some("deadline") => {
+            let problem = match DeadlineProblem::from_value(problem) {
+                Ok(p) => p,
+                Err(e) => return bad_request(&format!("bad deadline problem: {e}")),
+            };
+            // Non-finite or out-of-range eps falls through to
+            // spec.validate() below and answers 400 — silently solving
+            // at the default would mislead the client.
+            let eps = match map_get(fields, "eps") {
+                Ok(v) => match Option::<f64>::from_value(v) {
+                    Ok(eps) => eps,
+                    Err(e) => return bad_request(&format!("bad eps: {e}")),
+                },
+                Err(_) => None,
+            };
+            CampaignSpec::Deadline { problem, eps }
+        }
+        Some("budget") => {
+            let problem = match BudgetProblem::from_value(problem) {
+                Ok(p) => p,
+                Err(e) => return bad_request(&format!("bad budget problem: {e}")),
+            };
+            CampaignSpec::Budget { problem }
+        }
+        _ => return bad_request("`kind` must be \"deadline\" or \"budget\""),
+    };
+    // Deserialization bypasses the constructors' invariants; reject bad
+    // specs here with a 400 instead of letting solve() hit them.
+    if let Err(e) = spec.validate() {
+        return pricing_error(&e);
+    }
+    let id = registry.register(spec);
+    created(map(vec![
+        ("id", Value::Num(id as f64)),
+        ("status", Value::Str("draft".into())),
+    ]))
+}
+
+fn solve(registry: &CampaignRegistry, id: CampaignId) -> Response {
+    match registry.solve(id) {
+        Ok(generation) => ok(map(vec![
+            ("id", Value::Num(id as f64)),
+            ("status", Value::Str("live".into())),
+            ("generation", Value::Num(generation.generation as f64)),
+        ])),
+        Err(e) => pricing_error(&e),
+    }
+}
+
+/// `GET /campaigns/{id}/price?remaining=..&(interval|budget_cents)=..`
+fn price(registry: &CampaignRegistry, id: CampaignId, request: &Request) -> Response {
+    let Some(remaining) = request.query("remaining").and_then(|v| v.parse().ok()) else {
+        return bad_request("missing or invalid `remaining`");
+    };
+    let state = match (request.query("interval"), request.query("budget_cents")) {
+        (Some(interval), None) => match interval.parse() {
+            Ok(interval) => ObservedState::Deadline {
+                remaining,
+                interval,
+            },
+            Err(_) => return bad_request("invalid `interval`"),
+        },
+        (None, Some(cents)) => match cents.parse() {
+            Ok(budget_cents) => ObservedState::Budget {
+                remaining,
+                budget_cents,
+            },
+            Err(_) => return bad_request("invalid `budget_cents`"),
+        },
+        _ => {
+            return bad_request(
+                "pass exactly one of `interval` (deadline) or `budget_cents` (budget)",
+            )
+        }
+    };
+    match registry.quote(id, state) {
+        Ok(quote) => ok(map(vec![
+            ("id", Value::Num(id as f64)),
+            ("price", Value::Num(quote.price)),
+            ("generation", Value::Num(quote.generation as f64)),
+        ])),
+        Err(e) => pricing_error(&e),
+    }
+}
+
+/// `POST /campaigns/{id}/observations` — body
+/// `{"interval": t, "completions": k, "posted_cents": c?}` (deadline) or
+/// `{"completions": k, "spent_cents": s}` (budget).
+fn observe(registry: &CampaignRegistry, id: CampaignId, request: &Request) -> Response {
+    let body = match parse_body(request) {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    let Some(fields) = body.as_map() else {
+        return bad_request("observation must be a JSON object");
+    };
+    let Ok(completions) = map_get(fields, "completions").and_then(u64::from_value) else {
+        return bad_request("missing or invalid `completions`");
+    };
+    let observation = match (map_get(fields, "interval"), map_get(fields, "spent_cents")) {
+        (Ok(interval), Err(_)) => {
+            let Ok(interval) = usize::from_value(interval) else {
+                return bad_request("invalid `interval`");
+            };
+            let posted = match map_get(fields, "posted_cents") {
+                Ok(v) => match Option::<f64>::from_value(v) {
+                    Ok(p) => p,
+                    Err(e) => return bad_request(&format!("bad posted_cents: {e}")),
+                },
+                Err(_) => None,
+            };
+            CampaignObservation::Deadline {
+                interval,
+                completions,
+                posted,
+            }
+        }
+        (Err(_), Ok(spent)) => {
+            let Ok(spent_cents) = usize::from_value(spent) else {
+                return bad_request("invalid `spent_cents`");
+            };
+            CampaignObservation::Budget {
+                completions,
+                spent_cents,
+            }
+        }
+        _ => {
+            return bad_request(
+                "pass exactly one of `interval` (deadline) or `spent_cents` (budget)",
+            )
+        }
+    };
+    match registry.observe(id, observation) {
+        Ok(outcome) => ok(map(vec![
+            ("id", Value::Num(id as f64)),
+            ("status", Value::Str(outcome.status.as_str().into())),
+            ("generation", Value::Num(outcome.generation as f64)),
+            ("correction", Value::Num(outcome.correction)),
+            ("recalibrated", Value::Bool(outcome.recalibrated)),
+            ("remaining", Value::Num(f64::from(outcome.remaining))),
+        ])),
+        Err(e) => pricing_error(&e),
+    }
+}
+
+fn report(registry: &CampaignRegistry, id: CampaignId) -> Response {
+    match registry.report(id) {
+        Ok(report) => {
+            // CampaignReport derives Serialize; rewrite the status enum
+            // tag to its lower-case wire form.
+            let mut value = report.to_value();
+            if let Value::Map(entries) = &mut value {
+                for (key, v) in entries.iter_mut() {
+                    if key == "status" {
+                        *v = Value::Str(report.status.as_str().into());
+                    }
+                }
+            }
+            ok(value)
+        }
+        Err(e) => pricing_error(&e),
+    }
+}
+
+fn delete(registry: &CampaignRegistry, id: CampaignId) -> Response {
+    // Idempotent: deleting a tombstone is fine, an unknown id is 404.
+    match registry.report(id) {
+        Err(e) => pricing_error(&e),
+        Ok(_) => {
+            registry.evict(id);
+            ok(map(vec![
+                ("id", Value::Num(id as f64)),
+                ("status", Value::Str("evicted".into())),
+            ]))
+        }
+    }
+}

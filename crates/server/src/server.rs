@@ -1,0 +1,155 @@
+//! The TCP front: a blocking accept loop with one handler thread per
+//! connection (std only — no async runtime is available offline, and
+//! the reprice hot path is a table lookup, so a thread per connection
+//! with keep-alive amortises spawns well enough for the workloads the
+//! bench snapshot covers).
+
+use crate::http::{read_request, write_response, Response};
+use crate::router;
+use ft_core::registry::CampaignRegistry;
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long a keep-alive connection may sit silent before its handler
+/// thread gives up on it.
+const IDLE_READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// An HTTP server bound to a socket, not yet serving.
+pub struct Server {
+    listener: TcpListener,
+    registry: Arc<CampaignRegistry>,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// Remote control for a running server: its bound address and a
+/// shutdown trigger.
+#[derive(Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Ask the accept loop to exit; idempotent. Returns once the flag is
+    /// set (the loop notices on its next wakeup).
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        // Poke the listener so a blocked accept wakes up.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Server {
+    /// Bind to `addr` (use port 0 for an ephemeral port).
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        registry: Arc<CampaignRegistry>,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Self {
+            listener,
+            registry,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("listener has an address")
+    }
+
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            addr: self.local_addr(),
+            shutdown: Arc::clone(&self.shutdown),
+        }
+    }
+
+    /// Serve until [`ServerHandle::shutdown`] is called. Each connection
+    /// gets its own handler thread; requests on it are answered in order
+    /// with keep-alive. An idle-read timeout bounds how long a silent
+    /// connection can pin its thread (slow-loris guard); a fixed
+    /// acceptor pool for hard connection caps is a ROADMAP item.
+    pub fn serve(self) {
+        for stream in self.listener.incoming() {
+            if self.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let stream = match stream {
+                Ok(stream) => stream,
+                Err(_) => {
+                    // Transient accept errors (EMFILE under connection
+                    // floods, ECONNABORTED) must not busy-spin the
+                    // acceptor; back off briefly and retry.
+                    std::thread::sleep(Duration::from_millis(20));
+                    continue;
+                }
+            };
+            let _ = stream.set_read_timeout(Some(IDLE_READ_TIMEOUT));
+            let registry = Arc::clone(&self.registry);
+            std::thread::spawn(move || handle_connection(stream, &registry));
+        }
+    }
+
+    /// Bind + serve on a background thread; returns the handle and the
+    /// serving thread (join it after `shutdown()` for a clean exit).
+    pub fn spawn<A: ToSocketAddrs>(
+        addr: A,
+        registry: Arc<CampaignRegistry>,
+    ) -> std::io::Result<(ServerHandle, JoinHandle<()>)> {
+        let server = Self::bind(addr, registry)?;
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.serve());
+        Ok((handle, join))
+    }
+}
+
+fn handle_connection(stream: TcpStream, registry: &CampaignRegistry) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let request = match read_request(&mut reader) {
+            Ok(Some(request)) => request,
+            Ok(None) => return, // client closed
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Idle timeout: drop the connection without an answer.
+                return;
+            }
+            Err(_) => {
+                // Malformed request: answer 400 and drop the connection.
+                let _ = write_response(
+                    &mut writer,
+                    &Response::json(
+                        400,
+                        "{\"error\":\"bad_request\",\"message\":\"malformed HTTP request\"}"
+                            .to_string(),
+                    ),
+                    false,
+                );
+                return;
+            }
+        };
+        let response = router::handle(registry, &request);
+        if write_response(&mut writer, &response, request.keep_alive).is_err() {
+            return;
+        }
+        if !request.keep_alive {
+            return;
+        }
+    }
+}

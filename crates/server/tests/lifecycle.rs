@@ -1,0 +1,329 @@
+//! The acceptance-bar integration test: drive the full campaign
+//! lifecycle over a real TCP socket — create → solve → price → observe
+//! drift → recalibrated price changes generation → snapshot save/load →
+//! price survives restart — using only std + the vendored shims.
+
+use ft_core::adaptive::AdaptiveOptions;
+use ft_core::registry::CampaignRegistry;
+use ft_core::{DeadlineProblem, KernelConfig, PenaltyModel};
+use ft_market::{ConstantRate, LogitAcceptance, PriceGrid};
+use ft_server::Server;
+use serde::{map_get, Serialize, Value};
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+/// One request over a fresh connection, JSON-decoded.
+fn request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16, Value) {
+    let (status, body) = ft_server::client::request(addr, method, path, body).expect("request");
+    let value = serde_json::from_str::<Value>(&body).expect("JSON body");
+    (status, value)
+}
+
+fn num(value: &Value, key: &str) -> f64 {
+    map_get(value.as_map().expect("object"), key)
+        .unwrap_or_else(|_| panic!("missing {key} in {value:?}"))
+        .as_num()
+        .unwrap_or_else(|| panic!("{key} not a number in {value:?}"))
+}
+
+fn text<'v>(value: &'v Value, key: &str) -> &'v str {
+    map_get(value.as_map().expect("object"), key)
+        .unwrap_or_else(|_| panic!("missing {key} in {value:?}"))
+        .as_str()
+        .unwrap_or_else(|| panic!("{key} not a string in {value:?}"))
+}
+
+fn problem() -> DeadlineProblem {
+    DeadlineProblem::from_market(
+        20,
+        4.0,
+        12,
+        &ConstantRate::new(150.0),
+        PriceGrid::new(0, 20),
+        &LogitAcceptance::new(4.0, 0.0, 30.0),
+        PenaltyModel::Linear { per_task: 500.0 },
+    )
+}
+
+fn registry() -> Arc<CampaignRegistry> {
+    // Aggressive recalibration so drift shows up within a short test.
+    Arc::new(CampaignRegistry::with_config(
+        KernelConfig::default(),
+        AdaptiveOptions {
+            resolve_every: 3,
+            ..AdaptiveOptions::default()
+        },
+    ))
+}
+
+#[test]
+fn full_lifecycle_over_a_real_socket() {
+    let registry_a = registry();
+    let (handle, join) =
+        Server::spawn("127.0.0.1:0", Arc::clone(&registry_a)).expect("bind server");
+    let addr = handle.addr();
+
+    // Liveness first.
+    let (status, body) = request(addr, "GET", "/healthz", None);
+    assert_eq!(status, 200);
+    assert_eq!(text(&body, "status"), "ok");
+    assert_eq!(num(&body, "campaigns"), 0.0);
+
+    // Create: POST the spec (problem JSON straight from the serde
+    // encoding of DeadlineProblem).
+    let problem_json = serde_json::to_string(&problem().to_value()).expect("problem json");
+    let spec = format!("{{\"kind\":\"deadline\",\"problem\":{problem_json},\"eps\":1e-9}}");
+    let (status, body) = request(addr, "POST", "/campaigns", Some(&spec));
+    assert_eq!(status, 201, "create failed: {body:?}");
+    assert_eq!(text(&body, "status"), "draft");
+    let id = num(&body, "id") as u64;
+
+    // Status shows the draft; price is a structured 409 before solving.
+    let (status, body) = request(addr, "GET", &format!("/campaigns/{id}"), None);
+    assert_eq!(status, 200);
+    assert_eq!(text(&body, "status"), "draft");
+    let (status, body) = request(
+        addr,
+        "GET",
+        &format!("/campaigns/{id}/price?remaining=20&interval=0"),
+        None,
+    );
+    assert_eq!(status, 409);
+    assert_eq!(text(&body, "error"), "not_servable");
+
+    // Solve → live at generation 1.
+    let (status, body) = request(addr, "POST", &format!("/campaigns/{id}/solve"), None);
+    assert_eq!(status, 200, "solve failed: {body:?}");
+    assert_eq!(text(&body, "status"), "live");
+    assert_eq!(num(&body, "generation"), 1.0);
+    // Double-solve is a conflict.
+    let (status, _) = request(addr, "POST", &format!("/campaigns/{id}/solve"), None);
+    assert_eq!(status, 409);
+
+    // Price from generation 1.
+    let (status, body) = request(
+        addr,
+        "GET",
+        &format!("/campaigns/{id}/price?remaining=20&interval=0"),
+        None,
+    );
+    assert_eq!(status, 200);
+    assert_eq!(num(&body, "generation"), 1.0);
+    let initial_price = num(&body, "price");
+    assert!(initial_price >= 0.0);
+
+    // Observe heavy drift (almost no completions vs the trained model)
+    // until a recalibration bumps the generation.
+    let mut generation = 1.0;
+    let mut correction = 1.0;
+    for interval in 0..6 {
+        let obs = format!("{{\"interval\":{interval},\"completions\":1}}");
+        let (status, body) = request(
+            addr,
+            "POST",
+            &format!("/campaigns/{id}/observations"),
+            Some(&obs),
+        );
+        assert_eq!(status, 200, "observe failed: {body:?}");
+        generation = num(&body, "generation");
+        correction = num(&body, "correction");
+    }
+    assert!(generation >= 2.0, "no recalibration after 6 intervals");
+    assert!(correction < 1.0, "drift did not lower ρ̂: {correction}");
+
+    // The recalibrated price is served under the new generation.
+    let (status, body) = request(
+        addr,
+        "GET",
+        &format!("/campaigns/{id}/price?remaining=14&interval=6"),
+        None,
+    );
+    assert_eq!(status, 200);
+    assert_eq!(num(&body, "generation"), generation);
+    let recalibrated_price = num(&body, "price");
+
+    // Diagnostics reflect the recalibration.
+    let (status, body) = request(addr, "GET", &format!("/campaigns/{id}"), None);
+    assert_eq!(status, 200);
+    assert_eq!(text(&body, "status"), "live");
+    assert_eq!(num(&body, "generation"), generation);
+    assert_eq!(num(&body, "observations"), 6.0);
+    assert!(num(&body, "policy_start") > 0.0);
+
+    // Error surface: unknown campaign → 404, kind mismatch → 400.
+    let (status, body) = request(
+        addr,
+        "GET",
+        "/campaigns/999999/price?remaining=1&interval=0",
+        None,
+    );
+    assert_eq!(status, 404);
+    assert_eq!(text(&body, "error"), "unknown_campaign");
+    let (status, body) = request(
+        addr,
+        "GET",
+        &format!("/campaigns/{id}/price?remaining=1&budget_cents=50"),
+        None,
+    );
+    assert_eq!(status, 400);
+    assert_eq!(text(&body, "error"), "state_kind_mismatch");
+
+    // Snapshot, shut the server down, restore into a fresh registry and
+    // serve again: the recalibrated price and generation must survive.
+    let snapshot_path = std::env::temp_dir().join(format!("ft-server-lifecycle-{id}.json"));
+    registry_a.save(&snapshot_path).expect("snapshot save");
+    handle.shutdown();
+    join.join().expect("server thread");
+
+    let restored = Arc::new(
+        CampaignRegistry::load(
+            &snapshot_path,
+            KernelConfig::default(),
+            AdaptiveOptions::default(),
+        )
+        .expect("snapshot load"),
+    );
+    std::fs::remove_file(&snapshot_path).ok();
+    let (handle, join) = Server::spawn("127.0.0.1:0", Arc::clone(&restored)).expect("rebind");
+    let addr = handle.addr();
+
+    let (status, body) = request(
+        addr,
+        "GET",
+        &format!("/campaigns/{id}/price?remaining=14&interval=6"),
+        None,
+    );
+    assert_eq!(status, 200, "price after restart failed: {body:?}");
+    assert_eq!(
+        num(&body, "generation"),
+        generation,
+        "generation lost in restart"
+    );
+    assert_eq!(
+        num(&body, "price"),
+        recalibrated_price,
+        "price lost in restart"
+    );
+    // Observations keep flowing after the restart.
+    let (status, body) = request(
+        addr,
+        "POST",
+        &format!("/campaigns/{id}/observations"),
+        Some("{\"interval\":6,\"completions\":1}"),
+    );
+    assert_eq!(status, 200, "observe after restart failed: {body:?}");
+
+    // Delete: tombstone + structured 409 afterwards, healthz still fine.
+    let (status, body) = request(addr, "DELETE", &format!("/campaigns/{id}"), None);
+    assert_eq!(status, 200);
+    assert_eq!(text(&body, "status"), "evicted");
+    let (status, body) = request(
+        addr,
+        "GET",
+        &format!("/campaigns/{id}/price?remaining=14&interval=6"),
+        None,
+    );
+    assert_eq!(status, 409);
+    assert_eq!(text(&body, "error"), "not_servable");
+    let (status, body) = request(addr, "GET", "/healthz", None);
+    assert_eq!(status, 200);
+    assert_eq!(num(&body, "campaigns"), 0.0);
+
+    handle.shutdown();
+    join.join().expect("server thread");
+}
+
+#[test]
+fn budget_campaign_over_the_wire() {
+    let registry = registry();
+    let (handle, join) = Server::spawn("127.0.0.1:0", Arc::clone(&registry)).expect("bind");
+    let addr = handle.addr();
+
+    let acc = LogitAcceptance::new(4.0, 0.0, 20.0);
+    let problem = ft_core::BudgetProblem::new(
+        10,
+        60.0,
+        ft_core::ActionSet::from_grid(PriceGrid::new(1, 12), &acc),
+        100.0,
+    );
+    let problem_json = serde_json::to_string(&problem.to_value()).expect("problem json");
+    let spec = format!("{{\"kind\":\"budget\",\"problem\":{problem_json}}}");
+    let (status, body) = request(addr, "POST", "/campaigns", Some(&spec));
+    assert_eq!(status, 201, "create failed: {body:?}");
+    let id = num(&body, "id") as u64;
+    let (status, _) = request(addr, "POST", &format!("/campaigns/{id}/solve"), None);
+    assert_eq!(status, 200);
+
+    // Quote on and off plan.
+    let (status, body) = request(
+        addr,
+        "GET",
+        &format!("/campaigns/{id}/price?remaining=10&budget_cents=60"),
+        None,
+    );
+    assert_eq!(status, 200);
+    assert!(num(&body, "price") >= 1.0);
+    // Infeasible state → 422.
+    let (status, body) = request(
+        addr,
+        "GET",
+        &format!("/campaigns/{id}/price?remaining=10&budget_cents=5"),
+        None,
+    );
+    assert_eq!(status, 422);
+    assert_eq!(text(&body, "error"), "infeasible");
+
+    // Progress reports run the campaign down to exhaustion.
+    let (status, body) = request(
+        addr,
+        "POST",
+        &format!("/campaigns/{id}/observations"),
+        Some("{\"completions\":10,\"spent_cents\":55}"),
+    );
+    assert_eq!(status, 200);
+    assert_eq!(text(&body, "status"), "exhausted");
+    let (status, body) = request(addr, "GET", &format!("/campaigns/{id}"), None);
+    assert_eq!(status, 200);
+    assert_eq!(num(&body, "spent_cents"), 55.0);
+    assert_eq!(num(&body, "remaining"), 0.0);
+
+    handle.shutdown();
+    join.join().expect("server thread");
+}
+
+#[test]
+fn malformed_requests_are_structured_400s() {
+    let registry = registry();
+    let (handle, join) = Server::spawn("127.0.0.1:0", Arc::clone(&registry)).expect("bind");
+    let addr = handle.addr();
+
+    // Bad JSON body.
+    let (status, body) = request(addr, "POST", "/campaigns", Some("{not json"));
+    assert_eq!(status, 400);
+    assert_eq!(text(&body, "error"), "bad_request");
+    // Missing kind.
+    let (status, _) = request(addr, "POST", "/campaigns", Some("{\"problem\":{}}"));
+    assert_eq!(status, 400);
+    // Unknown route / bad id.
+    let (status, _) = request(addr, "GET", "/nope", None);
+    assert_eq!(status, 404);
+    let (status, _) = request(addr, "GET", "/campaigns/abc", None);
+    assert_eq!(status, 400);
+    // Price without discriminating params.
+    let problem_json = serde_json::to_string(&problem().to_value()).unwrap();
+    let spec = format!("{{\"kind\":\"deadline\",\"problem\":{problem_json}}}");
+    let (_, body) = request(addr, "POST", "/campaigns", Some(&spec));
+    let id = num(&body, "id") as u64;
+    let (status, _) = request(addr, "POST", &format!("/campaigns/{id}/solve"), None);
+    assert_eq!(status, 200);
+    let (status, _) = request(
+        addr,
+        "GET",
+        &format!("/campaigns/{id}/price?remaining=5"),
+        None,
+    );
+    assert_eq!(status, 400);
+
+    handle.shutdown();
+    join.join().expect("server thread");
+}

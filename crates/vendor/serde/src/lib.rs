@@ -93,6 +93,20 @@ pub trait Deserialize: Sized {
 
 // ---- primitive impls --------------------------------------------------
 
+// The identity impls, like real `serde_json::Value`'s: lets callers
+// serialize hand-built trees and parse into `Value` for inspection.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)

@@ -1,0 +1,169 @@
+//! The campaign lifecycle over HTTP: start `ft-server` on a local port
+//! and drive create → solve → price → observe drift → recalibrate →
+//! snapshot → restart with plain HTTP/JSON requests.
+//!
+//! ```text
+//! cargo run --release --example http_server            # self-driving demo
+//! cargo run --release --example http_server -- --serve # keep serving on 127.0.0.1:8077
+//! ```
+
+use finish_them::core::adaptive::AdaptiveOptions;
+use finish_them::core::registry::CampaignRegistry;
+use finish_them::core::KernelConfig;
+use finish_them::prelude::*;
+use ft_server::Server;
+use serde::{map_get, Serialize, Value};
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+/// One blocking HTTP request over a fresh connection, JSON-decoded.
+fn http(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16, Value) {
+    let (status, body) = ft_server::client::request(addr, method, path, body).expect("request");
+    let value = serde_json::from_str(&body).expect("json");
+    (status, value)
+}
+
+fn num(value: &Value, key: &str) -> f64 {
+    map_get(value.as_map().expect("object"), key)
+        .expect("field")
+        .as_num()
+        .expect("number")
+}
+
+fn registry() -> Arc<CampaignRegistry> {
+    Arc::new(CampaignRegistry::with_config(
+        KernelConfig::default(),
+        AdaptiveOptions {
+            resolve_every: 3,
+            ..AdaptiveOptions::default()
+        },
+    ))
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--serve") {
+        let (handle, join) = Server::spawn("127.0.0.1:8077", registry()).expect("bind :8077");
+        println!(
+            "serving campaign API on http://{} (Ctrl-C to stop)",
+            handle.addr()
+        );
+        join.join().expect("server thread");
+        return;
+    }
+
+    // -- demo mode: spin a server up and walk the whole lifecycle -------
+    let store = registry();
+    let (handle, join) = Server::spawn("127.0.0.1:0", Arc::clone(&store)).expect("bind");
+    let addr = handle.addr();
+    println!("ft-server listening on http://{addr}\n");
+
+    let (status, body) = http(addr, "GET", "/healthz", None);
+    println!("GET /healthz → {status} {body:?}");
+    assert_eq!(status, 200);
+
+    // A 200-task / 24-hour campaign, trained on the paper's marketplace.
+    let problem = DeadlineProblem::from_market(
+        200,
+        24.0,
+        72,
+        &ConstantRate::new(5100.0),
+        PriceGrid::new(0, 40),
+        &LogitAcceptance::paper_eq13(),
+        PenaltyModel::Linear { per_task: 1000.0 },
+    );
+    let spec = format!(
+        "{{\"kind\":\"deadline\",\"problem\":{},\"eps\":1e-9}}",
+        serde_json::to_string(&problem.to_value()).expect("spec json")
+    );
+    let (status, body) = http(addr, "POST", "/campaigns", Some(&spec));
+    let id = num(&body, "id") as u64;
+    println!("POST /campaigns → {status} (campaign {id}, draft)");
+
+    let (status, body) = http(addr, "POST", &format!("/campaigns/{id}/solve"), None);
+    println!(
+        "POST /campaigns/{id}/solve → {status} (generation {})",
+        num(&body, "generation")
+    );
+
+    let (_, body) = http(
+        addr,
+        "GET",
+        &format!("/campaigns/{id}/price?remaining=200&interval=0"),
+        None,
+    );
+    println!(
+        "GET /campaigns/{id}/price?remaining=200&interval=0 → post {} cents (generation {})",
+        num(&body, "price"),
+        num(&body, "generation")
+    );
+
+    // A quiet day (the paper's Jan-1 situation): the policy expects ≈3
+    // completions per 20-minute interval at its opening price, but only
+    // 1 shows up — ρ̂ falls and the remaining horizon is re-solved with
+    // scaled-down arrivals, raising the posted price.
+    println!("\nobserving a quiet day (completions ≈ ⅓ of trained):");
+    let mut remaining = 200u64;
+    for interval in 0..6 {
+        let done = 1u64.min(remaining);
+        remaining -= done;
+        let obs = format!("{{\"interval\":{interval},\"completions\":{done}}}");
+        let (_, body) = http(
+            addr,
+            "POST",
+            &format!("/campaigns/{id}/observations"),
+            Some(&obs),
+        );
+        println!(
+            "  interval {interval}: {done} done → ρ̂ = {:.2}, generation {}{}",
+            num(&body, "correction"),
+            num(&body, "generation"),
+            if map_get(body.as_map().unwrap(), "recalibrated")
+                .is_ok_and(|v| *v == Value::Bool(true))
+            {
+                "  ← recalibrated"
+            } else {
+                ""
+            }
+        );
+    }
+
+    let probe = format!("/campaigns/{id}/price?remaining={}&interval=6", remaining);
+    let (_, body) = http(addr, "GET", &probe, None);
+    let price = num(&body, "price");
+    let generation = num(&body, "generation");
+    println!("\nGET {probe} → post {price} cents (generation {generation})");
+
+    // Snapshot, restart, and show the campaign resume at the same
+    // recalibrated generation.
+    let snapshot = std::env::temp_dir().join("ft-server-demo-snapshot.json");
+    store.save(&snapshot).expect("save snapshot");
+    handle.shutdown();
+    join.join().expect("server thread");
+    println!("\nsnapshot saved to {} — restarting…", snapshot.display());
+
+    let restored = Arc::new(
+        CampaignRegistry::load(
+            &snapshot,
+            KernelConfig::default(),
+            AdaptiveOptions::default(),
+        )
+        .expect("load snapshot"),
+    );
+    std::fs::remove_file(&snapshot).ok();
+    let (handle, join) = Server::spawn("127.0.0.1:0", restored).expect("rebind");
+    let addr = handle.addr();
+    let (_, body) = http(addr, "GET", &probe, None);
+    assert_eq!(num(&body, "price"), price, "price must survive the restart");
+    assert_eq!(num(&body, "generation"), generation);
+    println!(
+        "after restart: GET {probe} → post {} cents (generation {}) — campaign resumed",
+        num(&body, "price"),
+        num(&body, "generation")
+    );
+
+    let (status, _) = http(addr, "DELETE", &format!("/campaigns/{id}"), None);
+    println!("DELETE /campaigns/{id} → {status}");
+    handle.shutdown();
+    join.join().expect("server thread");
+    println!("done.");
+}

@@ -35,13 +35,32 @@
 //! assert!(first_price >= 8.0 && first_price <= 20.0);
 //! ```
 //!
+//! ## Serving campaigns
+//!
+//! Beyond one-shot solves, campaigns are first-class lifecycle objects:
+//! register a [`core::registry::CampaignRegistry`] campaign, solve it,
+//! feed it per-interval completion observations (drifting campaigns are
+//! re-solved on their remaining horizon and atomically swapped to a new
+//! policy generation), snapshot the registry to JSON, and serve it all
+//! over HTTP with the `ft-server` crate ([`server`]):
+//!
+//! ```text
+//! cargo run --release --example http_server            # lifecycle walkthrough
+//! cargo run --release --example http_server -- --serve # listen on 127.0.0.1:8077
+//! ```
+//!
+//! See `examples/http_server.rs` and ARCHITECTURE.md for the endpoint
+//! table and the snapshot format.
+//!
 //! The workspace crates are re-exported here:
 //! [`stats`] (distributions/regression), [`market`] (NHPP arrivals, choice
 //! models, tracker traces, live simulator), [`core`] (the pricing
-//! algorithms) and [`sim`] (the paper's experiments).
+//! algorithms), [`sim`] (the paper's experiments) and [`server`] (the
+//! HTTP front-end).
 
 pub use ft_core as core;
 pub use ft_market as market;
+pub use ft_server as server;
 pub use ft_sim as sim;
 pub use ft_stats as stats;
 
