@@ -64,6 +64,7 @@ pub mod policy;
 pub mod problem;
 pub mod registry;
 pub mod service;
+pub mod telemetry;
 pub mod testkit;
 
 pub use actions::{ActionSet, PriceAction};

@@ -43,10 +43,13 @@ use crate::kernel::deadline::solve_deadline;
 use crate::kernel::{KernelConfig, Sweep, TruncationTable};
 use crate::policy::{DeadlinePolicy, PriceController};
 use crate::problem::DeadlineProblem;
+use crate::telemetry::RegistryTelemetry;
+use ft_metrics::MetricsRegistry;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
 
 /// Truncation mass used when a deadline campaign doesn't specify one.
 pub const DEFAULT_EPS: f64 = 1e-9;
@@ -385,6 +388,7 @@ pub struct CampaignRegistry {
     adaptive: AdaptiveOptions,
     next_id: AtomicU64,
     campaigns: RwLock<HashMap<CampaignId, Arc<Campaign>>>,
+    telemetry: RegistryTelemetry,
 }
 
 impl Default for CampaignRegistry {
@@ -415,12 +419,34 @@ impl CampaignRegistry {
     /// [`KernelConfig::serial`] in latency-sensitive embedders, or a
     /// shorter `resolve_every` for aggressive recalibration).
     pub fn with_config(cfg: KernelConfig, adaptive: AdaptiveOptions) -> Self {
+        Self::with_metrics(cfg, adaptive, Arc::new(MetricsRegistry::new()))
+    }
+
+    /// Like [`CampaignRegistry::with_config`], sharing a caller-owned
+    /// metrics plane — `ft-server` passes its own so one `/metrics`
+    /// export covers both the HTTP layer and the registry.
+    pub fn with_metrics(
+        cfg: KernelConfig,
+        adaptive: AdaptiveOptions,
+        metrics: Arc<MetricsRegistry>,
+    ) -> Self {
         Self {
             cfg,
             adaptive,
             next_id: AtomicU64::new(1),
             campaigns: RwLock::new(HashMap::new()),
+            telemetry: RegistryTelemetry::new(metrics),
         }
+    }
+
+    /// The shared observability plane this registry reports into.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        self.telemetry.metrics()
+    }
+
+    /// The registry's pre-resolved instruments.
+    pub fn telemetry(&self) -> &RegistryTelemetry {
+        &self.telemetry
     }
 
     fn get(&self, id: CampaignId) -> Result<Arc<Campaign>> {
@@ -479,10 +505,13 @@ impl CampaignRegistry {
             state.spec.clone()
         };
         // The expensive part runs with no lock held at all.
+        let started = Instant::now();
         let solved = self.solve_spec(&spec, cfg);
+        self.telemetry.solve_ns.record_duration(started.elapsed());
         let mut state = campaign.state.lock().expect("campaign lock poisoned");
         if campaign.status() != CampaignStatus::Solving {
             // Evicted while we were solving; drop the result.
+            self.telemetry.solve_errors.inc();
             return Err(PricingError::NotServable {
                 id,
                 status: campaign.status().as_str(),
@@ -494,10 +523,13 @@ impl CampaignRegistry {
                 let policy = Arc::new(policy);
                 campaign.publish(1, start, Arc::clone(&policy));
                 campaign.set_status(CampaignStatus::Live);
+                self.telemetry.solves.inc();
+                self.telemetry.generation_swaps.inc();
                 Ok(campaign.generation().expect("just published"))
             }
             Err(e) => {
                 campaign.set_status(CampaignStatus::Draft);
+                self.telemetry.solve_errors.inc();
                 Err(e)
             }
         }
@@ -586,8 +618,12 @@ impl CampaignRegistry {
         cfg: &KernelConfig,
     ) -> Result<Arc<PolicyGeneration>> {
         self.next_id.fetch_max(id + 1, Ordering::Relaxed);
-        match self.solve_spec(&spec, cfg) {
+        let started = Instant::now();
+        let solved = self.solve_spec(&spec, cfg);
+        self.telemetry.solve_ns.record_duration(started.elapsed());
+        match solved {
             Ok((engine, policy, start)) => {
+                self.telemetry.solves.inc();
                 let campaign = Arc::new(Campaign::new(spec));
                 campaign
                     .state
@@ -645,6 +681,7 @@ impl CampaignRegistry {
                         None => 1,
                     };
                     drop(old_state);
+                    self.telemetry.generation_swaps.inc();
                     campaign.publish(generation, start, Arc::clone(&policy));
                     campaign.set_status(CampaignStatus::Live);
                     // Read the published generation back *before*
@@ -657,6 +694,7 @@ impl CampaignRegistry {
                 }
             }
             Err(e) => {
+                self.telemetry.solve_errors.inc();
                 let known = self
                     .campaigns
                     .read()
@@ -711,6 +749,15 @@ impl CampaignRegistry {
     /// keeps this answering from the previous generation until its one
     /// pointer swap.
     pub fn quote(&self, id: CampaignId, state: ObservedState) -> Result<PriceQuote> {
+        self.telemetry.quotes.inc();
+        let result = self.quote_inner(id, state);
+        if result.is_err() {
+            self.telemetry.quote_errors.inc();
+        }
+        result
+    }
+
+    fn quote_inner(&self, id: CampaignId, state: ObservedState) -> Result<PriceQuote> {
         let mut campaign = self.get(id)?;
         let current = match campaign.generation() {
             Some(current) => current,
@@ -791,6 +838,21 @@ impl CampaignRegistry {
     /// answers every `(remaining, budget)` state, so drift in arrivals
     /// changes latency, not prices.
     pub fn observe(&self, id: CampaignId, obs: CampaignObservation) -> Result<ObserveOutcome> {
+        let result = self.observe_inner(id, obs);
+        match &result {
+            Ok(outcome) => {
+                self.telemetry.observes.inc();
+                if outcome.recalibrated {
+                    self.telemetry.recalibrations.inc();
+                    self.telemetry.generation_swaps.inc();
+                }
+            }
+            Err(_) => self.telemetry.observe_errors.inc(),
+        }
+        result
+    }
+
+    fn observe_inner(&self, id: CampaignId, obs: CampaignObservation) -> Result<ObserveOutcome> {
         let campaign = self.get(id)?;
         let mut state = campaign.state.lock().expect("campaign lock poisoned");
         let status = campaign.status();
@@ -1031,6 +1093,28 @@ impl CampaignRegistry {
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Campaign counts bucketed by lifecycle status, in enum order —
+    /// the `/healthz` fleet summary.
+    pub fn status_counts(&self) -> [(CampaignStatus, usize); 6] {
+        let mut counts = [
+            (CampaignStatus::Draft, 0),
+            (CampaignStatus::Solving, 0),
+            (CampaignStatus::Live, 0),
+            (CampaignStatus::Recalibrating, 0),
+            (CampaignStatus::Exhausted, 0),
+            (CampaignStatus::Evicted, 0),
+        ];
+        for campaign in self
+            .campaigns
+            .read()
+            .expect("campaign registry lock poisoned")
+            .values()
+        {
+            counts[campaign.status() as usize].1 += 1;
+        }
+        counts
     }
 
     /// Number of campaigns currently holding a live policy generation.
@@ -1540,6 +1624,76 @@ mod tests {
             registry.report(id).unwrap_err(),
             PricingError::UnknownCampaign(id)
         );
+    }
+
+    #[test]
+    fn telemetry_counts_lifecycle_events() {
+        let registry = CampaignRegistry::new();
+        let id = registry.register(deadline_spec());
+        registry.solve(id).unwrap();
+        // A failed double-solve is a solve error, not a solve.
+        registry.solve(id).unwrap_err();
+        let good = ObservedState::Deadline {
+            remaining: 20,
+            interval: 0,
+        };
+        registry.quote(id, good).unwrap();
+        registry.quote(id, good).unwrap();
+        registry
+            .quote(
+                id,
+                ObservedState::Budget {
+                    remaining: 1,
+                    budget_cents: 1,
+                },
+            )
+            .unwrap_err();
+        let mut recalibrations = 0;
+        for interval in 0..4 {
+            let outcome = registry
+                .observe(
+                    id,
+                    CampaignObservation::Deadline {
+                        interval,
+                        completions: 1,
+                        posted: None,
+                    },
+                )
+                .unwrap();
+            recalibrations += u64::from(outcome.recalibrated);
+        }
+        registry
+            .observe(
+                id,
+                CampaignObservation::Deadline {
+                    interval: 0,
+                    completions: 1,
+                    posted: None,
+                },
+            )
+            .unwrap_err();
+        assert!(recalibrations >= 1);
+        let t = registry.telemetry();
+        assert_eq!(t.solves.get(), 1);
+        assert_eq!(t.solve_errors.get(), 0); // double-solve fails before solving
+        assert_eq!(t.quotes.get(), 3);
+        assert_eq!(t.quote_errors.get(), 1);
+        assert_eq!(t.observes.get(), 4);
+        assert_eq!(t.observe_errors.get(), 1);
+        assert_eq!(t.recalibrations.get(), recalibrations);
+        assert_eq!(t.generation_swaps.get(), 1 + recalibrations);
+        assert_eq!(t.solve_ns.snapshot().count, 1);
+        // The named instruments are visible through the shared plane.
+        let exported = registry.metrics().to_prometheus();
+        assert!(exported.contains("ft_core_quotes_total 3"));
+        // Status counts feed /healthz.
+        let live = registry
+            .status_counts()
+            .iter()
+            .find(|(s, _)| *s == CampaignStatus::Live)
+            .unwrap()
+            .1;
+        assert_eq!(live, 1);
     }
 
     #[test]

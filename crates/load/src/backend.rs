@@ -1,0 +1,235 @@
+//! The two ways a scenario can drive the serving path: straight into
+//! an in-process [`CampaignRegistry`], or over real sockets against a
+//! running `ft-server`. The closed-loop driver is generic over this
+//! trait, so both modes run byte-identical workloads.
+
+use ft_core::registry::{
+    CampaignObservation, CampaignRegistry, CampaignSpec, CampaignStatus, ObservedState,
+};
+use ft_core::PricingError;
+use serde::{map_get, Serialize, Value};
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+/// A price quote as the driver consumes it.
+#[derive(Debug, Clone, Copy)]
+pub struct PriceAnswer {
+    pub price: f64,
+    pub generation: u64,
+}
+
+/// An accepted observation as the driver consumes it.
+#[derive(Debug, Clone, Copy)]
+pub struct ObserveAnswer {
+    pub recalibrated: bool,
+    pub remaining: u32,
+    pub exhausted: bool,
+}
+
+/// Why an operation didn't answer.
+#[derive(Debug, Clone)]
+pub enum OpError {
+    /// A budget campaign reached a state its table calls infeasible —
+    /// the campaign is done from the driver's perspective, not broken.
+    BudgetExhausted,
+    /// A real failure: transport error or an unexpected status.
+    Failed(String),
+}
+
+pub type OpResult<T> = Result<T, OpError>;
+
+/// One serving surface the generator can drive.
+pub trait Backend: Sync {
+    fn label(&self) -> &'static str;
+    fn create(&self, spec: &CampaignSpec) -> OpResult<u64>;
+    fn solve(&self, id: u64) -> OpResult<()>;
+    fn price(&self, id: u64, state: ObservedState) -> OpResult<PriceAnswer>;
+    fn observe(&self, id: u64, obs: CampaignObservation) -> OpResult<ObserveAnswer>;
+}
+
+// ---- in-process ------------------------------------------------------
+
+/// Drives the registry API directly — no sockets, no serialization.
+pub struct InProcessBackend {
+    pub registry: Arc<CampaignRegistry>,
+}
+
+fn pricing_failure(op: &str, e: &PricingError) -> OpError {
+    OpError::Failed(format!("{op}: {e}"))
+}
+
+impl Backend for InProcessBackend {
+    fn label(&self) -> &'static str {
+        "in_process"
+    }
+
+    fn create(&self, spec: &CampaignSpec) -> OpResult<u64> {
+        Ok(self.registry.register(spec.clone()))
+    }
+
+    fn solve(&self, id: u64) -> OpResult<()> {
+        self.registry
+            .solve(id)
+            .map(|_| ())
+            .map_err(|e| pricing_failure("solve", &e))
+    }
+
+    fn price(&self, id: u64, state: ObservedState) -> OpResult<PriceAnswer> {
+        match self.registry.quote(id, state) {
+            Ok(quote) => Ok(PriceAnswer {
+                price: quote.price,
+                generation: quote.generation,
+            }),
+            Err(PricingError::Infeasible(_)) => Err(OpError::BudgetExhausted),
+            Err(e) => Err(pricing_failure("price", &e)),
+        }
+    }
+
+    fn observe(&self, id: u64, obs: CampaignObservation) -> OpResult<ObserveAnswer> {
+        self.registry
+            .observe(id, obs)
+            .map(|outcome| ObserveAnswer {
+                recalibrated: outcome.recalibrated,
+                remaining: outcome.remaining,
+                exhausted: outcome.status == CampaignStatus::Exhausted,
+            })
+            .map_err(|e| pricing_failure("observe", &e))
+    }
+}
+
+// ---- socket ----------------------------------------------------------
+
+/// Drives a running `ft-server` over real TCP connections using the
+/// same wire format any external client would.
+pub struct SocketBackend {
+    pub addr: SocketAddr,
+}
+
+impl SocketBackend {
+    fn call(&self, method: &str, path: &str, body: Option<&str>) -> OpResult<(u16, Value)> {
+        let (status, body) = ft_server::client::request(self.addr, method, path, body)
+            .map_err(|e| OpError::Failed(format!("{method} {path}: {e}")))?;
+        let value = serde_json::from_str::<Value>(&body)
+            .map_err(|e| OpError::Failed(format!("{method} {path}: bad JSON body: {e}")))?;
+        Ok((status, value))
+    }
+
+    fn expect_2xx(&self, op: &str, status: u16, body: &Value) -> OpResult<()> {
+        if (200..300).contains(&status) {
+            Ok(())
+        } else {
+            Err(OpError::Failed(format!("{op}: HTTP {status}: {body:?}")))
+        }
+    }
+}
+
+fn field_num(value: &Value, key: &str) -> OpResult<f64> {
+    map_get(value.as_map().unwrap_or(&[]), key)
+        .ok()
+        .and_then(Value::as_num)
+        .ok_or_else(|| OpError::Failed(format!("missing numeric `{key}` in {value:?}")))
+}
+
+fn field_bool(value: &Value, key: &str) -> OpResult<bool> {
+    match map_get(value.as_map().unwrap_or(&[]), key) {
+        Ok(Value::Bool(b)) => Ok(*b),
+        other => Err(OpError::Failed(format!("missing bool `{key}`: {other:?}"))),
+    }
+}
+
+fn field_str<'v>(value: &'v Value, key: &str) -> OpResult<&'v str> {
+    map_get(value.as_map().unwrap_or(&[]), key)
+        .ok()
+        .and_then(Value::as_str)
+        .ok_or_else(|| OpError::Failed(format!("missing string `{key}` in {value:?}")))
+}
+
+/// The flattened wire form the router accepts (`{"kind": ...,
+/// "problem": ..., "eps": ...}`).
+pub fn spec_to_wire_json(spec: &CampaignSpec) -> String {
+    match spec {
+        CampaignSpec::Deadline { problem, eps } => {
+            let problem = serde_json::to_string(&problem.to_value()).expect("problem json");
+            match eps {
+                Some(eps) => {
+                    format!("{{\"kind\":\"deadline\",\"problem\":{problem},\"eps\":{eps}}}")
+                }
+                None => format!("{{\"kind\":\"deadline\",\"problem\":{problem}}}"),
+            }
+        }
+        CampaignSpec::Budget { problem } => {
+            let problem = serde_json::to_string(&problem.to_value()).expect("problem json");
+            format!("{{\"kind\":\"budget\",\"problem\":{problem}}}")
+        }
+    }
+}
+
+impl Backend for SocketBackend {
+    fn label(&self) -> &'static str {
+        "socket"
+    }
+
+    fn create(&self, spec: &CampaignSpec) -> OpResult<u64> {
+        let wire = spec_to_wire_json(spec);
+        let (status, body) = self.call("POST", "/campaigns", Some(&wire))?;
+        self.expect_2xx("create", status, &body)?;
+        Ok(field_num(&body, "id")? as u64)
+    }
+
+    fn solve(&self, id: u64) -> OpResult<()> {
+        let (status, body) = self.call("POST", &format!("/campaigns/{id}/solve"), None)?;
+        self.expect_2xx("solve", status, &body)
+    }
+
+    fn price(&self, id: u64, state: ObservedState) -> OpResult<PriceAnswer> {
+        let path = match state {
+            ObservedState::Deadline {
+                remaining,
+                interval,
+            } => format!("/campaigns/{id}/price?remaining={remaining}&interval={interval}"),
+            ObservedState::Budget {
+                remaining,
+                budget_cents,
+            } => format!("/campaigns/{id}/price?remaining={remaining}&budget_cents={budget_cents}"),
+        };
+        let (status, body) = self.call("GET", &path, None)?;
+        if status == 422 && matches!(state, ObservedState::Budget { .. }) {
+            return Err(OpError::BudgetExhausted);
+        }
+        self.expect_2xx("price", status, &body)?;
+        Ok(PriceAnswer {
+            price: field_num(&body, "price")?,
+            generation: field_num(&body, "generation")? as u64,
+        })
+    }
+
+    fn observe(&self, id: u64, obs: CampaignObservation) -> OpResult<ObserveAnswer> {
+        let body = match obs {
+            CampaignObservation::Deadline {
+                interval,
+                completions,
+                posted,
+            } => match posted {
+                Some(posted) => format!(
+                    "{{\"interval\":{interval},\"completions\":{completions},\"posted_cents\":{posted}}}"
+                ),
+                None => format!("{{\"interval\":{interval},\"completions\":{completions}}}"),
+            },
+            CampaignObservation::Budget {
+                completions,
+                spent_cents,
+            } => format!("{{\"completions\":{completions},\"spent_cents\":{spent_cents}}}"),
+        };
+        let (status, value) = self.call(
+            "POST",
+            &format!("/campaigns/{id}/observations"),
+            Some(&body),
+        )?;
+        self.expect_2xx("observe", status, &value)?;
+        Ok(ObserveAnswer {
+            recalibrated: field_bool(&value, "recalibrated")?,
+            remaining: field_num(&value, "remaining")? as u32,
+            exhausted: field_str(&value, "status")? == "exhausted",
+        })
+    }
+}

@@ -1,0 +1,343 @@
+//! The closed-loop driver: registers and solves the fleet through a
+//! [`Backend`], then runs the feedback loop the paper's serving story
+//! needs — **quote a price, simulate the worker population's response
+//! to that price, report the outcome back** — so recalibration fires
+//! under load exactly as it would in production. Worker arrivals come
+//! from `ft-market`'s thinned-NHPP sampler and acceptance from each
+//! group's logit model; the loop is *closed* because the next request
+//! for a campaign only goes out after the previous answer is in.
+//!
+//! Client-side latencies and counts flow through `ft-metrics`
+//! instruments (the generator dogfoods the observability plane it
+//! exists to exercise), and the run's self-checks — no dropped
+//! samples, no torn merges, every op accounted — come from comparing
+//! independent counters against histogram totals.
+
+use crate::backend::{Backend, OpError, OpResult};
+use crate::scenario::{CampaignKind, FleetGroup, Scenario};
+use ft_core::registry::{CampaignObservation, ObservedState};
+use ft_market::nhpp::sample_thinned_count;
+use ft_metrics::{Counter, Histogram, HistogramSnapshot, MetricsRegistry};
+use ft_stats::seeded_rng;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// How many error messages the report keeps verbatim.
+const ERROR_SAMPLE_CAP: usize = 10;
+
+/// The operations the driver distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    Create,
+    Solve,
+    Price,
+    Observe,
+}
+
+impl Op {
+    pub const ALL: [Op; 4] = [Op::Create, Op::Solve, Op::Price, Op::Observe];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Op::Create => "create",
+            Op::Solve => "solve",
+            Op::Price => "price",
+            Op::Observe => "observe",
+        }
+    }
+}
+
+/// Client-side instruments for one run.
+pub struct RunInstruments {
+    plane: Arc<MetricsRegistry>,
+    ops: Vec<Arc<Counter>>,
+    latency: Vec<Arc<Histogram>>,
+    pub errors: Arc<Counter>,
+    pub recalibrations: Arc<Counter>,
+    pub completions: Arc<Counter>,
+    pub budget_exhaustions: Arc<Counter>,
+    error_samples: Mutex<Vec<String>>,
+}
+
+impl Default for RunInstruments {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RunInstruments {
+    pub fn new() -> Self {
+        let plane = Arc::new(MetricsRegistry::new());
+        let ops = Op::ALL
+            .iter()
+            .map(|op| plane.counter(&format!("ft_load_requests_total{{op=\"{}\"}}", op.label())))
+            .collect();
+        let latency = Op::ALL
+            .iter()
+            .map(|op| plane.histogram(&format!("ft_load_request_ns{{op=\"{}\"}}", op.label())))
+            .collect();
+        Self {
+            ops,
+            latency,
+            errors: plane.counter("ft_load_errors_total"),
+            recalibrations: plane.counter("ft_load_recalibrations_total"),
+            completions: plane.counter("ft_load_completions_total"),
+            budget_exhaustions: plane.counter("ft_load_budget_exhaustions_total"),
+            error_samples: Mutex::new(Vec::new()),
+            plane,
+        }
+    }
+
+    fn index(op: Op) -> usize {
+        Op::ALL.iter().position(|o| *o == op).expect("op in ALL")
+    }
+
+    /// Run `f` as one timed `op`: latency into the histogram, the op
+    /// counted, real failures sampled for the report.
+    fn timed<T>(&self, op: Op, f: impl FnOnce() -> OpResult<T>) -> OpResult<T> {
+        let started = Instant::now();
+        let result = f();
+        let i = Self::index(op);
+        self.latency[i].record_duration(started.elapsed());
+        self.ops[i].inc();
+        if let Err(OpError::Failed(message)) = &result {
+            self.errors.inc();
+            let mut samples = self.error_samples.lock().expect("error samples poisoned");
+            if samples.len() < ERROR_SAMPLE_CAP {
+                samples.push(message.clone());
+            }
+        }
+        result
+    }
+
+    pub fn op_count(&self, op: Op) -> u64 {
+        self.ops[Self::index(op)].get()
+    }
+
+    pub fn latency_snapshot(&self, op: Op) -> HistogramSnapshot {
+        self.latency[Self::index(op)].snapshot()
+    }
+
+    pub fn plane(&self) -> &Arc<MetricsRegistry> {
+        &self.plane
+    }
+}
+
+/// One campaign's driver-side state.
+struct Flight {
+    id: u64,
+    group: usize,
+    remaining: u32,
+    /// Budget cents still unspent (budget campaigns).
+    budget_left: usize,
+    /// Next full-horizon interval to report (deadline campaigns).
+    next_interval: usize,
+    done: bool,
+}
+
+/// Everything the report needs about one completed run.
+pub struct RunOutcome {
+    pub backend: &'static str,
+    pub duration_seconds: f64,
+    pub campaigns: usize,
+    pub requests: u64,
+    pub errors: u64,
+    pub error_samples: Vec<String>,
+    pub recalibrations: u64,
+    pub completions: u64,
+    pub budget_exhaustions: u64,
+    /// Histogram samples clamped at the range cap (must be 0).
+    pub dropped_samples: u64,
+    /// Ops whose counter disagrees with the merged histogram count
+    /// (must be 0 — a torn merge or lost increment would show here).
+    pub torn_mismatches: u64,
+    pub op_counts: Vec<(&'static str, u64)>,
+    pub latency: Vec<(&'static str, HistogramSnapshot)>,
+}
+
+impl RunOutcome {
+    pub fn throughput_rps(&self) -> f64 {
+        if self.duration_seconds > 0.0 {
+            self.requests as f64 / self.duration_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Register + solve + drive the whole scenario against `backend`.
+pub fn run(scenario: &Scenario, backend: &dyn Backend, instruments: &RunInstruments) -> RunOutcome {
+    let started = Instant::now();
+
+    // ---- setup: register and solve the fleet -------------------------
+    let mut flights = Vec::with_capacity(scenario.campaign_count());
+    for (group_index, group) in scenario.fleet.iter().enumerate() {
+        for _ in 0..group.count {
+            let spec = group.spec();
+            let created = instruments.timed(Op::Create, || backend.create(&spec));
+            let Ok(id) = created else { continue };
+            if instruments.timed(Op::Solve, || backend.solve(id)).is_err() {
+                continue;
+            }
+            flights.push(Flight {
+                id,
+                group: group_index,
+                remaining: group.n_tasks,
+                budget_left: group.budget_cents,
+                next_interval: 0,
+                done: false,
+            });
+        }
+    }
+
+    // ---- drive: closed loop, fleet partitioned across workers -------
+    let workers = scenario.concurrency.min(flights.len().max(1));
+    let mut partitions: Vec<Vec<Flight>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, flight) in flights.into_iter().enumerate() {
+        partitions[i % workers].push(flight);
+    }
+    std::thread::scope(|s| {
+        for (worker, mut partition) in partitions.into_iter().enumerate() {
+            let seed = scenario.seed + worker as u64;
+            s.spawn(move || {
+                let mut rng = seeded_rng(seed);
+                for _round in 0..scenario.intervals {
+                    for flight in partition.iter_mut() {
+                        if !flight.done {
+                            let group = &scenario.fleet[flight.group];
+                            drive_round(backend, instruments, scenario, group, flight, &mut rng);
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    // ---- self-checks -------------------------------------------------
+    let mut dropped = 0;
+    let mut torn = 0;
+    let mut op_counts = Vec::new();
+    let mut latency = Vec::new();
+    let mut requests = 0;
+    for op in Op::ALL {
+        let counted = instruments.op_count(op);
+        let snapshot = instruments.latency_snapshot(op);
+        dropped += snapshot.clamped;
+        torn += counted.abs_diff(snapshot.count);
+        requests += counted;
+        op_counts.push((op.label(), counted));
+        latency.push((op.label(), snapshot));
+    }
+    RunOutcome {
+        backend: backend.label(),
+        duration_seconds: started.elapsed().as_secs_f64(),
+        campaigns: scenario.campaign_count(),
+        requests,
+        errors: instruments.errors.get(),
+        error_samples: instruments
+            .error_samples
+            .lock()
+            .expect("error samples poisoned")
+            .clone(),
+        recalibrations: instruments.recalibrations.get(),
+        completions: instruments.completions.get(),
+        budget_exhaustions: instruments.budget_exhaustions.get(),
+        dropped_samples: dropped,
+        torn_mismatches: torn,
+        op_counts,
+        latency,
+    }
+}
+
+/// One closed-loop round for one campaign: price → simulated market
+/// response → observation fed back.
+fn drive_round(
+    backend: &dyn Backend,
+    instruments: &RunInstruments,
+    scenario: &Scenario,
+    group: &FleetGroup,
+    flight: &mut Flight,
+    rng: &mut rand::rngs::StdRng,
+) {
+    match group.kind {
+        CampaignKind::Deadline => {
+            let interval = flight.next_interval;
+            if interval >= group.n_intervals {
+                flight.done = true;
+                return;
+            }
+            let state = ObservedState::Deadline {
+                remaining: flight.remaining,
+                interval,
+            };
+            let quote = match instruments.timed(Op::Price, || backend.price(flight.id, state)) {
+                Ok(quote) => quote,
+                Err(_) => {
+                    flight.done = true;
+                    return;
+                }
+            };
+            // The "real" worker population: arrivals drifted off the
+            // trained model, thinned by acceptance at the posted price.
+            let lambda_true = group.interval_arrivals() * scenario.drift;
+            let accept = group.acceptance().p_f64(quote.price);
+            let completions =
+                sample_thinned_count(lambda_true, accept, rng).min(u64::from(flight.remaining));
+            let obs = CampaignObservation::Deadline {
+                interval,
+                completions,
+                posted: Some(quote.price),
+            };
+            match instruments.timed(Op::Observe, || backend.observe(flight.id, obs)) {
+                Ok(answer) => {
+                    instruments.completions.add(completions);
+                    if answer.recalibrated {
+                        instruments.recalibrations.inc();
+                    }
+                    flight.remaining = answer.remaining;
+                    flight.next_interval = interval + 1;
+                    flight.done = answer.exhausted;
+                }
+                Err(_) => flight.done = true,
+            }
+        }
+        CampaignKind::Budget => {
+            let state = ObservedState::Budget {
+                remaining: flight.remaining,
+                budget_cents: flight.budget_left,
+            };
+            let quote = match instruments.timed(Op::Price, || backend.price(flight.id, state)) {
+                Ok(quote) => quote,
+                Err(OpError::BudgetExhausted) => {
+                    instruments.budget_exhaustions.inc();
+                    flight.done = true;
+                    return;
+                }
+                Err(_) => {
+                    flight.done = true;
+                    return;
+                }
+            };
+            let tick_hours = group.horizon_hours / group.n_intervals as f64;
+            let lambda_true = group.arrivals_per_hour * tick_hours * scenario.drift;
+            let accept = group.acceptance().p_f64(quote.price);
+            let completions =
+                sample_thinned_count(lambda_true, accept, rng).min(u64::from(flight.remaining));
+            let spent =
+                ((completions as f64 * quote.price).round() as usize).min(flight.budget_left);
+            let obs = CampaignObservation::Budget {
+                completions,
+                spent_cents: spent,
+            };
+            match instruments.timed(Op::Observe, || backend.observe(flight.id, obs)) {
+                Ok(answer) => {
+                    instruments.completions.add(completions);
+                    flight.remaining = answer.remaining;
+                    flight.budget_left -= spent;
+                    flight.done = answer.exhausted || flight.budget_left == 0;
+                }
+                Err(_) => flight.done = true,
+            }
+        }
+    }
+}

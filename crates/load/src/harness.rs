@@ -1,0 +1,181 @@
+//! Mode orchestration: run a scenario against an in-process registry,
+//! or spin up a real `ft-server`, drive it over sockets, flood it, and
+//! cross-check the server's `/metrics` against the client's own
+//! counts.
+
+use crate::backend::{InProcessBackend, SocketBackend};
+use crate::driver::{self, Op, RunInstruments, RunOutcome};
+use crate::scenario::Scenario;
+use ft_core::adaptive::AdaptiveOptions;
+use ft_core::registry::CampaignRegistry;
+use ft_core::KernelConfig;
+use ft_server::{Server, ServerConfig};
+use serde::{map_get, Value};
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+/// Socket-mode extras: the connection-flood phase and the
+/// server-vs-client metrics reconciliation.
+pub struct SocketExtras {
+    pub flood: FloodOutcome,
+    pub crosscheck: CrosscheckOutcome,
+    pub server_workers: usize,
+    pub server_queue_depth: usize,
+}
+
+/// What happened when `connections` clients hit the server at once.
+pub struct FloodOutcome {
+    pub connections: usize,
+    /// Served normally (200).
+    pub ok: usize,
+    /// Cleanly rejected at capacity (503).
+    pub busy: usize,
+    /// Anything else — a hung or dropped connection. Must be 0.
+    pub failed: usize,
+}
+
+/// One reconciled counter: what the client did vs what the server saw.
+pub struct CrosscheckEntry {
+    pub name: String,
+    pub client: u64,
+    pub server: u64,
+}
+
+pub struct CrosscheckOutcome {
+    pub entries: Vec<CrosscheckEntry>,
+    pub matched: bool,
+}
+
+fn registry_for(scenario: &Scenario) -> Arc<CampaignRegistry> {
+    Arc::new(CampaignRegistry::with_config(
+        KernelConfig::default(),
+        AdaptiveOptions {
+            resolve_every: scenario.resolve_every,
+            ..AdaptiveOptions::default()
+        },
+    ))
+}
+
+/// Drive the registry directly, no sockets.
+pub fn run_in_process(scenario: &Scenario) -> RunOutcome {
+    let backend = InProcessBackend {
+        registry: registry_for(scenario),
+    };
+    let instruments = RunInstruments::new();
+    driver::run(scenario, &backend, &instruments)
+}
+
+/// Spin up `ft-server` on an ephemeral port, drive it over real
+/// sockets, flood it, reconcile `/metrics`, and shut it down.
+pub fn run_socket(scenario: &Scenario) -> Result<(RunOutcome, SocketExtras), String> {
+    let config = ServerConfig {
+        workers: scenario.server_workers.max(1),
+        queue_depth: scenario.server_queue_depth.max(1),
+    };
+    let (handle, join) = Server::spawn_with("127.0.0.1:0", registry_for(scenario), config)
+        .map_err(|e| format!("bind server: {e}"))?;
+    let addr = handle.addr();
+
+    let backend = SocketBackend { addr };
+    let instruments = RunInstruments::new();
+    let outcome = driver::run(scenario, &backend, &instruments);
+    let flood = flood(addr, scenario.flood_connections);
+    let crosscheck = crosscheck(addr, &instruments);
+
+    // Shut the server down before propagating a crosscheck failure —
+    // an early `?` above this point would leak the serving threads and
+    // their listener for the rest of the process.
+    handle.shutdown();
+    join.join()
+        .map_err(|_| "server thread panicked".to_string())?;
+    Ok((
+        outcome,
+        SocketExtras {
+            flood,
+            crosscheck: crosscheck?,
+            server_workers: config.workers,
+            server_queue_depth: config.queue_depth,
+        },
+    ))
+}
+
+/// Open `connections` concurrent connections, each making one request.
+/// The server must answer every one — 200 when a worker is free, 503
+/// when the bounded queue is full — and never hang or drop one.
+fn flood(addr: SocketAddr, connections: usize) -> FloodOutcome {
+    let mut statuses = Vec::with_capacity(connections);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..connections)
+            .map(|_| {
+                s.spawn(
+                    move || match ft_server::client::request(addr, "GET", "/healthz", None) {
+                        Ok((status, _)) => status,
+                        Err(_) => 0,
+                    },
+                )
+            })
+            .collect();
+        for handle in handles {
+            statuses.push(handle.join().unwrap_or(0));
+        }
+    });
+    FloodOutcome {
+        connections,
+        ok: statuses.iter().filter(|&&s| s == 200).count(),
+        busy: statuses.iter().filter(|&&s| s == 503).count(),
+        failed: statuses.iter().filter(|&&s| s != 200 && s != 503).count(),
+    }
+}
+
+/// Fetch `/metrics` and reconcile the server's request accounting
+/// against what this client actually sent.
+fn crosscheck(addr: SocketAddr, instruments: &RunInstruments) -> Result<CrosscheckOutcome, String> {
+    let (status, body) = ft_server::client::request(addr, "GET", "/metrics", None)
+        .map_err(|e| format!("GET /metrics: {e}"))?;
+    if status != 200 {
+        return Err(format!("GET /metrics: HTTP {status}"));
+    }
+    let metrics: Value =
+        serde_json::from_str(&body).map_err(|e| format!("GET /metrics: bad JSON: {e}"))?;
+    let map = metrics
+        .as_map()
+        .ok_or_else(|| "GET /metrics: not an object".to_string())?;
+    let server_num = |name: &str| -> u64 {
+        map_get(map, name)
+            .ok()
+            .and_then(Value::as_num)
+            .map_or(0, |v| v as u64)
+    };
+
+    let pairs = [
+        (Op::Create, "campaign_create"),
+        (Op::Solve, "campaign_solve"),
+        (Op::Price, "campaign_price"),
+        (Op::Observe, "campaign_observe"),
+    ];
+    let mut entries: Vec<CrosscheckEntry> = pairs
+        .iter()
+        .map(|&(op, endpoint)| CrosscheckEntry {
+            name: format!("requests[{}]", op.label()),
+            client: instruments.op_count(op),
+            server: server_num(&format!(
+                "ft_server_requests_total{{endpoint=\"{endpoint}\"}}"
+            )),
+        })
+        .collect();
+    // The registry's own plane rides on the same export: quotes must
+    // match price requests, and the recalibrations the client saw in
+    // observation responses must match the registry's counter.
+    entries.push(CrosscheckEntry {
+        name: "quotes".into(),
+        client: instruments.op_count(Op::Price),
+        server: server_num("ft_core_quotes_total"),
+    });
+    entries.push(CrosscheckEntry {
+        name: "recalibrations".into(),
+        client: instruments.recalibrations.get(),
+        server: server_num("ft_core_recalibrations_total"),
+    });
+    let matched = entries.iter().all(|e| e.client == e.server);
+    Ok(CrosscheckOutcome { entries, matched })
+}

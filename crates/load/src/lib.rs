@@ -1,0 +1,45 @@
+//! # ft-load
+//!
+//! The closed-loop traffic subsystem: a scenario-driven workload
+//! generator that makes the serving stack face what the ROADMAP
+//! promises it can take — a fleet of deadline and budget campaigns
+//! priced live while a drifting worker population (NHPP arrivals from
+//! `ft-market`, logit acceptance) responds to every posted price and
+//! the outcomes are fed straight back through `observe()`, so
+//! recalibration fires *under load*, not in a unit test.
+//!
+//! Two drive modes share one driver:
+//!
+//! - **in-process** — straight into [`ft_core::registry::CampaignRegistry`],
+//!   measuring the raw serving path;
+//! - **socket** — over real TCP against a spawned `ft-server`,
+//!   measuring the full HTTP stack, then flooding it with concurrent
+//!   connections (the bounded acceptor pool must answer every one with
+//!   200 or a clean 503) and reconciling the server's `GET /metrics`
+//!   against the client's own counts.
+//!
+//! Every run self-checks: zero request errors, zero clamped metric
+//! samples, op counters exactly equal to merged histogram totals (a
+//! torn merge would break that), at least one recalibration, and — in
+//! socket mode — a matching `/metrics` reconciliation. The binary
+//! writes `BENCH_load.json` and exits non-zero if any gate fails,
+//! which is what CI runs:
+//!
+//! ```text
+//! cargo run -p ft-load -- --fast                 # both modes, small fleet
+//! cargo run -p ft-load -- --fast --mode socket   # socket only
+//! cargo run -p ft-load -- --scenario my.json     # custom fleet spec
+//! ```
+//!
+//! See `ARCHITECTURE.md` for the scenario-spec schema.
+
+pub mod backend;
+pub mod driver;
+pub mod harness;
+pub mod report;
+pub mod scenario;
+
+pub use backend::{Backend, InProcessBackend, SocketBackend};
+pub use driver::{Op, RunInstruments, RunOutcome};
+pub use harness::{run_in_process, run_socket, SocketExtras};
+pub use scenario::{CampaignKind, FleetGroup, Scenario};

@@ -1,0 +1,201 @@
+//! The `ft-load` binary: run a scenario, print a summary, write
+//! `BENCH_load.json`, exit non-zero if any acceptance gate fails.
+
+use ft_load::harness::SocketExtras;
+use ft_load::{report, RunOutcome, Scenario};
+use ft_metrics::QUANTILES;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    InProcess,
+    Socket,
+    Both,
+}
+
+struct Args {
+    scenario: Scenario,
+    mode: Mode,
+    out: String,
+}
+
+const USAGE: &str = "\
+ft-load — closed-loop workload generator for the campaign serving stack
+
+USAGE:
+    ft-load [--fast] [--scenario FILE] [--mode in-process|socket|both]
+            [--out FILE]
+
+OPTIONS:
+    --fast             built-in seconds-scale CI profile (default: standard)
+    --scenario FILE    JSON scenario spec (overrides --fast)
+    --mode MODE        which backend(s) to drive   [default: both]
+    --out FILE         report path                 [default: BENCH_load.json]
+";
+
+fn parse_args() -> Result<Args, String> {
+    let mut fast = false;
+    let mut scenario_path: Option<String> = None;
+    let mut mode = Mode::Both;
+    let mut out = "BENCH_load.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fast" => fast = true,
+            "--scenario" => {
+                scenario_path = Some(args.next().ok_or("--scenario needs a file path")?)
+            }
+            "--mode" => {
+                mode = match args.next().as_deref() {
+                    Some("in-process") => Mode::InProcess,
+                    Some("socket") => Mode::Socket,
+                    Some("both") => Mode::Both,
+                    other => return Err(format!("bad --mode {other:?} (in-process|socket|both)")),
+                }
+            }
+            "--out" => out = args.next().ok_or("--out needs a file path")?,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`\n\n{USAGE}")),
+        }
+    }
+    let scenario = match scenario_path {
+        Some(path) => {
+            let json = std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
+            Scenario::from_json(&json)?
+        }
+        None if fast => Scenario::fast(),
+        None => Scenario::standard(),
+    };
+    scenario.validate()?;
+    Ok(Args {
+        scenario,
+        mode,
+        out,
+    })
+}
+
+fn print_summary(outcome: &RunOutcome, extras: Option<&SocketExtras>) {
+    println!(
+        "[{}] {} campaigns, {} requests in {:.2}s → {:.0} req/s; \
+         {} completions, {} recalibrations, {} errors",
+        outcome.backend,
+        outcome.campaigns,
+        outcome.requests,
+        outcome.duration_seconds,
+        outcome.throughput_rps(),
+        outcome.completions,
+        outcome.recalibrations,
+        outcome.errors,
+    );
+    for (op, snapshot) in &outcome.latency {
+        if snapshot.count == 0 {
+            continue;
+        }
+        let quantiles: Vec<String> = QUANTILES
+            .iter()
+            .map(|&(label, q)| {
+                format!(
+                    "{label}={:.1}µs",
+                    snapshot.quantile(q).unwrap_or(0) as f64 / 1000.0
+                )
+            })
+            .collect();
+        println!(
+            "  {op:<8} n={:<6} mean={:.1}µs {}",
+            snapshot.count,
+            snapshot.mean() / 1000.0,
+            quantiles.join(" ")
+        );
+    }
+    if let Some(extras) = extras {
+        println!(
+            "  flood: {} connections → {} ok, {} busy-rejected, {} failed \
+             (pool: {} workers, queue {})",
+            extras.flood.connections,
+            extras.flood.ok,
+            extras.flood.busy,
+            extras.flood.failed,
+            extras.server_workers,
+            extras.server_queue_depth,
+        );
+        println!(
+            "  /metrics crosscheck: {}",
+            if extras.crosscheck.matched {
+                "matched".to_string()
+            } else {
+                format!(
+                    "MISMATCH ({})",
+                    extras
+                        .crosscheck
+                        .entries
+                        .iter()
+                        .filter(|e| e.client != e.server)
+                        .map(|e| format!("{} {}≠{}", e.name, e.client, e.server))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            }
+        );
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("ft-load: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "scenario `{}`: {} campaigns, {} workers, {} intervals, drift {}",
+        args.scenario.name,
+        args.scenario.campaign_count(),
+        args.scenario.concurrency,
+        args.scenario.intervals,
+        args.scenario.drift,
+    );
+
+    let mut runs: Vec<(RunOutcome, Option<SocketExtras>)> = Vec::new();
+    let mut failures = Vec::new();
+
+    if matches!(args.mode, Mode::InProcess | Mode::Both) {
+        let outcome = ft_load::run_in_process(&args.scenario);
+        print_summary(&outcome, None);
+        failures.extend(report::evaluate_gates(&args.scenario, &outcome, None));
+        runs.push((outcome, None));
+    }
+    if matches!(args.mode, Mode::Socket | Mode::Both) {
+        match ft_load::run_socket(&args.scenario) {
+            Ok((outcome, extras)) => {
+                print_summary(&outcome, Some(&extras));
+                failures.extend(report::evaluate_gates(
+                    &args.scenario,
+                    &outcome,
+                    Some(&extras),
+                ));
+                runs.push((outcome, Some(extras)));
+            }
+            Err(e) => failures.push(format!("[socket] harness: {e}")),
+        }
+    }
+
+    let document = report::render(&args.scenario, &runs);
+    let json = serde_json::to_string(&document).expect("render report");
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        failures.push(format!("write {}: {e}", args.out));
+    } else {
+        println!("report written to {}", args.out);
+    }
+
+    if !failures.is_empty() {
+        eprintln!("\nFAILED gates:");
+        for failure in &failures {
+            eprintln!("  - {failure}");
+        }
+        std::process::exit(1);
+    }
+    println!("all gates passed.");
+}

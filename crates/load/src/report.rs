@@ -1,0 +1,222 @@
+//! `BENCH_load.json` rendering and the acceptance gates a run must
+//! clear before the binary exits 0.
+
+use crate::driver::RunOutcome;
+use crate::harness::SocketExtras;
+use crate::scenario::Scenario;
+use ft_metrics::{HistogramSnapshot, QUANTILES};
+use serde::Value;
+
+fn map(entries: Vec<(&str, Value)>) -> Value {
+    Value::Map(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn num(x: f64) -> Value {
+    Value::Num(x)
+}
+
+fn latency_value(snapshot: &HistogramSnapshot) -> Value {
+    let mut fields = vec![
+        ("count", num(snapshot.count as f64)),
+        ("mean_ns", num(snapshot.mean())),
+        ("clamped", num(snapshot.clamped as f64)),
+    ];
+    for (label, q) in QUANTILES {
+        fields.push((
+            label,
+            match snapshot.quantile(q) {
+                Some(v) => num(v as f64),
+                None => Value::Null,
+            },
+        ));
+    }
+    map(fields)
+}
+
+fn run_value(outcome: &RunOutcome, extras: Option<&SocketExtras>) -> Value {
+    let mut fields = vec![
+        ("backend", Value::Str(outcome.backend.into())),
+        ("duration_seconds", num(outcome.duration_seconds)),
+        ("campaigns", num(outcome.campaigns as f64)),
+        ("requests_total", num(outcome.requests as f64)),
+        ("throughput_rps", num(outcome.throughput_rps())),
+        ("errors_total", num(outcome.errors as f64)),
+        ("recalibrations", num(outcome.recalibrations as f64)),
+        ("completions_total", num(outcome.completions as f64)),
+        ("budget_exhaustions", num(outcome.budget_exhaustions as f64)),
+        ("dropped_samples", num(outcome.dropped_samples as f64)),
+        ("torn_mismatches", num(outcome.torn_mismatches as f64)),
+        (
+            "requests_by_op",
+            Value::Map(
+                outcome
+                    .op_counts
+                    .iter()
+                    .map(|(op, n)| (op.to_string(), num(*n as f64)))
+                    .collect(),
+            ),
+        ),
+        (
+            "latency_ns_by_op",
+            Value::Map(
+                outcome
+                    .latency
+                    .iter()
+                    .map(|(op, snapshot)| (op.to_string(), latency_value(snapshot)))
+                    .collect(),
+            ),
+        ),
+    ];
+    if !outcome.error_samples.is_empty() {
+        fields.push((
+            "error_samples",
+            Value::Seq(
+                outcome
+                    .error_samples
+                    .iter()
+                    .map(|e| Value::Str(e.clone()))
+                    .collect(),
+            ),
+        ));
+    }
+    if let Some(extras) = extras {
+        fields.push((
+            "server_pool",
+            map(vec![
+                ("workers", num(extras.server_workers as f64)),
+                ("queue_depth", num(extras.server_queue_depth as f64)),
+            ]),
+        ));
+        fields.push((
+            "flood",
+            map(vec![
+                ("connections", num(extras.flood.connections as f64)),
+                ("ok", num(extras.flood.ok as f64)),
+                ("busy_rejected", num(extras.flood.busy as f64)),
+                ("failed", num(extras.flood.failed as f64)),
+            ]),
+        ));
+        fields.push((
+            "metrics_crosscheck",
+            map(vec![
+                ("matched", Value::Bool(extras.crosscheck.matched)),
+                (
+                    "entries",
+                    Value::Seq(
+                        extras
+                            .crosscheck
+                            .entries
+                            .iter()
+                            .map(|e| {
+                                map(vec![
+                                    ("name", Value::Str(e.name.clone())),
+                                    ("client", num(e.client as f64)),
+                                    ("server", num(e.server as f64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ));
+    }
+    map(fields)
+}
+
+/// The full report document.
+pub fn render(scenario: &Scenario, runs: &[(RunOutcome, Option<SocketExtras>)]) -> Value {
+    let generated = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0.0, |d| d.as_secs_f64());
+    map(vec![
+        ("scenario", Value::Str(scenario.name.clone())),
+        ("generated_unix", num(generated)),
+        ("seed", num(scenario.seed as f64)),
+        ("concurrency", num(scenario.concurrency as f64)),
+        ("intervals", num(scenario.intervals as f64)),
+        ("drift", num(scenario.drift)),
+        ("campaigns", num(scenario.campaign_count() as f64)),
+        (
+            "runs",
+            Value::Seq(
+                runs.iter()
+                    .map(|(outcome, extras)| run_value(outcome, extras.as_ref()))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// The hard gates: a CI smoke run (and the acceptance bar) fails on
+/// any of these. Returns human-readable failure descriptions. The
+/// recalibration gate applies only when the scenario can trigger one
+/// ([`Scenario::expects_recalibration`]) — a flawless budget-only or
+/// no-drift run passes.
+pub fn evaluate_gates(
+    scenario: &Scenario,
+    outcome: &RunOutcome,
+    extras: Option<&SocketExtras>,
+) -> Vec<String> {
+    let mode = outcome.backend;
+    let mut failures = Vec::new();
+    if outcome.requests == 0 || outcome.throughput_rps() <= 0.0 {
+        failures.push(format!("[{mode}] zero throughput"));
+    }
+    if outcome.errors > 0 {
+        failures.push(format!(
+            "[{mode}] {} request errors (first: {})",
+            outcome.errors,
+            outcome.error_samples.first().map_or("?", |s| s.as_str())
+        ));
+    }
+    if outcome.dropped_samples > 0 {
+        failures.push(format!(
+            "[{mode}] {} dropped (clamped) metric samples",
+            outcome.dropped_samples
+        ));
+    }
+    if outcome.torn_mismatches > 0 {
+        failures.push(format!(
+            "[{mode}] {} torn-merge mismatches between op counters and histograms",
+            outcome.torn_mismatches
+        ));
+    }
+    if scenario.expects_recalibration() && outcome.recalibrations == 0 {
+        failures.push(format!("[{mode}] no recalibration observed under drift"));
+    }
+    for (op, snapshot) in &outcome.latency {
+        if snapshot.count > 0 && snapshot.quantile(0.999).is_none() {
+            failures.push(format!("[{mode}] no p999 for op {op}"));
+        }
+    }
+    if let Some(extras) = extras {
+        if extras.flood.failed > 0 {
+            failures.push(format!(
+                "[{mode}] {} flood connections neither served nor cleanly rejected",
+                extras.flood.failed
+            ));
+        }
+        if extras.flood.ok + extras.flood.busy != extras.flood.connections {
+            failures.push(format!("[{mode}] flood accounting does not add up"));
+        }
+        if !extras.crosscheck.matched {
+            let detail: Vec<String> = extras
+                .crosscheck
+                .entries
+                .iter()
+                .filter(|e| e.client != e.server)
+                .map(|e| format!("{}: client {} vs server {}", e.name, e.client, e.server))
+                .collect();
+            failures.push(format!(
+                "[{mode}] /metrics does not reconcile: {}",
+                detail.join("; ")
+            ));
+        }
+    }
+    failures
+}

@@ -1,0 +1,336 @@
+//! The scenario spec: what fleet to run, how hard, and for how long.
+//!
+//! A scenario is a JSON document (or one of the built-in profiles)
+//! describing a **campaign fleet mix** — groups of deadline and budget
+//! campaigns with their marketplace models — plus the closed-loop
+//! driver's shape: concurrency, simulated intervals, the drift factor
+//! between the trained arrival model and the "real" worker population,
+//! and the recalibration cadence. `ft-load` turns each group into
+//! campaign specs, registers and solves them through the backend, then
+//! drives them with arrivals sampled from `ft-market`'s NHPP machinery
+//! and acceptances from the group's logit model.
+
+use ft_core::registry::CampaignSpec;
+use ft_core::{ActionSet, BudgetProblem, DeadlineProblem, PenaltyModel};
+use ft_market::{ConstantRate, LogitAcceptance, PriceGrid};
+use serde::{Deserialize, Serialize};
+
+/// Which campaign family a fleet group runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CampaignKind {
+    Deadline,
+    Budget,
+}
+
+/// A homogeneous slice of the fleet.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetGroup {
+    pub kind: CampaignKind,
+    /// Campaigns in this group.
+    pub count: usize,
+    /// Batch size per campaign.
+    pub n_tasks: u32,
+    /// Horizon the trained model covers (deadline) / tick sizing
+    /// (budget): one driven round simulates `horizon_hours /
+    /// n_intervals` hours.
+    pub horizon_hours: f64,
+    pub n_intervals: usize,
+    /// Trained worker arrival rate (per hour).
+    pub arrivals_per_hour: f64,
+    /// Price grid in cents.
+    pub grid_min: u32,
+    pub grid_max: u32,
+    /// Logit acceptance parameters (Eq. 3).
+    pub logit_s: f64,
+    pub logit_b: f64,
+    pub logit_m: f64,
+    /// Deadline: terminal penalty per unfinished task.
+    pub penalty_per_task: f64,
+    /// Budget: total budget in cents.
+    pub budget_cents: usize,
+}
+
+impl FleetGroup {
+    pub fn acceptance(&self) -> LogitAcceptance {
+        LogitAcceptance::new(self.logit_s, self.logit_b, self.logit_m)
+    }
+
+    /// Trained per-interval arrival mass `λ_t`.
+    pub fn interval_arrivals(&self) -> f64 {
+        self.arrivals_per_hour * self.horizon_hours / self.n_intervals as f64
+    }
+
+    /// The campaign spec this group registers for each of its members.
+    pub fn spec(&self) -> CampaignSpec {
+        let grid = PriceGrid::new(self.grid_min, self.grid_max);
+        let acceptance = self.acceptance();
+        match self.kind {
+            CampaignKind::Deadline => CampaignSpec::Deadline {
+                problem: DeadlineProblem::from_market(
+                    self.n_tasks,
+                    self.horizon_hours,
+                    self.n_intervals,
+                    &ConstantRate::new(self.arrivals_per_hour),
+                    grid,
+                    &acceptance,
+                    PenaltyModel::Linear {
+                        per_task: self.penalty_per_task,
+                    },
+                ),
+                eps: None,
+            },
+            CampaignKind::Budget => CampaignSpec::Budget {
+                problem: BudgetProblem::new(
+                    self.n_tasks,
+                    self.budget_cents as f64,
+                    ActionSet::from_grid(grid, &acceptance),
+                    self.arrivals_per_hour,
+                ),
+            },
+        }
+    }
+}
+
+/// A full workload description.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scenario {
+    pub name: String,
+    /// Base RNG seed; worker `w` derives `seed + w`.
+    pub seed: u64,
+    /// Closed-loop driver threads (each owns a fleet partition).
+    pub concurrency: usize,
+    /// Rounds driven per campaign (clamped to a deadline group's
+    /// `n_intervals`).
+    pub intervals: usize,
+    /// True arrivals = trained × `drift` — below 1.0 the fleet under-
+    /// delivers and deadline campaigns recalibrate under load.
+    pub drift: f64,
+    /// Registry recalibration cadence (`AdaptiveOptions::resolve_every`).
+    pub resolve_every: usize,
+    /// Socket mode: server pool sizing.
+    pub server_workers: usize,
+    pub server_queue_depth: usize,
+    /// Socket mode: concurrent connections in the flood phase.
+    pub flood_connections: usize,
+    pub fleet: Vec<FleetGroup>,
+}
+
+impl Scenario {
+    /// Seconds-not-minutes CI profile: a small mixed fleet, drifting
+    /// hard enough that recalibration is guaranteed within the run.
+    pub fn fast() -> Self {
+        Self {
+            name: "fast".into(),
+            seed: 7,
+            concurrency: 4,
+            intervals: 8,
+            drift: 0.35,
+            resolve_every: 2,
+            server_workers: 4,
+            server_queue_depth: 16,
+            flood_connections: 32,
+            fleet: vec![
+                FleetGroup {
+                    kind: CampaignKind::Deadline,
+                    count: 3,
+                    n_tasks: 30,
+                    horizon_hours: 4.0,
+                    n_intervals: 8,
+                    arrivals_per_hour: 400.0,
+                    grid_min: 0,
+                    grid_max: 20,
+                    logit_s: 4.0,
+                    logit_b: 0.0,
+                    logit_m: 30.0,
+                    penalty_per_task: 500.0,
+                    budget_cents: 0,
+                },
+                FleetGroup {
+                    kind: CampaignKind::Budget,
+                    count: 2,
+                    n_tasks: 15,
+                    horizon_hours: 4.0,
+                    n_intervals: 8,
+                    arrivals_per_hour: 300.0,
+                    grid_min: 1,
+                    grid_max: 12,
+                    logit_s: 4.0,
+                    logit_b: 0.0,
+                    logit_m: 20.0,
+                    penalty_per_task: 0.0,
+                    budget_cents: 120,
+                },
+            ],
+        }
+    }
+
+    /// The default standing profile: a paper-scale fleet driven for a
+    /// full horizon.
+    pub fn standard() -> Self {
+        Self {
+            name: "standard".into(),
+            seed: 42,
+            concurrency: 8,
+            intervals: 24,
+            drift: 0.5,
+            resolve_every: 3,
+            server_workers: 8,
+            server_queue_depth: 64,
+            flood_connections: 64,
+            fleet: vec![
+                FleetGroup {
+                    kind: CampaignKind::Deadline,
+                    count: 8,
+                    n_tasks: 200,
+                    horizon_hours: 8.0,
+                    n_intervals: 24,
+                    arrivals_per_hour: 2000.0,
+                    grid_min: 0,
+                    grid_max: 40,
+                    logit_s: 15.0,
+                    logit_b: -0.39,
+                    logit_m: 2000.0,
+                    penalty_per_task: 1000.0,
+                    budget_cents: 0,
+                },
+                FleetGroup {
+                    kind: CampaignKind::Budget,
+                    count: 4,
+                    n_tasks: 60,
+                    horizon_hours: 8.0,
+                    n_intervals: 24,
+                    arrivals_per_hour: 800.0,
+                    grid_min: 1,
+                    grid_max: 25,
+                    logit_s: 6.0,
+                    logit_b: 0.0,
+                    logit_m: 50.0,
+                    penalty_per_task: 0.0,
+                    budget_cents: 900,
+                },
+            ],
+        }
+    }
+
+    /// Parse a scenario from JSON (the serde encoding of this struct).
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| format!("scenario parse: {e}"))
+    }
+
+    /// Structural sanity checks with readable errors.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.fleet.is_empty() {
+            return Err("scenario needs at least one fleet group".into());
+        }
+        if self.concurrency == 0 {
+            return Err("concurrency must be ≥ 1".into());
+        }
+        if self.intervals == 0 {
+            return Err("intervals must be ≥ 1".into());
+        }
+        if !(self.drift > 0.0 && self.drift.is_finite()) {
+            return Err(format!("drift must be positive, got {}", self.drift));
+        }
+        for (i, group) in self.fleet.iter().enumerate() {
+            if group.count == 0 {
+                return Err(format!("fleet group {i} has zero campaigns"));
+            }
+            if group.n_intervals == 0 || group.horizon_hours <= 0.0 {
+                return Err(format!("fleet group {i} has an empty horizon"));
+            }
+            if group.kind == CampaignKind::Budget && group.budget_cents == 0 {
+                return Err(format!("budget group {i} has zero budget"));
+            }
+            if group.grid_min > group.grid_max {
+                return Err(format!(
+                    "fleet group {i}: price grid [{}, {}] is inverted",
+                    group.grid_min, group.grid_max
+                ));
+            }
+            if !(group.logit_s > 0.0 && group.logit_m > 0.0) {
+                return Err(format!("fleet group {i}: logit s and M must be positive"));
+            }
+            // Surface spec-level problems (bad grids, bad logit
+            // parameters) as validation errors instead of panics.
+            group
+                .spec()
+                .validate()
+                .map_err(|e| format!("fleet group {i}: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// Total campaigns across the fleet.
+    pub fn campaign_count(&self) -> usize {
+        self.fleet.iter().map(|g| g.count).sum()
+    }
+
+    /// Whether this scenario can trigger recalibration at all: only
+    /// deadline campaigns re-solve (budget MDP tables answer every
+    /// state), and only when the observed arrivals drift off the
+    /// trained model and enough intervals elapse to cross the resolve
+    /// schedule. The recalibration gate is waived when this is false —
+    /// a flawless budget-only or no-drift run must not fail.
+    pub fn expects_recalibration(&self) -> bool {
+        self.fleet
+            .iter()
+            .any(|g| g.kind == CampaignKind::Deadline && g.count > 0)
+            && (self.drift - 1.0).abs() > 1e-9
+            && self.intervals > self.resolve_every
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn built_in_profiles_validate() {
+        Scenario::fast().validate().unwrap();
+        Scenario::standard().validate().unwrap();
+    }
+
+    #[test]
+    fn scenario_round_trips_through_json() {
+        let scenario = Scenario::fast();
+        let json = serde_json::to_string(&scenario.to_value()).unwrap();
+        let back = Scenario::from_json(&json).unwrap();
+        assert_eq!(back.name, scenario.name);
+        assert_eq!(back.fleet.len(), scenario.fleet.len());
+        assert_eq!(back.fleet[0].kind, CampaignKind::Deadline);
+        assert_eq!(back.fleet[1].budget_cents, scenario.fleet[1].budget_cents);
+        back.validate().unwrap();
+    }
+
+    #[test]
+    fn recalibration_expectation_tracks_fleet_shape() {
+        assert!(Scenario::fast().expects_recalibration());
+        // Budget-only fleets never recalibrate; the gate must waive.
+        let mut s = Scenario::fast();
+        s.fleet.retain(|g| g.kind == CampaignKind::Budget);
+        assert!(!s.expects_recalibration());
+        // No drift → trained model holds → no re-solve expected.
+        let mut s = Scenario::fast();
+        s.drift = 1.0;
+        assert!(!s.expects_recalibration());
+        // Too few intervals to cross the resolve schedule.
+        let mut s = Scenario::fast();
+        s.intervals = s.resolve_every;
+        assert!(!s.expects_recalibration());
+    }
+
+    #[test]
+    fn validation_catches_broken_groups() {
+        let mut s = Scenario::fast();
+        s.fleet[0].grid_min = 30; // > grid_max
+        assert!(s.validate().is_err());
+
+        let mut s = Scenario::fast();
+        s.drift = 0.0;
+        assert!(s.validate().is_err());
+
+        let mut s = Scenario::fast();
+        s.fleet.clear();
+        assert!(s.validate().is_err());
+    }
+}

@@ -1,0 +1,42 @@
+//! End-to-end smoke: the built-in fast scenario must clear every
+//! acceptance gate in both modes — zero errors, zero dropped/torn
+//! samples, at least one recalibration under drift, a survived flood,
+//! and a matching `/metrics` reconciliation.
+
+use ft_load::{report, Scenario};
+
+#[test]
+fn fast_scenario_clears_gates_in_process() {
+    let scenario = Scenario::fast();
+    let outcome = ft_load::run_in_process(&scenario);
+    let failures = report::evaluate_gates(&scenario, &outcome, None);
+    assert!(failures.is_empty(), "gates failed: {failures:?}");
+    assert!(outcome.requests > 0);
+    assert!(outcome.recalibrations >= 1);
+    assert_eq!(outcome.errors, 0);
+    // Latency quantiles exist for every op that ran.
+    for (op, snapshot) in &outcome.latency {
+        assert!(snapshot.count > 0, "op {op} never ran");
+        assert!(snapshot.quantile(0.999).is_some());
+    }
+}
+
+#[test]
+fn fast_scenario_clears_gates_over_a_real_socket() {
+    let scenario = Scenario::fast();
+    let (outcome, extras) = ft_load::run_socket(&scenario).expect("socket harness");
+    let failures = report::evaluate_gates(&scenario, &outcome, Some(&extras));
+    assert!(failures.is_empty(), "gates failed: {failures:?}");
+    assert!(extras.crosscheck.matched, "metrics crosscheck mismatched");
+    assert_eq!(
+        extras.flood.ok + extras.flood.busy,
+        extras.flood.connections,
+        "flood connections unaccounted"
+    );
+    assert_eq!(extras.flood.failed, 0);
+    // The report document renders and round-trips as JSON.
+    let document = report::render(&scenario, &[(outcome, Some(extras))]);
+    let json = serde_json::to_string(&document).expect("render");
+    let parsed: serde::Value = serde_json::from_str(&json).expect("parse");
+    assert!(parsed.as_map().is_some());
+}

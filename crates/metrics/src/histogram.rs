@@ -1,0 +1,304 @@
+//! A log-linear histogram with bounded relative error, mergeable across
+//! per-worker shards.
+//!
+//! ## Bucketing
+//!
+//! Values are non-negative integers (nanoseconds, bytes, counts). With
+//! `G = GRAIN_BITS` and `m = 2^G` sub-buckets per octave:
+//!
+//! - values `< m` get their own bucket (exact);
+//! - a value `v ≥ m` with top bit `e` (`2^e ≤ v < 2^(e+1)`) lands in
+//!   bucket `((e - G + 1) << G) + ((v >> (e - G)) - m)` — the octave
+//!   `[2^e, 2^(e+1))` split into `m` equal slices of width `2^(e-G)`.
+//!
+//! Each bucket spans at most `width / lower_bound = 2^(e-G) / 2^e =
+//! 2^-G` of its value range, so reporting the bucket **midpoint** is
+//! within relative error `2^-(G+1)` of any sample in it, and any
+//! quantile extracted by rank-walking the buckets is within
+//! [`Histogram::REL_ERROR`] `= 2^-G` of the exact order statistic
+//! (property-tested in `tests/quantile_error.rs`).
+//!
+//! ## Concurrency
+//!
+//! The record path is: compute bucket (shift/mask arithmetic), then one
+//! `fetch_add` on this thread's shard bucket plus one on the shard's
+//! sum — wait-free, no CAS loop, no lock. Reads merge shards by
+//! summing per-bucket counts; every count is monotone, so a concurrent
+//! snapshot is always a prefix of history — nothing torn, nothing
+//! dropped. Values beyond [`Histogram::MAX_VALUE`] clamp into the last
+//! bucket and bump `clamped` (they are *recorded*, with the clamp made
+//! visible, rather than silently dropped).
+
+use crate::{PaddedAtomicU64, SHARDS};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket resolution: `2^6 = 64` slices per octave → quantile
+/// relative error ≤ 2^-6 ≈ 1.6 %.
+const GRAIN_BITS: u32 = 6;
+const SUB_BUCKETS: usize = 1 << GRAIN_BITS;
+
+/// Highest representable exponent: values up to `2^42` ns ≈ 73 min
+/// cover any latency this workspace can see; beyond that clamps.
+const MAX_EXP: u32 = 42;
+const BUCKETS: usize = ((MAX_EXP - GRAIN_BITS + 1) as usize + 1) << GRAIN_BITS;
+
+/// The quantiles every export reports.
+pub const QUANTILES: [(&str, f64); 4] =
+    [("p50", 0.50), ("p90", 0.90), ("p99", 0.99), ("p999", 0.999)];
+
+struct Shard {
+    buckets: Vec<AtomicU64>,
+    /// Total of raw recorded values (for the mean), wrapping.
+    sum: PaddedAtomicU64,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Self {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum: PaddedAtomicU64::default(),
+        }
+    }
+}
+
+/// A sharded log-linear histogram. See the module docs for the layout
+/// and error bound.
+pub struct Histogram {
+    shards: Vec<Shard>,
+    /// Samples that exceeded [`Histogram::MAX_VALUE`] and were clamped
+    /// into the top bucket (still counted — never dropped).
+    clamped: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// `v`'s bucket index. Exact below `SUB_BUCKETS`; log-linear above.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS as u64 {
+        v as usize
+    } else {
+        let e = 63 - v.leading_zeros();
+        (((e - GRAIN_BITS + 1) as usize) << GRAIN_BITS) + (v >> (e - GRAIN_BITS)) as usize
+            - SUB_BUCKETS
+    }
+}
+
+/// Lower edge of bucket `i` (inverse of [`bucket_index`]).
+fn bucket_lower(i: usize) -> u64 {
+    if i < SUB_BUCKETS {
+        i as u64
+    } else {
+        let octave = (i >> GRAIN_BITS) as u32 - 1;
+        let offset = (i & (SUB_BUCKETS - 1)) as u64;
+        ((SUB_BUCKETS as u64) + offset) << (octave)
+    }
+}
+
+/// Representative value reported for samples in bucket `i`: the bucket
+/// midpoint, which halves the worst-case error vs either edge.
+fn bucket_mid(i: usize) -> u64 {
+    let lo = bucket_lower(i);
+    let width = if i < SUB_BUCKETS {
+        1
+    } else {
+        1u64 << ((i >> GRAIN_BITS) as u32 - 1)
+    };
+    lo + width / 2
+}
+
+impl Histogram {
+    /// Guaranteed bound on `|reported − exact| / exact` for any
+    /// quantile of samples in `1..=MAX_VALUE` (the sub-`2^GRAIN_BITS`
+    /// range is exact; midpoints halve this again in practice).
+    pub const REL_ERROR: f64 = 1.0 / (1u64 << GRAIN_BITS) as f64;
+
+    /// Largest value recorded without clamping.
+    pub const MAX_VALUE: u64 = (1 << (MAX_EXP + 1)) - 1;
+
+    pub fn new() -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| Shard::new()).collect(),
+            clamped: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample. Wait-free; clamps above [`Self::MAX_VALUE`].
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let v = if value > Self::MAX_VALUE {
+            self.clamped.fetch_add(1, Ordering::Relaxed);
+            Self::MAX_VALUE
+        } else {
+            value
+        };
+        let shard = &self.shards[crate::shard_index()];
+        shard.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        shard.sum.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Record a [`std::time::Duration`] in nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Merge all shards into an immutable snapshot. Torn-free: each
+    /// bucket is read once from each monotone shard counter.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut counts = vec![0u64; BUCKETS];
+        let mut sum = 0u64;
+        for shard in &self.shards {
+            for (total, bucket) in counts.iter_mut().zip(&shard.buckets) {
+                *total += bucket.load(Ordering::Acquire);
+            }
+            sum = sum.wrapping_add(shard.sum.0.load(Ordering::Acquire));
+        }
+        let count: u64 = counts.iter().sum();
+        HistogramSnapshot {
+            counts,
+            count,
+            sum,
+            clamped: self.clamped.load(Ordering::Acquire),
+        }
+    }
+}
+
+/// An immutable merged view of a [`Histogram`].
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    counts: Vec<u64>,
+    /// Total samples (sum of bucket counts).
+    pub count: u64,
+    /// Sum of raw recorded values (wrapping at `u64::MAX`).
+    pub sum: u64,
+    /// Samples clamped into the top bucket.
+    pub clamped: u64,
+}
+
+impl HistogramSnapshot {
+    /// The `q`-quantile (`0 < q ≤ 1`) as the midpoint of the bucket
+    /// holding the rank-`⌈q·count⌉` sample; `None` on an empty
+    /// histogram.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_mid(i));
+            }
+        }
+        unreachable!("rank {rank} not reached with count {}", self.count)
+    }
+
+    /// Arithmetic mean of recorded values.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest and largest representative values with any samples.
+    pub fn range(&self) -> Option<(u64, u64)> {
+        let first = self.counts.iter().position(|&c| c > 0)?;
+        let last = self.counts.iter().rposition(|&c| c > 0)?;
+        Some((bucket_mid(first), bucket_mid(last)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..SUB_BUCKETS as u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_mid(bucket_index(v)), v);
+        }
+    }
+
+    #[test]
+    fn bucket_index_and_lower_are_inverse() {
+        let mut prev = usize::MAX;
+        for e in 0..=MAX_EXP {
+            for frac in [0u64, 1, 7, (1 << e) - 1] {
+                let v = (1u64 << e) + frac.min((1 << e) - 1);
+                let i = bucket_index(v);
+                assert!(i < BUCKETS, "bucket {i} out of range for {v}");
+                let lo = bucket_lower(i);
+                assert!(lo <= v, "lower edge {lo} above value {v}");
+                if i != prev {
+                    prev = i;
+                }
+            }
+        }
+        // Indices are monotone in the value.
+        let mut last = 0;
+        for v in [0u64, 1, 63, 64, 65, 127, 128, 1000, 1 << 20, 1 << 40] {
+            let i = bucket_index(v);
+            assert!(i >= last, "index not monotone at {v}");
+            last = i;
+        }
+    }
+
+    #[test]
+    fn midpoint_within_relative_error() {
+        for v in [1u64, 64, 100, 1000, 123_456, 10_000_000, 1 << 40] {
+            let mid = bucket_mid(bucket_index(v));
+            let rel = (mid as f64 - v as f64).abs() / v as f64;
+            assert!(
+                rel <= Histogram::REL_ERROR,
+                "v={v} mid={mid} rel={rel} > {}",
+                Histogram::REL_ERROR
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_of_uniform_ramp() {
+        let h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 10_000);
+        assert_eq!(s.clamped, 0);
+        for (_, q) in QUANTILES {
+            let exact = (q * 10_000.0).ceil();
+            let approx = s.quantile(q).unwrap() as f64;
+            let rel = (approx - exact).abs() / exact;
+            assert!(rel <= Histogram::REL_ERROR, "q={q} rel={rel}");
+        }
+        assert!((s.mean() - 5000.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn clamped_samples_are_counted_not_dropped() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(1);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.clamped, 1);
+        assert!(s.quantile(1.0).unwrap() >= Histogram::MAX_VALUE / 2);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.range(), None);
+        assert_eq!(s.mean(), 0.0);
+    }
+}

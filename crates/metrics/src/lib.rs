@@ -1,0 +1,183 @@
+//! # ft-metrics
+//!
+//! The workspace's observability plane: a std-only, lock-free metrics
+//! library that can watch the pricing hot path without perturbing it.
+//! Nothing in here takes a lock on the write side — writers touch only
+//! per-shard atomics, so a `quote` that costs ~50 ns stays a
+//! ~50 ns quote with its counter bumped.
+//!
+//! Three instrument kinds:
+//!
+//! - [`Counter`] — a monotonically increasing sum, sharded across
+//!   cache-line-padded atomics so concurrent writers on different cores
+//!   don't bounce one line (the classic "striped counter").
+//! - [`Gauge`] — a single settable/adjustable signed value (queue
+//!   depths, active connections).
+//! - [`Histogram`] — a **log-linear** latency/value histogram: each
+//!   power-of-two range is split into `2^GRAIN_BITS` equal sub-buckets,
+//!   which bounds the *relative* error of any reported quantile by
+//!   `2^-GRAIN_BITS` while keeping the bucket count small and the
+//!   record path a shift + two atomic adds. Shards merge by summing
+//!   per-bucket counts — every read is of a monotonic atomic, so merges
+//!   are torn-free: a snapshot may miss in-flight increments but can
+//!   never invent or lose a recorded sample (verified by the stress
+//!   test in `tests/concurrency.rs`).
+//!
+//! [`MetricsRegistry`] names instruments and renders them two ways:
+//! JSON (for `GET /metrics`) and Prometheus-style text exposition (for
+//! scrapers). Metric names follow Prometheus conventions
+//! (`ft_<crate>_<what>_<unit|total>`), with an optional `{label="v"}`
+//! suffix treated as an opaque part of the name.
+
+pub mod histogram;
+pub mod registry;
+
+pub use histogram::{Histogram, HistogramSnapshot, QUANTILES};
+pub use registry::MetricsRegistry;
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Number of stripes counters and histograms spread writers across.
+/// A power of two so shard selection is a mask, sized for the 32-thread
+/// cap `ft-exec` enforces workspace-wide.
+pub const SHARDS: usize = 16;
+
+/// An `AtomicU64` alone on its cache line, so two shards never share
+/// one and striped writers scale instead of false-sharing.
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedAtomicU64(AtomicU64);
+
+/// Pick this thread's stripe. Thread ids are dense small integers in
+/// practice; a Fibonacci hash spreads consecutive ids across shards.
+#[inline]
+fn shard_index() -> usize {
+    use std::cell::Cell;
+    thread_local! {
+        static SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    SHARD.with(|s| {
+        let mut idx = s.get();
+        if idx == usize::MAX {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            std::hash::Hash::hash(&std::thread::current().id(), &mut h);
+            let mixed = std::hash::Hasher::finish(&h).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            idx = (mixed >> (64 - SHARDS.trailing_zeros())) as usize & (SHARDS - 1);
+            s.set(idx);
+        }
+        idx
+    })
+}
+
+/// A monotonically increasing counter striped across [`SHARDS`]
+/// cache-line-padded atomics. `add` is wait-free; `get` sums the
+/// stripes (monotone per stripe, so a concurrent read is a valid
+/// point-in-time lower bound and never tears).
+pub struct Counter {
+    shards: [PaddedAtomicU64; SHARDS],
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Counter {
+    pub fn new() -> Self {
+        Self {
+            shards: Default::default(),
+        }
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.shards[shard_index()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Sum of all stripes. Concurrent with writers this is a valid
+    /// snapshot of "at least everything that happened before the last
+    /// stripe was read".
+    pub fn get(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Acquire))
+            .sum()
+    }
+}
+
+/// A single settable signed value (not striped: gauges are set/adjusted
+/// rarely compared to counters, and a striped gauge can't represent
+/// `set`).
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Gauge {
+    pub fn new() -> Self {
+        Self {
+            value: AtomicI64::new(0),
+        }
+    }
+
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Release);
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::AcqRel);
+    }
+
+    #[inline]
+    pub fn dec(&self) {
+        self.value.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_sums_across_shards() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_set_inc_dec() {
+        let g = Gauge::new();
+        g.set(5);
+        g.inc();
+        g.dec();
+        g.dec();
+        assert_eq!(g.get(), 4);
+    }
+
+    #[test]
+    fn shard_index_is_stable_and_in_range() {
+        let a = shard_index();
+        let b = shard_index();
+        assert_eq!(a, b);
+        assert!(a < SHARDS);
+    }
+}

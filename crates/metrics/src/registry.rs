@@ -1,0 +1,232 @@
+//! Named metrics and the two exposition formats.
+//!
+//! A [`MetricsRegistry`] maps names to instruments. Hot paths resolve
+//! their instruments **once** (at construction) and keep the `Arc`, so
+//! the name lookup's `RwLock` is never on a serving path — it guards
+//! registration and export only.
+//!
+//! ## Naming
+//!
+//! `ft_<crate>_<what>_<unit|total>`, e.g. `ft_core_quotes_total`,
+//! `ft_server_request_ns{endpoint="price"}`. An optional
+//! `{label="value",…}` suffix is carried opaquely: the registry sorts
+//! and renders it but never parses it beyond splitting it off the base
+//! name, which keeps the export Prometheus-compatible without a label
+//! model on the write side.
+
+use crate::histogram::QUANTILES;
+use crate::{Counter, Gauge, Histogram};
+use serde::Value;
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A name-indexed collection of instruments with JSON and
+/// Prometheus-text export.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    metrics: RwLock<BTreeMap<String, Metric>>,
+}
+
+/// Split `name{labels}` into `(name, Some("{labels}"))`.
+fn split_labels(name: &str) -> (&str, Option<&str>) {
+    match name.find('{') {
+        Some(i) => (&name[..i], Some(&name[i..])),
+        None => (name, None),
+    }
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter `name`. Panics if `name` is already a
+    /// different instrument kind — that's a naming bug, not a runtime
+    /// condition.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut metrics = self.metrics.write().expect("metrics registry poisoned");
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric `{name}` is not a counter"),
+        }
+    }
+
+    /// Get or create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut metrics = self.metrics.write().expect("metrics registry poisoned");
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric `{name}` is not a gauge"),
+        }
+    }
+
+    /// Get or create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut metrics = self.metrics.write().expect("metrics registry poisoned");
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric `{name}` is not a histogram"),
+        }
+    }
+
+    /// Export every instrument as a JSON object: counters/gauges as
+    /// numbers, histograms as `{count, sum, mean, clamped, p50, p90,
+    /// p99, p999}` (quantiles `null` while empty).
+    pub fn to_value(&self) -> Value {
+        let metrics = self.metrics.read().expect("metrics registry poisoned");
+        let mut entries = Vec::with_capacity(metrics.len());
+        for (name, metric) in metrics.iter() {
+            let value = match metric {
+                Metric::Counter(c) => Value::Num(c.get() as f64),
+                Metric::Gauge(g) => Value::Num(g.get() as f64),
+                Metric::Histogram(h) => {
+                    let s = h.snapshot();
+                    let mut fields = vec![
+                        ("count".to_string(), Value::Num(s.count as f64)),
+                        ("sum".to_string(), Value::Num(s.sum as f64)),
+                        ("mean".to_string(), Value::Num(s.mean())),
+                        ("clamped".to_string(), Value::Num(s.clamped as f64)),
+                    ];
+                    for (label, q) in QUANTILES {
+                        fields.push((
+                            label.to_string(),
+                            match s.quantile(q) {
+                                Some(v) => Value::Num(v as f64),
+                                None => Value::Null,
+                            },
+                        ));
+                    }
+                    Value::Map(fields)
+                }
+            };
+            entries.push((name.clone(), value));
+        }
+        Value::Map(entries)
+    }
+
+    /// Prometheus-style text exposition: counters and gauges as single
+    /// samples, histograms as summaries (`name{quantile="0.5"}`,
+    /// `name_count`, `name_sum`).
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write;
+        let metrics = self.metrics.read().expect("metrics registry poisoned");
+        let mut out = String::new();
+        let mut typed: BTreeMap<&str, &'static str> = BTreeMap::new();
+        for (name, metric) in metrics.iter() {
+            let (base, labels) = split_labels(name);
+            let kind = match metric {
+                Metric::Counter(_) => "counter",
+                Metric::Gauge(_) => "gauge",
+                Metric::Histogram(_) => "summary",
+            };
+            // One TYPE line per base name (label variants share it).
+            if typed.insert(base, kind).is_none() {
+                let _ = writeln!(out, "# TYPE {base} {kind}");
+            }
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "{base}{} {}", labels.unwrap_or(""), c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "{base}{} {}", labels.unwrap_or(""), g.get());
+                }
+                Metric::Histogram(h) => {
+                    let s = h.snapshot();
+                    // Merge the quantile label into an existing label
+                    // set: `{a="b"}` + quantile → `{a="b",quantile=..}`.
+                    for (_, q) in QUANTILES {
+                        let qlabel = format!("quantile=\"{q}\"");
+                        let labels = match labels {
+                            Some(l) => format!("{{{},{qlabel}}}", &l[1..l.len() - 1]),
+                            None => format!("{{{qlabel}}}"),
+                        };
+                        let _ = writeln!(
+                            out,
+                            "{base}{labels} {}",
+                            s.quantile(q).map_or(f64::NAN, |v| v as f64)
+                        );
+                    }
+                    let suffix = labels.unwrap_or("");
+                    let _ = writeln!(out, "{base}_count{suffix} {}", s.count);
+                    let _ = writeln!(out, "{base}_sum{suffix} {}", s.sum);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruments_are_shared_by_name() {
+        let r = MetricsRegistry::new();
+        r.counter("a_total").add(2);
+        r.counter("a_total").add(3);
+        assert_eq!(r.counter("a_total").get(), 5);
+        r.gauge("g").set(-7);
+        assert_eq!(r.gauge("g").get(), -7);
+        r.histogram("h_ns").record(100);
+        assert_eq!(r.histogram("h_ns").snapshot().count, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a counter")]
+    fn kind_mismatch_is_a_bug() {
+        let r = MetricsRegistry::new();
+        r.gauge("x");
+        r.counter("x");
+    }
+
+    #[test]
+    fn json_export_shape() {
+        let r = MetricsRegistry::new();
+        r.counter("reqs_total").add(4);
+        r.histogram("lat_ns").record(1000);
+        let v = r.to_value();
+        let map = v.as_map().unwrap();
+        assert_eq!(serde::map_get(map, "reqs_total").unwrap(), &Value::Num(4.0));
+        let hist = serde::map_get(map, "lat_ns").unwrap().as_map().unwrap();
+        assert_eq!(serde::map_get(hist, "count").unwrap(), &Value::Num(1.0));
+        assert!(matches!(
+            serde::map_get(hist, "p99").unwrap(),
+            Value::Num(_)
+        ));
+    }
+
+    #[test]
+    fn prometheus_export_shape() {
+        let r = MetricsRegistry::new();
+        r.counter("reqs_total{endpoint=\"price\"}").add(2);
+        r.counter("reqs_total{endpoint=\"solve\"}").add(1);
+        r.gauge("conns").set(3);
+        r.histogram("lat_ns{endpoint=\"price\"}").record(500);
+        let text = r.to_prometheus();
+        assert!(text.contains("# TYPE reqs_total counter"));
+        // One TYPE line even with two label variants.
+        assert_eq!(text.matches("# TYPE reqs_total").count(), 1);
+        assert!(text.contains("reqs_total{endpoint=\"price\"} 2"));
+        assert!(text.contains("reqs_total{endpoint=\"solve\"} 1"));
+        assert!(text.contains("# TYPE conns gauge"));
+        assert!(text.contains("conns 3"));
+        assert!(text.contains("lat_ns{endpoint=\"price\",quantile=\"0.5\"}"));
+        assert!(text.contains("lat_ns_count{endpoint=\"price\"} 1"));
+    }
+}

@@ -1,0 +1,57 @@
+//! Property test: histogram quantiles stay within the configured
+//! relative-error bound against exact order statistics on random
+//! samples spanning several orders of magnitude.
+
+use ft_metrics::{Histogram, QUANTILES};
+use proptest::prelude::*;
+
+/// Exact `q`-quantile by the same rank convention the histogram uses:
+/// the rank-`⌈q·n⌉` smallest sample.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantiles_within_relative_error_bound(
+        // Log-uniform magnitudes: exercises the exact range, several
+        // octaves of the log-linear range, and their boundary.
+        samples in proptest::collection::vec((0.0f64..36.0, 0.0f64..1.0), 10..400),
+    ) {
+        let values: Vec<u64> = samples
+            .iter()
+            .map(|&(mag, frac)| {
+                let lo = 2f64.powf(mag);
+                (lo + frac * lo).round() as u64
+            })
+            .collect();
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snapshot = h.snapshot();
+        prop_assert_eq!(snapshot.count, values.len() as u64);
+        prop_assert_eq!(snapshot.clamped, 0);
+
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for (label, q) in QUANTILES {
+            let exact = exact_quantile(&sorted, q);
+            let approx = snapshot.quantile(q).unwrap();
+            if exact == 0 {
+                // The zero bucket is exact by construction.
+                prop_assert_eq!(approx, 0, "{} on zero sample", label);
+                continue;
+            }
+            let rel = (approx as f64 - exact as f64).abs() / exact as f64;
+            prop_assert!(
+                rel <= Histogram::REL_ERROR,
+                "{}: exact {} vs approx {} (rel {:.5} > bound {:.5})",
+                label, exact, approx, rel, Histogram::REL_ERROR
+            );
+        }
+    }
+}

@@ -14,11 +14,22 @@ pub fn request(
 ) -> std::io::Result<(u16, String)> {
     let mut stream = TcpStream::connect(addr)?;
     let body = body.unwrap_or("");
-    write!(
+    let written = write!(
         stream,
         "{method} {path} HTTP/1.1\r\nHost: ft-client\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
-    )?;
+    );
+    // A server may answer-and-close before reading the whole request
+    // (e.g. an over-capacity 503 from the acceptor): the write fails
+    // with EPIPE but a complete response is still waiting to be read.
+    if let Err(e) = written {
+        if !matches!(
+            e.kind(),
+            std::io::ErrorKind::BrokenPipe | std::io::ErrorKind::ConnectionReset
+        ) {
+            return Err(e);
+        }
+    }
     let mut reader = BufReader::new(stream);
     let mut status_line = String::new();
     reader.read_line(&mut status_line)?;

@@ -32,16 +32,30 @@ impl Request {
     }
 }
 
-/// An outgoing response: status code + JSON body.
+/// An outgoing response: status code + body + content type.
 #[derive(Debug, Clone)]
 pub struct Response {
     pub status: u16,
     pub body: String,
+    pub content_type: &'static str,
 }
 
 impl Response {
     pub fn json(status: u16, body: String) -> Self {
-        Self { status, body }
+        Self {
+            status,
+            body,
+            content_type: "application/json",
+        }
+    }
+
+    /// Plain-text response (the Prometheus exposition format).
+    pub fn text(status: u16, body: String) -> Self {
+        Self {
+            status,
+            body,
+            content_type: "text/plain; version=0.0.4",
+        }
     }
 }
 
@@ -55,6 +69,7 @@ fn reason(status: u16) -> &'static str {
         409 => "Conflict",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
+        503 => "Service Unavailable",
         _ => "Internal Server Error",
     }
 }
@@ -200,9 +215,10 @@ pub fn write_response<W: Write>(
 ) -> io::Result<()> {
     write!(
         writer,
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{}",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{}",
         response.status,
         reason(response.status),
+        response.content_type,
         response.body.len(),
         if keep_alive { "keep-alive" } else { "close" },
         response.body

@@ -9,13 +9,23 @@
 //!
 //! ```text
 //! POST   /campaigns                    register a draft (JSON spec)
+//! GET    /campaigns?limit=..           fleet index (id, kind, status, generation)
 //! POST   /campaigns/{id}/solve         solve → publish generation 1
 //! GET    /campaigns/{id}/price?...     quote from the live generation
 //! POST   /campaigns/{id}/observations  report completions → recalibrate
 //! GET    /campaigns/{id}               status + diagnostics
 //! DELETE /campaigns/{id}               evict (tombstone)
-//! GET    /healthz                      liveness + campaign count
+//! GET    /healthz                      uptime, version, fleet by status
+//! GET    /metrics                      observability plane (JSON / Prometheus)
 //! ```
+//!
+//! Serving runs on a fixed acceptor pool: one accept loop feeding
+//! `ServerConfig::workers` handler threads through a bounded queue —
+//! connection floods are answered `503 server_busy` once the queue is
+//! full instead of growing the thread count. Every routed request is
+//! recorded into the shared `ft-metrics` plane (per-endpoint counts,
+//! latency histograms, status classes, connection accounting), which
+//! `GET /metrics` exports alongside the registry's own instruments.
 //!
 //! Structured [`ft_core::PricingError`]s map onto HTTP statuses
 //! ([`router::status_for`]): unknown campaign → 404, draft/evicted →
@@ -33,6 +43,8 @@ pub mod client;
 pub mod http;
 pub mod router;
 pub mod server;
+pub mod state;
 
 pub use router::{handle, status_for};
-pub use server::{Server, ServerHandle};
+pub use server::{Server, ServerConfig, ServerHandle};
+pub use state::{AppState, Endpoint};

@@ -2,7 +2,9 @@
 //!
 //! | method & path | action |
 //! |---|---|
-//! | `GET /healthz` | liveness + campaign count |
+//! | `GET /healthz` | uptime, version, campaign counts by status |
+//! | `GET /metrics` | observability plane (JSON; `?format=prometheus` for text) |
+//! | `GET /campaigns?limit=..` | fleet index (id, kind, status, generation) |
 //! | `POST /campaigns` | register a draft campaign (JSON spec body) |
 //! | `POST /campaigns/{id}/solve` | solve the draft, publish generation 1 |
 //! | `GET /campaigns/{id}/price?remaining=..&interval=..` | quote a deadline campaign |
@@ -17,8 +19,13 @@
 //! serde encoding of [`ft_core::DeadlineProblem`] /
 //! [`ft_core::BudgetProblem`]. Structured [`PricingError`]s map to HTTP
 //! statuses in [`status_for`].
+//!
+//! Every routed request is recorded into the shared metrics plane
+//! (endpoint counter + latency histogram + status class) before the
+//! response leaves [`handle`].
 
 use crate::http::{Request, Response};
+use crate::state::{AppState, Endpoint};
 use ft_core::registry::{CampaignObservation, CampaignRegistry, CampaignSpec, ObservedState};
 use ft_core::{BudgetProblem, CampaignId, DeadlineProblem, PricingError};
 use serde::{map_get, Deserialize, Serialize, Value};
@@ -85,36 +92,133 @@ fn map(entries: Vec<(&str, Value)>) -> Value {
     )
 }
 
-/// Dispatch one request onto the registry.
-pub fn handle(registry: &CampaignRegistry, request: &Request) -> Response {
+/// Route one request: classify it **once** ([`Endpoint::classify`] is
+/// the single routing table), dispatch onto the registry, and record
+/// endpoint count, latency and status class into the metrics plane.
+pub fn handle(state: &AppState, request: &Request) -> Response {
+    let started = std::time::Instant::now();
+    let endpoint = Endpoint::classify(request);
+    let response = dispatch(state, endpoint, request);
+    state
+        .telemetry
+        .record(endpoint, response.status, started.elapsed());
+    response
+}
+
+fn dispatch(state: &AppState, endpoint: Endpoint, request: &Request) -> Response {
+    let registry = state.registry.as_ref();
+    match endpoint {
+        Endpoint::Healthz => healthz(state),
+        Endpoint::Metrics => metrics(state, request),
+        Endpoint::CampaignsIndex => campaigns_index(registry, request),
+        Endpoint::CampaignCreate => create_campaign(registry, request),
+        Endpoint::CampaignReport => with_id(request, |id| report(registry, id)),
+        Endpoint::CampaignDelete => with_id(request, |id| delete(registry, id)),
+        Endpoint::CampaignSolve => with_id(request, |id| solve(registry, id)),
+        Endpoint::CampaignPrice => with_id(request, |id| price(registry, id, request)),
+        Endpoint::CampaignObserve => with_id(request, |id| observe(registry, id, request)),
+        Endpoint::Other => fallback(request),
+    }
+}
+
+/// Parse the `{id}` path segment (the classifier only checked the
+/// shape) and run the handler, or answer 400.
+fn with_id(request: &Request, handler: impl FnOnce(CampaignId) -> Response) -> Response {
+    let id = request
+        .path
+        .split('/')
+        .filter(|s| !s.is_empty())
+        .nth(1)
+        .unwrap_or("");
+    match id.parse() {
+        Ok(id) => handler(id),
+        Err(_) => bad_request("campaign id must be an integer"),
+    }
+}
+
+/// Requests no endpoint claims: distinguish a known path with the
+/// wrong method from a path that doesn't exist at all.
+fn fallback(request: &Request) -> Response {
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
-    match (request.method.as_str(), segments.as_slice()) {
-        ("GET", ["healthz"]) => ok(map(vec![
-            ("status", Value::Str("ok".into())),
-            ("campaigns", Value::Num(registry.len() as f64)),
-        ])),
-        ("POST", ["campaigns"]) => create_campaign(registry, request),
-        (method, ["campaigns", id]) => match (method, parse_id(id)) {
-            (_, None) => bad_request("campaign id must be an integer"),
-            ("GET", Some(id)) => report(registry, id),
-            ("DELETE", Some(id)) => delete(registry, id),
-            _ => error_response(405, "method_not_allowed", "use GET or DELETE"),
-        },
-        (method, ["campaigns", id, action]) => match parse_id(id) {
-            None => bad_request("campaign id must be an integer"),
-            Some(id) => match (method, *action) {
-                ("POST", "solve") => solve(registry, id),
-                ("GET", "price") => price(registry, id, request),
-                ("POST", "observations") => observe(registry, id, request),
-                _ => error_response(404, "not_found", "unknown campaign action"),
-            },
-        },
+    match segments.as_slice() {
+        ["campaigns", _] => error_response(405, "method_not_allowed", "use GET or DELETE"),
+        ["campaigns", _, _] => error_response(404, "not_found", "unknown campaign action"),
         _ => error_response(404, "not_found", "unknown route"),
     }
 }
 
-fn parse_id(s: &str) -> Option<CampaignId> {
-    s.parse().ok()
+/// `GET /healthz` — liveness plus enough context to triage a page:
+/// uptime, build version, and the fleet broken down by lifecycle
+/// status.
+fn healthz(state: &AppState) -> Response {
+    let counts = state.registry.status_counts();
+    // Keep the three fleet counts this server can report mutually
+    // consistent: `campaigns_total` counts every record (tombstones
+    // included, like `GET /campaigns`' `total` and the sum of the
+    // by-status map); `campaigns_serving` excludes evicted ones.
+    let total: usize = counts.iter().map(|(_, n)| n).sum();
+    let by_status: Vec<(String, Value)> = counts
+        .iter()
+        .map(|(status, count)| (status.as_str().to_string(), Value::Num(*count as f64)))
+        .collect();
+    ok(map(vec![
+        ("status", Value::Str("ok".into())),
+        ("version", Value::Str(env!("CARGO_PKG_VERSION").into())),
+        (
+            "uptime_seconds",
+            Value::Num(state.started.elapsed().as_secs_f64()),
+        ),
+        ("campaigns", Value::Map(by_status)),
+        ("campaigns_total", Value::Num(total as f64)),
+        ("campaigns_serving", Value::Num(state.registry.len() as f64)),
+    ]))
+}
+
+/// `GET /metrics` — the whole observability plane (registry + HTTP
+/// layer). JSON by default; `?format=prometheus` (or `format=text`)
+/// switches to the text exposition format scrapers expect.
+fn metrics(state: &AppState, request: &Request) -> Response {
+    match request.query("format") {
+        Some("prometheus") | Some("text") => {
+            Response::text(200, state.registry.metrics().to_prometheus())
+        }
+        None | Some("json") => ok(state.registry.metrics().to_value()),
+        Some(other) => bad_request(&format!(
+            "unknown format `{other}` (use json, prometheus or text)"
+        )),
+    }
+}
+
+/// `GET /campaigns?limit=..` — enumerate the fleet (ascending id)
+/// without N point lookups. `total` is the full record count so a
+/// truncated page is self-describing.
+fn campaigns_index(registry: &CampaignRegistry, request: &Request) -> Response {
+    let ids = registry.ids();
+    let limit = match request.query("limit") {
+        None => ids.len(),
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(limit) => limit,
+            Err(_) => return bad_request("`limit` must be a non-negative integer"),
+        },
+    };
+    let campaigns: Vec<Value> = ids
+        .iter()
+        .take(limit)
+        .filter_map(|&id| registry.report(id).ok())
+        .map(|report| {
+            map(vec![
+                ("id", Value::Num(report.id as f64)),
+                ("kind", Value::Str(report.kind.clone())),
+                ("status", Value::Str(report.status.as_str().into())),
+                ("generation", Value::Num(report.generation as f64)),
+            ])
+        })
+        .collect();
+    ok(map(vec![
+        ("total", Value::Num(ids.len() as f64)),
+        ("returned", Value::Num(campaigns.len() as f64)),
+        ("campaigns", Value::Seq(campaigns)),
+    ]))
 }
 
 fn parse_body(request: &Request) -> Result<Value, Response> {

@@ -1,27 +1,187 @@
-//! The TCP front: a blocking accept loop with one handler thread per
-//! connection (std only — no async runtime is available offline, and
-//! the reprice hot path is a table lookup, so a thread per connection
-//! with keep-alive amortises spawns well enough for the workloads the
-//! bench snapshot covers).
+//! The TCP front: one acceptor feeding a **fixed pool** of handler
+//! threads through a **bounded connection queue** (std only — no async
+//! runtime is available offline).
+//!
+//! The previous design spawned a thread per connection, so a
+//! connection flood meant an unbounded thread count. Now the thread
+//! count is `1 + workers`, period: the acceptor enqueues sockets, the
+//! pool drains them, and when the queue is full new connections are
+//! answered `503 server_busy` and closed — the flood gets a clean,
+//! cheap rejection instead of an OOM. `ft-load`'s flood phase and
+//! `tests/pool.rs` exercise exactly this.
+//!
+//! **Keep-alive tradeoff**: a blocking pool can't multiplex idle
+//! sockets, so a connection holds its worker between requests. The
+//! first request on a connection gets [`IDLE_READ_TIMEOUT`] (slow
+//! clients), but *subsequent* keep-alive waits get only
+//! [`KEEP_ALIVE_IDLE_TIMEOUT`] — an idle keep-alive client can pin a
+//! worker for at most that long before the connection is closed and
+//! the worker returns to the queue. Queued connections therefore wait
+//! at most a few seconds behind idle keep-alives, never the full 30 s.
+//!
+//! Connection accounting flows into the shared metrics plane
+//! (`ft_server_connections_{accepted,rejected}_total`,
+//! `ft_server_connections_active`).
 
 use crate::http::{read_request, write_response, Response};
 use crate::router;
+use crate::state::AppState;
 use ft_core::registry::CampaignRegistry;
+use std::collections::VecDeque;
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// How long a keep-alive connection may sit silent before its handler
-/// thread gives up on it.
+/// How long the *first* request on a connection may take to arrive
+/// (slow-client allowance).
 const IDLE_READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// How long an established keep-alive connection may sit silent
+/// between requests. Deliberately short: while a worker waits here it
+/// can serve nobody else, so this bounds how long an idle keep-alive
+/// client can starve the queue (see the module docs).
+const KEEP_ALIVE_IDLE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Sizing for the acceptor pool.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Handler threads. The server's total thread count is `workers + 1`
+    /// (the acceptor) regardless of how many clients connect.
+    pub workers: usize,
+    /// Accepted connections allowed to wait for a free worker before
+    /// new ones are rejected with `503`.
+    pub queue_depth: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: ft_exec_like_parallelism().clamp(2, 16),
+            queue_depth: 128,
+        }
+    }
+}
+
+/// `available_parallelism` with the same fallback `ft-exec` uses; kept
+/// local so `ft-server` doesn't need the exec crate for one number.
+fn ft_exec_like_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(4, |n| n.get())
+}
+
+/// The bounded hand-off between the acceptor and the worker pool.
+struct ConnectionQueue {
+    inner: Mutex<QueueInner>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+struct QueueInner {
+    queue: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+impl ConnectionQueue {
+    fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(QueueInner {
+                queue: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueue unless full or closed; returns the stream back on
+    /// rejection so the acceptor can answer 503.
+    fn try_push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut inner = self.inner.lock().expect("connection queue poisoned");
+        if inner.closed || inner.queue.len() >= self.capacity {
+            return Err(stream);
+        }
+        inner.queue.push_back(stream);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking pop. `None` only after `close()` *and* the queue has
+    /// drained — already-accepted connections are served, not dropped.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut inner = self.inner.lock().expect("connection queue poisoned");
+        loop {
+            if let Some(stream) = inner.queue.pop_front() {
+                return Some(stream);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .not_empty
+                .wait(inner)
+                .expect("connection queue poisoned");
+        }
+    }
+
+    fn close(&self) {
+        self.inner.lock().expect("connection queue poisoned").closed = true;
+        self.not_empty.notify_all();
+    }
+}
+
+/// The connections currently held by workers, so shutdown can unpark
+/// readers instead of waiting out their idle timeout.
+#[derive(Default)]
+struct ActiveConnections {
+    streams: Mutex<std::collections::HashMap<u64, TcpStream>>,
+    next_token: std::sync::atomic::AtomicU64,
+}
+
+impl ActiveConnections {
+    /// Track a clone of the worker's stream; `None` if cloning failed
+    /// (the connection still gets served, it just can't be unparked).
+    fn register(&self, stream: &TcpStream) -> Option<u64> {
+        let clone = stream.try_clone().ok()?;
+        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+        self.streams
+            .lock()
+            .expect("active connections poisoned")
+            .insert(token, clone);
+        Some(token)
+    }
+
+    fn deregister(&self, token: Option<u64>) {
+        if let Some(token) = token {
+            self.streams
+                .lock()
+                .expect("active connections poisoned")
+                .remove(&token);
+        }
+    }
+
+    /// Shut down the **read** half of every held connection: a worker
+    /// parked in `read_request` sees EOF and exits cleanly, while an
+    /// in-flight response write still completes.
+    fn shutdown_reads(&self) {
+        for stream in self
+            .streams
+            .lock()
+            .expect("active connections poisoned")
+            .values()
+        {
+            let _ = stream.shutdown(std::net::Shutdown::Read);
+        }
+    }
+}
 
 /// An HTTP server bound to a socket, not yet serving.
 pub struct Server {
     listener: TcpListener,
-    registry: Arc<CampaignRegistry>,
+    state: Arc<AppState>,
+    config: ServerConfig,
     shutdown: Arc<AtomicBool>,
 }
 
@@ -48,15 +208,26 @@ impl ServerHandle {
 }
 
 impl Server {
-    /// Bind to `addr` (use port 0 for an ephemeral port).
+    /// Bind to `addr` (use port 0 for an ephemeral port) with the
+    /// default pool sizing.
     pub fn bind<A: ToSocketAddrs>(
         addr: A,
         registry: Arc<CampaignRegistry>,
     ) -> std::io::Result<Self> {
+        Self::bind_with(addr, registry, ServerConfig::default())
+    }
+
+    /// Bind with explicit pool sizing.
+    pub fn bind_with<A: ToSocketAddrs>(
+        addr: A,
+        registry: Arc<CampaignRegistry>,
+        config: ServerConfig,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         Ok(Self {
             listener,
-            registry,
+            state: Arc::new(AppState::new(registry)),
+            config,
             shutdown: Arc::new(AtomicBool::new(false)),
         })
     }
@@ -72,30 +243,71 @@ impl Server {
         }
     }
 
-    /// Serve until [`ServerHandle::shutdown`] is called. Each connection
-    /// gets its own handler thread; requests on it are answered in order
-    /// with keep-alive. An idle-read timeout bounds how long a silent
-    /// connection can pin its thread (slow-loris guard); a fixed
-    /// acceptor pool for hard connection caps is a ROADMAP item.
+    /// Serve until [`ServerHandle::shutdown`] is called, with a fixed
+    /// pool of `config.workers` handler threads. Returns after the
+    /// workers have drained every already-accepted connection —
+    /// promptly: on shutdown the read side of every parked keep-alive
+    /// connection is shut down, so no worker sits out the 30 s idle
+    /// timeout before exiting.
     pub fn serve(self) {
-        for stream in self.listener.incoming() {
-            if self.shutdown.load(Ordering::Acquire) {
-                break;
+        let queue = ConnectionQueue::new(self.config.queue_depth);
+        let active = ActiveConnections::default();
+        let workers = self.config.workers.max(1);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                let queue = &queue;
+                let state = &self.state;
+                let active = &active;
+                let closing = &*self.shutdown;
+                s.spawn(move || {
+                    while let Some(stream) = queue.pop() {
+                        let token = active.register(&stream);
+                        // Checked *after* registering: if a concurrent
+                        // shutdown_reads() ran before our stream was in
+                        // the registry, the closing flag (set first) is
+                        // already visible and the short timeout bounds
+                        // the wait it would otherwise have unparked.
+                        // A connection popped after shutdown still gets
+                        // its pending requests answered, but must not
+                        // park the worker waiting for more.
+                        if closing.load(Ordering::Acquire) {
+                            let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+                        }
+                        state.telemetry.connections_active.inc();
+                        handle_connection(stream, state, closing);
+                        state.telemetry.connections_active.dec();
+                        active.deregister(token);
+                    }
+                });
             }
-            let stream = match stream {
-                Ok(stream) => stream,
-                Err(_) => {
-                    // Transient accept errors (EMFILE under connection
-                    // floods, ECONNABORTED) must not busy-spin the
-                    // acceptor; back off briefly and retry.
-                    std::thread::sleep(Duration::from_millis(20));
-                    continue;
+            for stream in self.listener.incoming() {
+                if self.shutdown.load(Ordering::Acquire) {
+                    break;
                 }
-            };
-            let _ = stream.set_read_timeout(Some(IDLE_READ_TIMEOUT));
-            let registry = Arc::clone(&self.registry);
-            std::thread::spawn(move || handle_connection(stream, &registry));
-        }
+                let stream = match stream {
+                    Ok(stream) => stream,
+                    Err(_) => {
+                        // Transient accept errors (EMFILE under connection
+                        // floods, ECONNABORTED) must not busy-spin the
+                        // acceptor; back off briefly and retry.
+                        std::thread::sleep(Duration::from_millis(20));
+                        continue;
+                    }
+                };
+                let _ = stream.set_read_timeout(Some(IDLE_READ_TIMEOUT));
+                self.state.telemetry.connections_accepted.inc();
+                if let Err(stream) = queue.try_push(stream) {
+                    self.state.telemetry.connections_rejected.inc();
+                    reject_busy(stream);
+                }
+            }
+            queue.close();
+            // Kick workers parked in read on idle keep-alive
+            // connections: an EOF on the read half lets them finish
+            // their current response and exit now, not at the idle
+            // timeout.
+            active.shutdown_reads();
+        });
     }
 
     /// Bind + serve on a background thread; returns the handle and the
@@ -104,14 +316,39 @@ impl Server {
         addr: A,
         registry: Arc<CampaignRegistry>,
     ) -> std::io::Result<(ServerHandle, JoinHandle<()>)> {
-        let server = Self::bind(addr, registry)?;
+        Self::spawn_with(addr, registry, ServerConfig::default())
+    }
+
+    /// [`Server::spawn`] with explicit pool sizing.
+    pub fn spawn_with<A: ToSocketAddrs>(
+        addr: A,
+        registry: Arc<CampaignRegistry>,
+        config: ServerConfig,
+    ) -> std::io::Result<(ServerHandle, JoinHandle<()>)> {
+        let server = Self::bind_with(addr, registry, config)?;
         let handle = server.handle();
         let join = std::thread::spawn(move || server.serve());
         Ok((handle, join))
     }
 }
 
-fn handle_connection(stream: TcpStream, registry: &CampaignRegistry) {
+/// Answer an over-capacity connection with a quick 503 and close it.
+/// Runs on the acceptor thread, so the write is bounded by a short
+/// timeout — a client that won't read can't stall the accept loop.
+fn reject_busy(stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+    let mut writer = BufWriter::new(stream);
+    let _ = write_response(
+        &mut writer,
+        &Response::json(
+            503,
+            "{\"error\":\"server_busy\",\"message\":\"connection queue full, retry\"}".to_string(),
+        ),
+        false,
+    );
+}
+
+fn handle_connection(stream: TcpStream, state: &AppState, closing: &AtomicBool) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -120,7 +357,7 @@ fn handle_connection(stream: TcpStream, registry: &CampaignRegistry) {
     loop {
         let request = match read_request(&mut reader) {
             Ok(Some(request)) => request,
-            Ok(None) => return, // client closed
+            Ok(None) => return, // client closed (or shutdown unparked us)
             Err(e)
                 if matches!(
                     e.kind(),
@@ -144,12 +381,20 @@ fn handle_connection(stream: TcpStream, registry: &CampaignRegistry) {
                 return;
             }
         };
-        let response = router::handle(registry, &request);
-        if write_response(&mut writer, &response, request.keep_alive).is_err() {
+        let response = router::handle(state, &request);
+        // During shutdown, answer the request in hand but decline the
+        // keep-alive so the worker can exit.
+        let keep_alive = request.keep_alive && !closing.load(Ordering::Acquire);
+        if write_response(&mut writer, &response, keep_alive).is_err() {
             return;
         }
-        if !request.keep_alive {
+        if !keep_alive {
             return;
         }
+        // Between requests the worker can serve nobody else; bound how
+        // long an idle keep-alive client may hold it (module docs).
+        let _ = writer
+            .get_ref()
+            .set_read_timeout(Some(KEEP_ALIVE_IDLE_TIMEOUT));
     }
 }

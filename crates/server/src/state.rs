@@ -1,0 +1,153 @@
+//! Shared per-server state: the registry handle, start time, and the
+//! HTTP layer's pre-resolved instruments in the same metrics plane the
+//! registry reports into (so one `GET /metrics` covers both).
+
+use crate::http::Request;
+use ft_core::registry::CampaignRegistry;
+use ft_metrics::{Counter, Gauge, Histogram};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The routes the server distinguishes in its metrics. `Other` absorbs
+/// unknown paths so a URL-scanning client can't mint unbounded metric
+/// names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    Healthz,
+    Metrics,
+    CampaignsIndex,
+    CampaignCreate,
+    CampaignSolve,
+    CampaignPrice,
+    CampaignObserve,
+    CampaignReport,
+    CampaignDelete,
+    Other,
+}
+
+impl Endpoint {
+    pub const ALL: [Endpoint; 10] = [
+        Endpoint::Healthz,
+        Endpoint::Metrics,
+        Endpoint::CampaignsIndex,
+        Endpoint::CampaignCreate,
+        Endpoint::CampaignSolve,
+        Endpoint::CampaignPrice,
+        Endpoint::CampaignObserve,
+        Endpoint::CampaignReport,
+        Endpoint::CampaignDelete,
+        Endpoint::Other,
+    ];
+
+    /// The `endpoint` label value in metric names.
+    pub fn label(self) -> &'static str {
+        match self {
+            Endpoint::Healthz => "healthz",
+            Endpoint::Metrics => "metrics",
+            Endpoint::CampaignsIndex => "campaigns_index",
+            Endpoint::CampaignCreate => "campaign_create",
+            Endpoint::CampaignSolve => "campaign_solve",
+            Endpoint::CampaignPrice => "campaign_price",
+            Endpoint::CampaignObserve => "campaign_observe",
+            Endpoint::CampaignReport => "campaign_report",
+            Endpoint::CampaignDelete => "campaign_delete",
+            Endpoint::Other => "other",
+        }
+    }
+
+    /// Classify a request by method + path shape (the same shapes the
+    /// router dispatches on).
+    pub fn classify(request: &Request) -> Endpoint {
+        let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+        match (request.method.as_str(), segments.as_slice()) {
+            ("GET", ["healthz"]) => Endpoint::Healthz,
+            ("GET", ["metrics"]) => Endpoint::Metrics,
+            ("GET", ["campaigns"]) => Endpoint::CampaignsIndex,
+            ("POST", ["campaigns"]) => Endpoint::CampaignCreate,
+            ("GET", ["campaigns", _]) => Endpoint::CampaignReport,
+            ("DELETE", ["campaigns", _]) => Endpoint::CampaignDelete,
+            ("POST", ["campaigns", _, "solve"]) => Endpoint::CampaignSolve,
+            ("GET", ["campaigns", _, "price"]) => Endpoint::CampaignPrice,
+            ("POST", ["campaigns", _, "observations"]) => Endpoint::CampaignObserve,
+            _ => Endpoint::Other,
+        }
+    }
+}
+
+/// The HTTP layer's instruments, pre-resolved per endpoint.
+pub struct ServerTelemetry {
+    requests: Vec<Arc<Counter>>,
+    latency: Vec<Arc<Histogram>>,
+    class_2xx: Arc<Counter>,
+    class_4xx: Arc<Counter>,
+    class_5xx: Arc<Counter>,
+    pub connections_accepted: Arc<Counter>,
+    pub connections_rejected: Arc<Counter>,
+    pub connections_active: Arc<Gauge>,
+}
+
+impl ServerTelemetry {
+    fn new(metrics: &ft_metrics::MetricsRegistry) -> Self {
+        let requests = Endpoint::ALL
+            .iter()
+            .map(|e| {
+                metrics.counter(&format!(
+                    "ft_server_requests_total{{endpoint=\"{}\"}}",
+                    e.label()
+                ))
+            })
+            .collect();
+        let latency = Endpoint::ALL
+            .iter()
+            .map(|e| {
+                metrics.histogram(&format!(
+                    "ft_server_request_ns{{endpoint=\"{}\"}}",
+                    e.label()
+                ))
+            })
+            .collect();
+        Self {
+            requests,
+            latency,
+            class_2xx: metrics.counter("ft_server_responses_total{class=\"2xx\"}"),
+            class_4xx: metrics.counter("ft_server_responses_total{class=\"4xx\"}"),
+            class_5xx: metrics.counter("ft_server_responses_total{class=\"5xx\"}"),
+            connections_accepted: metrics.counter("ft_server_connections_accepted_total"),
+            connections_rejected: metrics.counter("ft_server_connections_rejected_total"),
+            connections_active: metrics.gauge("ft_server_connections_active"),
+        }
+    }
+
+    /// Record one routed request: endpoint count, latency, status class.
+    pub fn record(&self, endpoint: Endpoint, status: u16, elapsed: std::time::Duration) {
+        let i = Endpoint::ALL
+            .iter()
+            .position(|e| *e == endpoint)
+            .expect("endpoint in ALL");
+        self.requests[i].inc();
+        self.latency[i].record_duration(elapsed);
+        match status {
+            200..=299 => self.class_2xx.inc(),
+            500..=599 => self.class_5xx.inc(),
+            _ => self.class_4xx.inc(),
+        }
+    }
+}
+
+/// Everything a handler thread needs: built once per server.
+pub struct AppState {
+    pub registry: Arc<CampaignRegistry>,
+    pub telemetry: ServerTelemetry,
+    pub started: Instant,
+}
+
+impl AppState {
+    pub fn new(registry: Arc<CampaignRegistry>) -> Self {
+        let telemetry = ServerTelemetry::new(registry.metrics());
+        Self {
+            registry,
+            telemetry,
+            started: Instant::now(),
+        }
+    }
+}

@@ -63,11 +63,32 @@ fn full_lifecycle_over_a_real_socket() {
         Server::spawn("127.0.0.1:0", Arc::clone(&registry_a)).expect("bind server");
     let addr = handle.addr();
 
-    // Liveness first.
+    // Liveness first: uptime, build version and an empty fleet.
     let (status, body) = request(addr, "GET", "/healthz", None);
     assert_eq!(status, 200);
     assert_eq!(text(&body, "status"), "ok");
-    assert_eq!(num(&body, "campaigns"), 0.0);
+    assert_eq!(text(&body, "version"), env!("CARGO_PKG_VERSION"));
+    assert!(num(&body, "uptime_seconds") >= 0.0);
+    assert_eq!(num(&body, "campaigns_total"), 0.0);
+    assert_eq!(num(&body, "campaigns_serving"), 0.0);
+    let by_status = map_get(body.as_map().unwrap(), "campaigns")
+        .expect("campaigns map")
+        .as_map()
+        .expect("status counts object");
+    for status_name in [
+        "draft",
+        "solving",
+        "live",
+        "recalibrating",
+        "exhausted",
+        "evicted",
+    ] {
+        assert_eq!(
+            map_get(by_status, status_name).unwrap(),
+            &Value::Num(0.0),
+            "fresh server has no {status_name} campaigns"
+        );
+    }
 
     // Create: POST the spec (problem JSON straight from the serde
     // encoding of DeadlineProblem).
@@ -227,7 +248,15 @@ fn full_lifecycle_over_a_real_socket() {
     assert_eq!(text(&body, "error"), "not_servable");
     let (status, body) = request(addr, "GET", "/healthz", None);
     assert_eq!(status, 200);
-    assert_eq!(num(&body, "campaigns"), 0.0);
+    // The tombstone still counts as a record; nothing is serving.
+    assert_eq!(num(&body, "campaigns_total"), 1.0);
+    assert_eq!(num(&body, "campaigns_serving"), 0.0);
+    let by_status = map_get(body.as_map().unwrap(), "campaigns")
+        .expect("campaigns map")
+        .as_map()
+        .expect("status counts object");
+    assert_eq!(map_get(by_status, "evicted").unwrap(), &Value::Num(1.0));
+    assert_eq!(map_get(by_status, "live").unwrap(), &Value::Num(0.0));
 
     handle.shutdown();
     join.join().expect("server thread");

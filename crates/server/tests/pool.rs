@@ -1,0 +1,300 @@
+//! Acceptor-pool behaviour over real sockets: a connection flood is
+//! survived with a **bounded thread count** (excess connections get a
+//! clean `503 server_busy`), the fleet index pages, and `/metrics`
+//! reflects what the server actually did, in both formats.
+
+use ft_core::registry::CampaignRegistry;
+use ft_core::{DeadlineProblem, PenaltyModel};
+use ft_market::{ConstantRate, LogitAcceptance, PriceGrid};
+use ft_server::{Server, ServerConfig};
+use serde::{map_get, Serialize, Value};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16, Value) {
+    let (status, body) = ft_server::client::request(addr, method, path, body).expect("request");
+    (status, serde_json::from_str::<Value>(&body).expect("json"))
+}
+
+fn num(value: &Value, key: &str) -> f64 {
+    map_get(value.as_map().expect("object"), key)
+        .unwrap_or_else(|_| panic!("missing {key} in {value:?}"))
+        .as_num()
+        .unwrap_or_else(|| panic!("{key} not a number in {value:?}"))
+}
+
+fn problem_json() -> String {
+    let problem = DeadlineProblem::from_market(
+        10,
+        2.0,
+        6,
+        &ConstantRate::new(80.0),
+        PriceGrid::new(0, 12),
+        &LogitAcceptance::new(4.0, 0.0, 30.0),
+        PenaltyModel::Linear { per_task: 300.0 },
+    );
+    serde_json::to_string(&problem.to_value()).expect("problem json")
+}
+
+/// Current thread count of this process (Linux; the CI and dev
+/// containers are Linux — elsewhere the bound check is skipped).
+fn thread_count() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|l| l.starts_with("Threads:"))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()
+}
+
+/// Send one keep-alive request and read the response, returning the
+/// still-open stream (its handler thread stays parked in `read`).
+fn hold_keep_alive(addr: SocketAddr) -> TcpStream {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "GET /healthz HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n"
+    )
+    .expect("write");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("status line");
+    assert!(line.contains("200"), "keep-alive probe failed: {line}");
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).expect("header");
+        if header.trim_end().is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().expect("length");
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body");
+    stream
+}
+
+#[test]
+fn connection_flood_is_survived_with_bounded_threads() {
+    let registry = Arc::new(CampaignRegistry::new());
+    let config = ServerConfig {
+        workers: 2,
+        queue_depth: 2,
+    };
+    let baseline = thread_count();
+    let (handle, join) =
+        Server::spawn_with("127.0.0.1:0", Arc::clone(&registry), config).expect("bind");
+    let addr = handle.addr();
+
+    // Pin both workers on held keep-alive connections…
+    let held_a = hold_keep_alive(addr);
+    let held_b = hold_keep_alive(addr);
+    // …fill the bounded queue with idle accepted connections…
+    let queued_a = TcpStream::connect(addr).expect("connect");
+    let queued_b = TcpStream::connect(addr).expect("connect");
+    std::thread::sleep(Duration::from_millis(100)); // let the acceptor queue them
+
+    // …and flood. Every further connection must be answered with a
+    // clean 503, not a new thread.
+    let mut rejected = 0;
+    for _ in 0..8 {
+        let (status, body) = request(addr, "GET", "/healthz", None);
+        assert_eq!(status, 503, "expected server_busy, got {status}: {body:?}");
+        rejected += 1;
+    }
+    assert_eq!(rejected, 8);
+
+    // Thread bound: acceptor + workers, never a thread per connection.
+    // (12 connections are open or rejected at this point; the old
+    // thread-per-connection design would sit at baseline + 12.)
+    if let (Some(before), Some(during)) = (baseline, thread_count()) {
+        assert!(
+            during <= before + 1 + config.workers,
+            "thread count grew past the pool bound: {before} -> {during}"
+        );
+    }
+
+    // Release the workers and the queue; the server must recover and
+    // answer normally again.
+    drop(held_a);
+    drop(held_b);
+    drop(queued_a);
+    drop(queued_b);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let (status, _) = request(addr, "GET", "/healthz", None);
+        if status == 200 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "server did not recover from the flood"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // The accounting made it into the metrics plane.
+    let (status, metrics) = request(addr, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    assert!(
+        num(&metrics, "ft_server_connections_rejected_total") >= 8.0,
+        "rejections not counted: {metrics:?}"
+    );
+    assert!(num(&metrics, "ft_server_connections_accepted_total") >= 12.0);
+
+    handle.shutdown();
+    join.join().expect("server thread");
+}
+
+#[test]
+fn shutdown_does_not_wait_for_idle_keepalive_connections() {
+    // A parked keep-alive reader must be unparked on shutdown (its
+    // read half is shut down), not waited out for the 30 s idle
+    // timeout.
+    let registry = Arc::new(CampaignRegistry::new());
+    let (handle, join) = Server::spawn("127.0.0.1:0", Arc::clone(&registry)).expect("bind");
+    let held = hold_keep_alive(handle.addr());
+    let started = std::time::Instant::now();
+    handle.shutdown();
+    join.join().expect("server thread");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "shutdown blocked on an idle keep-alive connection for {:?}",
+        started.elapsed()
+    );
+    drop(held);
+}
+
+#[test]
+fn fleet_index_pages_and_validates() {
+    let registry = Arc::new(CampaignRegistry::new());
+    let (handle, join) = Server::spawn("127.0.0.1:0", Arc::clone(&registry)).expect("bind");
+    let addr = handle.addr();
+
+    let spec = format!("{{\"kind\":\"deadline\",\"problem\":{}}}", problem_json());
+    let mut ids = Vec::new();
+    for _ in 0..3 {
+        let (status, body) = request(addr, "POST", "/campaigns", Some(&spec));
+        assert_eq!(status, 201);
+        ids.push(num(&body, "id") as u64);
+    }
+    let (status, _) = request(addr, "POST", &format!("/campaigns/{}/solve", ids[0]), None);
+    assert_eq!(status, 200);
+
+    let (status, body) = request(addr, "GET", "/campaigns", None);
+    assert_eq!(status, 200);
+    assert_eq!(num(&body, "total"), 3.0);
+    assert_eq!(num(&body, "returned"), 3.0);
+    let campaigns = map_get(body.as_map().unwrap(), "campaigns")
+        .unwrap()
+        .as_seq()
+        .expect("campaigns array");
+    assert_eq!(num(&campaigns[0], "id"), ids[0] as f64);
+    assert_eq!(num(&campaigns[0], "generation"), 1.0);
+    let status_str = map_get(campaigns[0].as_map().unwrap(), "status")
+        .unwrap()
+        .as_str()
+        .unwrap();
+    assert_eq!(status_str, "live");
+    let kind = map_get(campaigns[1].as_map().unwrap(), "kind")
+        .unwrap()
+        .as_str()
+        .unwrap();
+    assert_eq!(kind, "deadline");
+
+    // Paging.
+    let (status, body) = request(addr, "GET", "/campaigns?limit=2", None);
+    assert_eq!(status, 200);
+    assert_eq!(num(&body, "total"), 3.0);
+    assert_eq!(num(&body, "returned"), 2.0);
+    // Validation.
+    let (status, _) = request(addr, "GET", "/campaigns?limit=nope", None);
+    assert_eq!(status, 400);
+
+    handle.shutdown();
+    join.join().expect("server thread");
+}
+
+#[test]
+fn metrics_reflect_requests_in_both_formats() {
+    let registry = Arc::new(CampaignRegistry::new());
+    let (handle, join) = Server::spawn("127.0.0.1:0", Arc::clone(&registry)).expect("bind");
+    let addr = handle.addr();
+
+    let spec = format!("{{\"kind\":\"deadline\",\"problem\":{}}}", problem_json());
+    let (_, body) = request(addr, "POST", "/campaigns", Some(&spec));
+    let id = num(&body, "id") as u64;
+    let (status, _) = request(addr, "POST", &format!("/campaigns/{id}/solve"), None);
+    assert_eq!(status, 200);
+    for _ in 0..5 {
+        let (status, _) = request(
+            addr,
+            "GET",
+            &format!("/campaigns/{id}/price?remaining=10&interval=0"),
+            None,
+        );
+        assert_eq!(status, 200);
+    }
+    // One structured error: unknown campaign.
+    let (status, _) = request(
+        addr,
+        "GET",
+        "/campaigns/999/price?remaining=1&interval=0",
+        None,
+    );
+    assert_eq!(status, 404);
+
+    let (status, metrics) = request(addr, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    assert_eq!(
+        num(
+            &metrics,
+            "ft_server_requests_total{endpoint=\"campaign_price\"}"
+        ),
+        6.0
+    );
+    assert_eq!(
+        num(
+            &metrics,
+            "ft_server_requests_total{endpoint=\"campaign_solve\"}"
+        ),
+        1.0
+    );
+    // The registry's own counters ride in the same plane.
+    assert_eq!(num(&metrics, "ft_core_quotes_total"), 6.0);
+    assert_eq!(num(&metrics, "ft_core_quote_errors_total"), 1.0);
+    assert_eq!(num(&metrics, "ft_core_solves_total"), 1.0);
+    // Latency histograms carry samples and quantiles.
+    let price_hist = map_get(
+        metrics.as_map().unwrap(),
+        "ft_server_request_ns{endpoint=\"campaign_price\"}",
+    )
+    .expect("price latency histogram")
+    .as_map()
+    .expect("histogram object");
+    assert_eq!(map_get(price_hist, "count").unwrap(), &Value::Num(6.0));
+    assert!(num(&Value::Map(price_hist.to_vec()), "p99") > 0.0);
+
+    // Prometheus text exposition.
+    let (status, text) =
+        ft_server::client::request(addr, "GET", "/metrics?format=prometheus", None).expect("req");
+    assert_eq!(status, 200);
+    assert!(text.contains("# TYPE ft_server_requests_total counter"));
+    assert!(text.contains("ft_server_requests_total{endpoint=\"campaign_price\"} 6"));
+    assert!(text.contains("ft_core_quotes_total 6"));
+    assert!(text.contains("ft_server_request_ns{endpoint=\"campaign_price\",quantile=\"0.99\"}"));
+    // Unknown format is a structured 400.
+    let (status, _) = request(addr, "GET", "/metrics?format=xml", None);
+    assert_eq!(status, 400);
+
+    handle.shutdown();
+    join.join().expect("server thread");
+}

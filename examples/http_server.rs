@@ -133,6 +133,23 @@ fn main() {
     let generation = num(&body, "generation");
     println!("\nGET {probe} → post {price} cents (generation {generation})");
 
+    // The fleet index and the observability plane see all of the above.
+    let (_, body) = http(addr, "GET", "/campaigns?limit=10", None);
+    println!(
+        "GET /campaigns?limit=10 → {} of {} campaigns",
+        num(&body, "returned"),
+        num(&body, "total")
+    );
+    let (_, metrics) = http(addr, "GET", "/metrics", None);
+    println!(
+        "GET /metrics → quotes={} observations={} recalibrations={} generation_swaps={}",
+        num(&metrics, "ft_core_quotes_total"),
+        num(&metrics, "ft_core_observes_total"),
+        num(&metrics, "ft_core_recalibrations_total"),
+        num(&metrics, "ft_core_generation_swaps_total"),
+    );
+    assert!(num(&metrics, "ft_core_quotes_total") >= 2.0);
+
     // Snapshot, restart, and show the campaign resume at the same
     // recalibrated generation.
     let snapshot = std::env::temp_dir().join("ft-server-demo-snapshot.json");

@@ -52,14 +52,26 @@
 //! See `examples/http_server.rs` and ARCHITECTURE.md for the endpoint
 //! table and the snapshot format.
 //!
+//! Under load, the stack watches itself: the `ft-metrics` plane
+//! ([`metrics`]) counts quotes/observes/solves/recalibrations and
+//! histograms latencies lock-free, `GET /metrics` exports it all
+//! (JSON or Prometheus text), and the `ft-load` crate drives the
+//! whole serving path closed-loop — simulated worker populations
+//! responding to live prices over real sockets:
+//!
+//! ```text
+//! cargo run --release -p ft-load -- --fast   # writes BENCH_load.json
+//! ```
+//!
 //! The workspace crates are re-exported here:
 //! [`stats`] (distributions/regression), [`market`] (NHPP arrivals, choice
 //! models, tracker traces, live simulator), [`core`] (the pricing
-//! algorithms), [`sim`] (the paper's experiments) and [`server`] (the
-//! HTTP front-end).
+//! algorithms), [`metrics`] (the observability plane), [`sim`] (the
+//! paper's experiments) and [`server`] (the HTTP front-end).
 
 pub use ft_core as core;
 pub use ft_market as market;
+pub use ft_metrics as metrics;
 pub use ft_server as server;
 pub use ft_sim as sim;
 pub use ft_stats as stats;
