@@ -1,0 +1,161 @@
+//! Persistent-pool dispatch vs the pre-PR-4 spawn-per-region executor.
+//!
+//! The solver kernel opens one parallel region per induction layer, so
+//! dispatch overhead is paid `n_steps` times per solve. This bench
+//! isolates that cost three ways:
+//!
+//! - `layer_dispatch/*` — a synthetic 64-layer sweep over a 4096-cell
+//!   row of cheap cells: `spawn_per_layer` reproduces the old
+//!   `std::thread::scope` executor verbatim, `pooled` runs the same
+//!   decomposition on `ft-exec`'s parked workers, `serial` is the
+//!   inline floor.
+//! - `join_tree/*` — a depth-6 fork-join recursion (the Algorithm 2
+//!   monotone-divide shape): scoped spawns vs steal-back pool joins.
+//! - `budget_regrain/*` — a real Theorem 4 budget MDP solve wide
+//!   enough (width 8001) to fan out at the PR 4 grain of 512; `serial`
+//!   pins one thread, `pooled` uses the machine budget. On a 1-core
+//!   host both degrade to the same inline loop; the pair is the
+//!   multicore re-capture target.
+//!
+//! Snapshot alongside `BENCH_solver.json`:
+//! `CRITERION_JSON=... cargo bench -p ft-bench --bench exec_pool`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ft_core::kernel::budget::{BudgetMdpModel, IntegerActions};
+use ft_core::kernel::{run, Direction, KernelConfig, Sweep};
+use ft_core::ActionSet;
+use ft_market::{LogitAcceptance, PriceGrid};
+use std::hint::black_box;
+
+const LAYERS: usize = 64;
+const WIDTH: usize = 4096;
+const GRAIN: usize = 512;
+
+/// The cheap budget-DP-shaped cell both layer benches compute.
+#[inline]
+fn cell(layer: usize, i: usize, x: u64) -> u64 {
+    x.wrapping_mul(2654435761)
+        .wrapping_add((layer * WIDTH + i) as u64)
+        .rotate_left(7)
+}
+
+/// The old `ft-exec`: fresh scoped threads per parallel region, with
+/// the exact chunk decomposition the crate still uses.
+fn spawn_per_layer_chunks(data: &mut [u64], layer: usize, threads: usize) {
+    let len = data.len();
+    let n_chunks = threads.min(len.div_ceil(GRAIN));
+    if n_chunks <= 1 {
+        for (i, x) in data.iter_mut().enumerate() {
+            *x = cell(layer, i, *x);
+        }
+        return;
+    }
+    let chunk_len = len.div_ceil(n_chunks);
+    std::thread::scope(|s| {
+        for (ci, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            s.spawn(move || {
+                for (j, x) in chunk.iter_mut().enumerate() {
+                    *x = cell(layer, ci * chunk_len + j, *x);
+                }
+            });
+        }
+    });
+}
+
+fn layer_dispatch(c: &mut Criterion) {
+    let threads = ft_exec::available_threads();
+    let mut group = c.benchmark_group("exec_pool/layer_dispatch");
+    group.sample_size(10);
+
+    group.bench_function("serial", |b| {
+        let mut data = vec![1u64; WIDTH];
+        b.iter(|| {
+            for layer in 0..LAYERS {
+                for (i, x) in data.iter_mut().enumerate() {
+                    *x = cell(layer, i, *x);
+                }
+            }
+            black_box(data[0])
+        })
+    });
+
+    group.bench_function("spawn_per_layer", |b| {
+        let mut data = vec![1u64; WIDTH];
+        b.iter(|| {
+            for layer in 0..LAYERS {
+                spawn_per_layer_chunks(&mut data, layer, threads);
+            }
+            black_box(data[0])
+        })
+    });
+
+    group.bench_function("pooled", |b| {
+        let mut data = vec![1u64; WIDTH];
+        b.iter(|| {
+            for layer in 0..LAYERS {
+                ft_exec::par_chunks_mut(&mut data, GRAIN, 0, |start, chunk| {
+                    for (j, x) in chunk.iter_mut().enumerate() {
+                        *x = cell(layer, start + j, *x);
+                    }
+                });
+            }
+            black_box(data[0])
+        })
+    });
+
+    group.finish();
+}
+
+fn join_tree(c: &mut Criterion) {
+    fn scoped_tree(depth: u32) -> u64 {
+        if depth == 0 {
+            return black_box(17u64).wrapping_mul(2654435761);
+        }
+        let (a, b) = std::thread::scope(|s| {
+            let hb = s.spawn(move || scoped_tree(depth - 1));
+            let ra = scoped_tree(depth - 1);
+            (ra, hb.join().expect("joined task panicked"))
+        });
+        a.wrapping_add(b)
+    }
+
+    fn pooled_tree(depth: u32) -> u64 {
+        if depth == 0 {
+            return black_box(17u64).wrapping_mul(2654435761);
+        }
+        let (a, b) = ft_exec::join(|| pooled_tree(depth - 1), || pooled_tree(depth - 1));
+        a.wrapping_add(b)
+    }
+
+    let mut group = c.benchmark_group("exec_pool/join_tree");
+    group.sample_size(10);
+    group.bench_function("scoped_spawn", |b| b.iter(|| black_box(scoped_tree(6))));
+    group.bench_function("pooled_join", |b| b.iter(|| black_box(pooled_tree(6))));
+    group.finish();
+}
+
+fn budget_regrain(c: &mut Criterion) {
+    let acc = LogitAcceptance::new(5.0, 0.0, 25.0);
+    let set = ActionSet::from_grid(PriceGrid::new(1, 18), &acc);
+    let acts = IntegerActions::from_action_set(&set, "bench").unwrap();
+    let (n_tasks, b_max) = (40u32, 8000usize);
+
+    let mut group = c.benchmark_group("exec_pool/budget_mdp");
+    group.sample_size(10);
+    for (label, cfg) in [
+        ("serial", KernelConfig::serial()),
+        ("pooled", KernelConfig::default()),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let model = BudgetMdpModel::new(&acts, n_tasks, b_max);
+                let (values, _) = run(&model, Sweep::Dense, Direction::Forward, &cfg);
+                black_box(values.row(n_tasks as usize)[b_max])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, layer_dispatch, join_tree, budget_regrain);
+criterion_main!(benches);

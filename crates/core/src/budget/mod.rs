@@ -3,13 +3,13 @@
 //!
 //! Key results implemented here:
 //! - Theorem 5: a semi-static strategy's expected worker-arrival count is
-//!   `E[W] = Σ 1/p(c_i)`, independent of order ([`semi_static`]).
+//!   `E[W] = Σ 1/p(c_i)`, independent of order (`semi_static`).
 //! - Theorems 3/4: static strategies are optimal; the search reduces to
 //!   choosing counts `n_c` minimizing `Σ n_c/p(c)` under
 //!   `Σ n_c = N, Σ n_c·c ≤ B` ([`StaticStrategy`]).
 //! - Theorem 7 / Algorithm 3: the LP relaxation puts all mass on two
-//!   adjacent lower-convex-hull prices around `B/N` ([`hull`]).
-//! - Theorem 6: a pseudo-polynomial exact DP ([`exact`]).
+//!   adjacent lower-convex-hull prices around `B/N` (`hull`).
+//! - Theorem 6: a pseudo-polynomial exact DP (`exact`).
 //! - Section 4.2.2: `E[T] ≈ E[W]/λ̄` converts arrivals to latency.
 
 mod exact;

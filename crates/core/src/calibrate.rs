@@ -1,7 +1,7 @@
 //! Penalty ↔ bound calibration (Theorem 2 / Section 3.3).
 //!
 //! The MDP optimizes `E[paid] + Penalty · E[remaining]`; users usually want
-//! "minimize E[paid] subject to E[remaining] ≤ bound". Theorem 2 says the
+//! "minimize `E[paid]` subject to `E[remaining]` ≤ bound". Theorem 2 says the
 //! two are equivalent for the right `Penalty`, found here by monotone
 //! binary search against the exact forward evaluation of each candidate
 //! policy.

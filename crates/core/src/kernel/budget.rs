@@ -102,11 +102,12 @@ impl LayerModel for BudgetAssignModel<'_> {
     }
 
     fn default_grain(&self) -> usize {
-        // A budget cell is a bare O(C) scan (~40 flops), and the driver
-        // spawns fresh scoped threads per layer: below a few thousand
-        // cells the spawn/join cost rivals the layer's work, so stay
-        // inline until the budget axis is genuinely wide.
-        4096
+        // A budget cell is a bare O(C) scan (~40 flops). With the
+        // persistent `ft-exec` pool a layer dispatch costs on the order
+        // of a queue push + wakeup (no thread spawn), so a few hundred
+        // cells already amortise it — down from 4096 when every layer
+        // paid a fresh spawn/join.
+        512
     }
 
     fn solve_state(
@@ -179,8 +180,8 @@ impl LayerModel for BudgetMdpModel<'_> {
     }
 
     fn default_grain(&self) -> usize {
-        // Same spawn-amortisation reasoning as `BudgetAssignModel`.
-        4096
+        // Same pooled-dispatch amortisation as `BudgetAssignModel`.
+        512
     }
 
     fn solve_state(
@@ -227,6 +228,54 @@ mod tests {
             ia.check_feasible(10, 9),
             Err(PricingError::Infeasible(_))
         ));
+    }
+
+    /// Now that the budget grain is low enough for real problems to fan
+    /// out on the pool, the sweep must stay bitwise-identical to the
+    /// serial baseline — for both budget models, at the default grain
+    /// and at an aggressive one, for thread counts 1, 2, 4 and auto.
+    #[test]
+    fn budget_models_bitwise_invariant_to_threads_at_new_grain() {
+        use super::super::driver::{run, Direction, KernelConfig, Sweep};
+        let acc = LogitAcceptance::new(5.0, 0.0, 25.0);
+        let set = ActionSet::from_grid(PriceGrid::new(1, 18), &acc);
+        let ia = IntegerActions::from_action_set(&set, "test").unwrap();
+        // Wide enough (width 2001 > 2 × 512) that the default grain
+        // genuinely splits the layer into multiple chunks.
+        let (n_tasks, b_max) = (12u32, 2000usize);
+        let assign = BudgetAssignModel::new(&ia, n_tasks, b_max);
+        let mdp = BudgetMdpModel::new(&ia, n_tasks, b_max);
+
+        fn solve<M: super::LayerModel>(model: &M, cfg: &KernelConfig) -> (Vec<f64>, Vec<u32>) {
+            let (v, p) = run(model, Sweep::Dense, Direction::Forward, cfg);
+            (v.into_vec(), p.into_vec())
+        }
+
+        for (label, grain) in [("default", 0usize), ("fine", 64)] {
+            let reference_assign = solve(&assign, &KernelConfig { threads: 1, grain });
+            let reference_mdp = solve(&mdp, &KernelConfig { threads: 1, grain });
+            for threads in [2usize, 4, 0] {
+                let cfg = KernelConfig { threads, grain };
+                let got_assign = solve(&assign, &cfg);
+                let got_mdp = solve(&mdp, &cfg);
+                for (reference, got, model) in [
+                    (&reference_assign, &got_assign, "assign"),
+                    (&reference_mdp, &got_mdp, "mdp"),
+                ] {
+                    assert_eq!(
+                        reference.1, got.1,
+                        "{model} decisions differ ({label} grain, {threads} threads)"
+                    );
+                    let reference_bits: Vec<u64> =
+                        reference.0.iter().map(|v| v.to_bits()).collect();
+                    let got_bits: Vec<u64> = got.0.iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(
+                        reference_bits, got_bits,
+                        "{model} values not bitwise equal ({label} grain, {threads} threads)"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

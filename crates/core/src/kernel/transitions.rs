@@ -59,28 +59,56 @@ impl TruncationTable {
 }
 
 /// One Poisson pmf row for a `(interval, action)` pair, shared by every
-/// state of a layer sweep: `pmf[s] = Pr[X = s]` and the running head
-/// `head[s] = Σ_{u ≤ s} pmf[u]`, accumulated left-to-right in exactly
-/// the order [`Poisson::pmf_prefix`] accumulates its return value — so a
-/// backup read off this row is bitwise identical to one that called
+/// state of a layer sweep, in a **SIMD-friendly contiguous layout**:
+/// one allocation holding three equal segments `[pmf | weighted | head]`
+/// where `pmf[s] = Pr[X = s]`, `weighted[s] = s · pmf[s]` (the paid-
+/// completions factor, precomputed so the backup's inner loop carries
+/// no per-term `usize → f64` convert), and the running head
+/// `head[s] = Σ_{u ≤ s} pmf[u]` accumulated left-to-right in exactly
+/// the order [`Poisson::pmf_prefix`] accumulates its return value — so
+/// a backup read off this row is bitwise identical to one that called
 /// `pmf_prefix` on its own short buffer.
+///
+/// The inner loop over this row is two independent unit-stride products
+/// per term (`weighted[s]·c` and `pmf[s]·opt_next[n−s]`) feeding one
+/// accumulator add; the accumulation order itself stays serial because
+/// the kernel's bitwise-determinism contract forbids reassociating the
+/// sum.
 #[derive(Debug, Clone)]
 pub struct PmfRow {
-    pmf: Vec<f64>,
-    head: Vec<f64>,
+    /// `[pmf | weighted | head]`, each `len` long.
+    buf: Vec<f64>,
+    len: usize,
 }
 
 impl PmfRow {
     fn build(lam_t: f64, accept: f64, len: usize) -> Self {
-        let mut pmf = vec![0.0; len];
-        Poisson::new(lam_t * accept).pmf_prefix(&mut pmf);
-        let mut head = Vec::with_capacity(len);
+        let mut buf = vec![0.0; 3 * len];
+        let (pmf, rest) = buf.split_at_mut(len);
+        Poisson::new(lam_t * accept).pmf_prefix(pmf);
+        let (weighted, head) = rest.split_at_mut(len);
         let mut total = 0.0;
-        for &p in &pmf {
+        for (s, &p) in pmf.iter().enumerate() {
+            weighted[s] = s as f64 * p;
             total += p;
-            head.push(total);
+            head[s] = total;
         }
-        Self { pmf, head }
+        Self { buf, len }
+    }
+
+    #[inline]
+    fn pmf(&self) -> &[f64] {
+        &self.buf[..self.len]
+    }
+
+    #[inline]
+    fn weighted(&self) -> &[f64] {
+        &self.buf[self.len..2 * self.len]
+    }
+
+    #[inline]
+    fn head(&self) -> &[f64] {
+        &self.buf[2 * self.len..]
     }
 }
 
@@ -116,7 +144,7 @@ impl PmfCache {
             self.rows.iter_mut().for_each(|r| *r = None);
         }
         let slot = &mut self.rows[action];
-        if slot.as_ref().is_none_or(|r| r.pmf.len() < len) {
+        if slot.as_ref().is_none_or(|r| r.len < len) {
             *slot = Some(PmfRow::build(lam_t, accept, len));
         }
         slot.as_ref().unwrap()
@@ -130,13 +158,18 @@ fn q_value_from_row(c: f64, n: usize, opt_next: &[f64], s0: usize, row: &PmfRow)
     debug_assert!(n >= 1, "backup needs at least one remaining task");
     debug_assert!(opt_next.len() > n, "opt row too short");
     let k = (n - 1).min(s0);
-    debug_assert!(row.pmf.len() > k, "pmf row too short");
+    debug_assert!(row.len > k, "pmf row too short");
+    let pmf = &row.pmf()[..=k];
+    let weighted = &row.weighted()[..=k];
     let mut q = 0.0;
-    for (s, &pr) in row.pmf[..=k].iter().enumerate() {
-        q += pr * (s as f64 * c + opt_next[n - s]);
+    // Two unit-stride product streams (the reward stream reads the
+    // precomputed `s·pmf[s]`, so no int→float convert in the loop) and
+    // one serial accumulator — the order [`q_value`] also uses.
+    for s in 0..=k {
+        q += weighted[s] * c + pmf[s] * opt_next[n - s];
     }
     if n <= s0 {
-        let tail = (1.0 - row.head[k]).max(0.0);
+        let tail = (1.0 - row.head()[k]).max(0.0);
         q += tail * (n as f64 * c + opt_next[0]);
     }
     q
@@ -160,12 +193,15 @@ pub fn q_value(
     debug_assert!(pmf_buf.len() >= n, "pmf buffer too short");
     let c = action.reward;
     let pois = Poisson::new(lam_t * action.accept);
-    // Partial-completion terms s = 0..=min(n−1, s0).
+    // Partial-completion terms s = 0..=min(n−1, s0), in the exact
+    // operation order of [`q_value_from_row`] (`(s·pr)·c + pr·opt`,
+    // f64 multiplication being bitwise-commutative) so the two paths
+    // stay bit-identical (`cached_rows_match_q_value_bitwise`).
     let k = (n - 1).min(s0);
     let head = pois.pmf_prefix(&mut pmf_buf[..=k]);
     let mut q = 0.0;
     for (s, &pr) in pmf_buf[..=k].iter().enumerate() {
-        q += pr * (s as f64 * c + opt_next[n - s]);
+        q += (s as f64 * pr) * c + pr * opt_next[n - s];
     }
     // Collapsed completion tail Pr[X ≥ n], kept only while n ≤ s0.
     if n <= s0 {

@@ -3,7 +3,7 @@
 //!
 //! The pricing service used to be a bare `HashMap<CampaignId,
 //! Arc<Policy>>`; the ROADMAP's network north-star needs campaigns to be
-//! first-class, inspectable, persistable objects. Each [`Campaign`] is a
+//! first-class, inspectable, persistable objects. Each `Campaign` is a
 //! versioned record:
 //!
 //! - a [`CampaignSpec`] (what to optimise),

@@ -10,7 +10,7 @@
 //! - [`PricingService::solve_batch`] registers + solves campaigns
 //!   concurrently on the shared `ft-exec` pool, dividing the worker
 //!   budget between batch-level and kernel-level parallelism (resolved
-//!   **once** — see [`crate::registry::split_threads`]).
+//!   **once** — see `registry::split_threads`).
 //! - [`PricingService::reprice`] answers from the campaign's current
 //!   policy generation — `O(1)`, never blocked by a concurrent solve or
 //!   recalibration.

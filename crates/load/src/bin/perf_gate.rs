@@ -1,0 +1,87 @@
+//! `perf-gate` — the CI perf-regression gate over `BENCH_load_*.json`.
+//!
+//! ```text
+//! cargo run --release -p ft-load --bin perf-gate -- \
+//!     --floors scripts/perf_floors.json BENCH_load_inproc.json BENCH_load_socket.json
+//! ```
+//!
+//! Every report is checked against the floors (see [`ft_load::gate`]);
+//! all comparisons are printed — fresh value vs bound — and the
+//! process exits non-zero if any regressed. Run it after the `ft-load`
+//! smoke steps so the job fails on a perf regression, not just a
+//! functional one.
+
+use ft_load::gate::{check_reports, Floors};
+
+const USAGE: &str = "\
+perf-gate — fail CI when fresh ft-load numbers regress past the floors
+
+USAGE:
+    perf-gate --floors FILE REPORT.json [REPORT.json ...]
+";
+
+fn run() -> Result<bool, String> {
+    let mut floors_path: Option<String> = None;
+    let mut reports: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--floors" => floors_path = Some(args.next().ok_or("--floors needs a file path")?),
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`\n\n{USAGE}"))
+            }
+            report => reports.push(report.to_string()),
+        }
+    }
+    let floors_path = floors_path.ok_or(format!("--floors is required\n\n{USAGE}"))?;
+    if reports.is_empty() {
+        return Err(format!("no report files given\n\n{USAGE}"));
+    }
+
+    let floors_json =
+        std::fs::read_to_string(&floors_path).map_err(|e| format!("read {floors_path}: {e}"))?;
+    let floors = Floors::from_json(&floors_json)?;
+    println!(
+        "perf-gate: {} backend floor(s) from {floors_path}, tolerance {:.0}%",
+        floors.backends.len(),
+        floors.tolerance * 100.0
+    );
+
+    // The floors are checked against the union of runs across every
+    // report: CI writes one file per --mode, so the in-process and
+    // socket legs arrive separately.
+    let mut report_jsons = Vec::new();
+    for path in &reports {
+        let report_json = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        println!("  reading {path}");
+        report_jsons.push(report_json);
+    }
+    let mut all_passed = true;
+    for comparison in check_reports(
+        &report_jsons.iter().map(String::as_str).collect::<Vec<_>>(),
+        &floors,
+    )? {
+        let verdict = if comparison.passed { "ok  " } else { "FAIL" };
+        println!("  {verdict} {}", comparison.label);
+        all_passed &= comparison.passed;
+    }
+    Ok(all_passed)
+}
+
+fn main() {
+    match run() {
+        Ok(true) => println!("perf-gate: all floors held."),
+        Ok(false) => {
+            eprintln!("perf-gate: performance regressed past the checked-in floors.");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("perf-gate: {e}");
+            std::process::exit(2);
+        }
+    }
+}

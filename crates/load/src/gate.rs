@@ -1,0 +1,333 @@
+//! The CI perf-regression gate: compare a fresh `BENCH_load_*.json`
+//! against checked-in floor values, so banked performance is
+//! *enforced* on every PR instead of merely re-measured.
+//!
+//! Floors live in `scripts/perf_floors.json`:
+//!
+//! ```json
+//! {"tolerance": 0.25,
+//!  "backends": [
+//!    {"backend": "in_process",
+//!     "min_throughput_rps": 2000.0,
+//!     "max_p99_ns": {"price": 2000000.0, "observe": 400000000.0}},
+//!    {"backend": "socket", ...}]}
+//! ```
+//!
+//! Semantics: a run regresses when its throughput drops below
+//! `min_throughput_rps × (1 − tolerance)` or an op's p99 rises above
+//! `max_p99_ns × (1 + tolerance)`. The floors are set conservatively
+//! (shared CI runners are noisy); the tolerance absorbs run-to-run
+//! jitter on top. A backend present in the floors but absent from the
+//! report is itself a failure — a silently skipped leg must not pass
+//! the gate.
+
+use serde::{map_get, Value};
+
+/// One backend's floor values.
+#[derive(Debug, Clone)]
+pub struct BackendFloor {
+    /// Matches `runs[].backend` in the report (`in_process` / `socket`).
+    pub backend: String,
+    /// Fresh throughput must stay above `this × (1 − tolerance)`.
+    pub min_throughput_rps: f64,
+    /// Per-op p99 ceilings in nanoseconds: fresh p99 must stay below
+    /// `ceiling × (1 + tolerance)`.
+    pub max_p99_ns: Vec<(String, f64)>,
+}
+
+/// The checked-in floor document.
+#[derive(Debug, Clone)]
+pub struct Floors {
+    /// Allowed relative regression before the gate fails.
+    pub tolerance: f64,
+    pub backends: Vec<BackendFloor>,
+}
+
+impl Floors {
+    /// Parse the floors document, validating shapes and ranges.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let value: Value = serde_json::from_str(json).map_err(|e| format!("floors parse: {e}"))?;
+        let map = value
+            .as_map()
+            .ok_or_else(|| "floors: not a JSON object".to_string())?;
+        let tolerance = map_get(map, "tolerance")
+            .ok()
+            .and_then(Value::as_num)
+            .ok_or_else(|| "floors: missing numeric `tolerance`".to_string())?;
+        if !(0.0..1.0).contains(&tolerance) {
+            return Err(format!("floors: tolerance {tolerance} outside [0, 1)"));
+        }
+        let backends_value =
+            map_get(map, "backends").map_err(|_| "floors: missing `backends`".to_string())?;
+        let backends_seq = backends_value
+            .as_seq()
+            .ok_or_else(|| "floors: `backends` is not an array".to_string())?;
+        let mut backends = Vec::new();
+        for entry in backends_seq {
+            let entry_map = entry
+                .as_map()
+                .ok_or_else(|| "floors: backend entry is not an object".to_string())?;
+            let backend = map_get(entry_map, "backend")
+                .ok()
+                .and_then(Value::as_str)
+                .ok_or_else(|| "floors: backend entry missing `backend`".to_string())?
+                .to_string();
+            let min_throughput_rps = map_get(entry_map, "min_throughput_rps")
+                .ok()
+                .and_then(Value::as_num)
+                .ok_or_else(|| format!("floors[{backend}]: missing `min_throughput_rps`"))?;
+            if min_throughput_rps <= 0.0 {
+                return Err(format!(
+                    "floors[{backend}]: min_throughput_rps must be positive"
+                ));
+            }
+            let mut max_p99_ns = Vec::new();
+            if let Ok(ceilings) = map_get(entry_map, "max_p99_ns") {
+                let ceilings = ceilings
+                    .as_map()
+                    .ok_or_else(|| format!("floors[{backend}]: `max_p99_ns` is not an object"))?;
+                for (op, ceiling) in ceilings {
+                    let ceiling = ceiling.as_num().ok_or_else(|| {
+                        format!("floors[{backend}]: p99 ceiling for `{op}` is not a number")
+                    })?;
+                    if ceiling <= 0.0 {
+                        return Err(format!(
+                            "floors[{backend}]: p99 ceiling for `{op}` must be positive"
+                        ));
+                    }
+                    max_p99_ns.push((op.clone(), ceiling));
+                }
+            }
+            backends.push(BackendFloor {
+                backend,
+                min_throughput_rps,
+                max_p99_ns,
+            });
+        }
+        if backends.is_empty() {
+            return Err("floors: no backends — the gate would vacuously pass".to_string());
+        }
+        Ok(Self {
+            tolerance,
+            backends,
+        })
+    }
+}
+
+/// One gate comparison, kept for the success-path log so CI output
+/// shows fresh-vs-floor numbers even when everything passes.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    pub label: String,
+    pub fresh: f64,
+    pub bound: f64,
+    pub passed: bool,
+}
+
+impl Comparison {
+    fn throughput(backend: &str, fresh: f64, bound: f64) -> Self {
+        Self {
+            label: format!("[{backend}] throughput_rps {fresh:.0} ≥ {bound:.0}"),
+            fresh,
+            bound,
+            passed: fresh >= bound,
+        }
+    }
+
+    fn p99(backend: &str, op: &str, fresh: f64, bound: f64) -> Self {
+        Self {
+            label: format!("[{backend}] p99[{op}] {fresh:.0} ns ≤ {bound:.0} ns"),
+            fresh,
+            bound,
+            passed: fresh <= bound,
+        }
+    }
+}
+
+/// Evaluate one report document against the floors — shorthand for
+/// [`check_reports`] over a single document.
+pub fn check_report(report_json: &str, floors: &Floors) -> Result<Vec<Comparison>, String> {
+    check_reports(&[report_json], floors)
+}
+
+/// Evaluate the floors against the union of runs found across every
+/// supplied report document (CI writes one report per `--mode`, so the
+/// in-process and socket runs arrive in separate files). Returns every
+/// comparison made (pass and fail); the gate fails if any comparison
+/// failed or a floored backend appears in no report at all.
+pub fn check_reports(report_jsons: &[&str], floors: &Floors) -> Result<Vec<Comparison>, String> {
+    let mut runs: Vec<Value> = Vec::new();
+    for report_json in report_jsons {
+        let report: Value =
+            serde_json::from_str(report_json).map_err(|e| format!("report parse: {e}"))?;
+        let map = report
+            .as_map()
+            .ok_or_else(|| "report: not a JSON object".to_string())?;
+        let document_runs = map_get(map, "runs")
+            .ok()
+            .and_then(Value::as_seq)
+            .ok_or_else(|| "report: missing `runs` array".to_string())?;
+        runs.extend(document_runs.iter().cloned());
+    }
+
+    let mut comparisons = Vec::new();
+    for floor in &floors.backends {
+        let matching: Vec<&Value> = runs
+            .iter()
+            .filter(|run| {
+                run.as_map()
+                    .and_then(|m| map_get(m, "backend").ok())
+                    .and_then(Value::as_str)
+                    == Some(&floor.backend)
+            })
+            .collect();
+        if matching.is_empty() {
+            // A floored backend no report ran cannot pass.
+            comparisons.push(Comparison {
+                label: format!("[{}] run present in report(s)", floor.backend),
+                fresh: 0.0,
+                bound: 1.0,
+                passed: false,
+            });
+            continue;
+        }
+        // Every matching run must hold the floor — a stale passing run
+        // in one report must not shadow a fresh regressed run in
+        // another.
+        let duplicates = matching.len() > 1;
+        for (index, run) in matching.into_iter().enumerate() {
+            let label = if duplicates {
+                format!("{} (run {})", floor.backend, index + 1)
+            } else {
+                floor.backend.clone()
+            };
+            let run_map = run.as_map().expect("matched runs are objects");
+            let throughput = map_get(run_map, "throughput_rps")
+                .ok()
+                .and_then(Value::as_num)
+                .ok_or_else(|| format!("report[{label}]: missing throughput_rps"))?;
+            comparisons.push(Comparison::throughput(
+                &label,
+                throughput,
+                floor.min_throughput_rps * (1.0 - floors.tolerance),
+            ));
+            let latency = map_get(run_map, "latency_ns_by_op")
+                .ok()
+                .and_then(Value::as_map)
+                .ok_or_else(|| format!("report[{label}]: missing latency_ns_by_op"))?;
+            for (op, ceiling) in &floor.max_p99_ns {
+                let p99 = map_get(latency, op)
+                    .ok()
+                    .and_then(|entry| entry.as_map().and_then(|m| map_get(m, "p99").ok()))
+                    .and_then(Value::as_num)
+                    .ok_or_else(|| format!("report[{label}]: no p99 for op `{op}`"))?;
+                comparisons.push(Comparison::p99(
+                    &label,
+                    op,
+                    p99,
+                    ceiling * (1.0 + floors.tolerance),
+                ));
+            }
+        }
+    }
+    Ok(comparisons)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FLOORS: &str = r#"{
+        "tolerance": 0.2,
+        "backends": [
+            {"backend": "in_process",
+             "min_throughput_rps": 1000.0,
+             "max_p99_ns": {"price": 100000.0}}
+        ]
+    }"#;
+
+    fn report(backend: &str, throughput: f64, price_p99: f64) -> String {
+        format!(
+            r#"{{"runs": [{{"backend": "{backend}",
+                 "throughput_rps": {throughput},
+                 "latency_ns_by_op": {{"price": {{"count": 10, "p99": {price_p99}}}}}}}]}}"#
+        )
+    }
+
+    #[test]
+    fn floors_parse_and_validate() {
+        let floors = Floors::from_json(FLOORS).unwrap();
+        assert_eq!(floors.tolerance, 0.2);
+        assert_eq!(floors.backends.len(), 1);
+        assert_eq!(floors.backends[0].max_p99_ns[0].0, "price");
+
+        assert!(Floors::from_json("{}").is_err());
+        assert!(Floors::from_json(r#"{"tolerance": 1.5, "backends": []}"#).is_err());
+        assert!(Floors::from_json(r#"{"tolerance": 0.1, "backends": []}"#).is_err());
+    }
+
+    #[test]
+    fn healthy_run_passes_with_tolerance() {
+        let floors = Floors::from_json(FLOORS).unwrap();
+        // Throughput 10% under the floor still passes at 20% tolerance;
+        // p99 15% over the ceiling still passes too.
+        let comparisons = check_report(&report("in_process", 900.0, 115_000.0), &floors).unwrap();
+        assert!(comparisons.iter().all(|c| c.passed), "{comparisons:?}");
+    }
+
+    #[test]
+    fn regressions_fail() {
+        let floors = Floors::from_json(FLOORS).unwrap();
+        let slow_throughput = check_report(&report("in_process", 700.0, 1.0), &floors).unwrap();
+        assert!(!slow_throughput[0].passed, "{slow_throughput:?}");
+        let slow_p99 = check_report(&report("in_process", 5000.0, 130_000.0), &floors).unwrap();
+        assert!(!slow_p99[1].passed, "{slow_p99:?}");
+    }
+
+    #[test]
+    fn floors_union_across_reports() {
+        // CI hands the gate one report per --mode; a backend found in
+        // *any* of them satisfies its floor.
+        let floors = Floors::from_json(
+            r#"{"tolerance": 0.2, "backends": [
+                {"backend": "in_process", "min_throughput_rps": 1000.0},
+                {"backend": "socket", "min_throughput_rps": 100.0}]}"#,
+        )
+        .unwrap();
+        let inproc = report("in_process", 5000.0, 1.0);
+        let socket = report("socket", 500.0, 1.0);
+        let comparisons = check_reports(&[&inproc, &socket], &floors).unwrap();
+        assert_eq!(comparisons.len(), 2);
+        assert!(comparisons.iter().all(|c| c.passed), "{comparisons:?}");
+        // One leg missing entirely still fails.
+        let comparisons = check_reports(&[&inproc], &floors).unwrap();
+        assert!(comparisons.iter().any(|c| !c.passed));
+        // A stale passing run must not shadow a fresh regressed one:
+        // every duplicate run of a backend is gated.
+        let regressed = report("socket", 10.0, 1.0);
+        let comparisons = check_reports(&[&inproc, &socket, &regressed], &floors).unwrap();
+        assert_eq!(comparisons.len(), 3);
+        assert!(
+            comparisons.iter().any(|c| !c.passed),
+            "regressed duplicate slipped through: {comparisons:?}"
+        );
+    }
+
+    #[test]
+    fn missing_backend_fails() {
+        let floors = Floors::from_json(FLOORS).unwrap();
+        let comparisons = check_report(&report("socket", 1e9, 1.0), &floors).unwrap();
+        assert!(comparisons.iter().any(|c| !c.passed));
+    }
+
+    #[test]
+    fn malformed_report_is_an_error() {
+        let floors = Floors::from_json(FLOORS).unwrap();
+        assert!(check_report("not json", &floors).is_err());
+        assert!(check_report(r#"{"no_runs": true}"#, &floors).is_err());
+        // A run without the op's p99 is an error, not a silent pass.
+        let no_p99 = r#"{"runs": [{"backend": "in_process", "throughput_rps": 9999,
+                         "latency_ns_by_op": {}}]}"#;
+        assert!(check_report(no_p99, &floors).is_err());
+    }
+}

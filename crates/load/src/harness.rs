@@ -11,16 +11,28 @@ use ft_core::registry::CampaignRegistry;
 use ft_core::KernelConfig;
 use ft_server::{Server, ServerConfig};
 use serde::{map_get, Value};
-use std::net::SocketAddr;
+use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::Arc;
 
-/// Socket-mode extras: the connection-flood phase and the
-/// server-vs-client metrics reconciliation.
+/// Socket-mode extras: the connection-flood phase and (when the
+/// harness spawned the server itself) the server-vs-client metrics
+/// reconciliation.
 pub struct SocketExtras {
     pub flood: FloodOutcome,
-    pub crosscheck: CrosscheckOutcome,
-    pub server_workers: usize,
-    pub server_queue_depth: usize,
+    /// `None` when driving an external `--target` server: its metrics
+    /// plane may carry traffic from other clients or earlier runs, so
+    /// exact reconciliation against this client's counts is undefined.
+    pub crosscheck: Option<CrosscheckOutcome>,
+    /// Pool sizing of the spawned server; `None` for an external
+    /// target (its configuration is not ours to know).
+    pub server_pool: Option<ServerPool>,
+}
+
+/// Acceptor-pool sizing of the harness-spawned server.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerPool {
+    pub workers: usize,
+    pub queue_depth: usize,
 }
 
 /// What happened when `connections` clients hit the server at once.
@@ -92,10 +104,62 @@ pub fn run_socket(scenario: &Scenario) -> Result<(RunOutcome, SocketExtras), Str
         outcome,
         SocketExtras {
             flood,
-            crosscheck: crosscheck?,
-            server_workers: config.workers,
-            server_queue_depth: config.queue_depth,
+            crosscheck: Some(crosscheck?),
+            server_pool: Some(ServerPool {
+                workers: config.workers,
+                queue_depth: config.queue_depth,
+            }),
         },
+    ))
+}
+
+/// Drive an **external** server at `target` (`host:port`) over real
+/// sockets — the same workload and flood phase as [`run_socket`], but
+/// nothing is spawned in-process and the `/metrics` reconciliation is
+/// skipped (an external server's counters may include traffic this
+/// client never sent).
+pub fn run_socket_target(
+    scenario: &Scenario,
+    target: &str,
+) -> Result<(RunOutcome, SocketExtras), String> {
+    let addr = probe_target(target)?;
+    let backend = SocketBackend { addr };
+    let instruments = RunInstruments::new();
+    let outcome = driver::run(scenario, &backend, &instruments);
+    let flood = flood(addr, scenario.flood_connections);
+    Ok((
+        outcome,
+        SocketExtras {
+            flood,
+            crosscheck: None,
+            server_pool: None,
+        },
+    ))
+}
+
+/// Resolve `host:port` and probe `/healthz` on each resolved address
+/// in turn (a dual-stack hostname can resolve `::1` first while the
+/// server listens on `127.0.0.1` only), returning the first address
+/// that answers 200 — or a readable error naming every failure.
+fn probe_target(target: &str) -> Result<SocketAddr, String> {
+    let addrs: Vec<SocketAddr> = target
+        .to_socket_addrs()
+        .map_err(|e| format!("cannot resolve --target {target}: {e}"))?
+        .collect();
+    if addrs.is_empty() {
+        return Err(format!("--target {target} resolved to no address"));
+    }
+    let mut failures = Vec::new();
+    for addr in addrs {
+        match ft_server::client::request(addr, "GET", "/healthz", None) {
+            Ok((200, _)) => return Ok(addr),
+            Ok((status, _)) => failures.push(format!("{addr}: /healthz answered HTTP {status}")),
+            Err(e) => failures.push(format!("{addr}: {e}")),
+        }
+    }
+    Err(format!(
+        "target {target}: no resolved address answered /healthz ({})",
+        failures.join("; ")
     ))
 }
 

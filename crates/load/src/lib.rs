@@ -26,20 +26,33 @@
 //! which is what CI runs:
 //!
 //! ```text
-//! cargo run -p ft-load -- --fast                 # both modes, small fleet
-//! cargo run -p ft-load -- --fast --mode socket   # socket only
-//! cargo run -p ft-load -- --scenario my.json     # custom fleet spec
+//! cargo run -p ft-load -- --fast                  # both modes, small fleet
+//! cargo run -p ft-load -- --fast --mode socket    # socket only
+//! cargo run -p ft-load -- --scenario my.json      # custom fleet spec
+//! cargo run -p ft-load -- --target 10.0.0.5:8080  # external ft-server
 //! ```
+//!
+//! With `--target host:port` the socket mode drives an **external**
+//! server instead of spawning one in-process — the same workload and
+//! connection flood, with the `/metrics` reconciliation gate skipped
+//! (the external plane may carry traffic this client never sent).
+//!
+//! The companion `perf-gate` binary ([`gate`]) is the CI
+//! perf-regression gate: it compares a fresh `BENCH_load_*.json`
+//! against the checked-in floors in `scripts/perf_floors.json` and
+//! fails on regression beyond the configured tolerance.
 //!
 //! See `ARCHITECTURE.md` for the scenario-spec schema.
 
 pub mod backend;
 pub mod driver;
+pub mod gate;
 pub mod harness;
 pub mod report;
 pub mod scenario;
 
 pub use backend::{Backend, InProcessBackend, SocketBackend};
 pub use driver::{Op, RunInstruments, RunOutcome};
-pub use harness::{run_in_process, run_socket, SocketExtras};
+pub use gate::{check_report, check_reports, Floors};
+pub use harness::{run_in_process, run_socket, run_socket_target, SocketExtras};
 pub use scenario::{CampaignKind, FleetGroup, Scenario};

@@ -16,6 +16,9 @@ struct Args {
     scenario: Scenario,
     mode: Mode,
     out: String,
+    /// External server (`host:port`) for socket mode; `None` spawns an
+    /// in-process `ft-server`.
+    target: Option<String>,
 }
 
 const USAGE: &str = "\
@@ -23,19 +26,24 @@ ft-load — closed-loop workload generator for the campaign serving stack
 
 USAGE:
     ft-load [--fast] [--scenario FILE] [--mode in-process|socket|both]
-            [--out FILE]
+            [--target HOST:PORT] [--out FILE]
 
 OPTIONS:
     --fast             built-in seconds-scale CI profile (default: standard)
     --scenario FILE    JSON scenario spec (overrides --fast)
     --mode MODE        which backend(s) to drive   [default: both]
+    --target HOST:PORT drive an external ft-server instead of spawning
+                       one (implies --mode socket; the /metrics
+                       crosscheck gate is skipped — an external server
+                       may carry traffic this client never sent)
     --out FILE         report path                 [default: BENCH_load.json]
 ";
 
 fn parse_args() -> Result<Args, String> {
     let mut fast = false;
     let mut scenario_path: Option<String> = None;
-    let mut mode = Mode::Both;
+    let mut mode: Option<Mode> = None;
+    let mut target: Option<String> = None;
     let mut out = "BENCH_load.json".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -45,13 +53,14 @@ fn parse_args() -> Result<Args, String> {
                 scenario_path = Some(args.next().ok_or("--scenario needs a file path")?)
             }
             "--mode" => {
-                mode = match args.next().as_deref() {
+                mode = Some(match args.next().as_deref() {
                     Some("in-process") => Mode::InProcess,
                     Some("socket") => Mode::Socket,
                     Some("both") => Mode::Both,
                     other => return Err(format!("bad --mode {other:?} (in-process|socket|both)")),
-                }
+                })
             }
+            "--target" => target = Some(args.next().ok_or("--target needs HOST:PORT")?),
             "--out" => out = args.next().ok_or("--out needs a file path")?,
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -60,6 +69,15 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument `{other}`\n\n{USAGE}")),
         }
     }
+    let mode = match (&target, mode) {
+        // An external target only makes sense for the socket surface.
+        (Some(_), None) => Mode::Socket,
+        (Some(_), Some(Mode::Socket)) => Mode::Socket,
+        (Some(_), Some(_)) => {
+            return Err("--target drives an external server; it requires --mode socket".into())
+        }
+        (None, mode) => mode.unwrap_or(Mode::Both),
+    };
     let scenario = match scenario_path {
         Some(path) => {
             let json = std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
@@ -73,6 +91,7 @@ fn parse_args() -> Result<Args, String> {
         scenario,
         mode,
         out,
+        target,
     })
 }
 
@@ -110,34 +129,31 @@ fn print_summary(outcome: &RunOutcome, extras: Option<&SocketExtras>) {
         );
     }
     if let Some(extras) = extras {
+        let pool = match &extras.server_pool {
+            Some(pool) => format!(
+                " (pool: {} workers, queue {})",
+                pool.workers, pool.queue_depth
+            ),
+            None => " (external target)".to_string(),
+        };
         println!(
-            "  flood: {} connections → {} ok, {} busy-rejected, {} failed \
-             (pool: {} workers, queue {})",
-            extras.flood.connections,
-            extras.flood.ok,
-            extras.flood.busy,
-            extras.flood.failed,
-            extras.server_workers,
-            extras.server_queue_depth,
+            "  flood: {} connections → {} ok, {} busy-rejected, {} failed{pool}",
+            extras.flood.connections, extras.flood.ok, extras.flood.busy, extras.flood.failed,
         );
-        println!(
-            "  /metrics crosscheck: {}",
-            if extras.crosscheck.matched {
-                "matched".to_string()
-            } else {
-                format!(
-                    "MISMATCH ({})",
-                    extras
-                        .crosscheck
-                        .entries
-                        .iter()
-                        .filter(|e| e.client != e.server)
-                        .map(|e| format!("{} {}≠{}", e.name, e.client, e.server))
-                        .collect::<Vec<_>>()
-                        .join(", ")
-                )
-            }
-        );
+        match &extras.crosscheck {
+            None => println!("  /metrics crosscheck: skipped (external target)"),
+            Some(crosscheck) if crosscheck.matched => println!("  /metrics crosscheck: matched"),
+            Some(crosscheck) => println!(
+                "  /metrics crosscheck: MISMATCH ({})",
+                crosscheck
+                    .entries
+                    .iter()
+                    .filter(|e| e.client != e.server)
+                    .map(|e| format!("{} {}≠{}", e.name, e.client, e.server))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        }
     }
 }
 
@@ -168,7 +184,11 @@ fn main() {
         runs.push((outcome, None));
     }
     if matches!(args.mode, Mode::Socket | Mode::Both) {
-        match ft_load::run_socket(&args.scenario) {
+        let socket_run = match &args.target {
+            Some(target) => ft_load::run_socket_target(&args.scenario, target),
+            None => ft_load::run_socket(&args.scenario),
+        };
+        match socket_run {
             Ok((outcome, extras)) => {
                 print_summary(&outcome, Some(&extras));
                 failures.extend(report::evaluate_gates(

@@ -85,13 +85,15 @@ fn run_value(outcome: &RunOutcome, extras: Option<&SocketExtras>) -> Value {
         ));
     }
     if let Some(extras) = extras {
-        fields.push((
-            "server_pool",
-            map(vec![
-                ("workers", num(extras.server_workers as f64)),
-                ("queue_depth", num(extras.server_queue_depth as f64)),
-            ]),
-        ));
+        if let Some(pool) = &extras.server_pool {
+            fields.push((
+                "server_pool",
+                map(vec![
+                    ("workers", num(pool.workers as f64)),
+                    ("queue_depth", num(pool.queue_depth as f64)),
+                ]),
+            ));
+        }
         fields.push((
             "flood",
             map(vec![
@@ -101,29 +103,30 @@ fn run_value(outcome: &RunOutcome, extras: Option<&SocketExtras>) -> Value {
                 ("failed", num(extras.flood.failed as f64)),
             ]),
         ));
-        fields.push((
-            "metrics_crosscheck",
-            map(vec![
-                ("matched", Value::Bool(extras.crosscheck.matched)),
-                (
-                    "entries",
-                    Value::Seq(
-                        extras
-                            .crosscheck
-                            .entries
-                            .iter()
-                            .map(|e| {
-                                map(vec![
-                                    ("name", Value::Str(e.name.clone())),
-                                    ("client", num(e.client as f64)),
-                                    ("server", num(e.server as f64)),
-                                ])
-                            })
-                            .collect(),
+        if let Some(crosscheck) = &extras.crosscheck {
+            fields.push((
+                "metrics_crosscheck",
+                map(vec![
+                    ("matched", Value::Bool(crosscheck.matched)),
+                    (
+                        "entries",
+                        Value::Seq(
+                            crosscheck
+                                .entries
+                                .iter()
+                                .map(|e| {
+                                    map(vec![
+                                        ("name", Value::Str(e.name.clone())),
+                                        ("client", num(e.client as f64)),
+                                        ("server", num(e.server as f64)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
                     ),
-                ),
-            ]),
-        ));
+                ]),
+            ));
+        }
     }
     map(fields)
 }
@@ -204,18 +207,21 @@ pub fn evaluate_gates(
         if extras.flood.ok + extras.flood.busy != extras.flood.connections {
             failures.push(format!("[{mode}] flood accounting does not add up"));
         }
-        if !extras.crosscheck.matched {
-            let detail: Vec<String> = extras
-                .crosscheck
-                .entries
-                .iter()
-                .filter(|e| e.client != e.server)
-                .map(|e| format!("{}: client {} vs server {}", e.name, e.client, e.server))
-                .collect();
-            failures.push(format!(
-                "[{mode}] /metrics does not reconcile: {}",
-                detail.join("; ")
-            ));
+        // The crosscheck gate applies only when the harness spawned the
+        // server itself (an external --target's counters are not ours).
+        if let Some(crosscheck) = &extras.crosscheck {
+            if !crosscheck.matched {
+                let detail: Vec<String> = crosscheck
+                    .entries
+                    .iter()
+                    .filter(|e| e.client != e.server)
+                    .map(|e| format!("{}: client {} vs server {}", e.name, e.client, e.server))
+                    .collect();
+                failures.push(format!(
+                    "[{mode}] /metrics does not reconcile: {}",
+                    detail.join("; ")
+                ));
+            }
         }
     }
     failures

@@ -1,7 +1,8 @@
 //! End-to-end smoke: the built-in fast scenario must clear every
 //! acceptance gate in both modes — zero errors, zero dropped/torn
 //! samples, at least one recalibration under drift, a survived flood,
-//! and a matching `/metrics` reconciliation.
+//! and a matching `/metrics` reconciliation — and `--target` mode must
+//! drive a server the harness did not spawn.
 
 use ft_load::{report, Scenario};
 
@@ -27,7 +28,11 @@ fn fast_scenario_clears_gates_over_a_real_socket() {
     let (outcome, extras) = ft_load::run_socket(&scenario).expect("socket harness");
     let failures = report::evaluate_gates(&scenario, &outcome, Some(&extras));
     assert!(failures.is_empty(), "gates failed: {failures:?}");
-    assert!(extras.crosscheck.matched, "metrics crosscheck mismatched");
+    let crosscheck = extras
+        .crosscheck
+        .as_ref()
+        .expect("spawned-server runs always crosscheck");
+    assert!(crosscheck.matched, "metrics crosscheck mismatched");
     assert_eq!(
         extras.flood.ok + extras.flood.busy,
         extras.flood.connections,
@@ -39,4 +44,53 @@ fn fast_scenario_clears_gates_over_a_real_socket() {
     let json = serde_json::to_string(&document).expect("render");
     let parsed: serde::Value = serde_json::from_str(&json).expect("parse");
     assert!(parsed.as_map().is_some());
+}
+
+#[test]
+fn target_mode_drives_an_external_server() {
+    use ft_core::adaptive::AdaptiveOptions;
+    use ft_core::registry::CampaignRegistry;
+    use ft_core::KernelConfig;
+    use std::sync::Arc;
+
+    let scenario = Scenario::fast();
+    // A server the harness knows nothing about — as far as ft-load is
+    // concerned this is a remote deployment reachable only by address.
+    let registry = Arc::new(CampaignRegistry::with_config(
+        KernelConfig::default(),
+        AdaptiveOptions {
+            resolve_every: scenario.resolve_every,
+            ..AdaptiveOptions::default()
+        },
+    ));
+    let (handle, join) = ft_server::Server::spawn("127.0.0.1:0", registry).expect("bind");
+    let target = handle.addr().to_string();
+
+    let (outcome, extras) = ft_load::run_socket_target(&scenario, &target).expect("target harness");
+    let failures = report::evaluate_gates(&scenario, &outcome, Some(&extras));
+    assert!(failures.is_empty(), "gates failed: {failures:?}");
+    assert!(outcome.requests > 0);
+    assert_eq!(outcome.errors, 0);
+    // External targets are driven and flooded, but not reconciled or
+    // introspected — their metrics may include other clients' traffic.
+    assert!(extras.crosscheck.is_none());
+    assert!(extras.server_pool.is_none());
+    assert_eq!(
+        extras.flood.ok + extras.flood.busy,
+        extras.flood.connections
+    );
+    assert_eq!(extras.flood.failed, 0);
+    // The render path handles the reduced extras.
+    let document = report::render(&scenario, &[(outcome, Some(extras))]);
+    serde_json::to_string(&document).expect("render");
+
+    // A dead target is a readable error, not a hang or a panic.
+    let err = match ft_load::run_socket_target(&scenario, "127.0.0.1:1") {
+        Err(err) => err,
+        Ok(_) => panic!("a dead target must not produce a run"),
+    };
+    assert!(err.contains("127.0.0.1:1"), "unhelpful error: {err}");
+
+    handle.shutdown();
+    join.join().expect("server thread");
 }

@@ -12,9 +12,9 @@
 //!
 //! **Keep-alive tradeoff**: a blocking pool can't multiplex idle
 //! sockets, so a connection holds its worker between requests. The
-//! first request on a connection gets [`IDLE_READ_TIMEOUT`] (slow
+//! first request on a connection gets `IDLE_READ_TIMEOUT` (slow
 //! clients), but *subsequent* keep-alive waits get only
-//! [`KEEP_ALIVE_IDLE_TIMEOUT`] — an idle keep-alive client can pin a
+//! `KEEP_ALIVE_IDLE_TIMEOUT` — an idle keep-alive client can pin a
 //! worker for at most that long before the connection is closed and
 //! the worker returns to the queue. Queued connections therefore wait
 //! at most a few seconds behind idle keep-alives, never the full 30 s.
@@ -46,10 +46,19 @@ const IDLE_READ_TIMEOUT: Duration = Duration::from_secs(30);
 const KEEP_ALIVE_IDLE_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Sizing for the acceptor pool.
+///
+/// Handler threads are I/O-facing: the compute inside a request (a
+/// campaign solve) dispatches onto the shared persistent `ft-exec`
+/// pool rather than spawning its own threads, so `workers` HTTP
+/// handlers never multiply into `workers × cores` solver threads. The
+/// default sizing reads `ft_exec::available_threads()` — the same
+/// `FT_EXEC_THREADS`-governed budget the pool uses — so one knob
+/// bounds both sides and the handlers don't fight the pool for it.
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
     /// Handler threads. The server's total thread count is `workers + 1`
-    /// (the acceptor) regardless of how many clients connect.
+    /// (the acceptor) plus the shared `ft-exec` pool, regardless of how
+    /// many clients connect.
     pub workers: usize,
     /// Accepted connections allowed to wait for a free worker before
     /// new ones are rejected with `503`.
@@ -59,16 +68,10 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     fn default() -> Self {
         Self {
-            workers: ft_exec_like_parallelism().clamp(2, 16),
+            workers: ft_exec::available_threads().clamp(2, 16),
             queue_depth: 128,
         }
     }
-}
-
-/// `available_parallelism` with the same fallback `ft-exec` uses; kept
-/// local so `ft-server` doesn't need the exec crate for one number.
-fn ft_exec_like_parallelism() -> usize {
-    std::thread::available_parallelism().map_or(4, |n| n.get())
 }
 
 /// The bounded hand-off between the acceptor and the worker pool.

@@ -40,16 +40,7 @@ fn problem_json() -> String {
 
 /// Current thread count of this process (Linux; the CI and dev
 /// containers are Linux — elsewhere the bound check is skipped).
-fn thread_count() -> Option<usize> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    status
-        .lines()
-        .find(|l| l.starts_with("Threads:"))?
-        .split_whitespace()
-        .nth(1)?
-        .parse()
-        .ok()
-}
+use ft_exec::process_threads as thread_count;
 
 /// Send one keep-alive request and read the response, returning the
 /// still-open stream (its handler thread stays parked in `read`).
@@ -89,6 +80,11 @@ fn connection_flood_is_survived_with_bounded_threads() {
         workers: 2,
         queue_depth: 2,
     };
+    // The shared ft-exec pool spawns lazily on the first parallel
+    // dispatch anywhere in the process (e.g. a solve in a concurrently
+    // running test); force it up *before* the baseline so the delta
+    // below measures only connection handling.
+    let _ = ft_exec::Pool::global();
     let baseline = thread_count();
     let (handle, join) =
         Server::spawn_with("127.0.0.1:0", Arc::clone(&registry), config).expect("bind");

@@ -66,10 +66,12 @@
 //! The workspace crates are re-exported here:
 //! [`stats`] (distributions/regression), [`market`] (NHPP arrivals, choice
 //! models, tracker traces, live simulator), [`core`] (the pricing
-//! algorithms), [`metrics`] (the observability plane), [`sim`] (the
-//! paper's experiments) and [`server`] (the HTTP front-end).
+//! algorithms), [`exec`] (the persistent worker pool), [`metrics`] (the
+//! observability plane), [`sim`] (the paper's experiments) and
+//! [`server`] (the HTTP front-end).
 
 pub use ft_core as core;
+pub use ft_exec as exec;
 pub use ft_market as market;
 pub use ft_metrics as metrics;
 pub use ft_server as server;

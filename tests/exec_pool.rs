@@ -1,0 +1,86 @@
+//! Solver-level proof that `ft-exec` is a persistent pool: repeated
+//! solves across every solver family reuse parked workers instead of
+//! spawning per induction layer, and the pooled results stay identical
+//! run over run.
+//!
+//! One test function on purpose: thread counting via `/proc` is a
+//! process-global measurement, so the sequence warms up, measures, and
+//! asserts without other tests churning threads in this binary.
+
+use finish_them::core::budget::{solve_budget_exact, solve_budget_mdp};
+use finish_them::core::dp::{solve_efficient, solve_simple, solve_truncated};
+use finish_them::core::{ActionSet, BudgetProblem, DeadlineProblem, PenaltyModel};
+use finish_them::exec::process_threads as thread_count;
+use finish_them::market::{ConstantRate, LogitAcceptance, PriceGrid};
+
+fn deadline_problem() -> DeadlineProblem {
+    DeadlineProblem::from_market(
+        60,
+        4.0,
+        8,
+        &ConstantRate::new(300.0),
+        PriceGrid::new(0, 20),
+        &LogitAcceptance::new(4.0, 0.0, 30.0),
+        PenaltyModel::Linear { per_task: 500.0 },
+    )
+}
+
+fn budget_problem() -> BudgetProblem {
+    let acc = LogitAcceptance::new(5.0, 0.0, 25.0);
+    // Budget wide enough (width 2001 > 2 × 512 grain) that the budget
+    // DPs genuinely fan out on the pool at the PR 4 grain.
+    BudgetProblem::new(
+        12,
+        2000.0,
+        ActionSet::from_grid(PriceGrid::new(1, 18), &acc),
+        50.0,
+    )
+}
+
+/// `(deadline action indices, exact-DP price counts, MDP prices)`.
+type PolicyFingerprint = (Vec<u32>, Vec<(u32, u32)>, Vec<(u32, u32)>);
+
+fn solve_everything_once() -> PolicyFingerprint {
+    let dp = deadline_problem();
+    let bp = budget_problem();
+    let simple = solve_simple(&dp).unwrap();
+    let truncated = solve_truncated(&dp, 1e-9).unwrap();
+    let efficient = solve_efficient(&dp, 1e-9).unwrap();
+    let exact = solve_budget_exact(&bp).unwrap();
+    let mdp = solve_budget_mdp(&bp).unwrap();
+    // Deterministic fingerprints of all five policies.
+    let mut deadline_actions = Vec::new();
+    for policy in [&simple, &truncated, &efficient] {
+        for t in 0..dp.n_intervals() {
+            for m in 1..=dp.n_tasks {
+                deadline_actions.push(policy.action_index(m, t) as u32);
+            }
+        }
+    }
+    let exact_counts: Vec<(u32, u32)> = exact.counts().to_vec();
+    let mdp_prices: Vec<(u32, u32)> = (1..=bp.n_tasks)
+        .map(|m| (m, mdp.price(m, bp.budget as usize).unwrap()))
+        .collect();
+    (deadline_actions, exact_counts, mdp_prices)
+}
+
+#[test]
+fn repeated_solves_reuse_pool_workers() {
+    // Warm up: the first solve initialises the pool (lazy spawn).
+    let reference = solve_everything_once();
+    let before = thread_count();
+    for round in 0..8 {
+        let again = solve_everything_once();
+        assert_eq!(
+            reference, again,
+            "pooled solve produced different policies on round {round}"
+        );
+    }
+    if let (Some(before), Some(after)) = (before, thread_count()) {
+        assert!(
+            after <= before,
+            "repeated solves grew the process thread count {before} -> {after}: \
+             the kernel is spawning per layer instead of reusing parked pool workers"
+        );
+    }
+}
