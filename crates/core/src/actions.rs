@@ -124,6 +124,27 @@ impl ActionSet {
         self.actions[0].reward
     }
 
+    /// Transform every acceptance probability through a monotone map
+    /// (the budget drift recalibrator's "same prices, corrected market"
+    /// hook). The map must be non-decreasing and land in `[0, 1]` —
+    /// asserted — so the non-decreasing-in-reward invariant survives.
+    pub fn map_accept(&mut self, f: impl Fn(f64) -> f64) {
+        let mut prev = f64::NEG_INFINITY;
+        for a in &mut self.actions {
+            let mapped = f(a.accept);
+            assert!(
+                (0.0..=1.0).contains(&mapped),
+                "mapped acceptance {mapped} outside [0, 1]"
+            );
+            assert!(
+                mapped >= prev - 1e-12,
+                "acceptance map is not monotone ({mapped} after {prev})"
+            );
+            prev = mapped;
+            a.accept = mapped;
+        }
+    }
+
     /// Index of the action with the given reward, if present.
     pub fn index_of_reward(&self, reward: f64) -> Option<usize> {
         self.actions

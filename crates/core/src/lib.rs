@@ -81,7 +81,7 @@ pub use penalty::PenaltyModel;
 pub use policy::{DeadlinePolicy, ExactOutcome, FixedPrice, PriceController};
 pub use problem::DeadlineProblem;
 pub use registry::{
-    CampaignObservation, CampaignRegistry, CampaignReport, CampaignStatus, ObserveOutcome,
-    PolicyGeneration, PriceQuote,
+    BudgetDriftOptions, CampaignObservation, CampaignRegistry, CampaignReport, CampaignStatus,
+    ObserveOutcome, PolicyGeneration, PriceQuote, RecalibrationSpec, RegistryConfig,
 };
 pub use service::{CampaignPolicy, CampaignSpec, ObservedState, PricingService};

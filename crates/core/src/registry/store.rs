@@ -1,0 +1,353 @@
+//! The sharded campaign store: `N` independently locked id→record maps
+//! plus shard-local status counters.
+//!
+//! The registry used to keep every campaign behind one global
+//! `RwLock<HashMap>`; at fleet scale that lock is on *every* quote,
+//! observe, solve and eviction. [`ShardedStore`] routes each id to one
+//! of `N` shards by a multiplicative hash, so operations on different
+//! campaigns contend only when they land on the same shard, and the
+//! quote hot path takes exactly one shard read lock for its map lookup.
+//!
+//! Fleet-level aggregates (`/healthz` status counts, `campaigns_total`)
+//! no longer walk the maps either: each shard keeps a per-status
+//! counter ([`ShardStats`]) that campaigns update as they transition,
+//! and reads just sum `6 × N` atomics.
+//!
+//! ## Counting discipline
+//!
+//! The counters and the maps must never drift apart, including under
+//! concurrent register/evict/purge churn (there is a stress test
+//! pinning this). The rules:
+//!
+//! - every status change and every count/uncount happens while holding
+//!   the campaign's writer mutex ([`Campaign::state`]) — the mutex
+//!   serializes counter updates per campaign;
+//! - a record is *counted* exactly while it sits in a shard map
+//!   ([`CampaignState::counted`]); [`Campaign::count`] /
+//!   [`Campaign::uncount`] flip the flag and adjust the counter for the
+//!   record's current status, and [`Campaign::transition`] moves a
+//!   counted record between status buckets;
+//! - map membership changes go through [`ShardedStore::with_entry`],
+//!   which establishes the lock order **campaign writer mutex → shard
+//!   map write lock** (the same order `submit_at` has always used, so a
+//!   replacement can read the outgoing record's generation without ever
+//!   blocking the quote path behind a solve).
+
+use super::engine::CampaignEngine;
+use super::{CampaignPolicy, CampaignSpec, CampaignStatus, PolicyGeneration};
+use crate::error::CampaignId;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+
+/// Writer-side state of a campaign (everything behind its mutex).
+pub(super) struct CampaignState {
+    pub spec: CampaignSpec,
+    /// `None` for Draft/Solving/Evicted records (nothing solved, or the
+    /// policy dropped).
+    pub engine: Option<Box<dyn CampaignEngine>>,
+    /// Whether this record currently contributes to its shard's status
+    /// counters — true exactly while it sits in the shard map.
+    pub counted: bool,
+}
+
+impl CampaignState {
+    /// The engine's kind, or `"unsolved"` — the `expected` side of a
+    /// kind-mismatch error.
+    pub fn kind(&self) -> &'static str {
+        self.engine.as_deref().map_or("unsolved", |e| e.kind())
+    }
+}
+
+/// One registered campaign (keyed by id in its shard's map).
+pub(super) struct Campaign {
+    status: AtomicU8,
+    pub state: Mutex<CampaignState>,
+    pub live: RwLock<Option<Arc<PolicyGeneration>>>,
+    /// The owning shard's counters (resolved once at creation).
+    stats: Arc<ShardStats>,
+}
+
+impl Campaign {
+    pub fn new(spec: CampaignSpec, stats: Arc<ShardStats>) -> Self {
+        Self {
+            status: AtomicU8::new(CampaignStatus::Draft as u8),
+            state: Mutex::new(CampaignState {
+                spec,
+                engine: None,
+                counted: false,
+            }),
+            live: RwLock::new(None),
+            stats,
+        }
+    }
+
+    pub fn status(&self) -> CampaignStatus {
+        CampaignStatus::from_u8(self.status.load(Ordering::Acquire))
+    }
+
+    /// Set the status of a record no other thread can reach yet (fresh
+    /// construction / snapshot restore) — no counter movement.
+    pub fn set_status_raw(&self, s: CampaignStatus) {
+        self.status.store(s as u8, Ordering::Release);
+    }
+
+    /// Move to `new`, keeping the shard counters in step. The caller
+    /// must hold the campaign's writer mutex (pass the guard's target) —
+    /// that is what serializes counter updates per campaign.
+    pub fn transition(&self, state: &CampaignState, new: CampaignStatus) {
+        let old = self.status.swap(new as u8, Ordering::AcqRel);
+        if state.counted {
+            self.stats.moved(CampaignStatus::from_u8(old), new);
+        }
+    }
+
+    /// Start contributing to the shard counters (on map insertion).
+    pub fn count(&self, state: &mut CampaignState) {
+        if !state.counted {
+            state.counted = true;
+            self.stats.adjust(self.status(), 1);
+        }
+    }
+
+    /// Stop contributing (on map removal/replacement).
+    pub fn uncount(&self, state: &mut CampaignState) {
+        if state.counted {
+            state.counted = false;
+            self.stats.adjust(self.status(), -1);
+        }
+    }
+
+    pub fn generation(&self) -> Option<Arc<PolicyGeneration>> {
+        self.live
+            .read()
+            .expect("campaign generation lock poisoned")
+            .clone()
+    }
+
+    /// Publish a new generation: the single atomic pointer swap readers
+    /// observe.
+    pub fn publish(&self, generation: u64, start: usize, policy: Arc<CampaignPolicy>) {
+        let mut live = self
+            .live
+            .write()
+            .expect("campaign generation lock poisoned");
+        *live = Some(Arc::new(PolicyGeneration {
+            generation,
+            start,
+            policy,
+        }));
+    }
+}
+
+/// Per-shard status counters. Signed so a counting bug shows up as a
+/// negative count in tests instead of a wrapped huge number.
+#[derive(Default)]
+pub(super) struct ShardStats {
+    by_status: [AtomicI64; 6],
+}
+
+impl ShardStats {
+    fn adjust(&self, status: CampaignStatus, delta: i64) {
+        self.by_status[status as usize].fetch_add(delta, Ordering::AcqRel);
+    }
+
+    fn moved(&self, old: CampaignStatus, new: CampaignStatus) {
+        if old != new {
+            self.adjust(old, -1);
+            self.adjust(new, 1);
+        }
+    }
+}
+
+/// One shard: an id→record map plus the counters its records maintain.
+pub(super) struct Shard {
+    pub map: RwLock<HashMap<CampaignId, Arc<Campaign>>>,
+    pub stats: Arc<ShardStats>,
+}
+
+/// The sharded concurrent campaign store.
+pub(super) struct ShardedStore {
+    shards: Box<[Shard]>,
+}
+
+impl ShardedStore {
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        Self {
+            shards: (0..shards)
+                .map(|_| Shard {
+                    map: RwLock::new(HashMap::new()),
+                    stats: Arc::new(ShardStats::default()),
+                })
+                .collect(),
+        }
+    }
+
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard `id` routes to. Sequential ids (the registry hands
+    /// them out from a counter) must spread evenly, hence the
+    /// multiplicative mix before the modulo.
+    pub fn shard(&self, id: CampaignId) -> &Shard {
+        let mixed = id.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        &self.shards[(mixed as usize) % self.shards.len()]
+    }
+
+    /// Stats handle for the shard `id` routes to (what
+    /// [`Campaign::new`] wants).
+    pub fn stats_for(&self, id: CampaignId) -> Arc<ShardStats> {
+        Arc::clone(&self.shard(id).stats)
+    }
+
+    /// Hot-path lookup: one shard read lock.
+    pub fn get(&self, id: CampaignId) -> Option<Arc<Campaign>> {
+        self.shard(id)
+            .map
+            .read()
+            .expect("campaign shard lock poisoned")
+            .get(&id)
+            .cloned()
+    }
+
+    /// Run `f` with a consistent view of the entry at `id`: the record
+    /// currently stored there (with its writer mutex held) and the
+    /// shard map write guard. Lock order: campaign writer mutex first,
+    /// then the map write lock — never the reverse — so `f` can inspect
+    /// or retire the outgoing record without stalling quote readers
+    /// behind an in-flight solve. Retries internally if a racing
+    /// replacement swaps the entry between the two acquisitions.
+    pub fn with_entry<T>(
+        &self,
+        id: CampaignId,
+        f: impl FnOnce(
+            Option<(&Arc<Campaign>, &mut CampaignState)>,
+            &mut HashMap<CampaignId, Arc<Campaign>>,
+        ) -> T,
+    ) -> T {
+        let shard = self.shard(id);
+        loop {
+            let old = shard
+                .map
+                .read()
+                .expect("campaign shard lock poisoned")
+                .get(&id)
+                .cloned();
+            let mut old_state = old
+                .as_ref()
+                .map(|old| old.state.lock().expect("campaign lock poisoned"));
+            let mut map = shard.map.write().expect("campaign shard lock poisoned");
+            let current = map.get(&id);
+            let still_current = match (&old, current) {
+                (None, None) => true,
+                (Some(old), Some(current)) => Arc::ptr_eq(old, current),
+                _ => false,
+            };
+            if !still_current {
+                drop(map);
+                drop(old_state);
+                continue; // lost a race with another replacement/purge
+            }
+            let entry = match (&old, old_state.as_mut()) {
+                (Some(old), Some(state)) => Some((old, &mut **state)),
+                _ => None,
+            };
+            return f(entry, &mut map);
+        }
+    }
+
+    /// Insert (or replace) the record at `id`, keeping the counters in
+    /// step: the outgoing record is uncounted **and retired** (engine
+    /// dropped, generation cleared, status Evicted) so detached handles
+    /// fetched just before the swap can't keep serving or mutating an
+    /// orphan — the same guard `submit_at` applies. The incoming record
+    /// is counted. Returns the replaced record, if any.
+    pub fn insert(&self, id: CampaignId, campaign: Arc<Campaign>) -> Option<Arc<Campaign>> {
+        self.with_entry(id, |entry, map| {
+            if let Some((old, old_state)) = entry {
+                old.uncount(old_state);
+                old_state.engine = None;
+                *old.live.write().expect("campaign generation lock poisoned") = None;
+                old.transition(old_state, CampaignStatus::Evicted);
+            }
+            // The incoming record is not yet shared, so taking its
+            // mutex while holding the map write lock cannot block.
+            campaign.count(&mut campaign.state.lock().expect("campaign lock poisoned"));
+            map.insert(id, Arc::clone(&campaign))
+        })
+    }
+
+    /// Remove the record at `id` entirely (no tombstone), uncounting
+    /// it. Returns whether a record existed.
+    pub fn remove(&self, id: CampaignId) -> bool {
+        self.with_entry(id, |entry, map| match entry {
+            Some((old, old_state)) => {
+                old.uncount(old_state);
+                map.remove(&id);
+                true
+            }
+            None => false,
+        })
+    }
+
+    /// Every record, unordered (callers sort by id where it matters).
+    pub fn records(&self) -> Vec<(CampaignId, Arc<Campaign>)> {
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            let map = shard.map.read().expect("campaign shard lock poisoned");
+            out.extend(map.iter().map(|(id, c)| (*id, Arc::clone(c))));
+        }
+        out
+    }
+
+    /// Every registered id, unordered.
+    pub fn ids(&self) -> Vec<CampaignId> {
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            let map = shard.map.read().expect("campaign shard lock poisoned");
+            out.extend(map.keys().copied());
+        }
+        out
+    }
+
+    /// Campaign counts bucketed by lifecycle status, in enum order —
+    /// a `6 × N`-atomic sum, no map walk, no shard lock.
+    pub fn status_counts(&self) -> [(CampaignStatus, usize); 6] {
+        let mut counts = [
+            (CampaignStatus::Draft, 0),
+            (CampaignStatus::Solving, 0),
+            (CampaignStatus::Live, 0),
+            (CampaignStatus::Recalibrating, 0),
+            (CampaignStatus::Exhausted, 0),
+            (CampaignStatus::Evicted, 0),
+        ];
+        for shard in self.shards.iter() {
+            for (i, slot) in shard.stats.by_status.iter().enumerate() {
+                counts[i].1 += slot.load(Ordering::Acquire).max(0) as usize;
+            }
+        }
+        counts
+    }
+
+    /// Total records (tombstones included) — the counter-derived twin
+    /// of `ids().len()`.
+    pub fn total_records(&self) -> usize {
+        self.status_counts().iter().map(|(_, n)| n).sum()
+    }
+
+    /// Non-evicted records, from the counters.
+    pub fn len_serving(&self) -> usize {
+        self.status_counts()
+            .iter()
+            .filter(|(s, _)| *s != CampaignStatus::Evicted)
+            .map(|(_, n)| n)
+            .sum()
+    }
+}
+
+/// Convenience: lock a campaign's writer mutex.
+pub(super) fn lock_state(campaign: &Campaign) -> MutexGuard<'_, CampaignState> {
+    campaign.state.lock().expect("campaign lock poisoned")
+}

@@ -16,7 +16,8 @@
 //! | `ft_core_observe_errors_total` | counter | rejected observations |
 //! | `ft_core_solves_total` | counter | successful campaign solves |
 //! | `ft_core_solve_errors_total` | counter | failed solves |
-//! | `ft_core_recalibrations_total` | counter | drift-triggered re-solves |
+//! | `ft_core_recalibrations_total` | counter | drift-triggered re-solves (all kinds) |
+//! | `ft_core_recalibrations_by_kind_total{kind=..}` | counter | re-solves split by campaign kind (`deadline` / `budget`) |
 //! | `ft_core_generation_swaps_total` | counter | policy-generation pointer swaps |
 //! | `ft_core_solve_ns` | histogram | wall time of each solve |
 
@@ -33,6 +34,11 @@ pub struct RegistryTelemetry {
     pub solves: Arc<Counter>,
     pub solve_errors: Arc<Counter>,
     pub recalibrations: Arc<Counter>,
+    /// Kind-split recalibration counters — budget recalibrations (the
+    /// drift-aware budget extension) are visible separately from the
+    /// deadline ones they historically shadowed.
+    pub recalibrations_deadline: Arc<Counter>,
+    pub recalibrations_budget: Arc<Counter>,
     pub generation_swaps: Arc<Counter>,
     pub solve_ns: Arc<Histogram>,
 }
@@ -48,6 +54,10 @@ impl RegistryTelemetry {
             solves: metrics.counter("ft_core_solves_total"),
             solve_errors: metrics.counter("ft_core_solve_errors_total"),
             recalibrations: metrics.counter("ft_core_recalibrations_total"),
+            recalibrations_deadline: metrics
+                .counter("ft_core_recalibrations_by_kind_total{kind=\"deadline\"}"),
+            recalibrations_budget: metrics
+                .counter("ft_core_recalibrations_by_kind_total{kind=\"budget\"}"),
             generation_swaps: metrics.counter("ft_core_generation_swaps_total"),
             solve_ns: metrics.histogram("ft_core_solve_ns"),
             metrics,

@@ -218,7 +218,19 @@ impl Backend for SocketBackend {
             CampaignObservation::Budget {
                 completions,
                 spent_cents,
-            } => format!("{{\"completions\":{completions},\"spent_cents\":{spent_cents}}}"),
+                posted,
+                offers,
+            } => {
+                let mut body = format!("{{\"completions\":{completions},\"spent_cents\":{spent_cents}");
+                if let Some(posted) = posted {
+                    body.push_str(&format!(",\"posted_cents\":{posted}"));
+                }
+                if let Some(offers) = offers {
+                    body.push_str(&format!(",\"offers\":{offers}"));
+                }
+                body.push('}');
+                body
+            }
         };
         let (status, value) = self.call(
             "POST",

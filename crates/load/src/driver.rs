@@ -54,6 +54,9 @@ pub struct RunInstruments {
     latency: Vec<Arc<Histogram>>,
     pub errors: Arc<Counter>,
     pub recalibrations: Arc<Counter>,
+    /// The subset of recalibrations that fired on budget campaigns
+    /// (the acceptance-drift extension's gate).
+    pub budget_recalibrations: Arc<Counter>,
     pub completions: Arc<Counter>,
     pub budget_exhaustions: Arc<Counter>,
     error_samples: Mutex<Vec<String>>,
@@ -81,6 +84,7 @@ impl RunInstruments {
             latency,
             errors: plane.counter("ft_load_errors_total"),
             recalibrations: plane.counter("ft_load_recalibrations_total"),
+            budget_recalibrations: plane.counter("ft_load_budget_recalibrations_total"),
             completions: plane.counter("ft_load_completions_total"),
             budget_exhaustions: plane.counter("ft_load_budget_exhaustions_total"),
             error_samples: Mutex::new(Vec::new()),
@@ -144,6 +148,8 @@ pub struct RunOutcome {
     pub errors: u64,
     pub error_samples: Vec<String>,
     pub recalibrations: u64,
+    /// Recalibrations that fired on budget campaigns specifically.
+    pub budget_recalibrations: u64,
     pub completions: u64,
     pub budget_exhaustions: u64,
     /// Histogram samples clamped at the range cap (must be 0).
@@ -240,6 +246,7 @@ pub fn run(scenario: &Scenario, backend: &dyn Backend, instruments: &RunInstrume
             .expect("error samples poisoned")
             .clone(),
         recalibrations: instruments.recalibrations.get(),
+        budget_recalibrations: instruments.budget_recalibrations.get(),
         completions: instruments.completions.get(),
         budget_exhaustions: instruments.budget_exhaustions.get(),
         dropped_samples: dropped,
@@ -278,9 +285,11 @@ fn drive_round(
                 }
             };
             // The "real" worker population: arrivals drifted off the
-            // trained model, thinned by acceptance at the posted price.
+            // trained model, thinned by the (possibly drifted)
+            // acceptance at the posted price.
             let lambda_true = group.interval_arrivals() * scenario.drift;
-            let accept = group.acceptance().p_f64(quote.price);
+            let accept =
+                (group.acceptance().p_f64(quote.price) * scenario.acceptance_drift).clamp(0.0, 1.0);
             let completions =
                 sample_thinned_count(lambda_true, accept, rng).min(u64::from(flight.remaining));
             let obs = CampaignObservation::Deadline {
@@ -320,18 +329,35 @@ fn drive_round(
             };
             let tick_hours = group.horizon_hours / group.n_intervals as f64;
             let lambda_true = group.arrivals_per_hour * tick_hours * scenario.drift;
-            let accept = group.acceptance().p_f64(quote.price);
-            let completions =
-                sample_thinned_count(lambda_true, accept, rng).min(u64::from(flight.remaining));
+            // The acceptance the registry's model believes vs the one
+            // the simulated workers actually have: `acceptance_drift`
+            // is the wedge the budget recalibrator must detect.
+            let accept =
+                (group.acceptance().p_f64(quote.price) * scenario.acceptance_drift).clamp(0.0, 1.0);
+            let raw = sample_thinned_count(lambda_true, accept, rng);
+            let completions = raw.min(u64::from(flight.remaining));
+            // Thinned-Poisson decomposition: accepting and rejecting
+            // arrivals are independent Poissons, so total exposure is
+            // their sum. When the batch ran out mid-tick the exposure
+            // behind the truncated count is unknowable — report the
+            // progress without it (censored, like the deadline path).
+            let rejected = sample_thinned_count(lambda_true, 1.0 - accept, rng);
+            let offers = (raw == completions).then_some(raw + rejected);
             let spent =
                 ((completions as f64 * quote.price).round() as usize).min(flight.budget_left);
             let obs = CampaignObservation::Budget {
                 completions,
                 spent_cents: spent,
+                posted: offers.is_some().then_some(quote.price),
+                offers,
             };
             match instruments.timed(Op::Observe, || backend.observe(flight.id, obs)) {
                 Ok(answer) => {
                     instruments.completions.add(completions);
+                    if answer.recalibrated {
+                        instruments.recalibrations.inc();
+                        instruments.budget_recalibrations.inc();
+                    }
                     flight.remaining = answer.remaining;
                     flight.budget_left -= spent;
                     flight.done = answer.exhausted || flight.budget_left == 0;

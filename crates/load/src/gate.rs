@@ -10,8 +10,13 @@
 //!    {"backend": "in_process",
 //!     "min_throughput_rps": 2000.0,
 //!     "max_p99_ns": {"price": 2000000.0, "observe": 400000000.0}},
+//!    {"backend": "in_process", "scenario": "budget-drift-fast", ...},
 //!    {"backend": "socket", ...}]}
 //! ```
+//!
+//! An entry with a `scenario` field gates only runs whose report
+//! document carries that scenario name; entries without one gate every
+//! run of their backend (the historical behavior).
 //!
 //! Semantics: a run regresses when its throughput drops below
 //! `min_throughput_rps × (1 − tolerance)` or an op's p99 rises above
@@ -28,6 +33,10 @@ use serde::{map_get, Value};
 pub struct BackendFloor {
     /// Matches `runs[].backend` in the report (`in_process` / `socket`).
     pub backend: String,
+    /// When set, the floor applies only to runs from the report
+    /// document with this scenario name (e.g. `budget-drift-fast`);
+    /// `None` matches every scenario — the historical behavior.
+    pub scenario: Option<String>,
     /// Fresh throughput must stay above `this × (1 − tolerance)`.
     pub min_throughput_rps: f64,
     /// Per-op p99 ceilings in nanoseconds: fresh p99 must stay below
@@ -72,6 +81,14 @@ impl Floors {
                 .and_then(Value::as_str)
                 .ok_or_else(|| "floors: backend entry missing `backend`".to_string())?
                 .to_string();
+            let scenario = match map_get(entry_map, "scenario") {
+                Ok(v) => Some(
+                    v.as_str()
+                        .ok_or_else(|| format!("floors[{backend}]: `scenario` is not a string"))?
+                        .to_string(),
+                ),
+                Err(_) => None,
+            };
             let min_throughput_rps = map_get(entry_map, "min_throughput_rps")
                 .ok()
                 .and_then(Value::as_num)
@@ -100,6 +117,7 @@ impl Floors {
             }
             backends.push(BackendFloor {
                 backend,
+                scenario,
                 min_throughput_rps,
                 max_p99_ns,
             });
@@ -156,35 +174,54 @@ pub fn check_report(report_json: &str, floors: &Floors) -> Result<Vec<Comparison
 /// comparison made (pass and fail); the gate fails if any comparison
 /// failed or a floored backend appears in no report at all.
 pub fn check_reports(report_jsons: &[&str], floors: &Floors) -> Result<Vec<Comparison>, String> {
-    let mut runs: Vec<Value> = Vec::new();
+    // Runs carry their document's scenario name so scenario-scoped
+    // floors (e.g. the budget-drift leg) gate only their own runs.
+    let mut runs: Vec<(Option<String>, Value)> = Vec::new();
     for report_json in report_jsons {
         let report: Value =
             serde_json::from_str(report_json).map_err(|e| format!("report parse: {e}"))?;
         let map = report
             .as_map()
             .ok_or_else(|| "report: not a JSON object".to_string())?;
+        let scenario = map_get(map, "scenario")
+            .ok()
+            .and_then(Value::as_str)
+            .map(str::to_string);
         let document_runs = map_get(map, "runs")
             .ok()
             .and_then(Value::as_seq)
             .ok_or_else(|| "report: missing `runs` array".to_string())?;
-        runs.extend(document_runs.iter().cloned());
+        runs.extend(
+            document_runs
+                .iter()
+                .map(|run| (scenario.clone(), run.clone())),
+        );
     }
 
     let mut comparisons = Vec::new();
     for floor in &floors.backends {
+        let floor_name = match &floor.scenario {
+            Some(scenario) => format!("{}/{scenario}", floor.backend),
+            None => floor.backend.clone(),
+        };
         let matching: Vec<&Value> = runs
             .iter()
-            .filter(|run| {
+            .filter(|(scenario, run)| {
                 run.as_map()
                     .and_then(|m| map_get(m, "backend").ok())
                     .and_then(Value::as_str)
                     == Some(&floor.backend)
+                    && floor
+                        .scenario
+                        .as_ref()
+                        .is_none_or(|want| scenario.as_deref() == Some(want.as_str()))
             })
+            .map(|(_, run)| run)
             .collect();
         if matching.is_empty() {
             // A floored backend no report ran cannot pass.
             comparisons.push(Comparison {
-                label: format!("[{}] run present in report(s)", floor.backend),
+                label: format!("[{floor_name}] run present in report(s)"),
                 fresh: 0.0,
                 bound: 1.0,
                 passed: false,
@@ -197,9 +234,9 @@ pub fn check_reports(report_jsons: &[&str], floors: &Floors) -> Result<Vec<Compa
         let duplicates = matching.len() > 1;
         for (index, run) in matching.into_iter().enumerate() {
             let label = if duplicates {
-                format!("{} (run {})", floor.backend, index + 1)
+                format!("{floor_name} (run {})", index + 1)
             } else {
-                floor.backend.clone()
+                floor_name.clone()
             };
             let run_map = run.as_map().expect("matched runs are objects");
             let throughput = map_get(run_map, "throughput_rps")
@@ -310,6 +347,50 @@ mod tests {
         assert!(
             comparisons.iter().any(|c| !c.passed),
             "regressed duplicate slipped through: {comparisons:?}"
+        );
+    }
+
+    #[test]
+    fn scenario_scoped_floors_gate_only_their_scenario() {
+        let floors = Floors::from_json(
+            r#"{"tolerance": 0.2, "backends": [
+                {"backend": "in_process", "min_throughput_rps": 1000.0},
+                {"backend": "in_process", "scenario": "budget-drift-fast",
+                 "min_throughput_rps": 5000.0}]}"#,
+        )
+        .unwrap();
+        let tagged = |scenario: &str, throughput: f64| {
+            format!(
+                r#"{{"scenario": "{scenario}",
+                     "runs": [{{"backend": "in_process",
+                       "throughput_rps": {throughput},
+                       "latency_ns_by_op": {{}}}}]}}"#
+            )
+        };
+        // The drift leg holds its own (higher) floor; both pass.
+        let fast = tagged("fast", 2000.0);
+        let drift = tagged("budget-drift-fast", 6000.0);
+        let comparisons = check_reports(&[&fast, &drift], &floors).unwrap();
+        assert!(comparisons.iter().all(|c| c.passed), "{comparisons:?}");
+
+        // The drift leg regressing fails its scoped floor even though
+        // the unscoped floor would still pass it.
+        let slow_drift = tagged("budget-drift-fast", 2000.0);
+        let comparisons = check_reports(&[&fast, &slow_drift], &floors).unwrap();
+        let scoped: Vec<_> = comparisons
+            .iter()
+            .filter(|c| c.label.contains("budget-drift-fast"))
+            .collect();
+        assert!(scoped.iter().any(|c| !c.passed), "{comparisons:?}");
+
+        // The scoped floor with no matching scenario in any report is a
+        // failure — a silently skipped drift leg must not pass.
+        let comparisons = check_reports(&[&fast], &floors).unwrap();
+        assert!(
+            comparisons
+                .iter()
+                .any(|c| !c.passed && c.label.contains("budget-drift-fast")),
+            "{comparisons:?}"
         );
     }
 

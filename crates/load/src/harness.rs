@@ -7,8 +7,7 @@ use crate::backend::{InProcessBackend, SocketBackend};
 use crate::driver::{self, Op, RunInstruments, RunOutcome};
 use crate::scenario::Scenario;
 use ft_core::adaptive::AdaptiveOptions;
-use ft_core::registry::CampaignRegistry;
-use ft_core::KernelConfig;
+use ft_core::registry::{BudgetDriftOptions, CampaignRegistry, RegistryConfig};
 use ft_server::{Server, ServerConfig};
 use serde::{map_get, Value};
 use std::net::{SocketAddr, ToSocketAddrs};
@@ -59,13 +58,17 @@ pub struct CrosscheckOutcome {
 }
 
 fn registry_for(scenario: &Scenario) -> Arc<CampaignRegistry> {
-    Arc::new(CampaignRegistry::with_config(
-        KernelConfig::default(),
-        AdaptiveOptions {
+    Arc::new(CampaignRegistry::with_registry_config(RegistryConfig {
+        adaptive: AdaptiveOptions {
             resolve_every: scenario.resolve_every,
             ..AdaptiveOptions::default()
         },
-    ))
+        budget_drift: BudgetDriftOptions {
+            resolve_every: scenario.resolve_every,
+            ..BudgetDriftOptions::default()
+        },
+        ..RegistryConfig::default()
+    }))
 }
 
 /// Drive the registry directly, no sockets.
@@ -83,6 +86,7 @@ pub fn run_socket(scenario: &Scenario) -> Result<(RunOutcome, SocketExtras), Str
     let config = ServerConfig {
         workers: scenario.server_workers.max(1),
         queue_depth: scenario.server_queue_depth.max(1),
+        ..ServerConfig::default()
     };
     let (handle, join) = Server::spawn_with("127.0.0.1:0", registry_for(scenario), config)
         .map_err(|e| format!("bind server: {e}"))?;

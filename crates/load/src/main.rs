@@ -25,12 +25,15 @@ const USAGE: &str = "\
 ft-load — closed-loop workload generator for the campaign serving stack
 
 USAGE:
-    ft-load [--fast] [--scenario FILE] [--mode in-process|socket|both]
-            [--target HOST:PORT] [--out FILE]
+    ft-load [--fast] [--profile NAME] [--scenario FILE]
+            [--mode in-process|socket|both] [--target HOST:PORT] [--out FILE]
 
 OPTIONS:
-    --fast             built-in seconds-scale CI profile (default: standard)
-    --scenario FILE    JSON scenario spec (overrides --fast)
+    --fast             seconds-scale variant of the selected profile
+                       (default profile: standard)
+    --profile NAME     built-in profile: standard | fast | budget-drift
+                       (budget-drift + --fast = budget-drift-fast)
+    --scenario FILE    JSON scenario spec (overrides --fast/--profile)
     --mode MODE        which backend(s) to drive   [default: both]
     --target HOST:PORT drive an external ft-server instead of spawning
                        one (implies --mode socket; the /metrics
@@ -41,6 +44,7 @@ OPTIONS:
 
 fn parse_args() -> Result<Args, String> {
     let mut fast = false;
+    let mut profile: Option<String> = None;
     let mut scenario_path: Option<String> = None;
     let mut mode: Option<Mode> = None;
     let mut target: Option<String> = None;
@@ -49,6 +53,7 @@ fn parse_args() -> Result<Args, String> {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--fast" => fast = true,
+            "--profile" => profile = Some(args.next().ok_or("--profile needs a name")?),
             "--scenario" => {
                 scenario_path = Some(args.next().ok_or("--scenario needs a file path")?)
             }
@@ -78,13 +83,27 @@ fn parse_args() -> Result<Args, String> {
         }
         (None, mode) => mode.unwrap_or(Mode::Both),
     };
-    let scenario = match scenario_path {
-        Some(path) => {
+    let scenario = match (scenario_path, profile.as_deref()) {
+        (Some(path), _) => {
             let json = std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
             Scenario::from_json(&json)?
         }
-        None if fast => Scenario::fast(),
-        None => Scenario::standard(),
+        (None, Some("budget-drift")) => Scenario::budget_drift(fast),
+        (None, Some("fast")) => Scenario::fast(),
+        (None, Some("standard")) => {
+            if fast {
+                Scenario::fast()
+            } else {
+                Scenario::standard()
+            }
+        }
+        (None, Some(other)) => {
+            return Err(format!(
+                "unknown --profile `{other}` (standard | fast | budget-drift)"
+            ))
+        }
+        (None, None) if fast => Scenario::fast(),
+        (None, None) => Scenario::standard(),
     };
     scenario.validate()?;
     Ok(Args {
@@ -98,7 +117,7 @@ fn parse_args() -> Result<Args, String> {
 fn print_summary(outcome: &RunOutcome, extras: Option<&SocketExtras>) {
     println!(
         "[{}] {} campaigns, {} requests in {:.2}s → {:.0} req/s; \
-         {} completions, {} recalibrations, {} errors",
+         {} completions, {} recalibrations ({} budget), {} errors",
         outcome.backend,
         outcome.campaigns,
         outcome.requests,
@@ -106,6 +125,7 @@ fn print_summary(outcome: &RunOutcome, extras: Option<&SocketExtras>) {
         outcome.throughput_rps(),
         outcome.completions,
         outcome.recalibrations,
+        outcome.budget_recalibrations,
         outcome.errors,
     );
     for (op, snapshot) in &outcome.latency {

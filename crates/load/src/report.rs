@@ -47,6 +47,10 @@ fn run_value(outcome: &RunOutcome, extras: Option<&SocketExtras>) -> Value {
         ("throughput_rps", num(outcome.throughput_rps())),
         ("errors_total", num(outcome.errors as f64)),
         ("recalibrations", num(outcome.recalibrations as f64)),
+        (
+            "budget_recalibrations",
+            num(outcome.budget_recalibrations as f64),
+        ),
         ("completions_total", num(outcome.completions as f64)),
         ("budget_exhaustions", num(outcome.budget_exhaustions as f64)),
         ("dropped_samples", num(outcome.dropped_samples as f64)),
@@ -191,6 +195,11 @@ pub fn evaluate_gates(
     }
     if scenario.expects_recalibration() && outcome.recalibrations == 0 {
         failures.push(format!("[{mode}] no recalibration observed under drift"));
+    }
+    if scenario.expects_budget_recalibration() && outcome.budget_recalibrations == 0 {
+        failures.push(format!(
+            "[{mode}] no budget recalibration observed under acceptance drift"
+        ));
     }
     for (op, snapshot) in &outcome.latency {
         if snapshot.count > 0 && snapshot.quantile(0.999).is_none() {

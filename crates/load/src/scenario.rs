@@ -105,7 +105,15 @@ pub struct Scenario {
     /// True arrivals = trained × `drift` — below 1.0 the fleet under-
     /// delivers and deadline campaigns recalibrate under load.
     pub drift: f64,
-    /// Registry recalibration cadence (`AdaptiveOptions::resolve_every`).
+    /// True acceptance = trained × `acceptance_drift` (clamped to 1) —
+    /// away from 1.0 workers accept posted prices more/less often than
+    /// the trained logit model says, which is the signal the budget
+    /// acceptance-drift recalibrator detects from exposure-carrying
+    /// observation reports.
+    pub acceptance_drift: f64,
+    /// Registry recalibration cadence (`AdaptiveOptions::resolve_every`
+    /// for deadline campaigns, `BudgetDriftOptions::resolve_every` for
+    /// budget ones).
     pub resolve_every: usize,
     /// Socket mode: server pool sizing.
     pub server_workers: usize,
@@ -125,6 +133,7 @@ impl Scenario {
             concurrency: 4,
             intervals: 8,
             drift: 0.35,
+            acceptance_drift: 1.0,
             resolve_every: 2,
             server_workers: 4,
             server_queue_depth: 16,
@@ -173,6 +182,7 @@ impl Scenario {
             concurrency: 8,
             intervals: 24,
             drift: 0.5,
+            acceptance_drift: 1.0,
             resolve_every: 3,
             server_workers: 8,
             server_queue_depth: 64,
@@ -212,6 +222,50 @@ impl Scenario {
         }
     }
 
+    /// The budget-drift profile: a budget-only fleet whose workers
+    /// accept posted prices far less often than the trained logit model
+    /// says, with arrivals on-model — so *only* the acceptance-drift
+    /// recalibrator can fire, and the gate asserts it does. `fast` is
+    /// the seconds-scale CI variant.
+    pub fn budget_drift(fast: bool) -> Self {
+        // Arrivals are sized so one tick picks up only a few tasks:
+        // exhausting a batch mid-tick censors that report's exposure
+        // (offers are unknowable for a truncated count), and the drift
+        // estimator needs several uncensored reports to act.
+        let (name, count, n_tasks, budget_cents, intervals, arrivals_per_hour) = if fast {
+            ("budget-drift-fast", 3, 40, 700, 10, 25.0)
+        } else {
+            ("budget-drift", 6, 120, 2400, 24, 70.0)
+        };
+        Self {
+            name: name.into(),
+            seed: 11,
+            concurrency: 4,
+            intervals,
+            drift: 1.0,
+            acceptance_drift: 0.45,
+            resolve_every: 2,
+            server_workers: 4,
+            server_queue_depth: 16,
+            flood_connections: 32,
+            fleet: vec![FleetGroup {
+                kind: CampaignKind::Budget,
+                count,
+                n_tasks,
+                horizon_hours: 4.0,
+                n_intervals: intervals,
+                arrivals_per_hour,
+                grid_min: 1,
+                grid_max: 20,
+                logit_s: 4.0,
+                logit_b: 0.0,
+                logit_m: 20.0,
+                penalty_per_task: 0.0,
+                budget_cents,
+            }],
+        }
+    }
+
     /// Parse a scenario from JSON (the serde encoding of this struct).
     pub fn from_json(json: &str) -> Result<Self, String> {
         serde_json::from_str(json).map_err(|e| format!("scenario parse: {e}"))
@@ -230,6 +284,12 @@ impl Scenario {
         }
         if !(self.drift > 0.0 && self.drift.is_finite()) {
             return Err(format!("drift must be positive, got {}", self.drift));
+        }
+        if !(self.acceptance_drift > 0.0 && self.acceptance_drift.is_finite()) {
+            return Err(format!(
+                "acceptance_drift must be positive, got {}",
+                self.acceptance_drift
+            ));
         }
         for (i, group) in self.fleet.iter().enumerate() {
             if group.count == 0 {
@@ -276,6 +336,19 @@ impl Scenario {
             .iter()
             .any(|g| g.kind == CampaignKind::Deadline && g.count > 0)
             && (self.drift - 1.0).abs() > 1e-9
+            && self.intervals > self.resolve_every
+    }
+
+    /// Whether this scenario can trigger *budget* recalibration: a
+    /// budget fleet whose acceptance drifts off the trained model hard
+    /// enough to cross the registry's default threshold, with enough
+    /// rounds to cross the resolve cadence. The budget-recalibration
+    /// gate applies only when this is true.
+    pub fn expects_budget_recalibration(&self) -> bool {
+        self.fleet
+            .iter()
+            .any(|g| g.kind == CampaignKind::Budget && g.count > 0)
+            && (self.acceptance_drift - 1.0).abs() > 0.25
             && self.intervals > self.resolve_every
     }
 }

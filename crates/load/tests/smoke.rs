@@ -22,6 +22,45 @@ fn fast_scenario_clears_gates_in_process() {
     }
 }
 
+/// The drift-aware budget extension under load: the budget-drift
+/// profile's workers accept posted prices far less often than the
+/// trained model says (arrivals on-model), and the gate demands at
+/// least one budget recalibration — with everything else still clean.
+#[test]
+fn budget_drift_scenario_recalibrates_budget_campaigns() {
+    let scenario = Scenario::budget_drift(true);
+    assert!(scenario.expects_budget_recalibration());
+    assert!(
+        !scenario.expects_recalibration(),
+        "budget-only fleet must not arm the deadline gate"
+    );
+    let outcome = ft_load::run_in_process(&scenario);
+    let failures = report::evaluate_gates(&scenario, &outcome, None);
+    assert!(failures.is_empty(), "gates failed: {failures:?}");
+    assert!(
+        outcome.budget_recalibrations >= 1,
+        "no budget recalibration under acceptance drift"
+    );
+    assert_eq!(outcome.errors, 0);
+    // The report document carries the new counter.
+    let document = report::render(&scenario, &[(outcome, None)]);
+    let json = serde_json::to_string(&document).expect("render");
+    assert!(json.contains("\"budget_recalibrations\""));
+}
+
+/// The inverted gate: a drift-free run must NOT demand budget
+/// recalibrations (and should not produce spurious ones — the trained
+/// model is correct, so the correction hovers near 1).
+#[test]
+fn no_acceptance_drift_waives_the_budget_gate() {
+    let mut scenario = Scenario::budget_drift(true);
+    scenario.acceptance_drift = 1.0;
+    assert!(!scenario.expects_budget_recalibration());
+    let outcome = ft_load::run_in_process(&scenario);
+    let failures = report::evaluate_gates(&scenario, &outcome, None);
+    assert!(failures.is_empty(), "gates failed: {failures:?}");
+}
+
 #[test]
 fn fast_scenario_clears_gates_over_a_real_socket() {
     let scenario = Scenario::fast();

@@ -31,6 +31,8 @@
 
 use crate::{PaddedAtomicU64, SHARDS};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Sub-bucket resolution: `2^6 = 64` slices per octave → quantile
 /// relative error ≤ 2^-6 ≈ 1.6 %.
@@ -68,6 +70,10 @@ pub struct Histogram {
     /// Samples that exceeded [`Histogram::MAX_VALUE`] and were clamped
     /// into the top bucket (still counted — never dropped).
     clamped: AtomicU64,
+    /// Last merged snapshot + when it was taken, for
+    /// [`Histogram::snapshot_cached`]. Never touched by the record
+    /// path.
+    cache: Mutex<Option<(Instant, Arc<HistogramSnapshot>)>>,
 }
 
 impl Default for Histogram {
@@ -124,6 +130,7 @@ impl Histogram {
         Self {
             shards: (0..SHARDS).map(|_| Shard::new()).collect(),
             clamped: AtomicU64::new(0),
+            cache: Mutex::new(None),
         }
     }
 
@@ -145,6 +152,35 @@ impl Histogram {
     #[inline]
     pub fn record_duration(&self, d: std::time::Duration) {
         self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Like [`Histogram::snapshot`], but reuse the last merged snapshot
+    /// when it is younger than `ttl` — the scrape-heavy-export path.
+    /// Merging walks `SHARDS × ~2800` bucket atomics per histogram;
+    /// a deployer scraped by several collectors at once pays that on
+    /// every hit unless snapshots are allowed to go briefly stale. A
+    /// zero `ttl` always re-merges (and refreshes the cache). The
+    /// record path never touches the cache — only exports race on this
+    /// mutex.
+    pub fn snapshot_cached(&self, ttl: Duration) -> Arc<HistogramSnapshot> {
+        if ttl.is_zero() {
+            // Caching off (the default): merge without touching the
+            // cache mutex, so concurrent exports keep merging in
+            // parallel exactly as before the cache existed.
+            return Arc::new(self.snapshot());
+        }
+        let mut cache = self
+            .cache
+            .lock()
+            .expect("histogram snapshot cache poisoned");
+        if let Some((taken, snapshot)) = cache.as_ref() {
+            if taken.elapsed() < ttl {
+                return Arc::clone(snapshot);
+            }
+        }
+        let fresh = Arc::new(self.snapshot());
+        *cache = Some((Instant::now(), Arc::clone(&fresh)));
+        fresh
     }
 
     /// Merge all shards into an immutable snapshot. Torn-free: each

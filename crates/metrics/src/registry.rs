@@ -31,6 +31,10 @@ enum Metric {
 #[derive(Default)]
 pub struct MetricsRegistry {
     metrics: RwLock<BTreeMap<String, Metric>>,
+    /// Freshness bound for histogram quantile snapshots in exports —
+    /// zero (the default) re-extracts on every hit; see
+    /// [`MetricsRegistry::set_export_cache_ttl`].
+    export_cache_ttl: RwLock<std::time::Duration>,
 }
 
 /// Split `name{labels}` into `(name, Some("{labels}"))`.
@@ -44,6 +48,29 @@ fn split_labels(name: &str) -> (&str, Option<&str>) {
 impl MetricsRegistry {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Bound the staleness of histogram quantiles in exports: within
+    /// `ttl` of the last export, `to_value`/`to_prometheus` reuse each
+    /// histogram's merged snapshot instead of re-walking every shard
+    /// bucket — what a scrape-heavy deployment wants. Counters and
+    /// gauges always read live (they are single atomics; only quantile
+    /// extraction is worth caching). Zero disables the cache (the
+    /// default: every export is exact).
+    pub fn set_export_cache_ttl(&self, ttl: std::time::Duration) {
+        *self
+            .export_cache_ttl
+            .write()
+            .expect("metrics registry poisoned") = ttl;
+    }
+
+    /// The current histogram-quantile freshness bound (zero = exports
+    /// always re-extract).
+    pub fn export_cache_ttl(&self) -> std::time::Duration {
+        *self
+            .export_cache_ttl
+            .read()
+            .expect("metrics registry poisoned")
     }
 
     /// Get or create the counter `name`. Panics if `name` is already a
@@ -88,6 +115,7 @@ impl MetricsRegistry {
     /// numbers, histograms as `{count, sum, mean, clamped, p50, p90,
     /// p99, p999}` (quantiles `null` while empty).
     pub fn to_value(&self) -> Value {
+        let ttl = self.export_cache_ttl();
         let metrics = self.metrics.read().expect("metrics registry poisoned");
         let mut entries = Vec::with_capacity(metrics.len());
         for (name, metric) in metrics.iter() {
@@ -95,7 +123,7 @@ impl MetricsRegistry {
                 Metric::Counter(c) => Value::Num(c.get() as f64),
                 Metric::Gauge(g) => Value::Num(g.get() as f64),
                 Metric::Histogram(h) => {
-                    let s = h.snapshot();
+                    let s = h.snapshot_cached(ttl);
                     let mut fields = vec![
                         ("count".to_string(), Value::Num(s.count as f64)),
                         ("sum".to_string(), Value::Num(s.sum as f64)),
@@ -124,6 +152,7 @@ impl MetricsRegistry {
     /// `name_count`, `name_sum`).
     pub fn to_prometheus(&self) -> String {
         use std::fmt::Write;
+        let ttl = self.export_cache_ttl();
         let metrics = self.metrics.read().expect("metrics registry poisoned");
         let mut out = String::new();
         let mut typed: BTreeMap<&str, &'static str> = BTreeMap::new();
@@ -146,7 +175,7 @@ impl MetricsRegistry {
                     let _ = writeln!(out, "{base}{} {}", labels.unwrap_or(""), g.get());
                 }
                 Metric::Histogram(h) => {
-                    let s = h.snapshot();
+                    let s = h.snapshot_cached(ttl);
                     // Merge the quantile label into an existing label
                     // set: `{a="b"}` + quantile → `{a="b",quantile=..}`.
                     for (_, q) in QUANTILES {
@@ -209,6 +238,67 @@ mod tests {
             serde::map_get(hist, "p99").unwrap(),
             Value::Num(_)
         ));
+    }
+
+    /// Satellite: with a freshness bound set, exports within the bound
+    /// reuse the cached quantile snapshot (bounded staleness); past it
+    /// — or with the bound at zero — they re-extract.
+    #[test]
+    fn export_cache_bounds_staleness() {
+        use std::time::Duration;
+
+        let r = MetricsRegistry::new();
+        let h = r.histogram("lat_ns");
+        h.record(100);
+
+        // Default: no cache, every export is exact.
+        assert_eq!(r.export_cache_ttl(), Duration::ZERO);
+        let p50 = |v: &Value| -> f64 {
+            let hist = serde::map_get(v.as_map().unwrap(), "lat_ns").unwrap();
+            serde::map_get(hist.as_map().unwrap(), "p50")
+                .unwrap()
+                .as_num()
+                .unwrap()
+        };
+        let fresh = p50(&r.to_value());
+        h.record(1_000_000);
+        h.record(1_000_000);
+        assert_ne!(
+            p50(&r.to_value()),
+            fresh,
+            "uncached export missed new samples"
+        );
+
+        // Long TTL: the first export primes the cache, later samples
+        // stay invisible until the bound passes…
+        r.set_export_cache_ttl(Duration::from_secs(3600));
+        let primed = p50(&r.to_value());
+        for _ in 0..4 {
+            h.record(5_000_000_000); // enough to move the median
+        }
+        assert_eq!(
+            p50(&r.to_value()),
+            primed,
+            "export within the freshness bound must serve the cached snapshot"
+        );
+        // …and the Prometheus export shares the same cache.
+        let text = r.to_prometheus();
+        assert!(text.contains(&format!("lat_ns{{quantile=\"0.5\"}} {primed}")));
+
+        // Short TTL: once it elapses, the next export re-extracts.
+        r.set_export_cache_ttl(Duration::from_millis(10));
+        std::thread::sleep(Duration::from_millis(20));
+        assert_ne!(
+            p50(&r.to_value()),
+            primed,
+            "export past the freshness bound must re-extract"
+        );
+
+        // Back to zero: exact again, immediately.
+        r.set_export_cache_ttl(Duration::ZERO);
+        h.record(7);
+        let exact = r.histogram("lat_ns").snapshot();
+        assert_eq!(p50(&r.to_value()), exact.quantile(0.5).unwrap() as f64);
     }
 
     #[test]

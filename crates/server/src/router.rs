@@ -4,7 +4,7 @@
 //! |---|---|
 //! | `GET /healthz` | uptime, version, campaign counts by status |
 //! | `GET /metrics` | observability plane (JSON; `?format=prometheus` for text) |
-//! | `GET /campaigns?limit=..` | fleet index (id, kind, status, generation) |
+//! | `GET /campaigns?limit=..&offset=..` | fleet index (id, kind, status, generation), paginated |
 //! | `POST /campaigns` | register a draft campaign (JSON spec body) |
 //! | `POST /campaigns/{id}/solve` | solve the draft, publish generation 1 |
 //! | `GET /campaigns/{id}/price?remaining=..&interval=..` | quote a deadline campaign |
@@ -189,9 +189,12 @@ fn metrics(state: &AppState, request: &Request) -> Response {
     }
 }
 
-/// `GET /campaigns?limit=..` — enumerate the fleet (ascending id)
-/// without N point lookups. `total` is the full record count so a
-/// truncated page is self-describing.
+/// `GET /campaigns?limit=..&offset=..` — enumerate the fleet
+/// (ascending id) without N point lookups. `offset` skips that many
+/// records before `limit` applies, so a client can page through a
+/// large fleet; `total` is the full record count and `offset` is
+/// echoed back, so every page is self-describing. An offset past the
+/// end is an empty page, not an error; malformed values are 400s.
 fn campaigns_index(registry: &CampaignRegistry, request: &Request) -> Response {
     let ids = registry.ids();
     let limit = match request.query("limit") {
@@ -201,8 +204,16 @@ fn campaigns_index(registry: &CampaignRegistry, request: &Request) -> Response {
             Err(_) => return bad_request("`limit` must be a non-negative integer"),
         },
     };
+    let offset = match request.query("offset") {
+        None => 0,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(offset) => offset,
+            Err(_) => return bad_request("`offset` must be a non-negative integer"),
+        },
+    };
     let campaigns: Vec<Value> = ids
         .iter()
+        .skip(offset)
         .take(limit)
         .filter_map(|&id| registry.report(id).ok())
         .map(|report| {
@@ -216,6 +227,7 @@ fn campaigns_index(registry: &CampaignRegistry, request: &Request) -> Response {
         .collect();
     ok(map(vec![
         ("total", Value::Num(ids.len() as f64)),
+        ("offset", Value::Num(offset as f64)),
         ("returned", Value::Num(campaigns.len() as f64)),
         ("campaigns", Value::Seq(campaigns)),
     ]))
@@ -330,7 +342,9 @@ fn price(registry: &CampaignRegistry, id: CampaignId, request: &Request) -> Resp
 
 /// `POST /campaigns/{id}/observations` — body
 /// `{"interval": t, "completions": k, "posted_cents": c?}` (deadline) or
-/// `{"completions": k, "spent_cents": s}` (budget).
+/// `{"completions": k, "spent_cents": s, "posted_cents": c?,
+/// "offers": o?}` (budget; `posted_cents` + `offers` carry the exposure
+/// that feeds acceptance-drift recalibration).
 fn observe(registry: &CampaignRegistry, id: CampaignId, request: &Request) -> Response {
     let body = match parse_body(request) {
         Ok(v) => v,
@@ -364,9 +378,27 @@ fn observe(registry: &CampaignRegistry, id: CampaignId, request: &Request) -> Re
             let Ok(spent_cents) = usize::from_value(spent) else {
                 return bad_request("invalid `spent_cents`");
             };
+            // Optional exposure fields feeding the acceptance-drift
+            // recalibrator: how many workers saw the posted price.
+            let posted = match map_get(fields, "posted_cents") {
+                Ok(v) => match Option::<f64>::from_value(v) {
+                    Ok(p) => p,
+                    Err(e) => return bad_request(&format!("bad posted_cents: {e}")),
+                },
+                Err(_) => None,
+            };
+            let offers = match map_get(fields, "offers") {
+                Ok(v) => match Option::<u64>::from_value(v) {
+                    Ok(o) => o,
+                    Err(e) => return bad_request(&format!("bad offers: {e}")),
+                },
+                Err(_) => None,
+            };
             CampaignObservation::Budget {
                 completions,
                 spent_cents,
+                posted,
+                offers,
             }
         }
         _ => {

@@ -63,6 +63,14 @@ pub struct ServerConfig {
     /// Accepted connections allowed to wait for a free worker before
     /// new ones are rejected with `503`.
     pub queue_depth: usize,
+    /// Freshness bound for histogram quantiles in `GET /metrics`
+    /// exports: within this window, repeated scrapes reuse each
+    /// histogram's merged snapshot instead of re-walking every shard
+    /// bucket (counters and gauges always read live). Zero disables
+    /// the cache; the default (250 ms) bounds the cost of several
+    /// concurrent collectors without visible staleness at human or
+    /// scraper timescales.
+    pub metrics_export_cache: Duration,
 }
 
 impl Default for ServerConfig {
@@ -70,6 +78,7 @@ impl Default for ServerConfig {
         Self {
             workers: ft_exec::available_threads().clamp(2, 16),
             queue_depth: 128,
+            metrics_export_cache: Duration::from_millis(250),
         }
     }
 }
@@ -227,6 +236,9 @@ impl Server {
         config: ServerConfig,
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
+        registry
+            .metrics()
+            .set_export_cache_ttl(config.metrics_export_cache);
         Ok(Self {
             listener,
             state: Arc::new(AppState::new(registry)),

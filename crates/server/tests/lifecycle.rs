@@ -320,6 +320,170 @@ fn budget_campaign_over_the_wire() {
     join.join().expect("server thread");
 }
 
+/// Satellite: real pagination on the fleet index, asserted against the
+/// sharded store (ids must come back ascending and complete across
+/// pages regardless of which shard holds them).
+#[test]
+fn campaigns_index_paginates_across_shards() {
+    let registry = registry();
+    let (handle, join) = Server::spawn("127.0.0.1:0", Arc::clone(&registry)).expect("bind");
+    let addr = handle.addr();
+
+    let problem_json = serde_json::to_string(&problem().to_value()).expect("problem json");
+    let spec = format!("{{\"kind\":\"deadline\",\"problem\":{problem_json}}}");
+    let mut created = Vec::new();
+    for _ in 0..5 {
+        let (status, body) = request(addr, "POST", "/campaigns", Some(&spec));
+        assert_eq!(status, 201);
+        created.push(num(&body, "id") as u64);
+    }
+
+    let page = |query: &str| -> (u16, Value) { request(addr, "GET", query, None) };
+    let ids_of = |body: &Value| -> Vec<u64> {
+        map_get(body.as_map().unwrap(), "campaigns")
+            .unwrap()
+            .as_seq()
+            .unwrap()
+            .iter()
+            .map(|c| num(c, "id") as u64)
+            .collect()
+    };
+
+    // Two pages of two plus a final page of one cover the fleet in
+    // ascending id order with no duplicates or gaps.
+    let mut paged = Vec::new();
+    for offset in [0usize, 2, 4] {
+        let (status, body) = page(&format!("/campaigns?limit=2&offset={offset}"));
+        assert_eq!(status, 200);
+        assert_eq!(num(&body, "total"), 5.0);
+        assert_eq!(num(&body, "offset"), offset as f64);
+        let ids = ids_of(&body);
+        assert_eq!(num(&body, "returned"), ids.len() as f64);
+        paged.extend(ids);
+    }
+    assert_eq!(paged, created, "pages must tile the fleet in id order");
+
+    // Offset past the end: empty page, still self-describing.
+    let (status, body) = page("/campaigns?offset=99");
+    assert_eq!(status, 200);
+    assert_eq!(num(&body, "returned"), 0.0);
+    assert_eq!(num(&body, "total"), 5.0);
+
+    // Bad values are 400s, not panics or silent defaults.
+    for bad in [
+        "/campaigns?offset=-1",
+        "/campaigns?offset=abc",
+        "/campaigns?limit=-3",
+        "/campaigns?limit=x&offset=1",
+    ] {
+        let (status, body) = page(bad);
+        assert_eq!(status, 400, "{bad} answered {body:?}");
+        assert_eq!(text(&body, "error"), "bad_request");
+    }
+
+    // `campaigns_total` in /healthz agrees with the index's `total`
+    // (both derive from the sharded store).
+    let (_, health) = request(addr, "GET", "/healthz", None);
+    assert_eq!(num(&health, "campaigns_total"), 5.0);
+
+    handle.shutdown();
+    join.join().expect("server thread");
+}
+
+/// Tentpole acceptance: budget campaigns recalibrate under acceptance
+/// drift over the wire, and the kind-split recalibration counter shows
+/// up in `GET /metrics`.
+#[test]
+fn budget_acceptance_drift_recalibrates_over_the_wire() {
+    let registry = registry();
+    let (handle, join) = Server::spawn("127.0.0.1:0", Arc::clone(&registry)).expect("bind");
+    let addr = handle.addr();
+
+    let acc = LogitAcceptance::new(4.0, 0.0, 20.0);
+    let problem = ft_core::BudgetProblem::new(
+        40,
+        600.0,
+        ft_core::ActionSet::from_grid(PriceGrid::new(1, 20), &acc),
+        100.0,
+    );
+    let problem_json = serde_json::to_string(&problem.to_value()).expect("problem json");
+    let spec = format!("{{\"kind\":\"budget\",\"problem\":{problem_json}}}");
+    let (status, body) = request(addr, "POST", "/campaigns", Some(&spec));
+    assert_eq!(status, 201, "create failed: {body:?}");
+    let id = num(&body, "id") as u64;
+    let (status, _) = request(addr, "POST", &format!("/campaigns/{id}/solve"), None);
+    assert_eq!(status, 200);
+
+    let (status, body) = request(
+        addr,
+        "GET",
+        &format!("/campaigns/{id}/price?remaining=40&budget_cents=600"),
+        None,
+    );
+    assert_eq!(status, 200);
+    let posted = num(&body, "price");
+    assert_eq!(num(&body, "generation"), 1.0);
+
+    // Exposure-carrying reports with collapsed acceptance: 60 workers
+    // saw the price each round, almost nobody took it. The default
+    // cadence re-solves on the second drifted report.
+    let mut recalibrated = false;
+    let mut generation = 1.0;
+    for _ in 0..3 {
+        let obs = format!(
+            "{{\"completions\":2,\"spent_cents\":{},\"posted_cents\":{posted},\"offers\":60}}",
+            2 * posted as u64
+        );
+        let (status, body) = request(
+            addr,
+            "POST",
+            &format!("/campaigns/{id}/observations"),
+            Some(&obs),
+        );
+        assert_eq!(status, 200, "observe failed: {body:?}");
+        assert!(num(&body, "correction") < 1.0);
+        recalibrated |= matches!(
+            map_get(body.as_map().unwrap(), "recalibrated"),
+            Ok(Value::Bool(true))
+        );
+        generation = num(&body, "generation");
+    }
+    assert!(recalibrated, "no budget recalibration over the wire");
+    assert!(generation >= 2.0);
+
+    // The recalibrated generation serves quotes…
+    let (status, body) = request(
+        addr,
+        "GET",
+        &format!("/campaigns/{id}/price?remaining=34&budget_cents=400"),
+        None,
+    );
+    assert_eq!(status, 200);
+    assert_eq!(num(&body, "generation"), generation);
+
+    // …the diagnostics expose the drift state…
+    let (status, body) = request(addr, "GET", &format!("/campaigns/{id}"), None);
+    assert_eq!(status, 200);
+    assert!(num(&body, "acceptance_shift") < 0.0);
+
+    // …and the kind-split counter is visible in both metric formats.
+    let (status, body) = request(addr, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    let budget_recals = num(
+        &body,
+        "ft_core_recalibrations_by_kind_total{kind=\"budget\"}",
+    );
+    assert!(budget_recals >= 1.0, "budget recalibration not in /metrics");
+    let (status, text_body) =
+        ft_server::client::request(addr, "GET", "/metrics?format=prometheus", None)
+            .expect("prometheus export");
+    assert_eq!(status, 200);
+    assert!(text_body.contains("ft_core_recalibrations_by_kind_total{kind=\"budget\"}"));
+
+    handle.shutdown();
+    join.join().expect("server thread");
+}
+
 #[test]
 fn malformed_requests_are_structured_400s() {
     let registry = registry();

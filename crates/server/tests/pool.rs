@@ -79,6 +79,7 @@ fn connection_flood_is_survived_with_bounded_threads() {
     let config = ServerConfig {
         workers: 2,
         queue_depth: 2,
+        ..ServerConfig::default()
     };
     // The shared ft-exec pool spawns lazily on the first parallel
     // dispatch anywhere in the process (e.g. a solve in a concurrently
