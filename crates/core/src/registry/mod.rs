@@ -754,10 +754,41 @@ impl CampaignRegistry {
         result
     }
 
+    /// [`CampaignRegistry::quote`] over a batch, resolving each unique
+    /// campaign's handle + live generation **once** and pricing every
+    /// state against the cached resolution — a batch quoting one
+    /// campaign N times pays one store lookup, not N. Per-item results
+    /// come back in input order; failures don't fail the batch, and
+    /// telemetry counts each item exactly as `quote` would.
+    pub fn quote_many(&self, batch: &[(CampaignId, ObservedState)]) -> Vec<Result<PriceQuote>> {
+        let mut resolved: std::collections::HashMap<CampaignId, Result<Arc<PolicyGeneration>>> =
+            std::collections::HashMap::new();
+        batch
+            .iter()
+            .map(|&(id, state)| {
+                self.telemetry.quotes.inc();
+                let result = match resolved.entry(id).or_insert_with(|| self.resolve(id)) {
+                    Ok(current) => Self::price_from(id, current, state),
+                    Err(e) => Err(e.clone()),
+                };
+                if result.is_err() {
+                    self.telemetry.quote_errors.inc();
+                }
+                result
+            })
+            .collect()
+    }
+
     fn quote_inner(&self, id: CampaignId, state: ObservedState) -> Result<PriceQuote> {
+        let current = self.resolve(id)?;
+        Self::price_from(id, &current, state)
+    }
+
+    /// The servable policy generation for `id`.
+    fn resolve(&self, id: CampaignId) -> Result<Arc<PolicyGeneration>> {
         let mut campaign = self.get(id)?;
-        let current = match campaign.generation() {
-            Some(current) => current,
+        match campaign.generation() {
+            Some(current) => Ok(current),
             None => {
                 // A replacement (`submit_at`) retires the old record
                 // under the shard write lock before swapping the new
@@ -769,16 +800,22 @@ impl CampaignRegistry {
                 let replaced = !Arc::ptr_eq(&fresh, &campaign);
                 campaign = fresh;
                 match campaign.generation() {
-                    Some(current) if replaced => current,
-                    _ => {
-                        return Err(PricingError::NotServable {
-                            id,
-                            status: campaign.status().as_str(),
-                        })
-                    }
+                    Some(current) if replaced => Ok(current),
+                    _ => Err(PricingError::NotServable {
+                        id,
+                        status: campaign.status().as_str(),
+                    }),
                 }
             }
-        };
+        }
+    }
+
+    /// Price one observed state against an already-resolved generation.
+    fn price_from(
+        id: CampaignId,
+        current: &PolicyGeneration,
+        state: ObservedState,
+    ) -> Result<PriceQuote> {
         match (current.policy.as_ref(), state) {
             (
                 CampaignPolicy::Deadline(p),
@@ -838,7 +875,40 @@ impl CampaignRegistry {
     pub fn observe(&self, id: CampaignId, obs: CampaignObservation) -> Result<ObserveOutcome> {
         let kind = obs.kind();
         let result = self.observe_inner(id, obs);
-        match &result {
+        self.count_observe(kind, &result);
+        result
+    }
+
+    /// [`CampaignRegistry::observe`] over a batch, looking each unique
+    /// campaign's record up **once** and applying every observation to
+    /// the cached handle (in input order — a deadline campaign's
+    /// interval reports stay ordered). Per-item failures don't fail
+    /// the batch; telemetry counts each item exactly as `observe`
+    /// would.
+    pub fn observe_many(
+        &self,
+        batch: Vec<(CampaignId, CampaignObservation)>,
+    ) -> Vec<Result<ObserveOutcome>> {
+        let mut handles: std::collections::HashMap<CampaignId, Result<Arc<Campaign>>> =
+            std::collections::HashMap::new();
+        batch
+            .into_iter()
+            .map(|(id, obs)| {
+                let kind = obs.kind();
+                let result = match handles.entry(id).or_insert_with(|| self.get(id)) {
+                    Ok(campaign) => self.observe_on(id, campaign, obs),
+                    Err(e) => Err(e.clone()),
+                };
+                self.count_observe(kind, &result);
+                result
+            })
+            .collect()
+    }
+
+    /// The per-item telemetry `observe` commits (shared with the bulk
+    /// path so counters agree item-for-item).
+    fn count_observe(&self, kind: &'static str, result: &Result<ObserveOutcome>) {
+        match result {
             Ok(outcome) => {
                 self.telemetry.observes.inc();
                 if outcome.recalibrated {
@@ -853,12 +923,21 @@ impl CampaignRegistry {
             }
             Err(_) => self.telemetry.observe_errors.inc(),
         }
-        result
     }
 
     fn observe_inner(&self, id: CampaignId, obs: CampaignObservation) -> Result<ObserveOutcome> {
         let campaign = self.get(id)?;
-        let mut state = lock_state(&campaign);
+        self.observe_on(id, &campaign, obs)
+    }
+
+    /// Apply one observation to an already-resolved campaign record.
+    fn observe_on(
+        &self,
+        id: CampaignId,
+        campaign: &Arc<Campaign>,
+        obs: CampaignObservation,
+    ) -> Result<ObserveOutcome> {
+        let mut state = lock_state(campaign);
         let status = campaign.status();
         if !matches!(
             status,

@@ -86,6 +86,19 @@ impl PricingService {
         self.registry.quote(id, state).map(|quote| quote.price)
     }
 
+    /// The reprice hot path over a batch: campaign handles are resolved
+    /// once per unique id, then every observed state prices against the
+    /// resolved generation — the routing/lookup cost is paid per
+    /// campaign, not per quote. Results come back in input order;
+    /// per-item failures don't fail the batch. This is what the
+    /// server's `POST /campaigns/quotes` endpoint answers from.
+    pub fn quote_many(
+        &self,
+        batch: &[(CampaignId, ObservedState)],
+    ) -> Vec<Result<crate::registry::PriceQuote>> {
+        self.registry.quote_many(batch)
+    }
+
     /// Fetch the campaign's current policy (cheap `Arc` clone).
     pub fn policy(&self, id: CampaignId) -> Option<Arc<CampaignPolicy>> {
         self.registry

@@ -9,7 +9,7 @@ use ft_core::registry::{
 use ft_core::PricingError;
 use serde::{map_get, Serialize, Value};
 use std::net::SocketAddr;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// A price quote as the driver consumes it.
 #[derive(Debug, Clone, Copy)]
@@ -45,6 +45,26 @@ pub trait Backend: Sync {
     fn solve(&self, id: u64) -> OpResult<()>;
     fn price(&self, id: u64, state: ObservedState) -> OpResult<PriceAnswer>;
     fn observe(&self, id: u64, obs: CampaignObservation) -> OpResult<ObserveAnswer>;
+
+    /// Answer a batch of quotes in one backend round trip, results in
+    /// input order. The default loops over [`Backend::price`]; real
+    /// backends override with their batched path (the registry's
+    /// `quote_many`, the server's `POST /campaigns/quotes`).
+    fn price_many(&self, batch: &[(u64, ObservedState)]) -> Vec<OpResult<PriceAnswer>> {
+        batch
+            .iter()
+            .map(|&(id, state)| self.price(id, state))
+            .collect()
+    }
+
+    /// Report a batch of observations in one round trip, results in
+    /// input order. Default loops over [`Backend::observe`].
+    fn observe_many(&self, batch: &[(u64, CampaignObservation)]) -> Vec<OpResult<ObserveAnswer>> {
+        batch
+            .iter()
+            .map(|&(id, obs)| self.observe(id, obs))
+            .collect()
+    }
 }
 
 // ---- in-process ------------------------------------------------------
@@ -95,20 +115,85 @@ impl Backend for InProcessBackend {
             })
             .map_err(|e| pricing_failure("observe", &e))
     }
+
+    fn price_many(&self, batch: &[(u64, ObservedState)]) -> Vec<OpResult<PriceAnswer>> {
+        self.registry
+            .quote_many(batch)
+            .into_iter()
+            .map(|result| match result {
+                Ok(quote) => Ok(PriceAnswer {
+                    price: quote.price,
+                    generation: quote.generation,
+                }),
+                Err(PricingError::Infeasible(_)) => Err(OpError::BudgetExhausted),
+                Err(e) => Err(pricing_failure("price", &e)),
+            })
+            .collect()
+    }
+
+    fn observe_many(&self, batch: &[(u64, CampaignObservation)]) -> Vec<OpResult<ObserveAnswer>> {
+        self.registry
+            .observe_many(batch.to_vec())
+            .into_iter()
+            .map(|result| {
+                result
+                    .map(|outcome| ObserveAnswer {
+                        recalibrated: outcome.recalibrated,
+                        remaining: outcome.remaining,
+                        exhausted: outcome.status == CampaignStatus::Exhausted,
+                    })
+                    .map_err(|e| pricing_failure("observe", &e))
+            })
+            .collect()
+    }
 }
 
 // ---- socket ----------------------------------------------------------
 
 /// Drives a running `ft-server` over real TCP connections using the
-/// same wire format any external client would.
+/// same wire format any external client would — on **keep-alive**
+/// connections: a checkout pool of persistent [`ft_server::Client`]s,
+/// one handed to each request and returned afterwards, so the socket
+/// numbers measure the serving tier instead of a TCP handshake per op.
 pub struct SocketBackend {
-    pub addr: SocketAddr,
+    addr: SocketAddr,
+    clients: Mutex<Vec<ft_server::Client>>,
 }
 
 impl SocketBackend {
+    pub fn new(addr: SocketAddr) -> Self {
+        Self {
+            addr,
+            clients: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
     fn call(&self, method: &str, path: &str, body: Option<&str>) -> OpResult<(u16, Value)> {
-        let (status, body) = ft_server::client::request(self.addr, method, path, body)
-            .map_err(|e| OpError::Failed(format!("{method} {path}: {e}")))?;
+        // Check a persistent connection out (or open a fresh one); the
+        // client reconnects by itself if the server reaped it idle.
+        let mut client = self
+            .clients
+            .lock()
+            .expect("client pool poisoned")
+            .pop()
+            .unwrap_or_else(|| ft_server::Client::new(self.addr));
+        let result = client.request(method, path, body);
+        let (status, body) = match result {
+            Ok(answer) => {
+                self.clients
+                    .lock()
+                    .expect("client pool poisoned")
+                    .push(client);
+                answer
+            }
+            // A failed client is dropped, not returned — the next call
+            // starts from a clean connect.
+            Err(e) => return Err(OpError::Failed(format!("{method} {path}: {e}"))),
+        };
         let value = serde_json::from_str::<Value>(&body)
             .map_err(|e| OpError::Failed(format!("{method} {path}: bad JSON body: {e}")))?;
         Ok((status, value))
@@ -204,34 +289,7 @@ impl Backend for SocketBackend {
     }
 
     fn observe(&self, id: u64, obs: CampaignObservation) -> OpResult<ObserveAnswer> {
-        let body = match obs {
-            CampaignObservation::Deadline {
-                interval,
-                completions,
-                posted,
-            } => match posted {
-                Some(posted) => format!(
-                    "{{\"interval\":{interval},\"completions\":{completions},\"posted_cents\":{posted}}}"
-                ),
-                None => format!("{{\"interval\":{interval},\"completions\":{completions}}}"),
-            },
-            CampaignObservation::Budget {
-                completions,
-                spent_cents,
-                posted,
-                offers,
-            } => {
-                let mut body = format!("{{\"completions\":{completions},\"spent_cents\":{spent_cents}");
-                if let Some(posted) = posted {
-                    body.push_str(&format!(",\"posted_cents\":{posted}"));
-                }
-                if let Some(offers) = offers {
-                    body.push_str(&format!(",\"offers\":{offers}"));
-                }
-                body.push('}');
-                body
-            }
-        };
+        let body = format!("{{{}}}", observation_fields(&obs));
         let (status, value) = self.call(
             "POST",
             &format!("/campaigns/{id}/observations"),
@@ -244,4 +302,130 @@ impl Backend for SocketBackend {
             exhausted: field_str(&value, "status")? == "exhausted",
         })
     }
+
+    fn price_many(&self, batch: &[(u64, ObservedState)]) -> Vec<OpResult<PriceAnswer>> {
+        let items: Vec<String> = batch
+            .iter()
+            .map(|&(id, state)| match state {
+                ObservedState::Deadline {
+                    remaining,
+                    interval,
+                } => format!("{{\"id\":{id},\"remaining\":{remaining},\"interval\":{interval}}}"),
+                ObservedState::Budget {
+                    remaining,
+                    budget_cents,
+                } => format!(
+                    "{{\"id\":{id},\"remaining\":{remaining},\"budget_cents\":{budget_cents}}}"
+                ),
+            })
+            .collect();
+        let body = format!("{{\"quotes\":[{}]}}", items.join(","));
+        let reply = self
+            .call("POST", "/campaigns/quotes", Some(&body))
+            .and_then(|(status, value)| {
+                self.expect_2xx("price_bulk", status, &value)?;
+                Ok(value)
+            });
+        bulk_results(reply, batch.len(), |item| {
+            Ok(PriceAnswer {
+                price: field_num(item, "price")?,
+                generation: field_num(item, "generation")? as u64,
+            })
+        })
+    }
+
+    fn observe_many(&self, batch: &[(u64, CampaignObservation)]) -> Vec<OpResult<ObserveAnswer>> {
+        let items: Vec<String> = batch
+            .iter()
+            .map(|(id, obs)| format!("{{\"id\":{id},{}}}", observation_fields(obs)))
+            .collect();
+        let body = format!("{{\"observations\":[{}]}}", items.join(","));
+        let reply = self
+            .call("POST", "/campaigns/observations", Some(&body))
+            .and_then(|(status, value)| {
+                self.expect_2xx("observe_bulk", status, &value)?;
+                Ok(value)
+            });
+        bulk_results(reply, batch.len(), |item| {
+            Ok(ObserveAnswer {
+                recalibrated: field_bool(item, "recalibrated")?,
+                remaining: field_num(item, "remaining")? as u32,
+                exhausted: field_str(item, "status")? == "exhausted",
+            })
+        })
+    }
+}
+
+/// The inner fields of one observation's wire form (shared by the
+/// single-campaign body `{fields}` and the bulk item `{"id":N,fields}`).
+fn observation_fields(obs: &CampaignObservation) -> String {
+    match *obs {
+        CampaignObservation::Deadline {
+            interval,
+            completions,
+            posted,
+        } => match posted {
+            Some(posted) => format!(
+                "\"interval\":{interval},\"completions\":{completions},\"posted_cents\":{posted}"
+            ),
+            None => format!("\"interval\":{interval},\"completions\":{completions}"),
+        },
+        CampaignObservation::Budget {
+            completions,
+            spent_cents,
+            posted,
+            offers,
+        } => {
+            let mut fields = format!("\"completions\":{completions},\"spent_cents\":{spent_cents}");
+            if let Some(posted) = posted {
+                fields.push_str(&format!(",\"posted_cents\":{posted}"));
+            }
+            if let Some(offers) = offers {
+                fields.push_str(&format!(",\"offers\":{offers}"));
+            }
+            fields
+        }
+    }
+}
+
+/// Unpack a bulk endpoint reply into per-item results: a transport or
+/// request-level failure fails every item; inline error objects map to
+/// [`OpError`] (`422` → exhausted, anything else a failure); success
+/// objects go through `parse`.
+fn bulk_results<T>(
+    reply: OpResult<Value>,
+    expected: usize,
+    parse: impl Fn(&Value) -> OpResult<T>,
+) -> Vec<OpResult<T>> {
+    let value = match reply {
+        Ok(value) => value,
+        Err(e) => return (0..expected).map(|_| Err(e.clone())).collect(),
+    };
+    let results = match map_get(value.as_map().unwrap_or(&[]), "results")
+        .ok()
+        .and_then(Value::as_seq)
+    {
+        Some(results) if results.len() == expected => results,
+        _ => {
+            let e = OpError::Failed(format!(
+                "bulk reply shape: expected {expected} results in {value:?}"
+            ));
+            return (0..expected).map(|_| Err(e.clone())).collect();
+        }
+    };
+    results
+        .iter()
+        .map(|item| {
+            if let Ok(error) = map_get(item.as_map().unwrap_or(&[]), "error") {
+                let status = field_num(item, "status").unwrap_or(0.0) as u16;
+                if status == 422 {
+                    return Err(OpError::BudgetExhausted);
+                }
+                return Err(OpError::Failed(format!(
+                    "bulk item error {error:?}: {item:?}"
+                )));
+            }
+            parse(item)
+        })
+        .collect()
 }

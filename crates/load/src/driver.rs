@@ -13,7 +13,7 @@
 //! samples, no torn merges, every op accounted — come from comparing
 //! independent counters against histogram totals.
 
-use crate::backend::{Backend, OpError, OpResult};
+use crate::backend::{Backend, ObserveAnswer, OpError, OpResult};
 use crate::scenario::{CampaignKind, FleetGroup, Scenario};
 use ft_core::registry::{CampaignObservation, ObservedState};
 use ft_market::nhpp::sample_thinned_count;
@@ -25,17 +25,29 @@ use std::time::Instant;
 /// How many error messages the report keeps verbatim.
 const ERROR_SAMPLE_CAP: usize = 10;
 
-/// The operations the driver distinguishes.
+/// The operations the driver distinguishes. The `*Bulk` ops count
+/// **round trips** (one batched request each); the items they carried
+/// ride in [`RunInstruments::bulk_quote_items`] /
+/// [`RunInstruments::bulk_observe_items`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Op {
     Create,
     Solve,
     Price,
     Observe,
+    PriceBulk,
+    ObserveBulk,
 }
 
 impl Op {
-    pub const ALL: [Op; 4] = [Op::Create, Op::Solve, Op::Price, Op::Observe];
+    pub const ALL: [Op; 6] = [
+        Op::Create,
+        Op::Solve,
+        Op::Price,
+        Op::Observe,
+        Op::PriceBulk,
+        Op::ObserveBulk,
+    ];
 
     pub fn label(self) -> &'static str {
         match self {
@@ -43,6 +55,8 @@ impl Op {
             Op::Solve => "solve",
             Op::Price => "price",
             Op::Observe => "observe",
+            Op::PriceBulk => "price_bulk",
+            Op::ObserveBulk => "observe_bulk",
         }
     }
 }
@@ -59,6 +73,12 @@ pub struct RunInstruments {
     pub budget_recalibrations: Arc<Counter>,
     pub completions: Arc<Counter>,
     pub budget_exhaustions: Arc<Counter>,
+    /// Quote items carried inside `price_bulk` round trips — the
+    /// socket-mode `/metrics` crosscheck reconciles
+    /// `ft_core_quotes_total == price + bulk_quote_items`.
+    pub bulk_quote_items: Arc<Counter>,
+    /// Observation items carried inside `observe_bulk` round trips.
+    pub bulk_observe_items: Arc<Counter>,
     error_samples: Mutex<Vec<String>>,
 }
 
@@ -87,6 +107,8 @@ impl RunInstruments {
             budget_recalibrations: plane.counter("ft_load_budget_recalibrations_total"),
             completions: plane.counter("ft_load_completions_total"),
             budget_exhaustions: plane.counter("ft_load_budget_exhaustions_total"),
+            bulk_quote_items: plane.counter("ft_load_bulk_quote_items_total"),
+            bulk_observe_items: plane.counter("ft_load_bulk_observe_items_total"),
             error_samples: Mutex::new(Vec::new()),
             plane,
         }
@@ -94,6 +116,15 @@ impl RunInstruments {
 
     fn index(op: Op) -> usize {
         Op::ALL.iter().position(|o| *o == op).expect("op in ALL")
+    }
+
+    /// Count one real failure and keep a sample for the report.
+    fn note_error(&self, message: &str) {
+        self.errors.inc();
+        let mut samples = self.error_samples.lock().expect("error samples poisoned");
+        if samples.len() < ERROR_SAMPLE_CAP {
+            samples.push(message.to_string());
+        }
     }
 
     /// Run `f` as one timed `op`: latency into the histogram, the op
@@ -105,13 +136,26 @@ impl RunInstruments {
         self.latency[i].record_duration(started.elapsed());
         self.ops[i].inc();
         if let Err(OpError::Failed(message)) = &result {
-            self.errors.inc();
-            let mut samples = self.error_samples.lock().expect("error samples poisoned");
-            if samples.len() < ERROR_SAMPLE_CAP {
-                samples.push(message.clone());
-            }
+            self.note_error(message);
         }
         result
+    }
+
+    /// Run `f` as one timed bulk `op` (one latency sample, one op count
+    /// for the whole round trip); per-item failures are counted and
+    /// sampled here so the error gate sees them like per-op failures.
+    fn timed_bulk<T>(&self, op: Op, f: impl FnOnce() -> Vec<OpResult<T>>) -> Vec<OpResult<T>> {
+        let started = Instant::now();
+        let results = f();
+        let i = Self::index(op);
+        self.latency[i].record_duration(started.elapsed());
+        self.ops[i].inc();
+        for result in &results {
+            if let Err(OpError::Failed(message)) = result {
+                self.note_error(message);
+            }
+        }
+        results
     }
 
     pub fn op_count(&self, op: Op) -> u64 {
@@ -152,6 +196,10 @@ pub struct RunOutcome {
     pub budget_recalibrations: u64,
     pub completions: u64,
     pub budget_exhaustions: u64,
+    /// Quote items carried inside `price_bulk` round trips.
+    pub bulk_quote_items: u64,
+    /// Observation items carried inside `observe_bulk` round trips.
+    pub bulk_observe_items: u64,
     /// Histogram samples clamped at the range cap (must be 0).
     pub dropped_samples: u64,
     /// Ops whose counter disagrees with the merged histogram count
@@ -208,10 +256,18 @@ pub fn run(scenario: &Scenario, backend: &dyn Backend, instruments: &RunInstrume
             s.spawn(move || {
                 let mut rng = seeded_rng(seed);
                 for _round in 0..scenario.intervals {
-                    for flight in partition.iter_mut() {
-                        if !flight.done {
-                            let group = &scenario.fleet[flight.group];
-                            drive_round(backend, instruments, scenario, group, flight, &mut rng);
+                    if scenario.bulk > 1 {
+                        // Batched closed loop: each chunk's quotes go
+                        // out as ONE `price_many` round trip, then its
+                        // observations as one `observe_many`.
+                        for chunk in partition.chunks_mut(scenario.bulk) {
+                            drive_chunk(backend, instruments, scenario, chunk, &mut rng);
+                        }
+                    } else {
+                        for flight in partition.iter_mut() {
+                            if !flight.done {
+                                drive_round(backend, instruments, scenario, flight, &mut rng);
+                            }
                         }
                     }
                 }
@@ -249,6 +305,8 @@ pub fn run(scenario: &Scenario, backend: &dyn Backend, instruments: &RunInstrume
         budget_recalibrations: instruments.budget_recalibrations.get(),
         completions: instruments.completions.get(),
         budget_exhaustions: instruments.budget_exhaustions.get(),
+        bulk_quote_items: instruments.bulk_quote_items.get(),
+        bulk_observe_items: instruments.bulk_observe_items.get(),
         dropped_samples: dropped,
         torn_mismatches: torn,
         op_counts,
@@ -256,84 +314,51 @@ pub fn run(scenario: &Scenario, backend: &dyn Backend, instruments: &RunInstrume
     }
 }
 
-/// One closed-loop round for one campaign: price → simulated market
-/// response → observation fed back.
-fn drive_round(
-    backend: &dyn Backend,
-    instruments: &RunInstruments,
-    scenario: &Scenario,
-    group: &FleetGroup,
-    flight: &mut Flight,
-    rng: &mut rand::rngs::StdRng,
-) {
+/// The observed state this flight's next quote should price — `None`
+/// when a deadline campaign has run out of horizon (the flight is
+/// done).
+fn plan_state(group: &FleetGroup, flight: &Flight) -> Option<ObservedState> {
     match group.kind {
         CampaignKind::Deadline => {
-            let interval = flight.next_interval;
-            if interval >= group.n_intervals {
-                flight.done = true;
-                return;
-            }
-            let state = ObservedState::Deadline {
+            (flight.next_interval < group.n_intervals).then_some(ObservedState::Deadline {
                 remaining: flight.remaining,
-                interval,
-            };
-            let quote = match instruments.timed(Op::Price, || backend.price(flight.id, state)) {
-                Ok(quote) => quote,
-                Err(_) => {
-                    flight.done = true;
-                    return;
-                }
-            };
-            // The "real" worker population: arrivals drifted off the
-            // trained model, thinned by the (possibly drifted)
-            // acceptance at the posted price.
+                interval: flight.next_interval,
+            })
+        }
+        CampaignKind::Budget => Some(ObservedState::Budget {
+            remaining: flight.remaining,
+            budget_cents: flight.budget_left,
+        }),
+    }
+}
+
+/// Simulate the worker population's response to a posted price:
+/// arrivals drifted off the trained model, thinned by the (possibly
+/// drifted) acceptance. Returns `(completions, spent_cents, report)`
+/// — `spent_cents` is 0 for deadline campaigns.
+fn market_response(
+    scenario: &Scenario,
+    group: &FleetGroup,
+    flight: &Flight,
+    price: f64,
+    rng: &mut rand::rngs::StdRng,
+) -> (u64, usize, CampaignObservation) {
+    let accept = (group.acceptance().p_f64(price) * scenario.acceptance_drift).clamp(0.0, 1.0);
+    match group.kind {
+        CampaignKind::Deadline => {
             let lambda_true = group.interval_arrivals() * scenario.drift;
-            let accept =
-                (group.acceptance().p_f64(quote.price) * scenario.acceptance_drift).clamp(0.0, 1.0);
             let completions =
                 sample_thinned_count(lambda_true, accept, rng).min(u64::from(flight.remaining));
             let obs = CampaignObservation::Deadline {
-                interval,
+                interval: flight.next_interval,
                 completions,
-                posted: Some(quote.price),
+                posted: Some(price),
             };
-            match instruments.timed(Op::Observe, || backend.observe(flight.id, obs)) {
-                Ok(answer) => {
-                    instruments.completions.add(completions);
-                    if answer.recalibrated {
-                        instruments.recalibrations.inc();
-                    }
-                    flight.remaining = answer.remaining;
-                    flight.next_interval = interval + 1;
-                    flight.done = answer.exhausted;
-                }
-                Err(_) => flight.done = true,
-            }
+            (completions, 0, obs)
         }
         CampaignKind::Budget => {
-            let state = ObservedState::Budget {
-                remaining: flight.remaining,
-                budget_cents: flight.budget_left,
-            };
-            let quote = match instruments.timed(Op::Price, || backend.price(flight.id, state)) {
-                Ok(quote) => quote,
-                Err(OpError::BudgetExhausted) => {
-                    instruments.budget_exhaustions.inc();
-                    flight.done = true;
-                    return;
-                }
-                Err(_) => {
-                    flight.done = true;
-                    return;
-                }
-            };
             let tick_hours = group.horizon_hours / group.n_intervals as f64;
             let lambda_true = group.arrivals_per_hour * tick_hours * scenario.drift;
-            // The acceptance the registry's model believes vs the one
-            // the simulated workers actually have: `acceptance_drift`
-            // is the wedge the budget recalibrator must detect.
-            let accept =
-                (group.acceptance().p_f64(quote.price) * scenario.acceptance_drift).clamp(0.0, 1.0);
             let raw = sample_thinned_count(lambda_true, accept, rng);
             let completions = raw.min(u64::from(flight.remaining));
             // Thinned-Poisson decomposition: accepting and rejecting
@@ -343,27 +368,150 @@ fn drive_round(
             // progress without it (censored, like the deadline path).
             let rejected = sample_thinned_count(lambda_true, 1.0 - accept, rng);
             let offers = (raw == completions).then_some(raw + rejected);
-            let spent =
-                ((completions as f64 * quote.price).round() as usize).min(flight.budget_left);
+            let spent = ((completions as f64 * price).round() as usize).min(flight.budget_left);
             let obs = CampaignObservation::Budget {
                 completions,
                 spent_cents: spent,
-                posted: offers.is_some().then_some(quote.price),
+                posted: offers.is_some().then_some(price),
                 offers,
             };
-            match instruments.timed(Op::Observe, || backend.observe(flight.id, obs)) {
-                Ok(answer) => {
-                    instruments.completions.add(completions);
-                    if answer.recalibrated {
-                        instruments.recalibrations.inc();
-                        instruments.budget_recalibrations.inc();
-                    }
-                    flight.remaining = answer.remaining;
-                    flight.budget_left -= spent;
-                    flight.done = answer.exhausted || flight.budget_left == 0;
-                }
-                Err(_) => flight.done = true,
+            (completions, spent, obs)
+        }
+    }
+}
+
+/// Fold an accepted observation back into the flight's bookkeeping.
+fn apply_answer(
+    instruments: &RunInstruments,
+    group: &FleetGroup,
+    flight: &mut Flight,
+    completions: u64,
+    spent: usize,
+    answer: &ObserveAnswer,
+) {
+    instruments.completions.add(completions);
+    if answer.recalibrated {
+        instruments.recalibrations.inc();
+        if group.kind == CampaignKind::Budget {
+            instruments.budget_recalibrations.inc();
+        }
+    }
+    flight.remaining = answer.remaining;
+    match group.kind {
+        CampaignKind::Deadline => {
+            flight.next_interval += 1;
+            flight.done = answer.exhausted;
+        }
+        CampaignKind::Budget => {
+            flight.budget_left -= spent;
+            flight.done = answer.exhausted || flight.budget_left == 0;
+        }
+    }
+}
+
+/// Mark a flight's fate after a failed quote.
+fn quote_failed(
+    instruments: &RunInstruments,
+    group: &FleetGroup,
+    flight: &mut Flight,
+    e: &OpError,
+) {
+    if matches!(e, OpError::BudgetExhausted) && group.kind == CampaignKind::Budget {
+        instruments.budget_exhaustions.inc();
+    }
+    flight.done = true;
+}
+
+/// One closed-loop round for one campaign: price → simulated market
+/// response → observation fed back.
+fn drive_round(
+    backend: &dyn Backend,
+    instruments: &RunInstruments,
+    scenario: &Scenario,
+    flight: &mut Flight,
+    rng: &mut rand::rngs::StdRng,
+) {
+    let group = &scenario.fleet[flight.group];
+    let Some(state) = plan_state(group, flight) else {
+        flight.done = true;
+        return;
+    };
+    let quote = match instruments.timed(Op::Price, || backend.price(flight.id, state)) {
+        Ok(quote) => quote,
+        Err(e) => {
+            quote_failed(instruments, group, flight, &e);
+            return;
+        }
+    };
+    let (completions, spent, obs) = market_response(scenario, group, flight, quote.price, rng);
+    match instruments.timed(Op::Observe, || backend.observe(flight.id, obs)) {
+        Ok(answer) => apply_answer(instruments, group, flight, completions, spent, &answer),
+        Err(_) => flight.done = true,
+    }
+}
+
+/// One closed-loop round for a **chunk** of campaigns: every active
+/// flight's quote goes out as a single `price_many` round trip, the
+/// simulated market responds to each posted price, and the
+/// observations return as one `observe_many`. The loop stays closed —
+/// a campaign's next round only starts after this round's answer — the
+/// batching is across campaigns, never across a campaign's own rounds.
+fn drive_chunk(
+    backend: &dyn Backend,
+    instruments: &RunInstruments,
+    scenario: &Scenario,
+    chunk: &mut [Flight],
+    rng: &mut rand::rngs::StdRng,
+) {
+    let mut quoted = Vec::with_capacity(chunk.len());
+    let mut batch = Vec::with_capacity(chunk.len());
+    for (i, flight) in chunk.iter_mut().enumerate() {
+        if flight.done {
+            continue;
+        }
+        match plan_state(&scenario.fleet[flight.group], flight) {
+            Some(state) => {
+                quoted.push(i);
+                batch.push((flight.id, state));
             }
+            None => flight.done = true,
+        }
+    }
+    if batch.is_empty() {
+        return;
+    }
+    let quotes = instruments.timed_bulk(Op::PriceBulk, || backend.price_many(&batch));
+    instruments.bulk_quote_items.add(batch.len() as u64);
+
+    let mut observed = Vec::with_capacity(quotes.len());
+    let mut obs_batch = Vec::with_capacity(quotes.len());
+    let mut outcomes = Vec::with_capacity(quotes.len());
+    for (slot, result) in quotes.into_iter().enumerate() {
+        let flight = &mut chunk[quoted[slot]];
+        let group = &scenario.fleet[flight.group];
+        match result {
+            Ok(quote) => {
+                let (completions, spent, obs) =
+                    market_response(scenario, group, flight, quote.price, rng);
+                observed.push(quoted[slot]);
+                obs_batch.push((flight.id, obs));
+                outcomes.push((completions, spent));
+            }
+            Err(e) => quote_failed(instruments, group, flight, &e),
+        }
+    }
+    if obs_batch.is_empty() {
+        return;
+    }
+    let answers = instruments.timed_bulk(Op::ObserveBulk, || backend.observe_many(&obs_batch));
+    instruments.bulk_observe_items.add(obs_batch.len() as u64);
+    for (slot, result) in answers.into_iter().enumerate() {
+        let flight = &mut chunk[observed[slot]];
+        let group = &scenario.fleet[flight.group];
+        let (completions, spent) = outcomes[slot];
+        match result {
+            Ok(answer) => apply_answer(instruments, group, flight, completions, spent, &answer),
+            Err(_) => flight.done = true,
         }
     }
 }

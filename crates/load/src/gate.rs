@@ -18,6 +18,26 @@
 //! document carries that scenario name; entries without one gate every
 //! run of their backend (the historical behavior).
 //!
+//! An entry may also carry a **relative** floor:
+//!
+//! ```json
+//! {"backend": "socket", "scenario": "fast",
+//!  "min_throughput_rps": 1000.0,
+//!  "min_throughput_frac_of": {"backend": "in_process",
+//!                             "scenario": "fast", "frac": 0.5}}
+//! ```
+//!
+//! which additionally requires the gated run's throughput to stay
+//! above `frac × reference throughput × (1 − tolerance)`, where the
+//! reference is the **slowest** run matching the named
+//! backend/scenario across the supplied reports (robust to the
+//! reference leg having had an unusually fast run — the gate exists to
+//! catch order-of-magnitude serving-tier regressions, not scheduler
+//! jitter between two separately-invoked smokes). This is how the
+//! serving tier's "socket within 2× of in-process" bar is enforced
+//! without baking the host's absolute speed into the floor. A missing
+//! reference run is a failure, like a missing floored backend.
+//!
 //! Semantics: a run regresses when its throughput drops below
 //! `min_throughput_rps × (1 − tolerance)` or an op's p99 rises above
 //! `max_p99_ns × (1 + tolerance)`. The floors are set conservatively
@@ -42,6 +62,20 @@ pub struct BackendFloor {
     /// Per-op p99 ceilings in nanoseconds: fresh p99 must stay below
     /// `ceiling × (1 + tolerance)`.
     pub max_p99_ns: Vec<(String, f64)>,
+    /// Relative floor: fresh throughput must also stay above
+    /// `frac × reference × (1 − tolerance)`.
+    pub min_throughput_frac_of: Option<FracOf>,
+}
+
+/// A relative throughput floor's reference run selector.
+#[derive(Debug, Clone)]
+pub struct FracOf {
+    /// Reference run's `runs[].backend`.
+    pub backend: String,
+    /// Reference scenario scope; `None` matches every scenario.
+    pub scenario: Option<String>,
+    /// Required fraction of the reference run's throughput.
+    pub frac: f64,
 }
 
 /// The checked-in floor document.
@@ -115,11 +149,53 @@ impl Floors {
                     max_p99_ns.push((op.clone(), ceiling));
                 }
             }
+            let min_throughput_frac_of = match map_get(entry_map, "min_throughput_frac_of") {
+                Ok(v) => {
+                    let frac_map = v.as_map().ok_or_else(|| {
+                        format!("floors[{backend}]: `min_throughput_frac_of` is not an object")
+                    })?;
+                    let ref_backend = map_get(frac_map, "backend")
+                        .ok()
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| {
+                            format!("floors[{backend}]: frac-of floor missing `backend`")
+                        })?
+                        .to_string();
+                    let ref_scenario = match map_get(frac_map, "scenario") {
+                        Ok(v) => Some(
+                            v.as_str()
+                                .ok_or_else(|| {
+                                    format!("floors[{backend}]: frac-of `scenario` is not a string")
+                                })?
+                                .to_string(),
+                        ),
+                        Err(_) => None,
+                    };
+                    let frac = map_get(frac_map, "frac")
+                        .ok()
+                        .and_then(Value::as_num)
+                        .ok_or_else(|| {
+                            format!("floors[{backend}]: frac-of floor missing numeric `frac`")
+                        })?;
+                    if frac <= 0.0 {
+                        return Err(format!(
+                            "floors[{backend}]: frac-of `frac` must be positive"
+                        ));
+                    }
+                    Some(FracOf {
+                        backend: ref_backend,
+                        scenario: ref_scenario,
+                        frac,
+                    })
+                }
+                Err(_) => None,
+            };
             backends.push(BackendFloor {
                 backend,
                 scenario,
                 min_throughput_rps,
                 max_p99_ns,
+                min_throughput_frac_of,
             });
         }
         if backends.is_empty() {
@@ -198,26 +274,55 @@ pub fn check_reports(report_jsons: &[&str], floors: &Floors) -> Result<Vec<Compa
         );
     }
 
+    let select = |backend: &str, scenario: Option<&str>| -> Vec<&Value> {
+        runs.iter()
+            .filter(|(run_scenario, run)| {
+                run.as_map()
+                    .and_then(|m| map_get(m, "backend").ok())
+                    .and_then(Value::as_str)
+                    == Some(backend)
+                    && scenario.is_none_or(|want| run_scenario.as_deref() == Some(want))
+            })
+            .map(|(_, run)| run)
+            .collect()
+    };
+
     let mut comparisons = Vec::new();
     for floor in &floors.backends {
         let floor_name = match &floor.scenario {
             Some(scenario) => format!("{}/{scenario}", floor.backend),
             None => floor.backend.clone(),
         };
-        let matching: Vec<&Value> = runs
-            .iter()
-            .filter(|(scenario, run)| {
-                run.as_map()
-                    .and_then(|m| map_get(m, "backend").ok())
-                    .and_then(Value::as_str)
-                    == Some(&floor.backend)
-                    && floor
-                        .scenario
-                        .as_ref()
-                        .is_none_or(|want| scenario.as_deref() == Some(want.as_str()))
-            })
-            .map(|(_, run)| run)
-            .collect();
+        // Resolve a relative floor's reference once per floor: the
+        // slowest matching run across the reports, so a lucky fast
+        // reference leg can't flake the gated one.
+        let frac_reference = floor.min_throughput_frac_of.as_ref().map(|frac_of| {
+            let ref_name = match &frac_of.scenario {
+                Some(scenario) => format!("{}/{scenario}", frac_of.backend),
+                None => frac_of.backend.clone(),
+            };
+            let best = select(&frac_of.backend, frac_of.scenario.as_deref())
+                .iter()
+                .filter_map(|run| {
+                    run.as_map()
+                        .and_then(|m| map_get(m, "throughput_rps").ok())
+                        .and_then(Value::as_num)
+                })
+                .fold(f64::INFINITY, f64::min);
+            (frac_of, ref_name, best)
+        });
+        if let Some((_, ref_name, best)) = &frac_reference {
+            if !best.is_finite() {
+                // A relative floor with no reference run cannot pass.
+                comparisons.push(Comparison {
+                    label: format!("[{floor_name}] reference run {ref_name} present in report(s)"),
+                    fresh: 0.0,
+                    bound: 1.0,
+                    passed: false,
+                });
+            }
+        }
+        let matching = select(&floor.backend, floor.scenario.as_deref());
         if matching.is_empty() {
             // A floored backend no report ran cannot pass.
             comparisons.push(Comparison {
@@ -248,6 +353,20 @@ pub fn check_reports(report_jsons: &[&str], floors: &Floors) -> Result<Vec<Compa
                 throughput,
                 floor.min_throughput_rps * (1.0 - floors.tolerance),
             ));
+            if let Some((frac_of, ref_name, reference)) = &frac_reference {
+                if reference.is_finite() {
+                    let bound = frac_of.frac * reference * (1.0 - floors.tolerance);
+                    comparisons.push(Comparison {
+                        label: format!(
+                            "[{label}] throughput_rps {throughput:.0} ≥ {}×{ref_name} ({bound:.0})",
+                            frac_of.frac
+                        ),
+                        fresh: throughput,
+                        bound,
+                        passed: throughput >= bound,
+                    });
+                }
+            }
             let latency = map_get(run_map, "latency_ns_by_op")
                 .ok()
                 .and_then(Value::as_map)
@@ -392,6 +511,60 @@ mod tests {
                 .any(|c| !c.passed && c.label.contains("budget-drift-fast")),
             "{comparisons:?}"
         );
+    }
+
+    #[test]
+    fn relative_floor_tracks_the_reference_run() {
+        // socket must hold ≥ 0.5× the in-process run's throughput
+        // (minus tolerance) — the host's absolute speed drops out.
+        let floors = Floors::from_json(
+            r#"{"tolerance": 0.2, "backends": [
+                {"backend": "in_process", "min_throughput_rps": 100.0},
+                {"backend": "socket", "min_throughput_rps": 100.0,
+                 "min_throughput_frac_of": {"backend": "in_process", "frac": 0.5}}]}"#,
+        )
+        .unwrap();
+        let frac_of = floors.backends[1].min_throughput_frac_of.as_ref().unwrap();
+        assert_eq!(frac_of.backend, "in_process");
+        assert_eq!(frac_of.frac, 0.5);
+
+        // 10000 in-process → bound 0.5 × 10000 × 0.8 = 4000.
+        let inproc = report("in_process", 10_000.0, 1.0);
+        let fast_socket = report("socket", 5000.0, 1.0);
+        let comparisons = check_reports(&[&inproc, &fast_socket], &floors).unwrap();
+        assert!(comparisons.iter().all(|c| c.passed), "{comparisons:?}");
+
+        let slow_socket = report("socket", 3000.0, 1.0);
+        let comparisons = check_reports(&[&inproc, &slow_socket], &floors).unwrap();
+        let relative: Vec<_> = comparisons
+            .iter()
+            .filter(|c| c.label.contains("0.5×in_process"))
+            .collect();
+        assert_eq!(relative.len(), 1);
+        assert!(!relative[0].passed, "{comparisons:?}");
+
+        // No reference run at all → the relative floor fails loudly.
+        let comparisons = check_reports(&[&slow_socket], &floors).unwrap();
+        assert!(
+            comparisons
+                .iter()
+                .any(|c| !c.passed && c.label.contains("reference run")),
+            "{comparisons:?}"
+        );
+
+        // Malformed frac-of entries are parse errors.
+        assert!(Floors::from_json(
+            r#"{"tolerance": 0.2, "backends": [
+                {"backend": "socket", "min_throughput_rps": 1.0,
+                 "min_throughput_frac_of": {"backend": "in_process", "frac": 0.0}}]}"#,
+        )
+        .is_err());
+        assert!(Floors::from_json(
+            r#"{"tolerance": 0.2, "backends": [
+                {"backend": "socket", "min_throughput_rps": 1.0,
+                 "min_throughput_frac_of": {"frac": 0.5}}]}"#,
+        )
+        .is_err());
     }
 
     #[test]

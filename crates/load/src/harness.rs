@@ -92,7 +92,7 @@ pub fn run_socket(scenario: &Scenario) -> Result<(RunOutcome, SocketExtras), Str
         .map_err(|e| format!("bind server: {e}"))?;
     let addr = handle.addr();
 
-    let backend = SocketBackend { addr };
+    let backend = SocketBackend::new(addr);
     let instruments = RunInstruments::new();
     let outcome = driver::run(scenario, &backend, &instruments);
     let flood = flood(addr, scenario.flood_connections);
@@ -127,7 +127,7 @@ pub fn run_socket_target(
     target: &str,
 ) -> Result<(RunOutcome, SocketExtras), String> {
     let addr = probe_target(target)?;
-    let backend = SocketBackend { addr };
+    let backend = SocketBackend::new(addr);
     let instruments = RunInstruments::new();
     let outcome = driver::run(scenario, &backend, &instruments);
     let flood = flood(addr, scenario.flood_connections);
@@ -220,6 +220,8 @@ fn crosscheck(addr: SocketAddr, instruments: &RunInstruments) -> Result<Crossche
         (Op::Solve, "campaign_solve"),
         (Op::Price, "campaign_price"),
         (Op::Observe, "campaign_observe"),
+        (Op::PriceBulk, "campaigns_quotes"),
+        (Op::ObserveBulk, "campaigns_observations"),
     ];
     let mut entries: Vec<CrosscheckEntry> = pairs
         .iter()
@@ -232,11 +234,12 @@ fn crosscheck(addr: SocketAddr, instruments: &RunInstruments) -> Result<Crossche
         })
         .collect();
     // The registry's own plane rides on the same export: quotes must
-    // match price requests, and the recalibrations the client saw in
+    // match price requests (single ops plus the items carried inside
+    // bulk round trips), and the recalibrations the client saw in
     // observation responses must match the registry's counter.
     entries.push(CrosscheckEntry {
         name: "quotes".into(),
-        client: instruments.op_count(Op::Price),
+        client: instruments.op_count(Op::Price) + instruments.bulk_quote_items.get(),
         server: server_num("ft_core_quotes_total"),
     });
     entries.push(CrosscheckEntry {

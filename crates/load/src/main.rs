@@ -31,8 +31,10 @@ USAGE:
 OPTIONS:
     --fast             seconds-scale variant of the selected profile
                        (default profile: standard)
-    --profile NAME     built-in profile: standard | fast | budget-drift
-                       (budget-drift + --fast = budget-drift-fast)
+    --profile NAME     built-in profile: standard | fast | bulk-fast |
+                       budget-drift (budget-drift + --fast =
+                       budget-drift-fast; bulk-fast drives the batched
+                       quote/observe plane)
     --scenario FILE    JSON scenario spec (overrides --fast/--profile)
     --mode MODE        which backend(s) to drive   [default: both]
     --target HOST:PORT drive an external ft-server instead of spawning
@@ -90,6 +92,7 @@ fn parse_args() -> Result<Args, String> {
         }
         (None, Some("budget-drift")) => Scenario::budget_drift(fast),
         (None, Some("fast")) => Scenario::fast(),
+        (None, Some("bulk-fast")) => Scenario::bulk_fast(),
         (None, Some("standard")) => {
             if fast {
                 Scenario::fast()
@@ -99,7 +102,7 @@ fn parse_args() -> Result<Args, String> {
         }
         (None, Some(other)) => {
             return Err(format!(
-                "unknown --profile `{other}` (standard | fast | budget-drift)"
+                "unknown --profile `{other}` (standard | fast | bulk-fast | budget-drift)"
             ))
         }
         (None, None) if fast => Scenario::fast(),

@@ -53,6 +53,8 @@ fn run_value(outcome: &RunOutcome, extras: Option<&SocketExtras>) -> Value {
         ),
         ("completions_total", num(outcome.completions as f64)),
         ("budget_exhaustions", num(outcome.budget_exhaustions as f64)),
+        ("bulk_quote_items", num(outcome.bulk_quote_items as f64)),
+        ("bulk_observe_items", num(outcome.bulk_observe_items as f64)),
         ("dropped_samples", num(outcome.dropped_samples as f64)),
         ("torn_mismatches", num(outcome.torn_mismatches as f64)),
         (
@@ -140,23 +142,48 @@ pub fn render(scenario: &Scenario, runs: &[(RunOutcome, Option<SocketExtras>)]) 
     let generated = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0.0, |d| d.as_secs_f64());
-    map(vec![
+    let mut fields = vec![
         ("scenario", Value::Str(scenario.name.clone())),
         ("generated_unix", num(generated)),
         ("seed", num(scenario.seed as f64)),
         ("concurrency", num(scenario.concurrency as f64)),
         ("intervals", num(scenario.intervals as f64)),
         ("drift", num(scenario.drift)),
+        ("bulk", num(scenario.bulk as f64)),
         ("campaigns", num(scenario.campaign_count() as f64)),
-        (
-            "runs",
-            Value::Seq(
-                runs.iter()
-                    .map(|(outcome, extras)| run_value(outcome, extras.as_ref()))
-                    .collect(),
-            ),
+    ];
+    // When the same document carries both backends, summarize the
+    // socket tax directly: socket throughput as a fraction of the
+    // in-process run's (1.0 = free sockets; the serving tier's target
+    // is ≥ 0.5, i.e. within 2× of in-process).
+    let find = |label: &str| {
+        runs.iter()
+            .find(|(outcome, _)| outcome.backend == label)
+            .map(|(outcome, _)| outcome.throughput_rps())
+    };
+    if let (Some(socket), Some(in_process)) = (find("socket"), find("in_process")) {
+        if in_process > 0.0 {
+            fields.push(("socket_throughput_ratio", num(socket / in_process)));
+            fields.push((
+                "socket_throughput_ratio_note",
+                Value::Str(
+                    "socket ÷ in_process throughput from this invocation; the checked-in \
+                     capture comes from a 1-core container, where reactor and client share \
+                     the core — multicore hosts should see a higher ratio"
+                        .into(),
+                ),
+            ));
+        }
+    }
+    fields.push((
+        "runs",
+        Value::Seq(
+            runs.iter()
+                .map(|(outcome, extras)| run_value(outcome, extras.as_ref()))
+                .collect(),
         ),
-    ])
+    ));
+    map(fields)
 }
 
 /// The hard gates: a CI smoke run (and the acceptance bar) fails on

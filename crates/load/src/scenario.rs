@@ -120,6 +120,12 @@ pub struct Scenario {
     pub server_queue_depth: usize,
     /// Socket mode: concurrent connections in the flood phase.
     pub flood_connections: usize,
+    /// Closed-loop batching width: `> 1` sends each worker partition's
+    /// quotes as `price_many` batches of this size (one
+    /// `POST /campaigns/quotes` round trip per chunk in socket mode)
+    /// and the matching observations as `observe_many` batches. `0` or
+    /// `1` keeps the one-request-per-campaign loop.
+    pub bulk: usize,
     pub fleet: Vec<FleetGroup>,
 }
 
@@ -138,6 +144,7 @@ impl Scenario {
             server_workers: 4,
             server_queue_depth: 16,
             flood_connections: 32,
+            bulk: 1,
             fleet: vec![
                 FleetGroup {
                     kind: CampaignKind::Deadline,
@@ -187,6 +194,7 @@ impl Scenario {
             server_workers: 8,
             server_queue_depth: 64,
             flood_connections: 64,
+            bulk: 1,
             fleet: vec![
                 FleetGroup {
                     kind: CampaignKind::Deadline,
@@ -222,6 +230,23 @@ impl Scenario {
         }
     }
 
+    /// The batched-serving CI profile: the `fast` fleet driven through
+    /// the bulk quote/observe plane — each worker's partition goes out
+    /// as `price_many`/`observe_many` batches of 8, which in socket
+    /// mode is one `POST /campaigns/quotes` round trip per chunk
+    /// instead of one HTTP exchange per campaign. More campaigns per
+    /// group (and one worker) so chunks actually fill.
+    pub fn bulk_fast() -> Self {
+        let mut scenario = Self::fast();
+        scenario.name = "bulk-fast".into();
+        scenario.concurrency = 1;
+        scenario.bulk = 8;
+        for group in &mut scenario.fleet {
+            group.count *= 4;
+        }
+        scenario
+    }
+
     /// The budget-drift profile: a budget-only fleet whose workers
     /// accept posted prices far less often than the trained logit model
     /// says, with arrivals on-model — so *only* the acceptance-drift
@@ -248,6 +273,7 @@ impl Scenario {
             server_workers: 4,
             server_queue_depth: 16,
             flood_connections: 32,
+            bulk: 1,
             fleet: vec![FleetGroup {
                 kind: CampaignKind::Budget,
                 count,
@@ -281,6 +307,12 @@ impl Scenario {
         }
         if self.intervals == 0 {
             return Err("intervals must be ≥ 1".into());
+        }
+        if self.bulk > 1024 {
+            return Err(format!(
+                "bulk must be ≤ 1024 (the server's batch item cap), got {}",
+                self.bulk
+            ));
         }
         if !(self.drift > 0.0 && self.drift.is_finite()) {
             return Err(format!("drift must be positive, got {}", self.drift));
@@ -361,6 +393,10 @@ mod tests {
     fn built_in_profiles_validate() {
         Scenario::fast().validate().unwrap();
         Scenario::standard().validate().unwrap();
+        Scenario::budget_drift(true).validate().unwrap();
+        let bulk = Scenario::bulk_fast();
+        bulk.validate().unwrap();
+        assert!(bulk.bulk > 1, "bulk profile must actually batch");
     }
 
     #[test]

@@ -15,8 +15,13 @@ fn fast_scenario_clears_gates_in_process() {
     assert!(outcome.requests > 0);
     assert!(outcome.recalibrations >= 1);
     assert_eq!(outcome.errors, 0);
-    // Latency quantiles exist for every op that ran.
+    // Latency quantiles exist for every op that ran; the bulk ops are
+    // the only ones a non-bulk profile legitimately leaves at zero.
     for (op, snapshot) in &outcome.latency {
+        if matches!(*op, "price_bulk" | "observe_bulk") {
+            assert_eq!(snapshot.count, 0, "bulk op {op} ran in a non-bulk profile");
+            continue;
+        }
         assert!(snapshot.count > 0, "op {op} never ran");
         assert!(snapshot.quantile(0.999).is_some());
     }
@@ -59,6 +64,48 @@ fn no_acceptance_drift_waives_the_budget_gate() {
     let outcome = ft_load::run_in_process(&scenario);
     let failures = report::evaluate_gates(&scenario, &outcome, None);
     assert!(failures.is_empty(), "gates failed: {failures:?}");
+}
+
+/// The batched serving plane end-to-end: the bulk-fast profile drives
+/// `price_many`/`observe_many` in both modes. In socket mode that is
+/// one `POST /campaigns/quotes` per chunk over a keep-alive
+/// connection, and the `/metrics` crosscheck must still reconcile —
+/// including `ft_core_quotes_total` against the items carried inside
+/// bulk round trips.
+#[test]
+fn bulk_fast_scenario_batches_and_reconciles() {
+    let scenario = Scenario::bulk_fast();
+    assert!(scenario.bulk > 1);
+
+    let outcome = ft_load::run_in_process(&scenario);
+    let failures = report::evaluate_gates(&scenario, &outcome, None);
+    assert!(failures.is_empty(), "gates failed: {failures:?}");
+    assert!(
+        outcome.bulk_quote_items > 0,
+        "no quotes rode the bulk plane"
+    );
+    assert!(outcome.bulk_observe_items > 0);
+
+    let (outcome, extras) = ft_load::run_socket(&scenario).expect("socket harness");
+    let failures = report::evaluate_gates(&scenario, &outcome, Some(&extras));
+    assert!(failures.is_empty(), "gates failed: {failures:?}");
+    assert!(outcome.bulk_quote_items > 0);
+    let crosscheck = extras.crosscheck.as_ref().expect("spawned-server runs");
+    assert!(
+        crosscheck.matched,
+        "bulk metrics crosscheck mismatched: {:?}",
+        crosscheck
+            .entries
+            .iter()
+            .map(|e| format!("{} {}≠{}", e.name, e.client, e.server))
+            .collect::<Vec<_>>()
+    );
+    // The report carries the item counters and the scenario's bulk
+    // width.
+    let document = report::render(&scenario, &[(outcome, Some(extras))]);
+    let json = serde_json::to_string(&document).expect("render");
+    assert!(json.contains("\"bulk_quote_items\""));
+    assert!(json.contains("\"bulk\""));
 }
 
 #[test]

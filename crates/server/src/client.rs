@@ -1,8 +1,18 @@
-//! A minimal blocking HTTP/1.1 client — one request per connection,
-//! just enough to probe the campaign API from tests, examples and smoke
-//! scripts without pulling in a real HTTP stack.
+//! A minimal blocking HTTP/1.1 client — just enough to drive the
+//! campaign API from tests, examples, benchmarks and smoke scripts
+//! without pulling in a real HTTP stack.
+//!
+//! Two flavours:
+//!
+//! - [`request`]: one-shot, `Connection: close` — a fresh TCP connect
+//!   per call. Simple and stateless; right for probes and floods.
+//! - [`Client`]: keep-alive — one persistent connection reused across
+//!   requests, reconnecting transparently when the server closed it
+//!   (idle timeout, shutdown, or a close-after response). This is what
+//!   `ft-load`'s socket backend drives, so socket benchmarks measure
+//!   the serving tier, not a TCP handshake per op.
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 
 /// Send one request and read the response: `(status, body)`.
@@ -13,12 +23,17 @@ pub fn request(
     body: Option<&str>,
 ) -> std::io::Result<(u16, String)> {
     let mut stream = TcpStream::connect(addr)?;
+    let _ = stream.set_nodelay(true);
     let body = body.unwrap_or("");
-    let written = write!(
-        stream,
+    // One buffer, one write: `write!` straight at a TcpStream issues a
+    // syscall per format fragment, and that write-write-read pattern
+    // collides with Nagle + delayed ACK (~40ms stalls on warm
+    // connections).
+    let request = format!(
         "{method} {path} HTTP/1.1\r\nHost: ft-client\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     );
+    let written = stream.write_all(request.as_bytes());
     // A server may answer-and-close before reading the whole request
     // (e.g. an over-capacity 503 from the acceptor): the write fails
     // with EPIPE but a complete response is still waiting to be read.
@@ -31,8 +46,21 @@ pub fn request(
         }
     }
     let mut reader = BufReader::new(stream);
+    read_response(&mut reader).map(|(status, body, _)| (status, body))
+}
+
+/// Read one HTTP response off `reader`: `(status, body, keep_alive)`.
+/// `keep_alive` reports whether the server intends to keep the
+/// connection open (`Connection: close` absent).
+fn read_response<R: BufRead>(reader: &mut R) -> std::io::Result<(u16, String, bool)> {
     let mut status_line = String::new();
     reader.read_line(&mut status_line)?;
+    if status_line.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "eof before status line",
+        ));
+    }
     let status: u16 = status_line
         .split_whitespace()
         .nth(1)
@@ -44,6 +72,7 @@ pub fn request(
             )
         })?;
     let mut content_length = 0usize;
+    let mut keep_alive = true;
     loop {
         let mut line = String::new();
         if reader.read_line(&mut line)? == 0 {
@@ -62,11 +91,116 @@ pub fn request(
                     std::io::Error::new(std::io::ErrorKind::InvalidData, "bad content-length")
                 })?;
             }
+            if name.eq_ignore_ascii_case("connection") && value.trim().eq_ignore_ascii_case("close")
+            {
+                keep_alive = false;
+            }
         }
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
     String::from_utf8(body)
-        .map(|body| (status, body))
+        .map(|body| (status, body, keep_alive))
         .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "body not UTF-8"))
+}
+
+/// A keep-alive HTTP/1.1 client: one persistent connection, lazily
+/// (re)connected. Not thread-safe — use one per driving thread (or a
+/// small checkout pool, like `ft-load`'s socket backend does).
+pub struct Client {
+    addr: SocketAddr,
+    stream: Option<BufReader<TcpStream>>,
+}
+
+impl Client {
+    /// No connection is opened until the first [`Client::request`].
+    pub fn new(addr: SocketAddr) -> Self {
+        Self { addr, stream: None }
+    }
+
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Send one request on the persistent connection and read the
+    /// response: `(status, body)`.
+    ///
+    /// If the server closed the connection since the last request
+    /// (keep-alive idle timeout, shutdown), the send fails mid-flight;
+    /// that one case retries once on a fresh connection — safe because
+    /// a request the server never finished reading was never routed.
+    /// Errors on a freshly opened connection are returned as-is.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<(u16, String)> {
+        let reused = self.stream.is_some();
+        match self.try_request(method, path, body) {
+            Err(e) if reused && retryable(&e) => {
+                self.stream = None;
+                self.try_request(method, path, body)
+            }
+            result => result,
+        }
+    }
+
+    fn try_request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<(u16, String)> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            let _ = stream.set_nodelay(true);
+            self.stream = Some(BufReader::new(stream));
+        }
+        let reader = self.stream.as_mut().expect("connected above");
+        let body = body.unwrap_or("");
+        // No `Connection: close`: HTTP/1.1 defaults to keep-alive. One
+        // buffer, one write — see [`request`] on Nagle stalls.
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: ft-client\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        let written = reader.get_mut().write_all(request.as_bytes());
+        // Same tolerance as the one-shot path: the server may have
+        // answered-and-closed (503) before reading the whole request;
+        // the response is still there to read.
+        if let Err(e) = written {
+            if !matches!(
+                e.kind(),
+                std::io::ErrorKind::BrokenPipe | std::io::ErrorKind::ConnectionReset
+            ) {
+                self.stream = None;
+                return Err(e);
+            }
+        }
+        match read_response(reader) {
+            Ok((status, body, keep_alive)) => {
+                if !keep_alive {
+                    self.stream = None;
+                }
+                Ok((status, body))
+            }
+            Err(e) => {
+                self.stream = None;
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Failures that mean "the server dropped the old connection", not
+/// "this request was rejected": safe to retry once on a reconnect.
+fn retryable(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::UnexpectedEof
+            | std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+    )
 }

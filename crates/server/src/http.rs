@@ -161,6 +161,109 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
     }))
 }
 
+/// Incremental request parse over a byte buffer (the reactor's input
+/// path — no blocking reads). Returns:
+///
+/// - `Ok(Some((request, consumed)))` — one complete request parsed
+///   from `buf[..consumed]`; the caller drains that prefix and calls
+///   again (pipelined requests parse back-to-back).
+/// - `Ok(None)` — the buffer holds only a prefix of a request; read
+///   more bytes and retry.
+/// - `Err(_)` — the bytes can never become a valid request (bad
+///   request line / content-length, or the same `MAX_HEADER_BYTES` /
+///   `MAX_BODY_BYTES` budgets [`read_request`] enforces).
+pub fn parse_request(buf: &[u8]) -> io::Result<Option<(Request, usize)>> {
+    // Find the first empty line: headers end there, body starts after.
+    let mut line_start = 0usize;
+    let mut body_start = None;
+    for (i, &b) in buf.iter().enumerate() {
+        if b != b'\n' {
+            continue;
+        }
+        let mut line = &buf[line_start..i];
+        if line.last() == Some(&b'\r') {
+            line = &line[..line.len() - 1];
+        }
+        if line.is_empty() {
+            body_start = Some(i + 1);
+            break;
+        }
+        line_start = i + 1;
+    }
+    let Some(body_start) = body_start else {
+        // Still inside the head: give up once it can no longer fit the
+        // header budget, otherwise wait for more bytes.
+        if buf.len() > MAX_HEADER_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "headers too large",
+            ));
+        }
+        return Ok(None);
+    };
+    if body_start > MAX_HEADER_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "headers too large",
+        ));
+    }
+
+    let head = std::str::from_utf8(&buf[..body_start])
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "headers not UTF-8"))?;
+    let mut lines = head.split('\n').map(|l| l.trim_end_matches('\r'));
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m.to_string(), t.to_string(), v.to_string()),
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad request line",
+            ))
+        }
+    };
+    let mut content_length = 0usize;
+    let mut keep_alive = version != "HTTP/1.0";
+    for header in lines {
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad content-length"))?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            keep_alive = !value.eq_ignore_ascii_case("close");
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "body too large"));
+    }
+    let Some(body_bytes) = buf.get(body_start..body_start + content_length) else {
+        return Ok(None); // body not fully buffered yet
+    };
+    let body = String::from_utf8(body_bytes.to_vec())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "body not UTF-8"))?;
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), parse_query(q)),
+        None => (target, Vec::new()),
+    };
+    Ok(Some((
+        Request {
+            method,
+            path,
+            query,
+            body,
+            keep_alive,
+        },
+        body_start + content_length,
+    )))
+}
+
 fn parse_query(q: &str) -> Vec<(String, String)> {
     q.split('&')
         .filter(|kv| !kv.is_empty())
@@ -289,6 +392,64 @@ mod tests {
         let mut reader =
             BufReader::new(std::io::Read::take(std::io::repeat(b'a'), 64 * 1024 * 1024));
         assert!(read_request(&mut reader).is_err());
+    }
+
+    #[test]
+    fn incremental_parse_waits_for_complete_requests() {
+        let raw = b"POST /campaigns/quotes HTTP/1.1\r\nContent-Length: 4\r\n\r\nbody";
+        // Every strict prefix is incomplete, never an error.
+        for cut in 0..raw.len() {
+            assert!(
+                parse_request(&raw[..cut]).expect("prefix parses").is_none(),
+                "prefix of {cut} bytes should be incomplete"
+            );
+        }
+        let (request, consumed) = parse_request(raw).unwrap().unwrap();
+        assert_eq!(consumed, raw.len());
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.path, "/campaigns/quotes");
+        assert_eq!(request.body, "body");
+        assert!(request.keep_alive);
+    }
+
+    #[test]
+    fn incremental_parse_walks_pipelined_requests() {
+        let raw =
+            b"GET /healthz HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let (first, consumed) = parse_request(raw).unwrap().unwrap();
+        assert_eq!(first.path, "/healthz");
+        assert!(first.keep_alive);
+        let (second, rest) = parse_request(&raw[consumed..]).unwrap().unwrap();
+        assert_eq!(second.path, "/metrics");
+        assert!(!second.keep_alive);
+        assert_eq!(consumed + rest, raw.len());
+    }
+
+    #[test]
+    fn incremental_parse_enforces_budgets() {
+        // Headroom exhausted with no terminator in sight: error, so the
+        // reactor can 400 a slowloris instead of buffering forever.
+        let endless = vec![b'a'; MAX_HEADER_BYTES + 1];
+        assert!(parse_request(&endless).is_err());
+        // Oversized declared body: error up front.
+        let huge = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", usize::MAX);
+        assert!(parse_request(huge.as_bytes()).is_err());
+        // Garbage request line: error once the head terminator arrives.
+        assert!(parse_request(b"nope\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn incremental_parse_matches_blocking_reader() {
+        let raw = "POST /campaigns/3/observations?note=a%20b&x=1 HTTP/1.1\r\n\
+                   Host: localhost\r\nContent-Length: 9\r\n\r\n{\"a\": 1}\n";
+        let blocking = parse(raw);
+        let (incremental, consumed) = parse_request(raw.as_bytes()).unwrap().unwrap();
+        assert_eq!(consumed, raw.len());
+        assert_eq!(incremental.method, blocking.method);
+        assert_eq!(incremental.path, blocking.path);
+        assert_eq!(incremental.query, blocking.query);
+        assert_eq!(incremental.body, blocking.body);
+        assert_eq!(incremental.keep_alive, blocking.keep_alive);
     }
 
     #[test]

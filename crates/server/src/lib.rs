@@ -3,13 +3,16 @@
 //! A std-only HTTP/1.1 JSON front-end for the campaign lifecycle
 //! registry ([`ft_core::registry::CampaignRegistry`]) — the network
 //! serving layer the ROADMAP's production north-star asks for. No
-//! third-party networking stack: `TcpListener` + a thread per
-//! connection, a hand-rolled request/response codec ([`http`]), and a
+//! third-party networking stack: a nonblocking `TcpListener` on a
+//! hand-rolled epoll event loop, an incremental
+//! request/response codec ([`http`]), and a
 //! router ([`router`]) that maps the REST surface onto the registry:
 //!
 //! ```text
 //! POST   /campaigns                    register a draft (JSON spec)
 //! GET    /campaigns?limit=..           fleet index (id, kind, status, generation)
+//! POST   /campaigns/quotes             bulk: N price quotes, one round trip
+//! POST   /campaigns/observations       bulk: N observations, one round trip
 //! POST   /campaigns/{id}/solve         solve → publish generation 1
 //! GET    /campaigns/{id}/price?...     quote from the live generation
 //! POST   /campaigns/{id}/observations  report completions → recalibrate
@@ -19,12 +22,18 @@
 //! GET    /metrics                      observability plane (JSON / Prometheus)
 //! ```
 //!
-//! Serving runs on a fixed acceptor pool: one accept loop feeding
-//! `ServerConfig::workers` handler threads through a bounded queue —
-//! connection floods are answered `503 server_busy` once the queue is
-//! full instead of growing the thread count. Every routed request is
-//! recorded into the shared `ft-metrics` plane (per-endpoint counts,
-//! latency histograms, status classes, connection accounting), which
+//! Serving runs on an **epoll reactor** (`reactor.rs`, over the raw
+//! bindings in `sys.rs`): one event-loop thread multiplexes every
+//! connection with nonblocking I/O, parses requests incrementally, and
+//! hands them through a bounded ready-queue to
+//! `ServerConfig::workers` handler threads — so handler execution
+//! stays off the event loop, idle keep-alive connections cost an fd
+//! instead of a thread, and a client may pipeline requests (responses
+//! return in order). When the ready-queue is full further requests
+//! are answered `503 server_busy` instead of growing the thread
+//! count. Every routed request is recorded into the shared
+//! `ft-metrics` plane (per-endpoint counts, latency histograms,
+//! status classes, connection accounting, ready-queue wait), which
 //! `GET /metrics` exports alongside the registry's own instruments.
 //!
 //! Structured [`ft_core::PricingError`]s map onto HTTP statuses
@@ -41,10 +50,13 @@
 
 pub mod client;
 pub mod http;
+mod reactor;
 pub mod router;
 pub mod server;
 pub mod state;
+mod sys;
 
+pub use client::Client;
 pub use router::{handle, status_for};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use state::{AppState, Endpoint};

@@ -1,0 +1,649 @@
+//! The epoll-driven serving tier: one event-loop thread multiplexing
+//! every connection, a bounded ready-queue of **parsed requests**, and
+//! the fixed worker pool executing handlers off the loop.
+//!
+//! ```text
+//!        epoll (edge-triggered conns, level-triggered listener)
+//!          │ readiness
+//!          ▼
+//!   reactor thread ── accept / read / parse ──► JobQueue (bounded)
+//!          ▲                                        │ pop
+//!          │ wake pipe + completions                ▼
+//!          └──────────────────────────────── worker threads
+//!                                             (router::handle)
+//! ```
+//!
+//! Per connection the reactor keeps a small state machine: an input
+//! buffer fed to [`crate::http::parse_request`], a sequence counter
+//! for pipelined requests, the set of finished-but-unwritten
+//! responses, and one in-progress write buffer. Responses are
+//! serialized strictly in request order, so a keep-alive client may
+//! pipeline any number of requests and still read its answers in
+//! order.
+//!
+//! Overload and failure semantics match the old blocking pool exactly:
+//! a parsed request that finds the ready-queue full is answered `503
+//! server_busy` (in order!) and the connection closes after the flush;
+//! malformed bytes get a `400` and a close; a connection idle past its
+//! deadline (generous before the first request, short between
+//! keep-alive requests) is dropped without an answer; shutdown stops
+//! accepting, answers everything already parsed, closes idle
+//! keep-alive connections immediately, and force-drops stragglers
+//! after a short grace.
+
+use crate::http::{parse_request, write_response, Request, Response};
+use crate::router;
+use crate::server::ServerConfig;
+use crate::state::AppState;
+use crate::sys::{Epoll, EpollEvent, EPOLLERR, EPOLLET, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+const LISTENER_TOKEN: u64 = 0;
+const WAKE_TOKEN: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// How many epoll events one wait may deliver.
+const EVENT_BATCH: usize = 256;
+
+/// Per-read scratch size; reads loop until `WouldBlock` regardless.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// After shutdown, connections that still cannot flush (a peer that
+/// stopped reading, a handler still running) are force-dropped past
+/// this grace so `serve()` returns promptly.
+const DRAIN_GRACE: Duration = Duration::from_secs(5);
+
+/// One parsed request on its way to a worker.
+struct Job {
+    token: u64,
+    seq: u64,
+    request: Request,
+    queued_at: Instant,
+}
+
+/// One finished response on its way back to the reactor.
+struct Completion {
+    token: u64,
+    seq: u64,
+    response: Response,
+    keep_alive: bool,
+}
+
+/// The bounded ready-queue between the reactor and the worker pool —
+/// the same Mutex+Condvar shape the old connection queue had, but
+/// holding parsed requests instead of raw sockets.
+struct JobQueue {
+    inner: Mutex<JobsInner>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+struct JobsInner {
+    queue: std::collections::VecDeque<Job>,
+    closed: bool,
+}
+
+impl JobQueue {
+    fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(JobsInner {
+                queue: std::collections::VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueue unless full or closed; hands the job back on rejection
+    /// so the reactor can answer 503 at the job's sequence slot.
+    #[allow(clippy::result_large_err)] // rejection must return the whole job
+    fn try_push(&self, job: Job) -> Result<(), Job> {
+        let mut inner = self.inner.lock().expect("job queue poisoned");
+        if inner.closed || inner.queue.len() >= self.capacity {
+            return Err(job);
+        }
+        inner.queue.push_back(job);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking pop; `None` only after `close()` *and* the queue has
+    /// drained — already-parsed requests are answered, not dropped.
+    fn pop(&self) -> Option<Job> {
+        let mut inner = self.inner.lock().expect("job queue poisoned");
+        loop {
+            if let Some(job) = inner.queue.pop_front() {
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("job queue poisoned");
+        }
+    }
+
+    fn close(&self) {
+        self.inner.lock().expect("job queue poisoned").closed = true;
+        self.not_empty.notify_all();
+    }
+}
+
+/// A response waiting its turn in the connection's write order.
+struct Outbound {
+    response: Response,
+    keep_alive: bool,
+}
+
+/// Per-connection state machine.
+struct Conn {
+    stream: TcpStream,
+    /// Unparsed input bytes (already-consumed prefixes are drained).
+    buf: Vec<u8>,
+    /// Next sequence number to assign to a parsed request.
+    next_seq: u64,
+    /// Next sequence number to serialize into the write buffer.
+    write_seq: u64,
+    /// Finished responses waiting for their turn (sparse, tiny).
+    pending: Vec<(u64, Outbound)>,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// Idle deadline; `None` while requests are in flight.
+    deadline: Option<Instant>,
+    /// At least one response fully flushed (switches the idle deadline
+    /// from the generous first-request timeout to the short keep-alive
+    /// one).
+    served_any: bool,
+    /// No further requests will be parsed (Connection: close seen, an
+    /// overflow/malformed answer queued, or shutdown).
+    closing: bool,
+    /// Close as soon as the write buffer drains.
+    close_after_flush: bool,
+    /// Peer sent EOF / RDHUP; drop once nothing is left to write.
+    read_closed: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, deadline: Instant) -> Self {
+        Self {
+            stream,
+            buf: Vec::new(),
+            next_seq: 0,
+            write_seq: 0,
+            pending: Vec::new(),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            deadline: Some(deadline),
+            served_any: false,
+            closing: false,
+            close_after_flush: false,
+            read_closed: false,
+        }
+    }
+
+    /// No request awaiting a handler or a write.
+    fn idle(&self) -> bool {
+        self.next_seq == self.write_seq && self.write_pos >= self.write_buf.len()
+    }
+}
+
+fn busy_response() -> Response {
+    Response::json(
+        503,
+        "{\"error\":\"server_busy\",\"message\":\"request queue full, retry\"}".to_string(),
+    )
+}
+
+fn malformed_response() -> Response {
+    Response::json(
+        400,
+        "{\"error\":\"bad_request\",\"message\":\"malformed HTTP request\"}".to_string(),
+    )
+}
+
+/// Answer an over-capacity connection with a quick 503 and close it.
+/// The accepted socket is still blocking here; bound the write so a
+/// client that won't read can't stall the event loop.
+fn reject_busy(stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+    let mut writer = std::io::BufWriter::new(stream);
+    let _ = write_response(&mut writer, &busy_response(), false);
+}
+
+/// What to do with a connection after an I/O step.
+#[derive(PartialEq)]
+enum Verdict {
+    Keep,
+    Drop,
+}
+
+/// Run the serving loop until shutdown. The calling thread becomes the
+/// reactor; `config.workers` handler threads are spawned scoped inside
+/// (total thread count: `1 + workers`, exactly like the old acceptor
+/// pool).
+pub(crate) fn run(
+    listener: TcpListener,
+    state: Arc<AppState>,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+) {
+    let epoll = Epoll::new().expect("epoll_create1");
+    listener
+        .set_nonblocking(true)
+        .expect("nonblocking listener");
+    epoll
+        .add(listener.as_raw_fd(), LISTENER_TOKEN, EPOLLIN)
+        .expect("register listener");
+
+    let (wake_rx, wake_tx) = UnixStream::pair().expect("wake pipe");
+    wake_rx.set_nonblocking(true).expect("nonblocking wake");
+    wake_tx.set_nonblocking(true).expect("nonblocking wake");
+    epoll
+        .add(wake_rx.as_raw_fd(), WAKE_TOKEN, EPOLLIN)
+        .expect("register wake pipe");
+    let wake_tx = Arc::new(wake_tx);
+
+    let jobs = JobQueue::new(config.queue_depth);
+    let completions: Arc<Mutex<Vec<Completion>>> = Arc::new(Mutex::new(Vec::new()));
+    let workers = config.workers.max(1);
+
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let jobs = &jobs;
+            let state = &state;
+            let completions = Arc::clone(&completions);
+            let wake = Arc::clone(&wake_tx);
+            let closing = &*shutdown;
+            s.spawn(move || {
+                while let Some(job) = jobs.pop() {
+                    state
+                        .telemetry
+                        .queue_wait
+                        .record_duration(job.queued_at.elapsed());
+                    let response = router::handle(state, &job.request);
+                    // During shutdown, answer the request in hand but
+                    // decline the keep-alive so the connection closes.
+                    let keep_alive = job.request.keep_alive && !closing.load(Ordering::Acquire);
+                    completions
+                        .lock()
+                        .expect("completions poisoned")
+                        .push(Completion {
+                            token: job.token,
+                            seq: job.seq,
+                            response,
+                            keep_alive,
+                        });
+                    // Nonblocking one-byte poke; a full pipe already
+                    // guarantees a pending wakeup.
+                    let _ = (&*wake).write(&[1]);
+                }
+            });
+        }
+
+        let mut reactor = Reactor {
+            epoll: &epoll,
+            listener: &listener,
+            state: &state,
+            config: &config,
+            jobs: &jobs,
+            conns: HashMap::new(),
+            next_token: FIRST_CONN_TOKEN,
+            draining: false,
+        };
+        let mut events = [EpollEvent::zeroed(); EVENT_BATCH];
+
+        loop {
+            let timeout = reactor.wait_timeout();
+            let n = epoll.wait(&mut events, timeout).unwrap_or_default();
+            let now = Instant::now();
+
+            if shutdown.load(Ordering::Acquire) && !reactor.draining {
+                reactor.begin_drain(now);
+                jobs.close();
+            }
+
+            for event in &events[..n] {
+                let (readiness, token) = event.readiness();
+                match token {
+                    LISTENER_TOKEN => reactor.accept_ready(now),
+                    WAKE_TOKEN => {
+                        let mut sink = [0u8; 64];
+                        while matches!((&wake_rx).read(&mut sink), Ok(n) if n > 0) {}
+                    }
+                    token => reactor.conn_ready(token, readiness, now),
+                }
+            }
+
+            let finished = std::mem::take(&mut *completions.lock().expect("completions poisoned"));
+            for completion in finished {
+                reactor.complete(completion, now);
+            }
+
+            reactor.expire(now);
+
+            if reactor.draining && reactor.conns.is_empty() {
+                break;
+            }
+        }
+    });
+}
+
+struct Reactor<'a> {
+    epoll: &'a Epoll,
+    listener: &'a TcpListener,
+    state: &'a AppState,
+    config: &'a ServerConfig,
+    jobs: &'a JobQueue,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    draining: bool,
+}
+
+impl Reactor<'_> {
+    /// Sleep until the nearest idle deadline (the shutdown poke and the
+    /// worker wake pipe interrupt an indefinite wait).
+    fn wait_timeout(&self) -> Option<Duration> {
+        let nearest = self.conns.values().filter_map(|c| c.deadline).min()?;
+        Some(nearest.saturating_duration_since(Instant::now()))
+    }
+
+    /// Shutdown observed: stop accepting, close idle connections now,
+    /// and give the rest a short grace to flush in-flight responses.
+    fn begin_drain(&mut self, now: Instant) {
+        self.draining = true;
+        let _ = self.epoll.delete(self.listener.as_raw_fd());
+        let grace = now + DRAIN_GRACE;
+        let mut gone = Vec::new();
+        for (&token, conn) in self.conns.iter_mut() {
+            conn.closing = true;
+            if conn.idle() {
+                gone.push(token);
+            } else {
+                conn.deadline = Some(grace);
+            }
+        }
+        for token in gone {
+            self.drop_conn(token);
+        }
+    }
+
+    fn accept_ready(&mut self, now: Instant) {
+        if self.draining {
+            return;
+        }
+        loop {
+            let stream = match self.listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => {
+                    // Transient accept errors (EMFILE under floods,
+                    // ECONNABORTED) must not busy-spin the loop.
+                    std::thread::sleep(Duration::from_millis(20));
+                    break;
+                }
+            };
+            self.state.telemetry.connections_accepted.inc();
+            if self.conns.len() >= self.config.max_connections {
+                self.state.telemetry.connections_rejected.inc();
+                reject_busy(stream);
+                continue;
+            }
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            // Small request/response exchanges on warm keep-alive
+            // connections stall ~40ms under Nagle + delayed ACK;
+            // latency matters more than segment coalescing here.
+            let _ = stream.set_nodelay(true);
+            let token = self.next_token;
+            self.next_token += 1;
+            if self
+                .epoll
+                .add(
+                    stream.as_raw_fd(),
+                    token,
+                    EPOLLIN | EPOLLOUT | EPOLLET | EPOLLRDHUP,
+                )
+                .is_err()
+            {
+                continue;
+            }
+            self.state.telemetry.connections_active.inc();
+            self.conns.insert(
+                token,
+                Conn::new(stream, now + self.config.first_request_timeout),
+            );
+            // Edge-triggered: bytes that raced the registration may
+            // never re-edge; drain once immediately.
+            self.conn_ready(token, EPOLLIN, now);
+        }
+    }
+
+    fn conn_ready(&mut self, token: u64, readiness: u32, now: Instant) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if readiness & (EPOLLERR | EPOLLHUP) != 0 {
+            self.drop_conn(token);
+            return;
+        }
+        if readiness & (EPOLLIN | EPOLLRDHUP) != 0
+            && Self::read_and_parse(conn, token, self.jobs, self.state, self.config, now)
+                == Verdict::Drop
+        {
+            self.drop_conn(token);
+            return;
+        }
+        if readiness & EPOLLOUT != 0 {
+            self.after_write(token, now);
+        }
+    }
+
+    /// Drain the socket, feed the parser, dispatch parsed requests.
+    fn read_and_parse(
+        conn: &mut Conn,
+        token: u64,
+        jobs: &JobQueue,
+        state: &AppState,
+        config: &ServerConfig,
+        now: Instant,
+    ) -> Verdict {
+        if !conn.closing {
+            let mut scratch = [0u8; READ_CHUNK];
+            loop {
+                match (&conn.stream).read(&mut scratch) {
+                    Ok(0) => {
+                        conn.read_closed = true;
+                        break;
+                    }
+                    Ok(n) => conn.buf.extend_from_slice(&scratch[..n]),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => return Verdict::Drop,
+                }
+            }
+            while !conn.closing {
+                match parse_request(&conn.buf) {
+                    Ok(Some((request, consumed))) => {
+                        conn.buf.drain(..consumed);
+                        let seq = conn.next_seq;
+                        conn.next_seq += 1;
+                        if !request.keep_alive {
+                            conn.closing = true;
+                        }
+                        let job = Job {
+                            token,
+                            seq,
+                            request,
+                            queued_at: now,
+                        };
+                        if let Err(job) = jobs.try_push(job) {
+                            // Ready-queue full: the bounded-in-flight
+                            // contract answers 503 at this request's
+                            // slot and closes the connection after the
+                            // in-order flush.
+                            state.telemetry.connections_rejected.inc();
+                            conn.pending.push((
+                                job.seq,
+                                Outbound {
+                                    response: busy_response(),
+                                    keep_alive: false,
+                                },
+                            ));
+                            conn.closing = true;
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(_) => {
+                        let seq = conn.next_seq;
+                        conn.next_seq += 1;
+                        conn.pending.push((
+                            seq,
+                            Outbound {
+                                response: malformed_response(),
+                                keep_alive: false,
+                            },
+                        ));
+                        conn.closing = true;
+                    }
+                }
+            }
+        }
+        // Peer half-closed with nothing left to answer: done.
+        if conn.read_closed && conn.idle() && conn.pending.is_empty() {
+            return Verdict::Drop;
+        }
+        // Deadline bookkeeping: suspended while requests are in
+        // flight, refreshed whenever bytes arrive on an idle
+        // connection (a slow sender gets a full window per burst, the
+        // same allowance the blocking tier's per-read timeout gave).
+        if conn.idle() && conn.pending.is_empty() {
+            conn.deadline = Some(
+                now + if conn.served_any {
+                    config.keep_alive_timeout
+                } else {
+                    config.first_request_timeout
+                },
+            );
+        } else {
+            conn.deadline = None;
+        }
+        Self::flush(conn);
+        Verdict::Keep
+    }
+
+    /// A worker finished `completion`: slot it into its connection's
+    /// write order and flush whatever became contiguous.
+    fn complete(&mut self, completion: Completion, now: Instant) {
+        let Some(conn) = self.conns.get_mut(&completion.token) else {
+            return; // connection already dropped (timeout, error, drain)
+        };
+        conn.pending.push((
+            completion.seq,
+            Outbound {
+                response: completion.response,
+                keep_alive: completion.keep_alive,
+            },
+        ));
+        self.after_write(completion.token, now);
+    }
+
+    /// Serialize + write as much as the socket takes, then apply the
+    /// connection's post-write fate (close, or re-arm the idle
+    /// deadline).
+    fn after_write(&mut self, token: u64, now: Instant) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if Self::flush(conn) == Verdict::Drop {
+            self.drop_conn(token);
+            return;
+        }
+        let conn = self.conns.get_mut(&token).expect("conn still present");
+        if conn.write_pos >= conn.write_buf.len() {
+            if conn.close_after_flush || (conn.idle() && (conn.closing || conn.read_closed)) {
+                self.drop_conn(token);
+                return;
+            }
+            // Only a connection that actually had a response flushed
+            // graduates to the keep-alive deadline: fresh sockets get a
+            // spurious EPOLLOUT (writable on arrival) that lands here
+            // with nothing ever served, and those must keep their
+            // first-request deadline.
+            if conn.idle() && conn.write_seq > 0 {
+                conn.served_any = true;
+                conn.deadline = Some(now + self.config.keep_alive_timeout);
+            }
+        }
+    }
+
+    /// The write pump: alternate between pushing the current buffer
+    /// into the socket and serializing the next in-order response.
+    fn flush(conn: &mut Conn) -> Verdict {
+        loop {
+            if conn.write_pos < conn.write_buf.len() {
+                match (&conn.stream).write(&conn.write_buf[conn.write_pos..]) {
+                    Ok(0) => return Verdict::Drop,
+                    Ok(n) => conn.write_pos += n,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Verdict::Keep,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => return Verdict::Drop,
+                }
+            } else {
+                conn.write_buf.clear();
+                conn.write_pos = 0;
+                if conn.close_after_flush {
+                    return Verdict::Keep; // after_write drops it
+                }
+                let Some(i) = conn
+                    .pending
+                    .iter()
+                    .position(|(seq, _)| *seq == conn.write_seq)
+                else {
+                    return Verdict::Keep;
+                };
+                let (_, outbound) = conn.pending.swap_remove(i);
+                write_response(&mut conn.write_buf, &outbound.response, outbound.keep_alive)
+                    .expect("serialize into Vec");
+                conn.write_seq += 1;
+                if !outbound.keep_alive {
+                    conn.closing = true;
+                    conn.close_after_flush = true;
+                }
+                // A flushed response whose generation marked the
+                // connection as served switches future idle windows to
+                // the short keep-alive deadline (handled in
+                // after_write once the bytes are out).
+            }
+        }
+    }
+
+    /// Drop connections idle past their deadline (and, while draining,
+    /// stragglers past the grace) without an answer.
+    fn expire(&mut self, now: Instant) {
+        let expired: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, conn)| conn.deadline.is_some_and(|d| d <= now))
+            .map(|(&token, _)| token)
+            .collect();
+        for token in expired {
+            self.drop_conn(token);
+        }
+    }
+
+    fn drop_conn(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            let _ = self.epoll.delete(conn.stream.as_raw_fd());
+            self.state.telemetry.connections_active.dec();
+        }
+    }
+}

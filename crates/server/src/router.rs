@@ -6,6 +6,8 @@
 //! | `GET /metrics` | observability plane (JSON; `?format=prometheus` for text) |
 //! | `GET /campaigns?limit=..&offset=..` | fleet index (id, kind, status, generation), paginated |
 //! | `POST /campaigns` | register a draft campaign (JSON spec body) |
+//! | `POST /campaigns/quotes` | bulk: quote N observed states in one round trip |
+//! | `POST /campaigns/observations` | bulk: report N observations in one round trip |
 //! | `POST /campaigns/{id}/solve` | solve the draft, publish generation 1 |
 //! | `GET /campaigns/{id}/price?remaining=..&interval=..` | quote a deadline campaign |
 //! | `GET /campaigns/{id}/price?remaining=..&budget_cents=..` | quote a budget campaign |
@@ -67,16 +69,19 @@ fn error_response(status: u16, kind: &str, message: &str) -> Response {
     )
 }
 
-fn pricing_error(error: &PricingError) -> Response {
-    let kind = match error {
+fn error_kind(error: &PricingError) -> &'static str {
+    match error {
         PricingError::Infeasible(_) => "infeasible",
         PricingError::SearchFailed(_) => "search_failed",
         PricingError::InvalidProblem(_) => "invalid_problem",
         PricingError::UnknownCampaign(_) => "unknown_campaign",
         PricingError::StateKindMismatch { .. } => "state_kind_mismatch",
         PricingError::NotServable { .. } => "not_servable",
-    };
-    error_response(status_for(error), kind, &error.to_string())
+    }
+}
+
+fn pricing_error(error: &PricingError) -> Response {
+    error_response(status_for(error), error_kind(error), &error.to_string())
 }
 
 fn bad_request(message: &str) -> Response {
@@ -117,6 +122,8 @@ fn dispatch(state: &AppState, endpoint: Endpoint, request: &Request) -> Response
         Endpoint::CampaignSolve => with_id(request, |id| solve(registry, id)),
         Endpoint::CampaignPrice => with_id(request, |id| price(registry, id, request)),
         Endpoint::CampaignObserve => with_id(request, |id| observe(registry, id, request)),
+        Endpoint::CampaignsQuotes => campaigns_quotes(registry, request),
+        Endpoint::CampaignsObserve => campaigns_observe(registry, request),
         Endpoint::Other => fallback(request),
     }
 }
@@ -353,71 +360,252 @@ fn observe(registry: &CampaignRegistry, id: CampaignId, request: &Request) -> Re
     let Some(fields) = body.as_map() else {
         return bad_request("observation must be a JSON object");
     };
+    match parse_observation(fields) {
+        Ok(observation) => match registry.observe(id, observation) {
+            Ok(outcome) => ok(outcome_value(id, &outcome)),
+            Err(e) => pricing_error(&e),
+        },
+        Err(r) => r(""),
+    }
+}
+
+/// The wire form of an [`ft_core::registry::ObserveOutcome`].
+fn outcome_value(id: CampaignId, outcome: &ft_core::registry::ObserveOutcome) -> Value {
+    map(vec![
+        ("id", Value::Num(id as f64)),
+        ("status", Value::Str(outcome.status.as_str().into())),
+        ("generation", Value::Num(outcome.generation as f64)),
+        ("correction", Value::Num(outcome.correction)),
+        ("recalibrated", Value::Bool(outcome.recalibrated)),
+        ("remaining", Value::Num(f64::from(outcome.remaining))),
+    ])
+}
+
+/// Parse one observation object (the single-campaign body, minus the
+/// path id). Shared by `POST /campaigns/{id}/observations` and the
+/// bulk `POST /campaigns/observations`; the error arm is a deferred
+/// 400 builder so bulk callers can prefix the failing item's index.
+#[allow(clippy::type_complexity)]
+fn parse_observation(
+    fields: &[(String, Value)],
+) -> Result<CampaignObservation, Box<dyn Fn(&str) -> Response>> {
+    fn fail(message: String) -> Box<dyn Fn(&str) -> Response> {
+        Box::new(move |at| bad_request(&format!("{at}{message}")))
+    }
     let Ok(completions) = map_get(fields, "completions").and_then(u64::from_value) else {
-        return bad_request("missing or invalid `completions`");
+        return Err(fail("missing or invalid `completions`".into()));
     };
-    let observation = match (map_get(fields, "interval"), map_get(fields, "spent_cents")) {
+    match (map_get(fields, "interval"), map_get(fields, "spent_cents")) {
         (Ok(interval), Err(_)) => {
             let Ok(interval) = usize::from_value(interval) else {
-                return bad_request("invalid `interval`");
+                return Err(fail("invalid `interval`".into()));
             };
             let posted = match map_get(fields, "posted_cents") {
                 Ok(v) => match Option::<f64>::from_value(v) {
                     Ok(p) => p,
-                    Err(e) => return bad_request(&format!("bad posted_cents: {e}")),
+                    Err(e) => return Err(fail(format!("bad posted_cents: {e}"))),
                 },
                 Err(_) => None,
             };
-            CampaignObservation::Deadline {
+            Ok(CampaignObservation::Deadline {
                 interval,
                 completions,
                 posted,
-            }
+            })
         }
         (Err(_), Ok(spent)) => {
             let Ok(spent_cents) = usize::from_value(spent) else {
-                return bad_request("invalid `spent_cents`");
+                return Err(fail("invalid `spent_cents`".into()));
             };
             // Optional exposure fields feeding the acceptance-drift
             // recalibrator: how many workers saw the posted price.
             let posted = match map_get(fields, "posted_cents") {
                 Ok(v) => match Option::<f64>::from_value(v) {
                     Ok(p) => p,
-                    Err(e) => return bad_request(&format!("bad posted_cents: {e}")),
+                    Err(e) => return Err(fail(format!("bad posted_cents: {e}"))),
                 },
                 Err(_) => None,
             };
             let offers = match map_get(fields, "offers") {
                 Ok(v) => match Option::<u64>::from_value(v) {
                     Ok(o) => o,
-                    Err(e) => return bad_request(&format!("bad offers: {e}")),
+                    Err(e) => return Err(fail(format!("bad offers: {e}"))),
                 },
                 Err(_) => None,
             };
-            CampaignObservation::Budget {
+            Ok(CampaignObservation::Budget {
                 completions,
                 spent_cents,
                 posted,
                 offers,
-            }
+            })
         }
-        _ => {
-            return bad_request(
-                "pass exactly one of `interval` (deadline) or `spent_cents` (budget)",
-            )
-        }
-    };
-    match registry.observe(id, observation) {
-        Ok(outcome) => ok(map(vec![
-            ("id", Value::Num(id as f64)),
-            ("status", Value::Str(outcome.status.as_str().into())),
-            ("generation", Value::Num(outcome.generation as f64)),
-            ("correction", Value::Num(outcome.correction)),
-            ("recalibrated", Value::Bool(outcome.recalibrated)),
-            ("remaining", Value::Num(f64::from(outcome.remaining))),
-        ])),
-        Err(e) => pricing_error(&e),
+        _ => Err(fail(
+            "pass exactly one of `interval` (deadline) or `spent_cents` (budget)".into(),
+        )),
     }
+}
+
+/// How many items one bulk request may carry. Far above any sane
+/// batch, low enough that a single request can't monopolise a worker
+/// for seconds or balloon the response buffer.
+const MAX_BULK_ITEMS: usize = 1024;
+
+/// Pull the `items` array out of a bulk body, enforcing shape + cap.
+fn bulk_items<'v>(body: &'v Value, key: &str) -> Result<&'v [Value], Response> {
+    let Some(fields) = body.as_map() else {
+        return Err(bad_request("bulk request must be a JSON object"));
+    };
+    let Ok(items) = map_get(fields, key) else {
+        return Err(bad_request(&format!("missing `{key}` array")));
+    };
+    let Some(items) = items.as_seq() else {
+        return Err(bad_request(&format!("`{key}` must be an array")));
+    };
+    if items.len() > MAX_BULK_ITEMS {
+        return Err(bad_request(&format!(
+            "`{key}` has {} items (max {MAX_BULK_ITEMS})",
+            items.len()
+        )));
+    }
+    Ok(items)
+}
+
+/// The `id` field every bulk item carries.
+fn bulk_item_id(fields: &[(String, Value)], index: usize) -> Result<CampaignId, Response> {
+    match map_get(fields, "id").and_then(CampaignId::from_value) {
+        Ok(id) => Ok(id),
+        Err(_) => Err(bad_request(&format!(
+            "item {index}: missing or invalid `id`"
+        ))),
+    }
+}
+
+/// A per-item pricing failure, reported inline in a bulk response so
+/// one bad item doesn't fail its siblings.
+fn bulk_error_value(id: CampaignId, error: &PricingError) -> Value {
+    let kind = error_kind(error);
+    map(vec![
+        ("id", Value::Num(id as f64)),
+        ("error", Value::Str(kind.into())),
+        ("message", Value::Str(error.to_string())),
+        ("status", Value::Num(f64::from(status_for(error)))),
+    ])
+}
+
+/// `POST /campaigns/quotes` — body `{"quotes": [{"id": .., "remaining":
+/// .., "interval": ..|"budget_cents": ..}, ...]}`: N price quotes in
+/// one round trip, answered by [`CampaignRegistry::quote_many`] (one
+/// handle resolution per unique id). Malformed item *structure* fails
+/// the whole request with a 400 naming the item; per-item *pricing*
+/// errors come back inline so one exhausted campaign doesn't fail the
+/// batch.
+fn campaigns_quotes(registry: &CampaignRegistry, request: &Request) -> Response {
+    let body = match parse_body(request) {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    let items = match bulk_items(&body, "quotes") {
+        Ok(items) => items,
+        Err(r) => return r,
+    };
+    let mut batch: Vec<(CampaignId, ObservedState)> = Vec::with_capacity(items.len());
+    for (index, item) in items.iter().enumerate() {
+        let Some(fields) = item.as_map() else {
+            return bad_request(&format!("item {index}: must be a JSON object"));
+        };
+        let id = match bulk_item_id(fields, index) {
+            Ok(id) => id,
+            Err(r) => return r,
+        };
+        let Ok(remaining) = map_get(fields, "remaining").and_then(u32::from_value) else {
+            return bad_request(&format!("item {index}: missing or invalid `remaining`"));
+        };
+        let state = match (map_get(fields, "interval"), map_get(fields, "budget_cents")) {
+            (Ok(interval), Err(_)) => match usize::from_value(interval) {
+                Ok(interval) => ObservedState::Deadline {
+                    remaining,
+                    interval,
+                },
+                Err(_) => return bad_request(&format!("item {index}: invalid `interval`")),
+            },
+            (Err(_), Ok(cents)) => match usize::from_value(cents) {
+                Ok(budget_cents) => ObservedState::Budget {
+                    remaining,
+                    budget_cents,
+                },
+                Err(_) => return bad_request(&format!("item {index}: invalid `budget_cents`")),
+            },
+            _ => {
+                return bad_request(&format!(
+                    "item {index}: pass exactly one of `interval` (deadline) or \
+                     `budget_cents` (budget)"
+                ))
+            }
+        };
+        batch.push((id, state));
+    }
+    let results: Vec<Value> = registry
+        .quote_many(&batch)
+        .into_iter()
+        .zip(&batch)
+        .map(|(result, &(id, _))| match result {
+            Ok(quote) => map(vec![
+                ("id", Value::Num(id as f64)),
+                ("price", Value::Num(quote.price)),
+                ("generation", Value::Num(quote.generation as f64)),
+            ]),
+            Err(e) => bulk_error_value(id, &e),
+        })
+        .collect();
+    ok(map(vec![
+        ("count", Value::Num(results.len() as f64)),
+        ("results", Value::Seq(results)),
+    ]))
+}
+
+/// `POST /campaigns/observations` — body `{"observations": [{"id": ..,
+/// ...single-observation fields...}, ...]}`: N observation reports in
+/// one round trip via [`CampaignRegistry::observe_many`]. Same error
+/// split as the bulk quote endpoint: structural problems are a
+/// request-level 400 naming the item, pricing errors answer inline.
+fn campaigns_observe(registry: &CampaignRegistry, request: &Request) -> Response {
+    let body = match parse_body(request) {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    let items = match bulk_items(&body, "observations") {
+        Ok(items) => items,
+        Err(r) => return r,
+    };
+    let mut batch: Vec<(CampaignId, CampaignObservation)> = Vec::with_capacity(items.len());
+    for (index, item) in items.iter().enumerate() {
+        let Some(fields) = item.as_map() else {
+            return bad_request(&format!("item {index}: must be a JSON object"));
+        };
+        let id = match bulk_item_id(fields, index) {
+            Ok(id) => id,
+            Err(r) => return r,
+        };
+        match parse_observation(fields) {
+            Ok(observation) => batch.push((id, observation)),
+            Err(r) => return r(&format!("item {index}: ")),
+        }
+    }
+    let ids: Vec<CampaignId> = batch.iter().map(|&(id, _)| id).collect();
+    let results: Vec<Value> = registry
+        .observe_many(batch)
+        .into_iter()
+        .zip(ids)
+        .map(|(result, id)| match result {
+            Ok(outcome) => outcome_value(id, &outcome),
+            Err(e) => bulk_error_value(id, &e),
+        })
+        .collect();
+    ok(map(vec![
+        ("count", Value::Num(results.len() as f64)),
+        ("results", Value::Seq(results)),
+    ]))
 }
 
 fn report(registry: &CampaignRegistry, id: CampaignId) -> Response {

@@ -1,51 +1,39 @@
-//! The TCP front: one acceptor feeding a **fixed pool** of handler
-//! threads through a **bounded connection queue** (std only — no async
-//! runtime is available offline).
+//! The TCP front: a single **epoll reactor** thread multiplexing every
+//! connection, feeding a fixed pool of handler threads through a
+//! bounded ready-queue of parsed requests (std only — no async runtime
+//! is available offline; see `reactor.rs` for the event loop and
+//! `sys.rs` for the raw epoll bindings).
 //!
-//! The previous design spawned a thread per connection, so a
-//! connection flood meant an unbounded thread count. Now the thread
-//! count is `1 + workers`, period: the acceptor enqueues sockets, the
-//! pool drains them, and when the queue is full new connections are
-//! answered `503 server_busy` and closed — the flood gets a clean,
-//! cheap rejection instead of an OOM. `ft-load`'s flood phase and
-//! `tests/pool.rs` exercise exactly this.
+//! Two designs preceded this one. Thread-per-connection meant a
+//! connection flood grew the thread count without bound. The blocking
+//! acceptor pool that replaced it fixed the thread count at
+//! `1 + workers` but couldn't multiplex idle sockets: an idle
+//! keep-alive client pinned a worker between requests, so keep-alive
+//! idle windows had to stay short and every parked worker was capacity
+//! lost. The reactor keeps the same thread count — one event-loop
+//! thread plus `workers` handlers — while idle connections cost a
+//! registered fd, not a thread, and a keep-alive client may pipeline
+//! requests (responses come back in order).
 //!
-//! **Keep-alive tradeoff**: a blocking pool can't multiplex idle
-//! sockets, so a connection holds its worker between requests. The
-//! first request on a connection gets `IDLE_READ_TIMEOUT` (slow
-//! clients), but *subsequent* keep-alive waits get only
-//! `KEEP_ALIVE_IDLE_TIMEOUT` — an idle keep-alive client can pin a
-//! worker for at most that long before the connection is closed and
-//! the worker returns to the queue. Queued connections therefore wait
-//! at most a few seconds behind idle keep-alives, never the full 30 s.
-//!
-//! Connection accounting flows into the shared metrics plane
+//! The overload contract is unchanged: in-flight requests are bounded
+//! by `workers + queue_depth`, and a request that finds the
+//! ready-queue full is answered `503 server_busy`. `ft-load`'s flood
+//! phase and `tests/pool.rs` exercise exactly this. Connection
+//! accounting flows into the shared metrics plane
 //! (`ft_server_connections_{accepted,rejected}_total`,
-//! `ft_server_connections_active`).
+//! `ft_server_connections_active`), and the queue hand-off latency is
+//! measured as `ft_server_queue_wait_ns`.
 
-use crate::http::{read_request, write_response, Response};
-use crate::router;
+use crate::reactor;
 use crate::state::AppState;
 use ft_core::registry::CampaignRegistry;
-use std::collections::VecDeque;
-use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// How long the *first* request on a connection may take to arrive
-/// (slow-client allowance).
-const IDLE_READ_TIMEOUT: Duration = Duration::from_secs(30);
-
-/// How long an established keep-alive connection may sit silent
-/// between requests. Deliberately short: while a worker waits here it
-/// can serve nobody else, so this bounds how long an idle keep-alive
-/// client can starve the queue (see the module docs).
-const KEEP_ALIVE_IDLE_TIMEOUT: Duration = Duration::from_secs(5);
-
-/// Sizing for the acceptor pool.
+/// Sizing and timeouts for the serving tier.
 ///
 /// Handler threads are I/O-facing: the compute inside a request (a
 /// campaign solve) dispatches onto the shared persistent `ft-exec`
@@ -57,12 +45,28 @@ const KEEP_ALIVE_IDLE_TIMEOUT: Duration = Duration::from_secs(5);
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
     /// Handler threads. The server's total thread count is `workers + 1`
-    /// (the acceptor) plus the shared `ft-exec` pool, regardless of how
+    /// (the reactor) plus the shared `ft-exec` pool, regardless of how
     /// many clients connect.
     pub workers: usize,
-    /// Accepted connections allowed to wait for a free worker before
-    /// new ones are rejected with `503`.
+    /// Parsed requests allowed to wait for a free worker before
+    /// further requests are answered `503`. Together with `workers`
+    /// this bounds the requests in flight.
     pub queue_depth: usize,
+    /// Open connections the reactor will hold at once; connections
+    /// accepted beyond this are answered `503` immediately (an fd
+    /// budget, far above `queue_depth` by default — requests, not
+    /// connections, are the contended resource now).
+    pub max_connections: usize,
+    /// How long the *first* request on a connection may take to arrive
+    /// (slow-client allowance). The window restarts whenever bytes
+    /// arrive, so a trickling sender is bounded per burst, not
+    /// end-to-end.
+    pub first_request_timeout: Duration,
+    /// How long an established keep-alive connection may sit silent
+    /// between requests. An idle connection costs only an fd under the
+    /// reactor, but idle-forever sockets still leak fds — this bounds
+    /// them.
+    pub keep_alive_timeout: Duration,
     /// Freshness bound for histogram quantiles in `GET /metrics`
     /// exports: within this window, repeated scrapes reuse each
     /// histogram's merged snapshot instead of re-walking every shard
@@ -78,113 +82,10 @@ impl Default for ServerConfig {
         Self {
             workers: ft_exec::available_threads().clamp(2, 16),
             queue_depth: 128,
+            max_connections: 4096,
+            first_request_timeout: Duration::from_secs(30),
+            keep_alive_timeout: Duration::from_secs(5),
             metrics_export_cache: Duration::from_millis(250),
-        }
-    }
-}
-
-/// The bounded hand-off between the acceptor and the worker pool.
-struct ConnectionQueue {
-    inner: Mutex<QueueInner>,
-    not_empty: Condvar,
-    capacity: usize,
-}
-
-struct QueueInner {
-    queue: VecDeque<TcpStream>,
-    closed: bool,
-}
-
-impl ConnectionQueue {
-    fn new(capacity: usize) -> Self {
-        Self {
-            inner: Mutex::new(QueueInner {
-                queue: VecDeque::with_capacity(capacity),
-                closed: false,
-            }),
-            not_empty: Condvar::new(),
-            capacity: capacity.max(1),
-        }
-    }
-
-    /// Enqueue unless full or closed; returns the stream back on
-    /// rejection so the acceptor can answer 503.
-    fn try_push(&self, stream: TcpStream) -> Result<(), TcpStream> {
-        let mut inner = self.inner.lock().expect("connection queue poisoned");
-        if inner.closed || inner.queue.len() >= self.capacity {
-            return Err(stream);
-        }
-        inner.queue.push_back(stream);
-        drop(inner);
-        self.not_empty.notify_one();
-        Ok(())
-    }
-
-    /// Blocking pop. `None` only after `close()` *and* the queue has
-    /// drained — already-accepted connections are served, not dropped.
-    fn pop(&self) -> Option<TcpStream> {
-        let mut inner = self.inner.lock().expect("connection queue poisoned");
-        loop {
-            if let Some(stream) = inner.queue.pop_front() {
-                return Some(stream);
-            }
-            if inner.closed {
-                return None;
-            }
-            inner = self
-                .not_empty
-                .wait(inner)
-                .expect("connection queue poisoned");
-        }
-    }
-
-    fn close(&self) {
-        self.inner.lock().expect("connection queue poisoned").closed = true;
-        self.not_empty.notify_all();
-    }
-}
-
-/// The connections currently held by workers, so shutdown can unpark
-/// readers instead of waiting out their idle timeout.
-#[derive(Default)]
-struct ActiveConnections {
-    streams: Mutex<std::collections::HashMap<u64, TcpStream>>,
-    next_token: std::sync::atomic::AtomicU64,
-}
-
-impl ActiveConnections {
-    /// Track a clone of the worker's stream; `None` if cloning failed
-    /// (the connection still gets served, it just can't be unparked).
-    fn register(&self, stream: &TcpStream) -> Option<u64> {
-        let clone = stream.try_clone().ok()?;
-        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
-        self.streams
-            .lock()
-            .expect("active connections poisoned")
-            .insert(token, clone);
-        Some(token)
-    }
-
-    fn deregister(&self, token: Option<u64>) {
-        if let Some(token) = token {
-            self.streams
-                .lock()
-                .expect("active connections poisoned")
-                .remove(&token);
-        }
-    }
-
-    /// Shut down the **read** half of every held connection: a worker
-    /// parked in `read_request` sees EOF and exits cleanly, while an
-    /// in-flight response write still completes.
-    fn shutdown_reads(&self) {
-        for stream in self
-            .streams
-            .lock()
-            .expect("active connections poisoned")
-            .values()
-        {
-            let _ = stream.shutdown(std::net::Shutdown::Read);
         }
     }
 }
@@ -210,18 +111,18 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Ask the accept loop to exit; idempotent. Returns once the flag is
+    /// Ask the reactor to exit; idempotent. Returns once the flag is
     /// set (the loop notices on its next wakeup).
     pub fn shutdown(&self) {
         self.shutdown.store(true, Ordering::Release);
-        // Poke the listener so a blocked accept wakes up.
+        // Poke the listener so a parked epoll_wait wakes up.
         let _ = TcpStream::connect(self.addr);
     }
 }
 
 impl Server {
     /// Bind to `addr` (use port 0 for an ephemeral port) with the
-    /// default pool sizing.
+    /// default sizing.
     pub fn bind<A: ToSocketAddrs>(
         addr: A,
         registry: Arc<CampaignRegistry>,
@@ -229,7 +130,7 @@ impl Server {
         Self::bind_with(addr, registry, ServerConfig::default())
     }
 
-    /// Bind with explicit pool sizing.
+    /// Bind with explicit sizing.
     pub fn bind_with<A: ToSocketAddrs>(
         addr: A,
         registry: Arc<CampaignRegistry>,
@@ -258,71 +159,15 @@ impl Server {
         }
     }
 
-    /// Serve until [`ServerHandle::shutdown`] is called, with a fixed
-    /// pool of `config.workers` handler threads. Returns after the
-    /// workers have drained every already-accepted connection —
-    /// promptly: on shutdown the read side of every parked keep-alive
-    /// connection is shut down, so no worker sits out the 30 s idle
-    /// timeout before exiting.
+    /// Serve until [`ServerHandle::shutdown`] is called. The calling
+    /// thread becomes the event loop; `config.workers` handler threads
+    /// are spawned scoped inside. Returns after every already-parsed
+    /// request has been answered — promptly: on shutdown the reactor
+    /// stops accepting, drops idle keep-alive connections immediately,
+    /// flushes in-flight responses, and force-drops stragglers after a
+    /// short grace.
     pub fn serve(self) {
-        let queue = ConnectionQueue::new(self.config.queue_depth);
-        let active = ActiveConnections::default();
-        let workers = self.config.workers.max(1);
-        std::thread::scope(|s| {
-            for _ in 0..workers {
-                let queue = &queue;
-                let state = &self.state;
-                let active = &active;
-                let closing = &*self.shutdown;
-                s.spawn(move || {
-                    while let Some(stream) = queue.pop() {
-                        let token = active.register(&stream);
-                        // Checked *after* registering: if a concurrent
-                        // shutdown_reads() ran before our stream was in
-                        // the registry, the closing flag (set first) is
-                        // already visible and the short timeout bounds
-                        // the wait it would otherwise have unparked.
-                        // A connection popped after shutdown still gets
-                        // its pending requests answered, but must not
-                        // park the worker waiting for more.
-                        if closing.load(Ordering::Acquire) {
-                            let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-                        }
-                        state.telemetry.connections_active.inc();
-                        handle_connection(stream, state, closing);
-                        state.telemetry.connections_active.dec();
-                        active.deregister(token);
-                    }
-                });
-            }
-            for stream in self.listener.incoming() {
-                if self.shutdown.load(Ordering::Acquire) {
-                    break;
-                }
-                let stream = match stream {
-                    Ok(stream) => stream,
-                    Err(_) => {
-                        // Transient accept errors (EMFILE under connection
-                        // floods, ECONNABORTED) must not busy-spin the
-                        // acceptor; back off briefly and retry.
-                        std::thread::sleep(Duration::from_millis(20));
-                        continue;
-                    }
-                };
-                let _ = stream.set_read_timeout(Some(IDLE_READ_TIMEOUT));
-                self.state.telemetry.connections_accepted.inc();
-                if let Err(stream) = queue.try_push(stream) {
-                    self.state.telemetry.connections_rejected.inc();
-                    reject_busy(stream);
-                }
-            }
-            queue.close();
-            // Kick workers parked in read on idle keep-alive
-            // connections: an EOF on the read half lets them finish
-            // their current response and exit now, not at the idle
-            // timeout.
-            active.shutdown_reads();
-        });
+        reactor::run(self.listener, self.state, self.config, self.shutdown);
     }
 
     /// Bind + serve on a background thread; returns the handle and the
@@ -334,7 +179,7 @@ impl Server {
         Self::spawn_with(addr, registry, ServerConfig::default())
     }
 
-    /// [`Server::spawn`] with explicit pool sizing.
+    /// [`Server::spawn`] with explicit sizing.
     pub fn spawn_with<A: ToSocketAddrs>(
         addr: A,
         registry: Arc<CampaignRegistry>,
@@ -344,72 +189,5 @@ impl Server {
         let handle = server.handle();
         let join = std::thread::spawn(move || server.serve());
         Ok((handle, join))
-    }
-}
-
-/// Answer an over-capacity connection with a quick 503 and close it.
-/// Runs on the acceptor thread, so the write is bounded by a short
-/// timeout — a client that won't read can't stall the accept loop.
-fn reject_busy(stream: TcpStream) {
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
-    let mut writer = BufWriter::new(stream);
-    let _ = write_response(
-        &mut writer,
-        &Response::json(
-            503,
-            "{\"error\":\"server_busy\",\"message\":\"connection queue full, retry\"}".to_string(),
-        ),
-        false,
-    );
-}
-
-fn handle_connection(stream: TcpStream, state: &AppState, closing: &AtomicBool) {
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = BufWriter::new(stream);
-    loop {
-        let request = match read_request(&mut reader) {
-            Ok(Some(request)) => request,
-            Ok(None) => return, // client closed (or shutdown unparked us)
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                // Idle timeout: drop the connection without an answer.
-                return;
-            }
-            Err(_) => {
-                // Malformed request: answer 400 and drop the connection.
-                let _ = write_response(
-                    &mut writer,
-                    &Response::json(
-                        400,
-                        "{\"error\":\"bad_request\",\"message\":\"malformed HTTP request\"}"
-                            .to_string(),
-                    ),
-                    false,
-                );
-                return;
-            }
-        };
-        let response = router::handle(state, &request);
-        // During shutdown, answer the request in hand but decline the
-        // keep-alive so the worker can exit.
-        let keep_alive = request.keep_alive && !closing.load(Ordering::Acquire);
-        if write_response(&mut writer, &response, keep_alive).is_err() {
-            return;
-        }
-        if !keep_alive {
-            return;
-        }
-        // Between requests the worker can serve nobody else; bound how
-        // long an idle keep-alive client may hold it (module docs).
-        let _ = writer
-            .get_ref()
-            .set_read_timeout(Some(KEEP_ALIVE_IDLE_TIMEOUT));
     }
 }

@@ -22,11 +22,15 @@ pub enum Endpoint {
     CampaignObserve,
     CampaignReport,
     CampaignDelete,
+    /// `POST /campaigns/quotes` — N price quotes in one round trip.
+    CampaignsQuotes,
+    /// `POST /campaigns/observations` — N observations in one round trip.
+    CampaignsObserve,
     Other,
 }
 
 impl Endpoint {
-    pub const ALL: [Endpoint; 10] = [
+    pub const ALL: [Endpoint; 12] = [
         Endpoint::Healthz,
         Endpoint::Metrics,
         Endpoint::CampaignsIndex,
@@ -36,6 +40,8 @@ impl Endpoint {
         Endpoint::CampaignObserve,
         Endpoint::CampaignReport,
         Endpoint::CampaignDelete,
+        Endpoint::CampaignsQuotes,
+        Endpoint::CampaignsObserve,
         Endpoint::Other,
     ];
 
@@ -51,6 +57,8 @@ impl Endpoint {
             Endpoint::CampaignObserve => "campaign_observe",
             Endpoint::CampaignReport => "campaign_report",
             Endpoint::CampaignDelete => "campaign_delete",
+            Endpoint::CampaignsQuotes => "campaigns_quotes",
+            Endpoint::CampaignsObserve => "campaigns_observations",
             Endpoint::Other => "other",
         }
     }
@@ -64,6 +72,11 @@ impl Endpoint {
             ("GET", ["metrics"]) => Endpoint::Metrics,
             ("GET", ["campaigns"]) => Endpoint::CampaignsIndex,
             ("POST", ["campaigns"]) => Endpoint::CampaignCreate,
+            // Bulk routes shadow the `{id}` shapes: "quotes" and
+            // "observations" are not valid campaign ids, so nothing is
+            // lost.
+            ("POST", ["campaigns", "quotes"]) => Endpoint::CampaignsQuotes,
+            ("POST", ["campaigns", "observations"]) => Endpoint::CampaignsObserve,
             ("GET", ["campaigns", _]) => Endpoint::CampaignReport,
             ("DELETE", ["campaigns", _]) => Endpoint::CampaignDelete,
             ("POST", ["campaigns", _, "solve"]) => Endpoint::CampaignSolve,
@@ -84,6 +97,10 @@ pub struct ServerTelemetry {
     pub connections_accepted: Arc<Counter>,
     pub connections_rejected: Arc<Counter>,
     pub connections_active: Arc<Gauge>,
+    /// Ready-queue hand-off latency: time from a request being parsed
+    /// on the reactor to a worker picking it up. Separates tier wait
+    /// from handler latency in `/metrics`.
+    pub queue_wait: Arc<Histogram>,
 }
 
 impl ServerTelemetry {
@@ -115,6 +132,7 @@ impl ServerTelemetry {
             connections_accepted: metrics.counter("ft_server_connections_accepted_total"),
             connections_rejected: metrics.counter("ft_server_connections_rejected_total"),
             connections_active: metrics.gauge("ft_server_connections_active"),
+            queue_wait: metrics.histogram("ft_server_queue_wait_ns"),
         }
     }
 

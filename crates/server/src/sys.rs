@@ -1,0 +1,198 @@
+//! Raw Linux `epoll` bindings — the only platform interface the
+//! reactor needs, declared directly against libc (which `std` already
+//! links on Linux) so the event loop stays std-only with **no new
+//! dependencies**. Everything is wrapped in a safe [`Epoll`] handle
+//! that owns the epoll fd and translates errnos into `io::Error`.
+//!
+//! Only the level of the API the reactor uses is bound: create, add /
+//! delete an interest, and wait. Registration is edge-triggered
+//! (`EPOLLET`) at the connection call sites; this module does not
+//! impose it.
+
+use std::io;
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+/// Readable (`EPOLLIN`).
+pub const EPOLLIN: u32 = 0x001;
+/// Writable (`EPOLLOUT`).
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition (`EPOLLERR`) — always reported, never registered.
+pub const EPOLLERR: u32 = 0x008;
+/// Hangup (`EPOLLHUP`) — always reported, never registered.
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer shut down its write half (`EPOLLRDHUP`).
+pub const EPOLLRDHUP: u32 = 0x2000;
+/// Edge-triggered delivery (`EPOLLET`).
+pub const EPOLLET: u32 = 1 << 31;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+
+/// The kernel's `struct epoll_event`. On x86-64 the kernel ABI packs
+/// it (no padding between `events` and `data`); other architectures
+/// use natural C layout.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    pub events: u32,
+    /// Caller-chosen token identifying the registered fd.
+    pub data: u64,
+}
+
+impl EpollEvent {
+    pub fn zeroed() -> Self {
+        Self { events: 0, data: 0 }
+    }
+
+    /// Copy out of the (possibly packed) struct; reading the fields of
+    /// a packed struct by reference is UB-adjacent, so go through
+    /// copies.
+    pub fn readiness(&self) -> (u32, u64) {
+        let events = self.events;
+        let data = self.data;
+        (events, data)
+    }
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout_ms: i32) -> i32;
+    fn close(fd: i32) -> i32;
+}
+
+/// An owned epoll instance.
+pub struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    pub fn new() -> io::Result<Self> {
+        // SAFETY: plain syscall, no pointers.
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Self { fd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut event = EpollEvent {
+            events,
+            data: token,
+        };
+        // SAFETY: `event` outlives the call; the kernel copies it.
+        let rc = unsafe { epoll_ctl(self.fd, op, fd, &mut event) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Register `fd` under `token` for `events`.
+    pub fn add(&self, fd: RawFd, token: u64, events: u32) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    /// Remove a registration. (Closing the fd removes it too; this is
+    /// for fds that stay open, like a deregistered listener.)
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        // The event argument is ignored for DEL (and may be null on
+        // modern kernels) but pre-2.6.9 kernels required it non-null;
+        // passing a zeroed one costs nothing.
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Wait for readiness. `timeout: None` blocks indefinitely; a zero
+    /// timeout polls. Sub-millisecond timeouts round **up** so a
+    /// near-deadline wait cannot spin at 0 ms. `Ok(0)` on timeout or
+    /// `EINTR` — callers always recompute state after waking.
+    pub fn wait(&self, events: &mut [EpollEvent], timeout: Option<Duration>) -> io::Result<usize> {
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            Some(d) => {
+                let ms = d.as_millis();
+                let ms = if ms == 0 && !d.is_zero() { 1 } else { ms };
+                ms.min(i32::MAX as u128) as i32
+            }
+        };
+        let max = events.len().min(i32::MAX as usize) as i32;
+        // SAFETY: `events` is a valid writable buffer of `max` entries.
+        let n = unsafe { epoll_wait(self.fd, events.as_mut_ptr(), max, timeout_ms) };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        Ok(n as usize)
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        // SAFETY: we own the fd and nothing else closes it.
+        unsafe {
+            close(self.fd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::os::unix::io::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn wait_times_out_and_reports_readiness() {
+        let epoll = Epoll::new().expect("epoll_create1");
+        let (a, mut b) = UnixStream::pair().expect("socketpair");
+        epoll
+            .add(a.as_raw_fd(), 7, EPOLLIN | EPOLLET)
+            .expect("epoll_ctl add");
+
+        let mut events = [EpollEvent::zeroed(); 4];
+        // Nothing readable yet: times out empty.
+        let n = epoll
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .expect("wait");
+        assert_eq!(n, 0);
+
+        b.write_all(b"x").expect("write");
+        let n = epoll
+            .wait(&mut events, Some(Duration::from_millis(1000)))
+            .expect("wait");
+        assert_eq!(n, 1);
+        let (readiness, token) = events[0].readiness();
+        assert_eq!(token, 7);
+        assert_ne!(readiness & EPOLLIN, 0);
+
+        epoll.delete(a.as_raw_fd()).expect("epoll_ctl del");
+        let n = epoll
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .expect("wait");
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn fresh_socket_reports_writable() {
+        let epoll = Epoll::new().expect("epoll_create1");
+        let (a, _b) = UnixStream::pair().expect("socketpair");
+        epoll
+            .add(a.as_raw_fd(), 1, EPOLLOUT | EPOLLET)
+            .expect("add");
+        let mut events = [EpollEvent::zeroed(); 4];
+        let n = epoll
+            .wait(&mut events, Some(Duration::from_millis(1000)))
+            .expect("wait");
+        assert_eq!(n, 1);
+        let (readiness, _) = events[0].readiness();
+        assert_ne!(readiness & EPOLLOUT, 0);
+    }
+}

@@ -1,7 +1,9 @@
-//! Acceptor-pool behaviour over real sockets: a connection flood is
-//! survived with a **bounded thread count** (excess connections get a
-//! clean `503 server_busy`), the fleet index pages, and `/metrics`
-//! reflects what the server actually did, in both formats.
+//! Serving-tier behaviour over real sockets: a request flood against a
+//! saturated worker pool is survived with a **bounded thread count**
+//! (excess requests get a clean `503 server_busy`, and the tier
+//! recovers once the slow work drains), shutdown is prompt, the fleet
+//! index pages, and `/metrics` reflects what the server actually did,
+//! in both formats.
 
 use ft_core::registry::CampaignRegistry;
 use ft_core::{DeadlineProblem, PenaltyModel};
@@ -73,12 +75,42 @@ fn hold_keep_alive(addr: SocketAddr) -> TcpStream {
     stream
 }
 
+/// A deadline problem big enough that its solve occupies a worker for
+/// a while (hundreds of ms in debug builds) — the reactor multiplexes
+/// idle sockets off the workers, so only genuinely slow *requests* can
+/// saturate the pool.
+fn slow_problem_json() -> String {
+    let problem = DeadlineProblem::from_market(
+        20_000,
+        2.0,
+        120,
+        &ConstantRate::new(80.0),
+        PriceGrid::new(0, 150),
+        &LogitAcceptance::new(4.0, 0.0, 30.0),
+        PenaltyModel::Linear { per_task: 300.0 },
+    );
+    serde_json::to_string(&problem.to_value()).expect("problem json")
+}
+
+/// Fire a request without reading the response: the connection stays
+/// open with the request in flight, occupying a worker (or a ready-
+/// queue slot) until the handler finishes — no client thread needed.
+fn send_unread(addr: SocketAddr, method: &str, path: &str) -> TcpStream {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n"
+    )
+    .expect("write");
+    stream
+}
+
 #[test]
-fn connection_flood_is_survived_with_bounded_threads() {
+fn request_flood_is_survived_with_bounded_threads() {
     let registry = Arc::new(CampaignRegistry::new());
     let config = ServerConfig {
-        workers: 2,
-        queue_depth: 2,
+        workers: 1,
+        queue_depth: 1,
         ..ServerConfig::default()
     };
     // The shared ft-exec pool spawns lazily on the first parallel
@@ -91,16 +123,28 @@ fn connection_flood_is_survived_with_bounded_threads() {
         Server::spawn_with("127.0.0.1:0", Arc::clone(&registry), config).expect("bind");
     let addr = handle.addr();
 
-    // Pin both workers on held keep-alive connections…
-    let held_a = hold_keep_alive(addr);
-    let held_b = hold_keep_alive(addr);
-    // …fill the bounded queue with idle accepted connections…
-    let queued_a = TcpStream::connect(addr).expect("connect");
-    let queued_b = TcpStream::connect(addr).expect("connect");
-    std::thread::sleep(Duration::from_millis(100)); // let the acceptor queue them
+    // Two slow solves: the first occupies the only worker, the second
+    // fills the one-slot ready-queue.
+    let spec = format!(
+        "{{\"kind\":\"deadline\",\"problem\":{}}}",
+        slow_problem_json()
+    );
+    let mut ids = Vec::new();
+    for _ in 0..2 {
+        let (status, body) = request(addr, "POST", "/campaigns", Some(&spec));
+        assert_eq!(status, 201);
+        ids.push(num(&body, "id") as u64);
+    }
+    let slow_a = send_unread(addr, "POST", &format!("/campaigns/{}/solve", ids[0]));
+    // Let the worker pop the first solve before sending the second, so
+    // the second deterministically fills the one-slot ready-queue
+    // instead of racing the pop.
+    std::thread::sleep(Duration::from_millis(100));
+    let slow_b = send_unread(addr, "POST", &format!("/campaigns/{}/solve", ids[1]));
+    std::thread::sleep(Duration::from_millis(100)); // let the reactor parse + enqueue it
 
-    // …and flood. Every further connection must be answered with a
-    // clean 503, not a new thread.
+    // Flood. Every further request must be answered with a clean 503,
+    // not a new thread — and *in order* on its own connection.
     let mut rejected = 0;
     for _ in 0..8 {
         let (status, body) = request(addr, "GET", "/healthz", None);
@@ -109,9 +153,9 @@ fn connection_flood_is_survived_with_bounded_threads() {
     }
     assert_eq!(rejected, 8);
 
-    // Thread bound: acceptor + workers, never a thread per connection.
-    // (12 connections are open or rejected at this point; the old
-    // thread-per-connection design would sit at baseline + 12.)
+    // Thread bound: reactor + workers, never a thread per connection.
+    // (10 connections are open or rejected at this point; the old
+    // thread-per-connection design would sit at baseline + 10.)
     if let (Some(before), Some(during)) = (baseline, thread_count()) {
         assert!(
             during <= before + 1 + config.workers,
@@ -119,13 +163,8 @@ fn connection_flood_is_survived_with_bounded_threads() {
         );
     }
 
-    // Release the workers and the queue; the server must recover and
-    // answer normally again.
-    drop(held_a);
-    drop(held_b);
-    drop(queued_a);
-    drop(queued_b);
-    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    // Once the slow solves drain, the tier must answer normally again.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
     loop {
         let (status, _) = request(addr, "GET", "/healthz", None);
         if status == 200 {
@@ -137,6 +176,8 @@ fn connection_flood_is_survived_with_bounded_threads() {
         );
         std::thread::sleep(Duration::from_millis(20));
     }
+    drop(slow_a);
+    drop(slow_b);
 
     // The accounting made it into the metrics plane.
     let (status, metrics) = request(addr, "GET", "/metrics", None);
@@ -146,6 +187,12 @@ fn connection_flood_is_survived_with_bounded_threads() {
         "rejections not counted: {metrics:?}"
     );
     assert!(num(&metrics, "ft_server_connections_accepted_total") >= 12.0);
+    // The ready-queue wait histogram saw the hand-offs.
+    let queue_wait = map_get(metrics.as_map().unwrap(), "ft_server_queue_wait_ns")
+        .expect("queue wait histogram")
+        .as_map()
+        .expect("histogram object");
+    assert!(num(&Value::Map(queue_wait.to_vec()), "count") >= 2.0);
 
     handle.shutdown();
     join.join().expect("server thread");

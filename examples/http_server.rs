@@ -133,6 +133,48 @@ fn main() {
     let generation = num(&body, "generation");
     println!("\nGET {probe} → post {price} cents (generation {generation})");
 
+    // The batched quote API: N quotes in one round trip, over one
+    // keep-alive connection. Per-campaign failures ride inline
+    // (campaign 999 doesn't exist) instead of sinking the batch.
+    let mut client = ft_server::Client::new(addr);
+    let batch = format!(
+        "{{\"quotes\":[\
+         {{\"id\":{id},\"remaining\":{remaining},\"interval\":6}},\
+         {{\"id\":{id},\"remaining\":100,\"interval\":40}},\
+         {{\"id\":999,\"remaining\":1,\"interval\":0}}\
+         ]}}"
+    );
+    let (status, body) = client
+        .request("POST", "/campaigns/quotes", Some(&batch))
+        .expect("bulk quote");
+    let body: Value = serde_json::from_str(&body).expect("json");
+    assert_eq!(status, 200);
+    let results = map_get(body.as_map().unwrap(), "results")
+        .expect("results")
+        .as_seq()
+        .expect("array");
+    println!(
+        "\nPOST /campaigns/quotes ({} items, one round trip) → {status}",
+        num(&body, "count")
+    );
+    for item in results {
+        let item_map = item.as_map().expect("object");
+        match map_get(item_map, "price") {
+            Ok(price) => println!(
+                "  campaign {}: post {} cents",
+                num(item, "id"),
+                price.as_num().expect("number")
+            ),
+            Err(_) => println!(
+                "  campaign {}: {} (HTTP {})",
+                num(item, "id"),
+                map_get(item_map, "error").expect("error").as_str().unwrap(),
+                num(item, "status")
+            ),
+        }
+    }
+    assert_eq!(num(&results[0], "price"), price, "bulk matches single");
+
     // The fleet index and the observability plane see all of the above.
     let (_, body) = http(addr, "GET", "/campaigns?limit=10", None);
     println!(
