@@ -1,0 +1,323 @@
+//! Policy-file validation: `scripts/audit_allow.json` (the lint
+//! allowlist) and `scripts/perf_floors.json` (the perf-gate floors).
+//!
+//! Both files are checked-in policy, so drift is treated as a hard
+//! error, not a warning: unknown keys (typos silently disabling an
+//! entry), allowlist paths that no longer exist (stale suppressions),
+//! and allowlist entries no finding matched (dead suppressions) all
+//! fail the audit. The floors file is validated against the shape
+//! `crates/load/src/gate.rs` parses, so a malformed edit fails here in
+//! the required audit step instead of inside the optional perf leg.
+
+use crate::report::Finding;
+use serde::{map_get, Value};
+use std::path::Path;
+
+/// One allowlist entry: suppress `lint` findings in `path`.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    pub lint: String,
+    pub path: String,
+    pub reason: String,
+}
+
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    pub entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// Parse and schema-check the allowlist. Returns the list plus any
+    /// schema findings (findings make the run fail).
+    pub fn load(text: &str, rel_path: &str, root: &Path) -> (Allowlist, Vec<Finding>) {
+        let mut findings = Vec::new();
+        let mut entries = Vec::new();
+        let file_err = |msg: &str| Finding::new("config", rel_path, 0, msg);
+
+        let value: Value = match serde_json::from_str(text) {
+            Ok(v) => v,
+            Err(e) => {
+                return (
+                    Allowlist::default(),
+                    vec![file_err(&format!("not valid JSON: {e:?}"))],
+                )
+            }
+        };
+        let Some(map) = value.as_map() else {
+            return (
+                Allowlist::default(),
+                vec![file_err("top level must be an object")],
+            );
+        };
+        for (key, _) in map {
+            if key != "comment" && key != "allow" {
+                findings.push(file_err(&format!("unknown top-level key `{key}`")));
+            }
+        }
+        let Ok(allow) = map_get(map, "allow") else {
+            findings.push(file_err("missing required key `allow`"));
+            return (Allowlist::default(), findings);
+        };
+        let Some(seq) = allow.as_seq() else {
+            findings.push(file_err("`allow` must be an array"));
+            return (Allowlist::default(), findings);
+        };
+        for (i, entry) in seq.iter().enumerate() {
+            let entry_err =
+                |msg: String| Finding::new("config", rel_path, 0, &format!("allow[{i}]: {msg}"));
+            let Some(emap) = entry.as_map() else {
+                findings.push(entry_err("must be an object".into()));
+                continue;
+            };
+            for (key, _) in emap {
+                if !matches!(key.as_str(), "lint" | "path" | "reason") {
+                    findings.push(entry_err(format!("unknown key `{key}`")));
+                }
+            }
+            let lint = map_get(emap, "lint").ok().and_then(|v| v.as_str());
+            let path = map_get(emap, "path").ok().and_then(|v| v.as_str());
+            let reason = map_get(emap, "reason").ok().and_then(|v| v.as_str());
+            let (Some(lint), Some(path), Some(reason)) = (lint, path, reason) else {
+                findings.push(entry_err("needs string `lint`, `path`, `reason`".into()));
+                continue;
+            };
+            if !matches!(lint, "L1" | "L2" | "L3" | "L4" | "L5") {
+                findings.push(entry_err(format!("unknown lint `{lint}`")));
+                continue;
+            }
+            if reason.trim().is_empty() {
+                findings.push(entry_err("`reason` must not be empty".into()));
+            }
+            if !root.join(path).is_file() {
+                findings.push(entry_err(format!(
+                    "dangling path `{path}` — file does not exist"
+                )));
+                continue;
+            }
+            entries.push(AllowEntry {
+                lint: lint.to_string(),
+                path: path.to_string(),
+                reason: reason.to_string(),
+            });
+        }
+        (Allowlist { entries }, findings)
+    }
+
+    /// Apply the allowlist: drop suppressed findings, and flag any
+    /// entry that suppressed nothing as dead policy.
+    pub fn filter(&self, findings: Vec<Finding>, rel_path: &str) -> Vec<Finding> {
+        let mut used = vec![false; self.entries.len()];
+        let mut kept: Vec<Finding> = Vec::new();
+        for f in findings {
+            let suppressed = self.entries.iter().enumerate().any(|(i, e)| {
+                let hit = e.lint == f.lint && e.path == f.path;
+                if hit {
+                    used[i] = true;
+                }
+                hit
+            });
+            if !suppressed {
+                kept.push(f);
+            }
+        }
+        for (i, e) in self.entries.iter().enumerate() {
+            if !used[i] {
+                kept.push(Finding::new(
+                    "config",
+                    rel_path,
+                    0,
+                    &format!(
+                        "unused allowlist entry ({} in `{}`) — remove it or re-justify",
+                        e.lint, e.path
+                    ),
+                ));
+            }
+        }
+        kept
+    }
+}
+
+/// Validate `scripts/perf_floors.json` against the schema the perf
+/// gate parses: unknown keys anywhere are hard errors.
+pub fn validate_floors(text: &str, rel_path: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let file_err = |msg: &str| Finding::new("config", rel_path, 0, msg);
+
+    let value: Value = match serde_json::from_str(text) {
+        Ok(v) => v,
+        Err(e) => return vec![file_err(&format!("not valid JSON: {e:?}"))],
+    };
+    let Some(map) = value.as_map() else {
+        return vec![file_err("top level must be an object")];
+    };
+    for (key, _) in map {
+        if !matches!(key.as_str(), "comment" | "tolerance" | "backends") {
+            findings.push(file_err(&format!("unknown top-level key `{key}`")));
+        }
+    }
+    match map_get(map, "tolerance").ok().and_then(|v| v.as_num()) {
+        Some(t) if (0.0..1.0).contains(&t) => {}
+        Some(t) => findings.push(file_err(&format!("`tolerance` {t} outside [0, 1)"))),
+        None => findings.push(file_err("missing numeric `tolerance`")),
+    }
+    let Some(backends) = map_get(map, "backends").ok().and_then(|v| v.as_seq()) else {
+        findings.push(file_err("missing array `backends`"));
+        return findings;
+    };
+    for (i, entry) in backends.iter().enumerate() {
+        let entry_err =
+            |msg: String| Finding::new("config", rel_path, 0, &format!("backends[{i}]: {msg}"));
+        let Some(emap) = entry.as_map() else {
+            findings.push(entry_err("must be an object".into()));
+            continue;
+        };
+        for (key, _) in emap {
+            if !matches!(
+                key.as_str(),
+                "backend"
+                    | "scenario"
+                    | "min_throughput_rps"
+                    | "max_p99_ns"
+                    | "min_throughput_frac_of"
+            ) {
+                findings.push(entry_err(format!("unknown key `{key}`")));
+            }
+        }
+        if map_get(emap, "backend")
+            .ok()
+            .and_then(|v| v.as_str())
+            .is_none()
+        {
+            findings.push(entry_err("needs string `backend`".into()));
+        }
+        match map_get(emap, "min_throughput_rps")
+            .ok()
+            .and_then(|v| v.as_num())
+        {
+            Some(rps) if rps > 0.0 => {}
+            Some(rps) => {
+                findings.push(entry_err(format!("`min_throughput_rps` {rps} must be > 0")))
+            }
+            None => findings.push(entry_err("needs numeric `min_throughput_rps`".into())),
+        }
+        match map_get(emap, "max_p99_ns").ok().and_then(|v| v.as_map()) {
+            Some(p99) => {
+                for (op, v) in p99 {
+                    match v.as_num() {
+                        Some(ns) if ns > 0.0 => {}
+                        _ => findings.push(entry_err(format!(
+                            "`max_p99_ns.{op}` must be a positive number"
+                        ))),
+                    }
+                }
+            }
+            None => findings.push(entry_err("needs object `max_p99_ns`".into())),
+        }
+        if let Ok(frac_of) = map_get(emap, "min_throughput_frac_of") {
+            let Some(fmap) = frac_of.as_map() else {
+                findings.push(entry_err(
+                    "`min_throughput_frac_of` must be an object".into(),
+                ));
+                continue;
+            };
+            for (key, _) in fmap {
+                if !matches!(key.as_str(), "backend" | "scenario" | "frac") {
+                    findings.push(entry_err(format!(
+                        "unknown key `min_throughput_frac_of.{key}`"
+                    )));
+                }
+            }
+            if map_get(fmap, "backend")
+                .ok()
+                .and_then(|v| v.as_str())
+                .is_none()
+            {
+                findings.push(entry_err(
+                    "`min_throughput_frac_of` needs string `backend`".into(),
+                ));
+            }
+            match map_get(fmap, "frac").ok().and_then(|v| v.as_num()) {
+                Some(frac) if frac > 0.0 && frac <= 1.0 => {}
+                _ => findings.push(entry_err(
+                    "`min_throughput_frac_of.frac` must be in (0, 1]".into(),
+                )),
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Finding;
+    use std::path::Path;
+
+    #[test]
+    fn allowlist_unknown_key_and_dangling_path_are_errors() {
+        let text = r#"{"allow": [
+            {"lint": "L3", "path": "does/not/exist.rs", "reason": "x"},
+            {"lint": "L3", "path": "Cargo.toml", "reason": "x", "extra": 1}
+        ]}"#;
+        let (_, findings) =
+            Allowlist::load(text, "scripts/audit_allow.json", Path::new("/root/repo"));
+        assert!(findings.iter().any(|f| f.message.contains("dangling path")));
+        assert!(findings
+            .iter()
+            .any(|f| f.message.contains("unknown key `extra`")));
+    }
+
+    #[test]
+    fn unused_allowlist_entries_are_flagged_used_ones_suppress() {
+        let text = r#"{"allow": [
+            {"lint": "L3", "path": "Cargo.toml", "reason": "spawn point"},
+            {"lint": "L1", "path": "Cargo.toml", "reason": "never fires"}
+        ]}"#;
+        let (allow, schema) = Allowlist::load(text, "a.json", Path::new("/root/repo"));
+        assert!(schema.is_empty(), "{schema:?}");
+        let raw = vec![Finding::new("L3", "Cargo.toml", 4, "spawn")];
+        let kept = allow.filter(raw, "a.json");
+        assert_eq!(kept.len(), 1, "{kept:?}");
+        assert!(kept[0].message.contains("unused allowlist entry"));
+        assert!(kept[0].message.contains("L1"));
+    }
+
+    #[test]
+    fn floors_schema_catches_typos() {
+        let good = std::fs::read_to_string(
+            Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scripts/perf_floors.json"),
+        )
+        .expect("checked-in floors");
+        assert!(validate_floors(&good, "scripts/perf_floors.json").is_empty());
+
+        let typo = good.replace("min_throughput_rps", "min_thruput_rps");
+        let findings = validate_floors(&typo, "scripts/perf_floors.json");
+        assert!(findings
+            .iter()
+            .any(|f| f.message.contains("unknown key `min_thruput_rps`")));
+        assert!(findings
+            .iter()
+            .any(|f| f.message.contains("needs numeric `min_throughput_rps`")));
+    }
+
+    #[test]
+    fn floors_bounds_are_enforced() {
+        let text = r#"{"tolerance": 1.5, "backends": [
+            {"backend": "in_process", "min_throughput_rps": -1,
+             "max_p99_ns": {"price": 0},
+             "min_throughput_frac_of": {"backend": "x", "frac": 2.0}}
+        ]}"#;
+        let findings = validate_floors(text, "f.json");
+        let msgs: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+        assert!(
+            msgs.iter().any(|m| m.contains("outside [0, 1)")),
+            "{msgs:?}"
+        );
+        assert!(msgs.iter().any(|m| m.contains("must be > 0")), "{msgs:?}");
+        assert!(
+            msgs.iter().any(|m| m.contains("max_p99_ns.price")),
+            "{msgs:?}"
+        );
+        assert!(msgs.iter().any(|m| m.contains("frac")), "{msgs:?}");
+    }
+}

@@ -1,0 +1,130 @@
+//! Findings and the two output formats (human lines, `--json`).
+
+use serde::Value;
+
+/// One lint violation at a specific site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Lint id: `L1`..`L5`, or `config` for policy-file schema errors.
+    pub lint: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line, 0 for file-level findings.
+    pub line: usize,
+    pub message: String,
+}
+
+impl Finding {
+    pub fn new(lint: &str, path: &str, line: usize, message: &str) -> Self {
+        Finding {
+            lint: lint.to_string(),
+            path: path.to_string(),
+            line,
+            message: message.to_string(),
+        }
+    }
+
+    pub fn human(&self) -> String {
+        if self.line == 0 {
+            format!("{}: {}: {}", self.lint, self.path, self.message)
+        } else {
+            format!(
+                "{}: {}:{}: {}",
+                self.lint, self.path, self.line, self.message
+            )
+        }
+    }
+}
+
+/// A completed audit run.
+#[derive(Debug)]
+pub struct Report {
+    pub findings: Vec<Finding>,
+    /// Files scanned (after exclusions).
+    pub files_scanned: usize,
+}
+
+impl Report {
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Stable machine-readable form, archived as a CI artifact.
+    pub fn to_json(&self) -> String {
+        let findings = self
+            .findings
+            .iter()
+            .map(|f| {
+                Value::Map(vec![
+                    ("lint".into(), Value::Str(f.lint.clone())),
+                    ("path".into(), Value::Str(f.path.clone())),
+                    ("line".into(), Value::Num(f.line as f64)),
+                    ("message".into(), Value::Str(f.message.clone())),
+                ])
+            })
+            .collect();
+        let mut counts: Vec<(String, Value)> = Vec::new();
+        for f in &self.findings {
+            match counts.iter_mut().find(|(k, _)| *k == f.lint) {
+                Some((_, Value::Num(n))) => *n += 1.0,
+                Some(_) => unreachable!("counts hold numbers"),
+                None => counts.push((f.lint.clone(), Value::Num(1.0))),
+            }
+        }
+        let root = Value::Map(vec![
+            (
+                "files_scanned".into(),
+                Value::Num(self.files_scanned as f64),
+            ),
+            ("clean".into(), Value::Bool(self.is_clean())),
+            ("counts_by_lint".into(), Value::Map(counts)),
+            ("findings".into(), Value::Seq(findings)),
+        ]);
+        serde_json::to_string(&root).expect("report serializes")
+    }
+
+    pub fn human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.human());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "ft-audit: {} file(s) scanned, {} finding(s)\n",
+            self.files_scanned,
+            self.findings.len()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trips_and_counts() {
+        let report = Report {
+            findings: vec![
+                Finding::new("L1", "crates/x/src/lib.rs", 3, "m"),
+                Finding::new("L1", "crates/x/src/lib.rs", 9, "m"),
+                Finding::new("L5", "crates/server/src/a.rs", 1, "n"),
+            ],
+            files_scanned: 2,
+        };
+        let parsed: Value = serde_json::from_str(&report.to_json()).expect("valid json");
+        let map = parsed.as_map().expect("object");
+        let counts = serde::map_get(map, "counts_by_lint")
+            .expect("counts")
+            .as_map()
+            .expect("object")
+            .to_vec();
+        assert_eq!(counts[0], ("L1".to_string(), Value::Num(2.0)));
+        assert_eq!(counts[1], ("L5".to_string(), Value::Num(1.0)));
+        let findings = serde::map_get(map, "findings")
+            .expect("findings")
+            .as_seq()
+            .expect("seq");
+        assert_eq!(findings.len(), 3);
+    }
+}

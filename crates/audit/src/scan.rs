@@ -1,0 +1,390 @@
+//! Source model: a comment/string-aware line scanner.
+//!
+//! The lints are token-level, so the one thing the scanner must get
+//! right is **what is code**: comments and the *contents* of string and
+//! char literals are blanked out of the code view (quotes are kept so
+//! token boundaries survive), comment text is collected per line, and
+//! string literals are collected per line in order of appearance. A
+//! `Relaxed` inside a doc comment or an error message must never trip
+//! L2; a `SAFETY:` inside a string must never satisfy L1.
+//!
+//! The scanner also classifies lines as test or production code:
+//! in-file `#[cfg(test)] mod … { … }` regions are brace-matched, and
+//! whole files are classified by path (`tests/`, `benches/`,
+//! `examples/`, or a `tests.rs` module included under `#[cfg(test)]`).
+
+use std::path::{Path, PathBuf};
+
+/// One scanned line, split into its three views.
+#[derive(Debug, Default)]
+pub struct Line {
+    /// Source text with comments removed and literal contents blanked.
+    pub code: String,
+    /// Comment text appearing on this line (line and block comments,
+    /// doc comments included), concatenated.
+    pub comment: String,
+    /// String literals starting on this line, in order, with their
+    /// byte offset in `code` (the position of the opening quote).
+    pub strings: Vec<(usize, String)>,
+    /// Inside an in-file `#[cfg(test)] mod … { … }` region.
+    pub in_test_mod: bool,
+}
+
+/// A scanned file plus the path-derived facts lints key on.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path (forward slashes).
+    pub rel_path: String,
+    pub abs_path: PathBuf,
+    /// Crate short name from `crates/<dir>/…` (e.g. `core`, `server`),
+    /// `None` for the root `src/`/`tests/`/`examples/`.
+    pub crate_dir: Option<String>,
+    /// Whole file is test/bench/example code (path-classified).
+    pub is_test_code: bool,
+    pub lines: Vec<Line>,
+}
+
+impl SourceFile {
+    /// Is the 0-indexed line production code for lints scoped to it?
+    pub fn is_prod_line(&self, idx: usize) -> bool {
+        !self.is_test_code && !self.lines[idx].in_test_mod
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+}
+
+/// Scan one file's text into the line model.
+pub fn scan_source(rel_path: &str, abs_path: &Path, text: &str) -> SourceFile {
+    let mut lines: Vec<Line> = Vec::new();
+    let mut state = State::Code;
+
+    for raw in text.lines() {
+        let mut line = Line::default();
+        let bytes: Vec<char> = raw.chars().collect();
+        let mut i = 0usize;
+        let mut current_string: Option<(usize, String)> = None;
+
+        // A string/raw-string/block-comment may continue from the
+        // previous line; `Str` state at line start means an unterminated
+        // (multi-line) string — its continuation is not code.
+        while i < bytes.len() {
+            let c = bytes[i];
+            match state {
+                State::Code => {
+                    if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == '/' {
+                        line.comment.push_str(&raw[char_off(raw, i)..]);
+                        state = State::LineComment;
+                        break; // rest of the line is comment
+                    } else if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == '*' {
+                        state = State::BlockComment(1);
+                        i += 2;
+                        continue;
+                    } else if c == '"' {
+                        line.code.push('"');
+                        current_string = Some((line.code.len() - 1, String::new()));
+                        state = State::Str;
+                        i += 1;
+                        continue;
+                    } else if c == 'r'
+                        && !prev_is_ident(&line.code)
+                        && raw_string_hashes(&bytes, i + 1).is_some()
+                    {
+                        let hashes = raw_string_hashes(&bytes, i + 1).unwrap();
+                        line.code.push('"');
+                        current_string = Some((line.code.len() - 1, String::new()));
+                        state = State::RawStr(hashes);
+                        i += 2 + hashes as usize; // r, #*, "
+                        continue;
+                    } else if c == '\'' {
+                        // Char literal vs lifetime: a literal is '\…' or
+                        // 'X' (single char then closing quote).
+                        let is_char_literal = match bytes.get(i + 1) {
+                            Some('\\') => true,
+                            Some(_) => bytes.get(i + 2) == Some(&'\''),
+                            None => false,
+                        };
+                        if is_char_literal {
+                            line.code.push_str("' '");
+                            // Skip to the closing quote.
+                            let mut j = i + 1;
+                            if bytes[j] == '\\' {
+                                j += 2; // escape + escaped char
+                                while j < bytes.len() && bytes[j] != '\'' {
+                                    j += 1; // \u{..}
+                                }
+                            } else {
+                                j += 1;
+                            }
+                            i = j + 1;
+                            continue;
+                        }
+                        line.code.push('\'');
+                        i += 1;
+                        continue;
+                    }
+                    line.code.push(c);
+                    i += 1;
+                }
+                State::LineComment => unreachable!("line comments end the line"),
+                State::BlockComment(depth) => {
+                    if c == '*' && bytes.get(i + 1) == Some(&'/') {
+                        if depth == 1 {
+                            state = State::Code;
+                        } else {
+                            state = State::BlockComment(depth - 1);
+                        }
+                        i += 2;
+                    } else if c == '/' && bytes.get(i + 1) == Some(&'*') {
+                        state = State::BlockComment(depth + 1);
+                        i += 2;
+                    } else {
+                        line.comment.push(c);
+                        i += 1;
+                    }
+                }
+                State::Str => {
+                    if c == '\\' {
+                        if let Some((_, s)) = current_string.as_mut() {
+                            s.push(c);
+                            if let Some(&n) = bytes.get(i + 1) {
+                                s.push(n);
+                            }
+                        }
+                        i += 2;
+                    } else if c == '"' {
+                        line.code.push('"');
+                        if let Some(done) = current_string.take() {
+                            line.strings.push(done);
+                        }
+                        state = State::Code;
+                        i += 1;
+                    } else {
+                        if let Some((_, s)) = current_string.as_mut() {
+                            s.push(c);
+                        }
+                        i += 1;
+                    }
+                }
+                State::RawStr(hashes) => {
+                    if c == '"' && closes_raw(&bytes, i + 1, hashes) {
+                        line.code.push('"');
+                        if let Some(done) = current_string.take() {
+                            line.strings.push(done);
+                        }
+                        state = State::Code;
+                        i += 1 + hashes as usize;
+                    } else {
+                        if let Some((_, s)) = current_string.as_mut() {
+                            s.push(c);
+                        }
+                        i += 1;
+                    }
+                }
+            }
+        }
+        // A string still open at end of line continues next line; its
+        // collected-so-far content is recorded when it closes, on the
+        // closing line — good enough for L4, which never spans lines.
+        if state == State::LineComment {
+            state = State::Code;
+        }
+        if let Some(open) = current_string.take() {
+            if matches!(state, State::Str | State::RawStr(_)) {
+                line.strings.push(open);
+            }
+        }
+        lines.push(line);
+    }
+
+    mark_test_mods(&mut lines);
+
+    let crate_dir = rel_path
+        .strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .map(|s| s.to_string());
+    let is_test_code = path_is_test_code(rel_path);
+
+    SourceFile {
+        rel_path: rel_path.to_string(),
+        abs_path: abs_path.to_path_buf(),
+        crate_dir,
+        is_test_code,
+        lines,
+    }
+}
+
+/// Byte offset of the `i`-th char of `raw`.
+fn char_off(raw: &str, i: usize) -> usize {
+    raw.char_indices().nth(i).map_or(raw.len(), |(o, _)| o)
+}
+
+fn prev_is_ident(code: &str) -> bool {
+    code.chars()
+        .last()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// If `bytes[from..]` is `#*"` (a raw-string opener after `r`/`br`),
+/// the number of hashes.
+fn raw_string_hashes(bytes: &[char], from: usize) -> Option<u32> {
+    let mut j = from;
+    let mut hashes = 0u32;
+    while bytes.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (bytes.get(j) == Some(&'"')).then_some(hashes)
+}
+
+fn closes_raw(bytes: &[char], from: usize, hashes: u32) -> bool {
+    (0..hashes as usize).all(|k| bytes.get(from + k) == Some(&'#'))
+}
+
+/// Path-level test-code classification: integration tests, benches,
+/// examples, and `tests.rs` modules (included under `#[cfg(test)]` by
+/// their parent, so the marker is outside the file).
+fn path_is_test_code(rel_path: &str) -> bool {
+    let components: Vec<&str> = rel_path.split('/').collect();
+    components
+        .iter()
+        .any(|c| *c == "tests" || *c == "benches" || *c == "examples")
+        || components.last().is_some_and(|f| *f == "tests.rs")
+}
+
+/// Mark lines inside `#[cfg(test)] mod … { … }` regions by brace
+/// matching on the code view.
+fn mark_test_mods(lines: &mut [Line]) {
+    let mut pending_cfg_test = false;
+    let mut region_depth: Option<i64> = None; // brace depth at region entry
+    let mut depth: i64 = 0;
+
+    for line in lines.iter_mut() {
+        let code = &line.code;
+        let trimmed = code.trim();
+        let entering = region_depth.is_none()
+            && pending_cfg_test
+            && trimmed.starts_with("mod ")
+            && code.contains('{');
+        if region_depth.is_none() && trimmed.contains("#[cfg(test)]") {
+            pending_cfg_test = true;
+        } else if region_depth.is_none()
+            && !entering
+            && !trimmed.is_empty()
+            && !trimmed.starts_with("#[")
+        {
+            pending_cfg_test = false;
+        }
+        if entering {
+            region_depth = Some(depth);
+            pending_cfg_test = false;
+        }
+        for c in code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if let Some(entry_depth) = region_depth {
+            line.in_test_mod = true;
+            if depth <= entry_depth {
+                region_depth = None;
+            }
+        }
+    }
+}
+
+/// Walk the workspace for lintable `.rs` files. Excluded: `target/`
+/// build output, `crates/vendor/` (offline stand-ins for third-party
+/// crates — not this repo's code, and intentionally mirroring foreign
+/// idiom), and the audit crate's own `tests/fixtures/` (deliberate
+/// violations).
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "target" || name == ".git" || name == "fixtures" {
+                    continue;
+                }
+                if name == "vendor" && dir.file_name().is_some_and(|d| d == "crates") {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn scan(text: &str) -> SourceFile {
+        scan_source("crates/demo/src/lib.rs", Path::new("lib.rs"), text)
+    }
+
+    #[test]
+    fn comments_and_strings_leave_the_code_view() {
+        let f = scan("let x = \"unsafe\"; // unsafe trailing\nlet y = 1; /* unsafe */ let z = 2;");
+        assert!(!f.lines[0].code.contains("unsafe"));
+        assert!(f.lines[0].comment.contains("unsafe trailing"));
+        assert_eq!(f.lines[0].strings[0].1, "unsafe");
+        assert!(!f.lines[1].code.contains("unsafe"));
+        assert!(f.lines[1].code.contains("let z"));
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes_are_handled() {
+        let f = scan("let p = r#\"a \"quoted\" unsafe\"#;\nfn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(!f.lines[0].code.contains("unsafe"));
+        assert_eq!(f.lines[0].strings[0].1, "a \"quoted\" unsafe");
+        assert!(f.lines[1].code.contains("fn f<'a>"));
+        assert!(!f.lines[1].code.contains('x'.to_string().repeat(2).as_str()));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let f =
+            scan("/* outer /* inner */ still comment */ let a = 1;\n/* open\nstill\n*/ let b = 2;");
+        assert!(f.lines[0].code.contains("let a"));
+        assert!(!f.lines[0].code.contains("still comment"));
+        assert!(f.lines[2].code.is_empty());
+        assert!(f.lines[3].code.contains("let b"));
+    }
+
+    #[test]
+    fn cfg_test_mod_regions_are_marked() {
+        let text = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn also_prod() {}";
+        let f = scan(text);
+        assert!(f.is_prod_line(0));
+        assert!(!f.is_prod_line(3));
+        assert!(f.is_prod_line(5));
+    }
+
+    #[test]
+    fn path_classification() {
+        assert!(path_is_test_code("crates/exec/tests/pool.rs"));
+        assert!(path_is_test_code("crates/bench/benches/registry_shard.rs"));
+        assert!(path_is_test_code("examples/http_server.rs"));
+        assert!(path_is_test_code("crates/core/src/registry/tests.rs"));
+        assert!(!path_is_test_code("crates/core/src/registry/store.rs"));
+    }
+}

@@ -1,0 +1,60 @@
+//! Accept fixture: every lint's *compliant* form in one tree. The
+//! harness asserts ft-audit reports zero findings here.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Wrapper(*mut u64);
+
+// SAFETY: the pointee is owned by the wrapper and only ever touched
+// from one thread at a time (fixture invariant).
+unsafe impl Send for Wrapper {}
+unsafe impl Sync for Wrapper {}
+
+pub fn bump(counter: &AtomicU64) {
+    // ORDERING: Relaxed — a pure tally, nothing is published through it.
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn publish_and_read(flag: &AtomicU64) -> u64 {
+    // Same-function acquire/release pair: self-documenting, no
+    // ORDERING comment required.
+    flag.store(1, Ordering::Release);
+    flag.load(Ordering::Acquire)
+}
+
+pub fn cross_function_release(flag: &AtomicU64) {
+    // ORDERING: Release pairs with the Acquire in `bump`'s caller.
+    flag.store(1, Ordering::Release);
+}
+
+pub fn wire(metrics: &MetricsRegistry) {
+    metrics.counter("ft_demo_requests_total");
+    metrics.gauge("ft_demo_connections_active");
+    metrics.histogram("ft_demo_wait_ns");
+    metrics.counter("ft_demo_requests_by_op_total{op=\"solve\"}");
+}
+
+pub fn scoped_threads_are_fine(work: impl Fn() + Sync) {
+    std::thread::scope(|s| {
+        s.spawn(&work);
+    });
+}
+
+pub struct MetricsRegistry;
+impl MetricsRegistry {
+    pub fn counter(&self, _name: &str) {}
+    pub fn gauge(&self, _name: &str) {}
+    pub fn histogram(&self, _name: &str) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_is_exempt_from_l2_l3() {
+        let c = AtomicU64::new(0);
+        c.fetch_add(1, Ordering::Relaxed);
+        std::thread::spawn(|| {}).join().unwrap();
+    }
+}

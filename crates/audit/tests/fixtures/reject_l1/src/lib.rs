@@ -1,0 +1,5 @@
+//! Reject fixture for L1: `unsafe` without a `// SAFETY:` comment.
+
+pub fn read_first(data: &[u64]) -> u64 {
+    unsafe { *data.as_ptr() }
+}

@@ -1,0 +1,16 @@
+//! Reject fixture for L2: a bare `Ordering::Relaxed` and a
+//! cross-function acquire/release split, both unjustified.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn publish(flag: &AtomicU64) {
+    flag.store(1, Ordering::Release);
+}
+
+pub fn consume(flag: &AtomicU64) -> u64 {
+    flag.load(Ordering::Acquire)
+}

@@ -1,0 +1,10 @@
+//! Reject fixture for L3: raw thread creation outside the sanctioned
+//! spawn points, with no allowlist entry.
+
+pub fn fire_and_forget(work: impl FnOnce() + Send + 'static) {
+    std::thread::spawn(work);
+}
+
+pub fn named(work: impl FnOnce() + Send + 'static) {
+    let _ = std::thread::Builder::new().name("rogue".into()).spawn(work);
+}

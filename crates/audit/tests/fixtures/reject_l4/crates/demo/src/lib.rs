@@ -1,0 +1,16 @@
+//! Reject fixture for L4: every way a metric name can break the
+//! `ft_<crate>_<what>_<unit|total>` grammar.
+
+pub fn wire(metrics: &MetricsRegistry) {
+    metrics.counter("ft_demo_requests"); // counter without _total
+    metrics.histogram("ft_demo_wait"); // histogram without a unit
+    metrics.counter("ft_other_requests_total"); // wrong crate segment
+    metrics.gauge("demo_connections_active"); // missing ft_ prefix
+}
+
+pub struct MetricsRegistry;
+impl MetricsRegistry {
+    pub fn counter(&self, _name: &str) {}
+    pub fn gauge(&self, _name: &str) {}
+    pub fn histogram(&self, _name: &str) {}
+}

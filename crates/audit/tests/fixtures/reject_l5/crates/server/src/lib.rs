@@ -1,0 +1,15 @@
+//! Reject fixture for L5: unwrap/expect on `Mutex::lock` in the
+//! serving tier, same-line and wrapped-chain forms.
+
+use std::sync::Mutex;
+
+pub fn push(queue: &Mutex<Vec<u32>>, item: u32) {
+    queue.lock().unwrap().push(item);
+}
+
+pub fn drain(queue: &Mutex<Vec<u32>>) -> Vec<u32> {
+    let mut guard = queue
+        .lock()
+        .expect("queue poisoned");
+    std::mem::take(&mut *guard)
+}

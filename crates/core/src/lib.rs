@@ -59,6 +59,7 @@ pub mod dp;
 pub mod error;
 pub mod extensions;
 pub mod kernel;
+pub mod lockcheck;
 pub mod penalty;
 pub mod policy;
 pub mod problem;

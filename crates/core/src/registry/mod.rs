@@ -60,7 +60,7 @@ use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
-use store::{lock_state, Campaign, ShardedStore};
+use store::{lock_state, lock_state_fresh, Campaign, ShardedStore};
 
 /// Truncation mass used when a deadline campaign doesn't specify one.
 pub const DEFAULT_EPS: f64 = 1e-9;
@@ -480,10 +480,15 @@ impl CampaignRegistry {
     }
 
     pub(self) fn next_id_value(&self) -> u64 {
+        // ORDERING: Relaxed — `next_id` is only an id dispenser; ids
+        // carry no payload, and record visibility is published through
+        // the shard-map lock, not through this counter.
         self.next_id.load(Ordering::Relaxed)
     }
 
     pub(self) fn bump_next_id(&self, at_least: u64) {
+        // ORDERING: Relaxed — see `next_id_value`; fetch_max keeps the
+        // dispenser monotone under races, which is the only invariant.
         self.next_id.fetch_max(at_least, Ordering::Relaxed);
     }
 
@@ -493,6 +498,9 @@ impl CampaignRegistry {
 
     /// Register a campaign as a draft; returns its fresh id.
     pub fn register(&self, spec: CampaignSpec) -> CampaignId {
+        // ORDERING: Relaxed — uniqueness comes from the atomic RMW
+        // itself; nothing is published through the counter (see
+        // `next_id_value`).
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         self.insert_draft(id, spec);
         id
@@ -680,8 +688,11 @@ impl CampaignRegistry {
                     campaign.publish(generation, start, Arc::clone(&policy));
                     {
                         // The new record is not yet shared: its mutex
-                        // cannot block.
-                        let mut state = lock_state(&campaign);
+                        // cannot block, and the acquisition is the
+                        // untraced fresh-record exception to the
+                        // campaign→shard lock order (we hold the map
+                        // write guard here).
+                        let mut state = lock_state_fresh(&campaign);
                         campaign.transition(&state, CampaignStatus::Live);
                         campaign.count(&mut state);
                     }

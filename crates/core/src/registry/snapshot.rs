@@ -22,7 +22,7 @@
 //! field-by-field vendored serde.
 
 use super::engine::{BudgetEngine, CampaignEngine, DeadlineEngine};
-use super::store::Campaign;
+use super::store::{lock_state, Campaign};
 use super::{CampaignPolicy, CampaignRegistry, CampaignSpec, CampaignStatus, RegistryConfig};
 use crate::adaptive::{AdaptiveOptions, AdaptivePricer};
 use crate::budget::BudgetMdpPolicy;
@@ -171,7 +171,7 @@ impl CampaignRegistry {
         records.sort_unstable_by_key(|(id, _)| *id);
         let mut persisted = Vec::with_capacity(records.len());
         for (id, campaign) in records {
-            let state = campaign.state.lock().expect("campaign lock poisoned");
+            let state = lock_state(&campaign);
             let current = campaign.generation();
             let generation = current.as_ref().map_or(0, |g| g.generation);
             let engine = match state.engine.as_deref() {
@@ -281,7 +281,7 @@ impl CampaignRegistry {
                     remaining,
                 } => {
                     let problem = {
-                        let state = campaign.state.lock().expect("campaign lock poisoned");
+                        let state = lock_state(&campaign);
                         match &state.spec {
                             CampaignSpec::Deadline { problem, .. } => problem.clone(),
                             CampaignSpec::Budget { .. } => {
@@ -320,7 +320,7 @@ impl CampaignRegistry {
                     reports_since_resolve,
                 } => {
                     let problem = {
-                        let state = campaign.state.lock().expect("campaign lock poisoned");
+                        let state = lock_state(&campaign);
                         match &state.spec {
                             CampaignSpec::Budget { problem } => problem.clone(),
                             CampaignSpec::Deadline { .. } => {
@@ -350,7 +350,7 @@ impl CampaignRegistry {
                 }
             };
             {
-                let mut state = campaign.state.lock().expect("campaign lock poisoned");
+                let mut state = lock_state(&campaign);
                 state.engine = engine;
                 if status == CampaignStatus::Evicted {
                     // Tombstone: spec stays readable, machinery dropped.

@@ -36,7 +36,9 @@
 use super::engine::CampaignEngine;
 use super::{CampaignPolicy, CampaignSpec, CampaignStatus, PolicyGeneration};
 use crate::error::CampaignId;
+use crate::lockcheck;
 use std::collections::HashMap;
+use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicI64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
@@ -83,12 +85,17 @@ impl Campaign {
     }
 
     pub fn status(&self) -> CampaignStatus {
+        // ORDERING: Acquire pairs with the Release/AcqRel writers in
+        // `set_status_raw`/`transition` — a reader that routes on the
+        // status also sees the state the transition published.
         CampaignStatus::from_u8(self.status.load(Ordering::Acquire))
     }
 
     /// Set the status of a record no other thread can reach yet (fresh
     /// construction / snapshot restore) — no counter movement.
     pub fn set_status_raw(&self, s: CampaignStatus) {
+        // ORDERING: Release pairs with the Acquire in `status` once the
+        // record becomes reachable through the shard map.
         self.status.store(s as u8, Ordering::Release);
     }
 
@@ -96,6 +103,11 @@ impl Campaign {
     /// must hold the campaign's writer mutex (pass the guard's target) —
     /// that is what serializes counter updates per campaign.
     pub fn transition(&self, state: &CampaignState, new: CampaignStatus) {
+        // ORDERING: AcqRel — the swap both publishes the transition to
+        // `status` readers (release side) and orders the counter
+        // movement below after any prior transition it replaces
+        // (acquire side); the writer mutex serializes writers, but
+        // `status()` readers take no lock.
         let old = self.status.swap(new as u8, Ordering::AcqRel);
         if state.counted {
             self.stats.moved(CampaignStatus::from_u8(old), new);
@@ -149,6 +161,12 @@ pub(super) struct ShardStats {
 
 impl ShardStats {
     fn adjust(&self, status: CampaignStatus, delta: i64) {
+        // ORDERING: AcqRel chains successive movements through each
+        // cell and pairs with the Acquire sweep in `status_counts`.
+        // The -1/+1 halves of a move land in *different* cells, so a
+        // concurrent sweep may still observe one half without the
+        // other — the sweep clamps and documents that transient skew
+        // instead of claiming cross-cell atomicity.
         self.by_status[status as usize].fetch_add(delta, Ordering::AcqRel);
     }
 
@@ -204,6 +222,7 @@ impl ShardedStore {
 
     /// Hot-path lookup: one shard read lock.
     pub fn get(&self, id: CampaignId) -> Option<Arc<Campaign>> {
+        let _witness = lockcheck::acquire(lockcheck::SHARD_MAP, "read");
         self.shard(id)
             .map
             .read()
@@ -229,15 +248,17 @@ impl ShardedStore {
     ) -> T {
         let shard = self.shard(id);
         loop {
-            let old = shard
-                .map
-                .read()
-                .expect("campaign shard lock poisoned")
-                .get(&id)
-                .cloned();
-            let mut old_state = old
-                .as_ref()
-                .map(|old| old.state.lock().expect("campaign lock poisoned"));
+            let old = {
+                let _witness = lockcheck::acquire(lockcheck::SHARD_MAP, "peek");
+                shard
+                    .map
+                    .read()
+                    .expect("campaign shard lock poisoned")
+                    .get(&id)
+                    .cloned()
+            };
+            let mut old_state = old.as_ref().map(|old| lock_state(old));
+            let map_witness = lockcheck::acquire(lockcheck::SHARD_MAP, "write");
             let mut map = shard.map.write().expect("campaign shard lock poisoned");
             let current = map.get(&id);
             let still_current = match (&old, current) {
@@ -247,6 +268,7 @@ impl ShardedStore {
             };
             if !still_current {
                 drop(map);
+                drop(map_witness);
                 drop(old_state);
                 continue; // lost a race with another replacement/purge
             }
@@ -273,8 +295,12 @@ impl ShardedStore {
                 old.transition(old_state, CampaignStatus::Evicted);
             }
             // The incoming record is not yet shared, so taking its
-            // mutex while holding the map write lock cannot block.
-            campaign.count(&mut campaign.state.lock().expect("campaign lock poisoned"));
+            // mutex while holding the map write lock cannot block —
+            // which is also why this acquisition is the untraced
+            // fresh-record variant: it inverts the campaign→shard order
+            // on purpose, and is safe only because no other thread can
+            // reach this record until `map.insert` below publishes it.
+            campaign.count(&mut lock_state_fresh(&campaign));
             map.insert(id, Arc::clone(&campaign))
         })
     }
@@ -296,6 +322,7 @@ impl ShardedStore {
     pub fn records(&self) -> Vec<(CampaignId, Arc<Campaign>)> {
         let mut out = Vec::new();
         for shard in self.shards.iter() {
+            let _witness = lockcheck::acquire(lockcheck::SHARD_MAP, "scan");
             let map = shard.map.read().expect("campaign shard lock poisoned");
             out.extend(map.iter().map(|(id, c)| (*id, Arc::clone(c))));
         }
@@ -306,6 +333,7 @@ impl ShardedStore {
     pub fn ids(&self) -> Vec<CampaignId> {
         let mut out = Vec::new();
         for shard in self.shards.iter() {
+            let _witness = lockcheck::acquire(lockcheck::SHARD_MAP, "scan");
             let map = shard.map.read().expect("campaign shard lock poisoned");
             out.extend(map.keys().copied());
         }
@@ -325,6 +353,10 @@ impl ShardedStore {
         ];
         for shard in self.shards.iter() {
             for (i, slot) in shard.stats.by_status.iter().enumerate() {
+                // ORDERING: Acquire pairs with the AcqRel updates in
+                // `adjust`; concurrent transitions may still land
+                // between cells, so the sweep clamps transient
+                // negatives rather than claiming exactness.
                 counts[i].1 += slot.load(Ordering::Acquire).max(0) as usize;
             }
         }
@@ -347,7 +379,55 @@ impl ShardedStore {
     }
 }
 
-/// Convenience: lock a campaign's writer mutex.
-pub(super) fn lock_state(campaign: &Campaign) -> MutexGuard<'_, CampaignState> {
-    campaign.state.lock().expect("campaign lock poisoned")
+/// A campaign writer-mutex guard carrying its lockcheck witness token
+/// (zero-sized in default builds). Derefs to [`CampaignState`].
+pub(super) struct StateGuard<'a> {
+    guard: MutexGuard<'a, CampaignState>,
+    /// Declared after `guard` so the mutex releases first and the
+    /// witness entry is removed second — the held-stack never claims a
+    /// lock that was already dropped out from under it. `None` for the
+    /// documented fresh-record exception ([`lock_state_fresh`]).
+    _witness: Option<lockcheck::Held>,
+}
+
+impl Deref for StateGuard<'_> {
+    type Target = CampaignState;
+    fn deref(&self) -> &CampaignState {
+        &self.guard
+    }
+}
+
+impl DerefMut for StateGuard<'_> {
+    fn deref_mut(&mut self) -> &mut CampaignState {
+        &mut self.guard
+    }
+}
+
+/// Lock a campaign's writer mutex, tracing the acquisition through the
+/// lock-order witness under `--cfg lockcheck`. Every shared-record
+/// acquisition of [`Campaign::state`] must come through here — the one
+/// exception is [`ShardedStore::insert`]'s fresh, not-yet-published
+/// record (see the comment there).
+pub(super) fn lock_state(campaign: &Campaign) -> StateGuard<'_> {
+    // Record the intent before blocking: if the inversion has already
+    // deadlocked us, the witness panics instead of hanging forever.
+    let witness = lockcheck::acquire(lockcheck::CAMPAIGN_STATE, "state");
+    StateGuard {
+        guard: campaign.state.lock().expect("campaign lock poisoned"),
+        _witness: Some(witness),
+    }
+}
+
+/// [`lock_state`] for a record **no other thread can reach yet** (fresh
+/// construction before `map.insert` publishes it, snapshot restore).
+/// Deliberately untraced: the campaign→shard order is inverted at these
+/// sites on purpose, and it is safe only because the mutex can never be
+/// contended — misusing this on a published record is exactly the class
+/// of bug the witness exists to catch, so keep its call sites few and
+/// obviously fresh.
+pub(super) fn lock_state_fresh(campaign: &Campaign) -> StateGuard<'_> {
+    StateGuard {
+        guard: campaign.state.lock().expect("campaign lock poisoned"),
+        _witness: None,
+    }
 }

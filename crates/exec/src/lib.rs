@@ -42,6 +42,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// capped at 32 (the solvers' rows don't benefit beyond that).
 pub fn available_threads() -> usize {
     static CACHED: AtomicUsize = AtomicUsize::new(0);
+    // ORDERING: Relaxed is enough for a write-once value cache — every
+    // racing writer computes the same figure from the same env/machine,
+    // so readers need the value itself, not any ordering around it.
     let cached = CACHED.load(Ordering::Relaxed);
     if cached != 0 {
         return cached;
@@ -52,6 +55,8 @@ pub fn available_threads() -> usize {
         .filter(|&n| n >= 1)
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |n| n.get()))
         .min(32);
+    // ORDERING: Relaxed — see the load above; duplicate stores write
+    // the same value.
     CACHED.store(n, Ordering::Relaxed);
     n
 }
@@ -146,6 +151,10 @@ impl<T> Clone for SendPtr<T> {
     }
 }
 impl<T> Copy for SendPtr<T> {}
+// SAFETY: `SendPtr` only crosses threads inside the dispatch protocol,
+// which hands each worker a disjoint chunk of the pointee (`T: Send`)
+// and joins every job before the borrow ends — the pointer is shared,
+// the pointees are not.
 unsafe impl<T: Send> Send for SendPtr<T> {}
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 

@@ -263,6 +263,10 @@ impl Pool {
         self.shared.work_available.notify_one();
 
         let ra = catch_unwind(AssertUnwindSafe(a));
+        // ORDERING: AcqRel pairs with the identical swap in
+        // `JoinCell::run` — exactly one side wins the claim, and the
+        // winner's subsequent access to the task/result slots must not
+        // be reordered before the swap that granted exclusivity.
         if !cell.claimed.swap(true, Ordering::AcqRel) {
             // Steal-back: nobody started `b`; it is ours now, and any
             // worker that later pops the stale handle drops it.
@@ -377,6 +381,9 @@ impl Batch {
     /// the dispatcher and by any worker that popped a handle.
     fn work(&self) {
         loop {
+            // ORDERING: Relaxed — `next` is only an index dispenser;
+            // each value is handed out once and nothing is published
+            // through it (task results flow through `panic`/`finished`).
             let i = self.next.fetch_add(1, Ordering::Relaxed);
             if i >= self.n {
                 return;
@@ -446,6 +453,10 @@ impl JoinCell {
 
 impl PoolJob for JoinCell {
     fn run(&self) {
+        // ORDERING: AcqRel pairs with the steal-back swap in `join` —
+        // the loser of the race must see it lost, and the winner's
+        // later use of the `RawMutTask` pointee must stay after the
+        // claim that made it exclusive.
         if self.claimed.swap(true, Ordering::AcqRel) {
             return; // stolen back (or already run) — stale handle
         }

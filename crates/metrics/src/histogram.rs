@@ -138,12 +138,20 @@ impl Histogram {
     #[inline]
     pub fn record(&self, value: u64) {
         let v = if value > Self::MAX_VALUE {
+            // ORDERING: Relaxed — an independent monotone tally;
+            // nothing is published through it.
             self.clamped.fetch_add(1, Ordering::Relaxed);
             Self::MAX_VALUE
         } else {
             value
         };
         let shard = &self.shards[crate::shard_index()];
+        // ORDERING: Relaxed on the whole record path — each counter is
+        // an independent monotone tally, nothing is published through
+        // them, and `snapshot` tolerates observing the bucket increment
+        // without the matching sum (the view is a valid earlier/later
+        // interleaving either way). Keeping the hot path fence-free is
+        // the point of the striped design.
         shard.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
         shard.sum.0.fetch_add(v, Ordering::Relaxed);
     }
@@ -190,8 +198,16 @@ impl Histogram {
         let mut sum = 0u64;
         for shard in &self.shards {
             for (total, bucket) in counts.iter_mut().zip(&shard.buckets) {
+                // ORDERING: Acquire per cell — pairs with whatever
+                // synchronization made the recordings of interest
+                // visible (thread join, response hand-off); against
+                // still-racing Relaxed writers it only bounds
+                // staleness, and monotone counters make any
+                // interleaved read a coherent snapshot.
                 *total += bucket.load(Ordering::Acquire);
             }
+            // ORDERING: Acquire — same snapshot discipline as the
+            // bucket reads above.
             sum = sum.wrapping_add(shard.sum.0.load(Ordering::Acquire));
         }
         let count: u64 = counts.iter().sum();
@@ -199,6 +215,7 @@ impl Histogram {
             counts,
             count,
             sum,
+            // ORDERING: Acquire — same snapshot discipline as above.
             clamped: self.clamped.load(Ordering::Acquire),
         }
     }

@@ -97,6 +97,9 @@ impl Counter {
 
     #[inline]
     pub fn add(&self, n: u64) {
+        // ORDERING: Relaxed — the hot path publishes nothing; a stripe
+        // is a pure tally and readers only need eventual inclusion, not
+        // a happens-before edge per increment.
         self.shards[shard_index()].0.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -104,6 +107,11 @@ impl Counter {
     /// snapshot of "at least everything that happened before the last
     /// stripe was read".
     pub fn get(&self) -> u64 {
+        // ORDERING: Acquire per stripe so a read observes every
+        // increment sequenced before whatever synchronization brought
+        // the reader here (e.g. joining the writer); against the
+        // Relaxed hot path it is only a freshness hint, which is all a
+        // monitoring read needs.
         self.shards
             .iter()
             .map(|s| s.0.load(Ordering::Acquire))
@@ -133,20 +141,29 @@ impl Gauge {
 
     #[inline]
     pub fn set(&self, v: i64) {
+        // ORDERING: Release pairs with the Acquire in `get` across
+        // call sites — a reader that sees the level also sees the state
+        // change the writer recorded before setting it.
         self.value.store(v, Ordering::Release);
     }
 
     #[inline]
     pub fn inc(&self) {
+        // ORDERING: AcqRel — adjustments chain with each other and
+        // with `set`/`get` at other call sites, so paired inc/dec from
+        // different threads can never be reordered into a net drift.
         self.value.fetch_add(1, Ordering::AcqRel);
     }
 
     #[inline]
     pub fn dec(&self) {
+        // ORDERING: AcqRel — see `inc`.
         self.value.fetch_sub(1, Ordering::AcqRel);
     }
 
     pub fn get(&self) -> i64 {
+        // ORDERING: Acquire pairs with the Release/AcqRel writers at
+        // other call sites.
         self.value.load(Ordering::Acquire)
     }
 }

@@ -106,7 +106,12 @@ impl JobQueue {
     /// so the reactor can answer 503 at the job's sequence slot.
     #[allow(clippy::result_large_err)] // rejection must return the whole job
     fn try_push(&self, job: Job) -> Result<(), Job> {
-        let mut inner = self.inner.lock().expect("job queue poisoned");
+        // Poisoning policy (see ft-audit L5): a worker that panicked
+        // while holding the queue lock must not cascade panics through
+        // the serving tier — the queue is a VecDeque plus a flag, valid
+        // after any partial update, so recover the guard and keep
+        // serving.
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         if inner.closed || inner.queue.len() >= self.capacity {
             return Err(job);
         }
@@ -119,7 +124,8 @@ impl JobQueue {
     /// Blocking pop; `None` only after `close()` *and* the queue has
     /// drained — already-parsed requests are answered, not dropped.
     fn pop(&self) -> Option<Job> {
-        let mut inner = self.inner.lock().expect("job queue poisoned");
+        // Poisoning policy: recover, as in `try_push`.
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if let Some(job) = inner.queue.pop_front() {
                 return Some(job);
@@ -127,12 +133,16 @@ impl JobQueue {
             if inner.closed {
                 return None;
             }
-            inner = self.not_empty.wait(inner).expect("job queue poisoned");
+            inner = self
+                .not_empty
+                .wait(inner)
+                .unwrap_or_else(|e| e.into_inner());
         }
     }
 
     fn close(&self) {
-        self.inner.lock().expect("job queue poisoned").closed = true;
+        // Poisoning policy: recover, as in `try_push`.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).closed = true;
         self.not_empty.notify_all();
     }
 }
@@ -271,10 +281,16 @@ pub(crate) fn run(
                     let response = router::handle(state, &job.request);
                     // During shutdown, answer the request in hand but
                     // decline the keep-alive so the connection closes.
+                    // ORDERING: Acquire pairs with the Release store in
+                    // `ServerHandle::shutdown` — seeing the flag also
+                    // sees any state the shutdown caller settled first.
                     let keep_alive = job.request.keep_alive && !closing.load(Ordering::Acquire);
                     completions
                         .lock()
-                        .expect("completions poisoned")
+                        // Poisoning policy (ft-audit L5): a panicking
+                        // peer worker must not take the tier down; the
+                        // Vec is valid after any partial push.
+                        .unwrap_or_else(|e| e.into_inner())
                         .push(Completion {
                             token: job.token,
                             seq: job.seq,
@@ -305,6 +321,9 @@ pub(crate) fn run(
             let n = epoll.wait(&mut events, timeout).unwrap_or_default();
             let now = Instant::now();
 
+            // ORDERING: Acquire pairs with the Release store in
+            // `ServerHandle::shutdown` (cross-crate counterpart of the
+            // worker-side load above).
             if shutdown.load(Ordering::Acquire) && !reactor.draining {
                 reactor.begin_drain(now);
                 jobs.close();
@@ -322,7 +341,9 @@ pub(crate) fn run(
                 }
             }
 
-            let finished = std::mem::take(&mut *completions.lock().expect("completions poisoned"));
+            // Poisoning policy: recover, as at the worker-side push.
+            let finished =
+                std::mem::take(&mut *completions.lock().unwrap_or_else(|e| e.into_inner()));
             for completion in finished {
                 reactor.complete(completion, now);
             }

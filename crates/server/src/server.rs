@@ -114,6 +114,9 @@ impl ServerHandle {
     /// Ask the reactor to exit; idempotent. Returns once the flag is
     /// set (the loop notices on its next wakeup).
     pub fn shutdown(&self) {
+        // ORDERING: Release pairs with the Acquire loads in the
+        // reactor loop and its workers — whatever the caller settled
+        // before asking for shutdown is visible to the drain path.
         self.shutdown.store(true, Ordering::Release);
         // Poke the listener so a parked epoll_wait wakes up.
         let _ = TcpStream::connect(self.addr);
