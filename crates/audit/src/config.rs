@@ -81,7 +81,7 @@ impl Allowlist {
                 findings.push(entry_err("needs string `lint`, `path`, `reason`".into()));
                 continue;
             };
-            if !matches!(lint, "L1" | "L2" | "L3" | "L4" | "L5") {
+            if !matches!(lint, "L1" | "L2" | "L3" | "L4" | "L5" | "L6") {
                 findings.push(entry_err(format!("unknown lint `{lint}`")));
                 continue;
             }

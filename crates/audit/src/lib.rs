@@ -3,8 +3,8 @@
 //! A deliberately small static-analysis pass over the workspace's own
 //! sources (vendored stand-ins excluded) enforcing the invariants the
 //! compiler can't: justification comments on `unsafe` and relaxed
-//! atomics, the thread-spawn budget, the metric-name grammar, and the
-//! serving tier's mutex-poisoning policy — plus schema validation of
+//! atomics, the thread-spawn budget, the metric-name grammar, the span-name
+//! grammar, and the serving tier's mutex-poisoning policy — plus schema validation of
 //! the checked-in policy files so a typo in an allowlist or perf floor
 //! fails the build instead of silently disabling a gate.
 //!

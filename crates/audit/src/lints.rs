@@ -1,4 +1,4 @@
-//! The five repo-specific lints.
+//! The six repo-specific lints.
 //!
 //! All lints run over the comment/string-aware line model from
 //! [`crate::scan`], so text inside comments or literals never trips a
@@ -11,8 +11,9 @@
 //! | L3 | `std::thread::spawn` / `thread::Builder` only in allowlisted spawn points |
 //! | L4 | metric names registered on `MetricsRegistry` follow `ft_<crate>_<what>_<unit or total>` |
 //! | L5 | no `unwrap()`/`expect()` on `Mutex::lock` in `crates/server` (poisoning policy) |
+//! | L6 | span names handed to `ft_trace` follow `<crate>.<component>.<verb>` |
 //!
-//! L1 applies everywhere (test `unsafe` is still `unsafe`); L2–L5 apply
+//! L1 applies everywhere (test `unsafe` is still `unsafe`); L2–L6 apply
 //! to production code only — integration tests, benches, examples and
 //! in-file `#[cfg(test)]` regions are exempt.
 
@@ -30,6 +31,7 @@ pub fn run_all(file: &SourceFile) -> Vec<Finding> {
     lint_l3_thread_spawn(file, &mut findings);
     lint_l4_metric_names(file, &mut findings);
     lint_l5_lock_unwrap(file, &mut findings);
+    lint_l6_span_names(file, &mut findings);
     findings
 }
 
@@ -316,6 +318,80 @@ fn lint_l5_lock_unwrap(file: &SourceFile, findings: &mut Vec<Finding>) {
     }
 }
 
+/// The `ft_trace` call sites whose first string literal is a span name.
+const TRACE_NEEDLES: [&str; 4] = [
+    "ft_trace::span(",
+    "ft_trace::record(",
+    "ft_trace::begin_at(",
+    "ft_trace::begin_with(",
+];
+
+/// L6: span-name grammar. A name handed to `ft_trace` from
+/// `crates/<dir>/…` must read `<dir>.<component>.<verb>` — exactly
+/// three dot-separated `[a-z0-9_]+` segments, the first naming the
+/// defining crate (`-` → `_`) — so every trace renders with a stable
+/// crate → component → verb hierarchy and tooling can prefix-match a
+/// crate's spans. Mirrors the L4 metric-name grammar; `crates/trace`
+/// itself is exempt (it defines the API, and its docs and tests
+/// exercise other crates' namespaces).
+fn lint_l6_span_names(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let Some(crate_dir) = file.crate_dir.as_deref() else {
+        return;
+    };
+    if crate_dir == "trace" {
+        return;
+    }
+    let crate_seg = crate_dir.replace('-', "_");
+    for (idx, line) in file.lines.iter().enumerate() {
+        if !file.is_prod_line(idx) {
+            continue;
+        }
+        for needle in TRACE_NEEDLES {
+            let Some(pos) = line.code.find(needle) else {
+                continue;
+            };
+            let call = pos + needle.len() - 1;
+            // The name literal is the first string after the opening
+            // paren — possibly on a following line (wrapped call).
+            let literal = line
+                .strings
+                .iter()
+                .find(|(off, _)| *off > call)
+                .map(|(_, s)| s.clone())
+                .or_else(|| {
+                    (idx + 1..(idx + 4).min(file.lines.len()))
+                        .find_map(|j| file.lines[j].strings.first().map(|(_, s)| s.clone()))
+                });
+            let Some(name) = literal else {
+                continue; // dynamically built name — out of scope
+            };
+            let segments: Vec<&str> = name.split('.').collect();
+            let well_formed = segments.len() == 3
+                && segments.iter().all(|seg| {
+                    !seg.is_empty()
+                        && seg
+                            .chars()
+                            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+                });
+            let bad = if !well_formed {
+                Some(format!(
+                    "span name `{name}` must be `<crate>.<component>.<verb>` \
+                     (three dot-separated lowercase segments)"
+                ))
+            } else if segments[0] != crate_seg {
+                Some(format!(
+                    "span name `{name}` must start `{crate_seg}.` (defining crate)"
+                ))
+            } else {
+                None
+            };
+            if let Some(msg) = bad {
+                findings.push(Finding::new("L6", &file.rel_path, idx + 1, &msg));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -438,5 +514,44 @@ mod tests {
             "fn f(q: &Mutex<u32>) { let a = q.lock().unwrap(); }",
         );
         assert!(run_all(&other_crate).iter().all(|f| f.lint != "L5"));
+    }
+
+    #[test]
+    fn l6_span_name_grammar() {
+        let src = concat!(
+            "fn solve() {\n",
+            "    let _ok = ft_trace::span(\"demo.solver.sweep\");\n",
+            "    let _wrong_crate = ft_trace::span(\"other.solver.sweep\");\n",
+            "    let _two_segments = ft_trace::span(\"demo.sweep\");\n",
+            "    ft_trace::record(\"demo.solver.Sweep\", 0, 1);\n",
+            "    let _ok_root = ft_trace::begin_at(7, \"demo.request.serve\", 0);\n",
+            "}\n"
+        );
+        let f = scan_at("crates/demo/src/lib.rs", src);
+        let l6: Vec<usize> = run_all(&f)
+            .into_iter()
+            .filter(|f| f.lint == "L6")
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(l6, vec![3, 4, 5], "wrong crate, two segments, uppercase");
+    }
+
+    #[test]
+    fn l6_exempts_tests_the_trace_crate_and_dynamic_names() {
+        let test_code = scan_at(
+            "crates/demo/tests/t.rs",
+            "fn f() { let _s = ft_trace::span(\"x\"); }",
+        );
+        assert!(run_all(&test_code).iter().all(|f| f.lint != "L6"));
+        let own_crate = scan_at(
+            "crates/trace/src/lib.rs",
+            "fn f() { let _s = ft_trace::span(\"x\"); }",
+        );
+        assert!(run_all(&own_crate).iter().all(|f| f.lint != "L6"));
+        let dynamic = scan_at(
+            "crates/demo/src/lib.rs",
+            "fn f(name: &'static str) { let _s = ft_trace::span(name); }",
+        );
+        assert!(run_all(&dynamic).iter().all(|f| f.lint != "L6"));
     }
 }

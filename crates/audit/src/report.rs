@@ -5,7 +5,7 @@ use serde::Value;
 /// One lint violation at a specific site.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Finding {
-    /// Lint id: `L1`..`L5`, or `config` for policy-file schema errors.
+    /// Lint id: `L1`..`L6`, or `config` for policy-file schema errors.
     pub lint: String,
     /// Workspace-relative path.
     pub path: String,

@@ -129,6 +129,17 @@ fn l5_reject_fixture_fails() {
     );
 }
 
+#[test]
+fn l6_reject_fixture_fails() {
+    let (code, findings) = report(&audit_fixture("reject_l6"));
+    assert_eq!(code, 1);
+    assert_eq!(
+        findings.iter().filter(|(l, _)| l == "L6").count(),
+        4,
+        "wrong crate, two segments, four segments, uppercase: {findings:?}"
+    );
+}
+
 /// Malformed policy files are findings in their own right: unknown
 /// keys, dangling paths, unknown lints, out-of-range floors.
 #[test]

@@ -34,6 +34,15 @@ pub fn wire(metrics: &MetricsRegistry) {
     metrics.counter("ft_demo_requests_by_op_total{op=\"solve\"}");
 }
 
+pub fn traced_solve(dynamic_name: &'static str) {
+    // Grammatical span names: <crate>.<component>.<verb>, crate first.
+    let _root = ft_trace::begin_at(7, "demo.request.serve", 0);
+    let _sweep = ft_trace::span("demo.solver.sweep");
+    ft_trace::record("demo.solver.induct_layer", 0, 1);
+    // Dynamically built names are out of L6's scope.
+    let _dynamic = ft_trace::span(dynamic_name);
+}
+
 pub fn scoped_threads_are_fine(work: impl Fn() + Sync) {
     std::thread::scope(|s| {
         s.spawn(&work);

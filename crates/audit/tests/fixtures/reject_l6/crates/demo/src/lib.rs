@@ -1,0 +1,9 @@
+//! Reject fixture for L6: every way a span name can break the
+//! `<crate>.<component>.<verb>` grammar.
+
+pub fn solve() {
+    let _wrong_crate = ft_trace::span("other.solver.sweep");
+    let _two_segments = ft_trace::span("demo.sweep");
+    ft_trace::record("demo.solver.sweep.inner", 0, 1);
+    let _bad_chars = ft_trace::begin_at(7, "demo.Solver.sweep", 0);
+}

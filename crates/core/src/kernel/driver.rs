@@ -145,6 +145,7 @@ pub fn run<M: LayerModel>(
     model.terminal(values.row_mut(terminal_row));
 
     for k in 0..steps {
+        let _layer = ft_trace::span("core.kernel.induct_layer");
         // `write` is both the value-table row and the semantic layer
         // index; `policy_row` keeps policies dense in 0..steps.
         let (write, read, policy_row) = match direction {
@@ -153,6 +154,7 @@ pub fn run<M: LayerModel>(
         };
         let (cur, prev) = values.split_rows(write, read);
         let decisions = policy.row_mut(policy_row);
+        let _sweep = ft_trace::span("core.kernel.sweep");
         match sweep {
             Sweep::Dense => dense_sweep(model, write, cur, decisions, prev, grain, threads),
             Sweep::MonotoneDivide => {
@@ -205,22 +207,24 @@ fn monotone_sweep<M: LayerModel>(
     // floor(log2(threads)) levels saturate the pool; one thread means
     // zero splits (the serial baseline must never spawn).
     let max_depth = threads.max(1).ilog2();
-    divide(
-        model,
-        layer,
-        1,
-        cur.len() - 1,
-        0,
-        model.n_actions() - 1,
-        &mut cur[1..],
-        &mut decisions[1..],
-        1,
-        prev,
-        grain,
-        0,
-        max_depth,
-        &mut scratch,
-    );
+    ft_exec::region(|| {
+        divide(
+            model,
+            layer,
+            1,
+            cur.len() - 1,
+            0,
+            model.n_actions() - 1,
+            &mut cur[1..],
+            &mut decisions[1..],
+            1,
+            prev,
+            grain,
+            0,
+            max_depth,
+            &mut scratch,
+        )
+    });
 }
 
 /// `FindOptimalPriceForTime(t, l, r, a_lo, a_hi)` from Algorithm 2, with

@@ -41,6 +41,7 @@ impl TruncationTable {
     /// is the smallest `s` with `Pr[Pois(λ_t p_a) ≥ s] ≤ eps`.
     pub fn with_eps(problem: &DeadlineProblem, eps: f64) -> Self {
         assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1)");
+        let _span = ft_trace::span("core.kernel.build_rows");
         let n_actions = problem.actions.len();
         let mut s0 = Vec::with_capacity(problem.n_intervals() * n_actions);
         for &lam in &problem.interval_arrivals {

@@ -557,6 +557,7 @@ impl CampaignRegistry {
         }
         match solved {
             Ok((engine, policy, start)) => {
+                let _span = ft_trace::span("core.registry.publish");
                 state.engine = Some(engine);
                 campaign.publish(1, start, Arc::new(policy));
                 campaign.transition(&state, CampaignStatus::Live);
@@ -757,6 +758,7 @@ impl CampaignRegistry {
     /// keeps this answering from the previous generation until its one
     /// pointer swap.
     pub fn quote(&self, id: CampaignId, state: ObservedState) -> Result<PriceQuote> {
+        let _span = ft_trace::span("core.registry.quote");
         self.telemetry.quotes.inc();
         let result = self.quote_inner(id, state);
         if result.is_err() {
@@ -777,6 +779,7 @@ impl CampaignRegistry {
         batch
             .iter()
             .map(|&(id, state)| {
+                let _span = ft_trace::span("core.registry.quote");
                 self.telemetry.quotes.inc();
                 let result = match resolved.entry(id).or_insert_with(|| self.resolve(id)) {
                     Ok(current) => Self::price_from(id, current, state),
@@ -948,6 +951,7 @@ impl CampaignRegistry {
         campaign: &Arc<Campaign>,
         obs: CampaignObservation,
     ) -> Result<ObserveOutcome> {
+        let _span = ft_trace::span("core.registry.observe");
         let mut state = lock_state(campaign);
         let status = campaign.status();
         if !matches!(
@@ -967,24 +971,31 @@ impl CampaignRegistry {
                 got: obs.kind(),
             });
         }
-        let effect = state
-            .engine
-            .as_mut()
-            .expect("kind-checked engines exist")
-            .observe(id, &obs)?;
+        let effect = {
+            let _span = ft_trace::span("core.engine.observe");
+            state
+                .engine
+                .as_mut()
+                .expect("kind-checked engines exist")
+                .observe(id, &obs)?
+        };
 
         // Recalibrate when the engine asks: solve with only this
         // campaign's writer lock held, then swap the generation.
         let mut recalibrated = false;
         if effect.recalibrate {
             campaign.transition(&state, CampaignStatus::Recalibrating);
-            let solved = state
-                .engine
-                .as_mut()
-                .expect("kind-checked engines exist")
-                .solve(&self.config.kernel);
+            let solved = {
+                let _span = ft_trace::span("core.registry.recalibrate");
+                state
+                    .engine
+                    .as_mut()
+                    .expect("kind-checked engines exist")
+                    .solve(&self.config.kernel)
+            };
             match solved {
                 Ok(Some((policy, start))) => {
+                    let _span = ft_trace::span("core.registry.publish");
                     let prev = campaign
                         .generation()
                         .expect("live campaign has a generation");

@@ -99,7 +99,20 @@ where
     RA: Send,
     RB: Send,
 {
+    // Recorded on the calling thread: a traced solve shows its fork-join
+    // structure even though pool workers carry no trace context.
+    let _span = ft_trace::span("exec.pool.join");
     Pool::global().join(a, b)
+}
+
+/// Run `f` as one executor region under the `exec.pool.dispatch`
+/// span. For callers that drive their own decomposition (the kernel's
+/// monotone divide-and-conquer forks through [`join`] only when a
+/// segment is large enough) this attributes the region to the executor
+/// in a trace even when every fork ran inline.
+pub fn region<R>(f: impl FnOnce() -> R) -> R {
+    let _span = ft_trace::span("exec.pool.dispatch");
+    f()
 }
 
 /// Split `data` into at most `threads` contiguous chunks of at least
@@ -198,6 +211,10 @@ impl Pool {
         T: Send,
         F: Fn(usize, &mut [T]) + Sync,
     {
+        // The span brackets the whole region — fan-out through
+        // join-back, or the inline fallback: "ran on the caller" is a
+        // dispatch decision worth seeing in a trace too.
+        let _span = ft_trace::span("exec.pool.dispatch");
         let threads = self.resolve_own_threads(threads);
         let len = data.len();
         let Some(chunk_len) = chunk_len_for(len, grain, threads) else {
@@ -229,6 +246,8 @@ impl Pool {
         B: Send,
         F: Fn(usize, &mut [A], &mut [B]) + Sync,
     {
+        // Same bracketing as `par_chunks_mut`.
+        let _span = ft_trace::span("exec.pool.dispatch");
         assert_eq!(a.len(), b.len(), "lockstep slices must match");
         let threads = self.resolve_own_threads(threads);
         let len = a.len();

@@ -9,6 +9,7 @@ use ft_core::registry::{
 use ft_core::PricingError;
 use serde::{map_get, Serialize, Value};
 use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// A price quote as the driver consumes it.
@@ -158,18 +159,38 @@ impl Backend for InProcessBackend {
 pub struct SocketBackend {
     addr: SocketAddr,
     clients: Mutex<Vec<ft_server::Client>>,
+    /// Total calls issued, for the 1-in-[`TRACE_EVERY`] trace tagging.
+    calls: AtomicU64,
+    /// The most recent ids this client tagged with `x-ft-trace` (a
+    /// bounded window — the server's completed-trace store is bounded
+    /// too, so only the newest ids are guaranteed resident). The
+    /// harness resolves each one via `GET /trace/{id}` after the run.
+    traced: Mutex<Vec<u64>>,
 }
+
+/// Tag every Nth socket call with a fresh trace id.
+const TRACE_EVERY: u64 = 16;
+
+/// How many tagged ids the backend retains for the harness crosscheck.
+const TRACED_WINDOW: usize = 64;
 
 impl SocketBackend {
     pub fn new(addr: SocketAddr) -> Self {
         Self {
             addr,
             clients: Mutex::new(Vec::new()),
+            calls: AtomicU64::new(0),
+            traced: Mutex::new(Vec::new()),
         }
     }
 
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The retained window of ids this client traced (oldest first).
+    pub fn traced_ids(&self) -> Vec<u64> {
+        self.traced.lock().expect("traced ids poisoned").clone()
     }
 
     fn call(&self, method: &str, path: &str, body: Option<&str>) -> OpResult<(u16, Value)> {
@@ -181,14 +202,29 @@ impl SocketBackend {
             .expect("client pool poisoned")
             .pop()
             .unwrap_or_else(|| ft_server::Client::new(self.addr));
-        let result = client.request(method, path, body);
+        // ORDERING: Relaxed — the counter only spreads trace tags over
+        // the call stream; no memory is published through it.
+        let trace = self
+            .calls
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(TRACE_EVERY)
+            .then(ft_trace::next_trace_id);
+        let result = client.request_traced(method, path, body, trace);
         let (status, body) = match result {
-            Ok(answer) => {
+            Ok((status, answer, _echoed)) => {
                 self.clients
                     .lock()
                     .expect("client pool poisoned")
                     .push(client);
-                answer
+                if let Some(id) = trace {
+                    let mut traced = self.traced.lock().expect("traced ids poisoned");
+                    traced.push(id);
+                    if traced.len() > TRACED_WINDOW {
+                        let drop_n = traced.len() - TRACED_WINDOW;
+                        traced.drain(..drop_n);
+                    }
+                }
+                (status, answer)
             }
             // A failed client is dropped, not returned — the next call
             // starts from a clean connect.

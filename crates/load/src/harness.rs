@@ -22,9 +22,28 @@ pub struct SocketExtras {
     /// plane may carry traffic from other clients or earlier runs, so
     /// exact reconciliation against this client's counts is undefined.
     pub crosscheck: Option<CrosscheckOutcome>,
+    /// Trace resolution check: every id this client tagged (within the
+    /// retained window) must come back from `GET /trace/{id}` as a
+    /// well-formed span tree. `None` for an external target (it may be
+    /// a `trace-off` build).
+    pub trace: Option<TraceCheckOutcome>,
+    /// The server's Chrome trace-event dump (`GET /trace/export`),
+    /// captured before shutdown so `--trace-out` can write it. `None`
+    /// for an external target.
+    pub trace_export: Option<String>,
     /// Pool sizing of the spawned server; `None` for an external
     /// target (its configuration is not ours to know).
     pub server_pool: Option<ServerPool>,
+}
+
+/// Did the ids this client traced resolve into well-formed span trees?
+pub struct TraceCheckOutcome {
+    /// Ids checked (the backend's retained window).
+    pub checked: usize,
+    /// Ids that resolved with a well-formed tree.
+    pub resolved: usize,
+    /// Human-readable description per failed id.
+    pub failures: Vec<String>,
 }
 
 /// Acceptor-pool sizing of the harness-spawned server.
@@ -97,6 +116,8 @@ pub fn run_socket(scenario: &Scenario) -> Result<(RunOutcome, SocketExtras), Str
     let outcome = driver::run(scenario, &backend, &instruments);
     let flood = flood(addr, scenario.flood_connections);
     let crosscheck = crosscheck(addr, &instruments);
+    let trace = trace_check(addr, &backend.traced_ids());
+    let trace_export = fetch_trace_export(addr);
 
     // Shut the server down before propagating a crosscheck failure —
     // an early `?` above this point would leak the serving threads and
@@ -109,6 +130,8 @@ pub fn run_socket(scenario: &Scenario) -> Result<(RunOutcome, SocketExtras), Str
         SocketExtras {
             flood,
             crosscheck: Some(crosscheck?),
+            trace: Some(trace?),
+            trace_export: Some(trace_export?),
             server_pool: Some(ServerPool {
                 workers: config.workers,
                 queue_depth: config.queue_depth,
@@ -136,6 +159,8 @@ pub fn run_socket_target(
         SocketExtras {
             flood,
             crosscheck: None,
+            trace: None,
+            trace_export: None,
             server_pool: None,
         },
     ))
@@ -249,4 +274,89 @@ fn crosscheck(addr: SocketAddr, instruments: &RunInstruments) -> Result<Crossche
     });
     let matched = entries.iter().all(|e| e.client == e.server);
     Ok(CrosscheckOutcome { entries, matched })
+}
+
+/// Resolve every id this client tagged with `x-ft-trace` via
+/// `GET /trace/{id}` and validate the span tree — the tracing plane's
+/// equivalent of the `/metrics` crosscheck: a trace the server echoed
+/// must actually be openable.
+fn trace_check(addr: SocketAddr, ids: &[u64]) -> Result<TraceCheckOutcome, String> {
+    let mut resolved = 0;
+    let mut failures = Vec::new();
+    for &id in ids {
+        let path = format!("/trace/{id:016x}");
+        match ft_server::client::request(addr, "GET", &path, None) {
+            Ok((200, body)) => match validate_trace_body(id, &body) {
+                Ok(()) => resolved += 1,
+                Err(e) => failures.push(format!("{id:016x}: {e}")),
+            },
+            Ok((status, _)) => failures.push(format!("{id:016x}: HTTP {status}")),
+            Err(e) => return Err(format!("GET {path}: {e}")),
+        }
+    }
+    Ok(TraceCheckOutcome {
+        checked: ids.len(),
+        resolved,
+        failures,
+    })
+}
+
+/// A stored trace must be a well-formed tree: a non-empty span list
+/// with exactly one root (`parent_id == 0`) and every other parent
+/// resolving to a span in the same trace, all within the root's
+/// interval.
+fn validate_trace_body(id: u64, body: &str) -> Result<(), String> {
+    let value: Value = serde_json::from_str(body).map_err(|e| format!("bad JSON: {e}"))?;
+    let map = value.as_map().ok_or("not an object")?;
+    let wire_id = map_get(map, "trace_id")
+        .ok()
+        .and_then(Value::as_str)
+        .ok_or("missing trace_id")?;
+    if wire_id != format!("{id:016x}") {
+        return Err(format!("trace_id {wire_id} is not the id requested"));
+    }
+    let spans = map_get(map, "spans")
+        .ok()
+        .and_then(Value::as_seq)
+        .ok_or("missing spans array")?;
+    if spans.is_empty() {
+        return Err("empty span list".into());
+    }
+    let field = |span: &Value, key: &str| -> Result<f64, String> {
+        map_get(span.as_map().unwrap_or(&[]), key)
+            .ok()
+            .and_then(Value::as_num)
+            .ok_or_else(|| format!("span missing numeric `{key}`"))
+    };
+    let mut span_ids = Vec::with_capacity(spans.len());
+    for span in spans {
+        span_ids.push(field(span, "span_id")?);
+    }
+    let mut roots = 0;
+    for span in spans {
+        let parent = field(span, "parent_id")?;
+        if parent == 0.0 {
+            roots += 1;
+        } else if !span_ids.contains(&parent) {
+            return Err(format!("parent {parent} not in trace"));
+        }
+        if field(span, "end_ns")? < field(span, "start_ns")? {
+            return Err("span interval inverted".into());
+        }
+    }
+    if roots != 1 {
+        return Err(format!("{roots} roots (expected 1)"));
+    }
+    Ok(())
+}
+
+/// Capture the server's Chrome trace-event dump (must happen before
+/// shutdown; `--trace-out` writes it to disk afterwards).
+fn fetch_trace_export(addr: SocketAddr) -> Result<String, String> {
+    let (status, body) = ft_server::client::request(addr, "GET", "/trace/export", None)
+        .map_err(|e| format!("GET /trace/export: {e}"))?;
+    if status != 200 {
+        return Err(format!("GET /trace/export: HTTP {status}"));
+    }
+    Ok(body)
 }

@@ -19,6 +19,8 @@ struct Args {
     /// External server (`host:port`) for socket mode; `None` spawns an
     /// in-process `ft-server`.
     target: Option<String>,
+    /// Write the socket run's Chrome trace-event dump here.
+    trace_out: Option<String>,
 }
 
 const USAGE: &str = "\
@@ -42,6 +44,9 @@ OPTIONS:
                        crosscheck gate is skipped — an external server
                        may carry traffic this client never sent)
     --out FILE         report path                 [default: BENCH_load.json]
+    --trace-out FILE   write the spawned server's GET /trace/export
+                       dump (Chrome trace-event JSON, loadable in
+                       Perfetto) after the socket run
 ";
 
 fn parse_args() -> Result<Args, String> {
@@ -51,6 +56,7 @@ fn parse_args() -> Result<Args, String> {
     let mut mode: Option<Mode> = None;
     let mut target: Option<String> = None;
     let mut out = "BENCH_load.json".to_string();
+    let mut trace_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -69,6 +75,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--target" => target = Some(args.next().ok_or("--target needs HOST:PORT")?),
             "--out" => out = args.next().ok_or("--out needs a file path")?,
+            "--trace-out" => trace_out = Some(args.next().ok_or("--trace-out needs a file path")?),
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -108,12 +115,20 @@ fn parse_args() -> Result<Args, String> {
         (None, None) if fast => Scenario::fast(),
         (None, None) => Scenario::standard(),
     };
+    if trace_out.is_some() && target.is_some() {
+        return Err(
+            "--trace-out needs a spawned server (it cannot be combined with --target, \
+                    which may point at a trace-off build)"
+                .into(),
+        );
+    }
     scenario.validate()?;
     Ok(Args {
         scenario,
         mode,
         out,
         target,
+        trace_out,
     })
 }
 
@@ -151,6 +166,16 @@ fn print_summary(outcome: &RunOutcome, extras: Option<&SocketExtras>) {
             quantiles.join(" ")
         );
     }
+    // Clamped samples fell outside the histogram range, so the tail
+    // quantiles above silently understate them — say so out loud (the
+    // gate also fails the run).
+    let clamped: u64 = outcome.latency.iter().map(|(_, s)| s.clamped).sum();
+    if clamped > 0 {
+        println!(
+            "  WARNING: {clamped} latency sample(s) clamped to the histogram range — \
+             tail quantiles above are underestimates"
+        );
+    }
     if let Some(extras) = extras {
         let pool = match &extras.server_pool {
             Some(pool) => format!(
@@ -175,6 +200,21 @@ fn print_summary(outcome: &RunOutcome, extras: Option<&SocketExtras>) {
                     .map(|e| format!("{} {}≠{}", e.name, e.client, e.server))
                     .collect::<Vec<_>>()
                     .join(", ")
+            ),
+        }
+        match &extras.trace {
+            None => println!("  trace crosscheck: skipped (external target)"),
+            Some(trace) if trace.failures.is_empty() && trace.resolved == trace.checked => {
+                println!(
+                    "  trace crosscheck: {}/{} tagged ids resolved with well-formed span trees",
+                    trace.resolved, trace.checked
+                )
+            }
+            Some(trace) => println!(
+                "  trace crosscheck: FAILED {}/{} resolved ({})",
+                trace.resolved,
+                trace.checked,
+                trace.failures.join(", ")
             ),
         }
     }
@@ -231,6 +271,24 @@ fn main() {
         failures.push(format!("write {}: {e}", args.out));
     } else {
         println!("report written to {}", args.out);
+    }
+
+    if let Some(path) = &args.trace_out {
+        let export = runs
+            .iter()
+            .find_map(|(_, extras)| extras.as_ref().and_then(|e| e.trace_export.clone()));
+        match export {
+            Some(export) => {
+                if let Err(e) = std::fs::write(path, &export) {
+                    failures.push(format!("write {path}: {e}"));
+                } else {
+                    println!("trace export written to {path}");
+                }
+            }
+            None => failures.push(format!(
+                "--trace-out {path}: no trace export captured (socket run missing or failed)"
+            )),
+        }
     }
 
     if !failures.is_empty() {

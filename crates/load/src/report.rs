@@ -133,6 +133,25 @@ fn run_value(outcome: &RunOutcome, extras: Option<&SocketExtras>) -> Value {
                 ]),
             ));
         }
+        if let Some(trace) = &extras.trace {
+            fields.push((
+                "trace_crosscheck",
+                map(vec![
+                    ("checked", num(trace.checked as f64)),
+                    ("resolved", num(trace.resolved as f64)),
+                    (
+                        "failures",
+                        Value::Seq(
+                            trace
+                                .failures
+                                .iter()
+                                .map(|f| Value::Str(f.clone()))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ));
+        }
     }
     map(fields)
 }
@@ -256,6 +275,21 @@ pub fn evaluate_gates(
                 failures.push(format!(
                     "[{mode}] /metrics does not reconcile: {}",
                     detail.join("; ")
+                ));
+            }
+        }
+        // Same spirit for the tracing plane: every id this client
+        // tagged must come back from GET /trace/{id} well-formed.
+        if let Some(trace) = &extras.trace {
+            if trace.checked == 0 {
+                failures.push(format!("[{mode}] no traced requests to cross-check"));
+            }
+            if trace.resolved != trace.checked || !trace.failures.is_empty() {
+                failures.push(format!(
+                    "[{mode}] {}/{} traced ids resolved; failures: {}",
+                    trace.resolved,
+                    trace.checked,
+                    trace.failures.join("; ")
                 ));
             }
         }

@@ -70,6 +70,12 @@ pub struct Histogram {
     /// Samples that exceeded [`Histogram::MAX_VALUE`] and were clamped
     /// into the top bucket (still counted — never dropped).
     clamped: AtomicU64,
+    /// Largest traced sample offered via
+    /// [`Histogram::offer_exemplar`] (0 = none yet).
+    exemplar_value: AtomicU64,
+    /// Trace id of that sample — exported as `exemplar_trace_id` so a
+    /// tail bucket points at an openable trace.
+    exemplar_id: AtomicU64,
     /// Last merged snapshot + when it was taken, for
     /// [`Histogram::snapshot_cached`]. Never touched by the record
     /// path.
@@ -130,6 +136,8 @@ impl Histogram {
         Self {
             shards: (0..SHARDS).map(|_| Shard::new()).collect(),
             clamped: AtomicU64::new(0),
+            exemplar_value: AtomicU64::new(0),
+            exemplar_id: AtomicU64::new(0),
             cache: Mutex::new(None),
         }
     }
@@ -160,6 +168,42 @@ impl Histogram {
     #[inline]
     pub fn record_duration(&self, d: std::time::Duration) {
         self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Offer a traced sample as this histogram's tail exemplar: the
+    /// largest offered value wins and its trace id is exported as
+    /// `exemplar_trace_id`. The value/id pair is two independent
+    /// atomics, not one — a racing larger offer can briefly pair the
+    /// previous id with the new value. Exemplars are diagnostic
+    /// pointers into the trace store, not accounting, so that benign
+    /// race is accepted to keep the offer wait-free-ish (one bounded
+    /// CAS race per new maximum).
+    pub fn offer_exemplar(&self, value: u64, trace_id: u64) {
+        if trace_id == 0 {
+            return;
+        }
+        // ORDERING: Relaxed — max-tracking CAS on an independent
+        // diagnostic cell; nothing is published through it and exports
+        // tolerate any interleaving (see the benign race above).
+        let mut current = self.exemplar_value.load(Ordering::Relaxed);
+        while value > current {
+            match self.exemplar_value.compare_exchange_weak(
+                current,
+                value,
+                // ORDERING: Relaxed — same diagnostic cell discipline
+                // on both the success and failure paths.
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    // ORDERING: Relaxed — same diagnostic cell
+                    // discipline as the value above.
+                    self.exemplar_id.store(trace_id, Ordering::Relaxed);
+                    return;
+                }
+                Err(seen) => current = seen,
+            }
+        }
     }
 
     /// Like [`Histogram::snapshot`], but reuse the last merged snapshot
@@ -217,6 +261,8 @@ impl Histogram {
             sum,
             // ORDERING: Acquire — same snapshot discipline as above.
             clamped: self.clamped.load(Ordering::Acquire),
+            // ORDERING: Acquire — same snapshot discipline as above.
+            exemplar_trace_id: self.exemplar_id.load(Ordering::Acquire),
         }
     }
 }
@@ -231,6 +277,8 @@ pub struct HistogramSnapshot {
     pub sum: u64,
     /// Samples clamped into the top bucket.
     pub clamped: u64,
+    /// Trace id of the slowest traced sample (0 = none offered).
+    pub exemplar_trace_id: u64,
 }
 
 impl HistogramSnapshot {
@@ -345,6 +393,19 @@ mod tests {
         assert_eq!(s.count, 2);
         assert_eq!(s.clamped, 1);
         assert!(s.quantile(1.0).unwrap() >= Histogram::MAX_VALUE / 2);
+    }
+
+    #[test]
+    fn exemplar_keeps_slowest_traced_sample() {
+        let h = Histogram::new();
+        assert_eq!(h.snapshot().exemplar_trace_id, 0);
+        h.offer_exemplar(100, 0xaaaa); // first offer wins
+        h.offer_exemplar(50, 0xbbbb); // smaller: ignored
+        assert_eq!(h.snapshot().exemplar_trace_id, 0xaaaa);
+        h.offer_exemplar(200, 0xcccc); // new maximum replaces
+        assert_eq!(h.snapshot().exemplar_trace_id, 0xcccc);
+        h.offer_exemplar(300, 0); // no trace id: ignored
+        assert_eq!(h.snapshot().exemplar_trace_id, 0xcccc);
     }
 
     #[test]

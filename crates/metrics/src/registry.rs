@@ -130,6 +130,12 @@ impl MetricsRegistry {
                         ("mean".to_string(), Value::Num(s.mean())),
                         ("clamped".to_string(), Value::Num(s.clamped as f64)),
                     ];
+                    if s.exemplar_trace_id != 0 {
+                        fields.push((
+                            "exemplar_trace_id".to_string(),
+                            Value::Str(format!("{:016x}", s.exemplar_trace_id)),
+                        ));
+                    }
                     for (label, q) in QUANTILES {
                         fields.push((
                             label.to_string(),
@@ -238,6 +244,18 @@ mod tests {
             serde::map_get(hist, "p99").unwrap(),
             Value::Num(_)
         ));
+        // No exemplar offered → field absent.
+        assert!(serde::map_get(hist, "exemplar_trace_id").is_err());
+        r.histogram("lat_ns").offer_exemplar(1000, 0xdead_beef);
+        let v = r.to_value();
+        let hist = serde::map_get(v.as_map().unwrap(), "lat_ns")
+            .unwrap()
+            .as_map()
+            .unwrap();
+        assert_eq!(
+            serde::map_get(hist, "exemplar_trace_id").unwrap(),
+            &Value::Str("00000000deadbeef".to_string())
+        );
     }
 
     /// Satellite: with a freshness bound set, exports within the bound

@@ -46,13 +46,15 @@ pub fn request(
         }
     }
     let mut reader = BufReader::new(stream);
-    read_response(&mut reader).map(|(status, body, _)| (status, body))
+    read_response(&mut reader).map(|(status, body, _, _)| (status, body))
 }
 
-/// Read one HTTP response off `reader`: `(status, body, keep_alive)`.
-/// `keep_alive` reports whether the server intends to keep the
-/// connection open (`Connection: close` absent).
-fn read_response<R: BufRead>(reader: &mut R) -> std::io::Result<(u16, String, bool)> {
+/// Read one HTTP response off `reader`: `(status, body, keep_alive,
+/// trace)`. `keep_alive` reports whether the server intends to keep
+/// the connection open (`Connection: close` absent); `trace` is the
+/// echoed `x-ft-trace` id, when the request was traced.
+#[allow(clippy::type_complexity)]
+fn read_response<R: BufRead>(reader: &mut R) -> std::io::Result<(u16, String, bool, Option<u64>)> {
     let mut status_line = String::new();
     reader.read_line(&mut status_line)?;
     if status_line.is_empty() {
@@ -73,6 +75,7 @@ fn read_response<R: BufRead>(reader: &mut R) -> std::io::Result<(u16, String, bo
         })?;
     let mut content_length = 0usize;
     let mut keep_alive = true;
+    let mut trace = None;
     loop {
         let mut line = String::new();
         if reader.read_line(&mut line)? == 0 {
@@ -95,12 +98,15 @@ fn read_response<R: BufRead>(reader: &mut R) -> std::io::Result<(u16, String, bo
             {
                 keep_alive = false;
             }
+            if name.eq_ignore_ascii_case("x-ft-trace") {
+                trace = ft_trace::parse_trace_id(value.trim());
+            }
         }
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
     String::from_utf8(body)
-        .map(|body| (status, body, keep_alive))
+        .map(|body| (status, body, keep_alive, trace))
         .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "body not UTF-8"))
 }
 
@@ -136,11 +142,25 @@ impl Client {
         path: &str,
         body: Option<&str>,
     ) -> std::io::Result<(u16, String)> {
+        self.request_traced(method, path, body, None)
+            .map(|(status, body, _)| (status, body))
+    }
+
+    /// Like [`Client::request`], but tags the request with an
+    /// `x-ft-trace` id so the server samples it into the tracing
+    /// plane; returns the echoed id alongside status and body.
+    pub fn request_traced(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        trace: Option<u64>,
+    ) -> std::io::Result<(u16, String, Option<u64>)> {
         let reused = self.stream.is_some();
-        match self.try_request(method, path, body) {
+        match self.try_request(method, path, body, trace) {
             Err(e) if reused && retryable(&e) => {
                 self.stream = None;
-                self.try_request(method, path, body)
+                self.try_request(method, path, body, trace)
             }
             result => result,
         }
@@ -151,7 +171,8 @@ impl Client {
         method: &str,
         path: &str,
         body: Option<&str>,
-    ) -> std::io::Result<(u16, String)> {
+        trace: Option<u64>,
+    ) -> std::io::Result<(u16, String, Option<u64>)> {
         if self.stream.is_none() {
             let stream = TcpStream::connect(self.addr)?;
             let _ = stream.set_nodelay(true);
@@ -159,10 +180,14 @@ impl Client {
         }
         let reader = self.stream.as_mut().expect("connected above");
         let body = body.unwrap_or("");
+        let trace_header = match trace {
+            Some(id) => format!("x-ft-trace: {id:016x}\r\n"),
+            None => String::new(),
+        };
         // No `Connection: close`: HTTP/1.1 defaults to keep-alive. One
         // buffer, one write — see [`request`] on Nagle stalls.
         let request = format!(
-            "{method} {path} HTTP/1.1\r\nHost: ft-client\r\nContent-Length: {}\r\n\r\n{body}",
+            "{method} {path} HTTP/1.1\r\nHost: ft-client\r\nContent-Length: {}\r\n{trace_header}\r\n{body}",
             body.len()
         );
         let written = reader.get_mut().write_all(request.as_bytes());
@@ -179,11 +204,11 @@ impl Client {
             }
         }
         match read_response(reader) {
-            Ok((status, body, keep_alive)) => {
+            Ok((status, body, keep_alive, echoed)) => {
                 if !keep_alive {
                     self.stream = None;
                 }
-                Ok((status, body))
+                Ok((status, body, echoed))
             }
             Err(e) => {
                 self.stream = None;

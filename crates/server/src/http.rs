@@ -20,6 +20,9 @@ pub struct Request {
     pub body: String,
     /// Whether the client asked to keep the connection open.
     pub keep_alive: bool,
+    /// Trace id from an `x-ft-trace` header, if the client sent one
+    /// (propagated through the handler and echoed on the response).
+    pub trace: Option<u64>,
 }
 
 impl Request {
@@ -38,6 +41,8 @@ pub struct Response {
     pub status: u16,
     pub body: String,
     pub content_type: &'static str,
+    /// Trace id echoed back as an `x-ft-trace` response header.
+    pub trace: Option<u64>,
 }
 
 impl Response {
@@ -46,6 +51,7 @@ impl Response {
             status,
             body,
             content_type: "application/json",
+            trace: None,
         }
     }
 
@@ -55,6 +61,7 @@ impl Response {
             status,
             body,
             content_type: "text/plain; version=0.0.4",
+            trace: None,
         }
     }
 }
@@ -113,10 +120,12 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
         }
     };
 
-    // Headers: we only act on Content-Length and Connection.
+    // Headers: we only act on Content-Length, Connection and
+    // x-ft-trace.
     let mut content_length = 0usize;
     // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close.
     let mut keep_alive = version != "HTTP/1.0";
+    let mut trace = None;
     loop {
         let Some(header) = read_line_bounded(reader, &mut budget)? else {
             return Err(io::Error::new(
@@ -138,6 +147,10 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
                 .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad content-length"))?;
         } else if name.eq_ignore_ascii_case("connection") {
             keep_alive = !value.eq_ignore_ascii_case("close");
+        } else if name.eq_ignore_ascii_case("x-ft-trace") {
+            // A malformed id is ignored, not a 400: tracing is
+            // best-effort and must never fail a request.
+            trace = ft_trace::parse_trace_id(value);
         }
     }
     if content_length > MAX_BODY_BYTES {
@@ -158,6 +171,7 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
         query,
         body,
         keep_alive,
+        trace,
     }))
 }
 
@@ -224,6 +238,7 @@ pub fn parse_request(buf: &[u8]) -> io::Result<Option<(Request, usize)>> {
     };
     let mut content_length = 0usize;
     let mut keep_alive = version != "HTTP/1.0";
+    let mut trace = None;
     for header in lines {
         if header.is_empty() {
             break;
@@ -238,6 +253,9 @@ pub fn parse_request(buf: &[u8]) -> io::Result<Option<(Request, usize)>> {
                 .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad content-length"))?;
         } else if name.eq_ignore_ascii_case("connection") {
             keep_alive = !value.eq_ignore_ascii_case("close");
+        } else if name.eq_ignore_ascii_case("x-ft-trace") {
+            // Best-effort, as in `read_request`.
+            trace = ft_trace::parse_trace_id(value);
         }
     }
     if content_length > MAX_BODY_BYTES {
@@ -259,6 +277,7 @@ pub fn parse_request(buf: &[u8]) -> io::Result<Option<(Request, usize)>> {
             query,
             body,
             keep_alive,
+            trace,
         },
         body_start + content_length,
     )))
@@ -318,14 +337,17 @@ pub fn write_response<W: Write>(
 ) -> io::Result<()> {
     write!(
         writer,
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{}",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         response.status,
         reason(response.status),
         response.content_type,
         response.body.len(),
         if keep_alive { "keep-alive" } else { "close" },
-        response.body
     )?;
+    if let Some(trace) = response.trace {
+        write!(writer, "x-ft-trace: {trace:016x}\r\n")?;
+    }
+    write!(writer, "\r\n{}", response.body)?;
     writer.flush()
 }
 

@@ -274,11 +274,28 @@ pub(crate) fn run(
             let closing = &*shutdown;
             s.spawn(move || {
                 while let Some(job) = jobs.pop() {
-                    state
-                        .telemetry
-                        .queue_wait
-                        .record_duration(job.queued_at.elapsed());
+                    let queue_wait = job.queued_at.elapsed();
+                    state.telemetry.queue_wait.record_duration(queue_wait);
+                    // Trace when the client asked for it (x-ft-trace)
+                    // or on the organic 1-in-1024 sample. The root span
+                    // is backdated to when the request was parsed, so
+                    // the tier hand-off shows up as a `queue_wait`
+                    // child instead of vanishing between spans.
+                    let trace_id = job
+                        .request
+                        .trace
+                        .or_else(|| ft_trace::sample(1024).then(ft_trace::next_trace_id));
+                    let dequeued_ns = ft_trace::now_ns();
+                    let queued_ns = dequeued_ns
+                        .saturating_sub(u64::try_from(queue_wait.as_nanos()).unwrap_or(u64::MAX));
+                    let root = ft_trace::begin_at(
+                        trace_id.unwrap_or(0),
+                        "server.request.serve",
+                        queued_ns,
+                    );
+                    ft_trace::record("server.reactor.queue_wait", queued_ns, dequeued_ns);
                     let response = router::handle(state, &job.request);
+                    drop(root);
                     // During shutdown, answer the request in hand but
                     // decline the keep-alive so the connection closes.
                     // ORDERING: Acquire pairs with the Release store in

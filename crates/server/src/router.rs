@@ -14,6 +14,9 @@
 //! | `POST /campaigns/{id}/observations` | report an interval / progress |
 //! | `GET /campaigns/{id}` | status + diagnostics |
 //! | `DELETE /campaigns/{id}` | evict (tombstone) |
+//! | `GET /trace/recent?limit=..` | recently completed traces + slow exemplars |
+//! | `GET /trace/{id}` | one completed trace as a span tree (JSON) |
+//! | `GET /trace/export` | Chrome trace-event / Perfetto JSON dump |
 //!
 //! Request/response bodies are JSON. Campaign specs are flattened:
 //! `{"kind": "deadline", "problem": {...}, "eps": 1e-9}` or
@@ -100,13 +103,28 @@ fn map(entries: Vec<(&str, Value)>) -> Value {
 /// Route one request: classify it **once** ([`Endpoint::classify`] is
 /// the single routing table), dispatch onto the registry, and record
 /// endpoint count, latency and status class into the metrics plane.
+///
+/// When the request carries an `x-ft-trace` id, a root span is opened
+/// here (a no-op for callers like the reactor that already opened one
+/// with queue-wait attribution) and the id is echoed on the response.
 pub fn handle(state: &AppState, request: &Request) -> Response {
     let started = std::time::Instant::now();
+    let root = ft_trace::begin_at(
+        request.trace.unwrap_or(0),
+        "server.request.serve",
+        ft_trace::now_ns(),
+    );
     let endpoint = Endpoint::classify(request);
-    let response = dispatch(state, endpoint, request);
+    ft_trace::set_current_op(endpoint.label());
+    let trace_id = ft_trace::current_trace_id();
+    let mut response = dispatch(state, endpoint, request);
     state
         .telemetry
-        .record(endpoint, response.status, started.elapsed());
+        .record(endpoint, response.status, started.elapsed(), trace_id);
+    // Echo the trace id even in `trace-off` builds (propagation is a
+    // wire contract; only recording compiles out).
+    response.trace = request.trace.or(trace_id);
+    drop(root);
     response
 }
 
@@ -124,6 +142,9 @@ fn dispatch(state: &AppState, endpoint: Endpoint, request: &Request) -> Response
         Endpoint::CampaignObserve => with_id(request, |id| observe(registry, id, request)),
         Endpoint::CampaignsQuotes => campaigns_quotes(registry, request),
         Endpoint::CampaignsObserve => campaigns_observe(registry, request),
+        Endpoint::TraceRecent => trace_recent(request),
+        Endpoint::TraceGet => trace_get(request),
+        Endpoint::TraceExport => Response::json(200, ft_trace::export_chrome_json()),
         Endpoint::Other => fallback(request),
     }
 }
@@ -193,6 +214,42 @@ fn metrics(state: &AppState, request: &Request) -> Response {
         Some(other) => bad_request(&format!(
             "unknown format `{other}` (use json, prometheus or text)"
         )),
+    }
+}
+
+/// `GET /trace/recent?limit=..` — the most recently completed traces
+/// (newest first) plus the per-endpoint slow-trace exemplar index.
+fn trace_recent(request: &Request) -> Response {
+    let limit = match request.query("limit") {
+        None => 32,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(limit) => limit,
+            Err(_) => return bad_request("`limit` must be a non-negative integer"),
+        },
+    };
+    Response::json(200, ft_trace::recent_json(limit))
+}
+
+/// `GET /trace/{id}` — fetch one completed trace by its 16-hex-digit
+/// id (the value echoed in `x-ft-trace`). 404s cover both eviction
+/// from the bounded store and ids that were never sampled.
+fn trace_get(request: &Request) -> Response {
+    let raw = request
+        .path
+        .split('/')
+        .filter(|s| !s.is_empty())
+        .nth(1)
+        .unwrap_or("");
+    let Some(id) = ft_trace::parse_trace_id(raw) else {
+        return bad_request("trace id must be 1-16 hex digits");
+    };
+    match ft_trace::find_json(id) {
+        Some(body) => Response::json(200, body),
+        None => error_response(
+            404,
+            "not_found",
+            "trace not stored (evicted or never sampled)",
+        ),
     }
 }
 

@@ -26,11 +26,17 @@ pub enum Endpoint {
     CampaignsQuotes,
     /// `POST /campaigns/observations` — N observations in one round trip.
     CampaignsObserve,
+    /// `GET /trace/recent` — recently completed traces + exemplar index.
+    TraceRecent,
+    /// `GET /trace/{id}` — one completed trace as a span tree.
+    TraceGet,
+    /// `GET /trace/export` — Chrome trace-event / Perfetto JSON dump.
+    TraceExport,
     Other,
 }
 
 impl Endpoint {
-    pub const ALL: [Endpoint; 12] = [
+    pub const ALL: [Endpoint; 15] = [
         Endpoint::Healthz,
         Endpoint::Metrics,
         Endpoint::CampaignsIndex,
@@ -42,6 +48,9 @@ impl Endpoint {
         Endpoint::CampaignDelete,
         Endpoint::CampaignsQuotes,
         Endpoint::CampaignsObserve,
+        Endpoint::TraceRecent,
+        Endpoint::TraceGet,
+        Endpoint::TraceExport,
         Endpoint::Other,
     ];
 
@@ -59,6 +68,9 @@ impl Endpoint {
             Endpoint::CampaignDelete => "campaign_delete",
             Endpoint::CampaignsQuotes => "campaigns_quotes",
             Endpoint::CampaignsObserve => "campaigns_observations",
+            Endpoint::TraceRecent => "trace_recent",
+            Endpoint::TraceGet => "trace_get",
+            Endpoint::TraceExport => "trace_export",
             Endpoint::Other => "other",
         }
     }
@@ -77,6 +89,11 @@ impl Endpoint {
             // lost.
             ("POST", ["campaigns", "quotes"]) => Endpoint::CampaignsQuotes,
             ("POST", ["campaigns", "observations"]) => Endpoint::CampaignsObserve,
+            // The named trace routes shadow the `{id}` shape, like the
+            // bulk campaign routes above.
+            ("GET", ["trace", "recent"]) => Endpoint::TraceRecent,
+            ("GET", ["trace", "export"]) => Endpoint::TraceExport,
+            ("GET", ["trace", _]) => Endpoint::TraceGet,
             ("GET", ["campaigns", _]) => Endpoint::CampaignReport,
             ("DELETE", ["campaigns", _]) => Endpoint::CampaignDelete,
             ("POST", ["campaigns", _, "solve"]) => Endpoint::CampaignSolve,
@@ -136,14 +153,27 @@ impl ServerTelemetry {
         }
     }
 
-    /// Record one routed request: endpoint count, latency, status class.
-    pub fn record(&self, endpoint: Endpoint, status: u16, elapsed: std::time::Duration) {
+    /// Record one routed request: endpoint count, latency, status
+    /// class — and, when the request was traced, offer its latency as
+    /// the endpoint histogram's tail exemplar so `/metrics` can point
+    /// at an openable trace.
+    pub fn record(
+        &self,
+        endpoint: Endpoint,
+        status: u16,
+        elapsed: std::time::Duration,
+        trace: Option<u64>,
+    ) {
         let i = Endpoint::ALL
             .iter()
             .position(|e| *e == endpoint)
             .expect("endpoint in ALL");
         self.requests[i].inc();
         self.latency[i].record_duration(elapsed);
+        if let Some(trace_id) = trace {
+            let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+            self.latency[i].offer_exemplar(ns, trace_id);
+        }
         match status {
             200..=299 => self.class_2xx.inc(),
             500..=599 => self.class_5xx.inc(),

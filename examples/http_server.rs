@@ -30,6 +30,28 @@ fn num(value: &Value, key: &str) -> f64 {
         .expect("number")
 }
 
+/// Indented span tree: children under their parent, in start order.
+fn print_span_tree(spans: &[Value], parent: u64, depth: usize) {
+    let mut children: Vec<&Value> = spans
+        .iter()
+        .filter(|s| num(s, "parent_id") as u64 == parent)
+        .collect();
+    children.sort_by_key(|s| num(s, "start_ns") as u64);
+    for span in children {
+        let name = map_get(span.as_map().expect("span object"), "name")
+            .expect("name")
+            .as_str()
+            .expect("string");
+        println!(
+            "  {:indent$}{name} ({} ns)",
+            "",
+            num(span, "duration_ns"),
+            indent = depth * 2
+        );
+        print_span_tree(spans, num(span, "span_id") as u64, depth + 1);
+    }
+}
+
 fn registry() -> Arc<CampaignRegistry> {
     Arc::new(CampaignRegistry::with_config(
         KernelConfig::default(),
@@ -101,25 +123,37 @@ fn main() {
     // completions per 20-minute interval at its opening price, but only
     // 1 shows up — ρ̂ falls and the remaining horizon is re-solved with
     // scaled-down arrivals, raising the posted price.
+    // Each report is tagged with an `x-ft-trace` id: the server keeps
+    // a span tree for tagged requests, so the report that carried the
+    // slow re-solve inline can be replayed span by span afterwards.
+    let mut client = ft_server::Client::new(addr);
+    let mut recalibration_trace = None;
     println!("\nobserving a quiet day (completions ≈ ⅓ of trained):");
     let mut remaining = 200u64;
     for interval in 0..6 {
         let done = 1u64.min(remaining);
         remaining -= done;
         let obs = format!("{{\"interval\":{interval},\"completions\":{done}}}");
-        let (_, body) = http(
-            addr,
-            "POST",
-            &format!("/campaigns/{id}/observations"),
-            Some(&obs),
-        );
+        let trace_id = ft_trace::next_trace_id();
+        let (_, body, _) = client
+            .request_traced(
+                "POST",
+                &format!("/campaigns/{id}/observations"),
+                Some(&obs),
+                Some(trace_id),
+            )
+            .expect("observe");
+        let body: Value = serde_json::from_str(&body).expect("json");
+        let recalibrated =
+            map_get(body.as_map().unwrap(), "recalibrated").is_ok_and(|v| *v == Value::Bool(true));
+        if recalibrated {
+            recalibration_trace.get_or_insert(trace_id);
+        }
         println!(
             "  interval {interval}: {done} done → ρ̂ = {:.2}, generation {}{}",
             num(&body, "correction"),
             num(&body, "generation"),
-            if map_get(body.as_map().unwrap(), "recalibrated")
-                .is_ok_and(|v| *v == Value::Bool(true))
-            {
+            if recalibrated {
                 "  ← recalibrated"
             } else {
                 ""
@@ -127,16 +161,30 @@ fn main() {
         );
     }
 
+    // Fetch the slow request's own trace: socket → reactor queue →
+    // registry → engine → solver kernel → executor, as one span tree.
+    let trace_id = recalibration_trace.expect("drift must trigger a recalibration");
+    let (status, trace) = http(addr, "GET", &format!("/trace/{trace_id:016x}"), None);
+    assert_eq!(status, 200);
+    println!(
+        "\nGET /trace/{trace_id:016x} → the recalibrating report, span by span ({} ns):",
+        num(&trace, "duration_ns")
+    );
+    let spans = map_get(trace.as_map().unwrap(), "spans")
+        .expect("spans")
+        .as_seq()
+        .expect("array");
+    print_span_tree(spans, 0, 0);
+
     let probe = format!("/campaigns/{id}/price?remaining={}&interval=6", remaining);
     let (_, body) = http(addr, "GET", &probe, None);
     let price = num(&body, "price");
     let generation = num(&body, "generation");
     println!("\nGET {probe} → post {price} cents (generation {generation})");
 
-    // The batched quote API: N quotes in one round trip, over one
+    // The batched quote API: N quotes in one round trip, over the same
     // keep-alive connection. Per-campaign failures ride inline
     // (campaign 999 doesn't exist) instead of sinking the batch.
-    let mut client = ft_server::Client::new(addr);
     let batch = format!(
         "{{\"quotes\":[\
          {{\"id\":{id},\"remaining\":{remaining},\"interval\":6}},\
