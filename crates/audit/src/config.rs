@@ -14,11 +14,18 @@ use serde::{map_get, Value};
 use std::path::Path;
 
 /// One allowlist entry: suppress `lint` findings in `path`.
+///
+/// L3 entries may carry a `sites` budget: the exact number of raw
+/// spawn sites the entry sanctions. A budget makes the suppression
+/// precise — a new `thread::spawn` sneaking into an allowlisted file
+/// changes the count and fails the audit instead of riding the
+/// existing blanket suppression.
 #[derive(Debug, Clone)]
 pub struct AllowEntry {
     pub lint: String,
     pub path: String,
     pub reason: String,
+    pub sites: Option<u64>,
 }
 
 #[derive(Debug, Default)]
@@ -70,7 +77,7 @@ impl Allowlist {
                 continue;
             };
             for (key, _) in emap {
-                if !matches!(key.as_str(), "lint" | "path" | "reason") {
+                if !matches!(key.as_str(), "lint" | "path" | "reason" | "sites") {
                     findings.push(entry_err(format!("unknown key `{key}`")));
                 }
             }
@@ -88,6 +95,23 @@ impl Allowlist {
             if reason.trim().is_empty() {
                 findings.push(entry_err("`reason` must not be empty".into()));
             }
+            let sites = match map_get(emap, "sites") {
+                Err(_) => None,
+                Ok(v) => match v.as_num() {
+                    Some(n) if n >= 1.0 && n.fract() == 0.0 => {
+                        if lint != "L3" {
+                            findings.push(entry_err(
+                                "`sites` is only valid on L3 entries (spawn-site budget)".into(),
+                            ));
+                        }
+                        Some(n as u64)
+                    }
+                    _ => {
+                        findings.push(entry_err("`sites` must be a positive integer".into()));
+                        None
+                    }
+                },
+            };
             if !root.join(path).is_file() {
                 findings.push(entry_err(format!(
                     "dangling path `{path}` — file does not exist"
@@ -98,21 +122,24 @@ impl Allowlist {
                 lint: lint.to_string(),
                 path: path.to_string(),
                 reason: reason.to_string(),
+                sites,
             });
         }
         (Allowlist { entries }, findings)
     }
 
-    /// Apply the allowlist: drop suppressed findings, and flag any
-    /// entry that suppressed nothing as dead policy.
+    /// Apply the allowlist: drop suppressed findings, flag any entry
+    /// that suppressed nothing as dead policy, and enforce each L3
+    /// entry's `sites` budget — suppressing more (or fewer) spawn
+    /// findings than budgeted is itself a finding.
     pub fn filter(&self, findings: Vec<Finding>, rel_path: &str) -> Vec<Finding> {
-        let mut used = vec![false; self.entries.len()];
+        let mut used = vec![0usize; self.entries.len()];
         let mut kept: Vec<Finding> = Vec::new();
         for f in findings {
             let suppressed = self.entries.iter().enumerate().any(|(i, e)| {
                 let hit = e.lint == f.lint && e.path == f.path;
                 if hit {
-                    used[i] = true;
+                    used[i] += 1;
                 }
                 hit
             });
@@ -121,7 +148,7 @@ impl Allowlist {
             }
         }
         for (i, e) in self.entries.iter().enumerate() {
-            if !used[i] {
+            if used[i] == 0 {
                 kept.push(Finding::new(
                     "config",
                     rel_path,
@@ -131,6 +158,19 @@ impl Allowlist {
                         e.lint, e.path
                     ),
                 ));
+            } else if let Some(sites) = e.sites {
+                if used[i] as u64 != sites {
+                    kept.push(Finding::new(
+                        "config",
+                        rel_path,
+                        0,
+                        &format!(
+                            "allowlist entry ({} in `{}`) suppressed {} finding(s) but budgets \
+                             `sites: {}` — a new raw spawn appeared or the budget is stale",
+                            e.lint, e.path, used[i], sites
+                        ),
+                    ));
+                }
             }
         }
         kept
@@ -265,6 +305,65 @@ mod tests {
         assert!(findings
             .iter()
             .any(|f| f.message.contains("unknown key `extra`")));
+    }
+
+    #[test]
+    fn sites_budget_is_schema_checked() {
+        // Valid: integer budget on an L3 entry.
+        let ok = r#"{"allow": [
+            {"lint": "L3", "path": "Cargo.toml", "reason": "spawn point", "sites": 2}
+        ]}"#;
+        let (allow, findings) = Allowlist::load(ok, "a.json", Path::new("/root/repo"));
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(allow.entries[0].sites, Some(2));
+
+        // Invalid: non-L3 entry, zero, and fractional budgets.
+        let bad = r#"{"allow": [
+            {"lint": "L1", "path": "Cargo.toml", "reason": "x", "sites": 1},
+            {"lint": "L3", "path": "Cargo.toml", "reason": "x", "sites": 0},
+            {"lint": "L3", "path": "Cargo.toml", "reason": "x", "sites": 1.5}
+        ]}"#;
+        let (_, findings) = Allowlist::load(bad, "a.json", Path::new("/root/repo"));
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.message.contains("only valid on L3")),
+            "{findings:?}"
+        );
+        assert_eq!(
+            findings
+                .iter()
+                .filter(|f| f.message.contains("positive integer"))
+                .count(),
+            2,
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn sites_budget_enforces_exact_spawn_count() {
+        let text = r#"{"allow": [
+            {"lint": "L3", "path": "Cargo.toml", "reason": "spawn point", "sites": 1}
+        ]}"#;
+        let (allow, schema) = Allowlist::load(text, "a.json", Path::new("/root/repo"));
+        assert!(schema.is_empty(), "{schema:?}");
+
+        // Exactly on budget: both findings suppressed cleanly.
+        let on_budget = vec![Finding::new("L3", "Cargo.toml", 4, "spawn")];
+        assert!(allow.filter(on_budget, "a.json").is_empty());
+
+        // A second spawn site blows the budget even though both match.
+        let over = vec![
+            Finding::new("L3", "Cargo.toml", 4, "spawn"),
+            Finding::new("L3", "Cargo.toml", 9, "spawn"),
+        ];
+        let kept = allow.filter(over, "a.json");
+        assert_eq!(kept.len(), 1, "{kept:?}");
+        assert!(
+            kept[0].message.contains("suppressed 2 finding(s)")
+                && kept[0].message.contains("sites: 1"),
+            "{kept:?}"
+        );
     }
 
     #[test]

@@ -21,20 +21,26 @@ fn workspace_root() -> PathBuf {
         .expect("workspace root resolves")
 }
 
-/// Run the real binary against a fixture tree with the shared policy
-/// files.
-fn audit_fixture(tree: &str) -> Output {
+/// Run the real binary against a fixture tree with an explicit
+/// allowlist (path relative to the fixtures dir).
+fn audit_with(tree: &str, allow: &str) -> Output {
     let fixtures = fixtures_dir();
     Command::new(env!("CARGO_BIN_EXE_ft-audit"))
         .arg("--root")
         .arg(fixtures.join(tree))
         .arg("--allow")
-        .arg(fixtures.join("policy/audit_allow.json"))
+        .arg(fixtures.join(allow))
         .arg("--floors")
         .arg(fixtures.join("policy/perf_floors.json"))
         .arg("--json")
         .output()
         .expect("ft-audit runs")
+}
+
+/// Run the real binary against a fixture tree with the shared policy
+/// files.
+fn audit_fixture(tree: &str) -> Output {
+    audit_with(tree, "policy/audit_allow.json")
 }
 
 /// Parse the `--json` report into (exit_code, findings as
@@ -113,8 +119,15 @@ fn l4_reject_fixture_fails() {
     assert_eq!(code, 1);
     assert_eq!(
         findings.iter().filter(|(l, _)| l == "L4").count(),
-        4,
-        "bare counter, unitless histogram, wrong crate, missing prefix: {findings:?}"
+        5,
+        "bare counter, unitless histogram, wrong crate, missing prefix, \
+         backend name in the router crate: {findings:?}"
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|(l, p)| l == "L4" && p.contains("crates/router/")),
+        "router-crate prefix violation must be caught: {findings:?}"
     );
 }
 
@@ -135,8 +148,42 @@ fn l6_reject_fixture_fails() {
     assert_eq!(code, 1);
     assert_eq!(
         findings.iter().filter(|(l, _)| l == "L6").count(),
-        4,
-        "wrong crate, two segments, four segments, uppercase: {findings:?}"
+        5,
+        "wrong crate, two segments, four segments, uppercase, \
+         backend span name in the router crate: {findings:?}"
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|(l, p)| l == "L6" && p.contains("crates/router/")),
+        "router-crate span violation must be caught: {findings:?}"
+    );
+}
+
+/// The L3 `sites` budget: an allowlist entry sanctioning exactly the
+/// spawn sites present is clean; a stale budget (fewer sites than the
+/// file actually has) fails even though every finding matches the
+/// entry.
+#[test]
+fn l3_sites_budget_on_budget_is_clean() {
+    let (code, findings) = report(&audit_with(
+        "router_sites",
+        "router_sites_policy/on_budget.json",
+    ));
+    assert_eq!(code, 0, "on-budget policy must be clean: {findings:?}");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn l3_sites_budget_stale_count_fails() {
+    let (code, findings) = report(&audit_with(
+        "router_sites",
+        "router_sites_policy/stale_budget.json",
+    ));
+    assert_eq!(code, 1, "stale budget must fail: {findings:?}");
+    assert!(
+        findings.iter().any(|(l, _)| l == "config"),
+        "budget drift is a config finding: {findings:?}"
     );
 }
 

@@ -1,0 +1,28 @@
+//! Accept fixture for the router tier's grammars: `ft_router_*`
+//! metric names and `router.<component>.<verb>` span names, in the
+//! same forms the real crate uses (including `format!`-built labelled
+//! names).
+
+pub fn wire(metrics: &MetricsRegistry) {
+    metrics.counter("ft_router_retries_total");
+    metrics.counter("ft_router_requests_total{endpoint=\"quote\"}");
+    metrics.gauge("ft_router_nodes_alive");
+    metrics.histogram("ft_router_request_ns");
+    metrics.histogram(&format!(
+        "ft_router_request_ns{{endpoint=\"{}\"}}",
+        "campaigns"
+    ));
+}
+
+pub fn proxied() {
+    let _root = ft_trace::begin_at(7, "router.request.serve", 0);
+    let _hop = ft_trace::span("router.backend.proxy");
+    ft_trace::record("router.fleet.merge", 0, 1);
+}
+
+pub struct MetricsRegistry;
+impl MetricsRegistry {
+    pub fn counter(&self, _name: &str) {}
+    pub fn gauge(&self, _name: &str) {}
+    pub fn histogram(&self, _name: &str) {}
+}

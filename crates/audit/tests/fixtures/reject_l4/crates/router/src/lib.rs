@@ -1,0 +1,12 @@
+//! Reject fixture for L4 in the router crate: a metric registered
+//! from `crates/router` must carry the `ft_router_` prefix — a
+//! backend-crate name proxied through is still a violation.
+
+pub fn wire(metrics: &MetricsRegistry) {
+    metrics.counter("ft_server_proxied_total"); // wrong crate segment
+}
+
+pub struct MetricsRegistry;
+impl MetricsRegistry {
+    pub fn counter(&self, _name: &str) {}
+}

@@ -1,0 +1,7 @@
+//! Reject fixture for L6 in the router crate: a span recorded from
+//! `crates/router` must start `router.` — emitting a backend's span
+//! name for a proxied hop is still a violation.
+
+pub fn proxied() {
+    let _hop = ft_trace::span("server.request.serve");
+}

@@ -1,0 +1,10 @@
+//! Sites-budget fixture: exactly two raw spawn sites, mirroring the
+//! real router acceptor (per-worker `Builder` threads plus the one
+//! joiner thread). The companion policies budget `sites: 2` (clean)
+//! and `sites: 1` (stale budget — must fail).
+
+pub fn spawn_workers() {
+    let builder = std::thread::Builder::new();
+    let _ = builder.spawn(|| {});
+    let _joiner = std::thread::spawn(|| {});
+}

@@ -171,20 +171,7 @@ impl CampaignRegistry {
         records.sort_unstable_by_key(|(id, _)| *id);
         let mut persisted = Vec::with_capacity(records.len());
         for (id, campaign) in records {
-            let state = lock_state(&campaign);
-            let current = campaign.generation();
-            let generation = current.as_ref().map_or(0, |g| g.generation);
-            let engine = match state.engine.as_deref() {
-                None => PersistedEngine::Unsolved,
-                Some(engine) => engine.snapshot(id, current.as_ref().map(|g| &*g.policy))?,
-            };
-            persisted.push(PersistedCampaign {
-                id,
-                spec: state.spec.clone(),
-                status: campaign.status(),
-                generation,
-                engine,
-            });
+            persisted.push(Self::persist_campaign(id, &campaign)?);
         }
         let snapshot = Snapshot {
             format_version: SNAPSHOT_VERSION,
@@ -193,6 +180,48 @@ impl CampaignRegistry {
         };
         serde_json::to_string(&snapshot)
             .map_err(|e| PricingError::InvalidProblem(format!("snapshot serialize: {e}")))
+    }
+
+    /// Serialize **one** campaign as a complete single-campaign
+    /// snapshot document (same wire format as
+    /// [`CampaignRegistry::to_json`], `campaigns` holding exactly one
+    /// entry) — the unit of fleet migration: a router drains a node,
+    /// pulls each campaign this way at its exact generation, and feeds
+    /// the document to [`CampaignRegistry::restore_json`] on the
+    /// receiving node.
+    pub fn campaign_to_json(&self, id: u64) -> Result<String> {
+        let campaign = self
+            .store()
+            .get(id)
+            .ok_or(PricingError::UnknownCampaign(id))?;
+        let snapshot = Snapshot {
+            format_version: SNAPSHOT_VERSION,
+            next_id: self.next_id_value(),
+            campaigns: vec![Self::persist_campaign(id, &campaign)?],
+        };
+        serde_json::to_string(&snapshot)
+            .map_err(|e| PricingError::InvalidProblem(format!("snapshot serialize: {e}")))
+    }
+
+    /// One campaign's wire form, captured under its writer lock so the
+    /// engine state and generation are mutually consistent (no torn
+    /// generation: a concurrent recalibration either fully precedes or
+    /// fully follows this capture).
+    fn persist_campaign(id: u64, campaign: &Arc<Campaign>) -> Result<PersistedCampaign> {
+        let state = lock_state(campaign);
+        let current = campaign.generation();
+        let generation = current.as_ref().map_or(0, |g| g.generation);
+        let engine = match state.engine.as_deref() {
+            None => PersistedEngine::Unsolved,
+            Some(engine) => engine.snapshot(id, current.as_ref().map(|g| &*g.policy))?,
+        };
+        Ok(PersistedCampaign {
+            id,
+            spec: state.spec.clone(),
+            status: campaign.status(),
+            generation,
+            engine,
+        })
     }
 
     /// Rebuild a registry from [`CampaignRegistry::to_json`] output —
@@ -213,6 +242,26 @@ impl CampaignRegistry {
     /// [`CampaignRegistry::from_json`] with full registry configuration
     /// (shard count, budget drift policy).
     pub fn from_json_config(json: &str, config: RegistryConfig) -> Result<Self> {
+        let snapshot = Self::parse_snapshot(json)?;
+        let registry = Self::with_registry_config(config);
+        registry.revive_all(snapshot)?;
+        Ok(registry)
+    }
+
+    /// Restore every campaign in a snapshot document **into this
+    /// registry**, replacing any records already at those ids (readers
+    /// mid-flight on a replaced id re-resolve onto the new record, as
+    /// with `submit_at`). Campaigns resume at their exact persisted
+    /// generation; the id dispenser advances past the document's.
+    /// Returns the restored ids — the receiving side of a
+    /// drain → snapshot → restore → flip migration.
+    pub fn restore_json(&self, json: &str) -> Result<Vec<u64>> {
+        let snapshot = Self::parse_snapshot(json)?;
+        self.revive_all(snapshot)
+    }
+
+    /// Parse any snapshot version ever written into the current form.
+    fn parse_snapshot(json: &str) -> Result<Snapshot> {
         let document: Value = serde_json::from_str(json)
             .map_err(|e| PricingError::InvalidProblem(format!("snapshot parse: {e}")))?;
         let fields = document
@@ -253,64 +302,100 @@ impl CampaignRegistry {
                 )))
             }
         };
+        Ok(snapshot)
+    }
 
-        let registry = Self::with_registry_config(config);
+    /// Rebuild and insert every campaign in `snapshot`, then advance
+    /// the id dispenser past everything seen (shared by full-registry
+    /// loads and per-campaign restores).
+    fn revive_all(&self, snapshot: Snapshot) -> Result<Vec<u64>> {
+        let mut restored = Vec::with_capacity(snapshot.campaigns.len());
         let mut max_id = 0u64;
         for persisted in snapshot.campaigns {
             let id = persisted.id;
             max_id = max_id.max(id);
-            let campaign = Arc::new(Campaign::new(
-                persisted.spec,
-                registry.store().stats_for(id),
-            ));
-            let status = match persisted.status {
-                // A solve or recalibration that was in flight at
-                // snapshot time produced nothing durable.
-                CampaignStatus::Solving => CampaignStatus::Draft,
-                CampaignStatus::Recalibrating => CampaignStatus::Live,
-                s => s,
-            };
-            let engine: Option<Box<dyn CampaignEngine>> = match persisted.engine {
-                PersistedEngine::Unsolved => None,
-                PersistedEngine::Deadline {
+            self.revive_campaign(persisted)?;
+            restored.push(id);
+        }
+        self.bump_next_id(snapshot.next_id.max(max_id.saturating_add(1)));
+        Ok(restored)
+    }
+
+    /// Rebuild one persisted campaign and insert it (replacing any
+    /// record at that id).
+    fn revive_campaign(&self, persisted: PersistedCampaign) -> Result<()> {
+        let id = persisted.id;
+        let campaign = Arc::new(Campaign::new(persisted.spec, self.store().stats_for(id)));
+        let status = match persisted.status {
+            // A solve or recalibration that was in flight at
+            // snapshot time produced nothing durable.
+            CampaignStatus::Solving => CampaignStatus::Draft,
+            CampaignStatus::Recalibrating => CampaignStatus::Live,
+            s => s,
+        };
+        let engine: Option<Box<dyn CampaignEngine>> = match persisted.engine {
+            PersistedEngine::Unsolved => None,
+            PersistedEngine::Deadline {
+                opts,
+                history,
+                correction,
+                policy,
+                policy_start,
+                remaining,
+            } => {
+                let problem = {
+                    let state = lock_state(&campaign);
+                    match &state.spec {
+                        CampaignSpec::Deadline { problem, .. } => problem.clone(),
+                        CampaignSpec::Budget { .. } => {
+                            return Err(PricingError::InvalidProblem(format!(
+                                "campaign {id}: deadline engine on a budget spec"
+                            )))
+                        }
+                    }
+                };
+                let pricer = AdaptivePricer::from_parts(
+                    problem,
                     opts,
                     history,
                     correction,
-                    policy,
+                    policy.clone(),
                     policy_start,
+                )?;
+                campaign.publish(
+                    persisted.generation,
+                    policy_start,
+                    Arc::new(CampaignPolicy::Deadline(policy)),
+                );
+                Some(Box::new(DeadlineEngine {
+                    pricer: Box::new(pricer),
                     remaining,
-                } => {
-                    let problem = {
-                        let state = lock_state(&campaign);
-                        match &state.spec {
-                            CampaignSpec::Deadline { problem, .. } => problem.clone(),
-                            CampaignSpec::Budget { .. } => {
-                                return Err(PricingError::InvalidProblem(format!(
-                                    "campaign {id}: deadline engine on a budget spec"
-                                )))
-                            }
+                }))
+            }
+            PersistedEngine::Budget {
+                policy,
+                remaining,
+                spent_cents,
+                observations,
+                shift,
+                history,
+                correction,
+                reports_since_resolve,
+            } => {
+                let problem = {
+                    let state = lock_state(&campaign);
+                    match &state.spec {
+                        CampaignSpec::Budget { problem } => problem.clone(),
+                        CampaignSpec::Deadline { .. } => {
+                            return Err(PricingError::InvalidProblem(format!(
+                                "campaign {id}: budget engine on a deadline spec"
+                            )))
                         }
-                    };
-                    let pricer = AdaptivePricer::from_parts(
-                        problem,
-                        opts,
-                        history,
-                        correction,
-                        policy.clone(),
-                        policy_start,
-                    )?;
-                    campaign.publish(
-                        persisted.generation,
-                        policy_start,
-                        Arc::new(CampaignPolicy::Deadline(policy)),
-                    );
-                    Some(Box::new(DeadlineEngine {
-                        pricer: Box::new(pricer),
-                        remaining,
-                    }))
-                }
-                PersistedEngine::Budget {
-                    policy,
+                    }
+                };
+                let engine = BudgetEngine::from_parts(
+                    problem,
+                    self.config().budget_drift,
                     remaining,
                     spent_cents,
                     observations,
@@ -318,54 +403,30 @@ impl CampaignRegistry {
                     history,
                     correction,
                     reports_since_resolve,
-                } => {
-                    let problem = {
-                        let state = lock_state(&campaign);
-                        match &state.spec {
-                            CampaignSpec::Budget { problem } => problem.clone(),
-                            CampaignSpec::Deadline { .. } => {
-                                return Err(PricingError::InvalidProblem(format!(
-                                    "campaign {id}: budget engine on a deadline spec"
-                                )))
-                            }
-                        }
-                    };
-                    let engine = BudgetEngine::from_parts(
-                        problem,
-                        registry.config().budget_drift,
-                        remaining,
-                        spent_cents,
-                        observations,
-                        shift,
-                        history,
-                        correction,
-                        reports_since_resolve,
-                    )?;
-                    campaign.publish(
-                        persisted.generation,
-                        0,
-                        Arc::new(CampaignPolicy::Budget(policy)),
-                    );
-                    Some(Box::new(engine))
-                }
-            };
-            {
-                let mut state = lock_state(&campaign);
-                state.engine = engine;
-                if status == CampaignStatus::Evicted {
-                    // Tombstone: spec stays readable, machinery dropped.
-                    state.engine = None;
-                    *campaign
-                        .live
-                        .write()
-                        .expect("campaign generation lock poisoned") = None;
-                }
+                )?;
+                campaign.publish(
+                    persisted.generation,
+                    0,
+                    Arc::new(CampaignPolicy::Budget(policy)),
+                );
+                Some(Box::new(engine))
             }
-            campaign.set_status_raw(status);
-            registry.store().insert(id, campaign);
+        };
+        {
+            let mut state = lock_state(&campaign);
+            state.engine = engine;
+            if status == CampaignStatus::Evicted {
+                // Tombstone: spec stays readable, machinery dropped.
+                state.engine = None;
+                *campaign
+                    .live
+                    .write()
+                    .expect("campaign generation lock poisoned") = None;
+            }
         }
-        registry.bump_next_id(snapshot.next_id.max(max_id.saturating_add(1)));
-        Ok(registry)
+        campaign.set_status_raw(status);
+        self.store().insert(id, campaign);
+        Ok(())
     }
 
     /// Write a snapshot to `path` (see [`CampaignRegistry::to_json`]).
@@ -509,6 +570,133 @@ mod tests {
         };
         assert!(matches!(err, PricingError::InvalidProblem(_)));
         assert!(err.to_string().contains("unsupported"));
+    }
+
+    #[test]
+    fn single_campaign_snapshot_restores_at_exact_generation() {
+        let source = CampaignRegistry::new();
+        // Offset the source dispenser so the migrated id does not
+        // collide with the destination's own first campaign.
+        source.register(CampaignSpec::Budget {
+            problem: tiny_budget_problem(),
+        });
+        let id = source.register(CampaignSpec::Budget {
+            problem: tiny_budget_problem(),
+        });
+        source.solve(id).unwrap();
+        let posted = source
+            .quote(
+                id,
+                ObservedState::Budget {
+                    remaining: 10,
+                    budget_cents: 60,
+                },
+            )
+            .unwrap()
+            .price;
+        source
+            .observe(
+                id,
+                CampaignObservation::Budget {
+                    completions: 1,
+                    spent_cents: posted as usize,
+                    posted: Some(posted),
+                    offers: Some(40),
+                },
+            )
+            .unwrap();
+        let before_quote = source
+            .quote(
+                id,
+                ObservedState::Budget {
+                    remaining: 7,
+                    budget_cents: 40,
+                },
+            )
+            .unwrap();
+        let before_report = source.report(id).unwrap();
+
+        let doc = source.campaign_to_json(id).unwrap();
+        assert!(doc.contains("\"format_version\":2"));
+
+        // Restore onto a registry that already has unrelated campaigns:
+        // the migrated record keeps its id and exact generation, and the
+        // destination's own campaigns are untouched.
+        let target = CampaignRegistry::new();
+        let native = target.register(CampaignSpec::Budget {
+            problem: tiny_budget_problem(),
+        });
+        let restored = target.restore_json(&doc).unwrap();
+        assert_eq!(restored, vec![id]);
+        let after_quote = target
+            .quote(
+                id,
+                ObservedState::Budget {
+                    remaining: 7,
+                    budget_cents: 40,
+                },
+            )
+            .unwrap();
+        assert_eq!(after_quote.generation, before_quote.generation);
+        assert_eq!(after_quote.price.to_bits(), before_quote.price.to_bits());
+        let after_report = target.report(id).unwrap();
+        assert_eq!(after_report.observations, before_report.observations);
+        assert_eq!(after_report.spent_cents, before_report.spent_cents);
+        assert_eq!(
+            after_report.acceptance_shift,
+            before_report.acceptance_shift
+        );
+        assert!(
+            (after_report.correction.unwrap() - before_report.correction.unwrap()).abs() < 1e-12
+        );
+        assert_eq!(target.report(native).unwrap().status, CampaignStatus::Draft);
+        // The dispenser advanced past the migrated id: new registrations
+        // never collide with restored campaigns.
+        assert!(
+            target.register(CampaignSpec::Budget {
+                problem: tiny_budget_problem(),
+            }) > id
+        );
+    }
+
+    #[test]
+    fn restore_replaces_an_existing_record_and_keeps_counts_consistent() {
+        let source = CampaignRegistry::new();
+        let id = source.register(CampaignSpec::Budget {
+            problem: tiny_budget_problem(),
+        });
+        source.solve(id).unwrap();
+        let doc = source.campaign_to_json(id).unwrap();
+
+        // Target already holds a *different* campaign at the same id —
+        // the restore must retire it (readers re-resolve) rather than
+        // leak it or double-count its status.
+        let target = CampaignRegistry::new();
+        let stale = target.register(CampaignSpec::Budget {
+            problem: tiny_budget_problem(),
+        });
+        assert_eq!(stale, id, "test premise: colliding ids");
+        target.restore_json(&doc).unwrap();
+        assert_eq!(target.len(), 1);
+        assert_eq!(target.report(id).unwrap().status, CampaignStatus::Live);
+        let count_of = |status: CampaignStatus| {
+            target
+                .status_counts()
+                .iter()
+                .find(|(s, _)| *s == status)
+                .map_or(0, |(_, n)| *n)
+        };
+        assert_eq!(count_of(CampaignStatus::Live), 1);
+        assert_eq!(count_of(CampaignStatus::Draft), 0);
+    }
+
+    #[test]
+    fn campaign_to_json_unknown_id_is_an_error() {
+        let registry = CampaignRegistry::new();
+        assert!(matches!(
+            registry.campaign_to_json(999),
+            Err(PricingError::UnknownCampaign(999))
+        ));
     }
 
     #[test]

@@ -11,6 +11,7 @@ use ft_core::registry::{BudgetDriftOptions, CampaignRegistry, RegistryConfig};
 use ft_server::{Server, ServerConfig};
 use serde::{map_get, Value};
 use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Socket-mode extras: the connection-flood phase and (when the
@@ -34,6 +35,45 @@ pub struct SocketExtras {
     /// Pool sizing of the spawned server; `None` for an external
     /// target (its configuration is not ours to know).
     pub server_pool: Option<ServerPool>,
+    /// Fleet-mode checks (`--fleet-nodes` driving an `ft-router`):
+    /// zero-lost census, per-campaign report sweep, membership, and
+    /// the merged-`/metrics`-vs-per-node-truth crosscheck. `None` for
+    /// every other mode.
+    pub fleet: Option<FleetCheckOutcome>,
+}
+
+/// What the fleet-mode epilogue established about the run: nothing was
+/// lost across the ring flip, and the router's merged telemetry is the
+/// sum of per-node truth.
+pub struct FleetCheckOutcome {
+    /// Fleet size per the router's `GET /fleet` rows.
+    pub nodes_total: usize,
+    pub nodes_alive: usize,
+    /// A `--kill-pid` was armed for this run.
+    pub kill_requested: bool,
+    /// ... and the SIGKILL actually fired mid-drive.
+    pub killed: bool,
+    /// Campaigns the scenario registered vs the router's merged census
+    /// (the census sweep itself fails a dead node over, so this is
+    /// post-flip truth).
+    pub campaigns_expected: usize,
+    pub campaigns_listed: usize,
+    /// Per-campaign `GET /campaigns/{id}` sweep: every id must answer.
+    pub reports_attempted: usize,
+    pub reports_ok: usize,
+    /// Router-merged `/metrics` vs the sum of direct per-node scrapes,
+    /// campaign-plane names only (the scrape traffic itself moves the
+    /// serving-plane counters, which would never reconcile).
+    pub metrics: Vec<FleetMetricEntry>,
+    pub metrics_matched: bool,
+}
+
+/// One reconciled fleet metric: the router's merged value vs the sum
+/// over direct per-node scrapes.
+pub struct FleetMetricEntry {
+    pub name: String,
+    pub merged: u64,
+    pub node_sum: u64,
 }
 
 /// Did the ids this client traced resolve into well-formed span trees?
@@ -136,6 +176,7 @@ pub fn run_socket(scenario: &Scenario) -> Result<(RunOutcome, SocketExtras), Str
                 workers: config.workers,
                 queue_depth: config.queue_depth,
             }),
+            fleet: None,
         },
     ))
 }
@@ -162,8 +203,283 @@ pub fn run_socket_target(
             trace: None,
             trace_export: None,
             server_pool: None,
+            fleet: None,
         },
     ))
+}
+
+/// Drive an external **`ft-router`** fronting `nodes` backend
+/// `ft-server` processes: the same closed-loop workload as
+/// [`run_socket_target`], plus the fleet epilogue — a zero-lost
+/// census, a per-campaign report sweep, and a reconciliation of the
+/// router's merged `/metrics` against the sum of direct per-node
+/// scrapes. With `kill_pid`, a watcher thread SIGKILLs that process
+/// once the run is mid-drive (every campaign created, solved and
+/// quoted at least once), so the epilogue exercises unplanned failover
+/// from the router's checkpoints.
+pub fn run_socket_fleet(
+    scenario: &Scenario,
+    target: &str,
+    nodes: &[String],
+    kill_pid: Option<u32>,
+) -> Result<(RunOutcome, SocketExtras), String> {
+    let router = probe_target(target)?;
+    let node_addrs: Vec<SocketAddr> = nodes
+        .iter()
+        .map(|node| {
+            node.to_socket_addrs()
+                .map_err(|e| format!("cannot resolve fleet node {node}: {e}"))?
+                .next()
+                .ok_or_else(|| format!("fleet node {node} resolved to no address"))
+        })
+        .collect::<Result<_, _>>()?;
+
+    let backend = SocketBackend::new(router);
+    let instruments = RunInstruments::new();
+    let done = AtomicBool::new(false);
+    let killed = AtomicBool::new(false);
+    let mut outcome = std::thread::scope(|s| {
+        if let Some(pid) = kill_pid {
+            let (instruments, done, killed) = (&instruments, &done, &killed);
+            s.spawn(move || kill_watcher(pid, scenario, instruments, done, killed));
+        }
+        let outcome = driver::run(scenario, &backend, &instruments);
+        done.store(true, Ordering::Release);
+        outcome
+    });
+    // The report's leg label: this run went through the front tier,
+    // not straight at one server.
+    outcome.backend = "fleet";
+
+    let flood = flood(router, scenario.flood_connections);
+    let fleet = fleet_check(
+        router,
+        &node_addrs,
+        scenario.campaign_count(),
+        kill_pid.is_some(),
+        killed.load(Ordering::Acquire),
+    )?;
+    Ok((
+        outcome,
+        SocketExtras {
+            flood,
+            crosscheck: None,
+            trace: None,
+            trace_export: None,
+            server_pool: None,
+            fleet: Some(fleet),
+        },
+    ))
+}
+
+/// SIGKILL `pid` once the run is provably mid-drive: every campaign
+/// created **and solved** (so the router holds a failover checkpoint
+/// for each) and every campaign quoted at least once. If the driver
+/// finishes first the watcher exits without firing and the fleet gate
+/// fails loudly on `killed == false` — a profile too small to be
+/// killable must not pass silently.
+fn kill_watcher(
+    pid: u32,
+    scenario: &Scenario,
+    instruments: &RunInstruments,
+    done: &AtomicBool,
+    killed: &AtomicBool,
+) {
+    let total = scenario.campaign_count() as u64;
+    loop {
+        let solved = instruments.op_count(Op::Solve) >= total;
+        let quoted = instruments.op_count(Op::Price) + instruments.bulk_quote_items.get() >= total;
+        if solved && quoted {
+            // No libc in the tree: shell out for the signal. `-KILL`
+            // specifically — the backend must die without a goodbye so
+            // the router's unplanned-failover path (checkpoint
+            // restores) is what the gates exercise.
+            let status = std::process::Command::new("kill")
+                .args(["-KILL", &pid.to_string()])
+                .status();
+            if matches!(status, Ok(s) if s.success()) {
+                // ORDERING: Release pairs with the harness's Acquire
+                // load after the scope joins this thread.
+                killed.store(true, Ordering::Release);
+            }
+            return;
+        }
+        if done.load(Ordering::Acquire) {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+}
+
+/// The fleet epilogue. Order matters: the census and report sweep go
+/// first (their traffic triggers failover of a killed node and bumps
+/// campaign-plane counters), then the router's merged `/metrics` is
+/// captured, then the per-node scrapes — by then the campaign plane is
+/// quiescent, so merged-vs-sum must reconcile exactly.
+fn fleet_check(
+    router: SocketAddr,
+    nodes: &[SocketAddr],
+    campaigns_expected: usize,
+    kill_requested: bool,
+    killed: bool,
+) -> Result<FleetCheckOutcome, String> {
+    let get = |addr: SocketAddr, path: &str| -> Result<Value, String> {
+        let (status, body) = ft_server::client::request(addr, "GET", path, None)
+            .map_err(|e| format!("GET {path}: {e}"))?;
+        if status != 200 {
+            return Err(format!("GET {path}: HTTP {status}"));
+        }
+        serde_json::from_str(&body).map_err(|e| format!("GET {path}: bad JSON: {e}"))
+    };
+
+    // Zero-lost census through the router (merged across live nodes;
+    // the sweep fails dead nodes over before counting).
+    let census = get(router, "/campaigns")?;
+    let census_fields = census.as_map().ok_or("census: not an object")?;
+    let campaigns_listed = map_get(census_fields, "total")
+        .ok()
+        .and_then(Value::as_num)
+        .ok_or("census: missing `total`")? as usize;
+    let ids: Vec<u64> = map_get(census_fields, "campaigns")
+        .ok()
+        .and_then(Value::as_seq)
+        .ok_or("census: missing `campaigns`")?
+        .iter()
+        .filter_map(|c| map_get(c.as_map()?, "id").ok()?.as_num())
+        .map(|id| id as u64)
+        .collect();
+
+    // Every listed campaign must still answer its report — across the
+    // flip, off a survivor.
+    let mut reports_ok = 0;
+    for &id in &ids {
+        if get(router, &format!("/campaigns/{id}")).is_ok() {
+            reports_ok += 1;
+        }
+    }
+
+    // Membership per the router, pinned against the launcher's own
+    // node list (per-node truth must not depend on asking the router
+    // where its nodes are).
+    let membership = get(router, "/fleet")?;
+    let rows = membership
+        .as_map()
+        .and_then(|m| map_get(m, "nodes").ok())
+        .and_then(Value::as_seq)
+        .ok_or("GET /fleet: missing `nodes`")?;
+    if rows.len() != nodes.len() {
+        return Err(format!(
+            "GET /fleet reports {} nodes; --fleet-nodes listed {}",
+            rows.len(),
+            nodes.len()
+        ));
+    }
+    let mut alive = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let fields = row.as_map().ok_or("GET /fleet: row not an object")?;
+        let is_alive = matches!(map_get(fields, "alive"), Ok(Value::Bool(true)));
+        let addr = map_get(fields, "addr")
+            .ok()
+            .and_then(Value::as_str)
+            .ok_or("GET /fleet: row without addr")?;
+        if addr != nodes[i].to_string() {
+            return Err(format!(
+                "GET /fleet node {i} is {addr}; --fleet-nodes said {}",
+                nodes[i]
+            ));
+        }
+        alive.push(is_alive);
+    }
+    let nodes_alive = alive.iter().filter(|&&a| a).count();
+
+    // Merged first, node scrapes second (see ordering note above).
+    let merged = get(router, "/metrics?buckets=1")?;
+    let merged_entries = merged.as_map().ok_or("merged /metrics: not an object")?;
+    let mut sums: Vec<(String, u64)> = Vec::new();
+    for (&addr, &is_alive) in nodes.iter().zip(&alive) {
+        if !is_alive {
+            continue;
+        }
+        let scrape = get(addr, "/metrics?buckets=1")?;
+        for (name, value) in scrape.as_map().ok_or("node /metrics: not an object")? {
+            if !campaign_plane_metric(name) {
+                continue;
+            }
+            let Some(v) = metric_count(value) else {
+                continue;
+            };
+            match sums.iter_mut().find(|(n, _)| n == name) {
+                Some((_, total)) => *total += v,
+                None => sums.push((name.clone(), v)),
+            }
+        }
+    }
+    let mut metrics: Vec<FleetMetricEntry> = Vec::new();
+    for (name, value) in merged_entries {
+        if !campaign_plane_metric(name) {
+            continue;
+        }
+        let Some(merged_value) = metric_count(value) else {
+            continue;
+        };
+        let node_sum = sums
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, total)| *total);
+        metrics.push(FleetMetricEntry {
+            name: name.clone(),
+            merged: merged_value,
+            node_sum,
+        });
+    }
+    // Symmetric: a campaign-plane name the nodes carry but the merge
+    // dropped must fail the match too.
+    for (name, total) in &sums {
+        if !metrics.iter().any(|e| &e.name == name) {
+            metrics.push(FleetMetricEntry {
+                name: name.clone(),
+                merged: 0,
+                node_sum: *total,
+            });
+        }
+    }
+    let metrics_matched = !metrics.is_empty() && metrics.iter().all(|e| e.merged == e.node_sum);
+
+    Ok(FleetCheckOutcome {
+        nodes_total: nodes.len(),
+        nodes_alive,
+        kill_requested,
+        killed,
+        campaigns_expected,
+        campaigns_listed,
+        reports_attempted: ids.len(),
+        reports_ok,
+        metrics,
+        metrics_matched,
+    })
+}
+
+/// Names whose merged value must equal the per-node sum at
+/// quiescence: the campaign plane only. Serving-plane counters
+/// (`endpoint="metrics"`, `healthz`, connection gauges) move with the
+/// crosscheck's own scrape traffic and can never reconcile.
+fn campaign_plane_metric(name: &str) -> bool {
+    name.starts_with("ft_core_")
+        || name.starts_with("ft_server_requests_total{endpoint=\"campaign")
+        || name.starts_with("ft_server_request_ns{endpoint=\"campaign")
+}
+
+/// A metric's comparable magnitude: the value itself for scalars, the
+/// sample count for histograms.
+fn metric_count(value: &Value) -> Option<u64> {
+    match value {
+        Value::Num(n) if n.is_finite() => Some(*n as u64),
+        Value::Map(fields) => map_get(fields, "count")
+            .ok()
+            .and_then(Value::as_num)
+            .map(|n| n as u64),
+        _ => None,
+    }
 }
 
 /// Resolve `host:port` and probe `/healthz` on each resolved address

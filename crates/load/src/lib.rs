@@ -54,5 +54,5 @@ pub mod scenario;
 pub use backend::{Backend, InProcessBackend, SocketBackend};
 pub use driver::{Op, RunInstruments, RunOutcome};
 pub use gate::{check_report, check_reports, Floors};
-pub use harness::{run_in_process, run_socket, run_socket_target, SocketExtras};
+pub use harness::{run_in_process, run_socket, run_socket_fleet, run_socket_target, SocketExtras};
 pub use scenario::{CampaignKind, FleetGroup, Scenario};

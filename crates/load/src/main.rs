@@ -21,6 +21,11 @@ struct Args {
     target: Option<String>,
     /// Write the socket run's Chrome trace-event dump here.
     trace_out: Option<String>,
+    /// Fleet mode: the backend `ft-server` addresses behind the
+    /// `--target` router, for the merged-vs-per-node crosscheck.
+    fleet_nodes: Option<Vec<String>>,
+    /// Fleet mode: SIGKILL this backend process mid-drive.
+    kill_pid: Option<u32>,
 }
 
 const USAGE: &str = "\
@@ -34,9 +39,10 @@ OPTIONS:
     --fast             seconds-scale variant of the selected profile
                        (default profile: standard)
     --profile NAME     built-in profile: standard | fast | bulk-fast |
-                       budget-drift (budget-drift + --fast =
+                       budget-drift | fleet (budget-drift + --fast =
                        budget-drift-fast; bulk-fast drives the batched
-                       quote/observe plane)
+                       quote/observe plane; fleet drives an ft-router
+                       front tier — see --fleet-nodes)
     --scenario FILE    JSON scenario spec (overrides --fast/--profile)
     --mode MODE        which backend(s) to drive   [default: both]
     --target HOST:PORT drive an external ft-server instead of spawning
@@ -47,6 +53,15 @@ OPTIONS:
     --trace-out FILE   write the spawned server's GET /trace/export
                        dump (Chrome trace-event JSON, loadable in
                        Perfetto) after the socket run
+    --fleet-nodes LIST comma-separated HOST:PORT backends behind the
+                       --target router (requires --target); enables the
+                       fleet epilogue: zero-lost census, per-campaign
+                       report sweep, and the router's merged /metrics
+                       reconciled against direct per-node scrapes
+    --kill-pid PID     SIGKILL this backend process once the run is
+                       mid-drive (requires --fleet-nodes) — the gates
+                       then demand zero lost campaigns and 100% quote
+                       success across the unplanned ring flip
 ";
 
 fn parse_args() -> Result<Args, String> {
@@ -57,6 +72,8 @@ fn parse_args() -> Result<Args, String> {
     let mut target: Option<String> = None;
     let mut out = "BENCH_load.json".to_string();
     let mut trace_out: Option<String> = None;
+    let mut fleet_nodes: Option<Vec<String>> = None;
+    let mut kill_pid: Option<u32> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -76,6 +93,26 @@ fn parse_args() -> Result<Args, String> {
             "--target" => target = Some(args.next().ok_or("--target needs HOST:PORT")?),
             "--out" => out = args.next().ok_or("--out needs a file path")?,
             "--trace-out" => trace_out = Some(args.next().ok_or("--trace-out needs a file path")?),
+            "--fleet-nodes" => {
+                let list = args.next().ok_or("--fleet-nodes needs HOST:PORT[,...]")?;
+                let nodes: Vec<String> = list
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+                if nodes.is_empty() {
+                    return Err("--fleet-nodes needs at least one HOST:PORT".into());
+                }
+                fleet_nodes = Some(nodes);
+            }
+            "--kill-pid" => {
+                let raw = args.next().ok_or("--kill-pid needs a process id")?;
+                kill_pid = Some(
+                    raw.parse()
+                        .map_err(|_| format!("--kill-pid: `{raw}` is not a pid"))?,
+                );
+            }
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -100,6 +137,7 @@ fn parse_args() -> Result<Args, String> {
         (None, Some("budget-drift")) => Scenario::budget_drift(fast),
         (None, Some("fast")) => Scenario::fast(),
         (None, Some("bulk-fast")) => Scenario::bulk_fast(),
+        (None, Some("fleet")) => Scenario::fleet(fast),
         (None, Some("standard")) => {
             if fast {
                 Scenario::fast()
@@ -109,7 +147,7 @@ fn parse_args() -> Result<Args, String> {
         }
         (None, Some(other)) => {
             return Err(format!(
-                "unknown --profile `{other}` (standard | fast | bulk-fast | budget-drift)"
+                "unknown --profile `{other}` (standard | fast | bulk-fast | budget-drift | fleet)"
             ))
         }
         (None, None) if fast => Scenario::fast(),
@@ -122,6 +160,20 @@ fn parse_args() -> Result<Args, String> {
                 .into(),
         );
     }
+    if fleet_nodes.is_some() && target.is_none() {
+        return Err(
+            "--fleet-nodes describes the backends behind a router; it requires \
+                    --target ROUTER_HOST:PORT"
+                .into(),
+        );
+    }
+    if kill_pid.is_some() && fleet_nodes.is_none() {
+        return Err(
+            "--kill-pid only makes sense with --fleet-nodes (the fleet gates \
+                    are what assert the failover survived)"
+                .into(),
+        );
+    }
     scenario.validate()?;
     Ok(Args {
         scenario,
@@ -129,6 +181,8 @@ fn parse_args() -> Result<Args, String> {
         out,
         target,
         trace_out,
+        fleet_nodes,
+        kill_pid,
     })
 }
 
@@ -202,6 +256,37 @@ fn print_summary(outcome: &RunOutcome, extras: Option<&SocketExtras>) {
                     .join(", ")
             ),
         }
+        if let Some(fleet) = &extras.fleet {
+            println!(
+                "  fleet: {}/{} nodes alive{}; census {}/{} campaigns, reports {}/{}; \
+                 merged /metrics vs node truth: {}",
+                fleet.nodes_alive,
+                fleet.nodes_total,
+                match (fleet.kill_requested, fleet.killed) {
+                    (true, true) => " (one SIGKILLed mid-drive)",
+                    (true, false) => " (kill armed but NEVER FIRED)",
+                    (false, _) => "",
+                },
+                fleet.campaigns_listed,
+                fleet.campaigns_expected,
+                fleet.reports_ok,
+                fleet.reports_attempted,
+                if fleet.metrics_matched {
+                    "matched".to_string()
+                } else {
+                    format!(
+                        "MISMATCH ({})",
+                        fleet
+                            .metrics
+                            .iter()
+                            .filter(|e| e.merged != e.node_sum)
+                            .map(|e| format!("{} {}≠{}", e.name, e.merged, e.node_sum))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                },
+            );
+        }
         match &extras.trace {
             None => println!("  trace crosscheck: skipped (external target)"),
             Some(trace) if trace.failures.is_empty() && trace.resolved == trace.checked => {
@@ -247,9 +332,12 @@ fn main() {
         runs.push((outcome, None));
     }
     if matches!(args.mode, Mode::Socket | Mode::Both) {
-        let socket_run = match &args.target {
-            Some(target) => ft_load::run_socket_target(&args.scenario, target),
-            None => ft_load::run_socket(&args.scenario),
+        let socket_run = match (&args.target, &args.fleet_nodes) {
+            (Some(target), Some(nodes)) => {
+                ft_load::run_socket_fleet(&args.scenario, target, nodes, args.kill_pid)
+            }
+            (Some(target), None) => ft_load::run_socket_target(&args.scenario, target),
+            (None, _) => ft_load::run_socket(&args.scenario),
         };
         match socket_run {
             Ok((outcome, extras)) => {

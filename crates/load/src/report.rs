@@ -133,6 +133,38 @@ fn run_value(outcome: &RunOutcome, extras: Option<&SocketExtras>) -> Value {
                 ]),
             ));
         }
+        if let Some(fleet) = &extras.fleet {
+            fields.push((
+                "fleet",
+                map(vec![
+                    ("nodes_total", num(fleet.nodes_total as f64)),
+                    ("nodes_alive", num(fleet.nodes_alive as f64)),
+                    ("kill_requested", Value::Bool(fleet.kill_requested)),
+                    ("killed", Value::Bool(fleet.killed)),
+                    ("campaigns_expected", num(fleet.campaigns_expected as f64)),
+                    ("campaigns_listed", num(fleet.campaigns_listed as f64)),
+                    ("reports_attempted", num(fleet.reports_attempted as f64)),
+                    ("reports_ok", num(fleet.reports_ok as f64)),
+                    ("metrics_merge_matched", Value::Bool(fleet.metrics_matched)),
+                    (
+                        "metrics_merge",
+                        Value::Seq(
+                            fleet
+                                .metrics
+                                .iter()
+                                .map(|e| {
+                                    map(vec![
+                                        ("name", Value::Str(e.name.clone())),
+                                        ("merged", num(e.merged as f64)),
+                                        ("node_sum", num(e.node_sum as f64)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ));
+        }
         if let Some(trace) = &extras.trace {
             fields.push((
                 "trace_crosscheck",
@@ -275,6 +307,53 @@ pub fn evaluate_gates(
                 failures.push(format!(
                     "[{mode}] /metrics does not reconcile: {}",
                     detail.join("; ")
+                ));
+            }
+        }
+        // The fleet gates: nothing lost across the ring flip, the
+        // SIGKILL actually happened (a run too short to be killable
+        // must not pass vacuously), membership reflects it, and the
+        // router's merged /metrics is the sum of per-node truth.
+        if let Some(fleet) = &extras.fleet {
+            if fleet.campaigns_listed != fleet.campaigns_expected {
+                failures.push(format!(
+                    "[{mode}] lost campaigns: fleet census lists {} of {} registered",
+                    fleet.campaigns_listed, fleet.campaigns_expected
+                ));
+            }
+            if fleet.reports_ok != fleet.reports_attempted {
+                failures.push(format!(
+                    "[{mode}] {}/{} campaigns answered their report after the flip",
+                    fleet.reports_ok, fleet.reports_attempted
+                ));
+            }
+            if fleet.kill_requested && !fleet.killed {
+                failures.push(format!(
+                    "[{mode}] --kill-pid was armed but the run finished before the \
+                     SIGKILL could fire mid-drive (profile too small?)"
+                ));
+            }
+            let expected_alive = fleet.nodes_total - usize::from(fleet.killed);
+            if fleet.nodes_alive != expected_alive {
+                failures.push(format!(
+                    "[{mode}] {} of {} nodes alive (expected {expected_alive})",
+                    fleet.nodes_alive, fleet.nodes_total
+                ));
+            }
+            if !fleet.metrics_matched {
+                let detail: Vec<String> = fleet
+                    .metrics
+                    .iter()
+                    .filter(|e| e.merged != e.node_sum)
+                    .map(|e| format!("{}: merged {} vs node sum {}", e.name, e.merged, e.node_sum))
+                    .collect();
+                failures.push(format!(
+                    "[{mode}] merged /metrics does not reconcile with per-node truth: {}",
+                    if detail.is_empty() {
+                        "no campaign-plane metrics to compare".to_string()
+                    } else {
+                        detail.join("; ")
+                    }
                 ));
             }
         }

@@ -247,6 +247,30 @@ impl Scenario {
         scenario
     }
 
+    /// The fleet/failover profile: the `fast` mix scaled up and driven
+    /// through an `ft-router` front tier (`--target ROUTER
+    /// --fleet-nodes ...`), sized so the harness can SIGKILL one
+    /// backend mid-drive and still assert zero lost campaigns and 100%
+    /// quote success after the ring flips. `resolve_every` is 3 to
+    /// match the standalone `ft-server` binary's default registry
+    /// cadence — the nodes are external processes, not
+    /// harness-configured registries. Unbatched (`bulk: 1`) on
+    /// purpose: the perf floor compares this leg's round-trip
+    /// throughput against the direct-socket `fast` leg at ≥ 0.4×, and
+    /// that ratio is only meaningful when both legs carry one quote
+    /// per round trip (cross-backend bulk reassembly has its own
+    /// coverage in `crates/router`'s tests).
+    pub fn fleet(fast: bool) -> Self {
+        let mut scenario = Self::fast();
+        scenario.name = if fast { "fleet-fast" } else { "fleet" }.into();
+        scenario.seed = 23;
+        scenario.resolve_every = 3;
+        for group in &mut scenario.fleet {
+            group.count *= if fast { 4 } else { 12 };
+        }
+        scenario
+    }
+
     /// The budget-drift profile: a budget-only fleet whose workers
     /// accept posted prices far less often than the trained logit model
     /// says, with arrivals on-model — so *only* the acceptance-drift
@@ -397,6 +421,16 @@ mod tests {
         let bulk = Scenario::bulk_fast();
         bulk.validate().unwrap();
         assert!(bulk.bulk > 1, "bulk profile must actually batch");
+        for fleet in [Scenario::fleet(true), Scenario::fleet(false)] {
+            fleet.validate().unwrap();
+            // One quote per round trip: the fleet perf floor is
+            // relative to the unbatched direct-socket leg.
+            assert_eq!(fleet.bulk, 1);
+            // The kill watcher needs one full quote round to have fired
+            // before the SIGKILL; a fleet this small would end first.
+            assert!(fleet.campaign_count() >= 20);
+            assert!(fleet.expects_recalibration());
+        }
     }
 
     #[test]

@@ -282,6 +282,65 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
+    /// The non-empty buckets as `(index, count)` pairs — the wire form
+    /// a fleet aggregator ships between nodes (see
+    /// [`HistogramSnapshot::from_sparse`]). Indices are stable across
+    /// processes built from the same crate: the bucketing constants are
+    /// compile-time, so two nodes' histograms merge exactly.
+    pub fn sparse_buckets(&self) -> Vec<(usize, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect()
+    }
+
+    /// Rebuild a snapshot from [`HistogramSnapshot::sparse_buckets`]
+    /// output. Indices beyond the bucket table are rejected — they mean
+    /// the peer was built with different bucketing constants, and
+    /// silently clamping would corrupt every quantile.
+    pub fn from_sparse(
+        buckets: &[(usize, u64)],
+        sum: u64,
+        clamped: u64,
+        exemplar_trace_id: u64,
+    ) -> Result<Self, String> {
+        let mut counts = vec![0u64; BUCKETS];
+        for &(i, c) in buckets {
+            let slot = counts
+                .get_mut(i)
+                .ok_or_else(|| format!("bucket index {i} out of range (max {})", BUCKETS - 1))?;
+            *slot += c;
+        }
+        let count = counts.iter().sum();
+        Ok(Self {
+            counts,
+            count,
+            sum,
+            clamped,
+            exemplar_trace_id,
+        })
+    }
+
+    /// Fold another snapshot into this one: bucket-exact (counts sum
+    /// element-wise, so merged quantiles carry the same
+    /// [`Histogram::REL_ERROR`] bound as either input), sums wrap like
+    /// the shard sums do, and the exemplar keeps whichever side has one
+    /// (this side wins when both do — exemplars are diagnostic
+    /// pointers, not accounting).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.clamped += other.clamped;
+        if self.exemplar_trace_id == 0 {
+            self.exemplar_trace_id = other.exemplar_trace_id;
+        }
+    }
+
     /// The `q`-quantile (`0 < q ≤ 1`) as the midpoint of the bucket
     /// holding the rank-`⌈q·count⌉` sample; `None` on an empty
     /// histogram.
@@ -406,6 +465,62 @@ mod tests {
         assert_eq!(h.snapshot().exemplar_trace_id, 0xcccc);
         h.offer_exemplar(300, 0); // no trace id: ignored
         assert_eq!(h.snapshot().exemplar_trace_id, 0xcccc);
+    }
+
+    #[test]
+    fn sparse_round_trip_and_merge_are_bucket_exact() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in 1..=1000u64 {
+            a.record(v);
+        }
+        for v in 500..=1500u64 {
+            b.record(v);
+        }
+        let sa = a.snapshot();
+        let sb = b.snapshot();
+
+        // Wire round trip reproduces the snapshot exactly.
+        let rebuilt =
+            HistogramSnapshot::from_sparse(&sa.sparse_buckets(), sa.sum, sa.clamped, 0).unwrap();
+        assert_eq!(rebuilt.count, sa.count);
+        assert_eq!(rebuilt.quantile(0.5), sa.quantile(0.5));
+        assert_eq!(rebuilt.quantile(0.99), sa.quantile(0.99));
+
+        // Merging two nodes' snapshots equals one histogram that saw
+        // both streams.
+        let both = Histogram::new();
+        for v in 1..=1000u64 {
+            both.record(v);
+        }
+        for v in 500..=1500u64 {
+            both.record(v);
+        }
+        let mut merged = sa.clone();
+        merged.merge(&sb);
+        let expect = both.snapshot();
+        assert_eq!(merged.count, expect.count);
+        assert_eq!(merged.sum, expect.sum);
+        for (_, q) in QUANTILES {
+            assert_eq!(merged.quantile(q), expect.quantile(q), "quantile {q}");
+        }
+    }
+
+    #[test]
+    fn from_sparse_rejects_foreign_bucket_layout() {
+        assert!(HistogramSnapshot::from_sparse(&[(BUCKETS, 1)], 0, 0, 0).is_err());
+        assert!(HistogramSnapshot::from_sparse(&[(usize::MAX, 1)], 0, 0, 0).is_err());
+    }
+
+    #[test]
+    fn merge_keeps_an_exemplar_from_either_side() {
+        let s = |ex: u64| HistogramSnapshot::from_sparse(&[(1, 1)], 1, 0, ex).unwrap();
+        let mut left = s(0);
+        left.merge(&s(0xbeef));
+        assert_eq!(left.exemplar_trace_id, 0xbeef);
+        let mut left = s(0xaaaa);
+        left.merge(&s(0xbbbb));
+        assert_eq!(left.exemplar_trace_id, 0xaaaa);
     }
 
     #[test]

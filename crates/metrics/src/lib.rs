@@ -33,7 +33,7 @@ pub mod histogram;
 pub mod registry;
 
 pub use histogram::{Histogram, HistogramSnapshot, QUANTILES};
-pub use registry::MetricsRegistry;
+pub use registry::{histogram_snapshot_value, MetricsRegistry};
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 

@@ -26,6 +26,47 @@ enum Metric {
     Histogram(Arc<Histogram>),
 }
 
+/// The JSON export shape of one histogram snapshot: `{count, sum,
+/// mean, clamped, exemplar_trace_id?, p50, p90, p99, p999}`, plus the
+/// sparse `buckets` layer when asked. Public so a fleet aggregator can
+/// re-emit a *merged* [`crate::HistogramSnapshot`] in exactly the shape
+/// per-node exports use.
+pub fn histogram_snapshot_value(s: &crate::HistogramSnapshot, buckets: bool) -> Value {
+    let mut fields = vec![
+        ("count".to_string(), Value::Num(s.count as f64)),
+        ("sum".to_string(), Value::Num(s.sum as f64)),
+        ("mean".to_string(), Value::Num(s.mean())),
+        ("clamped".to_string(), Value::Num(s.clamped as f64)),
+    ];
+    if s.exemplar_trace_id != 0 {
+        fields.push((
+            "exemplar_trace_id".to_string(),
+            Value::Str(format!("{:016x}", s.exemplar_trace_id)),
+        ));
+    }
+    for (label, q) in QUANTILES {
+        fields.push((
+            label.to_string(),
+            match s.quantile(q) {
+                Some(v) => Value::Num(v as f64),
+                None => Value::Null,
+            },
+        ));
+    }
+    if buckets {
+        fields.push((
+            "buckets".to_string(),
+            Value::Seq(
+                s.sparse_buckets()
+                    .into_iter()
+                    .map(|(i, c)| Value::Seq(vec![Value::Num(i as f64), Value::Num(c as f64)]))
+                    .collect(),
+            ),
+        ));
+    }
+    Value::Map(fields)
+}
+
 /// A name-indexed collection of instruments with JSON and
 /// Prometheus-text export.
 #[derive(Default)]
@@ -115,6 +156,18 @@ impl MetricsRegistry {
     /// numbers, histograms as `{count, sum, mean, clamped, p50, p90,
     /// p99, p999}` (quantiles `null` while empty).
     pub fn to_value(&self) -> Value {
+        self.to_value_with_buckets(false)
+    }
+
+    /// [`MetricsRegistry::to_value`] with the raw bucket layer opted in:
+    /// each histogram additionally carries `"buckets": [[index, count],
+    /// …]` (sparse, non-empty buckets only) — the exact counts a fleet
+    /// aggregator needs to merge histograms across nodes without losing
+    /// the quantile error bound (see
+    /// [`crate::HistogramSnapshot::from_sparse`]). Off by default: the
+    /// bucket layer is an inter-node wire format, not something human
+    /// scrapes need.
+    pub fn to_value_with_buckets(&self, buckets: bool) -> Value {
         let ttl = self.export_cache_ttl();
         let metrics = self.metrics.read().expect("metrics registry poisoned");
         let mut entries = Vec::with_capacity(metrics.len());
@@ -122,31 +175,7 @@ impl MetricsRegistry {
             let value = match metric {
                 Metric::Counter(c) => Value::Num(c.get() as f64),
                 Metric::Gauge(g) => Value::Num(g.get() as f64),
-                Metric::Histogram(h) => {
-                    let s = h.snapshot_cached(ttl);
-                    let mut fields = vec![
-                        ("count".to_string(), Value::Num(s.count as f64)),
-                        ("sum".to_string(), Value::Num(s.sum as f64)),
-                        ("mean".to_string(), Value::Num(s.mean())),
-                        ("clamped".to_string(), Value::Num(s.clamped as f64)),
-                    ];
-                    if s.exemplar_trace_id != 0 {
-                        fields.push((
-                            "exemplar_trace_id".to_string(),
-                            Value::Str(format!("{:016x}", s.exemplar_trace_id)),
-                        ));
-                    }
-                    for (label, q) in QUANTILES {
-                        fields.push((
-                            label.to_string(),
-                            match s.quantile(q) {
-                                Some(v) => Value::Num(v as f64),
-                                None => Value::Null,
-                            },
-                        ));
-                    }
-                    Value::Map(fields)
-                }
+                Metric::Histogram(h) => histogram_snapshot_value(&h.snapshot_cached(ttl), buckets),
             };
             entries.push((name.clone(), value));
         }
@@ -317,6 +346,44 @@ mod tests {
         h.record(7);
         let exact = r.histogram("lat_ns").snapshot();
         assert_eq!(p50(&r.to_value()), exact.quantile(0.5).unwrap() as f64);
+    }
+
+    #[test]
+    fn bucket_layer_is_opt_in_and_round_trips() {
+        let r = MetricsRegistry::new();
+        r.histogram("lat_ns").record(100);
+        r.histogram("lat_ns").record(5000);
+        // Default export: no bucket layer.
+        let plain = r.to_value();
+        let hist = serde::map_get(plain.as_map().unwrap(), "lat_ns")
+            .unwrap()
+            .as_map()
+            .unwrap();
+        assert!(serde::map_get(hist, "buckets").is_err());
+        // Opted in: sparse buckets rebuild the snapshot exactly.
+        let detailed = r.to_value_with_buckets(true);
+        let hist = serde::map_get(detailed.as_map().unwrap(), "lat_ns")
+            .unwrap()
+            .as_map()
+            .unwrap();
+        let buckets: Vec<(usize, u64)> = serde::map_get(hist, "buckets")
+            .unwrap()
+            .as_seq()
+            .unwrap()
+            .iter()
+            .map(|pair| {
+                let pair = pair.as_seq().unwrap();
+                (
+                    pair[0].as_num().unwrap() as usize,
+                    pair[1].as_num().unwrap() as u64,
+                )
+            })
+            .collect();
+        let expect = r.histogram("lat_ns").snapshot();
+        let rebuilt =
+            crate::HistogramSnapshot::from_sparse(&buckets, expect.sum, expect.clamped, 0).unwrap();
+        assert_eq!(rebuilt.count, expect.count);
+        assert_eq!(rebuilt.quantile(0.9), expect.quantile(0.9));
     }
 
     #[test]

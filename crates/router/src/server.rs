@@ -1,0 +1,197 @@
+//! The router's serving loop.
+//!
+//! Same shape as the backend tier's blocking server, sized for a front
+//! tier: a small pool of acceptor/worker threads share the listener
+//! (`accept` is thread-safe on every platform we target), and each
+//! worker owns one keep-alive [`Connections`] set to the backends —
+//! so backend connection state is per-thread and needs no locking.
+//! Shutdown is the codebase's poke idiom: flip an `AtomicBool`, then
+//! connect once per worker so every blocked `accept` call returns.
+
+use crate::fleet::Fleet;
+use crate::proxy::{self, Connections};
+use ft_server::http::{read_request, write_response, Response};
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Acceptor/worker threads. Each holds one keep-alive connection
+    /// per backend, so the fleet sees at most `workers × nodes`
+    /// proxy connections.
+    pub workers: usize,
+    /// Virtual points per node on the placement ring.
+    pub replicas: usize,
+    /// Idle client connections are dropped after this long.
+    pub keep_alive_timeout: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            workers: 16,
+            replicas: crate::ring::DEFAULT_REPLICAS,
+            keep_alive_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+pub struct Router {
+    listener: TcpListener,
+    addr: SocketAddr,
+    fleet: Arc<Fleet>,
+    config: RouterConfig,
+}
+
+/// Handle returned by [`Router::spawn`]; dropping it does **not** stop
+/// the router — call [`RouterHandle::shutdown`].
+pub struct RouterHandle {
+    addr: SocketAddr,
+    fleet: Arc<Fleet>,
+    stop: Arc<AtomicBool>,
+    workers: usize,
+}
+
+impl RouterHandle {
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn fleet(&self) -> &Arc<Fleet> {
+        &self.fleet
+    }
+
+    /// Stop accepting and unblock every worker. Idempotent.
+    pub fn shutdown(&self) {
+        // ORDERING: Release pairs with the Acquire loads in
+        // `worker_loop` — a worker that observes the stop flag also
+        // observes everything settled before shutdown was requested.
+        self.stop.store(true, Ordering::Release);
+        for _ in 0..self.workers {
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+}
+
+impl Router {
+    pub fn bind(addr: &str, backends: Vec<SocketAddr>, config: RouterConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let fleet = Arc::new(Fleet::new(backends, config.replicas));
+        Ok(Self {
+            listener,
+            addr,
+            fleet,
+            config,
+        })
+    }
+
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn fleet(&self) -> &Arc<Fleet> {
+        &self.fleet
+    }
+
+    /// Serve until [`RouterHandle::shutdown`]; returns the handle and
+    /// a join handle that resolves once every worker has exited.
+    pub fn spawn(self) -> io::Result<(RouterHandle, std::thread::JoinHandle<()>)> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers = self.config.workers.max(1);
+        let mut joins = Vec::with_capacity(workers);
+        for worker in 0..workers {
+            let listener = self.listener.try_clone()?;
+            let fleet = Arc::clone(&self.fleet);
+            let stop = Arc::clone(&stop);
+            let config = self.config.clone();
+            joins.push(
+                std::thread::Builder::new()
+                    .name(format!("ft-router-{worker}"))
+                    .spawn(move || worker_loop(&listener, &fleet, &stop, &config))?,
+            );
+        }
+        let handle = RouterHandle {
+            addr: self.addr,
+            fleet: Arc::clone(&self.fleet),
+            stop,
+            workers,
+        };
+        let join = std::thread::spawn(move || {
+            for j in joins {
+                let _ = j.join();
+            }
+        });
+        Ok((handle, join))
+    }
+
+    /// Serve on the calling thread (the binary's entry point).
+    pub fn serve(self) -> io::Result<()> {
+        let (_, join) = self.spawn()?;
+        join.join()
+            .map_err(|_| io::Error::other("router worker panicked"))
+    }
+}
+
+fn worker_loop(
+    listener: &TcpListener,
+    fleet: &Arc<Fleet>,
+    stop: &Arc<AtomicBool>,
+    config: &RouterConfig,
+) {
+    let mut conns = Connections::new(fleet.backends());
+    loop {
+        // ORDERING: Acquire pairs with the Release store in
+        // `RouterHandle::shutdown`.
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => continue,
+        };
+        // ORDERING: Acquire pairs with the Release store in
+        // `RouterHandle::shutdown` — re-checked after accept so the
+        // unblocking connection it makes is not served as traffic.
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        serve_connection(stream, fleet, &mut conns, config);
+    }
+}
+
+/// One client connection: keep-alive request loop until the client
+/// closes, errors, times out, or asks to close.
+fn serve_connection(
+    stream: TcpStream,
+    fleet: &Arc<Fleet>,
+    conns: &mut Connections,
+    config: &RouterConfig,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(config.keep_alive_timeout));
+    let mut reader = BufReader::new(stream);
+    loop {
+        let request = match read_request(&mut reader) {
+            Ok(Some(request)) => request,
+            Ok(None) => return,
+            Err(e) => {
+                // Malformed request: answer a parse diagnostic once
+                // (timeouts and resets just drop), then close.
+                if e.kind() == io::ErrorKind::InvalidData {
+                    let response = Response::text(400, format!("bad request: {e}\n"));
+                    let _ = write_response(reader.get_mut(), &response, false);
+                }
+                return;
+            }
+        };
+        let keep_alive = request.keep_alive;
+        let response = proxy::handle(fleet, conns, &request);
+        if write_response(reader.get_mut(), &response, keep_alive).is_err() || !keep_alive {
+            return;
+        }
+    }
+}

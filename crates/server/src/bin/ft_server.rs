@@ -1,0 +1,60 @@
+//! `ft-server` — run one campaign-registry node over HTTP.
+//!
+//! ```text
+//! ft-server [--addr HOST:PORT] [--workers N] [--queue N]
+//! ```
+//!
+//! Binds, prints `listening on ADDR` on stdout (the line a fleet
+//! launcher parses for the bound port when `--addr` uses port 0), and
+//! serves until killed. One process per node; a fleet is N of these
+//! behind an `ft-router`.
+
+use ft_core::registry::CampaignRegistry;
+use ft_server::{Server, ServerConfig};
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!("usage: ft-server [--addr HOST:PORT] [--workers N] [--queue N]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = String::from("127.0.0.1:0");
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("ft-server: {name} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--workers" => match value("--workers").parse() {
+                Ok(n) if n > 0 => config.workers = n,
+                _ => usage(),
+            },
+            "--queue" => match value("--queue").parse() {
+                Ok(n) if n > 0 => config.queue_depth = n,
+                _ => usage(),
+            },
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("ft-server: unknown flag `{other}`");
+                usage()
+            }
+        }
+    }
+
+    let registry = Arc::new(CampaignRegistry::new());
+    let server = match Server::bind_with(&addr, registry, config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("ft-server: bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("listening on {}", server.local_addr());
+    server.serve();
+}

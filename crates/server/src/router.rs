@@ -13,7 +13,11 @@
 //! | `GET /campaigns/{id}/price?remaining=..&budget_cents=..` | quote a budget campaign |
 //! | `POST /campaigns/{id}/observations` | report an interval / progress |
 //! | `GET /campaigns/{id}` | status + diagnostics |
+//! | `GET /campaigns/{id}/snapshot` | one campaign as a migratable snapshot document |
+//! | `POST /campaigns/restore` | restore a snapshot document (receiving side of migration) |
 //! | `DELETE /campaigns/{id}` | evict (tombstone) |
+//! | `POST /admin/drain` | refuse mutations (503) ahead of a migration |
+//! | `POST /admin/resume` | lift a drain |
 //! | `GET /trace/recent?limit=..` | recently completed traces + slow exemplars |
 //! | `GET /trace/{id}` | one completed trace as a span tree (JSON) |
 //! | `GET /trace/export` | Chrome trace-event / Perfetto JSON dump |
@@ -130,6 +134,18 @@ pub fn handle(state: &AppState, request: &Request) -> Response {
 
 fn dispatch(state: &AppState, endpoint: Endpoint, request: &Request) -> Response {
     let registry = state.registry.as_ref();
+    // A draining node refuses every mutation with a retryable 503: a
+    // migrating router needs each campaign's generation and engine
+    // state frozen while it snapshots. Reads and quotes keep serving
+    // (quoting never advances a generation), so in-flight traffic
+    // completes during the hand-off window.
+    if state.draining() && mutates(endpoint) {
+        return error_response(
+            503,
+            "draining",
+            "node is draining for migration; retry against the fleet",
+        );
+    }
     match endpoint {
         Endpoint::Healthz => healthz(state),
         Endpoint::Metrics => metrics(state, request),
@@ -145,8 +161,27 @@ fn dispatch(state: &AppState, endpoint: Endpoint, request: &Request) -> Response
         Endpoint::TraceRecent => trace_recent(request),
         Endpoint::TraceGet => trace_get(request),
         Endpoint::TraceExport => Response::json(200, ft_trace::export_chrome_json()),
+        Endpoint::CampaignSnapshot => with_id(request, |id| snapshot(registry, id)),
+        Endpoint::CampaignsRestore => restore(registry, request),
+        Endpoint::AdminDrain => set_drain(state, true),
+        Endpoint::AdminResume => set_drain(state, false),
         Endpoint::Other => fallback(request),
     }
+}
+
+/// Endpoints a draining node refuses (everything that can move a
+/// campaign's state — including restores: a node being emptied must
+/// not accept new residents).
+fn mutates(endpoint: Endpoint) -> bool {
+    matches!(
+        endpoint,
+        Endpoint::CampaignCreate
+            | Endpoint::CampaignSolve
+            | Endpoint::CampaignObserve
+            | Endpoint::CampaignDelete
+            | Endpoint::CampaignsObserve
+            | Endpoint::CampaignsRestore
+    )
 }
 
 /// Parse the `{id}` path segment (the classifier only checked the
@@ -190,7 +225,11 @@ fn healthz(state: &AppState) -> Response {
         .map(|(status, count)| (status.as_str().to_string(), Value::Num(*count as f64)))
         .collect();
     ok(map(vec![
-        ("status", Value::Str("ok".into())),
+        (
+            "status",
+            Value::Str(if state.draining() { "draining" } else { "ok" }.into()),
+        ),
+        ("draining", Value::Bool(state.draining())),
         ("version", Value::Str(env!("CARGO_PKG_VERSION").into())),
         (
             "uptime_seconds",
@@ -202,15 +241,53 @@ fn healthz(state: &AppState) -> Response {
     ]))
 }
 
+/// `GET /campaigns/{id}/snapshot` — one campaign as a complete,
+/// versioned snapshot document (the unit of migration: feed it to
+/// `POST /campaigns/restore` on another node).
+fn snapshot(registry: &CampaignRegistry, id: CampaignId) -> Response {
+    match registry.campaign_to_json(id) {
+        Ok(doc) => Response::json(200, doc),
+        Err(e) => pricing_error(&e),
+    }
+}
+
+/// `POST /campaigns/restore` — body is a snapshot document (any format
+/// version ever written; single- or multi-campaign). Restored
+/// campaigns resume at their exact persisted generation, replacing any
+/// record already at the same id.
+fn restore(registry: &CampaignRegistry, request: &Request) -> Response {
+    match registry.restore_json(&request.body) {
+        Ok(ids) => ok(map(vec![
+            ("restored", Value::Num(ids.len() as f64)),
+            (
+                "ids",
+                Value::Seq(ids.into_iter().map(|id| Value::Num(id as f64)).collect()),
+            ),
+        ])),
+        Err(e) => pricing_error(&e),
+    }
+}
+
+/// `POST /admin/drain` / `POST /admin/resume` — raise or lift the
+/// migration drain. Idempotent; the response reports the new state.
+fn set_drain(state: &AppState, draining: bool) -> Response {
+    state.set_draining(draining);
+    ok(map(vec![("draining", Value::Bool(draining))]))
+}
+
 /// `GET /metrics` — the whole observability plane (registry + HTTP
 /// layer). JSON by default; `?format=prometheus` (or `format=text`)
 /// switches to the text exposition format scrapers expect.
 fn metrics(state: &AppState, request: &Request) -> Response {
+    // `?buckets=1` adds each histogram's sparse bucket layer so an
+    // aggregating front tier can merge distributions exactly instead of
+    // averaging quantiles.
+    let buckets = matches!(request.query("buckets"), Some("1") | Some("true"));
     match request.query("format") {
         Some("prometheus") | Some("text") => {
             Response::text(200, state.registry.metrics().to_prometheus())
         }
-        None | Some("json") => ok(state.registry.metrics().to_value()),
+        None | Some("json") => ok(state.registry.metrics().to_value_with_buckets(buckets)),
         Some(other) => bad_request(&format!(
             "unknown format `{other}` (use json, prometheus or text)"
         )),
@@ -303,7 +380,9 @@ fn parse_body(request: &Request) -> Result<Value, Response> {
 }
 
 /// `POST /campaigns` — body `{"kind": "deadline"|"budget", "problem":
-/// {...}, "eps": ...?}`.
+/// {...}, "eps": ...?, "id": ...?}`. The optional `id` registers (or
+/// replaces) the campaign under a caller-chosen id — how a placing
+/// front tier keeps one id space across N nodes.
 fn create_campaign(registry: &CampaignRegistry, request: &Request) -> Response {
     let body = match parse_body(request) {
         Ok(v) => v,
@@ -350,7 +429,16 @@ fn create_campaign(registry: &CampaignRegistry, request: &Request) -> Response {
     if let Err(e) = spec.validate() {
         return pricing_error(&e);
     }
-    let id = registry.register(spec);
+    let id = match map_get(fields, "id") {
+        Ok(v) => match CampaignId::from_value(v) {
+            Ok(id) => {
+                registry.register_at(id, spec);
+                id
+            }
+            Err(e) => return bad_request(&format!("bad id: {e}")),
+        },
+        Err(_) => registry.register(spec),
+    };
     created(map(vec![
         ("id", Value::Num(id as f64)),
         ("status", Value::Str("draft".into())),

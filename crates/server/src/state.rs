@@ -5,6 +5,7 @@
 use crate::http::Request;
 use ft_core::registry::CampaignRegistry;
 use ft_metrics::{Counter, Gauge, Histogram};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -32,11 +33,22 @@ pub enum Endpoint {
     TraceGet,
     /// `GET /trace/export` — Chrome trace-event / Perfetto JSON dump.
     TraceExport,
+    /// `GET /campaigns/{id}/snapshot` — one campaign as a migratable
+    /// snapshot document.
+    CampaignSnapshot,
+    /// `POST /campaigns/restore` — restore a snapshot document into the
+    /// live registry (the receiving side of a migration).
+    CampaignsRestore,
+    /// `POST /admin/drain` — stop accepting mutations ahead of a
+    /// migration off this node.
+    AdminDrain,
+    /// `POST /admin/resume` — lift a drain.
+    AdminResume,
     Other,
 }
 
 impl Endpoint {
-    pub const ALL: [Endpoint; 15] = [
+    pub const ALL: [Endpoint; 19] = [
         Endpoint::Healthz,
         Endpoint::Metrics,
         Endpoint::CampaignsIndex,
@@ -51,6 +63,10 @@ impl Endpoint {
         Endpoint::TraceRecent,
         Endpoint::TraceGet,
         Endpoint::TraceExport,
+        Endpoint::CampaignSnapshot,
+        Endpoint::CampaignsRestore,
+        Endpoint::AdminDrain,
+        Endpoint::AdminResume,
         Endpoint::Other,
     ];
 
@@ -71,6 +87,10 @@ impl Endpoint {
             Endpoint::TraceRecent => "trace_recent",
             Endpoint::TraceGet => "trace_get",
             Endpoint::TraceExport => "trace_export",
+            Endpoint::CampaignSnapshot => "campaign_snapshot",
+            Endpoint::CampaignsRestore => "campaigns_restore",
+            Endpoint::AdminDrain => "admin_drain",
+            Endpoint::AdminResume => "admin_resume",
             Endpoint::Other => "other",
         }
     }
@@ -84,11 +104,14 @@ impl Endpoint {
             ("GET", ["metrics"]) => Endpoint::Metrics,
             ("GET", ["campaigns"]) => Endpoint::CampaignsIndex,
             ("POST", ["campaigns"]) => Endpoint::CampaignCreate,
-            // Bulk routes shadow the `{id}` shapes: "quotes" and
-            // "observations" are not valid campaign ids, so nothing is
-            // lost.
+            // Bulk routes shadow the `{id}` shapes: "quotes",
+            // "observations" and "restore" are not valid campaign ids,
+            // so nothing is lost.
             ("POST", ["campaigns", "quotes"]) => Endpoint::CampaignsQuotes,
             ("POST", ["campaigns", "observations"]) => Endpoint::CampaignsObserve,
+            ("POST", ["campaigns", "restore"]) => Endpoint::CampaignsRestore,
+            ("POST", ["admin", "drain"]) => Endpoint::AdminDrain,
+            ("POST", ["admin", "resume"]) => Endpoint::AdminResume,
             // The named trace routes shadow the `{id}` shape, like the
             // bulk campaign routes above.
             ("GET", ["trace", "recent"]) => Endpoint::TraceRecent,
@@ -96,6 +119,7 @@ impl Endpoint {
             ("GET", ["trace", _]) => Endpoint::TraceGet,
             ("GET", ["campaigns", _]) => Endpoint::CampaignReport,
             ("DELETE", ["campaigns", _]) => Endpoint::CampaignDelete,
+            ("GET", ["campaigns", _, "snapshot"]) => Endpoint::CampaignSnapshot,
             ("POST", ["campaigns", _, "solve"]) => Endpoint::CampaignSolve,
             ("GET", ["campaigns", _, "price"]) => Endpoint::CampaignPrice,
             ("POST", ["campaigns", _, "observations"]) => Endpoint::CampaignObserve,
@@ -187,6 +211,10 @@ pub struct AppState {
     pub registry: Arc<CampaignRegistry>,
     pub telemetry: ServerTelemetry,
     pub started: Instant,
+    /// Set by `POST /admin/drain`: mutations are refused with 503 so a
+    /// migrating router can snapshot every campaign at a generation
+    /// that will not move underneath it. Reads and quotes keep serving.
+    draining: AtomicBool,
 }
 
 impl AppState {
@@ -196,6 +224,20 @@ impl AppState {
             registry,
             telemetry,
             started: Instant::now(),
+            draining: AtomicBool::new(false),
         }
+    }
+
+    pub fn draining(&self) -> bool {
+        // ORDERING: Acquire pairs with the Release in `set_draining` —
+        // a handler that observes the flag also observes everything the
+        // drainer settled before raising it.
+        self.draining.load(Ordering::Acquire)
+    }
+
+    pub fn set_draining(&self, draining: bool) {
+        // ORDERING: Release pairs with the Acquire in `draining` —
+        // handlers that observe the flag observe the drainer's writes.
+        self.draining.store(draining, Ordering::Release);
     }
 }

@@ -208,6 +208,232 @@ fn chrome_document(traces: &[Arc<CompletedTrace>]) -> String {
     out
 }
 
+// ---- cross-process trace merging ------------------------------------
+//
+// A fleet front tier proxies one request across several processes;
+// each process records its own segment of the trace under the shared
+// trace id. `merge_documents` stitches the per-process `to_json`
+// documents into one tree: remote segments keep their internal
+// structure, their roots are reparented under the local root, and span
+// ids are offset so they stay unique. The parser below reads exactly
+// the format `CompletedTrace::to_json` emits — no general JSON
+// machinery, no dependencies — and is available in `trace-off` builds
+// too (it is a pure document transform).
+
+/// One span as parsed back out of a `to_json` document. Names are kept
+/// as raw JSON string tokens (quotes and escapes included) so merging
+/// never re-escapes.
+struct ParsedSpan<'a> {
+    span_id: u64,
+    parent_id: u64,
+    name_raw: &'a str,
+    start_ns: u64,
+    end_ns: u64,
+    tid: u64,
+}
+
+struct ParsedTrace<'a> {
+    trace_id_raw: &'a str,
+    op_raw: &'a str,
+    spans: Vec<ParsedSpan<'a>>,
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn lit(&mut self, expected: &str) -> Result<(), String> {
+        let end = self.at + expected.len();
+        if self.bytes.get(self.at..end) == Some(expected.as_bytes()) {
+            self.at = end;
+            Ok(())
+        } else {
+            Err(format!(
+                "trace document: expected `{expected}` at byte {}",
+                self.at
+            ))
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.at).copied()
+    }
+
+    fn num(&mut self) -> Result<u64, String> {
+        let start = self.at;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.at += 1;
+        }
+        if self.at == start {
+            return Err(format!("trace document: expected a number at byte {start}"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.at])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("trace document: bad number at byte {start}"))
+    }
+
+    /// A JSON string, returned as its raw token (quotes included).
+    fn str_raw(&mut self, source: &'a str) -> Result<&'a str, String> {
+        let start = self.at;
+        self.lit("\"")?;
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(&source[start..self.at]);
+                }
+                Some(b'\\') => self.at += 2,
+                Some(_) => self.at += 1,
+                None => return Err("trace document: unterminated string".into()),
+            }
+        }
+    }
+}
+
+fn parse_document(doc: &str) -> Result<ParsedTrace<'_>, String> {
+    let mut c = Cursor {
+        bytes: doc.as_bytes(),
+        at: 0,
+    };
+    c.lit("{\"trace_id\":")?;
+    let trace_id_raw = c.str_raw(doc)?;
+    c.lit(",\"op\":")?;
+    let op_raw = c.str_raw(doc)?;
+    c.lit(",\"start_ns\":")?;
+    c.num()?;
+    c.lit(",\"end_ns\":")?;
+    c.num()?;
+    c.lit(",\"duration_ns\":")?;
+    c.num()?;
+    c.lit(",\"spans\":[")?;
+    let mut spans = Vec::new();
+    if c.peek() == Some(b']') {
+        c.at += 1;
+    } else {
+        loop {
+            c.lit("{\"span_id\":")?;
+            let span_id = c.num()?;
+            c.lit(",\"parent_id\":")?;
+            let parent_id = c.num()?;
+            c.lit(",\"name\":")?;
+            let name_raw = c.str_raw(doc)?;
+            c.lit(",\"start_ns\":")?;
+            let start_ns = c.num()?;
+            c.lit(",\"end_ns\":")?;
+            let end_ns = c.num()?;
+            c.lit(",\"duration_ns\":")?;
+            c.num()?;
+            c.lit(",\"tid\":")?;
+            let tid = c.num()?;
+            c.lit("}")?;
+            spans.push(ParsedSpan {
+                span_id,
+                parent_id,
+                name_raw,
+                start_ns,
+                end_ns,
+                tid,
+            });
+            match c.peek() {
+                Some(b',') => c.at += 1,
+                Some(b']') => {
+                    c.at += 1;
+                    break;
+                }
+                _ => return Err("trace document: bad spans array".into()),
+            }
+        }
+    }
+    c.lit("}")?;
+    Ok(ParsedTrace {
+        trace_id_raw,
+        op_raw,
+        spans,
+    })
+}
+
+/// Stitch per-process trace documents (each a `GET /trace/{id}` body
+/// for the **same** trace id) into one tree rooted at `local`'s root.
+///
+/// Remote span ids are offset to stay unique; remote roots
+/// (`parent_id == 0`) are reparented under the local root; each remote
+/// segment's internal parent/child structure is preserved. Because the
+/// trace clock is process-local (nanoseconds since process start),
+/// remote timelines are rebased to start at the local root's start —
+/// durations are exact, cross-process alignment is nominal.
+///
+/// Errors if any document does not parse as `CompletedTrace::to_json`
+/// output.
+pub fn merge_documents(local: &str, remotes: &[String]) -> Result<String, String> {
+    let base = parse_document(local)?;
+    let local_root = base
+        .spans
+        .iter()
+        .find(|s| s.parent_id == 0)
+        .map(|s| (s.span_id, s.start_ns))
+        .ok_or_else(|| "trace document: local trace has no root span".to_string())?;
+    let mut spans: Vec<ParsedSpan<'_>> = base.spans;
+    let mut next_offset: u64 = spans.iter().map(|s| s.span_id).max().unwrap_or(0);
+    let mut parsed_remotes = Vec::with_capacity(remotes.len());
+    for remote in remotes {
+        parsed_remotes.push(parse_document(remote)?);
+    }
+    for remote in &parsed_remotes {
+        let offset = next_offset;
+        let rebase = remote.spans.iter().map(|s| s.start_ns).min().unwrap_or(0);
+        for span in &remote.spans {
+            next_offset = next_offset.max(span.span_id + offset);
+            spans.push(ParsedSpan {
+                span_id: span.span_id + offset,
+                parent_id: if span.parent_id == 0 {
+                    local_root.0
+                } else {
+                    span.parent_id + offset
+                },
+                name_raw: span.name_raw,
+                start_ns: span.start_ns - rebase + local_root.1,
+                end_ns: span.end_ns - rebase + local_root.1,
+                tid: span.tid,
+            });
+        }
+    }
+    spans.sort_by_key(|s| (s.start_ns, s.span_id));
+    let start_ns = spans.iter().map(|s| s.start_ns).min().unwrap_or(0);
+    let end_ns = spans.iter().map(|s| s.end_ns).max().unwrap_or(0);
+    let mut out = String::with_capacity(160 + spans.len() * 144);
+    let _ = write!(
+        out,
+        "{{\"trace_id\":{},\"op\":{},\"start_ns\":{},\"end_ns\":{},\"duration_ns\":{},\"spans\":[",
+        base.trace_id_raw,
+        base.op_raw,
+        start_ns,
+        end_ns,
+        end_ns.saturating_sub(start_ns)
+    );
+    for (i, span) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"span_id\":{},\"parent_id\":{},\"name\":{},\"start_ns\":{},\"end_ns\":{},\
+             \"duration_ns\":{},\"tid\":{}}}",
+            span.span_id,
+            span.parent_id,
+            span.name_raw,
+            span.start_ns,
+            span.end_ns,
+            span.end_ns.saturating_sub(span.start_ns),
+            span.tid
+        );
+    }
+    out.push_str("]}");
+    Ok(out)
+}
+
 #[cfg(not(feature = "trace-off"))]
 mod imp {
     use super::{chrome_document, CompletedTrace, SpanRecord, MAX_DEPTH, RING_SLOTS, SPAN_BUDGET};
@@ -926,6 +1152,114 @@ pub use imp::{
 #[cfg(all(test, not(feature = "trace-off")))]
 mod tests {
     use super::*;
+
+    fn doc(
+        trace_id: u64,
+        op: &'static str,
+        spans: Vec<(u64, u64, &'static str, u64, u64)>,
+    ) -> String {
+        let spans: Vec<SpanRecord> = spans
+            .into_iter()
+            .map(|(span_id, parent_id, name, start_ns, end_ns)| SpanRecord {
+                trace_id,
+                span_id,
+                parent_id,
+                name,
+                start_ns,
+                end_ns,
+                tid: 1,
+            })
+            .collect();
+        let start_ns = spans.iter().map(|s| s.start_ns).min().unwrap_or(0);
+        let end_ns = spans.iter().map(|s| s.end_ns).max().unwrap_or(0);
+        CompletedTrace {
+            trace_id,
+            op,
+            start_ns,
+            end_ns,
+            spans,
+        }
+        .to_json()
+    }
+
+    #[test]
+    fn merge_reparents_remote_roots_under_the_local_root() {
+        let local = doc(
+            7,
+            "campaign_price",
+            vec![
+                (1, 0, "router.request.serve", 100, 900),
+                (2, 1, "router.backend.proxy", 200, 800),
+            ],
+        );
+        // Remote clock is process-local (starts near zero) and its
+        // span ids collide with the local ones.
+        let remote_a = doc(
+            7,
+            "campaign_price",
+            vec![
+                (1, 0, "server.request.serve", 10, 60),
+                (2, 1, "core.registry.quote", 20, 50),
+            ],
+        );
+        let remote_b = doc(
+            7,
+            "campaign_price",
+            vec![(1, 0, "server.request.serve", 5, 25)],
+        );
+        let merged = merge_documents(&local, &[remote_a, remote_b]).unwrap();
+        let parsed = parse_document(&merged).unwrap();
+        assert_eq!(parsed.trace_id_raw, "\"0000000000000007\"");
+        assert_eq!(parsed.spans.len(), 5);
+        // Ids unique; every remote root now hangs off local span 1.
+        let mut ids: Vec<u64> = parsed.spans.iter().map(|s| s.span_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 5);
+        let reparented = parsed
+            .spans
+            .iter()
+            .filter(|s| s.name_raw == "\"server.request.serve\"")
+            .collect::<Vec<_>>();
+        assert_eq!(reparented.len(), 2);
+        assert!(reparented.iter().all(|s| s.parent_id == 1));
+        // Remote internal structure survives: the quote span's parent
+        // is its own segment's root, not the local root.
+        let quote = parsed
+            .spans
+            .iter()
+            .find(|s| s.name_raw == "\"core.registry.quote\"")
+            .unwrap();
+        let remote_root = parsed
+            .spans
+            .iter()
+            .find(|s| s.span_id == quote.parent_id)
+            .unwrap();
+        assert_eq!(remote_root.name_raw, "\"server.request.serve\"");
+        assert_eq!(remote_root.parent_id, 1);
+        // Remote timelines are rebased into the local window, and the
+        // merged envelope still covers every span.
+        assert!(parsed.spans.iter().all(|s| s.start_ns >= 100));
+        assert_eq!(quote.end_ns - quote.start_ns, 30);
+    }
+
+    #[test]
+    fn merge_of_local_alone_is_stable() {
+        let local = doc(9, "x", vec![(1, 0, "router.request.serve", 0, 10)]);
+        let merged = merge_documents(&local, &[]).unwrap();
+        assert_eq!(merged, local);
+    }
+
+    #[test]
+    fn merge_rejects_malformed_documents() {
+        let local = doc(9, "x", vec![(1, 0, "router.request.serve", 0, 10)]);
+        assert!(merge_documents("{}", &[]).is_err());
+        assert!(merge_documents(&local, &["not json".to_string()]).is_err());
+        // A rootless local document (every span parented) is an error,
+        // not a silent mis-merge.
+        let rootless = doc(9, "x", vec![(2, 1, "router.backend.proxy", 0, 10)]);
+        assert!(merge_documents(&rootless, &[]).is_err());
+    }
 
     #[test]
     fn trace_id_wire_roundtrip() {
