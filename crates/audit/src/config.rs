@@ -219,6 +219,7 @@ pub fn validate_floors(text: &str, rel_path: &str) -> Vec<Finding> {
                     | "min_throughput_rps"
                     | "max_p99_ns"
                     | "min_throughput_frac_of"
+                    | "min_pmf_cache_hit_rate"
             ) {
                 findings.push(entry_err(format!("unknown key `{key}`")));
             }
@@ -252,6 +253,14 @@ pub fn validate_floors(text: &str, rel_path: &str) -> Vec<Finding> {
                 }
             }
             None => findings.push(entry_err("needs object `max_p99_ns`".into())),
+        }
+        if let Ok(rate) = map_get(emap, "min_pmf_cache_hit_rate") {
+            match rate.as_num() {
+                Some(r) if r > 0.0 && r <= 1.0 => {}
+                _ => findings.push(entry_err(
+                    "`min_pmf_cache_hit_rate` must be in (0, 1]".into(),
+                )),
+            }
         }
         if let Ok(frac_of) = map_get(emap, "min_throughput_frac_of") {
             let Some(fmap) = frac_of.as_map() else {
@@ -404,6 +413,7 @@ mod tests {
         let text = r#"{"tolerance": 1.5, "backends": [
             {"backend": "in_process", "min_throughput_rps": -1,
              "max_p99_ns": {"price": 0},
+             "min_pmf_cache_hit_rate": 1.5,
              "min_throughput_frac_of": {"backend": "x", "frac": 2.0}}
         ]}"#;
         let findings = validate_floors(text, "f.json");
@@ -418,5 +428,10 @@ mod tests {
             "{msgs:?}"
         );
         assert!(msgs.iter().any(|m| m.contains("frac")), "{msgs:?}");
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("min_pmf_cache_hit_rate` must be in (0, 1]")),
+            "{msgs:?}"
+        );
     }
 }

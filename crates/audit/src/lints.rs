@@ -536,6 +536,76 @@ mod tests {
         assert_eq!(l6, vec![3, 4, 5], "wrong crate, two segments, uppercase");
     }
 
+    /// The work-stealing/batched-solving instruments are the names CI
+    /// greps dashboards for; pin the grammar on the real names (accept)
+    /// and on the mistakes a refactor would most plausibly introduce
+    /// (reject: registering from the wrong crate, dotted-name drift).
+    #[test]
+    fn l4_l6_pin_the_steal_and_batch_instrument_names() {
+        let exec_ok = scan_at(
+            "crates/exec/src/metrics.rs",
+            concat!(
+                "fn wire(m: &MetricsRegistry) {\n",
+                "    m.counter(\"ft_exec_steals_total\");\n",
+                "    m.counter(\"ft_exec_deque_overflow_total\");\n",
+                "}\n",
+                "fn steal() { let _s = ft_trace::span(\"exec.pool.steal\"); }\n"
+            ),
+        );
+        assert!(
+            run_all(&exec_ok)
+                .iter()
+                .all(|f| f.lint != "L4" && f.lint != "L6"),
+            "exec instrument names must satisfy their own grammar"
+        );
+        let core_ok = scan_at(
+            "crates/core/src/scheduler.rs",
+            concat!(
+                "fn wire(m: &MetricsRegistry) {\n",
+                "    m.counter(\"ft_core_batched_solves_total\");\n",
+                "    m.counter(\"ft_core_pmf_cache_hits_total\");\n",
+                "}\n",
+                "fn wait() { let _s = ft_trace::span(\"core.service.batch_wait\"); }\n"
+            ),
+        );
+        assert!(
+            run_all(&core_ok)
+                .iter()
+                .all(|f| f.lint != "L4" && f.lint != "L6"),
+            "core scheduler instrument names must satisfy their own grammar"
+        );
+        // Reject: the steal counter registered from ft-core (a metrics
+        // consolidation would silently re-crate the name), and the two
+        // likeliest span-name regressions.
+        let wrong_crate = scan_at(
+            "crates/core/src/scheduler.rs",
+            "fn wire(m: &MetricsRegistry) { m.counter(\"ft_exec_steals_total\"); }\n",
+        );
+        assert_eq!(
+            run_all(&wrong_crate)
+                .iter()
+                .filter(|f| f.lint == "L4")
+                .count(),
+            1
+        );
+        let bad_spans = scan_at(
+            "crates/exec/src/pool.rs",
+            concat!(
+                "fn f() {\n",
+                "    let _two_segments = ft_trace::span(\"exec.steal\");\n",
+                "    let _foreign = ft_trace::span(\"core.service.batch_wait\");\n",
+                "}\n"
+            ),
+        );
+        assert_eq!(
+            run_all(&bad_spans)
+                .iter()
+                .filter(|f| f.lint == "L6")
+                .count(),
+            2
+        );
+    }
+
     #[test]
     fn l6_exempts_tests_the_trace_crate_and_dynamic_names() {
         let test_code = scan_at(

@@ -1,0 +1,128 @@
+//! Work-stealing dispatch on the per-worker deque executor.
+//!
+//! PR 10 rebuilt `ft-exec` around Chase–Lev-style per-worker deques:
+//! the dispatching worker pushes chunks to its own deque bottom (LIFO)
+//! and idle siblings steal from the top (FIFO), with the injector
+//! demoted to an overflow/submission channel. This bench isolates what
+//! that buys and costs:
+//!
+//! - `uniform/*` — a flat 64-layer fan-out of equal-cost chunks:
+//!   `serial` is the inline floor, `external` dispatches from a
+//!   non-worker thread (injector submission), `worker` dispatches from
+//!   inside a pool worker (`run_on_worker`), the deque path whose
+//!   chunks siblings steal.
+//! - `skewed/*` — the same fan-out with the final chunk ~16× heavier:
+//!   the shape stealing exists to rebalance. On a 1-core host both
+//!   degrade to the inline loop; the pair is the multicore re-capture
+//!   target.
+//!
+//! After each group the steal counter delta is printed so a capture
+//! records whether steals actually happened on the host that ran it.
+//!
+//! Snapshot alongside `BENCH_solver.json`:
+//! `CRITERION_JSON=... cargo bench -p ft-bench --bench exec_steal`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ft_exec::Pool;
+use std::hint::black_box;
+
+const LAYERS: usize = 64;
+const WIDTH: usize = 4096;
+const GRAIN: usize = 256;
+
+/// The cheap cell every chunk computes.
+#[inline]
+fn cell(layer: usize, i: usize, x: u64) -> u64 {
+    x.wrapping_mul(2654435761)
+        .wrapping_add((layer * WIDTH + i) as u64)
+        .rotate_left(7)
+}
+
+/// A deliberately heavier cell for the skewed tail chunk.
+#[inline]
+fn heavy_cell(layer: usize, i: usize, x: u64) -> u64 {
+    let mut v = x;
+    for _ in 0..16 {
+        v = cell(layer, i, v);
+    }
+    v
+}
+
+fn sweep(data: &mut [u64], skewed: bool, pooled: Option<&Pool>) {
+    let heavy_from = WIDTH - GRAIN;
+    for layer in 0..LAYERS {
+        match pooled {
+            Some(pool) => pool.par_chunks_mut(data, GRAIN, 0, |start, chunk| {
+                for (j, x) in chunk.iter_mut().enumerate() {
+                    let i = start + j;
+                    *x = if skewed && i >= heavy_from {
+                        heavy_cell(layer, i, *x)
+                    } else {
+                        cell(layer, i, *x)
+                    };
+                }
+            }),
+            None => {
+                for (i, x) in data.iter_mut().enumerate() {
+                    *x = if skewed && i >= heavy_from {
+                        heavy_cell(layer, i, *x)
+                    } else {
+                        cell(layer, i, *x)
+                    };
+                }
+            }
+        }
+    }
+}
+
+fn steal_dispatch(c: &mut Criterion) {
+    let pool = Pool::global();
+    for skewed in [false, true] {
+        let name = if skewed { "skewed" } else { "uniform" };
+        let mut group = c.benchmark_group(&format!("exec_steal/{name}"));
+        group.sample_size(10);
+        let steals_before = pool.steals();
+
+        group.bench_function("serial", |b| {
+            let mut data = vec![1u64; WIDTH];
+            b.iter(|| {
+                sweep(&mut data, skewed, None);
+                black_box(data[0])
+            })
+        });
+
+        // External dispatch: the bench thread is not a pool worker, so
+        // every fan-out goes through the injector submission channel.
+        group.bench_function("external", |b| {
+            let mut data = vec![1u64; WIDTH];
+            b.iter(|| {
+                sweep(&mut data, skewed, Some(pool));
+                black_box(data[0])
+            })
+        });
+
+        // Worker dispatch: the fan-out starts from inside a worker, so
+        // chunks land on the owner's deque bottom and idle siblings
+        // steal from the top — the path the solvers' nested layers use.
+        group.bench_function("worker", |b| {
+            b.iter(|| {
+                let out = pool.run_on_worker(|| {
+                    let mut data = vec![1u64; WIDTH];
+                    sweep(&mut data, skewed, Some(pool));
+                    data[0]
+                });
+                black_box(out)
+            })
+        });
+
+        group.finish();
+        println!(
+            "exec_steal/{name}: {} workers, {} steals during the group",
+            pool.workers(),
+            pool.steals() - steals_before
+        );
+    }
+}
+
+criterion_group!(benches, steal_dispatch);
+criterion_main!(benches);

@@ -13,11 +13,13 @@
 //! long as `p(c)` itself is trusted (mis-specified `p` is the Fig. 9
 //! axis, handled by the base policy's own feedback).
 
-use crate::dp::solve_truncated;
+use crate::dp::{solve_truncated, solve_truncated_with_cache};
 use crate::error::{PricingError, Result};
+use crate::kernel::SharedPmfCache;
 use crate::policy::{DeadlinePolicy, PriceController};
 use crate::problem::DeadlineProblem;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Options for the adaptive pricer.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -282,12 +284,21 @@ impl AdaptivePricer {
     /// current correction. Returns whether a new policy was installed —
     /// the caller's cue to bump its policy generation.
     pub fn maybe_resolve(&mut self) -> bool {
+        self.maybe_resolve_with(None)
+    }
+
+    /// [`AdaptivePricer::maybe_resolve`] resolving pmf rows through an
+    /// optional wave-wide [`SharedPmfCache`] — the scheduler's
+    /// recalibration path, where concurrent campaigns re-derive
+    /// identical Poisson rows. Bitwise identical to the uncached
+    /// re-solve.
+    pub fn maybe_resolve_with(&mut self, cache: Option<&Arc<SharedPmfCache>>) -> bool {
         let t = self.history.len();
         if t >= self.problem.n_intervals() || t < self.policy_start {
             return false;
         }
         if t - self.policy_start >= self.opts.resolve_every {
-            return self.resolve(t);
+            return self.resolve_cached(t, cache);
         }
         false
     }
@@ -295,6 +306,10 @@ impl AdaptivePricer {
     /// Re-solve the MDP over intervals `t..` with corrected arrivals.
     /// Returns whether the policy was swapped.
     fn resolve(&mut self, t: usize) -> bool {
+        self.resolve_cached(t, None)
+    }
+
+    fn resolve_cached(&mut self, t: usize, cache: Option<&Arc<SharedPmfCache>>) -> bool {
         let corrected: Vec<f64> = self.problem.interval_arrivals[t..]
             .iter()
             .map(|l| l * self.correction)
@@ -308,7 +323,13 @@ impl AdaptivePricer {
             self.problem.actions.clone(),
             self.problem.penalty,
         );
-        if let Ok(policy) = solve_truncated(&sub, self.opts.truncation_eps) {
+        let solved = match cache {
+            Some(shared) => {
+                solve_truncated_with_cache(&sub, self.opts.truncation_eps, Some(Arc::clone(shared)))
+            }
+            None => solve_truncated(&sub, self.opts.truncation_eps),
+        };
+        if let Ok(policy) = solved {
             self.policy = policy;
             self.policy_start = t;
             return true;

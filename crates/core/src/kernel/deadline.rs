@@ -2,22 +2,36 @@
 //! entry point the three deadline solvers share.
 
 use super::driver::{run, Direction, KernelConfig, LayerModel, Sweep};
-use super::transitions::{best_action, PmfCache, TruncationTable};
+use super::transitions::{best_action, PmfCache, SharedPmfCache, TruncationTable};
 use crate::dp::validate;
 use crate::error::Result;
 use crate::policy::DeadlinePolicy;
 use crate::problem::DeadlineProblem;
+use std::sync::Arc;
 
 /// Layers = intervals (backward), states = remaining tasks, decisions =
 /// action indices into `problem.actions`.
 pub struct DeadlineDpModel<'a> {
     problem: &'a DeadlineProblem,
     trunc: &'a TruncationTable,
+    /// Wave-scoped cross-solve pmf row cache (None = private rows).
+    shared: Option<Arc<SharedPmfCache>>,
 }
 
 impl<'a> DeadlineDpModel<'a> {
     pub fn new(problem: &'a DeadlineProblem, trunc: &'a TruncationTable) -> Self {
-        Self { problem, trunc }
+        Self {
+            problem,
+            trunc,
+            shared: None,
+        }
+    }
+
+    /// Resolve per-worker pmf misses through `shared` — every worker's
+    /// scratch cache consults (and feeds) the wave-wide row store.
+    pub fn with_shared_cache(mut self, shared: Option<Arc<SharedPmfCache>>) -> Self {
+        self.shared = shared;
+        self
     }
 }
 
@@ -40,7 +54,7 @@ impl LayerModel for DeadlineDpModel<'_> {
     }
 
     fn make_scratch(&self) -> PmfCache {
-        PmfCache::new(self.problem.actions.len())
+        PmfCache::with_shared(self.problem.actions.len(), self.shared.clone())
     }
 
     fn terminal(&self, out: &mut [f64]) {
@@ -83,8 +97,24 @@ pub fn solve_deadline(
     sweep: Sweep,
     cfg: &KernelConfig,
 ) -> Result<DeadlinePolicy> {
+    solve_deadline_with_cache(problem, trunc, sweep, cfg, None)
+}
+
+/// [`solve_deadline`] resolving pmf rows through an optional wave-wide
+/// [`SharedPmfCache`]: rows a concurrent (or earlier) solve of the
+/// same wave already built are reused instead of recomputed. Sharing
+/// is bitwise-invisible — rows are pure functions of their key and
+/// prefix-stable across lengths — so the policy is identical to the
+/// uncached solve (see `shared_cache_solve_is_bitwise_identical`).
+pub fn solve_deadline_with_cache(
+    problem: &DeadlineProblem,
+    trunc: &TruncationTable,
+    sweep: Sweep,
+    cfg: &KernelConfig,
+    shared: Option<Arc<SharedPmfCache>>,
+) -> Result<DeadlinePolicy> {
     validate(problem)?;
-    let model = DeadlineDpModel::new(problem, trunc);
+    let model = DeadlineDpModel::new(problem, trunc).with_shared_cache(shared);
     let (values, policy) = run(&model, sweep, Direction::Backward, cfg);
     Ok(DeadlinePolicy::new(
         problem.n_tasks,
@@ -99,6 +129,51 @@ pub fn solve_deadline(
 mod tests {
     use super::*;
     use crate::dp::test_support::varied_problems;
+
+    /// Solving through a shared pmf cache — including a warm cache fed
+    /// by a previous solve — must be bitwise identical to the private
+    /// solve, across sweep strategies and thread counts.
+    #[test]
+    fn shared_cache_solve_is_bitwise_identical() {
+        for p in varied_problems() {
+            let trunc = TruncationTable::with_eps(&p, 1e-9);
+            let reference =
+                solve_deadline(&p, &trunc, Sweep::Dense, &KernelConfig::serial()).unwrap();
+            let shared = Arc::new(SharedPmfCache::new());
+            for sweep in [Sweep::Dense, Sweep::MonotoneDivide] {
+                for threads in [1, 2, 0] {
+                    let cfg = KernelConfig { threads, grain: 2 };
+                    let got = solve_deadline_with_cache(
+                        &p,
+                        &trunc,
+                        sweep,
+                        &cfg,
+                        Some(Arc::clone(&shared)),
+                    )
+                    .unwrap();
+                    for t in 0..p.n_intervals() {
+                        for m in 1..=p.n_tasks {
+                            assert_eq!(
+                                reference.cost_to_go(m, t).to_bits(),
+                                got.cost_to_go(m, t).to_bits(),
+                                "shared-cache cost differs at (n={m}, t={t}), \
+                                 sweep {sweep:?}, {threads} threads"
+                            );
+                            assert_eq!(
+                                reference.action_index(m, t),
+                                got.action_index(m, t),
+                                "shared-cache action differs at (n={m}, t={t})"
+                            );
+                        }
+                    }
+                }
+            }
+            assert!(
+                shared.hits() > 0,
+                "repeated solves of one problem must hit the shared cache"
+            );
+        }
+    }
 
     /// The kernel must be bitwise identical across sweep strategies and
     /// thread counts on the whole `varied_problems` family.

@@ -34,4 +34,4 @@ pub mod transitions;
 
 pub use driver::{run, Direction, KernelConfig, LayerModel, Sweep};
 pub use table::{PolicyTable, ValueTable};
-pub use transitions::{q_value, PmfCache, PmfRow, TruncationTable};
+pub use transitions::{q_value, PmfCache, PmfRow, SharedPmfCache, TruncationTable};

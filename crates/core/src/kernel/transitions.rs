@@ -14,6 +14,9 @@
 use crate::actions::PriceAction;
 use crate::problem::DeadlineProblem;
 use ft_stats::Poisson;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Per-`(interval, action)` truncation points `s₀` for a given ε
 /// (`usize::MAX` rows mean "no truncation").
@@ -83,6 +86,12 @@ pub struct PmfRow {
 }
 
 impl PmfRow {
+    /// Entries per segment (how long a prefix this row can serve).
+    #[cfg(test)]
+    pub(crate) fn entries(&self) -> usize {
+        self.len
+    }
+
     fn build(lam_t: f64, accept: f64, len: usize) -> Self {
         let mut buf = vec![0.0; 3 * len];
         let (pmf, rest) = buf.split_at_mut(len);
@@ -113,11 +122,125 @@ impl PmfRow {
     }
 }
 
+/// A cross-solve [`PmfRow`] store, shared by every solve of a
+/// scheduler *wave* (see `crate::scheduler`). A pmf row is a pure
+/// function of `(λ_t · dt-folded arrival, acceptance)` — the per-layer
+/// mean of the completion Poisson — so concurrent recalibrations
+/// across campaigns that price the same arrival regime rebuild
+/// byte-identical rows N times. This cache keys rows by the exact
+/// **bit patterns** `(λ_t.to_bits(), accept.to_bits())` and serves the
+/// longest row built so far: `PmfRow::build` fills its segments
+/// left-to-right with a prefix-stable recurrence, so a longer row's
+/// `pmf`/`weighted`/`head` prefixes are bitwise identical to any
+/// shorter build — a shared row can serve every truncation length up
+/// to its own without perturbing a single bit of any solve (the
+/// determinism contract `cached_rows_match_q_value_bitwise` pins).
+///
+/// Hits and lookups are counted so the recalibration-storm bench (and
+/// the `ft_core_pmf_cache_hits_total` counter) can report the
+/// redundancy actually eliminated. Entry count is bounded; on
+/// overflow the map is cleared wholesale — correctness never depends
+/// on a row being present.
+#[derive(Default)]
+pub struct SharedPmfCache {
+    rows: Mutex<HashMap<(u64, u64), Arc<PmfRow>>>,
+    lookups: AtomicU64,
+    hits: AtomicU64,
+    /// Optional mirror of `hits` onto the embedder's metrics plane
+    /// (`ft_core_pmf_cache_hits_total`, resolved by the registry's
+    /// telemetry and installed by the scheduler).
+    hit_counter: Option<Arc<ft_metrics::Counter>>,
+}
+
+impl std::fmt::Debug for SharedPmfCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedPmfCache")
+            .field("lookups", &self.lookups())
+            .field("hits", &self.hits())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Overflow bound on distinct `(λ, accept)` rows per shared cache.
+const SHARED_PMF_MAX_ENTRIES: usize = 4096;
+
+impl SharedPmfCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A cache that also bumps `counter` on every hit (the scheduler
+    /// threads `ft_core_pmf_cache_hits_total` through here).
+    pub fn with_hit_counter(counter: Arc<ft_metrics::Counter>) -> Self {
+        Self {
+            hit_counter: Some(counter),
+            ..Self::default()
+        }
+    }
+
+    /// Row lookups served from a previously built row.
+    pub fn hits(&self) -> u64 {
+        // ORDERING: Relaxed — monotonic statistic, staleness is fine.
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Total row lookups (hits + builds).
+    pub fn lookups(&self) -> u64 {
+        // ORDERING: Relaxed — monotonic statistic, staleness is fine.
+        self.lookups.load(Ordering::Relaxed)
+    }
+
+    /// The row for Poisson mean `lam_t · accept` with at least `len`
+    /// entries: served shared when one is cached, built (and published
+    /// for the rest of the wave) otherwise.
+    fn get_or_build(&self, lam_t: f64, accept: f64, len: usize) -> Arc<PmfRow> {
+        // ORDERING: Relaxed — monotonic statistic.
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let key = (lam_t.to_bits(), accept.to_bits());
+        {
+            let rows = self.rows.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(row) = rows.get(&key) {
+                if row.len >= len {
+                    // ORDERING: Relaxed — monotonic statistic.
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    if let Some(c) = &self.hit_counter {
+                        c.inc();
+                    }
+                    return Arc::clone(row);
+                }
+            }
+        }
+        // Build outside the lock — a pmf build is the expensive part,
+        // and concurrent workers building different keys must not
+        // serialize on the map.
+        let built = Arc::new(PmfRow::build(lam_t, accept, len));
+        let mut rows = self.rows.lock().unwrap_or_else(|e| e.into_inner());
+        match rows.get(&key) {
+            // A racing worker published an even longer row meanwhile;
+            // serve that one and drop ours (not counted as a hit — we
+            // paid for the build).
+            Some(existing) if existing.len >= len => Arc::clone(existing),
+            _ => {
+                if rows.len() >= SHARED_PMF_MAX_ENTRIES {
+                    rows.clear();
+                }
+                rows.insert(key, Arc::clone(&built));
+                built
+            }
+        }
+    }
+}
+
 /// Per-worker cache of [`PmfRow`]s for the layer being swept, indexed by
 /// action. Dense deadline sweeps historically recomputed the pmf prefix
 /// per `(state, action)`; with the cache each worker computes it once per
 /// `(layer, action)` and every state of its chunk reads the shared row —
 /// an O(states) → O(1) cut in pmf work per action (ROADMAP open item).
+///
+/// Rows are `Arc`s so they can come from (and be published to) an
+/// optional [`SharedPmfCache`] spanning a whole scheduler wave of
+/// solves; without one the cache behaves exactly as before, building
+/// rows privately.
 ///
 /// The kernel creates scratch fresh for every layer sweep, but the cache
 /// still tags rows with the layer that built them and invalidates on
@@ -125,7 +248,8 @@ impl PmfRow {
 #[derive(Debug, Clone)]
 pub struct PmfCache {
     layer: usize,
-    rows: Vec<Option<PmfRow>>,
+    rows: Vec<Option<Arc<PmfRow>>>,
+    shared: Option<Arc<SharedPmfCache>>,
 }
 
 impl PmfCache {
@@ -133,6 +257,17 @@ impl PmfCache {
         Self {
             layer: usize::MAX,
             rows: vec![None; n_actions],
+            shared: None,
+        }
+    }
+
+    /// A per-worker cache that resolves misses through `shared` (when
+    /// given) before building locally.
+    pub fn with_shared(n_actions: usize, shared: Option<Arc<SharedPmfCache>>) -> Self {
+        Self {
+            layer: usize::MAX,
+            rows: vec![None; n_actions],
+            shared,
         }
     }
 
@@ -146,7 +281,10 @@ impl PmfCache {
         }
         let slot = &mut self.rows[action];
         if slot.as_ref().is_none_or(|r| r.len < len) {
-            *slot = Some(PmfRow::build(lam_t, accept, len));
+            *slot = Some(match &self.shared {
+                Some(shared) => shared.get_or_build(lam_t, accept, len),
+                None => Arc::new(PmfRow::build(lam_t, accept, len)),
+            });
         }
         slot.as_ref().unwrap()
     }
@@ -357,6 +495,82 @@ mod tests {
         // Restricting to [0, 1] must pick from that range.
         let (restricted, _) = best_action(&p, &trunc, 0, 3, 0, 1, &opt_next, &mut cache);
         assert_eq!(restricted, 1);
+    }
+
+    /// A longer shared row must serve shorter requests with bitwise-
+    /// identical prefixes — the invariant that lets a [`SharedPmfCache`]
+    /// upgrade rows in place across solves with different truncations.
+    #[test]
+    fn shared_rows_are_prefix_stable_across_lengths() {
+        let shared = Arc::new(SharedPmfCache::new());
+        let long = shared.get_or_build(3.5, 0.7, 24);
+        assert_eq!(shared.hits(), 0);
+        let short = shared.get_or_build(3.5, 0.7, 9);
+        assert_eq!(shared.hits(), 1, "shorter request must hit the long row");
+        assert!(Arc::ptr_eq(&long, &short), "hit must serve the cached row");
+        let reference = PmfRow::build(3.5, 0.7, 9);
+        for s in 0..9 {
+            assert_eq!(long.pmf()[s].to_bits(), reference.pmf()[s].to_bits());
+            assert_eq!(
+                long.weighted()[s].to_bits(),
+                reference.weighted()[s].to_bits()
+            );
+            assert_eq!(long.head()[s].to_bits(), reference.head()[s].to_bits());
+        }
+        // A longer request than anything cached rebuilds (an upgrade,
+        // not a hit) and replaces the stored row.
+        let upgraded = shared.get_or_build(3.5, 0.7, 32);
+        assert_eq!(shared.hits(), 1);
+        assert_eq!(upgraded.entries(), 32);
+        assert_eq!(shared.lookups(), 3);
+    }
+
+    /// A per-worker cache resolving through a shared cache must produce
+    /// bitwise-identical Q values to a private one.
+    #[test]
+    fn shared_cache_backup_is_bitwise_identical() {
+        use crate::testkit::varied_problems;
+        for p in varied_problems() {
+            let trunc = TruncationTable::with_eps(&p, 1e-9);
+            let shared = Arc::new(SharedPmfCache::new());
+            let opt_next: Vec<f64> = (0..=p.n_tasks as usize)
+                .map(|i| i as f64 * 3.75 + 0.25)
+                .collect();
+            // Two passes through the shared cache (the second one all
+            // hits) against a private-cache reference.
+            for _pass in 0..2 {
+                let mut private = PmfCache::new(p.actions.len());
+                let mut through_shared =
+                    PmfCache::with_shared(p.actions.len(), Some(Arc::clone(&shared)));
+                for t in 0..p.n_intervals() {
+                    for n in 1..=p.n_tasks as usize {
+                        let (a_ref, q_ref) = best_action(
+                            &p,
+                            &trunc,
+                            t,
+                            n,
+                            0,
+                            p.actions.len() - 1,
+                            &opt_next,
+                            &mut private,
+                        );
+                        let (a_got, q_got) = best_action(
+                            &p,
+                            &trunc,
+                            t,
+                            n,
+                            0,
+                            p.actions.len() - 1,
+                            &opt_next,
+                            &mut through_shared,
+                        );
+                        assert_eq!(a_ref, a_got, "(t={t}, n={n})");
+                        assert_eq!(q_ref.to_bits(), q_got.to_bits(), "(t={t}, n={n})");
+                    }
+                }
+            }
+            assert!(shared.hits() > 0, "second pass must hit the shared rows");
+        }
     }
 
     /// The shared-row backup must reproduce the per-state [`q_value`]

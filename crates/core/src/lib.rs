@@ -64,6 +64,7 @@ pub mod penalty;
 pub mod policy;
 pub mod problem;
 pub mod registry;
+pub mod scheduler;
 pub mod service;
 pub mod telemetry;
 pub mod testkit;
@@ -85,4 +86,5 @@ pub use registry::{
     BudgetDriftOptions, CampaignObservation, CampaignRegistry, CampaignReport, CampaignStatus,
     ObserveOutcome, PolicyGeneration, PriceQuote, RecalibrationSpec, RegistryConfig,
 };
+pub use scheduler::{SchedulerStats, SolveContext, SolveScheduler, WaveStats, WaveTicket};
 pub use service::{CampaignPolicy, CampaignSpec, ObservedState, PricingService};

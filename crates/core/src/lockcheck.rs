@@ -48,6 +48,8 @@ mod imp {
     pub const CAMPAIGN_STATE: LockClass = "campaign-state";
     /// A shard's id→record map `RwLock` (read or write side).
     pub const SHARD_MAP: LockClass = "shard-map";
+    /// The solve scheduler's wave-state mutex (`scheduler::SolveScheduler`).
+    pub const SOLVE_SCHEDULER: LockClass = "solve-scheduler";
 
     #[derive(Clone)]
     struct Edge {
@@ -76,6 +78,19 @@ mod imp {
                 Edge {
                     witness_stack: format!("{CAMPAIGN_STATE} -> {SHARD_MAP}"),
                     thread: "<documented order: registry::store module docs>".to_string(),
+                },
+            );
+            // And its extension for batched solving: wave admission
+            // happens before (never inside) any campaign writer lock,
+            // so the scheduler mutex sits at the top of the order:
+            // scheduler → campaign-mutex → shard-map. A campaign-held
+            // admission would record campaign→scheduler and close a
+            // cycle with this seed.
+            edges.insert(
+                (SOLVE_SCHEDULER.to_string(), CAMPAIGN_STATE.to_string()),
+                Edge {
+                    witness_stack: format!("{SOLVE_SCHEDULER} -> {CAMPAIGN_STATE}"),
+                    thread: "<documented order: scheduler module docs>".to_string(),
                 },
             );
             Mutex::new(Graph { edges })
@@ -240,7 +255,7 @@ mod imp {
 }
 
 #[cfg(lockcheck)]
-pub use imp::{acquire, held_stack, Held, LockClass, CAMPAIGN_STATE, SHARD_MAP};
+pub use imp::{acquire, held_stack, Held, LockClass, CAMPAIGN_STATE, SHARD_MAP, SOLVE_SCHEDULER};
 
 // ---- no-op twin for default builds -----------------------------------
 
@@ -252,6 +267,8 @@ mod imp {
     pub const CAMPAIGN_STATE: LockClass = "campaign-state";
     /// See the `lockcheck` build.
     pub const SHARD_MAP: LockClass = "shard-map";
+    /// See the `lockcheck` build.
+    pub const SOLVE_SCHEDULER: LockClass = "solve-scheduler";
 
     /// Zero-sized stand-in; acquisitions are untraced. The explicit
     /// (empty) `Drop` keeps call sites identical across cfgs: witness
@@ -276,4 +293,4 @@ mod imp {
 }
 
 #[cfg(not(lockcheck))]
-pub use imp::{acquire, held_stack, Held, LockClass, CAMPAIGN_STATE, SHARD_MAP};
+pub use imp::{acquire, held_stack, Held, LockClass, CAMPAIGN_STATE, SHARD_MAP, SOLVE_SCHEDULER};

@@ -42,8 +42,8 @@ use crate::actions::ActionSet;
 use crate::adaptive::AdaptivePricer;
 use crate::budget::{solve_budget_mdp_with, BudgetProblem};
 use crate::error::{CampaignId, PricingError, Result};
-use crate::kernel::KernelConfig;
 use crate::policy::PriceController;
+use crate::scheduler::SolveContext;
 use serde::{Deserialize, Serialize};
 
 /// What an observation did, engine-side. The registry turns this into
@@ -97,8 +97,10 @@ pub(super) trait CampaignEngine: Send {
     /// Run the recalibration re-solve. `Ok(Some((policy, start)))`
     /// hands the registry the next generation's policy; `Ok(None)`
     /// means nothing to do; `Err` keeps the previous generation
-    /// serving.
-    fn solve(&mut self, cfg: &KernelConfig) -> Result<Option<(CampaignPolicy, usize)>>;
+    /// serving. The context carries the kernel config plus the
+    /// admitting wave's shared pmf cache (sharing is bitwise-invisible
+    /// to the result).
+    fn solve(&mut self, ctx: &SolveContext) -> Result<Option<(CampaignPolicy, usize)>>;
 
     /// Fill per-kind diagnostics into a status report.
     fn report(&self, report: &mut CampaignReport);
@@ -189,11 +191,12 @@ impl CampaignEngine for DeadlineEngine {
             })
     }
 
-    fn solve(&mut self, _cfg: &KernelConfig) -> Result<Option<(CampaignPolicy, usize)>> {
+    fn solve(&mut self, ctx: &SolveContext) -> Result<Option<(CampaignPolicy, usize)>> {
         // The pricer re-solves the remaining horizon with corrected
         // arrivals; `false` means the inner solve failed (or there was
-        // nothing to do) and the previous policy stays.
-        if self.pricer.maybe_resolve() {
+        // nothing to do) and the previous policy stays. Pmf rows are
+        // resolved through the admitting wave's shared cache.
+        if self.pricer.maybe_resolve_with(ctx.pmf_cache.as_ref()) {
             Ok(Some((
                 CampaignPolicy::Deadline(self.pricer.policy().clone()),
                 self.pricer.policy_start(),
@@ -570,7 +573,7 @@ impl CampaignEngine for BudgetEngine {
         })
     }
 
-    fn solve(&mut self, cfg: &KernelConfig) -> Result<Option<(CampaignPolicy, usize)>> {
+    fn solve(&mut self, ctx: &SolveContext) -> Result<Option<(CampaignPolicy, usize)>> {
         if self.remaining == 0 {
             return Ok(None);
         }
@@ -585,7 +588,7 @@ impl CampaignEngine for BudgetEngine {
             self.shifted_actions(shift),
             self.problem.mean_rate,
         );
-        let policy = solve_budget_mdp_with(&sub, cfg)?;
+        let policy = solve_budget_mdp_with(&sub, &ctx.kernel)?;
         // Adopt the shifted curve as the new reference model: ρ̂ is
         // always measured against what the serving policy assumes.
         self.shift = shift;

@@ -49,10 +49,11 @@ pub use snapshot::SNAPSHOT_VERSION;
 use crate::adaptive::{AdaptiveOptions, AdaptivePricer};
 use crate::budget::{solve_budget_mdp_with, BudgetMdpPolicy, BudgetProblem};
 use crate::error::{CampaignId, PricingError, Result};
-use crate::kernel::deadline::solve_deadline;
+use crate::kernel::deadline::solve_deadline_with_cache;
 use crate::kernel::{KernelConfig, Sweep, TruncationTable};
 use crate::policy::{DeadlinePolicy, PriceController};
 use crate::problem::DeadlineProblem;
+use crate::scheduler::{SolveContext, SolveScheduler};
 use crate::telemetry::RegistryTelemetry;
 use engine::{BudgetEngine, CampaignEngine, DeadlineEngine};
 use ft_metrics::MetricsRegistry;
@@ -380,6 +381,9 @@ pub struct CampaignRegistry {
     next_id: AtomicU64,
     store: ShardedStore,
     telemetry: RegistryTelemetry,
+    /// Wave admission for solves/recalibrations: concurrent solves of a
+    /// wave share one pmf-row cache (see [`crate::scheduler`]).
+    scheduler: SolveScheduler,
 }
 
 impl Default for CampaignRegistry {
@@ -447,11 +451,17 @@ impl CampaignRegistry {
         config: RegistryConfig,
         metrics: Arc<MetricsRegistry>,
     ) -> Self {
+        let telemetry = RegistryTelemetry::new(metrics);
+        let scheduler = SolveScheduler::default().with_counters(
+            Arc::clone(&telemetry.batched_solves),
+            Arc::clone(&telemetry.pmf_cache_hits),
+        );
         Self {
             store: ShardedStore::new(config.shards),
             config,
             next_id: AtomicU64::new(1),
-            telemetry: RegistryTelemetry::new(metrics),
+            telemetry,
+            scheduler,
         }
     }
 
@@ -463,6 +473,12 @@ impl CampaignRegistry {
     /// The registry's pre-resolved instruments.
     pub fn telemetry(&self) -> &RegistryTelemetry {
         &self.telemetry
+    }
+
+    /// The wave scheduler batching this registry's solves (wave/cache
+    /// statistics for reports and the load harness).
+    pub fn scheduler(&self) -> &SolveScheduler {
+        &self.scheduler
     }
 
     /// The registry's configuration (shards, kernel, drift policies).
@@ -542,9 +558,13 @@ impl CampaignRegistry {
             campaign.transition(&state, CampaignStatus::Solving);
             state.spec.clone()
         };
-        // The expensive part runs with no lock held at all.
+        // The expensive part runs with no lock held at all. Admission
+        // happens here too — after the campaign writer lock above was
+        // released (documented order: scheduler → campaign-mutex).
         let started = Instant::now();
-        let solved = self.solve_spec(&spec, cfg);
+        let ticket = self.scheduler.admit();
+        let ctx = SolveContext::with_wave(*cfg, &ticket);
+        let solved = self.solve_spec(&spec, &ctx);
         self.telemetry.solve_ns.record_duration(started.elapsed());
         let mut state = lock_state(&campaign);
         if campaign.status() != CampaignStatus::Solving {
@@ -579,11 +599,11 @@ impl CampaignRegistry {
     fn solve_spec(
         &self,
         spec: &CampaignSpec,
-        cfg: &KernelConfig,
+        ctx: &SolveContext,
     ) -> Result<(Box<dyn CampaignEngine>, CampaignPolicy, usize)> {
         spec.validate()?;
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            self.solve_spec_inner(spec, cfg)
+            self.solve_spec_inner(spec, ctx)
         }))
         .unwrap_or_else(|panic| {
             let msg = panic
@@ -600,13 +620,19 @@ impl CampaignRegistry {
     fn solve_spec_inner(
         &self,
         spec: &CampaignSpec,
-        cfg: &KernelConfig,
+        ctx: &SolveContext,
     ) -> Result<(Box<dyn CampaignEngine>, CampaignPolicy, usize)> {
         match spec {
             CampaignSpec::Deadline { problem, eps } => {
                 let eps = eps.unwrap_or(DEFAULT_EPS);
                 let trunc = TruncationTable::with_eps(problem, eps);
-                let policy = solve_deadline(problem, &trunc, Sweep::MonotoneDivide, cfg)?;
+                let policy = solve_deadline_with_cache(
+                    problem,
+                    &trunc,
+                    Sweep::MonotoneDivide,
+                    &ctx.kernel,
+                    ctx.pmf_cache.clone(),
+                )?;
                 let pricer = AdaptivePricer::from_parts(
                     problem.clone(),
                     AdaptiveOptions {
@@ -629,7 +655,7 @@ impl CampaignRegistry {
                 ))
             }
             CampaignSpec::Budget { problem } => {
-                let policy = solve_budget_mdp_with(problem, cfg)?;
+                let policy = solve_budget_mdp_with(problem, &ctx.kernel)?;
                 let mut engine = BudgetEngine::new(problem.clone(), self.config.budget_drift);
                 engine.remaining = problem.n_tasks;
                 Ok((Box::new(engine), CampaignPolicy::Budget(policy), 0))
@@ -651,7 +677,11 @@ impl CampaignRegistry {
     ) -> Result<Arc<PolicyGeneration>> {
         self.bump_next_id(id + 1);
         let started = Instant::now();
-        let solved = self.solve_spec(&spec, cfg);
+        // No lock is held here: submit solves before touching the
+        // store, so admission is trivially scheduler-first.
+        let ticket = self.scheduler.admit();
+        let ctx = SolveContext::with_wave(*cfg, &ticket);
+        let solved = self.solve_spec(&spec, &ctx);
         self.telemetry.solve_ns.record_duration(started.elapsed());
         match solved {
             Ok((engine, policy, start)) => {
@@ -985,13 +1015,33 @@ impl CampaignRegistry {
         let mut recalibrated = false;
         if effect.recalibrate {
             campaign.transition(&state, CampaignStatus::Recalibrating);
+            // Wave admission takes the scheduler mutex, which sits
+            // *above* the campaign mutex in the documented order
+            // (scheduler → campaign-mutex → shard-map) — admitting
+            // while holding the campaign lock would invert it (the
+            // lockcheck witness panics on exactly that). Drop the
+            // writer lock around admission and re-validate after:
+            // `Recalibrating` is only left by this thread or by
+            // eviction/replacement, so any other status means the
+            // record was retired while unlocked and the re-solve must
+            // be abandoned (its engine may already be gone).
+            drop(state);
+            let ticket = self.scheduler.admit();
+            let ctx = SolveContext::with_wave(self.config.kernel, &ticket);
+            state = lock_state(campaign);
+            if campaign.status() != CampaignStatus::Recalibrating {
+                return Err(PricingError::NotServable {
+                    id,
+                    status: campaign.status().as_str(),
+                });
+            }
             let solved = {
                 let _span = ft_trace::span("core.registry.recalibrate");
                 state
                     .engine
                     .as_mut()
                     .expect("kind-checked engines exist")
-                    .solve(&self.config.kernel)
+                    .solve(&ctx)
             };
             match solved {
                 Ok(Some((policy, start))) => {

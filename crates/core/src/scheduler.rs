@@ -1,0 +1,353 @@
+//! Wave admission for campaign solves: cross-campaign batched solving
+//! over a shared pmf-row cache.
+//!
+//! A fleet-wide recalibration storm is N near-identical solves: every
+//! campaign pricing the same arrival regime re-derives the same
+//! Poisson pmf/transition rows that the per-worker
+//! [`PmfCache`](crate::kernel::PmfCache)
+//! already deduplicates *within* one solve (ROADMAP item 2 measured
+//! that win at 2.6×). The [`SolveScheduler`] extends the sharing
+//! *across* solves: every solve is admitted into the current **wave**,
+//! and all solves of a wave resolve pmf misses through one
+//! [`SharedPmfCache`] keyed by the exact `(λ_t, acceptance)` bit
+//! patterns (the truncation length is handled by longest-row upgrade)
+//! — so N concurrent re-solves pay for each distinct row once instead
+//! of N times. On a multicore box the wave also schedules as one
+//! fan-out of cooperating solves on the work-stealing pool rather than
+//! N contending pool entries; on the 1-core CI container the solves
+//! serialize but still share the wave's rows, which is what the
+//! storm profile's cache-hit-rate gate measures.
+//!
+//! Waves are **count-capped**, not concurrency-scoped: a wave closes
+//! after [`SolveScheduler::wave_size`] admissions and the next one
+//! starts with a fresh cache. That keeps memory bounded, keeps the
+//! hit-rate statistic meaningful per burst, and — deliberately — lets
+//! a *serial* stream of recalibrations (the only shape a 1-core
+//! container can produce) share rows exactly like a concurrent burst
+//! would.
+//!
+//! Sharing is bitwise-invisible to results: rows are pure functions of
+//! their key and prefix-stable across lengths (pinned by
+//! `shared_cache_solve_is_bitwise_identical`), so a solve admitted to
+//! a warm wave returns the same bits as a cold private solve.
+//!
+//! ## Locking
+//!
+//! The wave state sits behind one mutex, routed through the
+//! `lockcheck` witness as the `SOLVE_SCHEDULER` class. The documented
+//! order is **scheduler → campaign-mutex → shard-map**: admission
+//! happens *before* (or outside) any campaign writer lock, never
+//! inside one — `CampaignRegistry::observe` drops the campaign lock
+//! around admission on its recalibration path. Holding a
+//! [`WaveTicket`] is not holding the lock; the ticket only pins the
+//! wave's cache.
+
+use crate::kernel::{KernelConfig, SharedPmfCache};
+use crate::lockcheck;
+use ft_metrics::Counter;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Default solves per wave. Sized for a "storm": large enough that a
+/// fleet-wide burst shares one cache, small enough that a long-running
+/// process keeps rotating caches out.
+pub const DEFAULT_WAVE_SIZE: usize = 32;
+
+/// How many closed waves' statistics are retained for reporting.
+const RECENT_WAVES: usize = 64;
+
+/// Per-wave accounting, reported by [`SolveScheduler::stats`] (and
+/// surfaced per-wave in the `ft-load` storm report).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaveStats {
+    /// Wave sequence number, from 0.
+    pub wave: u64,
+    /// Solves admitted to this wave.
+    pub solves: u64,
+    /// Shared-cache row lookups made by this wave's solves.
+    pub lookups: u64,
+    /// Lookups served from a row another solve (or worker) built.
+    pub hits: u64,
+}
+
+/// Cumulative scheduler statistics: closed waves plus the live one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedulerStats {
+    /// Waves started (closed + the current one, once used).
+    pub waves: u64,
+    /// Total solves admitted.
+    pub solves: u64,
+    /// Total shared-cache lookups.
+    pub lookups: u64,
+    /// Total shared-cache hits.
+    pub hits: u64,
+    /// Per-wave breakdown, oldest first, bounded to the most recent
+    /// waves (the live wave is included with its counts so far).
+    pub per_wave: Vec<WaveStats>,
+}
+
+impl SchedulerStats {
+    /// Hits over lookups, 0.0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+struct WaveState {
+    /// Sequence number of the current wave.
+    seq: u64,
+    /// Solves admitted to the current wave so far.
+    admitted: u64,
+    /// The current wave's shared row store.
+    cache: Arc<SharedPmfCache>,
+    /// Totals accumulated from closed waves.
+    closed_solves: u64,
+    closed_lookups: u64,
+    closed_hits: u64,
+    /// Closed waves' stats, oldest first, bounded.
+    recent: VecDeque<WaveStats>,
+}
+
+/// Admission control batching concurrent campaign solves into waves
+/// over a shared pmf cache. See the module docs.
+pub struct SolveScheduler {
+    wave_size: u64,
+    state: Mutex<WaveState>,
+    /// `ft_core_batched_solves_total`: one per admission.
+    batched_solves: Option<Arc<Counter>>,
+    /// `ft_core_pmf_cache_hits_total`, threaded into each wave's cache.
+    hit_counter: Option<Arc<Counter>>,
+}
+
+/// One admitted solve's handle on its wave: carries the wave's shared
+/// cache for the solver to resolve pmf rows through. Dropping the
+/// ticket ends the solve's participation (the cache itself lives as
+/// long as any ticket or the wave needs it).
+pub struct WaveTicket {
+    wave: u64,
+    cache: Arc<SharedPmfCache>,
+}
+
+impl WaveTicket {
+    /// The wave this solve was admitted to.
+    pub fn wave(&self) -> u64 {
+        self.wave
+    }
+
+    /// The wave's shared pmf-row cache.
+    pub fn cache(&self) -> &Arc<SharedPmfCache> {
+        &self.cache
+    }
+}
+
+/// Everything a campaign engine's re-solve needs from the registry:
+/// the kernel parallelism config plus the wave's shared pmf cache when
+/// the solve was admitted to one (`None` = private rows, e.g. tests
+/// driving an engine directly).
+#[derive(Clone)]
+pub struct SolveContext {
+    /// Thread-count / grain config forwarded to the solver kernel.
+    pub kernel: KernelConfig,
+    /// The admitting wave's shared pmf-row cache, if any.
+    pub pmf_cache: Option<Arc<SharedPmfCache>>,
+}
+
+impl SolveContext {
+    /// A context with no wave cache — solves build private rows.
+    pub fn new(kernel: KernelConfig) -> Self {
+        Self {
+            kernel,
+            pmf_cache: None,
+        }
+    }
+
+    /// A context resolving pmf rows through `ticket`'s wave cache.
+    pub fn with_wave(kernel: KernelConfig, ticket: &WaveTicket) -> Self {
+        Self {
+            kernel,
+            pmf_cache: Some(Arc::clone(ticket.cache())),
+        }
+    }
+}
+
+impl Default for SolveScheduler {
+    fn default() -> Self {
+        Self::new(DEFAULT_WAVE_SIZE)
+    }
+}
+
+impl SolveScheduler {
+    /// A scheduler closing waves after `wave_size` admissions (min 1).
+    pub fn new(wave_size: usize) -> Self {
+        Self {
+            wave_size: wave_size.max(1) as u64,
+            state: Mutex::new(WaveState {
+                seq: 0,
+                admitted: 0,
+                cache: Arc::new(SharedPmfCache::new()),
+                closed_solves: 0,
+                closed_lookups: 0,
+                closed_hits: 0,
+                recent: VecDeque::new(),
+            }),
+            batched_solves: None,
+            hit_counter: None,
+        }
+    }
+
+    /// Mirror admissions onto `batched` (`ft_core_batched_solves_total`)
+    /// and every wave cache's hits onto `hits`
+    /// (`ft_core_pmf_cache_hits_total`). The registry wires these from
+    /// its telemetry.
+    pub fn with_counters(mut self, batched: Arc<Counter>, hits: Arc<Counter>) -> Self {
+        self.batched_solves = Some(batched);
+        // The live wave's cache was created before the counter arrived;
+        // swap in a counted one (the scheduler is not yet shared at
+        // construction time, so no tickets exist).
+        {
+            let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            s.cache = Arc::new(SharedPmfCache::with_hit_counter(Arc::clone(&hits)));
+        }
+        self.hit_counter = Some(hits);
+        self
+    }
+
+    /// Solves per wave.
+    pub fn wave_size(&self) -> usize {
+        self.wave_size as usize
+    }
+
+    /// Admit one solve into the current wave (opening the next wave if
+    /// this one is full) and return its ticket. The brief wave-state
+    /// critical section is the only lock involved; the documented order
+    /// requires no campaign or shard lock be held when calling this.
+    pub fn admit(&self) -> WaveTicket {
+        let _span = ft_trace::span("core.service.batch_wait");
+        let _witness = lockcheck::acquire(lockcheck::SOLVE_SCHEDULER, "wave");
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if s.admitted >= self.wave_size {
+            self.close_wave(&mut s);
+        }
+        s.admitted += 1;
+        if let Some(c) = &self.batched_solves {
+            c.inc();
+        }
+        WaveTicket {
+            wave: s.seq,
+            cache: Arc::clone(&s.cache),
+        }
+    }
+
+    /// Roll the current wave into the closed totals and start a fresh
+    /// one. Caller holds the state lock.
+    fn close_wave(&self, s: &mut WaveState) {
+        let stats = WaveStats {
+            wave: s.seq,
+            solves: s.admitted,
+            lookups: s.cache.lookups(),
+            hits: s.cache.hits(),
+        };
+        s.closed_solves += stats.solves;
+        s.closed_lookups += stats.lookups;
+        s.closed_hits += stats.hits;
+        if s.recent.len() >= RECENT_WAVES {
+            s.recent.pop_front();
+        }
+        s.recent.push_back(stats);
+        s.seq += 1;
+        s.admitted = 0;
+        s.cache = Arc::new(match &self.hit_counter {
+            Some(hits) => SharedPmfCache::with_hit_counter(Arc::clone(hits)),
+            None => SharedPmfCache::new(),
+        });
+    }
+
+    /// Cumulative statistics: closed waves plus the live wave's counts
+    /// so far.
+    pub fn stats(&self) -> SchedulerStats {
+        let _witness = lockcheck::acquire(lockcheck::SOLVE_SCHEDULER, "wave");
+        let s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut per_wave: Vec<WaveStats> = s.recent.iter().cloned().collect();
+        let live_used = s.admitted > 0 || s.cache.lookups() > 0;
+        if live_used {
+            per_wave.push(WaveStats {
+                wave: s.seq,
+                solves: s.admitted,
+                lookups: s.cache.lookups(),
+                hits: s.cache.hits(),
+            });
+        }
+        SchedulerStats {
+            waves: s.seq + u64::from(live_used),
+            solves: s.closed_solves + s.admitted,
+            lookups: s.closed_lookups + s.cache.lookups(),
+            hits: s.closed_hits + s.cache.hits(),
+            per_wave,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waves_rotate_at_wave_size() {
+        let sched = SolveScheduler::new(2);
+        let t1 = sched.admit();
+        let t2 = sched.admit();
+        assert_eq!((t1.wave(), t2.wave()), (0, 0));
+        assert!(
+            Arc::ptr_eq(t1.cache(), t2.cache()),
+            "same wave shares one cache"
+        );
+        let t3 = sched.admit();
+        assert_eq!(t3.wave(), 1, "third admission opens the next wave");
+        assert!(
+            !Arc::ptr_eq(t1.cache(), t3.cache()),
+            "a new wave gets a fresh cache"
+        );
+        let stats = sched.stats();
+        assert_eq!(stats.waves, 2);
+        assert_eq!(stats.solves, 3);
+        assert_eq!(stats.per_wave.len(), 2);
+        assert_eq!(stats.per_wave[0].solves, 2);
+        assert_eq!(stats.per_wave[1].solves, 1);
+    }
+
+    #[test]
+    fn counters_mirror_admissions_and_hits() {
+        let registry = ft_metrics::MetricsRegistry::new();
+        let batched = registry.counter("ft_core_batched_solves_total");
+        let hits = registry.counter("ft_core_pmf_cache_hits_total");
+        let sched = SolveScheduler::new(4).with_counters(Arc::clone(&batched), Arc::clone(&hits));
+        let t = sched.admit();
+        let _ = sched.admit();
+        assert_eq!(batched.get(), 2);
+        // Two solves of the same problem through the wave cache: the
+        // second's lookups are hits, mirrored to the metrics counter.
+        let p = crate::testkit::varied_problems().remove(0);
+        let trunc = crate::kernel::TruncationTable::with_eps(&p, 1e-9);
+        for _ in 0..2 {
+            crate::kernel::deadline::solve_deadline_with_cache(
+                &p,
+                &trunc,
+                crate::kernel::Sweep::Dense,
+                &crate::kernel::KernelConfig::serial(),
+                Some(Arc::clone(t.cache())),
+            )
+            .unwrap();
+        }
+        assert!(t.cache().hits() > 0);
+        assert_eq!(hits.get(), t.cache().hits());
+        let stats = sched.stats();
+        assert_eq!(stats.waves, 1);
+        assert_eq!(stats.solves, 2);
+        assert_eq!(stats.hits, t.cache().hits());
+        assert!(stats.hit_rate() > 0.0);
+    }
+}

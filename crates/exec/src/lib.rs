@@ -32,8 +32,21 @@
 //!   `4`). The free functions below dispatch on [`Pool::global`];
 //!   callers that want explicit scoping can own a [`Pool`].
 
+//! - **Work-stealing dispatch**: each worker owns a lock-free
+//!   Chase–Lev-style deque (owner LIFO at the bottom, thieves FIFO at
+//!   the top); the mutex-guarded injector is only the submission
+//!   channel for non-worker threads and the overflow for full deques.
+//!   Steal and overflow counts are observable per pool
+//!   ([`Pool::steals`], [`Pool::deque_overflows`]) and exportable as
+//!   `ft_exec_steals_total` / `ft_exec_deque_overflow_total` via
+//!   [`register_metrics`].
+
+mod metrics;
 mod pool;
 
+pub use metrics::register_metrics;
+#[doc(hidden)]
+pub use pool::set_dispatch_delay_for_tests;
 pub use pool::Pool;
 
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -207,6 +207,11 @@ pub struct RunOutcome {
     pub torn_mismatches: u64,
     pub op_counts: Vec<(&'static str, u64)>,
     pub latency: Vec<(&'static str, HistogramSnapshot)>,
+    /// The registry's batched-solving stats (waves, shared pmf-cache
+    /// hit rate), read off `CampaignRegistry::scheduler()` after the
+    /// drive. Only the in-process harness can see the registry; socket
+    /// runs leave this `None`.
+    pub pmf_cache: Option<ft_core::SchedulerStats>,
 }
 
 impl RunOutcome {
@@ -311,6 +316,7 @@ pub fn run(scenario: &Scenario, backend: &dyn Backend, instruments: &RunInstrume
         torn_mismatches: torn,
         op_counts,
         latency,
+        pmf_cache: None,
     }
 }
 

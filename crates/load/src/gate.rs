@@ -65,6 +65,12 @@ pub struct BackendFloor {
     /// Relative floor: fresh throughput must also stay above
     /// `frac × reference × (1 − tolerance)`.
     pub min_throughput_frac_of: Option<FracOf>,
+    /// Floor on the run's reported `pmf_cache.hit_rate` (the storm
+    /// leg's batched-solving win): fresh rate must stay above
+    /// `this × (1 − tolerance)`. A floored run without a `pmf_cache`
+    /// block (e.g. a socket run, which cannot see the registry) is an
+    /// error, like a missing p99.
+    pub min_pmf_cache_hit_rate: Option<f64>,
 }
 
 /// A relative throughput floor's reference run selector.
@@ -190,12 +196,27 @@ impl Floors {
                 }
                 Err(_) => None,
             };
+            let min_pmf_cache_hit_rate = match map_get(entry_map, "min_pmf_cache_hit_rate") {
+                Ok(v) => {
+                    let rate = v.as_num().ok_or_else(|| {
+                        format!("floors[{backend}]: `min_pmf_cache_hit_rate` is not a number")
+                    })?;
+                    if !(rate > 0.0 && rate <= 1.0) {
+                        return Err(format!(
+                            "floors[{backend}]: min_pmf_cache_hit_rate {rate} outside (0, 1]"
+                        ));
+                    }
+                    Some(rate)
+                }
+                Err(_) => None,
+            };
             backends.push(BackendFloor {
                 backend,
                 scenario,
                 min_throughput_rps,
                 max_p99_ns,
                 min_throughput_frac_of,
+                min_pmf_cache_hit_rate,
             });
         }
         if backends.is_empty() {
@@ -366,6 +387,20 @@ pub fn check_reports(report_jsons: &[&str], floors: &Floors) -> Result<Vec<Compa
                         passed: throughput >= bound,
                     });
                 }
+            }
+            if let Some(min_rate) = floor.min_pmf_cache_hit_rate {
+                let hit_rate = map_get(run_map, "pmf_cache")
+                    .ok()
+                    .and_then(|block| block.as_map().and_then(|m| map_get(m, "hit_rate").ok()))
+                    .and_then(Value::as_num)
+                    .ok_or_else(|| format!("report[{label}]: no pmf_cache.hit_rate"))?;
+                let bound = min_rate * (1.0 - floors.tolerance);
+                comparisons.push(Comparison {
+                    label: format!("[{label}] pmf_cache.hit_rate {hit_rate:.3} ≥ {bound:.3}"),
+                    fresh: hit_rate,
+                    bound,
+                    passed: hit_rate >= bound,
+                });
             }
             let latency = map_get(run_map, "latency_ns_by_op")
                 .ok()
@@ -565,6 +600,52 @@ mod tests {
                  "min_throughput_frac_of": {"frac": 0.5}}]}"#,
         )
         .is_err());
+    }
+
+    #[test]
+    fn pmf_cache_hit_rate_floor_gates_the_storm_leg() {
+        let floors = Floors::from_json(
+            r#"{"tolerance": 0.2, "backends": [
+                {"backend": "in_process", "scenario": "storm-fast",
+                 "min_throughput_rps": 100.0,
+                 "min_pmf_cache_hit_rate": 0.5}]}"#,
+        )
+        .unwrap();
+        assert_eq!(floors.backends[0].min_pmf_cache_hit_rate, Some(0.5));
+        let storm = |hit_rate: f64| {
+            format!(
+                r#"{{"scenario": "storm-fast",
+                     "runs": [{{"backend": "in_process",
+                       "throughput_rps": 5000.0,
+                       "pmf_cache": {{"hit_rate": {hit_rate}, "waves": 3}},
+                       "latency_ns_by_op": {{}}}}]}}"#
+            )
+        };
+        // 0.45 ≥ 0.5 × 0.8 = 0.4 → passes inside the tolerance.
+        let comparisons = check_report(&storm(0.45), &floors).unwrap();
+        assert!(comparisons.iter().all(|c| c.passed), "{comparisons:?}");
+        // A collapsed cache fails.
+        let comparisons = check_report(&storm(0.1), &floors).unwrap();
+        assert!(
+            comparisons
+                .iter()
+                .any(|c| !c.passed && c.label.contains("pmf_cache.hit_rate")),
+            "{comparisons:?}"
+        );
+        // A floored run without the block is an error, not a pass.
+        let no_block = r#"{"scenario": "storm-fast",
+            "runs": [{"backend": "in_process", "throughput_rps": 5000.0,
+                      "latency_ns_by_op": {}}]}"#;
+        assert!(check_report(no_block, &floors).is_err());
+        // Out-of-range floors are parse errors.
+        for bad in ["0.0", "1.5", "\"high\""] {
+            let text = format!(
+                r#"{{"tolerance": 0.2, "backends": [
+                    {{"backend": "in_process", "min_throughput_rps": 1.0,
+                      "min_pmf_cache_hit_rate": {bad}}}]}}"#
+            );
+            assert!(Floors::from_json(&text).is_err(), "{bad}");
+        }
     }
 
     #[test]

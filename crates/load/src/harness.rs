@@ -136,7 +136,12 @@ pub fn run_in_process(scenario: &Scenario) -> RunOutcome {
         registry: registry_for(scenario),
     };
     let instruments = RunInstruments::new();
-    driver::run(scenario, &backend, &instruments)
+    let mut outcome = driver::run(scenario, &backend, &instruments);
+    // The in-process harness holds the registry, so the report can
+    // carry the batched-solving tier's own accounting (waves, shared
+    // pmf-cache hit rate) — the storm profile's perf gate reads it.
+    outcome.pmf_cache = Some(backend.registry.scheduler().stats());
+    outcome
 }
 
 /// Spin up `ft-server` on an ephemeral port, drive it over real

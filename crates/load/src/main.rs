@@ -39,10 +39,14 @@ OPTIONS:
     --fast             seconds-scale variant of the selected profile
                        (default profile: standard)
     --profile NAME     built-in profile: standard | fast | bulk-fast |
-                       budget-drift | fleet (budget-drift + --fast =
-                       budget-drift-fast; bulk-fast drives the batched
-                       quote/observe plane; fleet drives an ft-router
-                       front tier — see --fleet-nodes)
+                       budget-drift | storm | fleet (budget-drift +
+                       --fast = budget-drift-fast; bulk-fast drives the
+                       batched quote/observe plane; storm floods the
+                       solve scheduler with identical deadline
+                       campaigns so recalibration waves share pmf rows
+                       — the in-process report carries the cache hit
+                       rate the perf gate floors; fleet drives an
+                       ft-router front tier — see --fleet-nodes)
     --scenario FILE    JSON scenario spec (overrides --fast/--profile)
     --mode MODE        which backend(s) to drive   [default: both]
     --target HOST:PORT drive an external ft-server instead of spawning
@@ -137,6 +141,7 @@ fn parse_args() -> Result<Args, String> {
         (None, Some("budget-drift")) => Scenario::budget_drift(fast),
         (None, Some("fast")) => Scenario::fast(),
         (None, Some("bulk-fast")) => Scenario::bulk_fast(),
+        (None, Some("storm")) => Scenario::storm(fast),
         (None, Some("fleet")) => Scenario::fleet(fast),
         (None, Some("standard")) => {
             if fast {
@@ -147,7 +152,8 @@ fn parse_args() -> Result<Args, String> {
         }
         (None, Some(other)) => {
             return Err(format!(
-                "unknown --profile `{other}` (standard | fast | bulk-fast | budget-drift | fleet)"
+                "unknown --profile `{other}` (standard | fast | bulk-fast | \
+                 budget-drift | storm | fleet)"
             ))
         }
         (None, None) if fast => Scenario::fast(),
@@ -218,6 +224,26 @@ fn print_summary(outcome: &RunOutcome, extras: Option<&SocketExtras>) {
             snapshot.count,
             snapshot.mean() / 1000.0,
             quantiles.join(" ")
+        );
+    }
+    // The batched-solving tier's own accounting (in-process runs): how
+    // the solves batched into waves and how hard each wave's shared
+    // pmf cache worked — the storm profile's reason to exist.
+    if let Some(stats) = &outcome.pmf_cache {
+        let per_wave: Vec<String> = stats
+            .per_wave
+            .iter()
+            .map(|w| format!("#{}:{}", w.wave, w.solves))
+            .collect();
+        println!(
+            "  pmf cache: {} solves across {} waves, hit rate {:.3} ({}/{} row lookups); \
+             per-wave solves [{}]",
+            stats.solves,
+            stats.waves,
+            stats.hit_rate(),
+            stats.hits,
+            stats.lookups,
+            per_wave.join(" ")
         );
     }
     // Clamped samples fell outside the histogram range, so the tail

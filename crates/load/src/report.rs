@@ -78,6 +78,46 @@ fn run_value(outcome: &RunOutcome, extras: Option<&SocketExtras>) -> Value {
             ),
         ),
     ];
+    if let Some(stats) = &outcome.pmf_cache {
+        fields.push((
+            "pmf_cache",
+            map(vec![
+                ("waves", num(stats.waves as f64)),
+                ("batched_solves", num(stats.solves as f64)),
+                ("row_lookups", num(stats.lookups as f64)),
+                ("row_hits", num(stats.hits as f64)),
+                ("hit_rate", num(stats.hit_rate())),
+                (
+                    "note",
+                    Value::Str(
+                        "hit_rate = shared pmf-cache row hits ÷ lookups across all \
+                         scheduler waves; the checked-in capture comes from a 1-core \
+                         container, where admissions serialize and waves fill from one \
+                         stream — multicore hosts batch concurrent solves into the same \
+                         waves and should see an equal or higher rate"
+                            .into(),
+                    ),
+                ),
+                (
+                    "per_wave",
+                    Value::Seq(
+                        stats
+                            .per_wave
+                            .iter()
+                            .map(|w| {
+                                map(vec![
+                                    ("wave", num(w.wave as f64)),
+                                    ("solves", num(w.solves as f64)),
+                                    ("row_lookups", num(w.lookups as f64)),
+                                    ("row_hits", num(w.hits as f64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ));
+    }
     if !outcome.error_samples.is_empty() {
         fields.push((
             "error_samples",
@@ -282,6 +322,28 @@ pub fn evaluate_gates(
     for (op, snapshot) in &outcome.latency {
         if snapshot.count > 0 && snapshot.quantile(0.999).is_none() {
             failures.push(format!("[{mode}] no p999 for op {op}"));
+        }
+    }
+    // When the run carries scheduler stats (in-process backend), every
+    // solve must have been admitted through a wave — a zero here means
+    // the registry stopped routing solves through the scheduler and the
+    // storm leg's hit-rate floor would be gating a dead code path.
+    if let Some(stats) = &outcome.pmf_cache {
+        if stats.solves == 0 {
+            failures.push(format!(
+                "[{mode}] no batched solves admitted through the solve scheduler"
+            ));
+        }
+        // Budget MDP solves never consult the pmf cache, so the lookup
+        // gate only applies when the fleet has deadline campaigns.
+        let has_deadline = scenario
+            .fleet
+            .iter()
+            .any(|g| g.kind == crate::scenario::CampaignKind::Deadline && g.count > 0);
+        if has_deadline && stats.lookups == 0 {
+            failures.push(format!(
+                "[{mode}] deadline solves recorded no shared pmf-cache lookups"
+            ));
         }
     }
     if let Some(extras) = extras {

@@ -271,6 +271,41 @@ impl Scenario {
         scenario
     }
 
+    /// The recalibration-storm profile: a large fleet of **identical**
+    /// deadline campaigns under heavy negative drift, built to flood
+    /// the registry's `SolveScheduler` with concurrent re-solves that
+    /// share Poisson pmf rows through each wave's [`SharedPmfCache`].
+    ///
+    /// Two properties make the waves cache-friendly on purpose:
+    ///
+    /// - every campaign is the same spec, so the initial solve storm
+    ///   re-derives one row universe `{(λ, accept(a))}`;
+    /// - `drift` sits **below** the adaptive pricer's correction clamp
+    ///   (`AdaptiveOptions::min_correction` = 0.25), so every
+    ///   campaign's windowed ratio estimate clamps to exactly 0.25 and
+    ///   the recalibration storm re-derives one *shared* corrected row
+    ///   universe `{(0.25·λ, accept(a))}` instead of per-campaign
+    ///   stochastic rates.
+    ///
+    /// The perf gate holds this leg's reported `pmf_cache.hit_rate` at
+    /// ≥ 0.5 (`scripts/perf_floors.json`), which is the batched-solving
+    /// tier's banked win.
+    ///
+    /// [`SharedPmfCache`]: ft_core::kernel::SharedPmfCache
+    pub fn storm(fast: bool) -> Self {
+        let mut scenario = Self::fast();
+        scenario.name = if fast { "storm-fast" } else { "storm" }.into();
+        scenario.seed = 29;
+        scenario.drift = 0.2;
+        scenario.resolve_every = 2;
+        // Deadline-only: the budget MDP does not consume pmf rows.
+        scenario.fleet.retain(|g| g.kind == CampaignKind::Deadline);
+        for group in &mut scenario.fleet {
+            group.count = if fast { 40 } else { 120 };
+        }
+        scenario
+    }
+
     /// The budget-drift profile: a budget-only fleet whose workers
     /// accept posted prices far less often than the trained logit model
     /// says, with arrivals on-model — so *only* the acceptance-drift
@@ -421,6 +456,17 @@ mod tests {
         let bulk = Scenario::bulk_fast();
         bulk.validate().unwrap();
         assert!(bulk.bulk > 1, "bulk profile must actually batch");
+        for storm in [Scenario::storm(true), Scenario::storm(false)] {
+            storm.validate().unwrap();
+            // Deadline-only: budget solves never consult the pmf cache,
+            // so they would only dilute the storm's hit-rate signal.
+            assert!(storm.fleet.iter().all(|g| g.kind == CampaignKind::Deadline));
+            // Enough identical campaigns to fill waves, and drift below
+            // the adaptive clamp so recalibration rows are shared too.
+            assert!(storm.campaign_count() >= 32);
+            assert!(storm.drift < 0.25);
+            assert!(storm.expects_recalibration());
+        }
         for fleet in [Scenario::fleet(true), Scenario::fleet(false)] {
             fleet.validate().unwrap();
             // One quote per round trip: the fleet perf floor is

@@ -445,6 +445,17 @@ fn create_campaign(registry: &CampaignRegistry, request: &Request) -> Response {
     ]))
 }
 
+/// `POST /campaigns/{id}/solve` — solve the draft and publish
+/// generation 1.
+///
+/// Wave semantics: the solve is admitted into the registry's
+/// [`SolveScheduler`](ft_core::SolveScheduler) wave, so concurrent
+/// solve requests (a fleet bootstrap, a recalibration storm) share one
+/// pmf-row cache per 32-admission wave instead of each rebuilding its
+/// own rows. This changes latency (cache-warm solves are cheaper),
+/// never bits: the response is identical whether the wave was cold or
+/// warm. The endpoint still blocks until *this* campaign's solve
+/// completes — admission never waits for other wave members.
 fn solve(registry: &CampaignRegistry, id: CampaignId) -> Response {
     match registry.solve(id) {
         Ok(generation) => ok(map(vec![

@@ -220,6 +220,12 @@ pub struct AppState {
 impl AppState {
     pub fn new(registry: Arc<CampaignRegistry>) -> Self {
         let telemetry = ServerTelemetry::new(registry.metrics());
+        // Mirror the executor's internal counters (steals, deque
+        // overflows) onto the same metrics plane the registry reports
+        // into, so one `GET /metrics` covers HTTP, solver, and pool.
+        // Latest-wins inside ft-exec, so a test server taking over the
+        // export is fine.
+        ft_exec::register_metrics(registry.metrics());
         Self {
             registry,
             telemetry,

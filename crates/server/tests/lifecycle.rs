@@ -479,6 +479,14 @@ fn budget_acceptance_drift_recalibrates_over_the_wire() {
             .expect("prometheus export");
     assert_eq!(status, 200);
     assert!(text_body.contains("ft_core_recalibrations_by_kind_total{kind=\"budget\"}"));
+    // The server registers the executor's counters at startup, so the
+    // pool's steal/overflow instruments ride the same export plane even
+    // while still at zero.
+    assert!(
+        text_body.contains("ft_exec_steals_total"),
+        "executor steal counter not on the export plane"
+    );
+    assert!(text_body.contains("ft_exec_deque_overflow_total"));
 
     handle.shutdown();
     join.join().expect("server thread");
